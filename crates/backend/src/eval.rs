@@ -1,0 +1,268 @@
+//! The reference IR-expression evaluator.
+//!
+//! Used by the native engine (and as the semantic oracle the eBPF and P4
+//! simulators are property-tested against). Evaluation never panics;
+//! runtime faults (overflow, division by zero, UDF failure) surface as
+//! [`ExecError`] and the engine aborts the message with code 13 (internal).
+
+use adn_ir::expr::{eval_binop, eval_cast, eval_unop, EvalError, IrExpr};
+use adn_rpc::value::Value;
+
+use crate::udf_impl::{UdfError, UdfRuntime};
+
+/// Runtime evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Operator-level fault.
+    Eval(EvalError),
+    /// UDF-level fault.
+    Udf(UdfError),
+    /// A joined-row column was referenced with no row bound (compiler bug).
+    NoRowBound,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Eval(e) => write!(f, "{e}"),
+            ExecError::Udf(e) => write!(f, "{e}"),
+            ExecError::NoRowBound => write!(f, "column reference with no row bound"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+impl From<UdfError> for ExecError {
+    fn from(e: UdfError) -> Self {
+        ExecError::Udf(e)
+    }
+}
+
+/// Evaluates `expr` against message `fields`, an optional joined state
+/// `row`, and the engine's UDF runtime.
+pub fn eval(
+    expr: &IrExpr,
+    fields: &[Value],
+    row: Option<&[Value]>,
+    udf: &mut UdfRuntime,
+) -> Result<Value, ExecError> {
+    Ok(eval_cow(expr, fields, row, udf)?.into_owned())
+}
+
+/// Borrow-when-possible evaluation. Leaf references (constants, message
+/// fields, joined-row columns) are returned borrowed; only computation
+/// (UDFs, arithmetic, casts) allocates. This keeps the per-message cost of
+/// predicate-heavy elements (ACL lookups, filters) allocation-free.
+pub fn eval_cow<'a>(
+    expr: &'a IrExpr,
+    fields: &'a [Value],
+    row: Option<&'a [Value]>,
+    udf: &mut UdfRuntime,
+) -> Result<std::borrow::Cow<'a, Value>, ExecError> {
+    use std::borrow::Cow;
+    Ok(match expr {
+        IrExpr::Const(v) => Cow::Borrowed(v),
+        IrExpr::Field(i) => Cow::Borrowed(&fields[*i]),
+        IrExpr::Col(c) => Cow::Borrowed(&row.ok_or(ExecError::NoRowBound)?[*c]),
+        IrExpr::Udf { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_cow(a, fields, row, udf)?.into_owned());
+            }
+            Cow::Owned(udf.call(name, &vals)?)
+        }
+        IrExpr::Cast { to, inner } => {
+            let v = eval_cow(inner, fields, row, udf)?;
+            Cow::Owned(eval_cast(*to, &v)?)
+        }
+        IrExpr::Unary { op, operand } => {
+            let v = eval_cow(operand, fields, row, udf)?;
+            Cow::Owned(eval_unop(*op, &v)?)
+        }
+        IrExpr::Binary { op, left, right } => {
+            use adn_ir::expr::IrBinOp;
+            match op {
+                IrBinOp::And => match eval_cow(left, fields, row, udf)?.as_ref() {
+                    Value::Bool(false) => Cow::Owned(Value::Bool(false)),
+                    Value::Bool(true) => {
+                        let r = eval_cow(right, fields, row, udf)?;
+                        match r.as_ref() {
+                            Value::Bool(b) => Cow::Owned(Value::Bool(*b)),
+                            other => {
+                                return Err(
+                                    EvalError::TypeError(format!("AND on {other}")).into()
+                                )
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(EvalError::TypeError(format!("AND on {other}")).into())
+                    }
+                },
+                IrBinOp::Or => match eval_cow(left, fields, row, udf)?.as_ref() {
+                    Value::Bool(true) => Cow::Owned(Value::Bool(true)),
+                    Value::Bool(false) => {
+                        let r = eval_cow(right, fields, row, udf)?;
+                        match r.as_ref() {
+                            Value::Bool(b) => Cow::Owned(Value::Bool(*b)),
+                            other => {
+                                return Err(
+                                    EvalError::TypeError(format!("OR on {other}")).into()
+                                )
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(EvalError::TypeError(format!("OR on {other}")).into())
+                    }
+                },
+                other => {
+                    let l = eval_cow(left, fields, row, udf)?;
+                    let r = eval_cow(right, fields, row, udf)?;
+                    Cow::Owned(eval_binop(*other, &l, &r)?)
+                }
+            }
+        }
+        IrExpr::Case { arms, otherwise } => {
+            for (cond, value) in arms {
+                if eval_cow(cond, fields, row, udf)?.is_truthy() {
+                    return eval_cow(value, fields, row, udf);
+                }
+            }
+            match otherwise {
+                Some(e) => eval_cow(e, fields, row, udf)?,
+                // CASE with no matching arm and no ELSE yields false (the
+                // only context this can reach is a predicate).
+                None => Cow::Owned(Value::Bool(false)),
+            }
+        }
+    })
+}
+
+/// Evaluates a predicate; non-boolean results are an error. Allocation-free
+/// for comparison/logic trees over fields, columns, and constants.
+pub fn eval_pred(
+    expr: &IrExpr,
+    fields: &[Value],
+    row: Option<&[Value]>,
+    udf: &mut UdfRuntime,
+) -> Result<bool, ExecError> {
+    match eval_cow(expr, fields, row, udf)?.as_ref() {
+        Value::Bool(b) => Ok(*b),
+        other => Err(EvalError::TypeError(format!("predicate yielded {other}, not bool")).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_ir::expr::{IrBinOp, IrUnOp};
+
+    fn rt() -> UdfRuntime {
+        UdfRuntime::new(1)
+    }
+
+    #[test]
+    fn field_and_const() {
+        let fields = vec![Value::U64(5), Value::Str("x".into())];
+        let e = IrExpr::Binary {
+            op: IrBinOp::Add,
+            left: Box::new(IrExpr::Field(0)),
+            right: Box::new(IrExpr::Const(Value::U64(3))),
+        };
+        assert_eq!(eval(&e, &fields, None, &mut rt()).unwrap(), Value::U64(8));
+    }
+
+    #[test]
+    fn col_requires_row() {
+        let e = IrExpr::Col(0);
+        assert_eq!(
+            eval(&e, &[], None, &mut rt()),
+            Err(ExecError::NoRowBound)
+        );
+        let row = vec![Value::Str("W".into())];
+        assert_eq!(
+            eval(&e, &[], Some(&row), &mut rt()).unwrap(),
+            Value::Str("W".into())
+        );
+    }
+
+    #[test]
+    fn short_circuit_and_skips_rhs_errors() {
+        // false AND (1/0 == 1) must not fault.
+        let e = IrExpr::Binary {
+            op: IrBinOp::And,
+            left: Box::new(IrExpr::Const(Value::Bool(false))),
+            right: Box::new(IrExpr::Binary {
+                op: IrBinOp::Eq,
+                left: Box::new(IrExpr::Binary {
+                    op: IrBinOp::Div,
+                    left: Box::new(IrExpr::Const(Value::U64(1))),
+                    right: Box::new(IrExpr::Const(Value::U64(0))),
+                }),
+                right: Box::new(IrExpr::Const(Value::U64(1))),
+            }),
+        };
+        assert_eq!(eval(&e, &[], None, &mut rt()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn short_circuit_or() {
+        let e = IrExpr::Binary {
+            op: IrBinOp::Or,
+            left: Box::new(IrExpr::Const(Value::Bool(true))),
+            right: Box::new(IrExpr::Unary {
+                op: IrUnOp::Not,
+                operand: Box::new(IrExpr::Const(Value::U64(1))), // would fault
+            }),
+        };
+        assert_eq!(eval(&e, &[], None, &mut rt()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn udf_called_through_eval() {
+        let e = IrExpr::Udf {
+            name: "len".into(),
+            args: vec![IrExpr::Field(0)],
+        };
+        let fields = vec![Value::Bytes(vec![1, 2, 3])];
+        assert_eq!(eval(&e, &fields, None, &mut rt()).unwrap(), Value::U64(3));
+    }
+
+    #[test]
+    fn case_without_match_or_else_is_false() {
+        let e = IrExpr::Case {
+            arms: vec![(IrExpr::Const(Value::Bool(false)), IrExpr::Const(Value::U64(1)))],
+            otherwise: None,
+        };
+        assert_eq!(eval(&e, &[], None, &mut rt()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn pred_rejects_non_bool() {
+        let e = IrExpr::Const(Value::U64(1));
+        assert!(eval_pred(&e, &[], None, &mut rt()).is_err());
+        let e = IrExpr::Const(Value::Bool(true));
+        assert!(eval_pred(&e, &[], None, &mut rt()).unwrap());
+    }
+
+    #[test]
+    fn runtime_faults_are_errors() {
+        let e = IrExpr::Binary {
+            op: IrBinOp::Div,
+            left: Box::new(IrExpr::Const(Value::U64(1))),
+            right: Box::new(IrExpr::Const(Value::U64(0))),
+        };
+        assert!(matches!(
+            eval(&e, &[], None, &mut rt()),
+            Err(ExecError::Eval(EvalError::DivideByZero))
+        ));
+    }
+}

@@ -1,0 +1,783 @@
+//! The native backend: IR compiled to an in-process engine.
+//!
+//! This is the moral equivalent of the paper prototype's generated Rust
+//! mRPC module: a [`NativeEngine`] executes one element's statements per
+//! message, in structured form, against its own state tables. A
+//! [`FusedEngine`] executes several elements in one engine without
+//! per-element dynamic dispatch (the fusion pass's runtime counterpart).
+
+use adn_ir::element::{ElementIr, JoinStrategy};
+use adn_rpc::engine::{Engine, Verdict};
+use adn_rpc::message::{MessageKind, RpcMessage};
+use adn_rpc::transport::EndpointAddr;
+use adn_rpc::value::{Value, ValueType};
+use adn_wire::codec::{Decoder, Encoder};
+
+use crate::eval::ExecError;
+use crate::plan::{compile_stmt_for, exec, exec_pred, CStmt};
+use crate::state::StateTable;
+use crate::udf_impl::UdfRuntime;
+
+/// Abort code used when an element faults at runtime (overflow, UDF error).
+pub const ABORT_INTERNAL: u32 = 13;
+
+/// Compilation options binding an element to its deployment.
+#[derive(Debug, Clone)]
+pub struct CompileOpts {
+    /// Seed for the engine's `random()` / RNG (reproducible experiments).
+    pub seed: u64,
+    /// Replica set for `ROUTE` statements (flat endpoint ids). Empty means
+    /// ROUTE leaves the destination untouched.
+    pub replicas: Vec<EndpointAddr>,
+}
+
+impl Default for CompileOpts {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed,
+            replicas: Vec::new(),
+        }
+    }
+}
+
+/// An element compiled for software execution.
+pub struct NativeEngine {
+    name: String,
+    request: Vec<CStmt>,
+    response: Vec<CStmt>,
+    tables: Vec<StateTable>,
+    udf: UdfRuntime,
+    replicas: Vec<EndpointAddr>,
+}
+
+/// Compiles one element.
+pub fn compile_element(element: &ElementIr, opts: &CompileOpts) -> NativeEngine {
+    // The typechecker guarantees every UDF resolves; a failure here is a
+    // compiler bug, not user error.
+    let compile_all = |stmts: &[adn_ir::IrStmt]| -> Vec<CStmt> {
+        stmts
+            .iter()
+            .map(|s| compile_stmt_for(s, &element.tables).expect("typechecked element compiles"))
+            .collect()
+    };
+    NativeEngine {
+        name: element.name.clone(),
+        request: compile_all(&element.request),
+        response: compile_all(&element.response),
+        tables: element
+            .tables
+            .iter()
+            .map(|t| StateTable::new(t.clone()))
+            .collect(),
+        udf: UdfRuntime::new(opts.seed),
+        replicas: opts.replicas.clone(),
+    }
+}
+
+/// Outcome of running one statement list.
+enum StepOutcome {
+    Continue,
+    Verdict(Verdict),
+}
+
+impl NativeEngine {
+    /// Read access to a state table (tests, telemetry).
+    pub fn table(&self, idx: usize) -> Option<&StateTable> {
+        self.tables.get(idx)
+    }
+
+    /// Replica set bound to ROUTE statements.
+    pub fn replicas(&self) -> &[EndpointAddr] {
+        &self.replicas
+    }
+
+    /// Rebinds the replica set (controller reconfiguration).
+    pub fn set_replicas(&mut self, replicas: Vec<EndpointAddr>) {
+        self.replicas = replicas;
+    }
+
+    fn run(&mut self, stmts_kind: MessageKind, msg: &mut RpcMessage) -> Verdict {
+        // Statements are cloned refs; split borrows manually to satisfy the
+        // borrow checker (statements are read-only, tables and udf mutate).
+        let stmts = match stmts_kind {
+            MessageKind::Request => std::mem::take(&mut self.request),
+            MessageKind::Response => std::mem::take(&mut self.response),
+        };
+        let mut verdict = Verdict::Forward;
+        for stmt in &stmts {
+            match self.step(stmt, msg) {
+                Ok(StepOutcome::Continue) => continue,
+                Ok(StepOutcome::Verdict(v)) => {
+                    verdict = v;
+                    break;
+                }
+                Err(e) => {
+                    verdict = Verdict::Abort {
+                        code: ABORT_INTERNAL,
+                        message: format!("element {} fault: {e}", self.name),
+                    };
+                    break;
+                }
+            }
+        }
+        match stmts_kind {
+            MessageKind::Request => self.request = stmts,
+            MessageKind::Response => self.response = stmts,
+        }
+        verdict
+    }
+
+    fn step(&mut self, stmt: &CStmt, msg: &mut RpcMessage) -> Result<StepOutcome, ExecError> {
+        let udf = &mut self.udf;
+        let tables = &mut self.tables;
+        match stmt {
+            CStmt::Select {
+                assignments,
+                join,
+                condition,
+                else_abort,
+            } => {
+                // Failed join/condition: abort when ELSE ABORT is present,
+                // otherwise drop.
+                macro_rules! fail_verdict {
+                    () => {{
+                        match else_abort {
+                            Some((code_expr, message_expr)) => {
+                                let code_v = exec(code_expr, &msg.fields, None, udf)?.into_owned();
+                                let code =
+                                    code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
+                                let message = match message_expr {
+                                    Some(m) => match exec(m, &msg.fields, None, udf)?.into_owned() {
+                                        Value::Str(s) => s,
+                                        other => other.to_string(),
+                                    },
+                                    None => format!("rejected by {}", self.name),
+                                };
+                                Verdict::Abort { code, message }
+                            }
+                            None => Verdict::Drop,
+                        }
+                    }};
+                }
+                // Resolve the joined row (inner join: no match drops).
+                // The row stays *borrowed* from the state table through
+                // condition evaluation — the hot path (ACL allow) does not
+                // allocate. It is only copied when a projection assignment
+                // must read joined columns while the message mutates.
+                let row: Option<&[Value]> = match join {
+                    Some(j) => {
+                        let table = &tables[j.table];
+                        let found = match &j.strategy {
+                            JoinStrategy::KeyLookup { input_fields } => {
+                                let h = table.key_hash_of_iter(
+                                    input_fields.iter().map(|&i| &msg.fields[i]),
+                                );
+                                // The hash index is a fast path; confirm with
+                                // the full predicate to be exact.
+                                match table.lookup(h) {
+                                    Some(candidate)
+                                        if exec_pred(
+                                            &j.on,
+                                            &msg.fields,
+                                            Some(candidate),
+                                            udf,
+                                        )? =>
+                                    {
+                                        Some(candidate)
+                                    }
+                                    _ => None,
+                                }
+                            }
+                            JoinStrategy::Scan => {
+                                let mut found = None;
+                                for candidate in table.scan() {
+                                    if exec_pred(&j.on, &msg.fields, Some(candidate), udf)? {
+                                        found = Some(candidate);
+                                        break;
+                                    }
+                                }
+                                found
+                            }
+                        };
+                        match found {
+                            Some(r) => Some(r),
+                            None => return Ok(StepOutcome::Verdict(fail_verdict!())),
+                        }
+                    }
+                    None => None,
+                };
+                if let Some(cond) = condition {
+                    if !exec_pred(cond, &msg.fields, row, udf)? {
+                        return Ok(StepOutcome::Verdict(fail_verdict!()));
+                    }
+                }
+                if !assignments.is_empty() {
+                    // Writes may alias the fields the expressions read, so
+                    // stage the computed values, then commit.
+                    let mut staged = Vec::with_capacity(assignments.len());
+                    for (idx, expr) in assignments {
+                        let v = exec(expr, &msg.fields, row, udf)?.into_owned();
+                        let ty = msg.schema.fields()[*idx].ty;
+                        staged.push((*idx, coerce_store(v, ty)?));
+                    }
+                    for (idx, v) in staged {
+                        msg.fields[idx] = v;
+                    }
+                }
+                Ok(StepOutcome::Continue)
+            }
+            CStmt::Insert { table, values } => {
+                let mut row = Vec::with_capacity(values.len());
+                for (i, expr) in values.iter().enumerate() {
+                    let v = exec(expr, &msg.fields, None, udf)?.into_owned();
+                    let ty = tables[*table].layout().column_types[i];
+                    row.push(coerce_store(v, ty)?);
+                }
+                // INSERT is insert-if-absent (SQL ON CONFLICT DO NOTHING),
+                // so INSERT-then-UPDATE counter idioms work.
+                tables[*table].insert_if_absent(row);
+                Ok(StepOutcome::Continue)
+            }
+            CStmt::Update {
+                table,
+                assignments,
+                condition,
+            } => {
+                // Two-phase: evaluate replacements against a snapshot scan,
+                // then apply, so UDF side effects happen exactly once per
+                // matched row and the borrow of the table stays simple.
+                let mut replacements: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+                for row in tables[*table].scan() {
+                    let matches = match condition {
+                        Some(c) => exec_pred(c, &msg.fields, Some(row), udf)?,
+                        None => true,
+                    };
+                    if !matches {
+                        continue;
+                    }
+                    let mut new_row = row.to_vec();
+                    for (col, expr) in assignments {
+                        let v = exec(expr, &msg.fields, Some(row), udf)?.into_owned();
+                        let ty = tables[*table].layout().column_types[*col];
+                        new_row[*col] = coerce_store(v, ty)?;
+                    }
+                    replacements.push((row.to_vec(), new_row));
+                }
+                for (old, new) in replacements {
+                    tables[*table].update_where(|r| r == &old[..], |r| *r = new.clone());
+                }
+                Ok(StepOutcome::Continue)
+            }
+            CStmt::UpdateKeyed {
+                table,
+                key,
+                assignments,
+                condition,
+            } => {
+                let key_value = exec(key, &msg.fields, None, udf)?;
+                let h = tables[*table].key_hash_of_iter(std::iter::once(key_value.as_ref()));
+                let replacement = match tables[*table].lookup(h) {
+                    Some(row) if exec_pred(condition, &msg.fields, Some(row), udf)? => {
+                        let mut new_row = row.to_vec();
+                        for (col, expr) in assignments {
+                            let v = exec(expr, &msg.fields, Some(row), udf)?.into_owned();
+                            let ty = tables[*table].layout().column_types[*col];
+                            new_row[*col] = coerce_store(v, ty)?;
+                        }
+                        Some(new_row)
+                    }
+                    _ => None,
+                };
+                if let Some(new_row) = replacement {
+                    // Key column is untouched (checked at compile time), so
+                    // this keyed upsert replaces the row in place.
+                    tables[*table].upsert(new_row);
+                }
+                Ok(StepOutcome::Continue)
+            }
+            CStmt::Delete { table, condition } => {
+                match condition {
+                    Some(c) => {
+                        // Evaluate predicates first (UDFs may be stateful),
+                        // then delete the matched rows.
+                        let mut doomed: Vec<Vec<Value>> = Vec::new();
+                        for row in tables[*table].scan() {
+                            if exec_pred(c, &msg.fields, Some(row), udf)? {
+                                doomed.push(row.to_vec());
+                            }
+                        }
+                        for row in doomed {
+                            tables[*table].delete_where(|r| r == &row[..]);
+                        }
+                    }
+                    None => {
+                        tables[*table].delete_where(|_| true);
+                    }
+                }
+                Ok(StepOutcome::Continue)
+            }
+            CStmt::Drop { condition } => {
+                let fire = match condition {
+                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                    None => true,
+                };
+                if fire {
+                    Ok(StepOutcome::Verdict(Verdict::Drop))
+                } else {
+                    Ok(StepOutcome::Continue)
+                }
+            }
+            CStmt::Route { key, condition } => {
+                let fire = match condition {
+                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                    None => true,
+                };
+                if fire && !self.replicas.is_empty() {
+                    let k = exec(key, &msg.fields, None, udf)?.into_owned();
+                    let idx = (k.stable_hash() % self.replicas.len() as u64) as usize;
+                    msg.dst = self.replicas[idx];
+                }
+                Ok(StepOutcome::Continue)
+            }
+            CStmt::Abort {
+                code,
+                message,
+                condition,
+            } => {
+                let fire = match condition {
+                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                    None => true,
+                };
+                if !fire {
+                    return Ok(StepOutcome::Continue);
+                }
+                let code_v = exec(code, &msg.fields, None, udf)?.into_owned();
+                let code = code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
+                let message = match message {
+                    Some(m) => match exec(m, &msg.fields, None, udf)?.into_owned() {
+                        Value::Str(s) => s,
+                        other => other.to_string(),
+                    },
+                    None => format!("aborted by {}", self.name),
+                };
+                Ok(StepOutcome::Verdict(Verdict::Abort { code, message }))
+            }
+            CStmt::Set {
+                field,
+                value,
+                condition,
+            } => {
+                let fire = match condition {
+                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                    None => true,
+                };
+                if fire {
+                    let v = exec(value, &msg.fields, None, udf)?.into_owned();
+                    let ty = msg.schema.fields()[*field].ty;
+                    msg.fields[*field] = coerce_store(v, ty)?;
+                }
+                Ok(StepOutcome::Continue)
+            }
+        }
+    }
+}
+
+/// Coerces a computed value onto a schema slot. Widenings always succeed;
+/// a non-negative signed value narrows to unsigned; anything else faults.
+fn coerce_store(v: Value, ty: ValueType) -> Result<Value, ExecError> {
+    if v.value_type() == ty {
+        return Ok(v);
+    }
+    let coerced = match (&v, ty) {
+        (Value::U64(x), ValueType::I64) => i64::try_from(*x).ok().map(Value::I64),
+        (Value::U64(x), ValueType::F64) => Some(Value::F64(*x as f64)),
+        (Value::I64(x), ValueType::F64) => Some(Value::F64(*x as f64)),
+        (Value::I64(x), ValueType::U64) if *x >= 0 => Some(Value::U64(*x as u64)),
+        _ => None,
+    };
+    coerced.ok_or_else(|| {
+        ExecError::Eval(adn_ir::expr::EvalError::TypeError(format!(
+            "cannot store {v} into a {ty} field"
+        )))
+    })
+}
+
+impl Engine for NativeEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+        self.run(msg.kind, msg)
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_varint(self.tables.len() as u64);
+        for t in &self.tables {
+            enc.put_bytes(&t.snapshot());
+        }
+        enc.into_bytes()
+    }
+
+    fn import_state(&mut self, image: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(image);
+        let count = dec.get_varint().map_err(|e| e.to_string())?;
+        if count as usize != self.tables.len() {
+            return Err(format!(
+                "image has {count} tables, engine has {}",
+                self.tables.len()
+            ));
+        }
+        for t in &mut self.tables {
+            let bytes = dec.get_bytes().map_err(|e| e.to_string())?;
+            t.restore(bytes).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+/// Several elements compiled into one engine (the fusion pass's output).
+pub struct FusedEngine {
+    name: String,
+    engines: Vec<NativeEngine>,
+}
+
+/// Compiles a fused stage. Each element gets an independent RNG stream
+/// derived from the base seed and its position, matching unfused execution
+/// seeded the same way.
+pub fn compile_fused(elements: &[ElementIr], opts: &CompileOpts) -> FusedEngine {
+    let engines = elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            compile_element(
+                e,
+                &CompileOpts {
+                    seed: element_seed(opts.seed, i),
+                    replicas: opts.replicas.clone(),
+                },
+            )
+        })
+        .collect();
+    FusedEngine {
+        name: format!(
+            "fused[{}]",
+            elements
+                .iter()
+                .map(|e| e.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        ),
+        engines,
+    }
+}
+
+/// Derives the per-element seed used by both fused and unfused compilation,
+/// so the two execution modes are behaviourally identical.
+pub fn element_seed(base: u64, position: usize) -> u64 {
+    base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(position as u64 + 1))
+}
+
+impl FusedEngine {
+    /// The compiled sub-engines (tests, telemetry).
+    pub fn engines(&self) -> &[NativeEngine] {
+        &self.engines
+    }
+
+    /// Mutable sub-engine access (controller rebinding).
+    pub fn engines_mut(&mut self) -> &mut [NativeEngine] {
+        &mut self.engines
+    }
+}
+
+impl Engine for FusedEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+        for e in &mut self.engines {
+            match e.run(msg.kind, msg) {
+                Verdict::Forward => continue,
+                other => return other,
+            }
+        }
+        Verdict::Forward
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_varint(self.engines.len() as u64);
+        for e in &self.engines {
+            enc.put_bytes(&e.export_state());
+        }
+        enc.into_bytes()
+    }
+
+    fn import_state(&mut self, image: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(image);
+        let count = dec.get_varint().map_err(|e| e.to_string())?;
+        if count as usize != self.engines.len() {
+            return Err("fused state arity mismatch".into());
+        }
+        for e in &mut self.engines {
+            let bytes = dec.get_bytes().map_err(|e| e.to_string())?;
+            e.import_state(bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use adn_dsl::parser::parse_element;
+    use adn_dsl::typecheck::check_element;
+    use adn_rpc::schema::RpcSchema;
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        (
+            Arc::new(
+                RpcSchema::builder()
+                    .field("object_id", ValueType::U64)
+                    .field("username", ValueType::Str)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+            Arc::new(
+                RpcSchema::builder()
+                    .field("ok", ValueType::Bool)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+        )
+    }
+
+    fn lower(src: &str) -> ElementIr {
+        let (req, resp) = schemas();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+    }
+
+    fn request(object_id: u64, username: &str, payload: &[u8]) -> RpcMessage {
+        let (req, _) = schemas();
+        RpcMessage::request(1, 1, req)
+            .with("object_id", object_id)
+            .with("username", username)
+            .with("payload", payload.to_vec())
+    }
+
+    const ACL: &str = r#"
+        element Acl() {
+            state ac_tab(username: string key, permission: string) init {
+                ('alice', 'W'), ('bob', 'R')
+            };
+            on request {
+                SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                WHERE ac_tab.permission == 'W';
+            }
+        }
+    "#;
+
+    #[test]
+    fn acl_allows_writers_drops_readers_and_unknowns() {
+        let mut e = compile_element(&lower(ACL), &CompileOpts::default());
+        let mut alice = request(1, "alice", b"x");
+        assert_eq!(e.process(&mut alice), Verdict::Forward);
+        let mut bob = request(1, "bob", b"x");
+        assert_eq!(e.process(&mut bob), Verdict::Drop);
+        let mut eve = request(1, "eve", b"x");
+        assert_eq!(e.process(&mut eve), Verdict::Drop);
+    }
+
+    #[test]
+    fn compression_roundtrips_through_engines() {
+        let comp = lower(
+            "element C() { on request { SET payload = compress(input.payload); SELECT * FROM input; } }",
+        );
+        let decomp = lower(
+            "element D() { on request { SET payload = decompress(input.payload); SELECT * FROM input; } }",
+        );
+        let mut c = compile_element(&comp, &CompileOpts::default());
+        let mut d = compile_element(&decomp, &CompileOpts::default());
+        let payload = vec![42u8; 500];
+        let mut msg = request(1, "alice", &payload);
+        assert_eq!(c.process(&mut msg), Verdict::Forward);
+        let compressed_len = msg.get("payload").unwrap().as_bytes().unwrap().len();
+        assert!(compressed_len < 50, "payload should shrink, got {compressed_len}");
+        assert_eq!(d.process(&mut msg), Verdict::Forward);
+        assert_eq!(msg.get("payload").unwrap().as_bytes().unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn fault_injection_aborts_at_configured_rate() {
+        let src = "element F(p: f64 = 0.3) { on request { ABORT(3, 'fault') WHERE random() < p; SELECT * FROM input; } }";
+        let mut e = compile_element(&lower(src), &CompileOpts { seed: 7, replicas: vec![] });
+        let mut aborted = 0;
+        let n = 2000;
+        for i in 0..n {
+            let mut msg = request(i, "alice", b"x");
+            if let Verdict::Abort { code: 3, .. } = e.process(&mut msg) {
+                aborted += 1;
+            }
+        }
+        let rate = aborted as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "abort rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn logging_accumulates_state() {
+        let src = r#"
+            element Logging() {
+                state log_tab(seq: u64 key, who: string);
+                on request {
+                    INSERT INTO log_tab VALUES (now(), input.username);
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let mut e = compile_element(&lower(src), &CompileOpts::default());
+        for i in 0..5 {
+            let mut msg = request(i, "alice", b"x");
+            assert_eq!(e.process(&mut msg), Verdict::Forward);
+        }
+        assert_eq!(e.table(0).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn route_picks_stable_replica() {
+        let src = "element Lb() { on request { ROUTE input.object_id; SELECT * FROM input; } }";
+        let mut e = compile_element(
+            &lower(src),
+            &CompileOpts {
+                seed: 0,
+                replicas: vec![100, 200, 300],
+            },
+        );
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..60 {
+            let mut msg = request(i, "alice", b"x");
+            msg.dst = 1;
+            assert_eq!(e.process(&mut msg), Verdict::Forward);
+            assert!([100, 200, 300].contains(&msg.dst));
+            seen.insert(msg.dst);
+            // Same key → same replica.
+            let mut again = request(i, "alice", b"x");
+            again.dst = 1;
+            e.process(&mut again);
+            assert_eq!(again.dst, msg.dst);
+        }
+        assert_eq!(seen.len(), 3, "keys should spread over all replicas");
+    }
+
+    #[test]
+    fn update_and_delete_mutate_state() {
+        let src = r#"
+            element RateLimit(limit: u64 = 3) {
+                state counters(who: string key, n: u64);
+                on request {
+                    INSERT INTO counters VALUES (input.username, 0)
+                        ;
+                    UPDATE counters SET n = counters.n + 1 WHERE counters.who == input.username;
+                    DROP WHERE false;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let mut e = compile_element(&lower(src), &CompileOpts::default());
+        for _ in 0..4 {
+            let mut msg = request(1, "alice", b"x");
+            e.process(&mut msg);
+        }
+        // INSERT is if-absent, so UPDATE accumulates across messages.
+        let t = e.table(0).unwrap();
+        let h = t.key_hash_of(&[&Value::Str("alice".into())]);
+        assert_eq!(t.lookup(h).unwrap()[1], Value::U64(4));
+    }
+
+    #[test]
+    fn runtime_fault_aborts_with_code_13() {
+        let src = "element E() { on request { SET object_id = input.object_id / 0; SELECT * FROM input; } }";
+        let mut e = compile_element(&lower(src), &CompileOpts::default());
+        let mut msg = request(1, "alice", b"x");
+        match e.process(&mut msg) {
+            Verdict::Abort { code, message } => {
+                assert_eq!(code, ABORT_INTERNAL);
+                assert!(message.contains("division"));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_export_import_roundtrip() {
+        let e = compile_element(&lower(ACL), &CompileOpts::default());
+        let image = e.export_state();
+        let mut fresh = compile_element(&lower(ACL), &CompileOpts::default());
+        fresh.import_state(&image).unwrap();
+        assert_eq!(fresh.export_state(), image);
+        assert!(fresh.import_state(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn fused_equals_chained_execution() {
+        let elements = vec![
+            lower(ACL),
+            lower("element C() { on request { SET payload = compress(input.payload); SELECT * FROM input; } }"),
+        ];
+        let mut fused = compile_fused(&elements, &CompileOpts::default());
+        let mut chain: Vec<NativeEngine> = elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                compile_element(
+                    e,
+                    &CompileOpts {
+                        seed: element_seed(CompileOpts::default().seed, i),
+                        replicas: vec![],
+                    },
+                )
+            })
+            .collect();
+        for i in 0..50 {
+            let user = if i % 3 == 0 { "alice" } else { "bob" };
+            let mut a = request(i, user, &vec![i as u8; 64]);
+            let mut b = a.clone();
+            let va = fused.process(&mut a);
+            let vb = chain.iter_mut().try_fold(Verdict::Forward, |_, e| {
+                match e.process(&mut b) {
+                    Verdict::Forward => Ok(Verdict::Forward),
+                    other => Err(other),
+                }
+            });
+            let vb = match vb {
+                Ok(v) => v,
+                Err(v) => v,
+            };
+            assert_eq!(va, vb, "verdicts diverge at message {i}");
+            assert_eq!(a.fields, b.fields, "fields diverge at message {i}");
+        }
+    }
+
+    #[test]
+    fn response_handler_runs_on_responses_only() {
+        let src = r#"
+            element E() {
+                on request { SELECT * FROM input; }
+                on response { SET ok = true; SELECT * FROM input; }
+            }
+        "#;
+        let (_, resp_schema) = schemas();
+        let mut e = compile_element(&lower(src), &CompileOpts::default());
+        let req = request(1, "alice", b"x");
+        let mut resp = RpcMessage::response_to(&req, resp_schema);
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(e.process(&mut resp), Verdict::Forward);
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,722 @@
+//! Compiled execution plans: the native backend's answer to "translate
+//! optimized IR into platform-native code" (paper §5.2) without invoking
+//! rustc at deployment time.
+//!
+//! [`compile_expr`] translates an [`IrExpr`] tree into a [`CExpr`] tree
+//! once, at engine-compile time: UDF names resolve to enum ids (no string
+//! matching per message), common predicate shapes specialize into direct
+//! comparisons over borrowed values (no `Value` construction on the hot
+//! path), and constants are pre-cloned into place. The executor mirrors the
+//! reference evaluator in `eval` exactly — equivalence is property-tested.
+
+use std::borrow::Cow;
+
+use adn_ir::expr::{eval_binop, eval_cast, eval_unop, IrBinOp, IrExpr, IrUnOp};
+use adn_rpc::value::{Value, ValueType};
+
+use crate::eval::ExecError;
+use crate::udf_impl::UdfRuntime;
+
+/// Built-in UDFs, resolved from names at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdfId {
+    Compress,
+    Decompress,
+    Encrypt,
+    Decrypt,
+    Hash,
+    Len,
+    Random,
+    Now,
+    Concat,
+    ToString,
+    Min,
+    Max,
+}
+
+impl UdfId {
+    /// Resolves a DSL function name.
+    pub fn resolve(name: &str) -> Option<UdfId> {
+        Some(match name {
+            "compress" => UdfId::Compress,
+            "decompress" => UdfId::Decompress,
+            "encrypt" => UdfId::Encrypt,
+            "decrypt" => UdfId::Decrypt,
+            "hash" => UdfId::Hash,
+            "len" => UdfId::Len,
+            "random" => UdfId::Random,
+            "now" => UdfId::Now,
+            "concat" => UdfId::Concat,
+            "to_string" => UdfId::ToString,
+            "min" => UdfId::Min,
+            "max" => UdfId::Max,
+            _ => return None,
+        })
+    }
+
+    /// The canonical name (for error messages and the generic dispatcher).
+    pub fn name(self) -> &'static str {
+        match self {
+            UdfId::Compress => "compress",
+            UdfId::Decompress => "decompress",
+            UdfId::Encrypt => "encrypt",
+            UdfId::Decrypt => "decrypt",
+            UdfId::Hash => "hash",
+            UdfId::Len => "len",
+            UdfId::Random => "random",
+            UdfId::Now => "now",
+            UdfId::Concat => "concat",
+            UdfId::ToString => "to_string",
+            UdfId::Min => "min",
+            UdfId::Max => "max",
+        }
+    }
+}
+
+/// The operand of a specialized comparison.
+#[derive(Debug, Clone)]
+pub enum CRef {
+    Field(usize),
+    Col(usize),
+    Const(Value),
+}
+
+impl CRef {
+    #[inline]
+    fn get<'a>(
+        &'a self,
+        fields: &'a [Value],
+        row: Option<&'a [Value]>,
+    ) -> Result<&'a Value, ExecError> {
+        Ok(match self {
+            CRef::Field(i) => &fields[*i],
+            CRef::Col(c) => &row.ok_or(ExecError::NoRowBound)?[*c],
+            CRef::Const(v) => v,
+        })
+    }
+
+    fn from_expr(e: &IrExpr) -> Option<CRef> {
+        Some(match e {
+            IrExpr::Field(i) => CRef::Field(*i),
+            IrExpr::Col(c) => CRef::Col(*c),
+            IrExpr::Const(v) => CRef::Const(v.clone()),
+            _ => return None,
+        })
+    }
+}
+
+/// A compiled expression.
+#[derive(Debug, Clone)]
+pub enum CExpr {
+    Const(Value),
+    Field(usize),
+    Col(usize),
+    /// Specialized comparison of two leaf references: no allocation, no
+    /// recursion. Covers the ACL/filter hot paths (`input.x == tab.y`,
+    /// `tab.col == 'W'`, `input.k == 13`, ...).
+    Cmp {
+        op: IrBinOp,
+        left: CRef,
+        right: CRef,
+    },
+    /// `random() < p` with constant `p` — the fault-injection fast path.
+    RandomBelow(f64),
+    Udf {
+        id: UdfId,
+        args: Vec<CExpr>,
+    },
+    Cast {
+        to: ValueType,
+        inner: Box<CExpr>,
+    },
+    Unary {
+        op: IrUnOp,
+        operand: Box<CExpr>,
+    },
+    Binary {
+        op: IrBinOp,
+        left: Box<CExpr>,
+        right: Box<CExpr>,
+    },
+    Case {
+        arms: Vec<(CExpr, CExpr)>,
+        otherwise: Option<Box<CExpr>>,
+    },
+}
+
+/// Compiles an IR expression. Unknown UDFs fall back to a generic id-less
+/// path only at compile time — they become an error immediately.
+pub fn compile_expr(e: &IrExpr) -> Result<CExpr, String> {
+    Ok(match e {
+        IrExpr::Const(v) => CExpr::Const(v.clone()),
+        IrExpr::Field(i) => CExpr::Field(*i),
+        IrExpr::Col(c) => CExpr::Col(*c),
+        IrExpr::Udf { name, args } => {
+            let id = UdfId::resolve(name).ok_or_else(|| format!("unknown UDF {name:?}"))?;
+            CExpr::Udf {
+                id,
+                args: args.iter().map(compile_expr).collect::<Result<_, _>>()?,
+            }
+        }
+        IrExpr::Cast { to, inner } => CExpr::Cast {
+            to: *to,
+            inner: Box::new(compile_expr(inner)?),
+        },
+        IrExpr::Unary { op, operand } => CExpr::Unary {
+            op: *op,
+            operand: Box::new(compile_expr(operand)?),
+        },
+        IrExpr::Binary { op, left, right } => {
+            // Specialization 1: leaf-vs-leaf comparison.
+            if op.is_comparison_plan() {
+                if let (Some(l), Some(r)) = (CRef::from_expr(left), CRef::from_expr(right)) {
+                    return Ok(CExpr::Cmp {
+                        op: *op,
+                        left: l,
+                        right: r,
+                    });
+                }
+                // Specialization 2: random() < const (either side).
+                match (left.as_ref(), right.as_ref(), op) {
+                    (IrExpr::Udf { name, args }, IrExpr::Const(Value::F64(p)), IrBinOp::Lt)
+                        if name == "random" && args.is_empty() =>
+                    {
+                        return Ok(CExpr::RandomBelow(*p));
+                    }
+                    (IrExpr::Const(Value::F64(p)), IrExpr::Udf { name, args }, IrBinOp::Gt)
+                        if name == "random" && args.is_empty() =>
+                    {
+                        return Ok(CExpr::RandomBelow(*p));
+                    }
+                    _ => {}
+                }
+            }
+            CExpr::Binary {
+                op: *op,
+                left: Box::new(compile_expr(left)?),
+                right: Box::new(compile_expr(right)?),
+            }
+        }
+        IrExpr::Case { arms, otherwise } => CExpr::Case {
+            arms: arms
+                .iter()
+                .map(|(c, v)| Ok::<_, String>((compile_expr(c)?, compile_expr(v)?)))
+                .collect::<Result<_, _>>()?,
+            otherwise: otherwise
+                .as_ref()
+                .map(|e| compile_expr(e).map(Box::new))
+                .transpose()?,
+        },
+    })
+}
+
+trait CmpPlanExt {
+    fn is_comparison_plan(&self) -> bool;
+}
+
+impl CmpPlanExt for IrBinOp {
+    fn is_comparison_plan(&self) -> bool {
+        matches!(
+            self,
+            IrBinOp::Eq | IrBinOp::NotEq | IrBinOp::Lt | IrBinOp::Le | IrBinOp::Gt | IrBinOp::Ge
+        )
+    }
+}
+
+#[inline]
+fn cmp_values(op: IrBinOp, a: &Value, b: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        IrBinOp::Eq => a.dsl_eq(b),
+        IrBinOp::NotEq => !a.dsl_eq(b),
+        IrBinOp::Lt => a.total_cmp(b) == Less,
+        IrBinOp::Le => a.total_cmp(b) != Greater,
+        IrBinOp::Gt => a.total_cmp(b) == Greater,
+        IrBinOp::Ge => a.total_cmp(b) != Less,
+        _ => unreachable!("cmp_values on non-comparison"),
+    }
+}
+
+/// Executes a compiled expression (borrowing where possible).
+pub fn exec<'a>(
+    e: &'a CExpr,
+    fields: &'a [Value],
+    row: Option<&'a [Value]>,
+    udf: &mut UdfRuntime,
+) -> Result<Cow<'a, Value>, ExecError> {
+    Ok(match e {
+        CExpr::Const(v) => Cow::Borrowed(v),
+        CExpr::Field(i) => Cow::Borrowed(&fields[*i]),
+        CExpr::Col(c) => Cow::Borrowed(&row.ok_or(ExecError::NoRowBound)?[*c]),
+        CExpr::Cmp { op, left, right } => Cow::Owned(Value::Bool(cmp_values(
+            *op,
+            left.get(fields, row)?,
+            right.get(fields, row)?,
+        ))),
+        CExpr::RandomBelow(p) => Cow::Owned(Value::Bool(udf.random_f64() < *p)),
+        CExpr::Udf { id, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(exec(a, fields, row, udf)?.into_owned());
+            }
+            Cow::Owned(call_udf(*id, &vals, udf)?)
+        }
+        CExpr::Cast { to, inner } => {
+            let v = exec(inner, fields, row, udf)?;
+            Cow::Owned(eval_cast(*to, &v)?)
+        }
+        CExpr::Unary { op, operand } => {
+            let v = exec(operand, fields, row, udf)?;
+            Cow::Owned(eval_unop(*op, &v)?)
+        }
+        CExpr::Binary { op, left, right } => match op {
+            IrBinOp::And => match exec(left, fields, row, udf)?.as_ref() {
+                Value::Bool(false) => Cow::Owned(Value::Bool(false)),
+                Value::Bool(true) => {
+                    let r = exec(right, fields, row, udf)?;
+                    match r.as_ref() {
+                        Value::Bool(b) => Cow::Owned(Value::Bool(*b)),
+                        other => {
+                            return Err(adn_ir::expr::EvalError::TypeError(format!(
+                                "AND on {other}"
+                            ))
+                            .into())
+                        }
+                    }
+                }
+                other => {
+                    return Err(
+                        adn_ir::expr::EvalError::TypeError(format!("AND on {other}")).into()
+                    )
+                }
+            },
+            IrBinOp::Or => match exec(left, fields, row, udf)?.as_ref() {
+                Value::Bool(true) => Cow::Owned(Value::Bool(true)),
+                Value::Bool(false) => {
+                    let r = exec(right, fields, row, udf)?;
+                    match r.as_ref() {
+                        Value::Bool(b) => Cow::Owned(Value::Bool(*b)),
+                        other => {
+                            return Err(adn_ir::expr::EvalError::TypeError(format!(
+                                "OR on {other}"
+                            ))
+                            .into())
+                        }
+                    }
+                }
+                other => {
+                    return Err(
+                        adn_ir::expr::EvalError::TypeError(format!("OR on {other}")).into()
+                    )
+                }
+            },
+            other => {
+                let l = exec(left, fields, row, udf)?;
+                let r = exec(right, fields, row, udf)?;
+                Cow::Owned(eval_binop(*other, &l, &r)?)
+            }
+        },
+        CExpr::Case { arms, otherwise } => {
+            for (cond, value) in arms {
+                if exec(cond, fields, row, udf)?.is_truthy() {
+                    return exec(value, fields, row, udf);
+                }
+            }
+            match otherwise {
+                Some(e) => exec(e, fields, row, udf)?,
+                None => Cow::Owned(Value::Bool(false)),
+            }
+        }
+    })
+}
+
+/// Boolean execution of a compiled predicate.
+#[inline]
+pub fn exec_pred(
+    e: &CExpr,
+    fields: &[Value],
+    row: Option<&[Value]>,
+    udf: &mut UdfRuntime,
+) -> Result<bool, ExecError> {
+    // The dominant shapes return without allocating.
+    match e {
+        CExpr::Cmp { op, left, right } => {
+            Ok(cmp_values(*op, left.get(fields, row)?, right.get(fields, row)?))
+        }
+        CExpr::RandomBelow(p) => Ok(udf.random_f64() < *p),
+        other => match exec(other, fields, row, udf)?.as_ref() {
+            Value::Bool(b) => Ok(*b),
+            v => Err(adn_ir::expr::EvalError::TypeError(format!(
+                "predicate yielded {v}, not bool"
+            ))
+            .into()),
+        },
+    }
+}
+
+/// Enum-dispatched UDF invocation (no string matching per message).
+fn call_udf(id: UdfId, args: &[Value], udf: &mut UdfRuntime) -> Result<Value, ExecError> {
+    match id {
+        UdfId::Random => {
+            if args.is_empty() {
+                return Ok(Value::F64(udf.random_f64()));
+            }
+        }
+        UdfId::Now => {
+            if args.is_empty() {
+                return Ok(Value::U64(udf.now()));
+            }
+        }
+        UdfId::Hash => {
+            if let [v] = args {
+                return Ok(Value::U64(v.stable_hash()));
+            }
+        }
+        UdfId::Len => match args {
+            [Value::Str(s)] => return Ok(Value::U64(s.len() as u64)),
+            [Value::Bytes(b)] => return Ok(Value::U64(b.len() as u64)),
+            _ => {}
+        },
+        // Heavier UDFs go through the generic dispatcher; their body cost
+        // dwarfs the name match.
+        _ => {}
+    }
+    udf.call(id.name(), args).map_err(Into::into)
+}
+
+// ---------------------------------------------------------------------------
+// Compiled statements
+// ---------------------------------------------------------------------------
+
+/// A compiled join.
+#[derive(Debug, Clone)]
+pub struct CJoin {
+    pub table: usize,
+    pub on: CExpr,
+    pub strategy: adn_ir::element::JoinStrategy,
+}
+
+/// A compiled statement (mirrors [`adn_ir::IrStmt`] with compiled
+/// expressions).
+#[derive(Debug, Clone)]
+pub enum CStmt {
+    Select {
+        assignments: Vec<(usize, CExpr)>,
+        join: Option<CJoin>,
+        condition: Option<CExpr>,
+        else_abort: Option<(CExpr, Option<CExpr>)>,
+    },
+    Insert {
+        table: usize,
+        values: Vec<CExpr>,
+    },
+    Update {
+        table: usize,
+        assignments: Vec<(usize, CExpr)>,
+        condition: Option<CExpr>,
+    },
+    /// UPDATE whose condition pins the table's single key column to a
+    /// row-independent expression: executed as one hash lookup instead of
+    /// a scan (the Quota/Metrics per-user counter pattern).
+    UpdateKeyed {
+        table: usize,
+        /// Evaluates to the key value (no `Col` references).
+        key: CExpr,
+        assignments: Vec<(usize, CExpr)>,
+        /// The full original condition, re-checked against the found row.
+        condition: CExpr,
+    },
+    Delete {
+        table: usize,
+        condition: Option<CExpr>,
+    },
+    Drop {
+        condition: Option<CExpr>,
+    },
+    Route {
+        key: CExpr,
+        condition: Option<CExpr>,
+    },
+    Abort {
+        code: CExpr,
+        message: Option<CExpr>,
+        condition: Option<CExpr>,
+    },
+    Set {
+        field: usize,
+        value: CExpr,
+        condition: Option<CExpr>,
+    },
+}
+
+/// Finds a conjunct `Col(key_col) == e` where `e` reads no columns,
+/// returning `e`.
+fn keyed_condition<'a>(cond: &'a IrExpr, key_col: usize) -> Option<&'a IrExpr> {
+    match cond {
+        IrExpr::Binary {
+            op: IrBinOp::And,
+            left,
+            right,
+        } => keyed_condition(left, key_col).or_else(|| keyed_condition(right, key_col)),
+        IrExpr::Binary {
+            op: IrBinOp::Eq,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (IrExpr::Col(c), e) | (e, IrExpr::Col(c)) if *c == key_col && !e.uses_cols() => {
+                Some(e)
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Compiles one IR statement. `tables` supplies key metadata for the keyed
+/// UPDATE specialization.
+pub fn compile_stmt_for(
+    stmt: &adn_ir::IrStmt,
+    tables: &[adn_ir::TableIr],
+) -> Result<CStmt, String> {
+    use adn_ir::IrStmt;
+    if let IrStmt::Update {
+        table,
+        assignments,
+        condition: Some(cond),
+    } = stmt
+    {
+        if let [key_col] = tables[*table].key_columns.as_slice() {
+            let writes_key = assignments.iter().any(|(col, _)| col == key_col);
+            if !writes_key {
+                if let Some(key_expr) = keyed_condition(cond, *key_col) {
+                    return Ok(CStmt::UpdateKeyed {
+                        table: *table,
+                        key: compile_expr(key_expr)?,
+                        assignments: assignments
+                            .iter()
+                            .map(|(i, e)| Ok::<_, String>((*i, compile_expr(e)?)))
+                            .collect::<Result<_, _>>()?,
+                        condition: compile_expr(cond)?,
+                    });
+                }
+            }
+        }
+    }
+    compile_stmt(stmt)
+}
+
+/// Compiles one IR statement.
+pub fn compile_stmt(stmt: &adn_ir::IrStmt) -> Result<CStmt, String> {
+    use adn_ir::IrStmt;
+    let opt = |e: &Option<IrExpr>| -> Result<Option<CExpr>, String> {
+        e.as_ref().map(compile_expr).transpose()
+    };
+    Ok(match stmt {
+        IrStmt::Select {
+            assignments,
+            join,
+            condition,
+            else_abort,
+        } => CStmt::Select {
+            assignments: assignments
+                .iter()
+                .map(|(i, e)| Ok::<_, String>((*i, compile_expr(e)?)))
+                .collect::<Result<_, _>>()?,
+            join: join
+                .as_ref()
+                .map(|j| {
+                    Ok::<_, String>(CJoin {
+                        table: j.table,
+                        on: compile_expr(&j.on)?,
+                        strategy: j.strategy.clone(),
+                    })
+                })
+                .transpose()?,
+            condition: opt(condition)?,
+            else_abort: else_abort
+                .as_ref()
+                .map(|(code, message)| {
+                    Ok::<_, String>((
+                        compile_expr(code)?,
+                        message.as_ref().map(compile_expr).transpose()?,
+                    ))
+                })
+                .transpose()?,
+        },
+        IrStmt::Insert { table, values } => CStmt::Insert {
+            table: *table,
+            values: values.iter().map(compile_expr).collect::<Result<_, _>>()?,
+        },
+        IrStmt::Update {
+            table,
+            assignments,
+            condition,
+        } => CStmt::Update {
+            table: *table,
+            assignments: assignments
+                .iter()
+                .map(|(i, e)| Ok::<_, String>((*i, compile_expr(e)?)))
+                .collect::<Result<_, _>>()?,
+            condition: opt(condition)?,
+        },
+        IrStmt::Delete { table, condition } => CStmt::Delete {
+            table: *table,
+            condition: opt(condition)?,
+        },
+        IrStmt::Drop { condition } => CStmt::Drop {
+            condition: opt(condition)?,
+        },
+        IrStmt::Route { key, condition } => CStmt::Route {
+            key: compile_expr(key)?,
+            condition: opt(condition)?,
+        },
+        IrStmt::Abort {
+            code,
+            message,
+            condition,
+        } => CStmt::Abort {
+            code: compile_expr(code)?,
+            message: opt(message)?,
+            condition: opt(condition)?,
+        },
+        IrStmt::Set {
+            field,
+            value,
+            condition,
+        } => CStmt::Set {
+            field: *field,
+            value: compile_expr(value)?,
+            condition: opt(condition)?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use proptest::prelude::*;
+
+    fn rt() -> UdfRuntime {
+        UdfRuntime::new(5)
+    }
+
+    #[test]
+    fn udf_ids_resolve_all_builtins() {
+        for sig in adn_dsl::udf::builtin_udfs() {
+            let id = UdfId::resolve(sig.name).unwrap_or_else(|| panic!("{} missing", sig.name));
+            assert_eq!(id.name(), sig.name);
+        }
+        assert!(UdfId::resolve("ghost").is_none());
+    }
+
+    #[test]
+    fn cmp_specialization_kicks_in() {
+        let e = IrExpr::Binary {
+            op: IrBinOp::Eq,
+            left: Box::new(IrExpr::Field(0)),
+            right: Box::new(IrExpr::Col(1)),
+        };
+        assert!(matches!(compile_expr(&e).unwrap(), CExpr::Cmp { .. }));
+        let e = IrExpr::Binary {
+            op: IrBinOp::Lt,
+            left: Box::new(IrExpr::Udf {
+                name: "random".into(),
+                args: vec![],
+            }),
+            right: Box::new(IrExpr::Const(Value::F64(0.25))),
+        };
+        assert!(matches!(compile_expr(&e).unwrap(), CExpr::RandomBelow(_)));
+    }
+
+    #[test]
+    fn random_below_matches_configured_rate() {
+        let e = CExpr::RandomBelow(0.3);
+        let mut udf = rt();
+        let mut hits = 0;
+        for _ in 0..4000 {
+            if exec_pred(&e, &[], None, &mut udf).unwrap() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.3).abs() < 0.05, "{rate}");
+    }
+
+    fn arb_ir_expr() -> impl Strategy<Value = IrExpr> {
+        let leaf = prop_oneof![
+            any::<u64>().prop_map(|v| IrExpr::Const(Value::U64(v % 1000))),
+            any::<bool>().prop_map(|b| IrExpr::Const(Value::Bool(b))),
+            "[a-c]{1,4}".prop_map(|s| IrExpr::Const(Value::Str(s))),
+            (0usize..3).prop_map(IrExpr::Field),
+            (0usize..2).prop_map(IrExpr::Col),
+        ];
+        leaf.prop_recursive(3, 16, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), arb_op()).prop_map(|(l, r, op)| IrExpr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
+                inner.clone().prop_map(|e| IrExpr::Unary {
+                    op: IrUnOp::Not,
+                    operand: Box::new(e),
+                }),
+                (inner.clone(), proptest::collection::vec(inner.clone(), 1..2)).prop_map(
+                    |(v, mut args)| {
+                        args.truncate(1);
+                        IrExpr::Case {
+                            arms: vec![(args.pop().expect("one"), v)],
+                            otherwise: None,
+                        }
+                    }
+                ),
+                inner.clone().prop_map(|e| IrExpr::Udf {
+                    name: "hash".into(),
+                    args: vec![e],
+                }),
+            ]
+        })
+    }
+
+    fn arb_op() -> impl Strategy<Value = IrBinOp> {
+        prop_oneof![
+            Just(IrBinOp::Eq),
+            Just(IrBinOp::NotEq),
+            Just(IrBinOp::Lt),
+            Just(IrBinOp::Gt),
+            Just(IrBinOp::Add),
+            Just(IrBinOp::Mul),
+            Just(IrBinOp::And),
+            Just(IrBinOp::Or),
+        ]
+    }
+
+    proptest! {
+        /// The compiled plan and the reference evaluator agree exactly —
+        /// same values or same error class — on arbitrary expressions.
+        #[test]
+        fn compiled_plan_matches_reference_eval(
+            expr in arb_ir_expr(),
+            f0 in any::<u64>(),
+            f1 in "[a-c]{1,4}",
+            f2 in any::<bool>(),
+            c0 in any::<u64>(),
+            c1 in "[a-c]{1,4}",
+        ) {
+            let fields = vec![Value::U64(f0 % 1000), Value::Str(f1), Value::Bool(f2)];
+            let row = vec![Value::U64(c0 % 1000), Value::Str(c1)];
+            let compiled = compile_expr(&expr).unwrap();
+
+            let mut u1 = UdfRuntime::new(42);
+            let mut u2 = UdfRuntime::new(42);
+            let reference = eval(&expr, &fields, Some(&row), &mut u1);
+            let planned = exec(&compiled, &fields, Some(&row), &mut u2).map(Cow::into_owned);
+            match (reference, planned) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "divergence: ref={a:?} plan={b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Tabular element state.
+//!
+//! Paper §5.2: "The decoupling of code and state, and the tabular nature of
+//! state, enables us to reconfigure the network without disrupting
+//! applications. To migrate or scale out a load balancer, the controller can
+//! copy over its state and start running a new instance; while reducing the
+//! number of load balancer instances, it can merge their states."
+//!
+//! [`StateTable`] is that substrate: insertion-ordered rows with an optional
+//! key index, byte-exact snapshot/restore, and key-hash partition/merge for
+//! scale-out and scale-in.
+
+use adn_rpc::value::Value;
+#[cfg(test)]
+use adn_rpc::value::ValueType;
+use adn_rpc::wire_format::{decode_value, encode_value};
+use adn_wire::codec::{Decoder, Encoder, WireError};
+
+use adn_ir::TableIr;
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Key hashes are already FNV-mixed 64-bit values; the index map can use
+/// them directly instead of re-hashing through SipHash.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only accepts u64 keys");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type KeyIndex = HashMap<u64, usize, BuildHasherDefault<IdentityHasher>>;
+
+/// A runtime state table instantiated from a [`TableIr`] layout.
+#[derive(Debug, Clone)]
+pub struct StateTable {
+    layout: TableIr,
+    /// Live rows in insertion order (`None` = deleted slot, compacted on
+    /// snapshot).
+    rows: Vec<Option<Vec<Value>>>,
+    /// Key hash → row index, for tables with key columns.
+    index: KeyIndex,
+    live: usize,
+    /// Scan cursor for FIFO eviction when the layout bounds capacity.
+    evict_cursor: usize,
+}
+
+impl StateTable {
+    /// Creates a table with the layout's initial rows.
+    pub fn new(layout: TableIr) -> Self {
+        let mut table = Self {
+            rows: Vec::new(),
+            index: KeyIndex::default(),
+            live: 0,
+            evict_cursor: 0,
+            layout,
+        };
+        for row in table.layout.init_rows.clone() {
+            table.upsert(row);
+        }
+        table
+    }
+
+    /// The table layout.
+    pub fn layout(&self) -> &TableIr {
+        &self.layout
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn key_hash(&self, row: &[Value]) -> Option<u64> {
+        if self.layout.key_columns.is_empty() {
+            return None;
+        }
+        Some(combined_hash(
+            self.layout.key_columns.iter().map(|&c| &row[c]),
+        ))
+    }
+
+    /// Hash of a key built from values (one per key column, in key order).
+    pub fn key_hash_of(&self, key_values: &[&Value]) -> u64 {
+        combined_hash(key_values.iter().copied())
+    }
+
+    /// Allocation-free variant of [`StateTable::key_hash_of`].
+    pub fn key_hash_of_iter<'a>(&self, key_values: impl Iterator<Item = &'a Value>) -> u64 {
+        combined_hash(key_values)
+    }
+
+    /// Inserts a row; replaces any existing row with the same key. When the
+    /// layout bounds capacity, inserting a *new* row beyond the bound first
+    /// evicts the oldest live row (FIFO — log-rotation semantics).
+    pub fn upsert(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.layout.column_types.len());
+        if let Some(h) = self.key_hash(&row) {
+            if let Some(&idx) = self.index.get(&h) {
+                self.rows[idx] = Some(row);
+                return;
+            }
+            if let Some(cap) = self.layout.capacity {
+                if self.live >= cap {
+                    self.evict_oldest();
+                }
+            }
+            self.index.insert(h, self.rows.len());
+        } else if let Some(cap) = self.layout.capacity {
+            if self.live >= cap {
+                self.evict_oldest();
+            }
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        self.maybe_compact();
+    }
+
+    /// Tombstones the oldest live row (and de-indexes it).
+    fn evict_oldest(&mut self) {
+        while self.evict_cursor < self.rows.len() {
+            let i = self.evict_cursor;
+            if let Some(row) = self.rows[i].take() {
+                if !self.layout.key_columns.is_empty() {
+                    let h = combined_hash(self.layout.key_columns.iter().map(|&c| &row[c]));
+                    // Only remove if the index still points at this slot (it
+                    // may have been superseded by a keyed upsert elsewhere).
+                    if self.index.get(&h) == Some(&i) {
+                        self.index.remove(&h);
+                    }
+                }
+                self.live -= 1;
+                self.evict_cursor += 1;
+                return;
+            }
+            self.evict_cursor += 1;
+        }
+    }
+
+    /// Compacts the slot vector when tombstones dominate (keeps bounded
+    /// tables truly O(capacity) in memory).
+    fn maybe_compact(&mut self) {
+        if self.rows.len() > 64 && self.rows.len() > self.live * 2 {
+            let mut compacted = Vec::with_capacity(self.live);
+            for row in self.rows.drain(..).flatten() {
+                compacted.push(Some(row));
+            }
+            self.rows = compacted;
+            self.evict_cursor = 0;
+            self.rebuild_index();
+        }
+    }
+
+    /// Inserts a row only if no row with the same key exists (SQL
+    /// `ON CONFLICT DO NOTHING`). Returns whether the row was inserted.
+    /// Key-less tables always append.
+    pub fn insert_if_absent(&mut self, row: Vec<Value>) -> bool {
+        if let Some(h) = self.key_hash(&row) {
+            if self.index.contains_key(&h) {
+                return false;
+            }
+        }
+        self.upsert(row);
+        true
+    }
+
+    /// Looks up by key hash (tables with keys only).
+    pub fn lookup(&self, key_hash: u64) -> Option<&[Value]> {
+        self.index
+            .get(&key_hash)
+            .and_then(|&i| self.rows[i].as_deref())
+    }
+
+    /// Iterates live rows in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().filter_map(|r| r.as_deref())
+    }
+
+    /// Applies `update` to every live row matching `pred`. Returns the
+    /// number of rows updated. Key-column updates re-index.
+    pub fn update_where(
+        &mut self,
+        mut pred: impl FnMut(&[Value]) -> bool,
+        mut update: impl FnMut(&mut Vec<Value>),
+    ) -> usize {
+        let mut updated = 0;
+        let mut reindex = false;
+        for slot in &mut self.rows {
+            if let Some(row) = slot {
+                if pred(row) {
+                    let old_key = self.layout.key_columns.iter().map(|&c| row[c].clone()).collect::<Vec<_>>();
+                    update(row);
+                    let new_key = self.layout.key_columns.iter().map(|&c| row[c].clone()).collect::<Vec<_>>();
+                    if old_key != new_key {
+                        reindex = true;
+                    }
+                    updated += 1;
+                }
+            }
+        }
+        if reindex {
+            self.rebuild_index();
+        }
+        updated
+    }
+
+    /// Deletes every live row matching `pred`. Returns rows deleted.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&[Value]) -> bool) -> usize {
+        let mut deleted = 0;
+        for slot in &mut self.rows {
+            if let Some(row) = slot {
+                if pred(row) {
+                    *slot = None;
+                    deleted += 1;
+                }
+            }
+        }
+        if deleted > 0 {
+            self.live -= deleted;
+            self.rebuild_index();
+        }
+        deleted
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        if self.layout.key_columns.is_empty() {
+            return;
+        }
+        for (i, slot) in self.rows.iter().enumerate() {
+            if let Some(row) = slot {
+                let h = combined_hash(self.layout.key_columns.iter().map(|&c| &row[c]));
+                self.index.insert(h, i);
+            }
+        }
+    }
+
+    // -- snapshot / restore ---------------------------------------------------
+
+    /// Serializes live rows (compacting deleted slots).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_varint(self.live as u64);
+        for row in self.scan() {
+            for v in row {
+                encode_value(&mut enc, v);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Replaces contents from a snapshot produced by a table with the same
+    /// layout.
+    pub fn restore(&mut self, image: &[u8]) -> Result<(), WireError> {
+        let mut dec = Decoder::new(image);
+        let count = dec.get_varint()?;
+        let mut rows = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut row = Vec::with_capacity(self.layout.column_types.len());
+            for &ty in &self.layout.column_types {
+                row.push(decode_value(&mut dec, ty)?);
+            }
+            rows.push(row);
+        }
+        if !dec.is_exhausted() {
+            return Err(WireError::Malformed("trailing bytes in state image"));
+        }
+        self.rows.clear();
+        self.index.clear();
+        self.live = 0;
+        self.evict_cursor = 0;
+        for row in rows {
+            self.upsert(row);
+        }
+        Ok(())
+    }
+
+    // -- partition / merge ------------------------------------------------------
+
+    /// Splits the table into `shards` tables by key hash (`hash % shards`).
+    /// Rows of key-less tables are distributed round-robin.
+    pub fn partition(&self, shards: usize) -> Vec<StateTable> {
+        assert!(shards > 0);
+        let mut out: Vec<StateTable> = (0..shards)
+            .map(|_| {
+                let mut layout = self.layout.clone();
+                layout.init_rows.clear();
+                StateTable::new(layout)
+            })
+            .collect();
+        for (i, row) in self.scan().enumerate() {
+            let shard = match self.key_hash(row) {
+                Some(h) => (h % shards as u64) as usize,
+                None => i % shards,
+            };
+            out[shard].upsert(row.to_vec());
+        }
+        out
+    }
+
+    /// Splits by `hash(row[column]) % shards` — the same function the
+    /// scale-out shard router applies to the corresponding request field,
+    /// so every row lands on the shard that will receive its key's traffic.
+    pub fn partition_by_column(&self, column: usize, shards: usize) -> Vec<StateTable> {
+        assert!(shards > 0);
+        let mut out: Vec<StateTable> = (0..shards)
+            .map(|_| {
+                let mut layout = self.layout.clone();
+                layout.init_rows.clear();
+                StateTable::new(layout)
+            })
+            .collect();
+        for row in self.scan() {
+            let shard = (row[column].stable_hash() % shards as u64) as usize;
+            out[shard].upsert(row.to_vec());
+        }
+        out
+    }
+
+    /// Merges another shard's rows into this table. Keyed rows collide by
+    /// key (other wins — last-writer); key-less rows append.
+    pub fn merge_from(&mut self, other: &StateTable) {
+        for row in other.scan() {
+            self.upsert(row.to_vec());
+        }
+    }
+
+    /// Sums of per-column sizes, used by device capacity checks.
+    pub fn memory_hint(&self) -> usize {
+        self.scan()
+            .map(|r| r.iter().map(Value::size_hint).sum::<usize>())
+            .sum()
+    }
+}
+
+fn combined_hash<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        h ^= v.stable_hash();
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> TableIr {
+        TableIr {
+            name: "ac_tab".into(),
+            column_names: vec!["username".into(), "permission".into()],
+            column_types: vec![ValueType::Str, ValueType::Str],
+            key_columns: vec![0],
+            capacity: None,
+            init_rows: vec![
+                vec![Value::Str("alice".into()), Value::Str("W".into())],
+                vec![Value::Str("bob".into()), Value::Str("R".into())],
+            ],
+        }
+    }
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.into())
+    }
+
+    #[test]
+    fn init_rows_loaded_and_indexed() {
+        let t = StateTable::new(layout());
+        assert_eq!(t.len(), 2);
+        let h = t.key_hash_of(&[&s("alice")]);
+        assert_eq!(t.lookup(h).unwrap()[1], s("W"));
+    }
+
+    #[test]
+    fn upsert_replaces_by_key() {
+        let mut t = StateTable::new(layout());
+        t.upsert(vec![s("alice"), s("R")]);
+        assert_eq!(t.len(), 2, "same key must not grow the table");
+        let h = t.key_hash_of(&[&s("alice")]);
+        assert_eq!(t.lookup(h).unwrap()[1], s("R"));
+    }
+
+    #[test]
+    fn update_where_reindexes_key_changes() {
+        let mut t = StateTable::new(layout());
+        let n = t.update_where(
+            |row| row[0] == s("bob"),
+            |row| row[0] = s("robert"),
+        );
+        assert_eq!(n, 1);
+        assert!(t.lookup(t.key_hash_of(&[&s("bob")])).is_none());
+        assert_eq!(t.lookup(t.key_hash_of(&[&s("robert")])).unwrap()[1], s("R"));
+    }
+
+    #[test]
+    fn delete_where_removes_and_reindexes() {
+        let mut t = StateTable::new(layout());
+        assert_eq!(t.delete_where(|row| row[1] == s("R")), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(t.key_hash_of(&[&s("bob")])).is_none());
+        assert!(t.lookup(t.key_hash_of(&[&s("alice")])).is_some());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut t = StateTable::new(layout());
+        t.upsert(vec![s("carol"), s("W")]);
+        t.delete_where(|r| r[0] == s("bob"));
+        let image = t.snapshot();
+
+        let mut fresh = StateTable::new(TableIr {
+            init_rows: vec![],
+            ..layout()
+        });
+        fresh.restore(&image).unwrap();
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(
+            fresh.lookup(fresh.key_hash_of(&[&s("carol")])).unwrap()[1],
+            s("W")
+        );
+        assert_eq!(fresh.snapshot(), image, "snapshot must be canonical");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_images() {
+        let mut t = StateTable::new(layout());
+        assert!(t.restore(&[0xFF]).is_err());
+        let mut image = t.snapshot();
+        image.push(0);
+        assert!(t.restore(&image).is_err());
+    }
+
+    #[test]
+    fn partition_then_merge_is_lossless() {
+        let mut t = StateTable::new(layout());
+        for i in 0..100 {
+            t.upsert(vec![s(&format!("user{i}")), s("W")]);
+        }
+        let shards = t.partition(4);
+        assert_eq!(shards.iter().map(StateTable::len).sum::<usize>(), t.len());
+        // Every row lands in the shard its key hashes to.
+        for (si, shard) in shards.iter().enumerate() {
+            for row in shard.scan() {
+                let h = t.key_hash_of(&[&row[0]]);
+                assert_eq!((h % 4) as usize, si);
+            }
+        }
+        // Merge back and compare contents.
+        let mut merged = StateTable::new(TableIr {
+            init_rows: vec![],
+            ..layout()
+        });
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        assert_eq!(merged.len(), t.len());
+        for row in t.scan() {
+            let h = merged.key_hash_of(&[&row[0]]);
+            assert_eq!(merged.lookup(h).unwrap(), row);
+        }
+    }
+
+    #[test]
+    fn bounded_keyless_table_evicts_fifo() {
+        let mut t = StateTable::new(TableIr {
+            name: "log".into(),
+            column_names: vec!["n".into()],
+            column_types: vec![ValueType::U64],
+            key_columns: vec![],
+            capacity: Some(4),
+            init_rows: vec![],
+        });
+        for i in 0..300u64 {
+            t.upsert(vec![Value::U64(i)]);
+        }
+        assert_eq!(t.len(), 4);
+        let got: Vec<u64> = t.scan().map(|r| r[0].as_u64().unwrap()).collect();
+        assert_eq!(got, vec![296, 297, 298, 299]);
+        // Memory stays bounded: compaction keeps slots near capacity.
+        assert!(t.rows.len() <= 80, "slots grew to {}", t.rows.len());
+    }
+
+    #[test]
+    fn bounded_keyed_table_evicts_oldest_key() {
+        let mut t = StateTable::new(TableIr {
+            name: "recent".into(),
+            column_names: vec!["k".into(), "v".into()],
+            column_types: vec![ValueType::U64, ValueType::U64],
+            key_columns: vec![0],
+            capacity: Some(3),
+            init_rows: vec![],
+        });
+        for k in 0..5u64 {
+            t.upsert(vec![Value::U64(k), Value::U64(k * 10)]);
+        }
+        assert_eq!(t.len(), 3);
+        // Keys 0,1 evicted; 2,3,4 remain and are findable by key.
+        for k in [2u64, 3, 4] {
+            let h = t.key_hash_of(&[&Value::U64(k)]);
+            assert_eq!(t.lookup(h).unwrap()[1], Value::U64(k * 10), "key {k}");
+        }
+        assert!(t.lookup(t.key_hash_of(&[&Value::U64(0)])).is_none());
+        // Keyed upsert of an existing key does NOT evict.
+        t.upsert(vec![Value::U64(3), Value::U64(99)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.lookup(t.key_hash_of(&[&Value::U64(3)])).unwrap()[1],
+            Value::U64(99)
+        );
+    }
+
+    #[test]
+    fn keyless_tables_scan_in_insertion_order() {
+        let mut t = StateTable::new(TableIr {
+            name: "log".into(),
+            column_names: vec!["n".into()],
+            column_types: vec![ValueType::U64],
+            key_columns: vec![],
+            capacity: None,
+            init_rows: vec![],
+        });
+        for i in 0..5u64 {
+            t.upsert(vec![Value::U64(i)]);
+        }
+        let got: Vec<u64> = t
+            .scan()
+            .map(|r| match &r[0] {
+                Value::U64(v) => *v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.len(), 5, "keyless tables never dedup");
+    }
+}

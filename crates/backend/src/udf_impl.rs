@@ -1,0 +1,389 @@
+//! Software implementations of the built-in UDFs.
+//!
+//! Paper §5.1 models operations that SQL cannot express (compression,
+//! encryption) as user-defined functions with platform-specific
+//! implementations. These are the software-processor implementations.
+//!
+//! Substitutions (documented in DESIGN.md): `compress` is an RLE-based
+//! codec rather than a production LZ — it does real, input-proportional CPU
+//! work and really shrinks repetitive payloads, which is what the benchmarks
+//! need; `encrypt` is a splitmix64 keystream XOR rather than AES — again,
+//! real per-byte work with a real inverse. `now()` is a logical clock and
+//! `random()` a seeded PRNG so every experiment is reproducible.
+
+use adn_rpc::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime context for UDF execution: per-engine randomness and clock.
+#[derive(Debug)]
+pub struct UdfRuntime {
+    rng: StdRng,
+    logical_clock: u64,
+}
+
+/// UDF execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfError {
+    pub message: String,
+}
+
+impl UdfError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for UdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for UdfError {}
+
+impl UdfRuntime {
+    /// Creates a runtime with the given random seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            logical_clock: 0,
+        }
+    }
+
+    /// Draws a uniform f64 in [0, 1).
+    pub fn random_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Draws a uniform u64 (used by the eBPF simulator's RAND insn).
+    pub fn random_u64(&mut self) -> u64 {
+        self.rng.gen::<u64>()
+    }
+
+    /// Monotonic logical timestamp.
+    pub fn now(&mut self) -> u64 {
+        self.logical_clock += 1;
+        self.logical_clock
+    }
+
+    /// Dispatches a UDF call by name.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, UdfError> {
+        match name {
+            "compress" => match args {
+                [Value::Bytes(b)] => Ok(Value::Bytes(compress(b))),
+                _ => Err(bad_args(name)),
+            },
+            "decompress" => match args {
+                [Value::Bytes(b)] => decompress(b)
+                    .map(Value::Bytes)
+                    .map_err(|e| UdfError::new(format!("decompress: {e}"))),
+                _ => Err(bad_args(name)),
+            },
+            "encrypt" | "decrypt" => match args {
+                [Value::Bytes(b), Value::Str(key)] => Ok(Value::Bytes(xor_stream(b, key))),
+                _ => Err(bad_args(name)),
+            },
+            "hash" => match args {
+                [v] => Ok(Value::U64(v.stable_hash())),
+                _ => Err(bad_args(name)),
+            },
+            "len" => match args {
+                [Value::Str(s)] => Ok(Value::U64(s.len() as u64)),
+                [Value::Bytes(b)] => Ok(Value::U64(b.len() as u64)),
+                _ => Err(bad_args(name)),
+            },
+            "random" => {
+                if args.is_empty() {
+                    Ok(Value::F64(self.random_f64()))
+                } else {
+                    Err(bad_args(name))
+                }
+            }
+            "now" => {
+                if args.is_empty() {
+                    Ok(Value::U64(self.now()))
+                } else {
+                    Err(bad_args(name))
+                }
+            }
+            "concat" => match args {
+                [Value::Str(a), Value::Str(b)] => Ok(Value::Str(format!("{a}{b}"))),
+                _ => Err(bad_args(name)),
+            },
+            "to_string" => match args {
+                [v] => Ok(Value::Str(match v {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                })),
+                _ => Err(bad_args(name)),
+            },
+            "min" | "max" => match args {
+                [a, b] => {
+                    let pick_a = match name {
+                        "min" => a.total_cmp(b) != std::cmp::Ordering::Greater,
+                        _ => a.total_cmp(b) != std::cmp::Ordering::Less,
+                    };
+                    Ok(if pick_a { a.clone() } else { b.clone() })
+                }
+                _ => Err(bad_args(name)),
+            },
+            other => Err(UdfError::new(format!("unknown UDF {other:?}"))),
+        }
+    }
+}
+
+fn bad_args(name: &str) -> UdfError {
+    UdfError::new(format!("{name}: invalid argument types"))
+}
+
+// ---------------------------------------------------------------------------
+// Compression: byte-level RLE with literal runs.
+//
+// Format: varint(original_len) then ops until exhausted:
+//   0x00 varint(n) <n literal bytes>
+//   0x01 varint(n) <1 byte>          -- n repetitions of the byte
+// ---------------------------------------------------------------------------
+
+/// Compresses `data`. Runs of ≥4 identical bytes are run-length coded.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    write_varint(&mut out, data.len() as u64);
+    let mut i = 0;
+    let mut lit_start = 0;
+    while i < data.len() {
+        // Measure the run at i.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 4 {
+            flush_literals(&mut out, &data[lit_start..i]);
+            out.push(0x01);
+            write_varint(&mut out, run as u64);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..]);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    if !lits.is_empty() {
+        out.push(0x00);
+        write_varint(out, lits.len() as u64);
+        out.extend_from_slice(lits);
+    }
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, String> {
+    let (orig_len, mut i) = read_varint(data).ok_or("truncated length header")?;
+    if orig_len > 64 * 1024 * 1024 {
+        return Err(format!("declared length {orig_len} exceeds 64 MiB cap"));
+    }
+    let mut out = Vec::with_capacity(orig_len as usize);
+    while i < data.len() {
+        let op = data[i];
+        i += 1;
+        let (n, adv) = read_varint(&data[i..]).ok_or("truncated op length")?;
+        i += adv;
+        match op {
+            0x00 => {
+                let end = i.checked_add(n as usize).ok_or("length overflow")?;
+                if end > data.len() {
+                    return Err("literal run past end".into());
+                }
+                out.extend_from_slice(&data[i..end]);
+                i = end;
+            }
+            0x01 => {
+                if i >= data.len() {
+                    return Err("missing run byte".into());
+                }
+                if out.len() + n as usize > orig_len as usize {
+                    return Err("run exceeds declared length".into());
+                }
+                out.extend(std::iter::repeat(data[i]).take(n as usize));
+                i += 1;
+            }
+            other => return Err(format!("unknown op {other:#x}")),
+        }
+    }
+    if out.len() as u64 != orig_len {
+        return Err(format!(
+            "declared length {orig_len} but decoded {} bytes",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    for (i, &b) in data.iter().enumerate() {
+        if i >= 10 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Encryption stand-in: XOR keystream from splitmix64 over the key hash.
+// Involutive: applying twice with the same key restores the input.
+// ---------------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// XORs `data` with a keystream derived from `key`.
+pub fn xor_stream(data: &[u8], key: &str) -> Vec<u8> {
+    let mut state = Value::Str(key.to_owned()).stable_hash();
+    let mut out = Vec::with_capacity(data.len());
+    let mut chunk = [0u8; 8];
+    for (i, &b) in data.iter().enumerate() {
+        if i % 8 == 0 {
+            chunk = splitmix64(&mut state).to_le_bytes();
+        }
+        out.push(b ^ chunk[i % 8]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_roundtrips() {
+        for data in [
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcabcabc".to_vec(),
+            vec![7u8; 1000],
+            (0..=255u8).collect::<Vec<u8>>(),
+            b"aaaabbbbccccdddd hello world aaaaaaaaaaaaaaaa".to_vec(),
+        ] {
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data, "roundtrip for {data:?}");
+        }
+    }
+
+    #[test]
+    fn compress_shrinks_repetitive_data() {
+        let data = vec![0u8; 4096];
+        let c = compress(&data);
+        assert!(c.len() < 32, "4096 zeros should compress to a few bytes, got {}", c.len());
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]).is_err());
+        // Valid header, bogus op.
+        assert!(decompress(&[4, 0x05, 1, 2]).is_err());
+        // Run longer than declared length.
+        let mut evil = Vec::new();
+        write_varint(&mut evil, 4);
+        evil.push(0x01);
+        write_varint(&mut evil, 1_000_000);
+        evil.push(0xAA);
+        assert!(decompress(&evil).is_err());
+    }
+
+    #[test]
+    fn encryption_is_involutive_and_key_sensitive() {
+        let data = b"attack at dawn".to_vec();
+        let enc = xor_stream(&data, "key1");
+        assert_ne!(enc, data);
+        assert_eq!(xor_stream(&enc, "key1"), data);
+        assert_ne!(xor_stream(&enc, "key2"), data);
+    }
+
+    #[test]
+    fn runtime_dispatch() {
+        let mut rt = UdfRuntime::new(42);
+        assert_eq!(
+            rt.call("len", &[Value::Str("abc".into())]).unwrap(),
+            Value::U64(3)
+        );
+        assert_eq!(
+            rt.call("concat", &[Value::Str("a".into()), Value::Str("b".into())])
+                .unwrap(),
+            Value::Str("ab".into())
+        );
+        assert_eq!(
+            rt.call("min", &[Value::U64(3), Value::U64(5)]).unwrap(),
+            Value::U64(3)
+        );
+        assert_eq!(
+            rt.call("max", &[Value::F64(3.5), Value::U64(5)]).unwrap(),
+            Value::U64(5)
+        );
+        let h = rt.call("hash", &[Value::Str("x".into())]).unwrap();
+        assert_eq!(h, Value::U64(Value::Str("x".into()).stable_hash()));
+        assert!(rt.call("len", &[Value::U64(1)]).is_err());
+        assert!(rt.call("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn runtime_randomness_is_seeded() {
+        let mut a = UdfRuntime::new(7);
+        let mut b = UdfRuntime::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.random_f64(), b.random_f64());
+        }
+        let mut c = UdfRuntime::new(8);
+        let same: Vec<f64> = (0..10).map(|_| a.random_f64()).collect();
+        let diff: Vec<f64> = (0..10).map(|_| c.random_f64()).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn now_is_monotonic() {
+        let mut rt = UdfRuntime::new(0);
+        let a = rt.now();
+        let b = rt.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn compress_udf_roundtrip_through_dispatch() {
+        let mut rt = UdfRuntime::new(0);
+        let data = Value::Bytes(b"xxxxxxxxyyyyyyyyzzzz".to_vec());
+        let c = rt.call("compress", &[data.clone()]).unwrap();
+        let d = rt.call("decompress", &[c]).unwrap();
+        assert_eq!(d, data);
+    }
+}

@@ -1,0 +1,282 @@
+//! Property tests for the backend:
+//!
+//! * **Reordering preserves semantics** (paper §3, Configuration 3): for
+//!   random chains built from a pool of deterministic elements and random
+//!   RPC streams, the optimized chain and the original chain produce
+//!   identical verdicts and identical field values.
+//! * **Commute soundness**: whenever the analysis says two elements
+//!   commute, executing them in either order agrees on every message.
+//! * **Codec safety**: compression and encryption roundtrip arbitrary
+//!   payloads; decompress never panics on garbage.
+//! * **eBPF vs. software equivalence**: for elements both backends accept,
+//!   the eBPF interpreter and the native engine agree.
+
+use adn_backend::native::{compile_element, CompileOpts};
+use adn_backend::udf_impl::{compress, decompress, xor_stream, UdfRuntime};
+use adn_backend::{ebpf, native};
+use adn_dsl::parser::parse_element;
+use adn_dsl::typecheck::check_element;
+use adn_ir::{optimize, ChainIr, ElementIr, PassConfig};
+use adn_rpc::engine::{Engine, Verdict};
+use adn_rpc::message::RpcMessage;
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::{Value, ValueType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+    (
+        Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        ),
+        Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        ),
+    )
+}
+
+fn lower(src: &str) -> ElementIr {
+    let (req, resp) = schemas();
+    let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+    adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+}
+
+/// Pool of deterministic elements for chain-equivalence tests. (Elements
+/// using `random()` are excluded: reordering around them is already barred
+/// by the commute rule, and their RNG streams make byte-equality checks
+/// meaningless.)
+fn element_pool() -> Vec<ElementIr> {
+    vec![
+        lower(
+            r#"element Acl() {
+                state ac_tab(username: string key, permission: string) init {
+                    ('alice', 'W'), ('bob', 'R'), ('carol', 'W')
+                };
+                on request {
+                    SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                    WHERE ac_tab.permission == 'W';
+                }
+            }"#,
+        ),
+        lower(
+            "element Compress() { on request { SET payload = compress(input.payload); SELECT * FROM input; } }",
+        ),
+        lower(
+            "element Encrypt() { on request { SET payload = encrypt(input.payload, 'k1'); SELECT * FROM input; } }",
+        ),
+        lower(
+            "element IdShift() { on request { SET object_id = input.object_id + 1; SELECT * FROM input; } }",
+        ),
+        lower(
+            "element SmallDrop() { on request { DROP WHERE input.object_id % 7 == 0; SELECT * FROM input; } }",
+        ),
+        lower(
+            "element HashRewrite() { on request { SELECT hash(input.username) AS object_id FROM input; } }",
+        ),
+        lower(
+            r#"element Metrics() {
+                state counts(username: string key, n: u64);
+                on request {
+                    INSERT INTO counts VALUES (input.username, 0);
+                    UPDATE counts SET n = counts.n + 1 WHERE counts.username == input.username;
+                    SELECT * FROM input;
+                }
+            }"#,
+        ),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = (u64, String, Vec<u8>)> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just("alice".to_owned()),
+            Just("bob".to_owned()),
+            Just("carol".to_owned()),
+            Just("eve".to_owned()),
+        ],
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+}
+
+fn make_request(oid: u64, user: &str, payload: &[u8]) -> RpcMessage {
+    let (req, _) = schemas();
+    RpcMessage::request(1, 1, req)
+        .with("object_id", oid)
+        .with("username", user)
+        .with("payload", payload.to_vec())
+}
+
+/// Runs a message through a chain of engines (short-circuiting).
+fn run_chain(engines: &mut [native::NativeEngine], msg: &mut RpcMessage) -> Verdict {
+    for e in engines.iter_mut() {
+        match e.process(msg) {
+            Verdict::Forward => continue,
+            other => return other,
+        }
+    }
+    Verdict::Forward
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_chain_is_equivalent(
+        picks in proptest::collection::vec(0usize..7, 1..5),
+        msgs in proptest::collection::vec(arb_message(), 1..20),
+    ) {
+        let pool = element_pool();
+        let elements: Vec<ElementIr> = picks.iter().map(|&i| pool[i].clone()).collect();
+        let (req, resp) = schemas();
+        let chain = ChainIr::new(elements.clone(), req, resp);
+        let (optimized, _report) = optimize(chain, &PassConfig::default());
+
+        let opts = CompileOpts { seed: 11, replicas: vec![] };
+        let mut base: Vec<_> = elements.iter().map(|e| compile_element(e, &opts)).collect();
+        let mut opt: Vec<_> = optimized.elements.iter().map(|e| compile_element(e, &opts)).collect();
+
+        for (oid, user, payload) in &msgs {
+            let mut a = make_request(*oid, user, payload);
+            let mut b = a.clone();
+            let va = run_chain(&mut base, &mut a);
+            let vb = run_chain(&mut opt, &mut b);
+            prop_assert_eq!(&va, &vb, "verdicts diverged");
+            if va == Verdict::Forward {
+                prop_assert_eq!(&a.fields, &b.fields, "fields diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn commute_judgment_is_sound(
+        i in 0usize..7,
+        j in 0usize..7,
+        msgs in proptest::collection::vec(arb_message(), 1..20),
+    ) {
+        let pool = element_pool();
+        let (a, b) = (pool[i].clone(), pool[j].clone());
+        prop_assume!(adn_ir::analysis::commute(&a, &b));
+
+        let opts = CompileOpts { seed: 3, replicas: vec![] };
+        let mut ab = vec![compile_element(&a, &opts), compile_element(&b, &opts)];
+        let mut ba = vec![compile_element(&b, &opts), compile_element(&a, &opts)];
+
+        for (oid, user, payload) in &msgs {
+            let mut m1 = make_request(*oid, user, payload);
+            let mut m2 = m1.clone();
+            let v1 = run_chain(&mut ab, &mut m1);
+            let v2 = run_chain(&mut ba, &mut m2);
+            prop_assert_eq!(&v1, &v2, "claimed-commuting pair diverged on verdict");
+            if v1 == Verdict::Forward {
+                prop_assert_eq!(&m1.fields, &m2.fields, "claimed-commuting pair diverged on fields");
+            }
+        }
+        // State must also agree.
+        for (e1, e2) in ab.iter().zip([&ba[1], &ba[0]]) {
+            prop_assert_eq!(e1.export_state(), e2.export_state(), "state diverged");
+        }
+    }
+
+    #[test]
+    fn compress_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn encryption_involutive(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        key in "[a-z]{1,12}",
+    ) {
+        prop_assert_eq!(xor_stream(&xor_stream(&data, &key), &key), data);
+    }
+
+    #[test]
+    fn ebpf_agrees_with_native_on_numeric_filters(
+        oid in 0u64..1_000_000,
+        threshold in 0u64..1_000,
+    ) {
+        // A deterministic numeric dropper both backends accept.
+        let src = format!(
+            "element F() {{ on request {{ DROP WHERE input.object_id % 1000 < {threshold}; SELECT * FROM input; }} }}"
+        );
+        let element = lower(&src);
+
+        // Native.
+        let mut n = compile_element(&element, &CompileOpts::default());
+        let mut msg = make_request(oid, "alice", b"x");
+        let nv = n.process(&mut msg);
+
+        // eBPF.
+        let (req, _) = schemas();
+        let types: Vec<ValueType> = req.fields().iter().map(|f| f.ty).collect();
+        let compiled = ebpf::compile_for_schema(&element, &types, &[ValueType::Bool, ValueType::Bytes]).unwrap();
+        let mut fields = vec![
+            Value::U64(oid),
+            Value::Str("alice".into()),
+            Value::Bytes(b"x".to_vec()),
+        ];
+        let mut maps = ebpf::EbpfMaps::for_element(&compiled);
+        let mut udf = UdfRuntime::new(0);
+        let mut route = ebpf::RouteDecision::default();
+        let ev = ebpf::execute(&compiled.request, &mut fields, &mut maps, &mut udf, &mut route);
+
+        let native_dropped = nv == Verdict::Drop;
+        let ebpf_dropped = ev == ebpf::EbpfVerdict::Drop;
+        prop_assert_eq!(native_dropped, ebpf_dropped);
+    }
+
+    #[test]
+    fn ebpf_verifier_never_panics_on_random_programs(
+        insns in proptest::collection::vec(arb_insn(), 0..64),
+    ) {
+        let prog = ebpf::EbpfProgram { insns };
+        let _ = ebpf::verify(&prog, 2);
+    }
+}
+
+fn arb_insn() -> impl Strategy<Value = ebpf::Insn> {
+    use ebpf::{AluOp, CmpOp, Insn};
+    prop_oneof![
+        (0u8..12, any::<u64>()).prop_map(|(dst, imm)| Insn::LdImm { dst, imm }),
+        (0u8..12, 0u16..8).prop_map(|(dst, field)| Insn::LdField { dst, field }),
+        (0u16..8, 0u8..12).prop_map(|(field, src)| Insn::StField { field, src }),
+        (0u8..12, 0u8..12).prop_map(|(dst, src)| Insn::Mov { dst, src }),
+        (0u8..12, 0u8..12).prop_map(|(dst, src)| Insn::Alu {
+            op: AluOp::Add,
+            dst,
+            src
+        }),
+        (0u16..64).prop_map(|off| Insn::Jmp { off }),
+        (0u8..12, 0u8..12, 0u16..64).prop_map(|(a, b, off)| Insn::JmpIf {
+            cmp: CmpOp::Eq,
+            signed: false,
+            a,
+            b,
+            off
+        }),
+        (0u8..4, 0u8..12, 0u8..12, 0u16..64).prop_map(|(map, key, dst, miss_off)| {
+            Insn::MapLookup {
+                map,
+                key,
+                dst,
+                miss_off,
+            }
+        }),
+        (0u8..3).prop_map(|verdict| Insn::Ret { verdict }),
+    ]
+}

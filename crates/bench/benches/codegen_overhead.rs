@@ -1,0 +1,57 @@
+//! Generated-vs-hand-coded per-element overhead (paper §6: "the overhead
+//! of generated implementations is only 3-12%"). One iteration = one
+//! engine invocation on a pre-built message.
+//!
+//! Note (recorded in EXPERIMENTS.md): the paper's compiler emitted Rust
+//! that was then compiled; our native backend interprets the IR, so the
+//! expected per-element gap here is larger than the paper's while the
+//! end-to-end Figure 5 gap stays small.
+
+use adn::harness::object_store_schemas;
+use adn_backend::native::{compile_element, CompileOpts};
+use adn_bench::PAPER_PAYLOAD;
+use adn_rpc::engine::Engine;
+use adn_rpc::message::RpcMessage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (req_schema, resp_schema) = object_store_schemas();
+    let mut group = c.benchmark_group("codegen_overhead");
+
+    let proto = RpcMessage::request(
+        1,
+        1,
+        std::sync::Arc::new((*req_schema).clone()),
+    )
+    .with("object_id", 42u64)
+    .with("username", "alice")
+    .with("payload", PAPER_PAYLOAD.to_vec());
+
+    let mut bench_engine = |label: String, mut engine: Box<dyn Engine>| {
+        let mut msg = proto.clone();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.process(&mut msg)))
+        });
+    };
+
+    for element in ["Logging", "Acl", "Fault"] {
+        let ir = adn_elements::build(element, &[], &req_schema, &resp_schema).expect("build");
+        bench_engine(
+            format!("generated/{element}"),
+            Box::new(compile_element(&ir, &CompileOpts::default())),
+        );
+        let hand: Box<dyn Engine> = match element {
+            "Logging" => Box::new(adn_elements::handcoded::HandLogging::new(&req_schema)),
+            "Acl" => Box::new(adn_elements::handcoded::HandAcl::with_default_table(
+                &req_schema,
+            )),
+            _ => Box::new(adn_elements::handcoded::HandFault::new(0.02, 7)),
+        };
+        bench_engine(format!("handcoded/{element}"), hand);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

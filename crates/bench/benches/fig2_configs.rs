@@ -1,0 +1,76 @@
+//! Figure 2: the §2 example chain (LoadBalancer → Compress → Acl →
+//! Decompress) under different deployment configurations. One criterion
+//! iteration = one blocking call with a 2 KiB payload.
+
+use std::time::Duration;
+
+use adn::harness::{AdnWorld, EnvPreset, WorldConfig};
+use adn_cluster::resources::PlacementConstraint;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn world(env: EnvPreset, constraints: Vec<Vec<PlacementConstraint>>) -> AdnWorld {
+    let mut cfg = WorldConfig::of_elements(&["LoadBalancer", "Compress", "Acl", "Decompress"]);
+    cfg.replicas = 2;
+    cfg.env = env;
+    for (spec, cons) in cfg.chain.iter_mut().zip(constraints) {
+        spec.constraints = cons;
+    }
+    AdnWorld::start(cfg).expect("world")
+}
+
+fn bench(c: &mut Criterion) {
+    let payload = vec![0x5Au8; 2048];
+    let mut group = c.benchmark_group("fig2_configs");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(3));
+
+    let configs: Vec<(&str, EnvPreset, Vec<Vec<PlacementConstraint>>)> = vec![
+        (
+            "c1_in_app",
+            EnvPreset::Bare,
+            vec![vec![], vec![], vec![], vec![]],
+        ),
+        (
+            "c2_kernel_nic_offload",
+            EnvPreset::Rich,
+            vec![
+                vec![PlacementConstraint::OffApp],
+                vec![PlacementConstraint::OffApp, PlacementConstraint::SenderSide],
+                vec![PlacementConstraint::OffApp],
+                vec![
+                    PlacementConstraint::OffApp,
+                    PlacementConstraint::ReceiverSide,
+                ],
+            ],
+        ),
+        (
+            "c3_switch_offload_reorder",
+            EnvPreset::Rich,
+            vec![
+                vec![PlacementConstraint::OffApp],
+                vec![],
+                vec![PlacementConstraint::OffApp],
+                vec![PlacementConstraint::ReceiverSide],
+            ],
+        ),
+    ];
+
+    for (name, env, constraints) in configs {
+        let world = world(env, constraints);
+        eprintln!("{name}: {}", world.describe());
+        let mut i = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                world
+                    .call(i, "alice", &payload)
+                    .expect("alice is a writer");
+            })
+        });
+        drop(world);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

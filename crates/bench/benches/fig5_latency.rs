@@ -1,0 +1,84 @@
+//! Figure 5 (right): end-to-end RPC latency for Logging / ACL / Fault
+//! across the three systems. One criterion iteration = one blocking call.
+
+use std::time::Duration;
+
+use adn::harness::{
+    object_store_schemas, AdnWorld, HandcodedWorld, MeshPolicies, MeshWorld, WorldConfig,
+};
+use adn_bench::{PAPER_FAULT_PROB, PAPER_PAYLOAD};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (req_schema, _) = object_store_schemas();
+
+    let mut group = c.benchmark_group("fig5_latency");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(3));
+
+    for element in ["Logging", "Acl", "Fault"] {
+        let policies = match element {
+            "Logging" => MeshPolicies {
+                logging: true,
+                acl: false,
+                fault_prob: 0.0,
+            },
+            "Acl" => MeshPolicies {
+                logging: false,
+                acl: true,
+                fault_prob: 0.0,
+            },
+            _ => MeshPolicies::all(PAPER_FAULT_PROB),
+        };
+        let mesh = MeshWorld::start(policies, 7);
+        let mut i = 0u64;
+        group.bench_function(format!("mesh/{element}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let _ = mesh.call(i, "alice", PAPER_PAYLOAD);
+            })
+        });
+        drop(mesh);
+
+        let cfg = match element {
+            "Fault" => WorldConfig::paper_eval_chain(PAPER_FAULT_PROB),
+            other => WorldConfig::of_elements(&[other]),
+        };
+        let world = AdnWorld::start(cfg).expect("world");
+        let mut i = 0u64;
+        group.bench_function(format!("adn/{element}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let _ = world.call(i, "alice", PAPER_PAYLOAD);
+            })
+        });
+        drop(world);
+
+        let engines: Vec<Box<dyn adn_rpc::engine::Engine>> = match element {
+            "Logging" => vec![Box::new(adn_elements::handcoded::HandLogging::new(
+                &req_schema,
+            ))],
+            "Acl" => vec![Box::new(
+                adn_elements::handcoded::HandAcl::with_default_table(&req_schema),
+            )],
+            _ => adn_elements::handcoded::paper_eval_chain_handcoded(
+                &req_schema,
+                PAPER_FAULT_PROB,
+                7,
+            ),
+        };
+        let hand = HandcodedWorld::start_with(engines);
+        let mut i = 0u64;
+        group.bench_function(format!("handcoded/{element}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let _ = hand.call(i, "alice", PAPER_PAYLOAD);
+            })
+        });
+        drop(hand);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

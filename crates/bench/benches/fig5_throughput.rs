@@ -1,0 +1,103 @@
+//! Figure 5 (left): RPC rate for Logging / ACL / Fault across the three
+//! systems. Each criterion iteration resolves one closed-loop batch of 128
+//! calls (the paper's concurrency) through the full deployment; criterion's
+//! throughput mode reports RPCs per second.
+
+use std::time::Duration;
+
+use adn::harness::{
+    object_store_schemas, AdnWorld, HandcodedWorld, MeshPolicies, MeshWorld, WorldConfig,
+};
+use adn_bench::{PAPER_CONCURRENCY, PAPER_FAULT_PROB, PAPER_PAYLOAD, PAPER_USERS};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let (req_schema, _) = object_store_schemas();
+
+    let mut group = c.benchmark_group("fig5_throughput");
+    group.throughput(Throughput::Elements(PAPER_CONCURRENCY as u64));
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    for element in ["Logging", "Acl", "Fault"] {
+        // gRPC + Envoy-style mesh.
+        let policies = match element {
+            "Logging" => MeshPolicies {
+                logging: true,
+                acl: false,
+                fault_prob: 0.0,
+            },
+            "Acl" => MeshPolicies {
+                logging: false,
+                acl: true,
+                fault_prob: 0.0,
+            },
+            _ => MeshPolicies::all(PAPER_FAULT_PROB),
+        };
+        let mesh = MeshWorld::start(policies, 7);
+        group.bench_function(format!("mesh/{element}"), |b| {
+            b.iter(|| {
+                // Duration::ZERO = exactly one full window of calls.
+                let stats = mesh.run_closed_loop(
+                    PAPER_CONCURRENCY,
+                    Duration::ZERO,
+                    PAPER_PAYLOAD,
+                    PAPER_USERS,
+                );
+                assert_eq!(stats.errors, 0);
+            })
+        });
+        drop(mesh);
+
+        // ADN (compiled DSL, RPC-library deployment).
+        let cfg = match element {
+            "Fault" => WorldConfig::paper_eval_chain(PAPER_FAULT_PROB),
+            other => WorldConfig::of_elements(&[other]),
+        };
+        let world = AdnWorld::start(cfg).expect("world");
+        group.bench_function(format!("adn/{element}"), |b| {
+            b.iter(|| {
+                let stats = world.run_closed_loop(
+                    PAPER_CONCURRENCY,
+                    Duration::ZERO,
+                    PAPER_PAYLOAD,
+                    PAPER_USERS,
+                );
+                assert_eq!(stats.errors, 0);
+            })
+        });
+        drop(world);
+
+        // Hand-coded engines.
+        let engines: Vec<Box<dyn adn_rpc::engine::Engine>> = match element {
+            "Logging" => vec![Box::new(adn_elements::handcoded::HandLogging::new(
+                &req_schema,
+            ))],
+            "Acl" => vec![Box::new(
+                adn_elements::handcoded::HandAcl::with_default_table(&req_schema),
+            )],
+            _ => adn_elements::handcoded::paper_eval_chain_handcoded(
+                &req_schema,
+                PAPER_FAULT_PROB,
+                7,
+            ),
+        };
+        let hand = HandcodedWorld::start_with(engines);
+        group.bench_function(format!("handcoded/{element}"), |b| {
+            b.iter(|| {
+                let stats = hand.run_closed_loop(
+                    PAPER_CONCURRENCY,
+                    Duration::ZERO,
+                    PAPER_PAYLOAD,
+                    PAPER_USERS,
+                );
+                assert_eq!(stats.errors, 0);
+            })
+        });
+        drop(hand);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

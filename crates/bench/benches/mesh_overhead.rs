@@ -1,0 +1,101 @@
+//! §2 overhead decomposition: per-message codec cost of the general
+//! protocol stack (protobuf + HPACK + HTTP/2 + gRPC framing) versus ADN's
+//! schema-driven wire format. This is the microscopic source of Figure 5's
+//! macroscopic gap.
+
+use adn::harness::{object_store_schemas, object_store_service};
+use adn_bench::PAPER_PAYLOAD;
+use adn_mesh::hpack::HpackContext;
+use adn_rpc::message::RpcMessage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let service = object_store_service();
+    let (_req_schema, _) = object_store_schemas();
+    let m = service.method_by_id(1).expect("method");
+    let msg = RpcMessage::request(9, 1, m.request.clone())
+        .with("object_id", 42u64)
+        .with("username", "alice")
+        .with("payload", PAPER_PAYLOAD.to_vec());
+
+    let mut group = c.benchmark_group("mesh_overhead");
+
+    // ADN wire format: the only serialization the ADN path ever does.
+    let adn_bytes = adn_rpc::wire_format::encode_message_to_vec(&msg).expect("encode");
+    group.bench_function("adn_encode", |b| {
+        b.iter(|| black_box(adn_rpc::wire_format::encode_message_to_vec(black_box(&msg))))
+    });
+    group.bench_function("adn_decode", |b| {
+        b.iter(|| {
+            black_box(adn_rpc::wire_format::decode_message_exact(
+                black_box(&adn_bytes),
+                &service,
+            ))
+        })
+    });
+
+    // Mesh layers, individually.
+    let pb_bytes = adn_mesh::pb::encode_to_vec(&msg.fields);
+    group.bench_function("mesh_pb_encode", |b| {
+        b.iter(|| black_box(adn_mesh::pb::encode_to_vec(black_box(&msg.fields))))
+    });
+    group.bench_function("mesh_pb_decode_dynamic", |b| {
+        b.iter(|| black_box(adn_mesh::pb::decode_dynamic(black_box(&pb_bytes))))
+    });
+
+    let headers: Vec<(String, String)> = vec![
+        (":method".into(), "POST".into()),
+        (":path".into(), "/objectstore.ObjectStore/Put".into()),
+        ("content-type".into(), "application/grpc".into()),
+        ("x-call-id".into(), "9".into()),
+    ];
+    group.bench_function("mesh_hpack_encode", |b| {
+        b.iter(|| {
+            let mut ctx = HpackContext::new();
+            black_box(adn_mesh::hpack::encode_headers(&mut ctx, black_box(&headers)))
+        })
+    });
+    let block = {
+        let mut ctx = HpackContext::new();
+        adn_mesh::hpack::encode_headers(&mut ctx, &headers)
+    };
+    group.bench_function("mesh_hpack_decode", |b| {
+        b.iter(|| {
+            let mut ctx = HpackContext::new();
+            black_box(adn_mesh::hpack::decode_headers(&mut ctx, black_box(&block)))
+        })
+    });
+
+    // The full stack, as the app edge pays it.
+    let full = {
+        let mut ctx = HpackContext::new();
+        adn_mesh::grpc::encode_request(&mut ctx, &msg, &service.name, "Put").expect("enc")
+    };
+    group.bench_function("mesh_full_encode", |b| {
+        b.iter(|| {
+            let mut ctx = HpackContext::new();
+            black_box(adn_mesh::grpc::encode_request(
+                &mut ctx,
+                black_box(&msg),
+                &service.name,
+                "Put",
+            ))
+        })
+    });
+    group.bench_function("mesh_full_decode", |b| {
+        b.iter(|| {
+            let mut ctx = HpackContext::new();
+            black_box(adn_mesh::grpc::decode_message(
+                &mut ctx,
+                black_box(&full),
+                &service,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Optimizer ablations: each design choice DESIGN.md calls out, on/off.
+//!
+//! * element reordering (cheap droppers first) on a deny-heavy workload;
+//! * constant folding on arithmetic-heavy SET statements;
+//! * minimal-header hops vs full re-parse hops.
+
+use adn::harness::object_store_schemas;
+use adn_backend::native::{compile_element, element_seed, CompileOpts, NativeEngine};
+use adn_ir::{optimize, ChainIr, ElementIr, PassConfig};
+use adn_rpc::engine::{Engine, Verdict};
+use adn_rpc::message::RpcMessage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn compile_chain(chain: &ChainIr) -> Vec<NativeEngine> {
+    chain
+        .elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            compile_element(
+                e,
+                &CompileOpts {
+                    seed: element_seed(3, i),
+                    replicas: vec![],
+                },
+            )
+        })
+        .collect()
+}
+
+fn run(engines: &mut [NativeEngine], msg: &mut RpcMessage) -> Verdict {
+    for e in engines.iter_mut() {
+        match e.process(msg) {
+            Verdict::Forward => continue,
+            other => return other,
+        }
+    }
+    Verdict::Forward
+}
+
+fn bench(c: &mut Criterion) {
+    let (req_schema, resp_schema) = object_store_schemas();
+    let build = |name: &str| -> ElementIr {
+        adn_elements::build(name, &[], &req_schema, &resp_schema).expect("build")
+    };
+
+    let mut group = c.benchmark_group("optimizer_ablation");
+
+    // -- reorder: Compress → Acl, 50% denied traffic -----------------------
+    let elements = vec![build("Compress"), build("Acl")];
+    let payload = vec![0x42u8; 4096];
+    for (label, passes) in [
+        ("reorder_off", PassConfig::none()),
+        ("reorder_on", PassConfig::default()),
+    ] {
+        let chain = ChainIr::new(elements.clone(), req_schema.clone(), resp_schema.clone());
+        let (opt, _) = optimize(chain, &passes);
+        let mut engines = compile_chain(&opt);
+        let m_req = req_schema.clone();
+        let mut i = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                let user = if i % 2 == 0 { "alice" } else { "bob" };
+                let mut msg = RpcMessage::request(1, 1, Arc::new((*m_req).clone()))
+                    .with("object_id", i)
+                    .with("username", user)
+                    .with("payload", payload.clone());
+                black_box(run(&mut engines, &mut msg))
+            })
+        });
+    }
+
+    // -- const fold ---------------------------------------------------------
+    let folded_src = "element E() { on request { SET object_id = input.object_id * 2 + 8 / 4 - 1; SELECT * FROM input; } }";
+    let checked = adn_dsl::compile_frontend(folded_src, &req_schema, &resp_schema).expect("fe");
+    let ir = adn_ir::lower_element(&checked, &[], &req_schema, &resp_schema).expect("lower");
+    for (label, passes) in [
+        ("const_fold_off", PassConfig::none()),
+        ("const_fold_on", PassConfig::default()),
+    ] {
+        let chain = ChainIr::new(vec![ir.clone()], req_schema.clone(), resp_schema.clone());
+        let (opt, _) = optimize(chain, &passes);
+        let mut engine = compile_element(&opt.elements[0], &CompileOpts::default());
+        let mut msg = RpcMessage::request(1, 1, Arc::new((*req_schema).clone()))
+            .with("object_id", 1u64)
+            .with("username", "a")
+            .with("payload", vec![]);
+        group.bench_function(label, |b| b.iter(|| black_box(engine.process(&mut msg))));
+    }
+
+    // -- minimal headers ------------------------------------------------------
+    let lb = build("LoadBalancer");
+    let chain = ChainIr::new(vec![lb], req_schema.clone(), resp_schema.clone());
+    let layout = adn_ir::passes::minimal_header(&chain, 0);
+    let service = adn::harness::object_store_service();
+    let m = service.method_by_id(1).expect("method");
+    let mut msg = RpcMessage::request(9, 1, m.request.clone())
+        .with("object_id", 42u64)
+        .with("username", "alice")
+        .with("payload", vec![7u8; 4096]);
+    msg.dst = 200;
+    let hop_bytes = adn_dataplane::hop::encode_hop(&msg, &layout).expect("hop");
+    let full_bytes = adn_rpc::wire_format::encode_message_to_vec(&msg).expect("full");
+
+    group.bench_function("hop_header_only", |b| {
+        b.iter(|| {
+            let frame = adn_dataplane::hop::decode_hop(black_box(&hop_bytes), &layout).expect("d");
+            black_box(adn_dataplane::hop::reencode_hop(&frame, &layout)).expect("e")
+        })
+    });
+    group.bench_function("hop_full_reparse", |b| {
+        b.iter(|| {
+            let decoded =
+                adn_rpc::wire_format::decode_message_exact(black_box(&full_bytes), &service)
+                    .expect("d");
+            black_box(adn_rpc::wire_format::encode_message_to_vec(&decoded)).expect("e")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Shared helpers for the benchmark harness: statistics, table formatting,
+//! and the workload parameters of the paper's evaluation (§6).
+
+use std::time::Duration;
+
+/// The paper's workload: 128 concurrent RPCs from a single client thread,
+/// short byte-string request/response payloads.
+pub const PAPER_CONCURRENCY: usize = 128;
+/// "Both the RPC request and response contain a short byte string."
+pub const PAPER_PAYLOAD: &[u8] = b"short byte string payload";
+/// Users cycled by the workload (3 writers, 2 readers → ACL denies 40%...
+/// the paper doesn't publish its mix; we mostly drive writers so denials
+/// don't dominate: see `PAPER_USERS`).
+pub const PAPER_USERS: &[&str] = &["alice", "carol", "dave", "alice", "bob"];
+/// Fault-injection probability used by the evaluation chain.
+pub const PAPER_FAULT_PROB: f64 = 0.02;
+
+/// Median of a duration sample (sorts a copy).
+pub fn median(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    sorted[sorted.len() / 2]
+}
+
+/// The p-th percentile (0-100) of a duration sample.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Microseconds as a pretty float.
+pub fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// A simple fixed-width table printer for the harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<w$} | "));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Measurement duration knob: `ADN_BENCH_SECS` (default 2.0; CI can set
+/// 0.3 for smoke runs).
+pub fn measure_duration() -> Duration {
+    std::env::var("ADN_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(median(&samples), Duration::from_micros(51));
+        assert_eq!(percentile(&samples, 99.0), Duration::from_micros(99));
+        assert_eq!(percentile(&samples, 0.0), Duration::from_micros(1));
+        assert_eq!(median(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "krps"]);
+        t.row(&["adn".into(), "123.4".into()]);
+        t.row(&["grpc+envoy".into(), "20.1".into()]);
+        let s = t.render();
+        assert!(s.contains("| name       | krps  |"), "{s}");
+        assert!(s.lines().count() == 4);
+    }
+}

@@ -1,0 +1,23 @@
+//! # adn-cluster — simulated cluster manager
+//!
+//! Paper §5.2: "The ADN controller is a logically centralized component
+//! that has global knowledge (acquired via cluster managers such as
+//! Kubernetes) of the network topology, service locations, and available
+//! ADN processors." And §6: "We created a Kubernetes custom resource called
+//! ADNConfig which developers use to provide ADN programs. The ADN
+//! controller watches for changes to this resource or to the deployment."
+//!
+//! This crate is that cluster manager, simulated: an inventory of nodes
+//! (with CPU slots, eBPF capability, optional SmartNIC), programmable
+//! switches, services with replicas, plus a versioned [`AdnConfig`]
+//! resource store with **watch streams** — the exact interface the
+//! controller consumes. Resources serialize as JSON (the CRD stand-in).
+
+pub mod resources;
+pub mod store;
+
+pub use resources::{
+    AdnConfig, ElementSpec, NodeId, NodeSpec, PlacementConstraint, ReplicaSpec, ServiceSpec,
+    SmartNicSpec, SwitchId, SwitchSpec,
+};
+pub use store::{ClusterEvent, ClusterStore, LoadReport};

@@ -1,0 +1,181 @@
+//! Cluster resource types: nodes, switches, services, and the AdnConfig
+//! custom resource.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifies a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// A SmartNIC attached to a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmartNicSpec {
+    /// Engine slots available on the NIC cores.
+    pub cpu_slots: u32,
+}
+
+/// A compute node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    pub id: NodeId,
+    pub name: String,
+    /// Engine slots available on host CPUs (for sidecar/library processors).
+    pub cpu_slots: u32,
+    /// Whether the kernel allows eBPF processors.
+    pub ebpf_capable: bool,
+    /// Attached SmartNIC, if any.
+    pub smartnic: Option<SmartNicSpec>,
+}
+
+/// A switch on the path between nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchSpec {
+    pub id: SwitchId,
+    pub name: String,
+    /// Whether the switch is P4-programmable.
+    pub programmable: bool,
+    /// Match-action table entries available.
+    pub table_capacity: u32,
+}
+
+/// One replica of a service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSpec {
+    /// Node hosting the replica.
+    pub node: NodeId,
+    /// Flat endpoint address on the virtual link layer.
+    pub endpoint: u64,
+}
+
+/// A service and its replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    pub name: String,
+    pub replicas: Vec<ReplicaSpec>,
+}
+
+/// One element instantiation in an AdnConfig program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementSpec {
+    /// Element name in the catalog, or inline `source`.
+    pub element: String,
+    /// Inline DSL source (overrides catalog lookup when set).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub source: Option<String>,
+    /// Arguments: name → JSON value (numbers/strings/bools).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub args: Vec<(String, serde_json::Value)>,
+    /// Placement constraints for this element.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub constraints: Vec<PlacementConstraint>,
+}
+
+/// Placement constraints (paper §4 Q1: "any element location constraints").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementConstraint {
+    /// Must not run inside the application binary / RPC library (paper §3:
+    /// mandatory policies are enforced outside the app).
+    OffApp,
+    /// Must be co-located with the sender (e.g. encryption).
+    SenderSide,
+    /// Must be co-located with the receiver (e.g. decryption).
+    ReceiverSide,
+    /// Best-effort state: optimizer may reorder droppers around it.
+    DropInsensitive,
+}
+
+/// The AdnConfig custom resource: the application's network program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdnConfig {
+    /// Application name this config belongs to.
+    pub app: String,
+    /// Source service (the caller side).
+    pub src_service: String,
+    /// Destination service (the callee side).
+    pub dst_service: String,
+    /// Element chain, sender side first.
+    pub chain: Vec<ElementSpec>,
+    /// Fault-injection seed so experiments are reproducible.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl AdnConfig {
+    /// Serializes to the JSON CRD representation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("AdnConfig serializes")
+    }
+
+    /// Parses the JSON CRD representation.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> AdnConfig {
+        AdnConfig {
+            app: "object-store".into(),
+            src_service: "frontend".into(),
+            dst_service: "storage".into(),
+            chain: vec![
+                ElementSpec {
+                    element: "Logging".into(),
+                    source: None,
+                    args: vec![],
+                    constraints: vec![PlacementConstraint::DropInsensitive],
+                },
+                ElementSpec {
+                    element: "Acl".into(),
+                    source: None,
+                    args: vec![],
+                    constraints: vec![PlacementConstraint::OffApp],
+                },
+                ElementSpec {
+                    element: "Fault".into(),
+                    source: None,
+                    args: vec![("abort_prob".into(), serde_json::json!(0.02))],
+                    constraints: vec![],
+                },
+            ],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn adnconfig_json_roundtrip() {
+        let config = sample_config();
+        let json = config.to_json();
+        let back = AdnConfig::from_json(&json).unwrap();
+        assert_eq!(back, config);
+        assert!(json.contains("\"Acl\""));
+    }
+
+    #[test]
+    fn adnconfig_accepts_handwritten_json() {
+        let json = r#"{
+            "app": "a", "src_service": "s", "dst_service": "d",
+            "chain": [
+                {"element": "Firewall", "args": [["blocked", 7]]},
+                {"element": "Inline", "source": "element Inline() { on request { SELECT * FROM input; } }"}
+            ]
+        }"#;
+        let config = AdnConfig::from_json(json).unwrap();
+        assert_eq!(config.seed, 0, "seed defaults");
+        assert_eq!(config.chain.len(), 2);
+        assert!(config.chain[1].source.is_some());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(AdnConfig::from_json("{not json").is_err());
+        assert!(AdnConfig::from_json("{}").is_err());
+    }
+}

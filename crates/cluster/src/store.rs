@@ -1,0 +1,303 @@
+//! The versioned resource store with watch streams.
+//!
+//! The controller subscribes via [`ClusterStore::watch`] and receives a
+//! [`ClusterEvent`] for every config change, replica change, and load
+//! report — the same interaction pattern as a Kubernetes watch on the
+//! ADNConfig CRD and on Deployments (paper §6).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::resources::{AdnConfig, NodeId, NodeSpec, ReplicaSpec, ServiceSpec, SwitchSpec};
+
+/// Periodic load report from a data-plane processor (paper §5.3: processors
+/// "periodically send reports of logging, tracing, and runtime statistical
+/// information back to the controller").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Endpoint address of the reporting processor.
+    pub endpoint: u64,
+    /// Messages processed since the last report.
+    pub processed: u64,
+    /// Messages dropped/aborted since the last report.
+    pub rejected: u64,
+    /// Utilization estimate in [0, 1].
+    pub utilization: f64,
+}
+
+/// Events delivered to watchers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterEvent {
+    /// An AdnConfig was created or updated (version increments).
+    ConfigUpdated { app: String, version: u64 },
+    /// A replica joined a service.
+    ReplicaAdded {
+        service: String,
+        replica: ReplicaSpec,
+    },
+    /// A replica left a service.
+    ReplicaRemoved { service: String, endpoint: u64 },
+    /// A node joined the cluster.
+    NodeAdded { node: NodeId },
+    /// A processor load report arrived.
+    Load(LoadReport),
+}
+
+#[derive(Default)]
+struct StoreState {
+    nodes: HashMap<NodeId, NodeSpec>,
+    switches: Vec<SwitchSpec>,
+    services: HashMap<String, ServiceSpec>,
+    configs: HashMap<String, (u64, AdnConfig)>,
+    watchers: Vec<Sender<ClusterEvent>>,
+}
+
+/// The cluster state store. Cheap to clone (shared).
+#[derive(Clone, Default)]
+pub struct ClusterStore {
+    state: Arc<RwLock<StoreState>>,
+}
+
+impl ClusterStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn broadcast(&self, event: ClusterEvent) {
+        let mut state = self.state.write();
+        state.watchers.retain(|w| w.send(event.clone()).is_ok());
+    }
+
+    /// Subscribes to all subsequent events.
+    pub fn watch(&self) -> Receiver<ClusterEvent> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.state.write().watchers.push(tx);
+        rx
+    }
+
+    // -- inventory -----------------------------------------------------------
+
+    /// Registers a node.
+    pub fn add_node(&self, node: NodeSpec) {
+        let id = node.id;
+        self.state.write().nodes.insert(id, node);
+        self.broadcast(ClusterEvent::NodeAdded { node: id });
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> Option<NodeSpec> {
+        self.state.read().nodes.get(&id).cloned()
+    }
+
+    /// All nodes, sorted by id.
+    pub fn nodes(&self) -> Vec<NodeSpec> {
+        let mut nodes: Vec<NodeSpec> = self.state.read().nodes.values().cloned().collect();
+        nodes.sort_by_key(|n| n.id);
+        nodes
+    }
+
+    /// Registers a switch.
+    pub fn add_switch(&self, switch: SwitchSpec) {
+        self.state.write().switches.push(switch);
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> Vec<SwitchSpec> {
+        self.state.read().switches.clone()
+    }
+
+    // -- services ------------------------------------------------------------
+
+    /// Creates or replaces a service definition.
+    pub fn add_service(&self, service: ServiceSpec) {
+        self.state
+            .write()
+            .services
+            .insert(service.name.clone(), service);
+    }
+
+    /// Service by name.
+    pub fn service(&self, name: &str) -> Option<ServiceSpec> {
+        self.state.read().services.get(name).cloned()
+    }
+
+    /// Adds a replica to an existing service (a "deployment change").
+    pub fn add_replica(&self, service: &str, replica: ReplicaSpec) -> Result<(), String> {
+        {
+            let mut state = self.state.write();
+            let svc = state
+                .services
+                .get_mut(service)
+                .ok_or_else(|| format!("unknown service {service:?}"))?;
+            svc.replicas.push(replica.clone());
+        }
+        self.broadcast(ClusterEvent::ReplicaAdded {
+            service: service.to_owned(),
+            replica,
+        });
+        Ok(())
+    }
+
+    /// Removes a replica by endpoint.
+    pub fn remove_replica(&self, service: &str, endpoint: u64) -> Result<(), String> {
+        {
+            let mut state = self.state.write();
+            let svc = state
+                .services
+                .get_mut(service)
+                .ok_or_else(|| format!("unknown service {service:?}"))?;
+            let before = svc.replicas.len();
+            svc.replicas.retain(|r| r.endpoint != endpoint);
+            if svc.replicas.len() == before {
+                return Err(format!("no replica with endpoint {endpoint}"));
+            }
+        }
+        self.broadcast(ClusterEvent::ReplicaRemoved {
+            service: service.to_owned(),
+            endpoint,
+        });
+        Ok(())
+    }
+
+    // -- AdnConfig -----------------------------------------------------------
+
+    /// Creates or updates the AdnConfig for an app; bumps its version.
+    pub fn apply_config(&self, config: AdnConfig) -> u64 {
+        let app = config.app.clone();
+        let version = {
+            let mut state = self.state.write();
+            let entry = state.configs.entry(app.clone()).or_insert((0, config.clone()));
+            entry.0 += 1;
+            entry.1 = config;
+            entry.0
+        };
+        self.broadcast(ClusterEvent::ConfigUpdated { app, version });
+        version
+    }
+
+    /// Current config and version for an app.
+    pub fn config(&self, app: &str) -> Option<(u64, AdnConfig)> {
+        self.state.read().configs.get(app).cloned()
+    }
+
+    // -- telemetry ------------------------------------------------------------
+
+    /// Submits a processor load report.
+    pub fn report_load(&self, report: LoadReport) {
+        self.broadcast(ClusterEvent::Load(report));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ElementSpec;
+
+    fn config(app: &str) -> AdnConfig {
+        AdnConfig {
+            app: app.into(),
+            src_service: "a".into(),
+            dst_service: "b".into(),
+            chain: vec![ElementSpec {
+                element: "Acl".into(),
+                source: None,
+                args: vec![],
+                constraints: vec![],
+            }],
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn watch_sees_config_updates_with_versions() {
+        let store = ClusterStore::new();
+        let rx = store.watch();
+        assert_eq!(store.apply_config(config("app1")), 1);
+        assert_eq!(store.apply_config(config("app1")), 2);
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ClusterEvent::ConfigUpdated {
+                app: "app1".into(),
+                version: 1
+            }
+        );
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ClusterEvent::ConfigUpdated {
+                app: "app1".into(),
+                version: 2
+            }
+        );
+    }
+
+    #[test]
+    fn replica_lifecycle_events() {
+        let store = ClusterStore::new();
+        store.add_service(ServiceSpec {
+            name: "b".into(),
+            replicas: vec![],
+        });
+        let rx = store.watch();
+        let replica = ReplicaSpec {
+            node: NodeId(1),
+            endpoint: 200,
+        };
+        store.add_replica("b", replica.clone()).unwrap();
+        assert_eq!(store.service("b").unwrap().replicas.len(), 1);
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ClusterEvent::ReplicaAdded {
+                service: "b".into(),
+                replica
+            }
+        );
+        store.remove_replica("b", 200).unwrap();
+        assert!(store.service("b").unwrap().replicas.is_empty());
+        assert!(store.remove_replica("b", 200).is_err());
+        assert!(store.add_replica("ghost", ReplicaSpec { node: NodeId(1), endpoint: 1 }).is_err());
+    }
+
+    #[test]
+    fn nodes_sorted_and_queryable() {
+        let store = ClusterStore::new();
+        for id in [3u32, 1, 2] {
+            store.add_node(NodeSpec {
+                id: NodeId(id),
+                name: format!("node{id}"),
+                cpu_slots: 4,
+                ebpf_capable: id % 2 == 0,
+                smartnic: None,
+            });
+        }
+        let nodes = store.nodes();
+        assert_eq!(nodes.iter().map(|n| n.id.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(store.node(NodeId(2)).unwrap().ebpf_capable);
+        assert!(store.node(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn load_reports_reach_watchers() {
+        let store = ClusterStore::new();
+        let rx = store.watch();
+        store.report_load(LoadReport {
+            endpoint: 5,
+            processed: 100,
+            rejected: 3,
+            utilization: 0.8,
+        });
+        assert!(matches!(rx.try_recv().unwrap(), ClusterEvent::Load(r) if r.endpoint == 5));
+    }
+
+    #[test]
+    fn dead_watchers_are_pruned() {
+        let store = ClusterStore::new();
+        drop(store.watch());
+        let rx = store.watch();
+        store.apply_config(config("x"));
+        assert!(rx.try_recv().is_ok());
+    }
+}

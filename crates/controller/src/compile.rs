@@ -1,0 +1,302 @@
+//! AdnConfig → compiled application network.
+//!
+//! Resolves each [`ElementSpec`] against the element catalog (or inline
+//! source), typechecks against the application's schemas, lowers with bound
+//! arguments, applies constraint flags, runs the optimizer, and returns
+//! everything the deployer needs.
+
+use std::sync::Arc;
+
+use adn_cluster::resources::{AdnConfig, ElementSpec, PlacementConstraint};
+use adn_ir::{ChainIr, ElementIr, OptReport, PassConfig};
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::Value;
+
+use crate::placement::ElementConstraints;
+
+/// A compiled application network, ready for placement and deployment.
+#[derive(Debug, Clone)]
+pub struct CompiledApp {
+    /// Optimized chain.
+    pub chain: ChainIr,
+    /// Per-element constraints, reordered alongside the chain.
+    pub constraints: Vec<ElementConstraints>,
+    /// What the optimizer did.
+    pub report: OptReport,
+    /// Seed for engine RNGs.
+    pub seed: u64,
+}
+
+/// Compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    UnknownElement(String),
+    Frontend(String, adn_dsl::FrontendError),
+    Lower(String, adn_ir::LowerError),
+    BadArgument(String, String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnknownElement(name) => write!(f, "unknown element {name:?}"),
+            CompileError::Frontend(name, e) => write!(f, "element {name}: {e}"),
+            CompileError::Lower(name, e) => write!(f, "element {name}: {e}"),
+            CompileError::BadArgument(name, what) => {
+                write!(f, "element {name}: bad argument: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn json_to_value(v: &serde_json::Value) -> Option<Value> {
+    match v {
+        serde_json::Value::Bool(b) => Some(Value::Bool(*b)),
+        serde_json::Value::Number(n) => {
+            if let Some(u) = n.as_u64() {
+                Some(Value::U64(u))
+            } else if let Some(i) = n.as_i64() {
+                Some(Value::I64(i))
+            } else {
+                n.as_f64().map(Value::F64)
+            }
+        }
+        serde_json::Value::String(s) => Some(Value::Str(s.clone())),
+        _ => None,
+    }
+}
+
+/// Compiles one element spec.
+pub fn compile_element_spec(
+    spec: &ElementSpec,
+    request: &RpcSchema,
+    response: &RpcSchema,
+) -> Result<ElementIr, CompileError> {
+    let source: String = match &spec.source {
+        Some(src) => src.clone(),
+        None => adn_elements::dsl_source(&spec.element)
+            .ok_or_else(|| CompileError::UnknownElement(spec.element.clone()))?
+            .to_owned(),
+    };
+    let checked = adn_dsl::compile_frontend(&source, request, response)
+        .map_err(|e| CompileError::Frontend(spec.element.clone(), e))?;
+    let mut args = Vec::with_capacity(spec.args.len());
+    for (name, json) in &spec.args {
+        let value = json_to_value(json).ok_or_else(|| {
+            CompileError::BadArgument(spec.element.clone(), format!("{name}: {json}"))
+        })?;
+        args.push((name.clone(), value));
+    }
+    let mut ir = adn_ir::lower_element(&checked, &args, request, response)
+        .map_err(|e| CompileError::Lower(spec.element.clone(), e))?;
+    for c in &spec.constraints {
+        match c {
+            PlacementConstraint::DropInsensitive => ir.drop_insensitive = true,
+            PlacementConstraint::OffApp => ir.enforce_off_app = true,
+            PlacementConstraint::SenderSide => ir.pin_sender_side = true,
+            PlacementConstraint::ReceiverSide => {}
+        }
+    }
+    Ok(ir)
+}
+
+/// Compiles a full AdnConfig with the given pass configuration.
+pub fn compile_app_with_passes(
+    config: &AdnConfig,
+    request: Arc<RpcSchema>,
+    response: Arc<RpcSchema>,
+    passes: &PassConfig,
+) -> Result<CompiledApp, CompileError> {
+    let mut elements = Vec::with_capacity(config.chain.len());
+    for spec in &config.chain {
+        elements.push(compile_element_spec(spec, &request, &response)?);
+    }
+    let chain = ChainIr::new(elements, request, response);
+    let (chain, report) = adn_ir::optimize(chain, passes);
+
+    // The optimizer may have reordered elements; constraints follow their
+    // element by name (names are unique per config position; when an
+    // element name repeats, order within equals is preserved).
+    let mut remaining: Vec<(String, ElementConstraints)> = config
+        .chain
+        .iter()
+        .map(|spec| {
+            (
+                spec_name(spec),
+                ElementConstraints {
+                    constraints: spec.constraints.clone(),
+                },
+            )
+        })
+        .collect();
+    let mut constraints = Vec::with_capacity(chain.len());
+    for element in &chain.elements {
+        let pos = remaining
+            .iter()
+            .position(|(n, _)| *n == element.name)
+            .expect("optimizer preserves the element multiset");
+        constraints.push(remaining.remove(pos).1);
+    }
+
+    Ok(CompiledApp {
+        chain,
+        constraints,
+        report,
+        seed: config.seed,
+    })
+}
+
+fn spec_name(spec: &ElementSpec) -> String {
+    match &spec.source {
+        Some(src) => adn_dsl::parse_element(src)
+            .map(|e| e.name)
+            .unwrap_or_else(|_| spec.element.clone()),
+        None => spec.element.clone(),
+    }
+}
+
+/// Compiles with the default optimization passes.
+pub fn compile_app(
+    config: &AdnConfig,
+    request: Arc<RpcSchema>,
+    response: Arc<RpcSchema>,
+) -> Result<CompiledApp, CompileError> {
+    compile_app_with_passes(config, request, response, &PassConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_rpc::value::ValueType;
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        (
+            Arc::new(
+                RpcSchema::builder()
+                    .field("object_id", ValueType::U64)
+                    .field("username", ValueType::Str)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+            Arc::new(
+                RpcSchema::builder()
+                    .field("ok", ValueType::Bool)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+        )
+    }
+
+    fn spec(element: &str) -> ElementSpec {
+        ElementSpec {
+            element: element.into(),
+            source: None,
+            args: vec![],
+            constraints: vec![],
+        }
+    }
+
+    fn config(chain: Vec<ElementSpec>) -> AdnConfig {
+        AdnConfig {
+            app: "t".into(),
+            src_service: "a".into(),
+            dst_service: "b".into(),
+            chain,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn compiles_the_paper_chain() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![spec("Logging"), spec("Acl"), spec("Fault")]);
+        let app = compile_app(&cfg, req, resp).unwrap();
+        assert_eq!(app.chain.len(), 3);
+        assert_eq!(app.seed, 7);
+    }
+
+    #[test]
+    fn constraints_follow_reordered_elements() {
+        let (req, resp) = schemas();
+        // Compress (expensive, no drop) then Acl (cheap dropper): the
+        // optimizer swaps them. Acl carries OffApp.
+        let mut acl = spec("Acl");
+        acl.constraints = vec![PlacementConstraint::OffApp];
+        let cfg = config(vec![spec("Compress"), acl]);
+        let app = compile_app(&cfg, req, resp).unwrap();
+        assert_eq!(app.chain.names(), vec!["Acl", "Compress"]);
+        assert_eq!(
+            app.constraints[0].constraints,
+            vec![PlacementConstraint::OffApp]
+        );
+        assert!(app.constraints[1].constraints.is_empty());
+        assert_eq!(app.report.swaps, 1);
+    }
+
+    #[test]
+    fn inline_source_compiles() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![ElementSpec {
+            element: "Custom".into(),
+            source: Some(
+                "element Custom() { on request { DROP WHERE input.object_id == 0; SELECT * FROM input; } }"
+                    .into(),
+            ),
+            args: vec![],
+            constraints: vec![],
+        }]);
+        let app = compile_app(&cfg, req, resp).unwrap();
+        assert_eq!(app.chain.names(), vec!["Custom"]);
+    }
+
+    #[test]
+    fn json_args_bind() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![ElementSpec {
+            element: "Fault".into(),
+            source: None,
+            args: vec![("abort_prob".into(), serde_json::json!(0.5))],
+            constraints: vec![],
+        }]);
+        assert!(compile_app(&cfg, req, resp).is_ok());
+    }
+
+    #[test]
+    fn unknown_element_fails() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![spec("Ghost")]);
+        assert!(matches!(
+            compile_app(&cfg, req, resp),
+            Err(CompileError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn bad_json_arg_fails() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![ElementSpec {
+            element: "Fault".into(),
+            source: None,
+            args: vec![("abort_prob".into(), serde_json::json!([1, 2]))],
+            constraints: vec![],
+        }]);
+        assert!(matches!(
+            compile_app(&cfg, req, resp),
+            Err(CompileError::BadArgument(..))
+        ));
+    }
+
+    #[test]
+    fn drop_insensitive_flag_lands_on_element() {
+        let (req, resp) = schemas();
+        let mut metrics = spec("Metrics");
+        metrics.constraints = vec![PlacementConstraint::DropInsensitive];
+        let cfg = config(vec![metrics]);
+        let app = compile_app(&cfg, req, resp).unwrap();
+        assert!(app.chain.elements[0].drop_insensitive);
+    }
+}

@@ -1,0 +1,654 @@
+//! The event-driven runtime controller.
+//!
+//! Paper §6: "The ADN controller watches for changes to this resource
+//! [ADNConfig] or to the deployment (e.g., a new service replica). It
+//! updates the data plane processors when either changes."
+//!
+//! [`Controller`] subscribes to the cluster store; each event drives a
+//! reconciliation: config changes recompile and redeploy the chain
+//! (make-before-break: the new path is live before the old retires),
+//! replica changes rebind ROUTE replica sets, and sustained high load on a
+//! processor group can be answered with keyed scale-out (exposed as an
+//! explicit operation; policy thresholds live with the operator).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use adn_cluster::{ClusterEvent, ClusterStore};
+use adn_rpc::runtime::{RpcClient, ServerHandle};
+use adn_rpc::schema::{RpcSchema, ServiceSchema};
+use adn_rpc::transport::{EndpointAddr, InProcNetwork, Link};
+
+use crate::compile::{compile_app, CompiledApp};
+use crate::deploy::{deploy, AddrAllocator, Deployment};
+use crate::placement::{place, Environment};
+
+/// Everything the controller needs to manage one application.
+pub struct AppRegistration {
+    /// Request schema.
+    pub request: Arc<RpcSchema>,
+    /// Response schema.
+    pub response: Arc<RpcSchema>,
+    /// Service schema (decoding on processors).
+    pub service: Arc<ServiceSchema>,
+    /// The caller's RPC client (chains and via are installed here).
+    pub client: Arc<RpcClient>,
+    /// The callee's server handles, one per replica (server-side chains are
+    /// installed here).
+    pub servers: Vec<Arc<ServerHandle>>,
+    /// Deployment environment for the placement solver.
+    pub env: Environment,
+}
+
+struct ManagedApp {
+    registration: AppRegistration,
+    version: u64,
+    compiled: Option<CompiledApp>,
+    deployment: Option<Deployment>,
+}
+
+/// Controller error.
+#[derive(Debug)]
+pub struct ControllerError {
+    pub message: String,
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+fn cerr(message: impl std::fmt::Display) -> ControllerError {
+    ControllerError {
+        message: message.to_string(),
+    }
+}
+
+/// Copies state between deployments for groups whose element sequences and
+/// table layouts match exactly (same names, columns, keys, capacities).
+fn transfer_matching_state(
+    old_dep: &Deployment,
+    old_comp: &CompiledApp,
+    new_dep: &Deployment,
+    new_comp: &CompiledApp,
+) {
+    let signature = |comp: &CompiledApp, range: (usize, usize)| {
+        comp.chain.elements[range.0..range.1]
+            .iter()
+            .map(|e| (e.name.clone(), e.tables.clone()))
+            .collect::<Vec<_>>()
+    };
+    for new_group in &new_dep.groups {
+        let Some(new_handle) = new_group.handle.as_ref() else {
+            continue;
+        };
+        let new_sig = signature(new_comp, new_group.range);
+        if new_sig.iter().all(|(_, tables)| tables.is_empty()) {
+            continue; // stateless group: nothing to carry
+        }
+        for old_group in &old_dep.groups {
+            let Some(old_handle) = old_group.handle.as_ref() else {
+                continue;
+            };
+            if signature(old_comp, old_group.range) == new_sig {
+                let images = old_handle.export_state();
+                let _ = new_handle.import_state(images);
+                break;
+            }
+        }
+    }
+}
+
+/// The logically centralized ADN controller.
+pub struct Controller {
+    store: ClusterStore,
+    net: InProcNetwork,
+    link: Arc<dyn Link>,
+    alloc: AddrAllocator,
+    apps: Mutex<HashMap<String, ManagedApp>>,
+}
+
+impl Controller {
+    /// Creates a controller over the cluster store and fabric. Processor
+    /// addresses are allocated starting at `addr_base`.
+    pub fn new(store: ClusterStore, net: InProcNetwork, addr_base: u64) -> Self {
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        Self {
+            store,
+            net,
+            link,
+            alloc: AddrAllocator::new(addr_base),
+            apps: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The address allocator (shared with manual reconfiguration calls).
+    pub fn alloc(&self) -> &AddrAllocator {
+        &self.alloc
+    }
+
+    /// Registers an application. Call before applying its AdnConfig.
+    pub fn register_app(&self, app: &str, registration: AppRegistration) {
+        self.apps.lock().insert(
+            app.to_owned(),
+            ManagedApp {
+                registration,
+                version: 0,
+                compiled: None,
+                deployment: None,
+            },
+        );
+    }
+
+    /// Current replica endpoints of an app's destination service.
+    fn replicas_of(&self, dst_service: &str) -> Vec<EndpointAddr> {
+        self.store
+            .service(dst_service)
+            .map(|s| s.replicas.iter().map(|r| r.endpoint).collect())
+            .unwrap_or_default()
+    }
+
+    /// Reconciles one app against the store's current AdnConfig and
+    /// replica inventory. Returns the placement description.
+    pub fn sync_app(&self, app: &str) -> Result<String, ControllerError> {
+        let mut apps = self.apps.lock();
+        let managed = apps
+            .get_mut(app)
+            .ok_or_else(|| cerr(format!("app {app:?} not registered")))?;
+        let (version, config) = self
+            .store
+            .config(app)
+            .ok_or_else(|| cerr(format!("no AdnConfig for {app:?}")))?;
+
+        let compiled = compile_app(
+            &config,
+            managed.registration.request.clone(),
+            managed.registration.response.clone(),
+        )
+        .map_err(cerr)?;
+        let placement = place(
+            &compiled.chain.elements,
+            &compiled.constraints,
+            &managed.registration.env,
+        )
+        .map_err(cerr)?;
+
+        let replicas = self.replicas_of(&config.dst_service);
+        let deployment = deploy(
+            &compiled,
+            &placement,
+            &self.net,
+            self.link.clone(),
+            managed.registration.service.clone(),
+            &replicas,
+            &self.alloc,
+        )
+        .map_err(cerr)?;
+
+        let description = placement.describe(&compiled.chain.elements);
+
+        // Hot logic update (paper §5.2): where the new deployment hosts a
+        // group with the same elements and table layouts as the old one,
+        // carry the element state over before traffic switches. Traffic
+        // processed between the snapshot and the switchover updates the old
+        // state only; for strictly lossless moves use
+        // `reconfig::migrate_processor` (same-address takeover).
+        if let (Some(old_dep), Some(old_comp)) =
+            (managed.deployment.as_ref(), managed.compiled.as_ref())
+        {
+            transfer_matching_state(old_dep, old_comp, &deployment, &compiled);
+        }
+
+        // Make before break: install the new path, then retire the old.
+        managed
+            .registration
+            .client
+            .install_chain(deployment.client_chain);
+        managed.registration.client.set_via(deployment.entry);
+        for server in &managed.registration.servers {
+            // Each replica gets its own instance of the server-side chain.
+            let chain = {
+                let mut c = adn_rpc::engine::EngineChain::new();
+                for group in &deployment.groups {
+                    if group.site == crate::placement::Site::ServerLib {
+                        let (start, end) = group.range;
+                        for (offset, element) in
+                            compiled.chain.elements[start..end].iter().enumerate()
+                        {
+                            let engine = crate::deploy::build_engine(
+                                element,
+                                group.site,
+                                &compiled,
+                                start + offset,
+                                &replicas,
+                            )
+                            .map_err(cerr)?;
+                            c.push(engine);
+                        }
+                    }
+                }
+                c
+            };
+            server.install_chain(chain);
+        }
+
+        // The Deployment struct moves chains out; rebuild group handles by
+        // replacing the stored deployment (old processors retire lazily).
+        let old = managed.deployment.replace(Deployment {
+            entry: deployment.entry,
+            client_chain: adn_rpc::engine::EngineChain::new(),
+            server_chain: adn_rpc::engine::EngineChain::new(),
+            groups: deployment.groups,
+            placement: deployment.placement,
+        });
+        managed.compiled = Some(compiled);
+        managed.version = version;
+        drop(apps);
+
+        if let Some(old) = old {
+            for group in old.groups {
+                if let Some(handle) = group.handle {
+                    handle.stop_when_idle();
+                }
+            }
+        }
+        Ok(description)
+    }
+
+    /// Handles one cluster event.
+    pub fn process_event(&self, event: &ClusterEvent) -> Result<(), ControllerError> {
+        match event {
+            ClusterEvent::ConfigUpdated { app, .. } => {
+                self.sync_app(app)?;
+            }
+            ClusterEvent::ReplicaAdded { service, .. }
+            | ClusterEvent::ReplicaRemoved { service, .. } => {
+                // Re-sync every app targeting this service so ROUTE replica
+                // sets rebind.
+                let affected: Vec<String> = {
+                    let apps = self.apps.lock();
+                    apps.keys()
+                        .filter(|app| {
+                            self.store
+                                .config(app)
+                                .map(|(_, c)| &c.dst_service == service)
+                                .unwrap_or(false)
+                        })
+                        .cloned()
+                        .collect()
+                };
+                for app in affected {
+                    self.sync_app(&app)?;
+                }
+            }
+            ClusterEvent::NodeAdded { .. } | ClusterEvent::Load(_) => {
+                // Inventory growth and load feed scaling policy, which the
+                // operator drives explicitly (see `reconfig::scale_out`).
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains all pending store events, reconciling as needed.
+    pub fn run_pending(
+        &self,
+        events: &crossbeam::channel::Receiver<ClusterEvent>,
+    ) -> Result<usize, ControllerError> {
+        let mut handled = 0;
+        while let Ok(event) = events.try_recv() {
+            self.process_event(&event)?;
+            handled += 1;
+        }
+        Ok(handled)
+    }
+
+    /// Placement description of the app's current deployment.
+    pub fn describe_app(&self, app: &str) -> Option<String> {
+        let apps = self.apps.lock();
+        let managed = apps.get(app)?;
+        let deployment = managed.deployment.as_ref()?;
+        let compiled = managed.compiled.as_ref()?;
+        Some(deployment.placement.describe(&compiled.chain.elements))
+    }
+
+    /// Publishes one telemetry round for an app: every processor's counter
+    /// deltas become [`adn_cluster::LoadReport`]s in the store (paper §5.3:
+    /// processors "periodically send reports ... back to the controller").
+    /// Returns the number of reports published.
+    pub fn report_loads(&self, app: &str) -> usize {
+        let stats = self.processor_stats(app);
+        let mut published = 0;
+        for (endpoint, snap) in stats {
+            let processed = snap.requests + snap.responses;
+            self.store.report_load(adn_cluster::LoadReport {
+                endpoint,
+                processed,
+                rejected: snap.dropped + snap.aborted,
+                // Utilization proxy: share of handled frames that were
+                // forwarded (a saturated processor would drop/abort more);
+                // a real deployment would sample CPU time instead.
+                utilization: if processed == 0 {
+                    0.0
+                } else {
+                    snap.forwarded as f64 / processed as f64
+                },
+            });
+            published += 1;
+        }
+        published
+    }
+
+    /// Stats from every processor of an app (endpoint, snapshot).
+    pub fn processor_stats(
+        &self,
+        app: &str,
+    ) -> Vec<(EndpointAddr, adn_dataplane::processor::StatsSnapshot)> {
+        let apps = self.apps.lock();
+        let Some(managed) = apps.get(app) else {
+            return Vec::new();
+        };
+        let Some(deployment) = managed.deployment.as_ref() else {
+            return Vec::new();
+        };
+        deployment
+            .processors()
+            .map(|p| (p.addr(), p.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use adn_cluster::resources::{
+        AdnConfig, ElementSpec, NodeId, NodeSpec, PlacementConstraint, ReplicaSpec, ServiceSpec,
+    };
+    use adn_rpc::engine::EngineChain;
+    use adn_rpc::message::RpcMessage;
+    use adn_rpc::runtime::{spawn_server, ServerConfig};
+    use adn_rpc::schema::MethodDef;
+    use adn_rpc::value::{Value, ValueType};
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        (
+            Arc::new(
+                RpcSchema::builder()
+                    .field("object_id", ValueType::U64)
+                    .field("username", ValueType::Str)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+            Arc::new(
+                RpcSchema::builder()
+                    .field("ok", ValueType::Bool)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+        )
+    }
+
+    fn node(id: u32) -> NodeSpec {
+        NodeSpec {
+            id: NodeId(id),
+            name: format!("n{id}"),
+            cpu_slots: 8,
+            ebpf_capable: false,
+            smartnic: None,
+        }
+    }
+
+    struct World {
+        store: ClusterStore,
+        controller: Controller,
+        client: Arc<RpcClient>,
+        svc: Arc<ServiceSchema>,
+        events: crossbeam::channel::Receiver<ClusterEvent>,
+        server_tags: Vec<u64>,
+        _servers: Vec<Arc<ServerHandle>>,
+    }
+
+    fn world(replica_endpoints: &[u64]) -> World {
+        let (req, resp) = schemas();
+        let svc = Arc::new(
+            ServiceSchema::new(
+                "Storage",
+                vec![MethodDef {
+                    id: 1,
+                    name: "Put".into(),
+                    request: req.clone(),
+                    response: resp.clone(),
+                }],
+            )
+            .unwrap(),
+        );
+        let store = ClusterStore::new();
+        let events = store.watch();
+        store.add_node(node(1));
+        store.add_node(node(2));
+        store.add_service(ServiceSpec {
+            name: "storage".into(),
+            replicas: replica_endpoints
+                .iter()
+                .map(|&endpoint| ReplicaSpec {
+                    node: NodeId(2),
+                    endpoint,
+                })
+                .collect(),
+        });
+
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let mut servers = Vec::new();
+        for &endpoint in replica_endpoints {
+            let frames = net.attach(endpoint);
+            let svc2 = svc.clone();
+            servers.push(Arc::new(spawn_server(
+                ServerConfig {
+                    addr: endpoint,
+                    service: svc.clone(),
+                    chain: EngineChain::new(),
+                },
+                link.clone(),
+                frames,
+                Box::new(move |request| {
+                    let m = svc2.method_by_id(1).unwrap();
+                    let mut r = RpcMessage::response_to(request, m.response.clone());
+                    r.set("ok", Value::Bool(true));
+                    r.set("payload", Value::Bytes(vec![endpoint as u8]));
+                    r
+                }),
+            )));
+        }
+
+        let client_frames = net.attach(100);
+        let client = RpcClient::new(100, link, client_frames, svc.clone(), EngineChain::new());
+
+        let controller = Controller::new(store.clone(), net, 10_000);
+        controller.register_app(
+            "shop",
+            AppRegistration {
+                request: req,
+                response: resp,
+                service: svc.clone(),
+                client: client.clone(),
+                servers: servers.clone(),
+                env: Environment {
+                    client_node: node(1),
+                    server_node: node(2),
+                    switch: None,
+                    allow_in_app: true,
+                },
+            },
+        );
+
+        World {
+            store,
+            controller,
+            client,
+            svc,
+            events,
+            server_tags: replica_endpoints.to_vec(),
+            _servers: servers,
+        }
+    }
+
+    fn call(w: &World, oid: u64, user: &str) -> Result<RpcMessage, adn_rpc::RpcError> {
+        let m = w.svc.method_by_id(1).unwrap();
+        let msg = RpcMessage::request(0, 1, m.request.clone())
+            .with("object_id", oid)
+            .with("username", user)
+            .with("payload", vec![1u8; 8]);
+        w.client.call(msg, w.server_tags[0])
+    }
+
+    fn config(chain: Vec<ElementSpec>) -> AdnConfig {
+        AdnConfig {
+            app: "shop".into(),
+            src_service: "frontend".into(),
+            dst_service: "storage".into(),
+            chain,
+            seed: 3,
+        }
+    }
+
+    fn spec(name: &str, constraints: Vec<PlacementConstraint>) -> ElementSpec {
+        ElementSpec {
+            element: name.into(),
+            source: None,
+            args: vec![],
+            constraints,
+        }
+    }
+
+    #[test]
+    fn config_event_deploys_the_chain() {
+        let w = world(&[200]);
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        let handled = w.controller.run_pending(&w.events).unwrap();
+        assert!(handled >= 1);
+        assert!(call(&w, 1, "alice").is_ok());
+        assert!(call(&w, 1, "bob").is_err());
+        let desc = w.controller.describe_app("shop").unwrap();
+        assert!(desc.contains("Sidecar"), "{desc}");
+    }
+
+    #[test]
+    fn config_update_changes_behavior() {
+        let w = world(&[200]);
+        w.store.apply_config(config(vec![spec("Acl", vec![])]));
+        w.controller.run_pending(&w.events).unwrap();
+        assert!(call(&w, 1, "bob").is_err());
+
+        // New config without the ACL: bob gets through.
+        w.store.apply_config(config(vec![spec("Logging", vec![])]));
+        w.controller.run_pending(&w.events).unwrap();
+        assert!(call(&w, 1, "bob").is_ok());
+    }
+
+    #[test]
+    fn replica_event_rebinds_load_balancer() {
+        let w = world(&[200, 201]);
+        // Start with only replica 200 known to the store? Both are known;
+        // apply LB config and check spread, then remove one and verify all
+        // traffic lands on the survivor.
+        w.store.apply_config(config(vec![spec(
+            "LoadBalancer",
+            vec![PlacementConstraint::OffApp],
+        )]));
+        w.controller.run_pending(&w.events).unwrap();
+
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..30 {
+            let resp = call(&w, i, "alice").unwrap();
+            seen.insert(resp.get("payload").unwrap().as_bytes().unwrap()[0]);
+        }
+        assert_eq!(seen.len(), 2);
+
+        w.store.remove_replica("storage", 201).unwrap();
+        w.controller.run_pending(&w.events).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..30 {
+            let resp = call(&w, i, "alice").unwrap();
+            seen.insert(resp.get("payload").unwrap().as_bytes().unwrap()[0]);
+        }
+        assert_eq!(seen, std::collections::HashSet::from([200u8 as u8]));
+    }
+
+    #[test]
+    fn processor_stats_visible_through_controller() {
+        let w = world(&[200]);
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        for i in 0..5 {
+            let _ = call(&w, i, "alice");
+        }
+        let stats = w.controller.processor_stats("shop");
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.requests, 5);
+    }
+
+    #[test]
+    fn config_resync_carries_state_for_unchanged_groups() {
+        let w = world(&[200]);
+        // Quota sheds after `limit` requests per user; its `used` counters
+        // are the state that must survive a config re-apply.
+        let mut quota = spec("Quota", vec![PlacementConstraint::OffApp]);
+        quota.args = vec![("limit".into(), serde_json::json!(10))];
+        w.store.apply_config(config(vec![quota.clone()]));
+        w.controller.run_pending(&w.events).unwrap();
+        for i in 0..6 {
+            call(&w, i, "alice").unwrap();
+        }
+
+        // Re-apply the same config (e.g. an unrelated metadata change).
+        w.store.apply_config(config(vec![quota]));
+        w.controller.run_pending(&w.events).unwrap();
+
+        // 4 more requests reach the limit of 10; the 11th sheds. If state
+        // had been lost, alice would have 10 fresh requests available.
+        for i in 0..4 {
+            call(&w, 100 + i, "alice").unwrap_or_else(|e| panic!("call {i}: {e}"));
+        }
+        assert!(
+            call(&w, 999, "alice").is_err(),
+            "quota counters must survive the re-deploy"
+        );
+    }
+
+    #[test]
+    fn telemetry_reports_reach_the_store() {
+        let w = world(&[200]);
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        for i in 0..4 {
+            let _ = call(&w, i, "alice");
+        }
+        let watcher = w.store.watch();
+        assert_eq!(w.controller.report_loads("shop"), 1);
+        match watcher.try_recv().unwrap() {
+            ClusterEvent::Load(report) => {
+                assert_eq!(report.processed, 8, "4 requests + 4 responses");
+                assert_eq!(report.rejected, 0);
+            }
+            other => panic!("expected a load report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregistered_app_errors() {
+        let w = world(&[200]);
+        assert!(w.controller.sync_app("ghost").is_err());
+    }
+}

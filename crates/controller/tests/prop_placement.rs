@@ -1,0 +1,187 @@
+//! Property tests for the placement solver: every solution it returns must
+//! satisfy the paper's constraints by construction — path-monotonic order,
+//! trust pins, co-location pins, device availability, and platform
+//! capability — across random chains, constraint sets, and environments.
+
+use adn_cluster::resources::{
+    NodeId, NodeSpec, PlacementConstraint, SmartNicSpec, SwitchId, SwitchSpec,
+};
+use adn_controller::placement::{place, ElementConstraints, Environment};
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::ValueType;
+use proptest::prelude::*;
+
+fn schemas() -> (RpcSchema, RpcSchema) {
+    (
+        RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+        RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn element_pool() -> Vec<adn_ir::ElementIr> {
+    let (req, resp) = schemas();
+    ["Logging", "Acl", "Fault", "LoadBalancer", "Compress", "Decompress", "Firewall", "Metrics"]
+        .iter()
+        .map(|n| adn_elements::build(n, &[], &req, &resp).unwrap())
+        .collect()
+}
+
+fn arb_constraints() -> impl Strategy<Value = Vec<PlacementConstraint>> {
+    prop_oneof![
+        Just(vec![]),
+        Just(vec![PlacementConstraint::OffApp]),
+        Just(vec![PlacementConstraint::SenderSide]),
+        Just(vec![PlacementConstraint::ReceiverSide]),
+        Just(vec![PlacementConstraint::OffApp, PlacementConstraint::SenderSide]),
+        Just(vec![PlacementConstraint::OffApp, PlacementConstraint::ReceiverSide]),
+    ]
+}
+
+fn env(ebpf: bool, nic: bool, switch: bool, allow_in_app: bool) -> Environment {
+    let node = |id: u32| NodeSpec {
+        id: NodeId(id),
+        name: format!("n{id}"),
+        cpu_slots: 8,
+        ebpf_capable: ebpf,
+        smartnic: nic.then_some(SmartNicSpec { cpu_slots: 4 }),
+    };
+    Environment {
+        client_node: node(1),
+        server_node: node(2),
+        switch: switch.then_some(SwitchSpec {
+            id: SwitchId(1),
+            name: "tor".into(),
+            programmable: true,
+            table_capacity: 1024,
+        }),
+        allow_in_app,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placements_satisfy_all_constraints(
+        picks in proptest::collection::vec(0usize..8, 1..6),
+        constraint_picks in proptest::collection::vec(arb_constraints(), 6),
+        ebpf in any::<bool>(),
+        nic in any::<bool>(),
+        switch in any::<bool>(),
+        allow_in_app in any::<bool>(),
+    ) {
+        let pool = element_pool();
+        let elements: Vec<_> = picks.iter().map(|&i| pool[i].clone()).collect();
+        let constraints: Vec<ElementConstraints> = picks
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| ElementConstraints {
+                constraints: constraint_picks[slot % constraint_picks.len()].clone(),
+            })
+            .collect();
+        let environment = env(ebpf, nic, switch, allow_in_app);
+
+        let Ok(placement) = place(&elements, &constraints, &environment) else {
+            // Infeasible combinations are allowed to fail; the properties
+            // below only bind successful solutions.
+            return Ok(());
+        };
+
+        // 1. One site per element, path-monotonic.
+        prop_assert_eq!(placement.sites.len(), elements.len());
+        for w in placement.sites.windows(2) {
+            prop_assert!(
+                w[0].path_index() <= w[1].path_index(),
+                "order violated: {:?}",
+                placement.sites
+            );
+        }
+        // 2. Constraints respected.
+        for (site, cons) in placement.sites.iter().zip(&constraints) {
+            for c in &cons.constraints {
+                match c {
+                    PlacementConstraint::OffApp => prop_assert!(!site.in_app()),
+                    PlacementConstraint::SenderSide => prop_assert!(site.client_side()),
+                    PlacementConstraint::ReceiverSide => prop_assert!(site.server_side()),
+                    PlacementConstraint::DropInsensitive => {}
+                }
+            }
+        }
+        // 3. Environment availability + platform capability.
+        for (site, element) in placement.sites.iter().zip(&elements) {
+            if site.in_app() {
+                prop_assert!(allow_in_app);
+            }
+            match site.platform() {
+                adn_backend::Platform::Ebpf => prop_assert!(ebpf),
+                adn_backend::Platform::SmartNic => prop_assert!(nic),
+                adn_backend::Platform::Switch => prop_assert!(switch),
+                adn_backend::Platform::Software => {}
+            }
+            prop_assert!(
+                adn_backend::supports(element, site.platform()).is_ok(),
+                "{} cannot run on {:?}",
+                element.name,
+                site
+            );
+        }
+        // 4. Groups partition the chain exactly.
+        let mut covered = 0;
+        for (_, start, end) in placement.groups() {
+            prop_assert_eq!(start, covered);
+            covered = end;
+        }
+        prop_assert_eq!(covered, elements.len());
+        // 5. Cost is finite and non-negative.
+        prop_assert!(placement.cost.is_finite() && placement.cost >= 0.0);
+    }
+
+    /// With in-app allowed and no constraints, bare environments always
+    /// produce a feasible (fully in-app is always available) placement.
+    #[test]
+    fn unconstrained_chains_always_place(picks in proptest::collection::vec(0usize..8, 1..6)) {
+        let pool = element_pool();
+        let elements: Vec<_> = picks.iter().map(|&i| pool[i].clone()).collect();
+        let constraints = vec![ElementConstraints::default(); elements.len()];
+        let environment = env(false, false, false, true);
+        let placement = place(&elements, &constraints, &environment);
+        prop_assert!(placement.is_ok(), "{placement:?}");
+    }
+
+    /// Richer environments never place worse: adding devices can only
+    /// lower (or keep) the solver's cost.
+    #[test]
+    fn more_hardware_never_hurts(
+        picks in proptest::collection::vec(0usize..8, 1..5),
+        cons in proptest::collection::vec(arb_constraints(), 5),
+    ) {
+        let pool = element_pool();
+        let elements: Vec<_> = picks.iter().map(|&i| pool[i].clone()).collect();
+        let constraints: Vec<ElementConstraints> = picks
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| ElementConstraints {
+                constraints: cons[slot % cons.len()].clone(),
+            })
+            .collect();
+        let bare = place(&elements, &constraints, &env(false, false, false, true));
+        let rich = place(&elements, &constraints, &env(true, true, true, true));
+        if let (Ok(b), Ok(r)) = (bare, rich) {
+            prop_assert!(
+                r.cost <= b.cost + 1e-9,
+                "rich cost {} > bare cost {}",
+                r.cost,
+                b.cost
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # adn — Application Defined Networks
+//!
+//! A from-scratch implementation of *Application Defined Networks*
+//! (HotNets '23): developers specify an application's network functionality
+//! as a chain of elements in a SQL-like DSL; a compiler and runtime
+//! controller generate a custom distributed implementation across the
+//! available software and hardware processors.
+//!
+//! ## Crate map
+//!
+//! | layer | crate | what it is |
+//! |---|---|---|
+//! | spec | [`adn_dsl`] | the element DSL: parser, typechecker |
+//! | compiler | [`adn_ir`] | IR, analyses, optimization passes |
+//! | backends | [`adn_backend`] | native engines, Rust codegen, eBPF-sim, P4-sim |
+//! | elements | [`adn_elements`] | standard element library (+ hand-coded twins) |
+//! | rpc | [`adn_rpc`] | mRPC-style managed RPC runtime + flat-id fabric |
+//! | data plane | [`adn_dataplane`] | processors, scale-out router, hop codec |
+//! | cluster | [`adn_cluster`] | simulated cluster manager + AdnConfig CRD |
+//! | control | [`adn_controller`] | placement, deployment, live reconfiguration |
+//! | baseline | [`adn_mesh`] | gRPC + Envoy-style sidecar mesh for comparison |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adn::harness::{AdnWorld, WorldConfig};
+//!
+//! // The paper's evaluation chain: Logging → ACL → Fault injection.
+//! let world = AdnWorld::start(WorldConfig::paper_eval_chain(0.02)).unwrap();
+//! let resp = world.call(1, "alice", b"hello").unwrap();
+//! assert!(resp.get("ok").is_some());
+//! // bob only has read permission: the ACL element rejects him.
+//! assert!(world.call(2, "bob", b"hello").is_err());
+//! ```
+
+pub mod harness;
+
+pub use adn_backend as backend;
+pub use adn_cluster as cluster;
+pub use adn_controller as controller;
+pub use adn_dataplane as dataplane;
+pub use adn_dsl as dsl;
+pub use adn_elements as elements;
+pub use adn_ir as ir;
+pub use adn_mesh as mesh;
+pub use adn_rpc as rpc;
+pub use adn_wire as wire;
+
+/// Library version.
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}

@@ -1,0 +1,247 @@
+//! Minimal-header hop codec.
+//!
+//! Paper §4 Q2 / §5.3: when a chain is split across processors, the sender
+//! (which holds the structured message) emits a hop frame carrying (a) a
+//! compact envelope, (b) **only the header fields the downstream processors
+//! read or write**, and (c) the rest of the message as an opaque blob that
+//! intermediate hops forward without parsing. The final receiver merges any
+//! header-field updates over the decoded blob.
+//!
+//! Contrast with a sidecar mesh, where every hop re-parses HTTP/2 + HPACK +
+//! protobuf for the whole message. The `optimizer_ablation` bench measures
+//! both the byte savings and the parse savings this buys.
+
+use std::sync::Arc;
+
+use adn_rpc::message::{MessageKind, RpcMessage};
+use adn_rpc::schema::ServiceSchema;
+use adn_rpc::value::Value;
+use adn_rpc::wire_format;
+use adn_wire::codec::{Decoder, Encoder, WireError, WireResult};
+use adn_wire::header::HeaderLayout;
+
+/// A hop frame split into the parts an intermediate processor touches and
+/// the part it never parses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopFrame {
+    /// Correlation id (mirrors the envelope inside the blob).
+    pub call_id: u64,
+    /// Request or response.
+    pub kind: MessageKind,
+    /// Destination (rewritable by routing elements at intermediate hops).
+    pub dst: u64,
+    /// Header field values, positionally matching the hop's layout.
+    pub header: Vec<Value>,
+    /// The full message, opaque to intermediate hops.
+    pub blob: Vec<u8>,
+}
+
+/// Encodes a structured message into hop-frame bytes under `layout`.
+pub fn encode_hop(msg: &RpcMessage, layout: &HeaderLayout) -> WireResult<Vec<u8>> {
+    let mut enc = Encoder::with_capacity(64 + msg.size_hint());
+    enc.put_varint(msg.call_id);
+    enc.put_u8(match msg.kind {
+        MessageKind::Request => 0,
+        MessageKind::Response => 1,
+    });
+    enc.put_varint(msg.dst);
+    // Header: the layout's fields, pulled from the message by name.
+    let values: Vec<adn_wire::header::HeaderValue> = layout
+        .fields()
+        .iter()
+        .map(|f| {
+            msg.get(&f.name)
+                .map(Value::to_header_value)
+                .ok_or(WireError::Malformed("layout names unknown field"))
+        })
+        .collect::<WireResult<_>>()?;
+    layout.encode(&values, &mut enc)?;
+    // Blob: the complete message, decoded only at the final receiver.
+    let blob = wire_format::encode_message_to_vec(msg)?;
+    enc.put_bytes(&blob);
+    Ok(enc.into_bytes())
+}
+
+/// Decodes only the hop-visible parts (what an intermediate processor does).
+pub fn decode_hop(bytes: &[u8], layout: &HeaderLayout) -> WireResult<HopFrame> {
+    let mut dec = Decoder::new(bytes);
+    let call_id = dec.get_varint()?;
+    let kind = match dec.get_u8()? {
+        0 => MessageKind::Request,
+        1 => MessageKind::Response,
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "hop kind",
+            })
+        }
+    };
+    let dst = dec.get_varint()?;
+    let header = layout
+        .decode(&mut dec)?
+        .into_iter()
+        .map(Value::from_header_value)
+        .collect();
+    let blob = dec.get_bytes()?.to_vec();
+    if !dec.is_exhausted() {
+        return Err(WireError::Malformed("trailing bytes in hop frame"));
+    }
+    Ok(HopFrame {
+        call_id,
+        kind,
+        dst,
+        header,
+        blob,
+    })
+}
+
+/// Re-encodes a (possibly modified) hop frame without touching the blob.
+pub fn reencode_hop(frame: &HopFrame, layout: &HeaderLayout) -> WireResult<Vec<u8>> {
+    let mut enc = Encoder::with_capacity(32 + frame.blob.len());
+    enc.put_varint(frame.call_id);
+    enc.put_u8(match frame.kind {
+        MessageKind::Request => 0,
+        MessageKind::Response => 1,
+    });
+    enc.put_varint(frame.dst);
+    let values: Vec<adn_wire::header::HeaderValue> =
+        frame.header.iter().map(Value::to_header_value).collect();
+    layout.encode(&values, &mut enc)?;
+    enc.put_bytes(&frame.blob);
+    Ok(enc.into_bytes())
+}
+
+/// Final-receiver path: decode the blob and merge authoritative header
+/// values over it (intermediate hops may have rewritten header fields).
+pub fn finish_hop(
+    frame: &HopFrame,
+    layout: &HeaderLayout,
+    service: &Arc<ServiceSchema>,
+) -> WireResult<RpcMessage> {
+    let mut msg = wire_format::decode_message_exact(&frame.blob, service)?;
+    for (slot, value) in layout.fields().iter().zip(&frame.header) {
+        if !msg.set(&slot.name, value.clone()) {
+            return Err(WireError::Malformed("header field missing from schema"));
+        }
+    }
+    msg.dst = frame.dst;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_rpc::schema::{MethodDef, RpcSchema};
+    use adn_rpc::value::ValueType;
+    use adn_wire::header::HeaderType;
+
+    fn service() -> Arc<ServiceSchema> {
+        let request = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let response = Arc::new(
+            RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+        );
+        Arc::new(
+            ServiceSchema::new(
+                "S",
+                vec![MethodDef {
+                    id: 1,
+                    name: "M".into(),
+                    request,
+                    response,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn lb_layout() -> HeaderLayout {
+        let mut l = HeaderLayout::new();
+        l.push(0, "object_id", HeaderType::U64);
+        l
+    }
+
+    fn sample_msg(svc: &Arc<ServiceSchema>) -> RpcMessage {
+        let m = svc.method_by_id(1).unwrap();
+        let mut msg = RpcMessage::request(9, 1, m.request.clone())
+            .with("object_id", 42u64)
+            .with("username", "alice")
+            .with("payload", vec![7u8; 64]);
+        msg.src = 1;
+        msg.dst = 2;
+        msg
+    }
+
+    #[test]
+    fn hop_roundtrip_without_modification() {
+        let svc = service();
+        let layout = lb_layout();
+        let msg = sample_msg(&svc);
+        let bytes = encode_hop(&msg, &layout).unwrap();
+        let frame = decode_hop(&bytes, &layout).unwrap();
+        assert_eq!(frame.call_id, 9);
+        assert_eq!(frame.header, vec![Value::U64(42)]);
+        let finished = finish_hop(&frame, &layout, &svc).unwrap();
+        assert_eq!(finished.fields, msg.fields);
+    }
+
+    #[test]
+    fn intermediate_rewrites_merge_at_receiver() {
+        let svc = service();
+        let layout = lb_layout();
+        let msg = sample_msg(&svc);
+        let bytes = encode_hop(&msg, &layout).unwrap();
+        let mut frame = decode_hop(&bytes, &layout).unwrap();
+        // An intermediate hop rewrites the routed field and the dst.
+        frame.header[0] = Value::U64(1000);
+        frame.dst = 77;
+        let bytes2 = reencode_hop(&frame, &layout).unwrap();
+        let frame2 = decode_hop(&bytes2, &layout).unwrap();
+        let finished = finish_hop(&frame2, &layout, &svc).unwrap();
+        assert_eq!(finished.get("object_id"), Some(&Value::U64(1000)));
+        assert_eq!(finished.dst, 77);
+        // Untouched fields come from the blob.
+        assert_eq!(finished.get("username"), Some(&Value::Str("alice".into())));
+    }
+
+    #[test]
+    fn hop_header_is_tiny_relative_to_blob() {
+        let svc = service();
+        let layout = lb_layout();
+        let mut msg = sample_msg(&svc);
+        msg.set("payload", Value::Bytes(vec![1u8; 4096]));
+        let bytes = encode_hop(&msg, &layout).unwrap();
+        let frame = decode_hop(&bytes, &layout).unwrap();
+        // Envelope + header is everything except the blob and its prefix.
+        let overhead = bytes.len() - frame.blob.len();
+        assert!(overhead < 16, "hop overhead {overhead} bytes");
+    }
+
+    #[test]
+    fn truncated_hop_frames_error() {
+        let svc = service();
+        let layout = lb_layout();
+        let bytes = encode_hop(&sample_msg(&svc), &layout).unwrap();
+        for cut in 0..bytes.len().min(24) {
+            assert!(decode_hop(&bytes[..cut], &layout).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_layout_means_envelope_only() {
+        let svc = service();
+        let layout = HeaderLayout::new();
+        let msg = sample_msg(&svc);
+        let bytes = encode_hop(&msg, &layout).unwrap();
+        let frame = decode_hop(&bytes, &layout).unwrap();
+        assert!(frame.header.is_empty());
+        let finished = finish_hop(&frame, &layout, &svc).unwrap();
+        assert_eq!(finished.fields, msg.fields);
+    }
+}

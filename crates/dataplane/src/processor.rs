@@ -1,0 +1,619 @@
+//! Standalone ADN processor endpoints.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use adn_rpc::engine::{EngineChain, Verdict};
+use adn_rpc::message::{MessageKind, RpcMessage};
+use adn_rpc::schema::ServiceSchema;
+use adn_rpc::transport::{EndpointAddr, Frame, Link};
+use adn_rpc::wire_format;
+
+/// Where a processor forwards messages after processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHop {
+    /// Use the message's own destination (possibly rewritten by a ROUTE
+    /// element in the chain).
+    Dst,
+    /// Forward to a fixed endpoint (the next processor in a split chain).
+    Fixed(EndpointAddr),
+}
+
+impl NextHop {
+    fn resolve(self, msg_dst: EndpointAddr) -> EndpointAddr {
+        match self {
+            NextHop::Dst => msg_dst,
+            NextHop::Fixed(addr) => addr,
+        }
+    }
+}
+
+/// Cumulative processor counters.
+#[derive(Debug, Default)]
+pub struct ProcessorStats {
+    pub requests: AtomicU64,
+    pub responses: AtomicU64,
+    pub forwarded: AtomicU64,
+    pub dropped: AtomicU64,
+    pub aborted: AtomicU64,
+    pub decode_errors: AtomicU64,
+}
+
+/// Point-in-time snapshot of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub responses: u64,
+    pub forwarded: u64,
+    pub dropped: u64,
+    pub aborted: u64,
+    pub decode_errors: u64,
+}
+
+impl ProcessorStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Control messages to a running processor.
+enum Ctl {
+    /// Stop pulling frames; queued frames accumulate (lossless pause).
+    Pause(Sender<()>),
+    /// Resume pulling frames.
+    Resume,
+    /// Export the chain's state images.
+    ExportState(Sender<Vec<Vec<u8>>>),
+    /// Import state images into the chain.
+    ImportState(Vec<Vec<u8>>, Sender<Result<(), String>>),
+    /// Replace the engine chain (hot update). Replies with the old chain's
+    /// exported state.
+    InstallChain(EngineChain, Sender<Vec<Vec<u8>>>),
+    /// Re-send every currently queued frame onto the link addressed to this
+    /// processor's own address (used after the fabric was re-pointed to a
+    /// successor), then reply with the count.
+    Drain(Sender<usize>),
+    /// Exit the serve loop.
+    Stop,
+    /// Finish the queued frames, then exit the serve loop.
+    StopWhenIdle,
+}
+
+/// Configuration for [`spawn_processor`].
+pub struct ProcessorConfig {
+    /// Flat address this processor serves.
+    pub addr: EndpointAddr,
+    /// Service schema for decoding.
+    pub service: Arc<ServiceSchema>,
+    /// The compiled chain.
+    pub chain: EngineChain,
+    /// Where requests go after processing.
+    pub request_next: NextHop,
+    /// Where responses go after processing (usually `Dst` — the flow table
+    /// already restored the original requester).
+    pub response_next: NextHop,
+    /// NAT flow entries inherited from a predecessor (live migration moves
+    /// in-flight flows along with element state).
+    pub initial_flows: HashMap<u64, EndpointAddr>,
+}
+
+impl ProcessorConfig {
+    /// Convenience constructor with an empty flow table.
+    pub fn new(
+        addr: EndpointAddr,
+        service: Arc<ServiceSchema>,
+        chain: EngineChain,
+        request_next: NextHop,
+        response_next: NextHop,
+    ) -> Self {
+        Self {
+            addr,
+            service,
+            chain,
+            request_next,
+            response_next,
+            initial_flows: HashMap::new(),
+        }
+    }
+}
+
+/// Handle to a running processor.
+pub struct ProcessorHandle {
+    addr: EndpointAddr,
+    ctl: Sender<Ctl>,
+    stats: Arc<ProcessorStats>,
+    flows: Arc<parking_lot::Mutex<HashMap<u64, EndpointAddr>>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProcessorHandle {
+    /// The processor's flat address.
+    pub fn addr(&self) -> EndpointAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Pauses frame processing (queued frames are retained).
+    pub fn pause(&self) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self.ctl.send(Ctl::Pause(tx)).is_ok() {
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        }
+    }
+
+    /// Resumes frame processing.
+    pub fn resume(&self) {
+        let _ = self.ctl.send(Ctl::Resume);
+    }
+
+    /// Exports per-engine state images.
+    pub fn export_state(&self) -> Vec<Vec<u8>> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self.ctl.send(Ctl::ExportState(tx)).is_err() {
+            return Vec::new();
+        }
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+    }
+
+    /// Imports per-engine state images.
+    pub fn import_state(&self, images: Vec<Vec<u8>>) -> Result<(), String> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.ctl
+            .send(Ctl::ImportState(images, tx))
+            .map_err(|_| "processor stopped".to_owned())?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(|_| "processor unresponsive".to_owned())?
+    }
+
+    /// Hot-swaps the engine chain, returning the old chain's state images.
+    pub fn install_chain(&self, chain: EngineChain) -> Vec<Vec<u8>> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self.ctl.send(Ctl::InstallChain(chain, tx)).is_err() {
+            return Vec::new();
+        }
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+    }
+
+    /// Snapshot of the NAT flow table (in-flight call id → requester).
+    /// Live migration hands this to the successor so in-flight responses
+    /// still find their way back.
+    pub fn export_flows(&self) -> HashMap<u64, EndpointAddr> {
+        self.flows.lock().clone()
+    }
+
+    /// Re-emits queued frames to this processor's address (after the fabric
+    /// has been re-pointed at a successor). Returns frames drained.
+    pub fn drain(&self) -> usize {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self.ctl.send(Ctl::Drain(tx)).is_err() {
+            return 0;
+        }
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or(0)
+    }
+
+    /// Stops the processor thread.
+    pub fn stop(mut self) {
+        let _ = self.ctl.send(Ctl::Stop);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Asks the processor to finish its queued frames and then exit, and
+    /// waits for it (make-before-break retirement).
+    pub fn stop_when_idle(mut self) {
+        let _ = self.ctl.send(Ctl::StopWhenIdle);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ProcessorHandle {
+    fn drop(&mut self) {
+        let _ = self.ctl.send(Ctl::Stop);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Spawns a processor thread serving `config.addr` with frames from
+/// `frames` over `link`.
+pub fn spawn_processor(
+    config: ProcessorConfig,
+    link: Arc<dyn Link>,
+    frames: Receiver<Frame>,
+) -> ProcessorHandle {
+    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded();
+    let stats = Arc::new(ProcessorStats::default());
+    let thread_stats = stats.clone();
+    let flows = Arc::new(parking_lot::Mutex::new(config.initial_flows.clone()));
+    let thread_flows = flows.clone();
+    let addr = config.addr;
+
+    let join = std::thread::Builder::new()
+        .name(format!("adn-processor-{addr}"))
+        .spawn(move ||
+
+ {
+            let ProcessorConfig {
+                addr,
+                service,
+                mut chain,
+                request_next,
+                response_next,
+                initial_flows: _,
+            } = config;
+            let mut paused = false;
+            let mut stopping = false;
+
+            loop {
+                // Drain control messages first.
+                while let Ok(ctl) = ctl_rx.try_recv() {
+                    match ctl {
+                        Ctl::Pause(reply) => {
+                            paused = true;
+                            let _ = reply.send(());
+                        }
+                        Ctl::Resume => paused = false,
+                        Ctl::ExportState(reply) => {
+                            let _ = reply.send(chain.export_states());
+                        }
+                        Ctl::ImportState(images, reply) => {
+                            let _ = reply.send(chain.import_states(&images));
+                        }
+                        Ctl::InstallChain(new_chain, reply) => {
+                            let old = std::mem::replace(&mut chain, new_chain);
+                            let _ = reply.send(old.export_states());
+                        }
+                        Ctl::Drain(reply) => {
+                            let mut count = 0;
+                            while let Ok(frame) = frames.try_recv() {
+                                // Same dst: the fabric now delivers to the
+                                // successor attached at this address.
+                                if link.send(frame).is_ok() {
+                                    count += 1;
+                                }
+                            }
+                            let _ = reply.send(count);
+                        }
+                        Ctl::Stop => return,
+                        Ctl::StopWhenIdle => stopping = true,
+                    }
+                }
+                if paused {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                let frame = if stopping {
+                    // Graceful retirement: drain what is queued, then exit.
+                    match frames.try_recv() {
+                        Ok(f) => f,
+                        Err(_) => return,
+                    }
+                } else {
+                    match frames.recv_timeout(Duration::from_millis(20)) {
+                        Ok(f) => f,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                };
+                let mut msg = match wire_format::decode_message_exact(&frame.payload, &service) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+
+                match msg.kind {
+                    MessageKind::Request => {
+                        thread_stats.requests.fetch_add(1, Ordering::Relaxed);
+                        let orig_src = msg.src;
+                        match chain.process(&mut msg) {
+                            Verdict::Forward => {
+                                // NAT in: responses will come back to us.
+                                thread_flows.lock().insert(msg.call_id, orig_src);
+                                msg.src = addr;
+                                let to = request_next.resolve(msg.dst);
+                                forward(&*link, addr, to, &msg, &thread_stats);
+                            }
+                            Verdict::Drop => {
+                                thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Verdict::Abort { code, message } => {
+                                thread_stats.aborted.fetch_add(1, Ordering::Relaxed);
+                                // Reflect an aborted response to the caller.
+                                if let Some(method) = service.method_by_id(msg.method_id) {
+                                    let mut resp =
+                                        RpcMessage::response_to(&msg, method.response.clone());
+                                    resp.abort(code, message);
+                                    resp.src = addr;
+                                    resp.dst = orig_src;
+                                    forward(&*link, addr, orig_src, &resp, &thread_stats);
+                                }
+                            }
+                        }
+                    }
+                    MessageKind::Response => {
+                        thread_stats.responses.fetch_add(1, Ordering::Relaxed);
+                        // NAT out: restore the original requester.
+                        if let Some(orig_src) = thread_flows.lock().remove(&msg.call_id) {
+                            msg.dst = orig_src;
+                        }
+                        match chain.process(&mut msg) {
+                            Verdict::Forward => {
+                                msg.src = addr;
+                                let to = response_next.resolve(msg.dst);
+                                forward(&*link, addr, to, &msg, &thread_stats);
+                            }
+                            Verdict::Drop => {
+                                thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Verdict::Abort { code, message } => {
+                                thread_stats.aborted.fetch_add(1, Ordering::Relaxed);
+                                msg.abort(code, message);
+                                msg.src = addr;
+                                let to = msg.dst;
+                                forward(&*link, addr, to, &msg, &thread_stats);
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn processor thread");
+
+    ProcessorHandle {
+        addr,
+        ctl: ctl_tx,
+        stats,
+        flows,
+        join: Some(join),
+    }
+}
+
+fn forward(
+    link: &dyn Link,
+    src: EndpointAddr,
+    to: EndpointAddr,
+    msg: &RpcMessage,
+    stats: &ProcessorStats,
+) {
+    if let Ok(payload) = wire_format::encode_message_to_vec(msg) {
+        if link
+            .send(Frame {
+                src,
+                dst: to,
+                payload,
+            })
+            .is_ok()
+        {
+            stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use adn_rpc::engine::Engine;
+    use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig};
+    use adn_rpc::schema::{MethodDef, RpcSchema};
+    use adn_rpc::transport::InProcNetwork;
+    use adn_rpc::value::{Value, ValueType};
+    use adn_rpc::RpcError;
+
+    fn service() -> Arc<ServiceSchema> {
+        let request = Arc::new(
+            RpcSchema::builder()
+                .field("x", ValueType::U64)
+                .field("who", ValueType::Str)
+                .build()
+                .unwrap(),
+        );
+        let response = Arc::new(
+            RpcSchema::builder()
+                .field("x", ValueType::U64)
+                .field("who", ValueType::Str)
+                .build()
+                .unwrap(),
+        );
+        Arc::new(
+            ServiceSchema::new(
+                "Echo",
+                vec![MethodDef {
+                    id: 1,
+                    name: "Echo".into(),
+                    request,
+                    response,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    struct CountAndStamp {
+        count: u64,
+    }
+    impl Engine for CountAndStamp {
+        fn name(&self) -> &str {
+            "count_stamp"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            self.count += 1;
+            if msg.kind == MessageKind::Response {
+                msg.set("who", Value::Str("via-processor".into()));
+            }
+            Verdict::Forward
+        }
+        fn export_state(&self) -> Vec<u8> {
+            self.count.to_le_bytes().to_vec()
+        }
+        fn import_state(&mut self, image: &[u8]) -> Result<(), String> {
+            self.count = u64::from_le_bytes(image.try_into().map_err(|_| "bad image")?);
+            Ok(())
+        }
+    }
+
+    struct DenyOdd;
+    impl Engine for DenyOdd {
+        fn name(&self) -> &str {
+            "deny_odd"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            if msg.kind == MessageKind::Request {
+                if let Some(Value::U64(x)) = msg.get("x") {
+                    if x % 2 == 1 {
+                        return Verdict::Abort {
+                            code: 7,
+                            message: "odd".into(),
+                        };
+                    }
+                }
+            }
+            Verdict::Forward
+        }
+    }
+
+    /// client(1) → processor(5) → server(2)
+    fn setup(chain: EngineChain) -> (Arc<RpcClient>, ProcessorHandle, adn_rpc::runtime::ServerHandle) {
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+
+        let server_frames = net.attach(2);
+        let svc2 = svc.clone();
+        let server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: svc.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            server_frames,
+            Box::new(move |req| {
+                let m = svc2.method_by_id(req.method_id).unwrap();
+                let mut resp = RpcMessage::response_to(req, m.response.clone());
+                resp.set("x", req.get("x").unwrap().clone());
+                resp.set("who", Value::Str("server".into()));
+                resp
+            }),
+        );
+
+        let proc_frames = net.attach(5);
+        let processor = spawn_processor(
+            ProcessorConfig {
+                addr: 5,
+                service: svc.clone(),
+                chain,
+                request_next: NextHop::Fixed(2),
+                response_next: NextHop::Dst,
+                initial_flows: Default::default(),
+            },
+            link.clone(),
+            proc_frames,
+        );
+
+        let client_frames = net.attach(1);
+        let client = RpcClient::new(1, link, client_frames, svc, EngineChain::new());
+        (client, processor, server)
+    }
+
+    fn req(client: &RpcClient, x: u64) -> RpcMessage {
+        let m = client.service().method_by_id(1).unwrap();
+        RpcMessage::request(0, 1, m.request.clone())
+            .with("x", x)
+            .with("who", "client")
+    }
+
+    #[test]
+    fn requests_and_responses_traverse_the_processor() {
+        let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
+        let (client, processor, _server) = setup(chain);
+        // Client addresses the processor (the controller's routing choice).
+        let resp = client.call(req(&client, 4), 5).unwrap();
+        assert_eq!(resp.get("x"), Some(&Value::U64(4)));
+        // The response chain ran on the processor (NAT return path).
+        assert_eq!(resp.get("who"), Some(&Value::Str("via-processor".into())));
+        let stats = processor.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.responses, 1);
+        assert_eq!(stats.forwarded, 2);
+    }
+
+    #[test]
+    fn processor_abort_reflects_to_client() {
+        let chain = EngineChain::from_engines(vec![Box::new(DenyOdd)]);
+        let (client, processor, _server) = setup(chain);
+        assert!(client.call(req(&client, 2), 5).is_ok());
+        let err = client.call(req(&client, 3), 5).unwrap_err();
+        assert!(matches!(err, RpcError::Aborted { code: 7, .. }));
+        assert_eq!(processor.stats().aborted, 1);
+    }
+
+    #[test]
+    fn state_export_import_across_processors() {
+        let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
+        let (client, processor, _server) = setup(chain);
+        for i in 0..3 {
+            client.call(req(&client, i * 2), 5).unwrap();
+        }
+        processor.pause();
+        let images = processor.export_state();
+        // 3 requests + 3 responses = 6 engine invocations.
+        assert_eq!(images[0], 6u64.to_le_bytes().to_vec());
+        processor.resume();
+
+        // Import shifted state and verify.
+        processor
+            .import_state(vec![100u64.to_le_bytes().to_vec()])
+            .unwrap();
+        assert_eq!(processor.export_state()[0], 100u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn hot_chain_swap_returns_old_state() {
+        let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
+        let (client, processor, _server) = setup(chain);
+        client.call(req(&client, 0), 5).unwrap();
+        let old_state = processor.install_chain(EngineChain::from_engines(vec![Box::new(
+            CountAndStamp { count: 0 },
+        )]));
+        assert_eq!(old_state[0], 2u64.to_le_bytes().to_vec());
+        // New chain starts fresh and still works.
+        client.call(req(&client, 2), 5).unwrap();
+        assert_eq!(processor.export_state()[0], 2u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn pause_is_lossless() {
+        let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
+        let (client, processor, _server) = setup(chain);
+        processor.pause();
+        // Send while paused: the call completes only after resume.
+        let pending = client.send_call(req(&client, 8), 5).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        processor.resume();
+        let resp = pending.wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.get("x"), Some(&Value::U64(8)));
+    }
+}

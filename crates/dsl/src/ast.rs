@@ -1,0 +1,428 @@
+//! Abstract syntax of the ADN DSL.
+//!
+//! An element (paper Figure 4) is a named unit with typed parameters, state
+//! tables, and handlers for the two message directions. Handler bodies are
+//! ordered statements over the implicit `input` tuple (the RPC being
+//! processed) and the element's state tables.
+
+use adn_rpc::value::ValueType;
+
+/// A compilation unit: one or more element definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub elements: Vec<ElementDef>,
+}
+
+/// One `element Name(params) { ... }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementDef {
+    pub name: String,
+    pub params: Vec<ParamDef>,
+    pub states: Vec<StateDef>,
+    /// Handler for requests, if declared.
+    pub on_request: Option<Handler>,
+    /// Handler for responses, if declared.
+    pub on_response: Option<Handler>,
+}
+
+impl ElementDef {
+    /// Looks up a state table by name.
+    pub fn state(&self, name: &str) -> Option<&StateDef> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDef> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// A typed element parameter with an optional default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    pub name: String,
+    pub ty: ValueType,
+    pub default: Option<Literal>,
+}
+
+/// A state table declaration: typed columns, optional key columns, optional
+/// initial rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDef {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Maximum live rows; inserting beyond it evicts the oldest row
+    /// (FIFO — log-rotation semantics). `None` = unbounded.
+    pub capacity: Option<u64>,
+    /// Rows the table starts with (each row is one literal per column).
+    pub init_rows: Vec<Vec<Literal>>,
+}
+
+impl StateDef {
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Indices of key columns, in declaration order.
+    pub fn key_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.key)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// One column of a state table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ValueType,
+    /// Whether this column is part of the table's key.
+    pub key: bool,
+}
+
+/// Which message direction a handler processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Request,
+    Response,
+}
+
+/// A handler body: ordered statements executed per RPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handler {
+    pub direction: Direction,
+    pub body: Vec<Stmt>,
+}
+
+/// Statements of the DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `SELECT proj FROM input [JOIN tab ON cond] [WHERE cond];`
+    ///
+    /// Emits the (possibly transformed) tuple downstream. A `WHERE` that
+    /// does not match, or a `JOIN` with no matching state row, drops the
+    /// RPC — this is how Figure 4's ACL "blocks" users.
+    Select(SelectStmt),
+    /// `INSERT INTO tab VALUES (exprs);` — appends/overwrites a state row.
+    Insert(InsertStmt),
+    /// `UPDATE tab SET col = expr, ... [WHERE cond];`
+    Update(UpdateStmt),
+    /// `DELETE FROM tab [WHERE cond];`
+    Delete(DeleteStmt),
+    /// `DROP [WHERE cond];` — silently discard the RPC.
+    Drop(Option<Expr>),
+    /// `ROUTE key_expr [WHERE cond];` — load-balance: rewrite the message's
+    /// destination to one of the destination service's replicas, chosen by
+    /// stable hash of the key expression (the paper's "load balance RPC
+    /// requests from A to B.1 or B.2 based on the object identifier").
+    /// The replica set is bound by the controller at deployment.
+    Route {
+        key: Expr,
+        condition: Option<Expr>,
+    },
+    /// `ABORT(code[, message]) [WHERE cond];` — reject the RPC.
+    Abort {
+        code: Expr,
+        message: Option<Expr>,
+        condition: Option<Expr>,
+    },
+    /// `SET input_field = expr [WHERE cond];` — sugar for an identity
+    /// SELECT with one field replaced; used by compression, mutation, etc.
+    Set {
+        field: String,
+        value: Expr,
+        condition: Option<Expr>,
+    },
+}
+
+/// The SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub projection: Projection,
+    pub join: Option<JoinClause>,
+    pub condition: Option<Expr>,
+    /// `ELSE ABORT(code[, message])`: when the join finds no row or the
+    /// condition is false, reject the RPC with this code instead of
+    /// silently dropping it (an ACL denies with an error; a rate limiter
+    /// sheds silently).
+    pub else_abort: Option<ElseAbort>,
+}
+
+/// The ELSE ABORT clause of a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElseAbort {
+    pub code: Expr,
+    pub message: Option<Expr>,
+}
+
+/// SELECT projection: `*` or explicit items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// Keep all input fields unchanged.
+    Star,
+    /// Explicit output fields. Each item's alias (or inferred name) must
+    /// name an input-schema field; unmentioned fields keep their values.
+    Items(Vec<ProjItem>),
+}
+
+/// One projection item: an expression with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// `JOIN table ON condition` — inner join of the input tuple against a
+/// state table; no match drops the RPC, multiple matches take the first in
+/// deterministic (insertion) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: String,
+    pub on: Expr,
+}
+
+/// `INSERT INTO table VALUES (...)` with one expression per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub table: String,
+    pub values: Vec<Expr>,
+}
+
+/// `UPDATE table SET col = expr, ... [WHERE cond]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub condition: Option<Expr>,
+}
+
+/// `DELETE FROM table [WHERE cond]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub condition: Option<Expr>,
+}
+
+/// Literal constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether the operator is a logical connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Literal),
+    /// `input.field` — a field of the RPC being processed.
+    InputField(String),
+    /// `table.column` — a column of the joined state row (valid only under
+    /// a JOIN on that table, or in UPDATE/DELETE WHERE clauses).
+    TableColumn { table: String, column: String },
+    /// A bare identifier: an element parameter.
+    Param(String),
+    /// Function call (built-in or user-defined).
+    Call { function: String, args: Vec<Expr> },
+    Unary { op: UnOp, operand: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `CASE WHEN c THEN v ... [ELSE v] END`
+    Case {
+        arms: Vec<(Expr, Expr)>,
+        otherwise: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Walks the expression tree, invoking `f` on every node.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Unary { operand, .. } => operand.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Case { arms, otherwise } => {
+                for (c, v) in arms {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = otherwise {
+                    e.walk(f);
+                }
+            }
+            Expr::Literal(_) | Expr::InputField(_) | Expr::TableColumn { .. } | Expr::Param(_) => {}
+        }
+    }
+
+    /// All `input.*` fields this expression reads.
+    pub fn input_fields(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::InputField(name) = e {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// All functions this expression calls.
+    pub fn called_functions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Call { function, .. } = e {
+                if !out.contains(function) {
+                    out.push(function.clone());
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(name: &str) -> Expr {
+        Expr::InputField(name.into())
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(field("a")),
+            right: Box::new(Expr::Call {
+                function: "hash".into(),
+                args: vec![field("b")],
+            }),
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn input_fields_deduplicated() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(field("x")),
+            right: Box::new(field("x")),
+        };
+        assert_eq!(e.input_fields(), vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn called_functions_found_in_case_arms() {
+        let e = Expr::Case {
+            arms: vec![(
+                Expr::Call {
+                    function: "random".into(),
+                    args: vec![],
+                },
+                field("v"),
+            )],
+            otherwise: Some(Box::new(Expr::Call {
+                function: "len".into(),
+                args: vec![field("payload")],
+            })),
+        };
+        let fns = e.called_functions();
+        assert!(fns.contains(&"random".to_owned()));
+        assert!(fns.contains(&"len".to_owned()));
+    }
+
+    #[test]
+    fn state_key_indices() {
+        let s = StateDef {
+            name: "t".into(),
+            capacity: None,
+            columns: vec![
+                ColumnDef {
+                    name: "a".into(),
+                    ty: ValueType::U64,
+                    key: true,
+                },
+                ColumnDef {
+                    name: "b".into(),
+                    ty: ValueType::Str,
+                    key: false,
+                },
+                ColumnDef {
+                    name: "c".into(),
+                    ty: ValueType::U64,
+                    key: true,
+                },
+            ],
+            init_rows: vec![],
+        };
+        assert_eq!(s.key_indices(), vec![0, 2]);
+        assert_eq!(s.column_index("b"), Some(1));
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Lt.is_logical());
+    }
+}

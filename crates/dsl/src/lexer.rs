@@ -1,0 +1,455 @@
+//! Tokenizer for the ADN DSL.
+//!
+//! SQL keywords are recognized case-insensitively (`SELECT` == `select`);
+//! identifiers and string contents are case-sensitive. Comments run from
+//! `--` to end of line (SQL style) or `//` to end of line.
+
+use std::fmt;
+
+/// A token kind plus any payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Structure keywords
+    Element,
+    State,
+    On,
+    Request,
+    Response,
+    Init,
+    Key,
+    Capacity,
+    // SQL keywords
+    Select,
+    From,
+    Input,
+    Join,
+    Where,
+    As,
+    Insert,
+    Into,
+    Values,
+    Update,
+    SetKw,
+    Delete,
+    DropKw,
+    Route,
+    Abort,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    And,
+    Or,
+    Not,
+    // Literals and names
+    Ident(String),
+    Int(u64),
+    Float(f64),
+    Str(String),
+    True,
+    False,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,     // =
+    EqEq,   // ==
+    NotEq,  // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.message, self.line, self.col)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(word: &str) -> Option<Tok> {
+    // SQL keywords: case-insensitive.
+    Some(match word.to_ascii_lowercase().as_str() {
+        "element" => Tok::Element,
+        "state" => Tok::State,
+        "on" => Tok::On,
+        "request" => Tok::Request,
+        "response" => Tok::Response,
+        "init" => Tok::Init,
+        "key" => Tok::Key,
+        "capacity" => Tok::Capacity,
+        "select" => Tok::Select,
+        "from" => Tok::From,
+        "input" => Tok::Input,
+        "join" => Tok::Join,
+        "where" => Tok::Where,
+        "as" => Tok::As,
+        "insert" => Tok::Insert,
+        "into" => Tok::Into,
+        "values" => Tok::Values,
+        "update" => Tok::Update,
+        "set" => Tok::SetKw,
+        "delete" => Tok::Delete,
+        "drop" => Tok::DropKw,
+        "route" => Tok::Route,
+        "abort" => Tok::Abort,
+        "case" => Tok::Case,
+        "when" => Tok::When,
+        "then" => Tok::Then,
+        "else" => Tok::Else,
+        "end" => Tok::End,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "not" => Tok::Not,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `source` into a vector ending with [`Tok::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+
+        // Non-ASCII is only legal inside string literals (handled below);
+        // reject it here so byte-indexed scanning never splits a char.
+        if bytes[i] >= 0x80 {
+            let ch = source[i..].chars().next().expect("valid utf8");
+            return Err(LexError {
+                message: format!("unexpected character {ch:?}"),
+                line: tl,
+                col: tc,
+            });
+        }
+
+        // Whitespace
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: `--` or `//` to end of line.
+        if (c == '-' && bytes.get(i + 1) == Some(&b'-'))
+            || (c == '/' && bytes.get(i + 1) == Some(&b'/'))
+        {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+                col += 1;
+            }
+            let word = &source[start..i];
+            match keyword(word) {
+                Some(tok) => push!(tok, tl, tc),
+                None => push!(Tok::Ident(word.to_owned()), tl, tc),
+            }
+            continue;
+        }
+        // Numbers
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                col += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            let text = &source[start..i];
+            if is_float {
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("invalid float literal {text:?}"),
+                    line: tl,
+                    col: tc,
+                })?;
+                push!(Tok::Float(v), tl, tc);
+            } else {
+                let v: u64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal {text:?} out of range"),
+                    line: tl,
+                    col: tc,
+                })?;
+                push!(Tok::Int(v), tl, tc);
+            }
+            continue;
+        }
+        // Strings: single quotes, '' escapes a quote (SQL style).
+        if c == '\'' {
+            i += 1;
+            col += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line: tl,
+                        col: tc,
+                    });
+                }
+                let ch = bytes[i] as char;
+                if ch == '\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        i += 2;
+                        col += 2;
+                        continue;
+                    }
+                    i += 1;
+                    col += 1;
+                    break;
+                }
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                // Strings are UTF-8; copy the full code point.
+                let ch_full = source[i..].chars().next().expect("valid utf8");
+                s.push(ch_full);
+                i += ch_full.len_utf8();
+            }
+            push!(Tok::Str(s), tl, tc);
+            continue;
+        }
+        // Operators & punctuation
+        let two = if i + 1 < bytes.len() && source.is_char_boundary(i + 2) {
+            &source[i..i + 2]
+        } else {
+            ""
+        };
+        let tok = match two {
+            "==" => Some((Tok::EqEq, 2)),
+            "!=" | "<>" => Some((Tok::NotEq, 2)),
+            "<=" => Some((Tok::Le, 2)),
+            ">=" => Some((Tok::Ge, 2)),
+            _ => None,
+        };
+        if let Some((tok, n)) = tok {
+            push!(tok, tl, tc);
+            i += n;
+            col += n as u32;
+            continue;
+        }
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            ':' => Tok::Colon,
+            '.' => Tok::Dot,
+            '*' => Tok::Star,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '=' => Tok::Eq,
+            '<' => Tok::Lt,
+            '>' => Tok::Gt,
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        };
+        push!(tok, tl, tc);
+        i += 1;
+        col += 1;
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("SELECT select SeLeCt"), vec![
+            Tok::Select,
+            Tok::Select,
+            Tok::Select,
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn identifiers_case_sensitive() {
+        assert_eq!(toks("ac_tab AC_TAB"), vec![
+            Tok::Ident("ac_tab".into()),
+            Tok::Ident("AC_TAB".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0.05"), vec![Tok::Int(42), Tok::Float(0.05), Tok::Eof]);
+    }
+
+    #[test]
+    fn dotted_access_is_not_a_float() {
+        assert_eq!(toks("input.x"), vec![
+            Tok::Input,
+            Tok::Dot,
+            Tok::Ident("x".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
+        assert_eq!(toks("'héllo'"), vec![Tok::Str("héllo".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("-- comment\nSELECT // more\n*"),
+            vec![Tok::Select, Tok::Star, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(toks("== != <> <= >= < > ="), vec![
+            Tok::EqEq,
+            Tok::NotEq,
+            Tok::NotEq,
+            Tok::Le,
+            Tok::Ge,
+            Tok::Lt,
+            Tok::Gt,
+            Tok::Eq,
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        let err = lex("select @").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 8));
+    }
+
+    #[test]
+    fn figure4_snippet_lexes() {
+        let src = "SELECT * FROM input JOIN ac_tab ON input.name == ac_tab.name \
+                   WHERE ac_tab.permission == 'W';";
+        let t = toks(src);
+        assert!(t.contains(&Tok::Join));
+        assert!(t.contains(&Tok::Str("W".into())));
+        assert_eq!(*t.last().unwrap(), Tok::Eof);
+    }
+}

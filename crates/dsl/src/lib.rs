@@ -1,0 +1,80 @@
+//! # adn-dsl — the ADN specification language
+//!
+//! Paper §5.1: "we draw inspiration from stream processing systems like
+//! Dataflow SQL and view each RPC as a tuple with one or more fields.
+//! Elements process an incoming stream of tuples, and their processing logic
+//! is specified in a SQL-like DSL. Each element can read or write internal
+//! states modeled as tables."
+//!
+//! This crate implements that language:
+//!
+//! * [`lexer`] — tokenizer with source positions (SQL keywords are
+//!   case-insensitive, identifiers are case-sensitive).
+//! * [`ast`] — element definitions: parameters, state tables (with optional
+//!   initial rows), `on request` / `on response` handlers, SQL-flavoured
+//!   statements, and an expression language with UDF calls.
+//! * [`parser`] — recursive-descent parser producing the AST.
+//! * [`printer`] — canonical pretty-printer (property-tested: printing then
+//!   re-parsing is the identity).
+//! * [`typecheck`] — resolves field/table/parameter references against an
+//!   application's RPC schema and checks expression types.
+//! * [`udf`] — signatures (not implementations) of user-defined functions,
+//!   the paper's escape hatch for non-relational operations such as
+//!   compression and encryption.
+//!
+//! ## Example
+//!
+//! The access-control element of the paper's Figure 4:
+//!
+//! ```text
+//! element Acl() {
+//!     state ac_tab(username: string key, permission: string);
+//!     on request {
+//!         SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+//!         WHERE ac_tab.permission == 'W';
+//!     }
+//! }
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod typecheck;
+pub mod udf;
+
+pub use ast::{ElementDef, Program};
+pub use parser::{parse_element, parse_program, ParseError};
+pub use typecheck::{check_element, CheckedElement, TypeError};
+
+/// Parses and typechecks a single element against request/response schemas.
+///
+/// Convenience entry point combining [`parse_element`] and [`check_element`].
+pub fn compile_frontend(
+    source: &str,
+    request: &adn_rpc::RpcSchema,
+    response: &adn_rpc::RpcSchema,
+) -> Result<CheckedElement, FrontendError> {
+    let element = parse_element(source).map_err(FrontendError::Parse)?;
+    check_element(&element, request, response).map_err(FrontendError::Type)
+}
+
+/// Either phase of frontend failure.
+#[derive(Debug)]
+pub enum FrontendError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Name resolution or type checking failed.
+    Type(TypeError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}

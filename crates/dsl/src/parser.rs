@@ -1,0 +1,879 @@
+//! Recursive-descent parser for the ADN DSL.
+//!
+//! SQL convention is followed where it matters for familiarity: both `=` and
+//! `==` denote equality in expressions (Figure 4 of the paper uses `=`), and
+//! keywords are case-insensitive.
+
+use std::fmt;
+
+use adn_rpc::value::ValueType;
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// Parse failure with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.message, self.line, self.col)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a program (one or more elements).
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut elements = Vec::new();
+    while !p.check(&Tok::Eof) {
+        elements.push(p.element()?);
+    }
+    if elements.is_empty() {
+        return Err(p.error("expected at least one element definition"));
+    }
+    Ok(Program { elements })
+}
+
+/// Parses exactly one element definition.
+pub fn parse_element(source: &str) -> Result<ElementDef, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let element = p.element()?;
+    p.expect(Tok::Eof, "end of input after element")?;
+    Ok(element)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, tok: &Tok) -> bool {
+        &self.peek().tok == tok
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.check(tok) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: format!("{}, found {}", message.into(), t.tok),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Token, ParseError> {
+        if self.check(&tok) {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match &self.peek().tok {
+            Tok::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                Ok(name)
+            }
+            // Contextual words that are keywords elsewhere may appear as
+            // names in a pinch (`key`, `state`); keep strict for clarity.
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn type_name(&mut self) -> Result<ValueType, ParseError> {
+        let name = self.ident("type name")?;
+        ValueType::parse(&name).ok_or_else(|| ParseError {
+            message: format!("unknown type {name:?} (expected u64/i64/f64/bool/string/bytes)"),
+            line: self.peek().line,
+            col: self.peek().col,
+        })
+    }
+
+    // -- element ------------------------------------------------------------
+
+    fn element(&mut self) -> Result<ElementDef, ParseError> {
+        self.expect(Tok::Element, "`element`")?;
+        let name = self.ident("element name")?;
+        self.expect(Tok::LParen, "`(` after element name")?;
+        let mut params = Vec::new();
+        if !self.check(&Tok::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)` after parameters")?;
+        self.expect(Tok::LBrace, "`{` starting element body")?;
+
+        let mut states = Vec::new();
+        let mut on_request = None;
+        let mut on_response = None;
+        while !self.check(&Tok::RBrace) {
+            match &self.peek().tok {
+                Tok::State => states.push(self.state_def()?),
+                Tok::On => {
+                    let handler = self.handler()?;
+                    match handler.direction {
+                        Direction::Request => {
+                            if on_request.replace(handler).is_some() {
+                                return Err(self.error("duplicate `on request` handler"));
+                            }
+                        }
+                        Direction::Response => {
+                            if on_response.replace(handler).is_some() {
+                                return Err(self.error("duplicate `on response` handler"));
+                            }
+                        }
+                    }
+                }
+                _ => return Err(self.error("expected `state` or `on` in element body")),
+            }
+        }
+        self.expect(Tok::RBrace, "`}` ending element body")?;
+        Ok(ElementDef {
+            name,
+            params,
+            states,
+            on_request,
+            on_response,
+        })
+    }
+
+    fn param(&mut self) -> Result<ParamDef, ParseError> {
+        let name = self.ident("parameter name")?;
+        self.expect(Tok::Colon, "`:` after parameter name")?;
+        let ty = self.type_name()?;
+        let default = if self.eat(&Tok::Eq) {
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        Ok(ParamDef { name, ty, default })
+    }
+
+    fn state_def(&mut self) -> Result<StateDef, ParseError> {
+        self.expect(Tok::State, "`state`")?;
+        let name = self.ident("state table name")?;
+        self.expect(Tok::LParen, "`(` after table name")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident("column name")?;
+            self.expect(Tok::Colon, "`:` after column name")?;
+            let ty = self.type_name()?;
+            let key = self.eat(&Tok::Key);
+            columns.push(ColumnDef {
+                name: col_name,
+                ty,
+                key,
+            });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "`)` after columns")?;
+
+        let capacity = if self.eat(&Tok::Capacity) {
+            match self.peek().tok.clone() {
+                Tok::Int(v) if v > 0 => {
+                    self.advance();
+                    Some(v)
+                }
+                _ => return Err(self.error("expected a positive integer after `capacity`")),
+            }
+        } else {
+            None
+        };
+
+        let mut init_rows = Vec::new();
+        if self.eat(&Tok::Init) {
+            self.expect(Tok::LBrace, "`{` after init")?;
+            while !self.check(&Tok::RBrace) {
+                self.expect(Tok::LParen, "`(` starting init row")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.literal()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen, "`)` ending init row")?;
+                if row.len() != columns.len() {
+                    return Err(self.error(format!(
+                        "init row has {} values but table has {} columns",
+                        row.len(),
+                        columns.len()
+                    )));
+                }
+                init_rows.push(row);
+                self.eat(&Tok::Comma); // trailing comma between rows OK
+            }
+            self.expect(Tok::RBrace, "`}` after init rows")?;
+        }
+        self.eat(&Tok::Semi);
+        Ok(StateDef {
+            name,
+            columns,
+            capacity,
+            init_rows,
+        })
+    }
+
+    fn handler(&mut self) -> Result<Handler, ParseError> {
+        self.expect(Tok::On, "`on`")?;
+        let direction = if self.eat(&Tok::Request) {
+            Direction::Request
+        } else if self.eat(&Tok::Response) {
+            Direction::Response
+        } else {
+            return Err(self.error("expected `request` or `response` after `on`"));
+        };
+        self.expect(Tok::LBrace, "`{` starting handler body")?;
+        let mut body = Vec::new();
+        while !self.check(&Tok::RBrace) {
+            body.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace, "`}` ending handler body")?;
+        Ok(Handler { direction, body })
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match &self.peek().tok {
+            Tok::Select => self.select_stmt(),
+            Tok::Insert => self.insert_stmt(),
+            Tok::Update => self.update_stmt(),
+            Tok::Delete => self.delete_stmt(),
+            Tok::DropKw => {
+                self.advance();
+                let condition = self.opt_where()?;
+                self.expect(Tok::Semi, "`;` after DROP")?;
+                Ok(Stmt::Drop(condition))
+            }
+            Tok::Route => {
+                self.advance();
+                let key = self.expr()?;
+                let condition = self.opt_where()?;
+                self.expect(Tok::Semi, "`;` after ROUTE")?;
+                Ok(Stmt::Route { key, condition })
+            }
+            Tok::Abort => {
+                self.advance();
+                self.expect(Tok::LParen, "`(` after ABORT")?;
+                let code = self.expr()?;
+                let message = if self.eat(&Tok::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::RParen, "`)` after ABORT arguments")?;
+                let condition = self.opt_where()?;
+                self.expect(Tok::Semi, "`;` after ABORT")?;
+                Ok(Stmt::Abort {
+                    code,
+                    message,
+                    condition,
+                })
+            }
+            Tok::SetKw => {
+                self.advance();
+                // Accept both `SET field = e` and `SET input.field = e`.
+                if self.eat(&Tok::Input) {
+                    self.expect(Tok::Dot, "`.` after input")?;
+                }
+                let field = self.ident("field name")?;
+                self.expect(Tok::Eq, "`=` in SET")?;
+                let value = self.expr()?;
+                let condition = self.opt_where()?;
+                self.expect(Tok::Semi, "`;` after SET")?;
+                Ok(Stmt::Set {
+                    field,
+                    value,
+                    condition,
+                })
+            }
+            _ => Err(self.error("expected a statement (SELECT/INSERT/UPDATE/DELETE/DROP/ABORT/SET)")),
+        }
+    }
+
+    fn opt_where(&mut self) -> Result<Option<Expr>, ParseError> {
+        if self.eat(&Tok::Where) {
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::Select, "`SELECT`")?;
+        let projection = if self.eat(&Tok::Star) {
+            Projection::Star
+        } else {
+            let mut items = Vec::new();
+            loop {
+                let expr = self.expr()?;
+                let alias = if self.eat(&Tok::As) {
+                    Some(self.ident("alias after AS")?)
+                } else {
+                    None
+                };
+                items.push(ProjItem { expr, alias });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            Projection::Items(items)
+        };
+        self.expect(Tok::From, "`FROM`")?;
+        self.expect(Tok::Input, "`input` (elements select from the input stream)")?;
+        let join = if self.eat(&Tok::Join) {
+            let table = self.ident("join table name")?;
+            self.expect(Tok::On, "`ON` after join table")?;
+            let on = self.expr()?;
+            Some(JoinClause { table, on })
+        } else {
+            None
+        };
+        let condition = self.opt_where()?;
+        let else_abort = if self.eat(&Tok::Else) {
+            self.expect(Tok::Abort, "`ABORT` after ELSE")?;
+            self.expect(Tok::LParen, "`(` after ABORT")?;
+            let code = self.expr()?;
+            let message = if self.eat(&Tok::Comma) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::RParen, "`)` after ABORT arguments")?;
+            Some(ElseAbort { code, message })
+        } else {
+            None
+        };
+        self.expect(Tok::Semi, "`;` after SELECT")?;
+        Ok(Stmt::Select(SelectStmt {
+            projection,
+            join,
+            condition,
+            else_abort,
+        }))
+    }
+
+    fn insert_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::Insert, "`INSERT`")?;
+        self.expect(Tok::Into, "`INTO`")?;
+        let table = self.ident("table name")?;
+        self.expect(Tok::Values, "`VALUES`")?;
+        self.expect(Tok::LParen, "`(` after VALUES")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.expr()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "`)` after VALUES list")?;
+        self.expect(Tok::Semi, "`;` after INSERT")?;
+        Ok(Stmt::Insert(InsertStmt { table, values }))
+    }
+
+    fn update_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::Update, "`UPDATE`")?;
+        let table = self.ident("table name")?;
+        self.expect(Tok::SetKw, "`SET`")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect(Tok::Eq, "`=` in assignment")?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let condition = self.opt_where()?;
+        self.expect(Tok::Semi, "`;` after UPDATE")?;
+        Ok(Stmt::Update(UpdateStmt {
+            table,
+            assignments,
+            condition,
+        }))
+    }
+
+    fn delete_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::Delete, "`DELETE`")?;
+        self.expect(Tok::From, "`FROM`")?;
+        let table = self.ident("table name")?;
+        let condition = self.opt_where()?;
+        self.expect(Tok::Semi, "`;` after DELETE")?;
+        Ok(Stmt::Delete(DeleteStmt { table, condition }))
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        let negative = self.eat(&Tok::Minus);
+        match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.advance();
+                if negative {
+                    // Negative integer literals appear only in defaults/init
+                    // rows; represent as float-free i64 via wrapping into
+                    // Int is lossy, so reject overly large magnitudes.
+                    if v > i64::MAX as u64 {
+                        return Err(self.error("negative literal out of range"));
+                    }
+                    Ok(Literal::Float(-(v as f64))) // see typecheck: coerced
+                } else {
+                    Ok(Literal::Int(v))
+                }
+            }
+            Tok::Float(v) => {
+                self.advance();
+                Ok(Literal::Float(if negative { -v } else { v }))
+            }
+            Tok::Str(s) => {
+                if negative {
+                    return Err(self.error("cannot negate a string literal"));
+                }
+                self.advance();
+                Ok(Literal::Str(s))
+            }
+            Tok::True => {
+                self.advance();
+                Ok(Literal::Bool(true))
+            }
+            Tok::False => {
+                self.advance();
+                Ok(Literal::Bool(false))
+            }
+            _ => Err(self.error("expected a literal")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat(&Tok::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Not) {
+            let operand = self.not_expr()?;
+            Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            })
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        let op = match self.peek().tok {
+            Tok::EqEq | Tok::Eq => Some(BinOp::Eq),
+            Tok::NotEq => Some(BinOp::NotEq),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.mul_expr()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary_expr()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            let operand = self.unary_expr()?;
+            Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            })
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Int(_) | Tok::Float(_) | Tok::Str(_) | Tok::True | Tok::False => {
+                Ok(Expr::Literal(self.literal()?))
+            }
+            Tok::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Input => {
+                self.advance();
+                self.expect(Tok::Dot, "`.` after input")?;
+                let field = self.ident("field name after input.")?;
+                Ok(Expr::InputField(field))
+            }
+            Tok::Case => {
+                self.advance();
+                let mut arms = Vec::new();
+                while self.eat(&Tok::When) {
+                    let cond = self.expr()?;
+                    self.expect(Tok::Then, "`THEN`")?;
+                    let value = self.expr()?;
+                    arms.push((cond, value));
+                }
+                if arms.is_empty() {
+                    return Err(self.error("CASE requires at least one WHEN arm"));
+                }
+                let otherwise = if self.eat(&Tok::Else) {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect(Tok::End, "`END` closing CASE")?;
+                Ok(Expr::Case { arms, otherwise })
+            }
+            Tok::Ident(name) => {
+                // Could be: function call, table.column, or parameter.
+                if *self.peek2() == Tok::LParen {
+                    self.advance(); // name
+                    self.advance(); // (
+                    let mut args = Vec::new();
+                    if !self.check(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)` after call arguments")?;
+                    Ok(Expr::Call {
+                        function: name,
+                        args,
+                    })
+                } else if *self.peek2() == Tok::Dot {
+                    self.advance(); // table
+                    self.advance(); // .
+                    let column = self.ident("column name")?;
+                    Ok(Expr::TableColumn {
+                        table: name,
+                        column,
+                    })
+                } else {
+                    self.advance();
+                    Ok(Expr::Param(name))
+                }
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACL_SRC: &str = r#"
+        -- Block users that do not have write permission (paper Figure 4)
+        element Acl() {
+            state ac_tab(username: string key, permission: string) init {
+                ('usr1', 'R'),
+                ('usr2', 'W')
+            };
+            on request {
+                SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                WHERE ac_tab.permission == 'W';
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_figure4_acl() {
+        let e = parse_element(ACL_SRC).unwrap();
+        assert_eq!(e.name, "Acl");
+        assert_eq!(e.states.len(), 1);
+        let tab = &e.states[0];
+        assert_eq!(tab.name, "ac_tab");
+        assert_eq!(tab.init_rows.len(), 2);
+        assert!(tab.columns[0].key);
+        assert!(!tab.columns[1].key);
+        let handler = e.on_request.as_ref().unwrap();
+        assert_eq!(handler.body.len(), 1);
+        match &handler.body[0] {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.projection, Projection::Star);
+                assert_eq!(sel.join.as_ref().unwrap().table, "ac_tab");
+                assert!(sel.condition.is_some());
+            }
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fault_injection_with_params() {
+        let src = r#"
+            element Fault(abort_prob: f64 = 0.05) {
+                on request {
+                    ABORT(3, 'fault injected') WHERE random() < abort_prob;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let e = parse_element(src).unwrap();
+        assert_eq!(e.params.len(), 1);
+        assert_eq!(e.params[0].default, Some(Literal::Float(0.05)));
+        let body = &e.on_request.as_ref().unwrap().body;
+        assert!(matches!(body[0], Stmt::Abort { .. }));
+        assert!(matches!(body[1], Stmt::Select(_)));
+    }
+
+    #[test]
+    fn parses_logging_with_insert_and_both_handlers() {
+        let src = r#"
+            element Logging() {
+                state log_tab(seq: u64 key, dir: string, note: string);
+                on request {
+                    INSERT INTO log_tab VALUES (hash(input.username), 'req', input.username);
+                    SELECT * FROM input;
+                }
+                on response {
+                    INSERT INTO log_tab VALUES (now(), 'resp', 'ok');
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let e = parse_element(src).unwrap();
+        assert!(e.on_request.is_some());
+        assert!(e.on_response.is_some());
+    }
+
+    #[test]
+    fn parses_set_and_update_delete() {
+        let src = r#"
+            element Mix(limit: u64 = 10) {
+                state counters(name: string key, n: u64);
+                on request {
+                    SET payload = compress(input.payload);
+                    UPDATE counters SET n = counters.n + 1 WHERE counters.name == input.username;
+                    DELETE FROM counters WHERE counters.n > limit;
+                    DROP WHERE len(input.payload) == 0;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let e = parse_element(src).unwrap();
+        let body = &e.on_request.as_ref().unwrap().body;
+        assert_eq!(body.len(), 5);
+        assert!(matches!(&body[0], Stmt::Set { field, .. } if field == "payload"));
+        assert!(matches!(&body[1], Stmt::Update(_)));
+        assert!(matches!(&body[2], Stmt::Delete(_)));
+        assert!(matches!(&body[3], Stmt::Drop(Some(_))));
+    }
+
+    #[test]
+    fn single_equals_means_equality() {
+        let src = "element E() { on request { SELECT * FROM input WHERE input.x = 5; } }";
+        let e = parse_element(src).unwrap();
+        let body = &e.on_request.as_ref().unwrap().body;
+        match &body[0] {
+            Stmt::Select(s) => match s.condition.as_ref().unwrap() {
+                Expr::Binary { op: BinOp::Eq, .. } => {}
+                other => panic!("expected Eq, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "element E() { on request { SELECT * FROM input WHERE input.a + 1 * 2 == 3 AND true OR false; } }";
+        let e = parse_element(src).unwrap();
+        let body = &e.on_request.as_ref().unwrap().body;
+        let Stmt::Select(s) = &body[0] else { unreachable!() };
+        // Expect ((a + (1*2)) == 3 AND true) OR false.
+        match s.condition.as_ref().unwrap() {
+            Expr::Binary { op: BinOp::Or, left, .. } => match left.as_ref() {
+                Expr::Binary { op: BinOp::And, left, .. } => match left.as_ref() {
+                    Expr::Binary { op: BinOp::Eq, left, .. } => match left.as_ref() {
+                        Expr::Binary { op: BinOp::Add, right, .. } => {
+                            assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+                        }
+                        other => panic!("expected Add, got {other:?}"),
+                    },
+                    other => panic!("expected Eq, got {other:?}"),
+                },
+                other => panic!("expected And, got {other:?}"),
+            },
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_expression_parses() {
+        let src = r#"
+            element E() {
+                on request {
+                    SET tier = CASE WHEN input.x > 100 THEN 'big' ELSE 'small' END;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let e = parse_element(src).unwrap();
+        let body = &e.on_request.as_ref().unwrap().body;
+        let Stmt::Set { value, .. } = &body[0] else { unreachable!() };
+        assert!(matches!(value, Expr::Case { .. }));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_element("element E() { on request { SELECT FROM input; } }").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn duplicate_handler_rejected() {
+        let src = "element E() { on request { SELECT * FROM input; } on request { SELECT * FROM input; } }";
+        assert!(parse_element(src).is_err());
+    }
+
+    #[test]
+    fn init_row_arity_checked() {
+        let src = "element E() { state t(a: u64 key, b: u64) init { (1) }; }";
+        assert!(parse_element(src).is_err());
+    }
+
+    #[test]
+    fn program_with_multiple_elements() {
+        let src = "element A() { on request { SELECT * FROM input; } } \
+                   element B() { on request { DROP; } }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.elements.len(), 2);
+        assert_eq!(p.elements[1].name, "B");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let src = "element A() { on request { SELECT * FROM input; } } garbage";
+        assert!(parse_program(src).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Canonical pretty-printer for the ADN DSL.
+//!
+//! Printing an AST then re-parsing the output yields the same AST (checked
+//! by property tests in `tests/prop_dsl.rs`). The printer is also how the
+//! Rust-codegen backend embeds the original source in generated modules, and
+//! how `paper_eval --loc` counts DSL lines fairly (one canonical style).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Pretty-prints a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, e) in program.elements.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_element(e));
+    }
+    out
+}
+
+/// Pretty-prints one element definition in canonical style.
+pub fn print_element(e: &ElementDef) -> String {
+    let mut out = String::new();
+    write!(out, "element {}(", e.name).unwrap();
+    for (i, p) in e.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{}: {}", p.name, p.ty).unwrap();
+        if let Some(d) = &p.default {
+            write!(out, " = {}", print_literal(d)).unwrap();
+        }
+    }
+    out.push_str(") {\n");
+    for s in &e.states {
+        write!(out, "    state {}(", s.name).unwrap();
+        for (i, c) in s.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{}: {}", c.name, c.ty).unwrap();
+            if c.key {
+                out.push_str(" key");
+            }
+        }
+        out.push(')');
+        if let Some(cap) = s.capacity {
+            write!(out, " capacity {cap}").unwrap();
+        }
+        if !s.init_rows.is_empty() {
+            out.push_str(" init {\n");
+            for row in &s.init_rows {
+                out.push_str("        (");
+                for (i, lit) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&print_literal(lit));
+                }
+                out.push_str("),\n");
+            }
+            out.push_str("    }");
+        }
+        out.push_str(";\n");
+    }
+    if let Some(h) = &e.on_request {
+        print_handler(&mut out, h, "request");
+    }
+    if let Some(h) = &e.on_response {
+        print_handler(&mut out, h, "response");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_handler(out: &mut String, h: &Handler, dir: &str) {
+    writeln!(out, "    on {dir} {{").unwrap();
+    for stmt in &h.body {
+        writeln!(out, "        {}", print_stmt(stmt)).unwrap();
+    }
+    out.push_str("    }\n");
+}
+
+/// Prints one statement (no trailing newline).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Select(sel) => {
+            let mut s = String::from("SELECT ");
+            match &sel.projection {
+                Projection::Star => s.push('*'),
+                Projection::Items(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&print_expr(&item.expr));
+                        if let Some(a) = &item.alias {
+                            write!(s, " AS {a}").unwrap();
+                        }
+                    }
+                }
+            }
+            s.push_str(" FROM input");
+            if let Some(j) = &sel.join {
+                write!(s, " JOIN {} ON {}", j.table, print_expr(&j.on)).unwrap();
+            }
+            if let Some(c) = &sel.condition {
+                write!(s, " WHERE {}", print_expr(c)).unwrap();
+            }
+            if let Some(ea) = &sel.else_abort {
+                write!(s, " ELSE ABORT({}", print_expr(&ea.code)).unwrap();
+                if let Some(m) = &ea.message {
+                    write!(s, ", {}", print_expr(m)).unwrap();
+                }
+                s.push(')');
+            }
+            s.push(';');
+            s
+        }
+        Stmt::Insert(ins) => {
+            let vals: Vec<String> = ins.values.iter().map(print_expr).collect();
+            format!("INSERT INTO {} VALUES ({});", ins.table, vals.join(", "))
+        }
+        Stmt::Update(upd) => {
+            let sets: Vec<String> = upd
+                .assignments
+                .iter()
+                .map(|(c, e)| format!("{c} = {}", print_expr(e)))
+                .collect();
+            let mut s = format!("UPDATE {} SET {}", upd.table, sets.join(", "));
+            if let Some(c) = &upd.condition {
+                write!(s, " WHERE {}", print_expr(c)).unwrap();
+            }
+            s.push(';');
+            s
+        }
+        Stmt::Delete(del) => {
+            let mut s = format!("DELETE FROM {}", del.table);
+            if let Some(c) = &del.condition {
+                write!(s, " WHERE {}", print_expr(c)).unwrap();
+            }
+            s.push(';');
+            s
+        }
+        Stmt::Drop(cond) => match cond {
+            Some(c) => format!("DROP WHERE {};", print_expr(c)),
+            None => "DROP;".to_owned(),
+        },
+        Stmt::Route { key, condition } => {
+            let mut s = format!("ROUTE {}", print_expr(key));
+            if let Some(c) = condition {
+                write!(s, " WHERE {}", print_expr(c)).unwrap();
+            }
+            s.push(';');
+            s
+        }
+        Stmt::Abort {
+            code,
+            message,
+            condition,
+        } => {
+            let mut s = format!("ABORT({}", print_expr(code));
+            if let Some(m) = message {
+                write!(s, ", {}", print_expr(m)).unwrap();
+            }
+            s.push(')');
+            if let Some(c) = condition {
+                write!(s, " WHERE {}", print_expr(c)).unwrap();
+            }
+            s.push(';');
+            s
+        }
+        Stmt::Set {
+            field,
+            value,
+            condition,
+        } => {
+            let mut s = format!("SET {field} = {}", print_expr(value));
+            if let Some(c) = condition {
+                write!(s, " WHERE {}", print_expr(c)).unwrap();
+            }
+            s.push(';');
+            s
+        }
+    }
+}
+
+fn print_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Int(v) => v.to_string(),
+        Literal::Float(v) => {
+            // Ensure a decimal point so it re-lexes as a float.
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Literal::Bool(b) => b.to_string(),
+    }
+}
+
+/// Prints an expression fully parenthesized where needed. We parenthesize
+/// every binary sub-expression to avoid precedence bugs; the parser drops
+/// the parens so roundtripping is still the identity.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Literal(lit) => print_literal(lit),
+        Expr::InputField(name) => format!("input.{name}"),
+        Expr::TableColumn { table, column } => format!("{table}.{column}"),
+        Expr::Param(name) => name.clone(),
+        Expr::Call { function, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{function}({})", args.join(", "))
+        }
+        Expr::Unary { op, operand } => {
+            let o = print_expr(operand);
+            // NOT binds looser than comparison in the grammar, so the whole
+            // unary expression needs parens when used as a binary operand.
+            match op {
+                UnOp::Not => format!("(NOT ({o}))"),
+                UnOp::Neg => format!("(-({o}))"),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let op_str = match op {
+                BinOp::Or => "OR",
+                BinOp::And => "AND",
+                BinOp::Eq => "==",
+                BinOp::NotEq => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            format!("({} {op_str} {})", print_expr(left), print_expr(right))
+        }
+        Expr::Case { arms, otherwise } => {
+            let mut s = String::from("CASE");
+            for (c, v) in arms {
+                write!(s, " WHEN {} THEN {}", print_expr(c), print_expr(v)).unwrap();
+            }
+            if let Some(e) = otherwise {
+                write!(s, " ELSE {}", print_expr(e)).unwrap();
+            }
+            s.push_str(" END");
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_element;
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse_element(src).unwrap();
+        let printed = print_element(&ast1);
+        let ast2 = parse_element(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(ast1, ast2, "print/parse roundtrip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_acl() {
+        roundtrip(
+            r#"
+            element Acl() {
+                state ac_tab(username: string key, permission: string) init {
+                    ('usr1', 'R'), ('usr2', 'W')
+                };
+                on request {
+                    SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                    WHERE ac_tab.permission == 'W';
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_complex_expressions() {
+        roundtrip(
+            "element E(p: f64 = 0.5, q: u64 = 3) { on request { \
+                SET object_id = CASE WHEN input.object_id % 2 == 0 THEN input.object_id / 2 ELSE input.object_id * 3 + 1 END; \
+                ABORT(3, concat('a', 'b''c')) WHERE random() < p AND NOT (input.object_id > q); \
+                SELECT * FROM input; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_all_statement_kinds() {
+        roundtrip(
+            "element E(limit: u64 = 10) { \
+                state t(k: string key, n: u64); \
+                on request { \
+                    INSERT INTO t VALUES (input.username, 0); \
+                    UPDATE t SET n = t.n + 1 WHERE t.k == input.username; \
+                    DELETE FROM t WHERE t.n > limit; \
+                    DROP WHERE len(input.payload) == 0; \
+                    SELECT input.object_id AS object_id, hash(input.username) AS object_id FROM input; } \
+                on response { SELECT * FROM input; } }",
+        );
+    }
+
+    #[test]
+    fn float_literals_reparse_as_floats() {
+        assert_eq!(print_literal(&Literal::Float(5.0)), "5.0");
+        assert_eq!(print_literal(&Literal::Float(0.05)), "0.05");
+    }
+
+    #[test]
+    fn strings_escape_quotes() {
+        assert_eq!(print_literal(&Literal::Str("it's".into())), "'it''s'");
+    }
+}

@@ -1,0 +1,828 @@
+//! Name resolution and type checking for ADN elements.
+//!
+//! An element definition is generic — it mentions `input.<field>` names that
+//! only exist once the application's RPC schema is known. Checking binds an
+//! element to a concrete request/response schema pair and validates every
+//! reference and every expression type. The result, [`CheckedElement`], also
+//! records the element's read/write field sets and determinism — the facts
+//! the optimizer's reordering and header-minimization passes rely on.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::ValueType;
+
+use crate::ast::*;
+use crate::udf::{self, TypePattern};
+
+/// Type/resolution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    pub message: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Facts derived for one handler (request or response direction).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HandlerFacts {
+    /// Input fields the handler reads.
+    pub reads: BTreeSet<String>,
+    /// Input fields the handler may modify (SET targets, non-identity
+    /// projection outputs).
+    pub writes: BTreeSet<String>,
+    /// Whether the handler reads or writes element state tables.
+    pub uses_state: bool,
+    /// Whether the handler writes element state tables.
+    pub writes_state: bool,
+    /// Whether the handler can drop or abort the RPC.
+    pub can_drop: bool,
+    /// Whether the handler rewrites the message destination (ROUTE).
+    pub routes: bool,
+    /// Whether every expression is deterministic (no `random()`/`now()`).
+    pub deterministic: bool,
+    /// Names of UDFs called.
+    pub udfs: BTreeSet<String>,
+}
+
+/// A typechecked element bound to a request/response schema pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedElement {
+    /// The validated definition.
+    pub def: ElementDef,
+    /// Facts about the request handler (empty defaults if absent).
+    pub request_facts: HandlerFacts,
+    /// Facts about the response handler (empty defaults if absent).
+    pub response_facts: HandlerFacts,
+}
+
+impl CheckedElement {
+    /// Union of request and response reads.
+    pub fn all_reads(&self) -> BTreeSet<String> {
+        self.request_facts
+            .reads
+            .union(&self.response_facts.reads)
+            .cloned()
+            .collect()
+    }
+
+    /// Union of request and response writes.
+    pub fn all_writes(&self) -> BTreeSet<String> {
+        self.request_facts
+            .writes
+            .union(&self.response_facts.writes)
+            .cloned()
+            .collect()
+    }
+
+    /// Whether the element is fully deterministic.
+    pub fn deterministic(&self) -> bool {
+        self.request_facts.deterministic && self.response_facts.deterministic
+    }
+
+    /// Whether the element can drop/abort RPCs in either direction.
+    pub fn can_drop(&self) -> bool {
+        self.request_facts.can_drop || self.response_facts.can_drop
+    }
+}
+
+/// Typechecks `element` against the application's schemas.
+pub fn check_element(
+    element: &ElementDef,
+    request: &RpcSchema,
+    response: &RpcSchema,
+) -> Result<CheckedElement, TypeError> {
+    // Validate state tables: unique names/columns, init row types.
+    let mut seen = BTreeSet::new();
+    for state in &element.states {
+        if !seen.insert(state.name.clone()) {
+            return Err(TypeError::new(format!(
+                "duplicate state table {:?}",
+                state.name
+            )));
+        }
+        let mut cols = BTreeSet::new();
+        for col in &state.columns {
+            if !cols.insert(col.name.clone()) {
+                return Err(TypeError::new(format!(
+                    "duplicate column {:?} in table {:?}",
+                    col.name, state.name
+                )));
+            }
+        }
+        for (rownum, row) in state.init_rows.iter().enumerate() {
+            for (lit, col) in row.iter().zip(&state.columns) {
+                let lt = literal_type(lit);
+                if !coercible(lt, col.ty) {
+                    return Err(TypeError::new(format!(
+                        "init row {rownum} of table {:?}: column {:?} expects {}, got {}",
+                        state.name, col.name, col.ty, lt
+                    )));
+                }
+            }
+        }
+    }
+    // Validate parameter defaults.
+    let mut param_names = BTreeSet::new();
+    for p in &element.params {
+        if !param_names.insert(p.name.clone()) {
+            return Err(TypeError::new(format!("duplicate parameter {:?}", p.name)));
+        }
+        if let Some(default) = &p.default {
+            let lt = literal_type(default);
+            if !coercible(lt, p.ty) {
+                return Err(TypeError::new(format!(
+                    "parameter {:?} default has type {}, expected {}",
+                    p.name, lt, p.ty
+                )));
+            }
+        }
+    }
+
+    let request_facts = match &element.on_request {
+        Some(h) => check_handler(element, h, request)?,
+        None => HandlerFacts {
+            deterministic: true,
+            ..Default::default()
+        },
+    };
+    let response_facts = match &element.on_response {
+        Some(h) => check_handler(element, h, response)?,
+        None => HandlerFacts {
+            deterministic: true,
+            ..Default::default()
+        },
+    };
+
+    Ok(CheckedElement {
+        def: element.clone(),
+        request_facts,
+        response_facts,
+    })
+}
+
+fn literal_type(lit: &Literal) -> ValueType {
+    match lit {
+        Literal::Int(_) => ValueType::U64,
+        Literal::Float(_) => ValueType::F64,
+        Literal::Str(_) => ValueType::Str,
+        Literal::Bool(_) => ValueType::Bool,
+    }
+}
+
+/// Whether a value of type `from` may be used where `to` is expected.
+/// Integer literals coerce to any numeric type; f64 accepts any numeric.
+fn coercible(from: ValueType, to: ValueType) -> bool {
+    if from == to {
+        return true;
+    }
+    match (from, to) {
+        (ValueType::U64, ValueType::I64 | ValueType::F64) => true,
+        (ValueType::I64, ValueType::F64) => true,
+        _ => false,
+    }
+}
+
+/// Whether two types can appear on either side of a comparison.
+fn comparable(a: ValueType, b: ValueType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+struct HandlerChecker<'a> {
+    element: &'a ElementDef,
+    input: &'a RpcSchema,
+    direction: Direction,
+    /// Table currently in scope for `table.column` refs, if any.
+    scoped_table: Option<&'a StateDef>,
+    facts: HandlerFacts,
+}
+
+fn check_handler(
+    element: &ElementDef,
+    handler: &Handler,
+    input: &RpcSchema,
+) -> Result<HandlerFacts, TypeError> {
+    let mut checker = HandlerChecker {
+        element,
+        input,
+        direction: handler.direction,
+        scoped_table: None,
+        facts: HandlerFacts {
+            deterministic: true,
+            ..Default::default()
+        },
+    };
+    if handler.body.is_empty() {
+        return Err(TypeError::new("handler body must not be empty"));
+    }
+    for stmt in &handler.body {
+        checker.check_stmt(stmt)?;
+    }
+    Ok(checker.facts)
+}
+
+impl<'a> HandlerChecker<'a> {
+    fn table(&self, name: &str) -> Result<&'a StateDef, TypeError> {
+        self.element
+            .state(name)
+            .ok_or_else(|| TypeError::new(format!("unknown state table {name:?}")))
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), TypeError> {
+        match stmt {
+            Stmt::Select(sel) => self.check_select(sel),
+            Stmt::Insert(ins) => {
+                let table = self.table(&ins.table)?;
+                if ins.values.len() != table.columns.len() {
+                    return Err(TypeError::new(format!(
+                        "INSERT INTO {:?} has {} values, table has {} columns",
+                        ins.table,
+                        ins.values.len(),
+                        table.columns.len()
+                    )));
+                }
+                for (expr, col) in ins.values.iter().zip(&table.columns) {
+                    let ty = self.check_expr(expr)?;
+                    if !coercible(ty, col.ty) {
+                        return Err(TypeError::new(format!(
+                            "INSERT INTO {:?}: column {:?} expects {}, got {}",
+                            ins.table, col.name, col.ty, ty
+                        )));
+                    }
+                }
+                self.facts.uses_state = true;
+                self.facts.writes_state = true;
+                Ok(())
+            }
+            Stmt::Update(upd) => {
+                let table = self.table(&upd.table)?;
+                self.scoped_table = Some(table);
+                for (col_name, expr) in &upd.assignments {
+                    let col = table.columns.iter().find(|c| &c.name == col_name).ok_or_else(
+                        || {
+                            TypeError::new(format!(
+                                "UPDATE {:?}: unknown column {:?}",
+                                upd.table, col_name
+                            ))
+                        },
+                    )?;
+                    let ty = self.check_expr(expr)?;
+                    if !coercible(ty, col.ty) {
+                        return Err(TypeError::new(format!(
+                            "UPDATE {:?}: column {:?} expects {}, got {}",
+                            upd.table, col.name, col.ty, ty
+                        )));
+                    }
+                }
+                if let Some(cond) = &upd.condition {
+                    self.expect_bool(cond, "UPDATE WHERE")?;
+                }
+                self.scoped_table = None;
+                self.facts.uses_state = true;
+                self.facts.writes_state = true;
+                Ok(())
+            }
+            Stmt::Delete(del) => {
+                let table = self.table(&del.table)?;
+                self.scoped_table = Some(table);
+                if let Some(cond) = &del.condition {
+                    self.expect_bool(cond, "DELETE WHERE")?;
+                }
+                self.scoped_table = None;
+                self.facts.uses_state = true;
+                self.facts.writes_state = true;
+                Ok(())
+            }
+            Stmt::Drop(cond) => {
+                if let Some(cond) = cond {
+                    self.expect_bool(cond, "DROP WHERE")?;
+                }
+                self.facts.can_drop = true;
+                Ok(())
+            }
+            Stmt::Route { key, condition } => {
+                if self.direction == Direction::Response {
+                    return Err(TypeError::new(
+                        "ROUTE is only valid in `on request` handlers (responses return to the caller)",
+                    ));
+                }
+                // Any scalar key works; it is hashed to pick a replica.
+                self.check_expr(key)?;
+                if let Some(cond) = condition {
+                    self.expect_bool(cond, "ROUTE WHERE")?;
+                }
+                self.facts.routes = true;
+                Ok(())
+            }
+            Stmt::Abort {
+                code,
+                message,
+                condition,
+            } => {
+                let code_ty = self.check_expr(code)?;
+                if !code_ty.is_numeric() {
+                    return Err(TypeError::new(format!(
+                        "ABORT code must be numeric, got {code_ty}"
+                    )));
+                }
+                if let Some(msg) = message {
+                    let msg_ty = self.check_expr(msg)?;
+                    if msg_ty != ValueType::Str {
+                        return Err(TypeError::new(format!(
+                            "ABORT message must be a string, got {msg_ty}"
+                        )));
+                    }
+                }
+                if let Some(cond) = condition {
+                    self.expect_bool(cond, "ABORT WHERE")?;
+                }
+                self.facts.can_drop = true;
+                Ok(())
+            }
+            Stmt::Set {
+                field,
+                value,
+                condition,
+            } => {
+                let field_ty = self.input.type_of(field).ok_or_else(|| {
+                    TypeError::new(format!("SET targets unknown input field {field:?}"))
+                })?;
+                let value_ty = self.check_expr(value)?;
+                if !coercible(value_ty, field_ty) {
+                    return Err(TypeError::new(format!(
+                        "SET {field:?}: field is {field_ty}, expression is {value_ty}"
+                    )));
+                }
+                if let Some(cond) = condition {
+                    self.expect_bool(cond, "SET WHERE")?;
+                }
+                self.facts.writes.insert(field.clone());
+                Ok(())
+            }
+        }
+    }
+
+    fn check_select(&mut self, sel: &SelectStmt) -> Result<(), TypeError> {
+        if let Some(join) = &sel.join {
+            let table = self.table(&join.table)?;
+            self.scoped_table = Some(table);
+            self.expect_bool(&join.on, "JOIN ON")?;
+            self.facts.uses_state = true;
+            // An inner join can filter the stream out entirely.
+            self.facts.can_drop = true;
+        }
+        if let Some(cond) = &sel.condition {
+            self.expect_bool(cond, "SELECT WHERE")?;
+            self.facts.can_drop = true;
+        }
+        if let Some(ea) = &sel.else_abort {
+            let code_ty = self.check_expr(&ea.code)?;
+            if !code_ty.is_numeric() {
+                return Err(TypeError::new(format!(
+                    "ELSE ABORT code must be numeric, got {code_ty}"
+                )));
+            }
+            if let Some(msg) = &ea.message {
+                let msg_ty = self.check_expr(msg)?;
+                if msg_ty != ValueType::Str {
+                    return Err(TypeError::new(format!(
+                        "ELSE ABORT message must be a string, got {msg_ty}"
+                    )));
+                }
+            }
+        }
+        match &sel.projection {
+            Projection::Star => {}
+            Projection::Items(items) => {
+                for item in items {
+                    let out_name = match (&item.alias, &item.expr) {
+                        (Some(alias), _) => alias.clone(),
+                        (None, Expr::InputField(name)) => name.clone(),
+                        (None, Expr::TableColumn { column, .. }) => column.clone(),
+                        (None, _) => {
+                            return Err(TypeError::new(
+                                "projection expression needs an AS alias naming an input field",
+                            ))
+                        }
+                    };
+                    let field_ty = self.input.type_of(&out_name).ok_or_else(|| {
+                        TypeError::new(format!(
+                            "projection output {out_name:?} is not a field of the message schema"
+                        ))
+                    })?;
+                    let expr_ty = self.check_expr(&item.expr)?;
+                    if !coercible(expr_ty, field_ty) {
+                        return Err(TypeError::new(format!(
+                            "projection {out_name:?}: field is {field_ty}, expression is {expr_ty}"
+                        )));
+                    }
+                    // Identity projections (`SELECT x` where x stays x) do
+                    // not count as writes; anything else does.
+                    let identity = matches!(
+                        &item.expr,
+                        Expr::InputField(n) if *n == out_name
+                    );
+                    if !identity {
+                        self.facts.writes.insert(out_name);
+                    }
+                }
+            }
+        }
+        self.scoped_table = None;
+        Ok(())
+    }
+
+    fn expect_bool(&mut self, expr: &Expr, what: &str) -> Result<(), TypeError> {
+        let ty = self.check_expr(expr)?;
+        if ty != ValueType::Bool {
+            return Err(TypeError::new(format!(
+                "{what} condition must be boolean, got {ty}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, expr: &Expr) -> Result<ValueType, TypeError> {
+        match expr {
+            Expr::Literal(lit) => Ok(literal_type(lit)),
+            Expr::InputField(name) => {
+                let ty = self.input.type_of(name).ok_or_else(|| {
+                    TypeError::new(format!("unknown input field {name:?}"))
+                })?;
+                self.facts.reads.insert(name.clone());
+                Ok(ty)
+            }
+            Expr::TableColumn { table, column } => {
+                let scoped = self.scoped_table.ok_or_else(|| {
+                    TypeError::new(format!(
+                        "reference {table}.{column} outside a JOIN/UPDATE/DELETE on that table"
+                    ))
+                })?;
+                if scoped.name != *table {
+                    return Err(TypeError::new(format!(
+                        "reference {table}.{column}: only table {:?} is in scope here",
+                        scoped.name
+                    )));
+                }
+                let col = scoped
+                    .columns
+                    .iter()
+                    .find(|c| c.name == *column)
+                    .ok_or_else(|| {
+                        TypeError::new(format!("table {table:?} has no column {column:?}"))
+                    })?;
+                self.facts.uses_state = true;
+                Ok(col.ty)
+            }
+            Expr::Param(name) => {
+                let p = self.element.param(name).ok_or_else(|| {
+                    TypeError::new(format!(
+                        "unknown name {name:?} (not a parameter; input fields are written input.{name})"
+                    ))
+                })?;
+                Ok(p.ty)
+            }
+            Expr::Call { function, args } => {
+                let sig = udf::lookup(function).ok_or_else(|| {
+                    TypeError::new(format!("unknown function {function:?}"))
+                })?;
+                if args.len() != sig.params.len() {
+                    return Err(TypeError::new(format!(
+                        "{function} expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    )));
+                }
+                let mut arg_types = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_types.push(self.check_expr(a)?);
+                }
+                for (i, (pat, ty)) in sig.params.iter().zip(&arg_types).enumerate() {
+                    let ok = match pat {
+                        TypePattern::SameAsFirst => comparable(arg_types[0], *ty),
+                        other => other.matches(*ty),
+                    };
+                    if !ok {
+                        return Err(TypeError::new(format!(
+                            "{function}: argument {i} has type {ty}, which does not match"
+                        )));
+                    }
+                }
+                if !sig.deterministic {
+                    self.facts.deterministic = false;
+                }
+                self.facts.udfs.insert(function.clone());
+                Ok(match sig.ret {
+                    TypePattern::Exact(t) => t,
+                    TypePattern::SameAsFirst => arg_types[0],
+                    TypePattern::Numeric => ValueType::F64,
+                    TypePattern::StrOrBytes => ValueType::Bytes,
+                    TypePattern::Any => arg_types.first().copied().unwrap_or(ValueType::U64),
+                })
+            }
+            Expr::Unary { op, operand } => {
+                let ty = self.check_expr(operand)?;
+                match op {
+                    UnOp::Not => {
+                        if ty != ValueType::Bool {
+                            return Err(TypeError::new(format!("NOT requires bool, got {ty}")));
+                        }
+                        Ok(ValueType::Bool)
+                    }
+                    UnOp::Neg => {
+                        if !ty.is_numeric() {
+                            return Err(TypeError::new(format!("negation requires numeric, got {ty}")));
+                        }
+                        // Negating an unsigned value promotes to signed.
+                        Ok(if ty == ValueType::U64 {
+                            ValueType::I64
+                        } else {
+                            ty
+                        })
+                    }
+                }
+            }
+            Expr::Binary { op, left, right } => {
+                let lt = self.check_expr(left)?;
+                let rt = self.check_expr(right)?;
+                if op.is_logical() {
+                    if lt != ValueType::Bool || rt != ValueType::Bool {
+                        return Err(TypeError::new(format!(
+                            "{op:?} requires booleans, got {lt} and {rt}"
+                        )));
+                    }
+                    return Ok(ValueType::Bool);
+                }
+                if op.is_comparison() {
+                    if !comparable(lt, rt) {
+                        return Err(TypeError::new(format!(
+                            "cannot compare {lt} with {rt}"
+                        )));
+                    }
+                    return Ok(ValueType::Bool);
+                }
+                // Arithmetic.
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    return Err(TypeError::new(format!(
+                        "arithmetic requires numeric operands, got {lt} and {rt}"
+                    )));
+                }
+                Ok(unify_numeric(lt, rt))
+            }
+            Expr::Case { arms, otherwise } => {
+                let mut result: Option<ValueType> = None;
+                for (cond, value) in arms {
+                    self.expect_bool(cond, "CASE WHEN")?;
+                    let vt = self.check_expr(value)?;
+                    match result {
+                        None => result = Some(vt),
+                        Some(prev) if comparable(prev, vt) => {
+                            result = Some(unify_if_numeric(prev, vt))
+                        }
+                        Some(prev) => {
+                            return Err(TypeError::new(format!(
+                                "CASE arms have incompatible types {prev} and {vt}"
+                            )))
+                        }
+                    }
+                }
+                let result = result.expect("parser guarantees at least one arm");
+                if let Some(e) = otherwise {
+                    let et = self.check_expr(e)?;
+                    if !comparable(result, et) {
+                        return Err(TypeError::new(format!(
+                            "CASE ELSE has type {et}, arms have {result}"
+                        )));
+                    }
+                }
+                Ok(result)
+            }
+        }
+    }
+}
+
+fn unify_numeric(a: ValueType, b: ValueType) -> ValueType {
+    use ValueType::*;
+    match (a, b) {
+        (F64, _) | (_, F64) => F64,
+        (I64, _) | (_, I64) => I64,
+        _ => U64,
+    }
+}
+
+fn unify_if_numeric(a: ValueType, b: ValueType) -> ValueType {
+    if a.is_numeric() && b.is_numeric() {
+        unify_numeric(a, b)
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_element;
+    use adn_rpc::schema::RpcSchema;
+
+    fn schemas() -> (RpcSchema, RpcSchema) {
+        let req = RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        let resp = RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        (req, resp)
+    }
+
+    fn check(src: &str) -> Result<CheckedElement, TypeError> {
+        let (req, resp) = schemas();
+        check_element(&parse_element(src).unwrap(), &req, &resp)
+    }
+
+    #[test]
+    fn acl_checks_and_reports_facts() {
+        let src = r#"
+            element Acl() {
+                state ac_tab(username: string key, permission: string);
+                on request {
+                    SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                    WHERE ac_tab.permission == 'W';
+                }
+            }
+        "#;
+        let checked = check(src).unwrap();
+        assert!(checked.request_facts.reads.contains("username"));
+        assert!(checked.request_facts.writes.is_empty());
+        assert!(checked.request_facts.uses_state);
+        assert!(!checked.request_facts.writes_state);
+        assert!(checked.request_facts.can_drop);
+        assert!(checked.deterministic());
+    }
+
+    #[test]
+    fn fault_injection_is_nondeterministic() {
+        let src = r#"
+            element Fault(abort_prob: f64 = 0.05) {
+                on request {
+                    ABORT(3, 'fault injected') WHERE random() < abort_prob;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let checked = check(src).unwrap();
+        assert!(!checked.request_facts.deterministic);
+        assert!(checked.request_facts.can_drop);
+        assert!(checked.request_facts.udfs.contains("random"));
+    }
+
+    #[test]
+    fn compression_records_write() {
+        let src = r#"
+            element Compress() {
+                on request {
+                    SET payload = compress(input.payload);
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let checked = check(src).unwrap();
+        assert!(checked.request_facts.writes.contains("payload"));
+        assert!(checked.request_facts.reads.contains("payload"));
+        assert!(!checked.request_facts.can_drop);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let src = "element E() { on request { SELECT * FROM input WHERE input.nope == 1; } }";
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let src = "element E() { on request { SELECT * FROM input JOIN ghost ON true; } }";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn table_column_outside_scope_rejected() {
+        let src = r#"
+            element E() {
+                state t(a: u64 key, b: u64);
+                on request { SELECT * FROM input WHERE t.a == 1; }
+            }
+        "#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("outside"));
+    }
+
+    #[test]
+    fn type_mismatch_in_set_rejected() {
+        let src = "element E() { on request { SET username = 42; SELECT * FROM input; } }";
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("username"));
+    }
+
+    #[test]
+    fn comparison_type_mismatch_rejected() {
+        let src = "element E() { on request { SELECT * FROM input WHERE input.username == 5; } }";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn where_must_be_boolean() {
+        let src = "element E() { on request { SELECT * FROM input WHERE input.object_id; } }";
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("boolean"));
+    }
+
+    #[test]
+    fn udf_arity_checked() {
+        let src = "element E() { on request { SET payload = compress(); SELECT * FROM input; } }";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn projection_alias_must_name_schema_field() {
+        let src = "element E() { on request { SELECT hash(input.username) AS mystery FROM input; } }";
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("mystery"));
+    }
+
+    #[test]
+    fn projection_rewrite_counts_as_write() {
+        let src = "element E() { on request { SELECT hash(input.username) AS object_id FROM input; } }";
+        let checked = check(src).unwrap();
+        assert!(checked.request_facts.writes.contains("object_id"));
+    }
+
+    #[test]
+    fn response_handler_checked_against_response_schema() {
+        // `username` exists only in the request schema.
+        let src = "element E() { on response { SELECT * FROM input WHERE input.username == 'x'; } }";
+        assert!(check(src).is_err());
+        let src = "element E() { on response { SELECT * FROM input WHERE input.ok; } }";
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn duplicate_state_rejected() {
+        let src = r#"
+            element E() {
+                state t(a: u64 key);
+                state t(b: u64 key);
+                on request { SELECT * FROM input; }
+            }
+        "#;
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn init_row_type_mismatch_rejected() {
+        let src = r#"
+            element E() {
+                state t(a: u64 key, b: string) init { (1, 2) };
+                on request { SELECT * FROM input; }
+            }
+        "#;
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn int_literal_coerces_to_float_param() {
+        let src = "element E(p: f64 = 1) { on request { DROP WHERE random() < p; SELECT * FROM input; } }";
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn case_arm_types_must_agree() {
+        let src = "element E() { on request { SET object_id = CASE WHEN true THEN 1 ELSE 'x' END; SELECT * FROM input; } }";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn empty_handler_rejected() {
+        let src = "element E() { on request { } }";
+        assert!(check(src).is_err());
+    }
+}

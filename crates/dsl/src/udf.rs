@@ -1,0 +1,243 @@
+//! User-defined function signatures.
+//!
+//! Paper §5.1: "SQL cannot express certain forms of complex processing ...
+//! operations like compression and encryption. We can model these as
+//! user-defined functions for which developers provide platform-specific
+//! implementations." This module declares the *signatures* (names, types,
+//! and placement-relevant properties) of the built-in UDF set; the
+//! platform-specific implementations live in `adn-backend`.
+
+use adn_rpc::value::ValueType;
+
+/// A type pattern for UDF parameters and returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypePattern {
+    /// Exactly this scalar type.
+    Exact(ValueType),
+    /// Any of u64/i64/f64.
+    Numeric,
+    /// A string or a bytes value.
+    StrOrBytes,
+    /// Any scalar.
+    Any,
+    /// Same type as the first argument (for min/max-style functions).
+    SameAsFirst,
+}
+
+impl TypePattern {
+    /// Whether `ty` matches this pattern (SameAsFirst needs external help).
+    pub fn matches(self, ty: ValueType) -> bool {
+        match self {
+            TypePattern::Exact(t) => t == ty,
+            TypePattern::Numeric => ty.is_numeric(),
+            TypePattern::StrOrBytes => matches!(ty, ValueType::Str | ValueType::Bytes),
+            TypePattern::Any => true,
+            TypePattern::SameAsFirst => true,
+        }
+    }
+}
+
+/// Which processor classes can execute a UDF (paper §2 "non-portability":
+/// some operations cannot run in eBPF or on a switch; these flags gate the
+/// controller's placement search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdfPortability {
+    /// Runs inside a software processor (RPC library, sidecar). Always true
+    /// for the built-in set.
+    pub software: bool,
+    /// Runs in the kernel eBPF processor (bounded loops, no allocation).
+    pub ebpf: bool,
+    /// Runs on a SmartNIC core.
+    pub smartnic: bool,
+    /// Runs in a P4 match-action pipeline (essentially: cheap arithmetic
+    /// and hashing over header fields only).
+    pub switch: bool,
+}
+
+/// Signature and placement properties of one UDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfSignature {
+    /// Function name as written in DSL programs.
+    pub name: &'static str,
+    /// Parameter type patterns.
+    pub params: Vec<TypePattern>,
+    /// Return type pattern.
+    pub ret: TypePattern,
+    /// False for `random()` / `now()` — affects reorder legality.
+    pub deterministic: bool,
+    /// Relative per-call CPU cost (1 = a compare), for the cost model.
+    pub cost_hint: u32,
+    /// Where this UDF may be placed.
+    pub portability: UdfPortability,
+}
+
+const SW_ONLY: UdfPortability = UdfPortability {
+    software: true,
+    ebpf: false,
+    smartnic: true,
+    switch: false,
+};
+const SW_EBPF: UdfPortability = UdfPortability {
+    software: true,
+    ebpf: true,
+    smartnic: true,
+    switch: false,
+};
+const ANYWHERE: UdfPortability = UdfPortability {
+    software: true,
+    ebpf: true,
+    smartnic: true,
+    switch: true,
+};
+
+/// The built-in UDF registry.
+pub fn builtin_udfs() -> Vec<UdfSignature> {
+    use TypePattern::*;
+    use ValueType::*;
+    vec![
+        UdfSignature {
+            name: "compress",
+            params: vec![Exact(Bytes)],
+            ret: Exact(Bytes),
+            deterministic: true,
+            cost_hint: 200,
+            portability: SW_ONLY,
+        },
+        UdfSignature {
+            name: "decompress",
+            params: vec![Exact(Bytes)],
+            ret: Exact(Bytes),
+            deterministic: true,
+            cost_hint: 150,
+            portability: SW_ONLY,
+        },
+        UdfSignature {
+            name: "encrypt",
+            params: vec![Exact(Bytes), Exact(Str)],
+            ret: Exact(Bytes),
+            deterministic: true,
+            cost_hint: 120,
+            portability: SW_EBPF,
+        },
+        UdfSignature {
+            name: "decrypt",
+            params: vec![Exact(Bytes), Exact(Str)],
+            ret: Exact(Bytes),
+            deterministic: true,
+            cost_hint: 120,
+            portability: SW_EBPF,
+        },
+        UdfSignature {
+            name: "hash",
+            params: vec![Any],
+            ret: Exact(U64),
+            deterministic: true,
+            cost_hint: 10,
+            portability: ANYWHERE,
+        },
+        UdfSignature {
+            name: "len",
+            params: vec![StrOrBytes],
+            ret: Exact(U64),
+            deterministic: true,
+            cost_hint: 1,
+            portability: ANYWHERE,
+        },
+        UdfSignature {
+            name: "random",
+            params: vec![],
+            ret: Exact(F64),
+            deterministic: false,
+            cost_hint: 5,
+            portability: ANYWHERE,
+        },
+        UdfSignature {
+            name: "now",
+            params: vec![],
+            ret: Exact(U64),
+            deterministic: false,
+            cost_hint: 5,
+            portability: SW_EBPF,
+        },
+        UdfSignature {
+            name: "concat",
+            params: vec![Exact(Str), Exact(Str)],
+            ret: Exact(Str),
+            deterministic: true,
+            cost_hint: 5,
+            portability: SW_EBPF,
+        },
+        UdfSignature {
+            name: "to_string",
+            params: vec![Any],
+            ret: Exact(Str),
+            deterministic: true,
+            cost_hint: 10,
+            portability: SW_EBPF,
+        },
+        UdfSignature {
+            name: "min",
+            params: vec![Numeric, SameAsFirst],
+            ret: SameAsFirst,
+            deterministic: true,
+            cost_hint: 1,
+            portability: ANYWHERE,
+        },
+        UdfSignature {
+            name: "max",
+            params: vec![Numeric, SameAsFirst],
+            ret: SameAsFirst,
+            deterministic: true,
+            cost_hint: 1,
+            portability: ANYWHERE,
+        },
+    ]
+}
+
+/// Looks up a built-in UDF by name.
+pub fn lookup(name: &str) -> Option<UdfSignature> {
+    builtin_udfs().into_iter().find(|u| u.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_unique_names() {
+        let udfs = builtin_udfs();
+        for i in 0..udfs.len() {
+            for j in (i + 1)..udfs.len() {
+                assert_ne!(udfs[i].name, udfs[j].name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_compress() {
+        let sig = lookup("compress").unwrap();
+        assert_eq!(sig.params.len(), 1);
+        assert!(!sig.portability.switch, "compression can't run on a switch");
+        assert!(sig.portability.software);
+    }
+
+    #[test]
+    fn random_is_nondeterministic() {
+        assert!(!lookup("random").unwrap().deterministic);
+        assert!(lookup("hash").unwrap().deterministic);
+    }
+
+    #[test]
+    fn patterns_match() {
+        assert!(TypePattern::Numeric.matches(ValueType::F64));
+        assert!(!TypePattern::Numeric.matches(ValueType::Str));
+        assert!(TypePattern::StrOrBytes.matches(ValueType::Bytes));
+        assert!(TypePattern::Exact(ValueType::U64).matches(ValueType::U64));
+        assert!(!TypePattern::Exact(ValueType::U64).matches(ValueType::I64));
+    }
+
+    #[test]
+    fn unknown_udf_not_found() {
+        assert!(lookup("frobnicate").is_none());
+    }
+}

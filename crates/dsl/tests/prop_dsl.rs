@@ -1,0 +1,256 @@
+//! Property tests for the DSL: pretty-printing any generated element and
+//! re-parsing the output must reproduce the identical AST, and the lexer /
+//! parser must never panic on arbitrary input.
+
+use adn_dsl::ast::*;
+use adn_dsl::parser::{parse_element, parse_program};
+use adn_dsl::printer::print_element;
+use adn_rpc::value::ValueType;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Fixed pool avoids colliding with keywords while still varying names.
+    prop_oneof![
+        Just("object_id".to_owned()),
+        Just("username".to_owned()),
+        Just("payload".to_owned()),
+        Just("ac_tab".to_owned()),
+        Just("counters".to_owned()),
+        Just("limit_p".to_owned()),
+        Just("x1".to_owned()),
+        Just("y2".to_owned()),
+    ]
+}
+
+fn arb_type() -> impl Strategy<Value = ValueType> {
+    prop_oneof![
+        Just(ValueType::U64),
+        Just(ValueType::I64),
+        Just(ValueType::F64),
+        Just(ValueType::Bool),
+        Just(ValueType::Str),
+        Just(ValueType::Bytes),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<u64>().prop_map(Literal::Int),
+        // Simple non-negative decimals so the canonical printer's output
+        // re-lexes exactly (the grammar has no exponent notation).
+        (0u32..1_000_000, 1u32..1000)
+            .prop_map(|(n, d)| Literal::Float(n as f64 / d as f64)),
+        "[a-zA-Z0-9 _']{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(Expr::InputField),
+        (arb_ident(), arb_ident())
+            .prop_map(|(table, column)| Expr::TableColumn { table, column }),
+        arb_ident().prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(e),
+            }),
+            (arb_ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(function, args)| Expr::Call { function, args }),
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner)
+            )
+                .prop_map(|(arms, otherwise)| Expr::Case {
+                    arms,
+                    otherwise: otherwise.map(Box::new),
+                }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (
+            arb_projection(),
+            proptest::option::of(arb_join()),
+            proptest::option::of(arb_expr()),
+            proptest::option::of((arb_expr(), proptest::option::of(arb_expr()))),
+        )
+            .prop_map(|(projection, join, condition, ea)| Stmt::Select(SelectStmt {
+                projection,
+                join,
+                condition,
+                else_abort: ea.map(|(code, message)| ElseAbort { code, message }),
+            })),
+        (arb_ident(), proptest::collection::vec(arb_expr(), 1..4))
+            .prop_map(|(table, values)| Stmt::Insert(InsertStmt { table, values })),
+        (
+            arb_ident(),
+            proptest::collection::vec((arb_ident(), arb_expr()), 1..3),
+            proptest::option::of(arb_expr())
+        )
+            .prop_map(|(table, assignments, condition)| Stmt::Update(UpdateStmt {
+                table,
+                assignments,
+                condition,
+            })),
+        (arb_ident(), proptest::option::of(arb_expr()))
+            .prop_map(|(table, condition)| Stmt::Delete(DeleteStmt { table, condition })),
+        proptest::option::of(arb_expr()).prop_map(Stmt::Drop),
+        (arb_expr(), proptest::option::of(arb_expr()), proptest::option::of(arb_expr())).prop_map(
+            |(code, message, condition)| Stmt::Abort {
+                code,
+                message,
+                condition,
+            }
+        ),
+        (arb_ident(), arb_expr(), proptest::option::of(arb_expr())).prop_map(
+            |(field, value, condition)| Stmt::Set {
+                field,
+                value,
+                condition,
+            }
+        ),
+    ]
+}
+
+fn arb_projection() -> impl Strategy<Value = Projection> {
+    prop_oneof![
+        Just(Projection::Star),
+        proptest::collection::vec(
+            (arb_expr(), proptest::option::of(arb_ident()))
+                .prop_map(|(expr, alias)| ProjItem { expr, alias }),
+            1..3
+        )
+        .prop_map(Projection::Items),
+    ]
+}
+
+fn arb_join() -> impl Strategy<Value = JoinClause> {
+    (arb_ident(), arb_expr()).prop_map(|(table, on)| JoinClause { table, on })
+}
+
+fn arb_element() -> impl Strategy<Value = ElementDef> {
+    (
+        proptest::collection::vec((arb_ident(), arb_type(), proptest::option::of(arb_literal())), 0..3),
+        proptest::collection::vec(
+            (
+                arb_ident(),
+                proptest::collection::vec((arb_ident(), arb_type(), any::<bool>()), 1..3),
+            ),
+            0..2,
+        ),
+        proptest::collection::vec(arb_stmt(), 1..4),
+        proptest::option::of(proptest::collection::vec(arb_stmt(), 1..3)),
+    )
+        .prop_map(|(params, states, req_body, resp_body)| {
+            // Deduplicate names: keep first occurrence only.
+            let mut params_out: Vec<ParamDef> = Vec::new();
+            for (name, ty, default) in params {
+                if params_out.iter().all(|p| p.name != name) {
+                    params_out.push(ParamDef { name, ty, default });
+                }
+            }
+            let mut states_out: Vec<StateDef> = Vec::new();
+            for (name, cols) in states {
+                if states_out.iter().any(|s| s.name == name) {
+                    continue;
+                }
+                let mut columns: Vec<ColumnDef> = Vec::new();
+                for (cname, ty, key) in cols {
+                    if columns.iter().all(|c| c.name != cname) {
+                        columns.push(ColumnDef {
+                            name: cname,
+                            ty,
+                            key,
+                        });
+                    }
+                }
+                states_out.push(StateDef {
+                    name,
+                    columns,
+                    capacity: None,
+                    init_rows: vec![],
+                });
+            }
+            ElementDef {
+                name: "Gen".to_owned(),
+                params: params_out,
+                states: states_out,
+                on_request: Some(Handler {
+                    direction: Direction::Request,
+                    body: req_body,
+                }),
+                on_response: resp_body.map(|body| Handler {
+                    direction: Direction::Response,
+                    body,
+                }),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(element in arb_element()) {
+        let printed = print_element(&element);
+        let reparsed = parse_element(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        prop_assert_eq!(reparsed, element, "roundtrip diverged for:\n{}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = parse_element(&src);
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tokenish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("input"), Just("JOIN"), Just("WHERE"),
+                Just("element"), Just("state"), Just("on"), Just("request"), Just("("),
+                Just(")"), Just("{"), Just("}"), Just(";"), Just(","), Just("=="),
+                Just("'s'"), Just("42"), Just("x"), Just("."), Just("*"),
+            ],
+            0..64,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_element(&src);
+    }
+}

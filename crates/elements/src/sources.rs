@@ -1,0 +1,234 @@
+//! DSL sources of the standard elements.
+//!
+//! The paper §6 observes that "standard SQL syntax was rich enough" for the
+//! three evaluation elements — these sources show what that looks like.
+//! Each element is "tens of lines of SQL" against the "hundreds of lines of
+//! Rust" in `handcoded` (experiment E3 quantifies the ratio).
+
+/// Logging: records request and response metadata into a state table
+/// (paper §6: "records both the request and response").
+pub const LOGGING: &str = r#"
+-- Record both directions of every RPC into the log table. The capacity
+-- bound gives log-rotation semantics: the newest 65536 records are kept.
+element Logging() {
+    state log_tab(seq: u64 key, direction: string, username: string, object_id: u64) capacity 65536;
+    on request {
+        INSERT INTO log_tab VALUES (now(), 'req', input.username, input.object_id);
+        SELECT * FROM input;
+    }
+    on response {
+        INSERT INTO log_tab VALUES (now(), 'resp', '', 0);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Access control list: drops requests from users without write permission
+/// (paper Figure 4).
+pub const ACL: &str = r#"
+-- Block users that do not have write permission (paper Figure 4).
+element Acl() {
+    state ac_tab(username: string key, permission: string) init {
+        ('alice', 'W'),
+        ('bob', 'R'),
+        ('carol', 'W'),
+        ('dave', 'W'),
+        ('eve', 'R')
+    };
+    on request {
+        SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+        WHERE ac_tab.permission == 'W'
+        ELSE ABORT(7, 'permission denied');
+    }
+}
+"#;
+
+/// Fault injection: aborts requests with a configured probability
+/// (paper §6: "aborts requests based on a configured probability").
+pub const FAULT: &str = r#"
+-- Abort a configurable fraction of requests.
+element Fault(abort_prob: f64 = 0.02) {
+    on request {
+        ABORT(3, 'fault injected') WHERE random() < abort_prob;
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Key-based load balancer: routes to a replica by object id (paper §2:
+/// "load balance RPC requests from A to B.1 or B.2 based on the object
+/// identifier in the request").
+pub const LOAD_BALANCER: &str = r#"
+-- Pick a destination replica by stable hash of the object id.
+element LoadBalancer() {
+    on request {
+        ROUTE input.object_id;
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Request-payload compression (paper §2's compress step, sender side).
+/// Direction matters: a chain element sits at one point on the path, so
+/// compressing responses is a separate element pair
+/// ([`COMPRESS_RESPONSE`], placed at the receiver side).
+pub const COMPRESS: &str = r#"
+element Compress() {
+    on request {
+        SET payload = compress(input.payload);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Request-payload decompression (paper §2's decompress step, receiver
+/// side).
+pub const DECOMPRESS: &str = r#"
+element Decompress() {
+    on request {
+        SET payload = decompress(input.payload);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Response-payload compression: runs at the *receiver* side (the response
+/// originates there), compressing before the wire.
+pub const COMPRESS_RESPONSE: &str = r#"
+element CompressResponse() {
+    on response {
+        SET payload = compress(input.payload);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Response-payload decompression: runs at the *sender* side, restoring
+/// the response before the application sees it.
+pub const DECOMPRESS_RESPONSE: &str = r#"
+element DecompressResponse() {
+    on response {
+        SET payload = decompress(input.payload);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Payload encryption (sender side; paper §4 Q1's co-location example).
+pub const ENCRYPT: &str = r#"
+element Encrypt(secret: string = 'adn-demo-key') {
+    on request {
+        SET payload = encrypt(input.payload, secret);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Payload decryption (receiver side).
+pub const DECRYPT: &str = r#"
+element Decrypt(secret: string = 'adn-demo-key') {
+    on request {
+        SET payload = decrypt(input.payload, secret);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Per-user admission quota: after `limit` requests from a user, further
+/// requests are shed (a simple "shaping" filter expressible in pure SQL).
+pub const QUOTA: &str = r#"
+element Quota(limit: u64 = 1000) {
+    state used(username: string key, n: u64);
+    on request {
+        UPDATE used SET n = used.n + 1 WHERE used.username == input.username;
+        INSERT INTO used VALUES (input.username, 1);
+        SELECT * FROM input JOIN used ON input.username == used.username
+        WHERE used.n <= limit;
+    }
+}
+"#;
+
+/// Request mutation: tags large payloads by rewriting the object id space
+/// (demonstrates CASE and projection rewrites).
+pub const TAGGER: &str = r#"
+element Tagger(cutoff: u64 = 1024) {
+    on request {
+        SET object_id = CASE WHEN len(input.payload) > cutoff
+                             THEN input.object_id + 1000000
+                             ELSE input.object_id END;
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Best-effort per-user telemetry counters. Marked drop-insensitive by the
+/// facade when installed, so the optimizer may move droppers past it.
+pub const METRICS: &str = r#"
+element Metrics() {
+    state hits(username: string key, n: u64);
+    on request {
+        UPDATE hits SET n = hits.n + 1 WHERE hits.username == input.username;
+        INSERT INTO hits VALUES (input.username, 1);
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// Numeric firewall: drops a configurable blocked object id (fits the
+/// switch backend's exact-match model, used by offload examples).
+pub const FIREWALL: &str = r#"
+element Firewall(blocked: u64 = 0) {
+    on request {
+        DROP WHERE input.object_id == blocked;
+        SELECT * FROM input;
+    }
+}
+"#;
+
+/// All standard elements as (name, source) pairs.
+pub const ALL: &[(&str, &str)] = &[
+    ("Logging", LOGGING),
+    ("Acl", ACL),
+    ("Fault", FAULT),
+    ("LoadBalancer", LOAD_BALANCER),
+    ("Compress", COMPRESS),
+    ("Decompress", DECOMPRESS),
+    ("CompressResponse", COMPRESS_RESPONSE),
+    ("DecompressResponse", DECOMPRESS_RESPONSE),
+    ("Encrypt", ENCRYPT),
+    ("Decrypt", DECRYPT),
+    ("Quota", QUOTA),
+    ("Tagger", TAGGER),
+    ("Metrics", METRICS),
+    ("Firewall", FIREWALL),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse() {
+        for (name, src) in ALL {
+            adn_dsl::parse_element(src)
+                .unwrap_or_else(|e| panic!("element {name} does not parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn names_match_element_definitions() {
+        for (name, src) in ALL {
+            let def = adn_dsl::parse_element(src).unwrap();
+            assert_eq!(&def.name, name, "catalog name mismatch");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        for i in 0..ALL.len() {
+            for j in (i + 1)..ALL.len() {
+                assert_ne!(ALL[i].0, ALL[j].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Analyses over lowered elements: field read/write sets, drop and
+//! determinism facts, cost estimation, and the commutativity judgment.
+//!
+//! These are the facts the paper's optimizer needs (§5.2: "if two elements
+//! do not operate on the same RPC fields, they can be executed in parallel";
+//! §3 Configuration 3: reordering "after automatically determining that
+//! reordering preserves semantics").
+
+use adn_dsl::udf;
+
+use crate::element::{Direction, ElementIr, IrStmt, JoinStrategy};
+use crate::expr::IrExpr;
+
+/// Facts about one element in one message direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirFacts {
+    /// Bitmask of input fields read.
+    pub reads: u64,
+    /// Bitmask of input fields written.
+    pub writes: u64,
+    /// Reads or writes element state.
+    pub uses_state: bool,
+    /// Writes element state.
+    pub writes_state: bool,
+    /// May terminate (drop or abort) the message.
+    pub can_drop: bool,
+    /// Rewrites the message destination (ROUTE).
+    pub routes: bool,
+    /// No nondeterministic UDFs.
+    pub deterministic: bool,
+    /// Estimated per-message cost in abstract units (1 = a compare).
+    pub cost: u64,
+}
+
+/// Facts for both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElementFacts {
+    pub request: DirFacts,
+    pub response: DirFacts,
+}
+
+impl ElementFacts {
+    /// Facts for one direction.
+    pub fn dir(&self, d: Direction) -> &DirFacts {
+        match d {
+            Direction::Request => &self.request,
+            Direction::Response => &self.response,
+        }
+    }
+
+    /// Whether the element can drop in either direction.
+    pub fn can_drop_any(&self) -> bool {
+        self.request.can_drop || self.response.can_drop
+    }
+
+    /// Whether the element writes state in either direction.
+    pub fn writes_state_any(&self) -> bool {
+        self.request.writes_state || self.response.writes_state
+    }
+
+    /// Total estimated cost (request + response).
+    pub fn total_cost(&self) -> u64 {
+        self.request.cost + self.response.cost
+    }
+}
+
+fn expr_cost(e: &IrExpr) -> u64 {
+    let mut cost = 0u64;
+    e.walk(&mut |node| {
+        cost += match node {
+            IrExpr::Udf { name, .. } => udf::lookup(name).map(|s| s.cost_hint as u64).unwrap_or(50),
+            IrExpr::Const(_) => 0,
+            _ => 1,
+        };
+    });
+    cost
+}
+
+fn expr_deterministic(e: &IrExpr) -> bool {
+    let mut det = true;
+    e.walk(&mut |node| {
+        if let IrExpr::Udf { name, .. } = node {
+            if let Some(sig) = udf::lookup(name) {
+                if !sig.deterministic {
+                    det = false;
+                }
+            }
+        }
+    });
+    det
+}
+
+fn analyze_stmts(stmts: &[IrStmt]) -> DirFacts {
+    let mut f = DirFacts {
+        deterministic: true,
+        ..Default::default()
+    };
+    for s in stmts {
+        for e in s.expressions() {
+            f.reads |= e.field_mask();
+            if !expr_deterministic(e) {
+                f.deterministic = false;
+            }
+            f.cost += expr_cost(e);
+        }
+        f.cost += 1; // statement dispatch
+        match s {
+            IrStmt::Select {
+                assignments, join, ..
+            } => {
+                for (idx, _) in assignments {
+                    f.writes |= 1 << idx;
+                }
+                if let Some(j) = join {
+                    f.uses_state = true;
+                    f.cost += match j.strategy {
+                        JoinStrategy::KeyLookup { .. } => 5,
+                        JoinStrategy::Scan => 25,
+                    };
+                }
+                if s.can_terminate() {
+                    f.can_drop = true;
+                }
+            }
+            IrStmt::Insert { .. } => {
+                f.uses_state = true;
+                f.writes_state = true;
+                f.cost += 8;
+            }
+            IrStmt::Update { .. } | IrStmt::Delete { .. } => {
+                f.uses_state = true;
+                f.writes_state = true;
+                f.cost += 12;
+            }
+            IrStmt::Drop { .. } | IrStmt::Abort { .. } => {
+                f.can_drop = true;
+            }
+            IrStmt::Route { .. } => {
+                f.routes = true;
+                f.cost += 10;
+            }
+            IrStmt::Set { field, .. } => {
+                f.writes |= 1 << field;
+            }
+        }
+    }
+    f
+}
+
+/// Computes facts for an element.
+pub fn analyze(element: &ElementIr) -> ElementFacts {
+    ElementFacts {
+        request: analyze_stmts(&element.request),
+        response: analyze_stmts(&element.response),
+    }
+}
+
+/// The commutativity judgment: may elements `a` and `b` swap order without
+/// changing observable behaviour (message field values, verdicts, and state
+/// contents)?
+///
+/// The rule (conservative in each direction):
+///
+/// 1. **Field independence** — `writes(a) ∩ (reads(b) ∪ writes(b)) = ∅`
+///    and symmetric. Otherwise one element observes the other's writes.
+/// 2. **Drop vs. state** — a dropper may not move across a state-writing
+///    element (the writer's tables would record a different set of
+///    messages), unless the writer opted in via `drop_insensitive`
+///    (e.g. best-effort telemetry).
+/// 3. **Drop vs. drop** — two droppers never reorder: the surviving
+///    message set is the same, but abort codes/messages observed by the
+///    caller may differ (ACL-denied vs fault-injected).
+/// 4. **Drop vs. field-writer** — a dropper may not move across an element
+///    that writes fields the dropper reads (covered by rule 1), and a
+///    field-writer may not move across a dropper that reads its outputs
+///    (also rule 1). Field writes on messages that get dropped are
+///    unobservable, so no extra rule is needed.
+pub fn commute(a: &ElementIr, b: &ElementIr) -> bool {
+    let fa = analyze(a);
+    let fb = analyze(b);
+    for d in [Direction::Request, Direction::Response] {
+        let da = fa.dir(d);
+        let db = fb.dir(d);
+        // Rule 1: field independence.
+        if da.writes & (db.reads | db.writes) != 0 {
+            return false;
+        }
+        if db.writes & (da.reads | da.writes) != 0 {
+            return false;
+        }
+        // Rule 2: drop vs. state writes.
+        if da.can_drop && db.writes_state && !b.drop_insensitive {
+            return false;
+        }
+        if db.can_drop && da.writes_state && !a.drop_insensitive {
+            return false;
+        }
+        // Rule 3: drop vs. drop.
+        if da.can_drop && db.can_drop {
+            return false;
+        }
+        // Rule 4: two routers never reorder (last writer of dst wins).
+        if da.routes && db.routes {
+            return false;
+        }
+    }
+    true
+}
+
+/// Union of fields that elements `elements[from..]` read or write in
+/// direction `dir` — the set a sender must place in the wire header for the
+/// downstream processors hosting those elements (paper §5.3: "the RPC
+/// headers might convey additional information intended for the utilization
+/// of downstream processors").
+pub fn required_fields(elements: &[ElementIr], dir: Direction) -> u64 {
+    let mut mask = 0u64;
+    for e in elements {
+        let f = analyze(e);
+        let df = f.dir(dir);
+        mask |= df.reads | df.writes;
+    }
+    mask
+}
+
+/// Pairs of adjacent elements that touch disjoint fields and no shared
+/// state — candidates for parallel execution (paper §5.2).
+pub fn parallelizable_pairs(elements: &[ElementIr]) -> Vec<(usize, usize)> {
+    let facts: Vec<ElementFacts> = elements.iter().map(analyze).collect();
+    let mut out = Vec::new();
+    for i in 0..elements.len().saturating_sub(1) {
+        let (a, b) = (&facts[i], &facts[i + 1]);
+        let mut independent = true;
+        for d in [Direction::Request, Direction::Response] {
+            let (da, db) = (a.dir(d), b.dir(d));
+            let fields_a = da.reads | da.writes;
+            let fields_b = db.reads | db.writes;
+            if fields_a & fields_b != 0
+                || da.can_drop
+                || db.can_drop
+                || da.routes
+                || db.routes
+            {
+                independent = false;
+            }
+        }
+        if independent {
+            out.push((i, i + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_dsl::parser::parse_element;
+    use adn_dsl::typecheck::check_element;
+    use adn_rpc::schema::RpcSchema;
+    use adn_rpc::value::ValueType;
+
+    fn schemas() -> (RpcSchema, RpcSchema) {
+        let req = RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        let resp = RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        (req, resp)
+    }
+
+    fn lower(src: &str) -> ElementIr {
+        let (req, resp) = schemas();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        crate::lower::lower_element(&checked, &[], &req, &resp).unwrap()
+    }
+
+    const ACL: &str = r#"
+        element Acl() {
+            state ac_tab(username: string key, permission: string);
+            on request {
+                SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                WHERE ac_tab.permission == 'W';
+            }
+        }
+    "#;
+
+    const COMPRESS: &str = r#"
+        element Compress() {
+            on request { SET payload = compress(input.payload); SELECT * FROM input; }
+        }
+    "#;
+
+    const LOGGING: &str = r#"
+        element Logging() {
+            state log_tab(seq: u64 key, who: string);
+            on request {
+                INSERT INTO log_tab VALUES (now(), input.username);
+                SELECT * FROM input;
+            }
+        }
+    "#;
+
+    const FAULT: &str = r#"
+        element Fault(p: f64 = 0.05) {
+            on request { ABORT(3, 'fault') WHERE random() < p; SELECT * FROM input; }
+        }
+    "#;
+
+    #[test]
+    fn acl_facts() {
+        let f = analyze(&lower(ACL));
+        assert!(f.request.can_drop);
+        assert!(f.request.uses_state);
+        assert!(!f.request.writes_state);
+        assert_eq!(f.request.reads, 0b010); // username = field 1
+        assert_eq!(f.request.writes, 0);
+        assert!(f.request.deterministic);
+    }
+
+    #[test]
+    fn compress_facts() {
+        let f = analyze(&lower(COMPRESS));
+        assert!(!f.request.can_drop);
+        assert_eq!(f.request.reads, 0b100);
+        assert_eq!(f.request.writes, 0b100);
+        assert!(f.request.cost >= 200, "compress UDF cost should dominate");
+    }
+
+    #[test]
+    fn fault_is_nondeterministic_dropper() {
+        let f = analyze(&lower(FAULT));
+        assert!(f.request.can_drop);
+        assert!(!f.request.deterministic);
+    }
+
+    #[test]
+    fn acl_commutes_with_compress() {
+        // ACL reads username; compress touches payload only. The paper's
+        // Configuration 3 reorder: run the cheap dropper first.
+        assert!(commute(&lower(ACL), &lower(COMPRESS)));
+    }
+
+    #[test]
+    fn two_droppers_do_not_commute() {
+        assert!(!commute(&lower(ACL), &lower(FAULT)));
+    }
+
+    #[test]
+    fn dropper_does_not_cross_state_writer() {
+        assert!(!commute(&lower(ACL), &lower(LOGGING)));
+    }
+
+    #[test]
+    fn drop_insensitive_state_writer_may_cross() {
+        let mut logging = lower(LOGGING);
+        logging.drop_insensitive = true;
+        assert!(commute(&lower(ACL), &logging));
+    }
+
+    #[test]
+    fn field_conflict_blocks_commute() {
+        let enc = lower(
+            "element Enc() { on request { SET payload = encrypt(input.payload, 'k'); SELECT * FROM input; } }",
+        );
+        // Both write `payload`: order matters (compress∘encrypt ≠ encrypt∘compress).
+        assert!(!commute(&lower(COMPRESS), &enc));
+    }
+
+    #[test]
+    fn required_fields_unions_reads_and_writes() {
+        let elems = vec![lower(ACL), lower(COMPRESS)];
+        let mask = required_fields(&elems, Direction::Request);
+        assert_eq!(mask, 0b110); // username | payload
+        let mask_tail = required_fields(&elems[1..], Direction::Request);
+        assert_eq!(mask_tail, 0b100); // payload only
+    }
+
+    #[test]
+    fn parallelizable_pairs_require_disjoint_fields_and_no_drops() {
+        let id_mut = lower(
+            "element M() { on request { SET object_id = input.object_id + 1; SELECT * FROM input; } }",
+        );
+        let elems = vec![id_mut.clone(), lower(COMPRESS)];
+        assert_eq!(parallelizable_pairs(&elems), vec![(0, 1)]);
+        let elems = vec![lower(ACL), lower(COMPRESS)];
+        assert!(parallelizable_pairs(&elems).is_empty(), "dropper blocks parallelism");
+    }
+}

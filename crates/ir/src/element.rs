@@ -1,0 +1,353 @@
+//! Lowered element and chain representations.
+
+use std::sync::Arc;
+
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::{Value, ValueType};
+
+use crate::expr::IrExpr;
+
+/// Message direction (mirrors the DSL's `on request` / `on response`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    Request,
+    Response,
+}
+
+/// A state table layout with initial contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableIr {
+    /// Table name (diagnostics, state migration manifests).
+    pub name: String,
+    /// Column names.
+    pub column_names: Vec<String>,
+    /// Column types.
+    pub column_types: Vec<ValueType>,
+    /// Indices of key columns.
+    pub key_columns: Vec<usize>,
+    /// Maximum live rows (FIFO eviction beyond it); `None` = unbounded.
+    pub capacity: Option<usize>,
+    /// Initial rows (already type-coerced).
+    pub init_rows: Vec<Vec<Value>>,
+}
+
+/// How a SELECT's JOIN will be executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinStrategy {
+    /// `input.field == table.key_column` conjunct found: O(1) hash lookup of
+    /// the key built from these input fields (one per key column, in key
+    /// order).
+    KeyLookup { input_fields: Vec<usize> },
+    /// Fallback: scan rows in insertion order, first match wins.
+    Scan,
+}
+
+/// A join within a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrJoin {
+    /// Index into the element's `tables`.
+    pub table: usize,
+    /// Join predicate over input fields and candidate-row columns.
+    pub on: IrExpr,
+    /// Chosen execution strategy.
+    pub strategy: JoinStrategy,
+}
+
+/// A lowered statement. Runtime semantics (implemented by every backend):
+/// statements run in order per message; `Drop`/`Abort` with a true (or
+/// absent) condition terminate processing with that verdict; a `Select`
+/// whose join finds no row or whose condition is false terminates with
+/// `Drop`; reaching the end of the list forwards the message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrStmt {
+    Select {
+        /// Field writes applied on successful selection (non-identity
+        /// projection items), as (field index, expression).
+        assignments: Vec<(usize, IrExpr)>,
+        join: Option<IrJoin>,
+        condition: Option<IrExpr>,
+        /// When set, a failed join/condition aborts with (code, message)
+        /// instead of dropping.
+        else_abort: Option<(IrExpr, Option<IrExpr>)>,
+    },
+    Insert {
+        table: usize,
+        values: Vec<IrExpr>,
+    },
+    Update {
+        table: usize,
+        assignments: Vec<(usize, IrExpr)>,
+        condition: Option<IrExpr>,
+    },
+    Delete {
+        table: usize,
+        condition: Option<IrExpr>,
+    },
+    Drop {
+        condition: Option<IrExpr>,
+    },
+    /// Rewrite the message destination to a replica chosen by stable hash
+    /// of `key` over the replica set bound at deployment.
+    Route {
+        key: IrExpr,
+        condition: Option<IrExpr>,
+    },
+    Abort {
+        code: IrExpr,
+        message: Option<IrExpr>,
+        condition: Option<IrExpr>,
+    },
+    Set {
+        field: usize,
+        value: IrExpr,
+        condition: Option<IrExpr>,
+    },
+}
+
+impl IrStmt {
+    /// Every expression in the statement, for analyses.
+    pub fn expressions(&self) -> Vec<&IrExpr> {
+        match self {
+            IrStmt::Select {
+                assignments,
+                join,
+                condition,
+                else_abort,
+            } => {
+                let mut out: Vec<&IrExpr> = assignments.iter().map(|(_, e)| e).collect();
+                if let Some(j) = join {
+                    out.push(&j.on);
+                }
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                if let Some((code, message)) = else_abort {
+                    out.push(code);
+                    if let Some(m) = message {
+                        out.push(m);
+                    }
+                }
+                out
+            }
+            IrStmt::Insert { values, .. } => values.iter().collect(),
+            IrStmt::Update {
+                assignments,
+                condition,
+                ..
+            } => {
+                let mut out: Vec<&IrExpr> = assignments.iter().map(|(_, e)| e).collect();
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+            IrStmt::Delete { condition, .. } => condition.iter().collect(),
+            IrStmt::Drop { condition } => condition.iter().collect(),
+            IrStmt::Route { key, condition } => {
+                let mut out = vec![key];
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+            IrStmt::Abort {
+                code,
+                message,
+                condition,
+            } => {
+                let mut out = vec![code];
+                if let Some(m) = message {
+                    out.push(m);
+                }
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+            IrStmt::Set {
+                value, condition, ..
+            } => {
+                let mut out = vec![value];
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+        }
+    }
+
+    /// Mutable access to every expression (for the constant folder).
+    pub fn expressions_mut(&mut self) -> Vec<&mut IrExpr> {
+        match self {
+            IrStmt::Select {
+                assignments,
+                join,
+                condition,
+                else_abort,
+            } => {
+                let mut out: Vec<&mut IrExpr> =
+                    assignments.iter_mut().map(|(_, e)| e).collect();
+                if let Some(j) = join {
+                    out.push(&mut j.on);
+                }
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                if let Some((code, message)) = else_abort {
+                    out.push(code);
+                    if let Some(m) = message {
+                        out.push(m);
+                    }
+                }
+                out
+            }
+            IrStmt::Insert { values, .. } => values.iter_mut().collect(),
+            IrStmt::Update {
+                assignments,
+                condition,
+                ..
+            } => {
+                let mut out: Vec<&mut IrExpr> =
+                    assignments.iter_mut().map(|(_, e)| e).collect();
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+            IrStmt::Delete { condition, .. } => condition.iter_mut().collect(),
+            IrStmt::Drop { condition } => condition.iter_mut().collect(),
+            IrStmt::Route { key, condition } => {
+                let mut out = vec![key];
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+            IrStmt::Abort {
+                code,
+                message,
+                condition,
+            } => {
+                let mut out = vec![code];
+                if let Some(m) = message {
+                    out.push(m);
+                }
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+            IrStmt::Set {
+                value, condition, ..
+            } => {
+                let mut out = vec![value];
+                if let Some(c) = condition {
+                    out.push(c);
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether the statement writes state tables.
+    pub fn writes_state(&self) -> bool {
+        matches!(
+            self,
+            IrStmt::Insert { .. } | IrStmt::Update { .. } | IrStmt::Delete { .. }
+        )
+    }
+
+    /// Whether the statement can terminate the message.
+    pub fn can_terminate(&self) -> bool {
+        match self {
+            IrStmt::Drop { .. } | IrStmt::Abort { .. } => true,
+            IrStmt::Select {
+                join, condition, ..
+            } => join.is_some() || condition.is_some(),
+            _ => false,
+        }
+    }
+}
+
+/// One element lowered against a concrete request/response schema pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementIr {
+    /// Element name (from the DSL) plus instantiation suffix if any.
+    pub name: String,
+    /// State table layouts.
+    pub tables: Vec<TableIr>,
+    /// Request-direction statements (empty = pass-through).
+    pub request: Vec<IrStmt>,
+    /// Response-direction statements (empty = pass-through).
+    pub response: Vec<IrStmt>,
+    /// The original DSL source (for the Rust codegen backend and LoC
+    /// accounting). Canonical-printed.
+    pub source: String,
+    /// Marks elements whose state writes are tolerable on messages that a
+    /// neighbouring element would drop (e.g. telemetry counters). Licenses
+    /// reordering across droppers; set through the compiler API, never
+    /// inferred.
+    pub drop_insensitive: bool,
+    /// Must run outside the application binary (paper §3: "mandatory RPC
+    /// policies should not be enforced inside the same application binary").
+    pub enforce_off_app: bool,
+    /// Pin the element to the sender side (e.g. encryption must be
+    /// co-located with the sender — paper §4 Q1).
+    pub pin_sender_side: bool,
+}
+
+impl ElementIr {
+    /// Statements for one direction.
+    pub fn stmts(&self, dir: Direction) -> &[IrStmt] {
+        match dir {
+            Direction::Request => &self.request,
+            Direction::Response => &self.response,
+        }
+    }
+
+    /// All statements of both directions.
+    pub fn all_stmts(&self) -> impl Iterator<Item = &IrStmt> {
+        self.request.iter().chain(self.response.iter())
+    }
+}
+
+/// A lowered chain: the unit the optimizer and the placement solver work on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainIr {
+    /// Elements in application order (sender side first).
+    pub elements: Vec<ElementIr>,
+    /// Request message schema.
+    pub request_schema: Arc<RpcSchema>,
+    /// Response message schema.
+    pub response_schema: Arc<RpcSchema>,
+}
+
+impl ChainIr {
+    /// Creates a chain from lowered elements.
+    pub fn new(
+        elements: Vec<ElementIr>,
+        request_schema: Arc<RpcSchema>,
+        response_schema: Arc<RpcSchema>,
+    ) -> Self {
+        Self {
+            elements,
+            request_schema,
+            response_schema,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Element names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.elements.iter().map(|e| e.name.as_str()).collect()
+    }
+}

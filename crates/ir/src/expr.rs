@@ -1,0 +1,414 @@
+//! Resolved IR expressions.
+//!
+//! Unlike AST expressions, IR expressions carry indices (input field slot,
+//! joined-row column slot) instead of names, have parameters folded to
+//! constants, and make every numeric coercion an explicit [`IrExpr::Cast`].
+//! This is the form every backend consumes.
+
+use std::fmt;
+
+use adn_rpc::value::{Value, ValueType};
+
+/// Binary operators (same set as the AST; re-declared so backends need not
+/// depend on `adn-dsl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrBinOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrUnOp {
+    Not,
+    Neg,
+}
+
+/// A resolved expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrExpr {
+    /// A constant (literals and folded parameters).
+    Const(Value),
+    /// Input message field by schema index.
+    Field(usize),
+    /// Column of the joined/scoped state row by column index.
+    Col(usize),
+    /// UDF call by name (backends bind implementations by name).
+    Udf { name: String, args: Vec<IrExpr> },
+    /// Explicit numeric widening cast.
+    Cast { to: ValueType, inner: Box<IrExpr> },
+    Unary {
+        op: IrUnOp,
+        operand: Box<IrExpr>,
+    },
+    Binary {
+        op: IrBinOp,
+        left: Box<IrExpr>,
+        right: Box<IrExpr>,
+    },
+    Case {
+        arms: Vec<(IrExpr, IrExpr)>,
+        otherwise: Option<Box<IrExpr>>,
+    },
+}
+
+impl IrExpr {
+    /// Walks the tree, invoking `f` on every node.
+    pub fn walk(&self, f: &mut impl FnMut(&IrExpr)) {
+        f(self);
+        match self {
+            IrExpr::Udf { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            IrExpr::Cast { inner, .. } => inner.walk(f),
+            IrExpr::Unary { operand, .. } => operand.walk(f),
+            IrExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            IrExpr::Case { arms, otherwise } => {
+                for (c, v) in arms {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = otherwise {
+                    e.walk(f);
+                }
+            }
+            IrExpr::Const(_) | IrExpr::Field(_) | IrExpr::Col(_) => {}
+        }
+    }
+
+    /// Bitmask of input field indices read (fields must be < 64; enforced
+    /// at lowering).
+    pub fn field_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        self.walk(&mut |e| {
+            if let IrExpr::Field(i) = e {
+                mask |= 1 << i;
+            }
+        });
+        mask
+    }
+
+    /// Whether the expression references the joined state row.
+    pub fn uses_cols(&self) -> bool {
+        let mut used = false;
+        self.walk(&mut |e| {
+            if matches!(e, IrExpr::Col(_)) {
+                used = true;
+            }
+        });
+        used
+    }
+
+    /// UDF names referenced.
+    pub fn udf_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let IrExpr::Udf { name, .. } = e {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Whether this is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            IrExpr::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from constant evaluation of operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Type combination not supported by the operator.
+    TypeError(String),
+    /// Division or modulo by zero.
+    DivideByZero,
+    /// Arithmetic overflow on integer types.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeError(msg) => write!(f, "type error: {msg}"),
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::Overflow => write!(f, "integer overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a binary operator on two values. This single definition is the
+/// semantics shared by the constant folder, the native backend, the eBPF
+/// simulator, and the P4 simulator — so "reordering preserves semantics"
+/// property tests compare like with like.
+pub fn eval_binop(op: IrBinOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
+    use IrBinOp::*;
+    match op {
+        Or | And => {
+            let (Value::Bool(x), Value::Bool(y)) = (a, b) else {
+                return Err(EvalError::TypeError(format!(
+                    "{op:?} requires booleans, got {a} and {b}"
+                )));
+            };
+            Ok(Value::Bool(if op == Or { *x || *y } else { *x && *y }))
+        }
+        Eq => Ok(Value::Bool(a.dsl_eq(b))),
+        NotEq => Ok(Value::Bool(!a.dsl_eq(b))),
+        Lt => Ok(Value::Bool(a.total_cmp(b) == std::cmp::Ordering::Less)),
+        Le => Ok(Value::Bool(a.total_cmp(b) != std::cmp::Ordering::Greater)),
+        Gt => Ok(Value::Bool(a.total_cmp(b) == std::cmp::Ordering::Greater)),
+        Ge => Ok(Value::Bool(a.total_cmp(b) != std::cmp::Ordering::Less)),
+        Add | Sub | Mul | Div | Mod => eval_arith(op, a, b),
+    }
+}
+
+fn eval_arith(op: IrBinOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
+    use IrBinOp::*;
+    match (a, b) {
+        (Value::F64(_), _) | (_, Value::F64(_)) => {
+            let (x, y) = (
+                a.as_f64().ok_or_else(|| nonnum(a))?,
+                b.as_f64().ok_or_else(|| nonnum(b))?,
+            );
+            if matches!(op, Div | Mod) && y == 0.0 {
+                return Err(EvalError::DivideByZero);
+            }
+            Ok(Value::F64(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Mod => x % y,
+                _ => unreachable!(),
+            }))
+        }
+        (Value::I64(_), _) | (_, Value::I64(_)) => {
+            let x = as_i64(a)?;
+            let y = as_i64(b)?;
+            if matches!(op, Div | Mod) && y == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            let r = match op {
+                Add => x.checked_add(y),
+                Sub => x.checked_sub(y),
+                Mul => x.checked_mul(y),
+                Div => x.checked_div(y),
+                Mod => x.checked_rem(y),
+                _ => unreachable!(),
+            };
+            r.map(Value::I64).ok_or(EvalError::Overflow)
+        }
+        (Value::U64(x), Value::U64(y)) => {
+            if matches!(op, Div | Mod) && *y == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            let r = match op {
+                Add => x.checked_add(*y),
+                // Subtraction on unsigned saturates into signed domain.
+                Sub => {
+                    return if x >= y {
+                        Ok(Value::U64(x - y))
+                    } else {
+                        let diff = y - x;
+                        if diff > i64::MAX as u64 {
+                            Err(EvalError::Overflow)
+                        } else {
+                            Ok(Value::I64(-(diff as i64)))
+                        }
+                    }
+                }
+                Mul => x.checked_mul(*y),
+                Div => x.checked_div(*y),
+                Mod => x.checked_rem(*y),
+                _ => unreachable!(),
+            };
+            r.map(Value::U64).ok_or(EvalError::Overflow)
+        }
+        _ => Err(EvalError::TypeError(format!(
+            "arithmetic on non-numeric values {a} and {b}"
+        ))),
+    }
+}
+
+fn nonnum(v: &Value) -> EvalError {
+    EvalError::TypeError(format!("expected numeric value, got {v}"))
+}
+
+fn as_i64(v: &Value) -> Result<i64, EvalError> {
+    match v {
+        Value::I64(x) => Ok(*x),
+        Value::U64(x) => i64::try_from(*x).map_err(|_| EvalError::Overflow),
+        _ => Err(nonnum(v)),
+    }
+}
+
+/// Evaluates a unary operator.
+pub fn eval_unop(op: IrUnOp, v: &Value) -> Result<Value, EvalError> {
+    match op {
+        IrUnOp::Not => match v {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(EvalError::TypeError(format!("NOT on {other}"))),
+        },
+        IrUnOp::Neg => match v {
+            Value::I64(x) => x.checked_neg().map(Value::I64).ok_or(EvalError::Overflow),
+            Value::U64(x) => {
+                if *x > i64::MAX as u64 {
+                    Err(EvalError::Overflow)
+                } else {
+                    Ok(Value::I64(-(*x as i64)))
+                }
+            }
+            Value::F64(x) => Ok(Value::F64(-x)),
+            other => Err(EvalError::TypeError(format!("negation on {other}"))),
+        },
+    }
+}
+
+/// Applies a widening cast.
+pub fn eval_cast(to: ValueType, v: &Value) -> Result<Value, EvalError> {
+    match (to, v) {
+        (ValueType::I64, Value::U64(x)) => i64::try_from(*x)
+            .map(Value::I64)
+            .map_err(|_| EvalError::Overflow),
+        (ValueType::F64, Value::U64(x)) => Ok(Value::F64(*x as f64)),
+        (ValueType::F64, Value::I64(x)) => Ok(Value::F64(*x as f64)),
+        (t, v) if v.value_type() == t => Ok(v.clone()),
+        (t, v) => Err(EvalError::TypeError(format!("cannot cast {v} to {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_cross_numeric() {
+        assert_eq!(
+            eval_binop(IrBinOp::Eq, &Value::U64(5), &Value::F64(5.0)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Lt, &Value::I64(-1), &Value::U64(0)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic_type_promotion() {
+        assert_eq!(
+            eval_binop(IrBinOp::Add, &Value::U64(1), &Value::U64(2)).unwrap(),
+            Value::U64(3)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Add, &Value::U64(1), &Value::I64(-2)).unwrap(),
+            Value::I64(-1)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Mul, &Value::F64(1.5), &Value::U64(2)).unwrap(),
+            Value::F64(3.0)
+        );
+    }
+
+    #[test]
+    fn unsigned_subtraction_goes_signed() {
+        assert_eq!(
+            eval_binop(IrBinOp::Sub, &Value::U64(3), &Value::U64(5)).unwrap(),
+            Value::I64(-2)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Sub, &Value::U64(5), &Value::U64(3)).unwrap(),
+            Value::U64(2)
+        );
+    }
+
+    #[test]
+    fn divide_by_zero_is_error_not_panic() {
+        assert_eq!(
+            eval_binop(IrBinOp::Div, &Value::U64(1), &Value::U64(0)),
+            Err(EvalError::DivideByZero)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Mod, &Value::I64(1), &Value::I64(0)),
+            Err(EvalError::DivideByZero)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Div, &Value::F64(1.0), &Value::F64(0.0)),
+            Err(EvalError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn overflow_is_error_not_panic() {
+        assert_eq!(
+            eval_binop(IrBinOp::Add, &Value::U64(u64::MAX), &Value::U64(1)),
+            Err(EvalError::Overflow)
+        );
+        assert_eq!(
+            eval_binop(IrBinOp::Mul, &Value::I64(i64::MAX), &Value::I64(2)),
+            Err(EvalError::Overflow)
+        );
+    }
+
+    #[test]
+    fn logical_ops_require_bools() {
+        assert!(eval_binop(IrBinOp::And, &Value::U64(1), &Value::Bool(true)).is_err());
+        assert_eq!(
+            eval_binop(IrBinOp::Or, &Value::Bool(false), &Value::Bool(true)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(eval_unop(IrUnOp::Not, &Value::Bool(true)).unwrap(), Value::Bool(false));
+        assert_eq!(eval_unop(IrUnOp::Neg, &Value::U64(5)).unwrap(), Value::I64(-5));
+        assert_eq!(eval_unop(IrUnOp::Neg, &Value::F64(2.0)).unwrap(), Value::F64(-2.0));
+        assert!(eval_unop(IrUnOp::Neg, &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(ValueType::F64, &Value::U64(2)).unwrap(), Value::F64(2.0));
+        assert_eq!(eval_cast(ValueType::I64, &Value::U64(2)).unwrap(), Value::I64(2));
+        assert!(eval_cast(ValueType::I64, &Value::U64(u64::MAX)).is_err());
+        assert!(eval_cast(ValueType::U64, &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn field_mask_collects_fields() {
+        let e = IrExpr::Binary {
+            op: IrBinOp::Add,
+            left: Box::new(IrExpr::Field(0)),
+            right: Box::new(IrExpr::Udf {
+                name: "hash".into(),
+                args: vec![IrExpr::Field(3)],
+            }),
+        };
+        assert_eq!(e.field_mask(), 0b1001);
+        assert_eq!(e.udf_names(), vec!["hash".to_owned()]);
+        assert!(!e.uses_cols());
+    }
+}

@@ -1,0 +1,35 @@
+//! # adn-ir — the ADN compiler middle-end
+//!
+//! Paper §5.2: "the compiler first converts the program into an intermediate
+//! representation (IR). It then applies a set of optimizations on the IR ...
+//! Finally, the compiler translates optimized IR into platform-native code."
+//!
+//! This crate is that middle layer:
+//!
+//! * [`expr`] — resolved expressions: field indices instead of names,
+//!   parameters folded to constants, explicit casts, UDF references.
+//! * [`element`] — [`element::ElementIr`]: one element lowered against a
+//!   concrete schema pair, with its state table layouts and per-direction
+//!   statement lists.
+//! * [`lower`] — AST → IR lowering (name resolution happened in `adn-dsl`;
+//!   lowering binds parameter values and assigns indices).
+//! * [`analysis`] — per-element field read/write bitsets, drop/determinism
+//!   facts, cost estimates, and the **commutativity** judgment that licenses
+//!   reordering (paper §3, Configuration 3).
+//! * [`passes`] — chain-level optimization passes: constant folding,
+//!   element reordering (cheap droppers first), fusion into stages,
+//!   parallelism detection, and minimal-header computation (paper §4 Q2).
+//!
+//! The IR is backend-neutral: `adn-backend` consumes it to produce native
+//! plans, eBPF-sim bytecode, P4-sim pipelines, or Rust source text.
+
+pub mod analysis;
+pub mod element;
+pub mod expr;
+pub mod lower;
+pub mod passes;
+
+pub use element::{ChainIr, Direction, ElementIr, IrStmt, TableIr};
+pub use expr::IrExpr;
+pub use lower::{lower_element, LowerError};
+pub use passes::{optimize, OptReport, PassConfig};

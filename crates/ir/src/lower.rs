@@ -1,0 +1,696 @@
+//! Lowering: typechecked AST → IR.
+//!
+//! Lowering binds an element to a concrete instantiation: parameter values
+//! are folded to constants, names become indices, literal coercions become
+//! explicit casts, and each JOIN is assigned an execution strategy (hash
+//! key-lookup when its predicate covers the table key with
+//! `input.field == table.key` conjuncts, scan otherwise).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use adn_dsl::ast::{self, Expr, Literal, Projection, Stmt};
+use adn_dsl::typecheck::CheckedElement;
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::{Value, ValueType};
+
+use crate::element::{ElementIr, IrJoin, IrStmt, JoinStrategy, TableIr};
+use crate::expr::{IrBinOp, IrExpr, IrUnOp};
+
+/// Maximum fields per message schema (analyses use 64-bit field masks).
+pub const MAX_FIELDS: usize = 64;
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    pub message: String,
+}
+
+impl LowerError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Coerces a literal to the declared type (int literals widen to i64/f64).
+fn literal_to_value(lit: &Literal, target: ValueType) -> Result<Value, LowerError> {
+    let v = match (lit, target) {
+        (Literal::Int(v), ValueType::U64) => Value::U64(*v),
+        (Literal::Int(v), ValueType::I64) => {
+            let x = i64::try_from(*v)
+                .map_err(|_| LowerError::new(format!("literal {v} out of i64 range")))?;
+            Value::I64(x)
+        }
+        (Literal::Int(v), ValueType::F64) => Value::F64(*v as f64),
+        (Literal::Float(v), ValueType::F64) => Value::F64(*v),
+        (Literal::Str(s), ValueType::Str) => Value::Str(s.clone()),
+        (Literal::Bool(b), ValueType::Bool) => Value::Bool(*b),
+        (lit, target) => {
+            return Err(LowerError::new(format!(
+                "literal {lit:?} cannot initialize a {target} slot"
+            )))
+        }
+    };
+    Ok(v)
+}
+
+fn literal_to_natural_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(v) => Value::U64(*v),
+        Literal::Float(v) => Value::F64(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// Lowers a typechecked element into IR, binding `args` over the element's
+/// parameters (defaults fill unsupplied parameters).
+pub fn lower_element(
+    checked: &CheckedElement,
+    args: &[(String, Value)],
+    request: &RpcSchema,
+    response: &RpcSchema,
+) -> Result<ElementIr, LowerError> {
+    if request.len() > MAX_FIELDS || response.len() > MAX_FIELDS {
+        return Err(LowerError::new(format!(
+            "schemas are limited to {MAX_FIELDS} fields"
+        )));
+    }
+    let def = &checked.def;
+
+    // Bind parameters.
+    let mut params: HashMap<String, Value> = HashMap::new();
+    for p in &def.params {
+        let supplied = args.iter().find(|(n, _)| n == &p.name).map(|(_, v)| v);
+        let value = match (supplied, &p.default) {
+            (Some(v), _) => {
+                // Allow numeric widening of supplied args.
+                coerce_value(v.clone(), p.ty).ok_or_else(|| {
+                    LowerError::new(format!(
+                        "argument {:?} has type {}, parameter expects {}",
+                        p.name,
+                        v.value_type(),
+                        p.ty
+                    ))
+                })?
+            }
+            (None, Some(default)) => literal_to_value(default, p.ty)?,
+            (None, None) => {
+                return Err(LowerError::new(format!(
+                    "parameter {:?} has no argument and no default",
+                    p.name
+                )))
+            }
+        };
+        params.insert(p.name.clone(), value);
+    }
+    for (name, _) in args {
+        if def.param(name).is_none() {
+            return Err(LowerError::new(format!("unknown argument {name:?}")));
+        }
+    }
+
+    // Lower state tables.
+    let mut tables = Vec::with_capacity(def.states.len());
+    for s in &def.states {
+        let column_types: Vec<ValueType> = s.columns.iter().map(|c| c.ty).collect();
+        let mut init_rows = Vec::with_capacity(s.init_rows.len());
+        for row in &s.init_rows {
+            let mut values = Vec::with_capacity(row.len());
+            for (lit, ty) in row.iter().zip(&column_types) {
+                values.push(literal_to_value(lit, *ty)?);
+            }
+            init_rows.push(values);
+        }
+        tables.push(TableIr {
+            name: s.name.clone(),
+            column_names: s.columns.iter().map(|c| c.name.clone()).collect(),
+            column_types,
+            key_columns: s.key_indices(),
+            capacity: s.capacity.map(|c| c as usize),
+            init_rows,
+        });
+    }
+
+    let ctx = LowerCtx {
+        def,
+        params: &params,
+        tables: &tables,
+    };
+
+    let request_stmts = match &def.on_request {
+        Some(h) => ctx.lower_handler(&h.body, request)?,
+        None => Vec::new(),
+    };
+    let response_stmts = match &def.on_response {
+        Some(h) => ctx.lower_handler(&h.body, response)?,
+        None => Vec::new(),
+    };
+
+    Ok(ElementIr {
+        name: def.name.clone(),
+        tables,
+        request: request_stmts,
+        response: response_stmts,
+        source: adn_dsl::printer::print_element(def),
+        drop_insensitive: false,
+        enforce_off_app: false,
+        pin_sender_side: false,
+    })
+}
+
+fn coerce_value(v: Value, target: ValueType) -> Option<Value> {
+    if v.value_type() == target {
+        return Some(v);
+    }
+    match (&v, target) {
+        (Value::U64(x), ValueType::I64) => i64::try_from(*x).ok().map(Value::I64),
+        (Value::U64(x), ValueType::F64) => Some(Value::F64(*x as f64)),
+        (Value::I64(x), ValueType::F64) => Some(Value::F64(*x as f64)),
+        _ => None,
+    }
+}
+
+struct LowerCtx<'a> {
+    def: &'a ast::ElementDef,
+    params: &'a HashMap<String, Value>,
+    tables: &'a [TableIr],
+}
+
+impl<'a> LowerCtx<'a> {
+    fn table_index(&self, name: &str) -> Result<usize, LowerError> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| LowerError::new(format!("unknown table {name:?}")))
+    }
+
+    fn lower_handler(
+        &self,
+        body: &[Stmt],
+        schema: &RpcSchema,
+    ) -> Result<Vec<IrStmt>, LowerError> {
+        body.iter().map(|s| self.lower_stmt(s, schema)).collect()
+    }
+
+    fn lower_stmt(&self, stmt: &Stmt, schema: &RpcSchema) -> Result<IrStmt, LowerError> {
+        match stmt {
+            Stmt::Select(sel) => {
+                let join = match &sel.join {
+                    Some(j) => {
+                        let table = self.table_index(&j.table)?;
+                        let on = self.lower_expr(&j.on, schema, Some(table))?;
+                        let strategy = detect_join_strategy(&on, &self.tables[table]);
+                        Some(IrJoin {
+                            table,
+                            on,
+                            strategy,
+                        })
+                    }
+                    None => None,
+                };
+                let scoped = join.as_ref().map(|j| j.table);
+                let condition = sel
+                    .condition
+                    .as_ref()
+                    .map(|c| self.lower_expr(c, schema, scoped))
+                    .transpose()?;
+                let mut assignments = Vec::new();
+                if let Projection::Items(items) = &sel.projection {
+                    for item in items {
+                        let out_name = match (&item.alias, &item.expr) {
+                            (Some(a), _) => a.clone(),
+                            (None, Expr::InputField(n)) => n.clone(),
+                            (None, Expr::TableColumn { column, .. }) => column.clone(),
+                            (None, _) => {
+                                return Err(LowerError::new("projection item needs alias"))
+                            }
+                        };
+                        let idx = schema
+                            .index_of(&out_name)
+                            .ok_or_else(|| LowerError::new(format!("unknown field {out_name:?}")))?;
+                        // Skip identity items.
+                        if matches!(&item.expr, Expr::InputField(n) if *n == out_name) {
+                            continue;
+                        }
+                        let expr = self.lower_expr(&item.expr, schema, scoped)?;
+                        let expr = cast_to(expr, schema.fields()[idx].ty);
+                        assignments.push((idx, expr));
+                    }
+                }
+                let else_abort = sel
+                    .else_abort
+                    .as_ref()
+                    .map(|ea| {
+                        Ok::<_, LowerError>((
+                            self.lower_expr(&ea.code, schema, None)?,
+                            ea.message
+                                .as_ref()
+                                .map(|m| self.lower_expr(m, schema, None))
+                                .transpose()?,
+                        ))
+                    })
+                    .transpose()?;
+                Ok(IrStmt::Select {
+                    assignments,
+                    join,
+                    condition,
+                    else_abort,
+                })
+            }
+            Stmt::Insert(ins) => {
+                let table = self.table_index(&ins.table)?;
+                let tbl = &self.tables[table];
+                let mut values = Vec::with_capacity(ins.values.len());
+                for (e, ty) in ins.values.iter().zip(&tbl.column_types) {
+                    let expr = self.lower_expr(e, schema, None)?;
+                    values.push(cast_to(expr, *ty));
+                }
+                Ok(IrStmt::Insert { table, values })
+            }
+            Stmt::Update(upd) => {
+                let table = self.table_index(&upd.table)?;
+                let tbl = &self.tables[table];
+                let mut assignments = Vec::with_capacity(upd.assignments.len());
+                for (col_name, e) in &upd.assignments {
+                    let col = tbl
+                        .column_names
+                        .iter()
+                        .position(|c| c == col_name)
+                        .ok_or_else(|| {
+                            LowerError::new(format!("unknown column {col_name:?}"))
+                        })?;
+                    let expr = self.lower_expr(e, schema, Some(table))?;
+                    assignments.push((col, cast_to(expr, tbl.column_types[col])));
+                }
+                let condition = upd
+                    .condition
+                    .as_ref()
+                    .map(|c| self.lower_expr(c, schema, Some(table)))
+                    .transpose()?;
+                Ok(IrStmt::Update {
+                    table,
+                    assignments,
+                    condition,
+                })
+            }
+            Stmt::Delete(del) => {
+                let table = self.table_index(&del.table)?;
+                let condition = del
+                    .condition
+                    .as_ref()
+                    .map(|c| self.lower_expr(c, schema, Some(table)))
+                    .transpose()?;
+                Ok(IrStmt::Delete { table, condition })
+            }
+            Stmt::Drop(cond) => Ok(IrStmt::Drop {
+                condition: cond
+                    .as_ref()
+                    .map(|c| self.lower_expr(c, schema, None))
+                    .transpose()?,
+            }),
+            Stmt::Route { key, condition } => Ok(IrStmt::Route {
+                key: self.lower_expr(key, schema, None)?,
+                condition: condition
+                    .as_ref()
+                    .map(|c| self.lower_expr(c, schema, None))
+                    .transpose()?,
+            }),
+            Stmt::Abort {
+                code,
+                message,
+                condition,
+            } => Ok(IrStmt::Abort {
+                code: self.lower_expr(code, schema, None)?,
+                message: message
+                    .as_ref()
+                    .map(|m| self.lower_expr(m, schema, None))
+                    .transpose()?,
+                condition: condition
+                    .as_ref()
+                    .map(|c| self.lower_expr(c, schema, None))
+                    .transpose()?,
+            }),
+            Stmt::Set {
+                field,
+                value,
+                condition,
+            } => {
+                let idx = schema
+                    .index_of(field)
+                    .ok_or_else(|| LowerError::new(format!("unknown field {field:?}")))?;
+                let expr = self.lower_expr(value, schema, None)?;
+                Ok(IrStmt::Set {
+                    field: idx,
+                    value: cast_to(expr, schema.fields()[idx].ty),
+                    condition: condition
+                        .as_ref()
+                        .map(|c| self.lower_expr(c, schema, None))
+                        .transpose()?,
+                })
+            }
+        }
+    }
+
+    fn lower_expr(
+        &self,
+        expr: &Expr,
+        schema: &RpcSchema,
+        scoped_table: Option<usize>,
+    ) -> Result<IrExpr, LowerError> {
+        Ok(match expr {
+            Expr::Literal(lit) => IrExpr::Const(literal_to_natural_value(lit)),
+            Expr::InputField(name) => {
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| LowerError::new(format!("unknown input field {name:?}")))?;
+                IrExpr::Field(idx)
+            }
+            Expr::TableColumn { table, column } => {
+                let ti = scoped_table.ok_or_else(|| {
+                    LowerError::new(format!("{table}.{column} used outside table scope"))
+                })?;
+                let tbl = &self.tables[ti];
+                if tbl.name != *table {
+                    return Err(LowerError::new(format!(
+                        "{table}.{column}: only {:?} is in scope",
+                        tbl.name
+                    )));
+                }
+                let col = tbl
+                    .column_names
+                    .iter()
+                    .position(|c| c == column)
+                    .ok_or_else(|| LowerError::new(format!("unknown column {column:?}")))?;
+                IrExpr::Col(col)
+            }
+            Expr::Param(name) => {
+                let v = self.params.get(name).ok_or_else(|| {
+                    LowerError::new(format!("unknown parameter {name:?}"))
+                })?;
+                IrExpr::Const(v.clone())
+            }
+            Expr::Call { function, args } => {
+                if self.def.param(function).is_some() {
+                    return Err(LowerError::new(format!(
+                        "{function:?} is a parameter, not a function"
+                    )));
+                }
+                IrExpr::Udf {
+                    name: function.clone(),
+                    args: args
+                        .iter()
+                        .map(|a| self.lower_expr(a, schema, scoped_table))
+                        .collect::<Result<_, _>>()?,
+                }
+            }
+            Expr::Unary { op, operand } => IrExpr::Unary {
+                op: match op {
+                    ast::UnOp::Not => IrUnOp::Not,
+                    ast::UnOp::Neg => IrUnOp::Neg,
+                },
+                operand: Box::new(self.lower_expr(operand, schema, scoped_table)?),
+            },
+            Expr::Binary { op, left, right } => IrExpr::Binary {
+                op: lower_binop(*op),
+                left: Box::new(self.lower_expr(left, schema, scoped_table)?),
+                right: Box::new(self.lower_expr(right, schema, scoped_table)?),
+            },
+            Expr::Case { arms, otherwise } => IrExpr::Case {
+                arms: arms
+                    .iter()
+                    .map(|(c, v)| {
+                        Ok((
+                            self.lower_expr(c, schema, scoped_table)?,
+                            self.lower_expr(v, schema, scoped_table)?,
+                        ))
+                    })
+                    .collect::<Result<_, LowerError>>()?,
+                otherwise: otherwise
+                    .as_ref()
+                    .map(|e| self.lower_expr(e, schema, scoped_table).map(Box::new))
+                    .transpose()?,
+            },
+        })
+    }
+}
+
+fn lower_binop(op: ast::BinOp) -> IrBinOp {
+    match op {
+        ast::BinOp::Or => IrBinOp::Or,
+        ast::BinOp::And => IrBinOp::And,
+        ast::BinOp::Eq => IrBinOp::Eq,
+        ast::BinOp::NotEq => IrBinOp::NotEq,
+        ast::BinOp::Lt => IrBinOp::Lt,
+        ast::BinOp::Le => IrBinOp::Le,
+        ast::BinOp::Gt => IrBinOp::Gt,
+        ast::BinOp::Ge => IrBinOp::Ge,
+        ast::BinOp::Add => IrBinOp::Add,
+        ast::BinOp::Sub => IrBinOp::Sub,
+        ast::BinOp::Mul => IrBinOp::Mul,
+        ast::BinOp::Div => IrBinOp::Div,
+        ast::BinOp::Mod => IrBinOp::Mod,
+    }
+}
+
+/// Wraps `expr` in a cast when its constant type differs but widens into
+/// `target`. Non-constant expressions are left alone (the evaluator promotes
+/// dynamically; statement targets re-coerce on write).
+fn cast_to(expr: IrExpr, target: ValueType) -> IrExpr {
+    match &expr {
+        IrExpr::Const(v) if v.value_type() != target => {
+            if let Some(coerced) = coerce_value(v.clone(), target) {
+                return IrExpr::Const(coerced);
+            }
+            IrExpr::Cast {
+                to: target,
+                inner: Box::new(expr),
+            }
+        }
+        _ => expr,
+    }
+}
+
+/// Detects whether a join predicate covers the table's key columns with
+/// `input.field == table.key` equality conjuncts.
+fn detect_join_strategy(on: &IrExpr, table: &TableIr) -> JoinStrategy {
+    if table.key_columns.is_empty() {
+        return JoinStrategy::Scan;
+    }
+    // Collect equality conjuncts Field(i) == Col(k).
+    let mut pairs: Vec<(usize, usize)> = Vec::new(); // (key col, input field)
+    collect_eq_conjuncts(on, &mut pairs);
+    let mut input_fields = Vec::with_capacity(table.key_columns.len());
+    for &key_col in &table.key_columns {
+        match pairs.iter().find(|(c, _)| *c == key_col) {
+            Some((_, field)) => input_fields.push(*field),
+            None => return JoinStrategy::Scan,
+        }
+    }
+    JoinStrategy::KeyLookup { input_fields }
+}
+
+fn collect_eq_conjuncts(e: &IrExpr, out: &mut Vec<(usize, usize)>) {
+    match e {
+        IrExpr::Binary {
+            op: IrBinOp::And,
+            left,
+            right,
+        } => {
+            collect_eq_conjuncts(left, out);
+            collect_eq_conjuncts(right, out);
+        }
+        IrExpr::Binary {
+            op: IrBinOp::Eq,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (IrExpr::Field(f), IrExpr::Col(c)) | (IrExpr::Col(c), IrExpr::Field(f)) => {
+                out.push((*c, *f));
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_dsl::parser::parse_element;
+    use adn_dsl::typecheck::check_element;
+
+    fn schemas() -> (RpcSchema, RpcSchema) {
+        let req = RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        let resp = RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        (req, resp)
+    }
+
+    fn lower(src: &str, args: &[(String, Value)]) -> Result<ElementIr, LowerError> {
+        let (req, resp) = schemas();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        lower_element(&checked, args, &req, &resp)
+    }
+
+    #[test]
+    fn acl_lowers_with_key_lookup_join() {
+        let src = r#"
+            element Acl() {
+                state ac_tab(username: string key, permission: string) init {
+                    ('alice', 'W')
+                };
+                on request {
+                    SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                    WHERE ac_tab.permission == 'W';
+                }
+            }
+        "#;
+        let ir = lower(src, &[]).unwrap();
+        assert_eq!(ir.tables[0].init_rows[0][0], Value::Str("alice".into()));
+        let IrStmt::Select { join, .. } = &ir.request[0] else {
+            panic!()
+        };
+        let join = join.as_ref().unwrap();
+        // username is request field index 1.
+        assert_eq!(
+            join.strategy,
+            JoinStrategy::KeyLookup {
+                input_fields: vec![1]
+            }
+        );
+    }
+
+    #[test]
+    fn non_key_join_falls_back_to_scan() {
+        let src = r#"
+            element E() {
+                state t(a: string key, b: string);
+                on request {
+                    SELECT * FROM input JOIN t ON input.username == t.b;
+                }
+            }
+        "#;
+        let ir = lower(src, &[]).unwrap();
+        let IrStmt::Select { join, .. } = &ir.request[0] else {
+            panic!()
+        };
+        assert_eq!(join.as_ref().unwrap().strategy, JoinStrategy::Scan);
+    }
+
+    #[test]
+    fn params_fold_to_constants() {
+        let src = "element F(p: f64 = 0.25) { on request { DROP WHERE random() < p; SELECT * FROM input; } }";
+        let ir = lower(src, &[]).unwrap();
+        let IrStmt::Drop {
+            condition: Some(cond),
+        } = &ir.request[0]
+        else {
+            panic!()
+        };
+        let mut saw = false;
+        cond.walk(&mut |e| {
+            if let IrExpr::Const(Value::F64(v)) = e {
+                if *v == 0.25 {
+                    saw = true;
+                }
+            }
+        });
+        assert!(saw, "default should be inlined: {cond:?}");
+
+        // Supplying an argument overrides the default; integers widen.
+        let ir = lower(src, &[("p".into(), Value::U64(1))]).unwrap();
+        let IrStmt::Drop {
+            condition: Some(cond),
+        } = &ir.request[0]
+        else {
+            panic!()
+        };
+        let mut saw = false;
+        cond.walk(&mut |e| {
+            if let IrExpr::Const(Value::F64(v)) = e {
+                if *v == 1.0 {
+                    saw = true;
+                }
+            }
+        });
+        assert!(saw);
+    }
+
+    #[test]
+    fn unknown_argument_rejected() {
+        let src = "element F() { on request { SELECT * FROM input; } }";
+        assert!(lower(src, &[("ghost".into(), Value::U64(1))]).is_err());
+    }
+
+    #[test]
+    fn int_literal_coerced_into_float_column() {
+        let src = r#"
+            element E() {
+                state t(k: string key, v: f64);
+                on request {
+                    INSERT INTO t VALUES (input.username, 1);
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let ir = lower(src, &[]).unwrap();
+        let IrStmt::Insert { values, .. } = &ir.request[0] else {
+            panic!()
+        };
+        assert_eq!(values[1], IrExpr::Const(Value::F64(1.0)));
+    }
+
+    #[test]
+    fn projection_rewrite_lowered_to_assignment() {
+        let src = "element E() { on request { SELECT hash(input.username) AS object_id FROM input; } }";
+        let ir = lower(src, &[]).unwrap();
+        let IrStmt::Select { assignments, .. } = &ir.request[0] else {
+            panic!()
+        };
+        assert_eq!(assignments.len(), 1);
+        assert_eq!(assignments[0].0, 0); // object_id is field 0
+    }
+
+    #[test]
+    fn identity_projection_produces_no_assignment() {
+        let src = "element E() { on request { SELECT input.username, input.object_id FROM input; } }";
+        let ir = lower(src, &[]).unwrap();
+        let IrStmt::Select { assignments, .. } = &ir.request[0] else {
+            panic!()
+        };
+        assert!(assignments.is_empty());
+    }
+
+    #[test]
+    fn source_is_recorded_for_codegen() {
+        let src = "element E() { on request { SELECT * FROM input; } }";
+        let ir = lower(src, &[]).unwrap();
+        assert!(ir.source.contains("element E"));
+    }
+
+    #[test]
+    fn missing_required_param_rejected() {
+        let src = "element F(p: f64) { on request { DROP WHERE random() < p; SELECT * FROM input; } }";
+        let err = lower(src, &[]).unwrap_err();
+        assert!(err.message.contains("no argument"));
+    }
+}

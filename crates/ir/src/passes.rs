@@ -1,0 +1,427 @@
+//! Chain-level optimization passes.
+//!
+//! The pass set realizes paper §5.2's optimizer: constant folding inside
+//! expressions, element reordering (cheap droppers move upstream of
+//! expensive elements they commute with — Figure 2 Configuration 3),
+//! fusion of adjacent elements into single execution stages, and
+//! minimal-header synthesis for host-crossing hops (§4 Q2).
+//!
+//! Every pass is semantics-preserving by construction; the backend crate's
+//! property tests run random RPC streams through optimized and unoptimized
+//! chains and assert identical observable behaviour.
+
+use adn_wire::header::HeaderLayout;
+
+use crate::analysis::{self, commute};
+use crate::element::{ChainIr, Direction, IrStmt};
+use crate::expr::{eval_binop, eval_cast, eval_unop, IrExpr};
+
+/// Which passes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Fold constant sub-expressions.
+    pub const_fold: bool,
+    /// Reorder commuting elements to run droppers before expensive work.
+    pub reorder: bool,
+    /// Fuse adjacent elements into stages executed by one engine.
+    pub fuse: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        Self {
+            const_fold: true,
+            reorder: true,
+            fuse: true,
+        }
+    }
+}
+
+impl PassConfig {
+    /// Everything off — the unoptimized baseline for ablations.
+    pub fn none() -> Self {
+        Self {
+            const_fold: false,
+            reorder: false,
+            fuse: false,
+        }
+    }
+}
+
+/// What the optimizer did, for reports and ablation benches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptReport {
+    /// Number of constant sub-expressions folded.
+    pub folds: usize,
+    /// Adjacent swaps performed by the reorder pass.
+    pub swaps: usize,
+    /// Element order after optimization (names).
+    pub final_order: Vec<String>,
+    /// Fused stages as index ranges into the element list: elements within
+    /// one stage execute in a single engine without per-element dispatch.
+    pub stages: Vec<(usize, usize)>,
+    /// Adjacent pairs eligible for parallel execution.
+    pub parallel_pairs: Vec<(usize, usize)>,
+}
+
+/// Runs the configured passes over `chain`, returning the optimized chain
+/// and a report.
+pub fn optimize(mut chain: ChainIr, config: &PassConfig) -> (ChainIr, OptReport) {
+    let mut report = OptReport::default();
+
+    if config.const_fold {
+        for element in &mut chain.elements {
+            for stmt in element.request.iter_mut().chain(element.response.iter_mut()) {
+                for expr in stmt.expressions_mut() {
+                    report.folds += fold_expr(expr);
+                }
+            }
+        }
+    }
+
+    if config.reorder {
+        report.swaps = reorder_droppers_first(&mut chain);
+    }
+
+    report.final_order = chain.names().iter().map(|s| s.to_string()).collect();
+    report.parallel_pairs = analysis::parallelizable_pairs(&chain.elements);
+
+    report.stages = if config.fuse {
+        // All elements destined for the same processor fuse into one stage;
+        // the placement layer later splits stages at processor boundaries.
+        if chain.is_empty() {
+            Vec::new()
+        } else {
+            vec![(0, chain.len())]
+        }
+    } else {
+        (0..chain.len()).map(|i| (i, i + 1)).collect()
+    };
+
+    (chain, report)
+}
+
+/// Greedy stable pass: repeatedly swap adjacent (A, B) where B can drop,
+/// A cannot, they commute, and A costs more than B — so the dropper sheds
+/// load before the expensive element runs. Terminates because each swap
+/// strictly decreases the number of (expensive non-dropper, cheap dropper)
+/// inversions.
+fn reorder_droppers_first(chain: &mut ChainIr) -> usize {
+    let mut swaps = 0;
+    loop {
+        let mut changed = false;
+        for i in 0..chain.elements.len().saturating_sub(1) {
+            let fa = analysis::analyze(&chain.elements[i]);
+            let fb = analysis::analyze(&chain.elements[i + 1]);
+            let a_drops = fa.can_drop_any();
+            let b_drops = fb.can_drop_any();
+            let should_swap = !a_drops && b_drops && fb.total_cost() < fa.total_cost();
+            if should_swap && commute(&chain.elements[i], &chain.elements[i + 1]) {
+                chain.elements.swap(i, i + 1);
+                swaps += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return swaps;
+        }
+    }
+}
+
+/// Folds constant sub-expressions in place. Returns the number of folds.
+/// UDF calls are never folded (implementations live in the backend and may
+/// be nondeterministic); operator evaluation errors (overflow, divide by
+/// zero) leave the expression unfolded so runtime semantics are unchanged.
+fn fold_expr(expr: &mut IrExpr) -> usize {
+    let mut folds = 0;
+    // Fold children first.
+    match expr {
+        IrExpr::Udf { args, .. } => {
+            for a in args {
+                folds += fold_expr(a);
+            }
+        }
+        IrExpr::Cast { inner, .. } => folds += fold_expr(inner),
+        IrExpr::Unary { operand, .. } => folds += fold_expr(operand),
+        IrExpr::Binary { left, right, .. } => {
+            folds += fold_expr(left);
+            folds += fold_expr(right);
+        }
+        IrExpr::Case { arms, otherwise } => {
+            for (c, v) in arms.iter_mut() {
+                folds += fold_expr(c);
+                folds += fold_expr(v);
+            }
+            if let Some(e) = otherwise {
+                folds += fold_expr(e);
+            }
+        }
+        IrExpr::Const(_) | IrExpr::Field(_) | IrExpr::Col(_) => {}
+    }
+    // Then this node.
+    let folded: Option<IrExpr> = match expr {
+        IrExpr::Binary { op, left, right } => match (left.as_const(), right.as_const()) {
+            (Some(a), Some(b)) => eval_binop(*op, a, b).ok().map(IrExpr::Const),
+            _ => None,
+        },
+        IrExpr::Unary { op, operand } => operand
+            .as_const()
+            .and_then(|v| eval_unop(*op, v).ok())
+            .map(IrExpr::Const),
+        IrExpr::Cast { to, inner } => inner
+            .as_const()
+            .and_then(|v| eval_cast(*to, v).ok())
+            .map(IrExpr::Const),
+        IrExpr::Case { arms, otherwise } => {
+            // Fold away arms with constant-false conditions; resolve if the
+            // first remaining condition is constant-true.
+            let mut i = 0;
+            let mut result = None;
+            while i < arms.len() {
+                match arms[i].0.as_const() {
+                    Some(v) if !v.is_truthy() => {
+                        arms.remove(i);
+                        folds += 1;
+                    }
+                    Some(_) => {
+                        result = Some(arms[i].1.clone());
+                        break;
+                    }
+                    None => i += 1,
+                }
+            }
+            match result {
+                Some(r) if i == 0 => Some(r),
+                _ => {
+                    if arms.is_empty() {
+                        otherwise.take().map(|b| *b)
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        _ => None,
+    };
+    if let Some(new) = folded {
+        *expr = new;
+        folds += 1;
+    }
+    folds
+}
+
+/// Builds the minimal wire-header layout for a hop whose downstream
+/// processors host `chain.elements[from..]`. Only fields those elements
+/// read or write (in either direction) ride in the header; everything else
+/// crosses as opaque payload the processors never parse.
+pub fn minimal_header(chain: &ChainIr, from: usize) -> HeaderLayout {
+    let tail = &chain.elements[from.min(chain.elements.len())..];
+    let mask_req = analysis::required_fields(tail, Direction::Request);
+    let mask_resp = analysis::required_fields(tail, Direction::Response);
+
+    let mut layout = HeaderLayout::new();
+    let mut id = 0u16;
+    for (i, f) in chain.request_schema.fields().iter().enumerate() {
+        if mask_req & (1 << i) != 0 {
+            layout.push(id, f.name.clone(), f.ty.header_type());
+            id += 1;
+        }
+    }
+    for (i, f) in chain.response_schema.fields().iter().enumerate() {
+        if mask_resp & (1 << i) != 0 && layout.position_of(&f.name).is_none() {
+            layout.push(id, f.name.clone(), f.ty.header_type());
+            id += 1;
+        }
+    }
+    layout
+}
+
+/// Statement-level sanity used by debug assertions and tests: a handler
+/// that can never emit (e.g. unconditional DROP as the only statement) is
+/// legal but suspicious; returns true when at least one control path
+/// reaches the end of the statement list.
+pub fn may_forward(stmts: &[IrStmt]) -> bool {
+    for s in stmts {
+        match s {
+            IrStmt::Drop { condition: None } => return false,
+            IrStmt::Abort {
+                condition: None, ..
+            } => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use adn_dsl::parser::parse_element;
+    use adn_dsl::typecheck::check_element;
+    use adn_rpc::schema::RpcSchema;
+    use adn_rpc::value::{Value, ValueType};
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        let req = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let resp = Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        (req, resp)
+    }
+
+    fn lower(src: &str) -> crate::element::ElementIr {
+        let (req, resp) = schemas();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        crate::lower::lower_element(&checked, &[], &req, &resp).unwrap()
+    }
+
+    fn chain_of(srcs: &[&str]) -> ChainIr {
+        let (req, resp) = schemas();
+        ChainIr::new(srcs.iter().map(|s| lower(s)).collect(), req, resp)
+    }
+
+    const ACL: &str = r#"
+        element Acl() {
+            state ac_tab(username: string key, permission: string);
+            on request {
+                SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                WHERE ac_tab.permission == 'W';
+            }
+        }
+    "#;
+    const COMPRESS: &str = r#"
+        element Compress() {
+            on request { SET payload = compress(input.payload); SELECT * FROM input; }
+        }
+    "#;
+
+    #[test]
+    fn reorder_moves_acl_before_compress() {
+        let chain = chain_of(&[COMPRESS, ACL]);
+        let (opt, report) = optimize(chain, &PassConfig::default());
+        assert_eq!(opt.names(), vec!["Acl", "Compress"]);
+        assert_eq!(report.swaps, 1);
+    }
+
+    #[test]
+    fn reorder_respects_non_commuting_pairs() {
+        // Two droppers: order must be preserved.
+        let fault = r#"
+            element Fault(p: f64 = 0.5) {
+                on request { ABORT(3, 'fault') WHERE random() < p; SELECT * FROM input; }
+            }
+        "#;
+        let chain = chain_of(&[ACL, fault]);
+        let (opt, report) = optimize(chain, &PassConfig::default());
+        assert_eq!(opt.names(), vec!["Acl", "Fault"]);
+        assert_eq!(report.swaps, 0);
+    }
+
+    #[test]
+    fn disabled_reorder_keeps_order() {
+        let chain = chain_of(&[COMPRESS, ACL]);
+        let (opt, _) = optimize(
+            chain,
+            &PassConfig {
+                reorder: false,
+                ..PassConfig::default()
+            },
+        );
+        assert_eq!(opt.names(), vec!["Compress", "Acl"]);
+    }
+
+    #[test]
+    fn const_fold_simplifies() {
+        let src = "element E() { on request { SET object_id = 2 * 3 + 1; SELECT * FROM input; } }";
+        let chain = chain_of(&[src]);
+        let (opt, report) = optimize(chain, &PassConfig::default());
+        assert!(report.folds >= 2);
+        let IrStmt::Set { value, .. } = &opt.elements[0].request[0] else {
+            panic!()
+        };
+        assert_eq!(value, &IrExpr::Const(Value::U64(7)));
+    }
+
+    #[test]
+    fn const_fold_leaves_division_by_zero_for_runtime() {
+        let src = "element E() { on request { SET object_id = input.object_id + 1 / 0; SELECT * FROM input; } }";
+        let chain = chain_of(&[src]);
+        let (opt, _) = optimize(chain, &PassConfig::default());
+        // The 1/0 subtree must survive unfolded.
+        let IrStmt::Set { value, .. } = &opt.elements[0].request[0] else {
+            panic!()
+        };
+        let mut saw_div = false;
+        value.walk(&mut |e| {
+            if matches!(
+                e,
+                IrExpr::Binary {
+                    op: crate::expr::IrBinOp::Div,
+                    ..
+                }
+            ) {
+                saw_div = true;
+            }
+        });
+        assert!(saw_div);
+    }
+
+    #[test]
+    fn case_folding_picks_constant_arm() {
+        let src = "element E() { on request { SET object_id = CASE WHEN false THEN 1 WHEN true THEN 2 ELSE 3 END; SELECT * FROM input; } }";
+        let chain = chain_of(&[src]);
+        let (opt, _) = optimize(chain, &PassConfig::default());
+        let IrStmt::Set { value, .. } = &opt.elements[0].request[0] else {
+            panic!()
+        };
+        assert_eq!(value, &IrExpr::Const(Value::U64(2)));
+    }
+
+    #[test]
+    fn minimal_header_carries_only_needed_fields() {
+        let chain = chain_of(&[ACL, COMPRESS]);
+        // A hop before both elements needs username + payload.
+        let layout = minimal_header(&chain, 0);
+        assert!(layout.position_of("username").is_some());
+        assert!(layout.position_of("payload").is_some());
+        assert!(layout.position_of("object_id").is_none());
+        // A hop after ACL (only compress downstream) needs payload only.
+        let layout = minimal_header(&chain, 1);
+        assert!(layout.position_of("username").is_none());
+        assert!(layout.position_of("payload").is_some());
+        // After everything: empty header.
+        let layout = minimal_header(&chain, 2);
+        assert!(layout.is_empty());
+    }
+
+    #[test]
+    fn fuse_produces_single_stage() {
+        let chain = chain_of(&[ACL, COMPRESS]);
+        let (_, report) = optimize(chain, &PassConfig::default());
+        assert_eq!(report.stages, vec![(0, 2)]);
+        let chain = chain_of(&[ACL, COMPRESS]);
+        let (_, report) = optimize(chain, &PassConfig::none());
+        assert_eq!(report.stages, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn may_forward_detects_unconditional_terminators() {
+        let always_drop = lower("element D() { on request { DROP; } }");
+        assert!(!may_forward(&always_drop.request));
+        let conditional = lower("element D() { on request { DROP WHERE input.object_id == 0; SELECT * FROM input; } }");
+        assert!(may_forward(&conditional.request));
+    }
+}

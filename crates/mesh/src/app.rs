@@ -1,0 +1,398 @@
+//! gRPC application endpoints: the client and server at the edges of the
+//! mesh path. They marshal/unmarshal with the schema (apps do link their
+//! protos) but still pay the full protocol stack per message.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use adn_rpc::error::{RpcError, RpcResult};
+use adn_rpc::message::{MessageKind, RpcMessage, RpcStatus};
+use adn_rpc::runtime::Handler;
+use adn_rpc::schema::ServiceSchema;
+use adn_rpc::transport::{EndpointAddr, Frame, Link};
+
+use crate::grpc;
+use crate::hpack::HpackContext;
+
+/// A pending mesh call.
+pub struct MeshPendingCall {
+    call_id: u64,
+    rx: Receiver<RpcMessage>,
+    pending: Arc<Mutex<HashMap<u64, Sender<RpcMessage>>>>,
+}
+
+impl MeshPendingCall {
+    /// Waits for the response.
+    pub fn wait(self, timeout: Duration) -> RpcResult<RpcMessage> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => match &resp.status {
+                RpcStatus::Ok => Ok(resp),
+                RpcStatus::Aborted { code, message } => Err(RpcError::Aborted {
+                    code: *code,
+                    message: message.clone(),
+                }),
+            },
+            Err(_) => {
+                self.pending.lock().remove(&self.call_id);
+                Err(RpcError::Timeout {
+                    call_id: self.call_id,
+                })
+            }
+        }
+    }
+}
+
+/// A gRPC client whose traffic is intercepted by a sidecar.
+pub struct MeshClient {
+    addr: EndpointAddr,
+    link: Arc<dyn Link>,
+    service: Arc<ServiceSchema>,
+    /// All egress goes to the local sidecar (iptables interception).
+    sidecar: EndpointAddr,
+    tx_ctx: Mutex<HpackContext>,
+    next_call_id: AtomicU64,
+    pending: Arc<Mutex<HashMap<u64, Sender<RpcMessage>>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl MeshClient {
+    /// Creates a client at `addr` whose egress is intercepted by `sidecar`.
+    pub fn new(
+        addr: EndpointAddr,
+        sidecar: EndpointAddr,
+        link: Arc<dyn Link>,
+        frames: Receiver<Frame>,
+        service: Arc<ServiceSchema>,
+    ) -> Arc<Self> {
+        let client = Arc::new(Self {
+            addr,
+            link,
+            service,
+            sidecar,
+            tx_ctx: Mutex::new(HpackContext::new()),
+            next_call_id: AtomicU64::new(1),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let dispatcher = client.clone();
+        std::thread::Builder::new()
+            .name(format!("mesh-client-{addr}"))
+            .spawn(move || dispatcher.dispatch_loop(frames))
+            .expect("spawn mesh client dispatcher");
+        client
+    }
+
+    fn dispatch_loop(&self, frames: Receiver<Frame>) {
+        // One HPACK context per peer sending us responses.
+        let mut rx_ctx: HashMap<EndpointAddr, HpackContext> = HashMap::new();
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let frame = match frames.recv_timeout(Duration::from_millis(50)) {
+                Ok(f) => f,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            };
+            let ctx = rx_ctx.entry(frame.src).or_default();
+            let Ok(msg) = grpc::decode_message(ctx, &frame.payload, &self.service) else {
+                continue;
+            };
+            if msg.kind != MessageKind::Response {
+                continue;
+            }
+            if let Some(tx) = self.pending.lock().remove(&msg.call_id) {
+                let _ = tx.send(msg);
+            }
+        }
+    }
+
+    /// Starts a call through the mesh.
+    pub fn send_call(&self, mut msg: RpcMessage, to: EndpointAddr) -> RpcResult<MeshPendingCall> {
+        msg.call_id = self.next_call_id.fetch_add(1, Ordering::Relaxed);
+        msg.kind = MessageKind::Request;
+        msg.src = self.addr;
+        msg.dst = to;
+
+        let method = self
+            .service
+            .method_by_id(msg.method_id)
+            .ok_or(RpcError::UnknownMethod(msg.method_id))?;
+        let method_name = method.name.clone();
+
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.pending.lock().insert(msg.call_id, tx);
+        let handle = MeshPendingCall {
+            call_id: msg.call_id,
+            rx,
+            pending: self.pending.clone(),
+        };
+
+        let payload = {
+            let mut ctx = self.tx_ctx.lock();
+            grpc::encode_request(&mut ctx, &msg, &self.service.name, &method_name)?
+        };
+        self.link.send(Frame {
+            src: self.addr,
+            dst: self.sidecar,
+            payload,
+        })?;
+        Ok(handle)
+    }
+
+    /// One call, blocking.
+    pub fn call(&self, msg: RpcMessage, to: EndpointAddr) -> RpcResult<RpcMessage> {
+        self.send_call(msg, to)?.wait(Duration::from_secs(10))
+    }
+
+    /// The service schema.
+    pub fn service(&self) -> &Arc<ServiceSchema> {
+        &self.service
+    }
+}
+
+impl Drop for MeshClient {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a running mesh server.
+pub struct MeshServer {
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MeshServer {
+    /// Spawns a gRPC server at `addr`; its responses go back through the
+    /// local `sidecar`.
+    pub fn spawn(
+        addr: EndpointAddr,
+        sidecar: EndpointAddr,
+        link: Arc<dyn Link>,
+        frames: Receiver<Frame>,
+        service: Arc<ServiceSchema>,
+        mut handler: Handler,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("mesh-server-{addr}"))
+            .spawn(move || {
+                let mut rx_ctx: HashMap<EndpointAddr, HpackContext> = HashMap::new();
+                let mut tx_ctx = HpackContext::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let frame = match frames.recv_timeout(Duration::from_millis(50)) {
+                        Ok(f) => f,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    };
+                    let ctx = rx_ctx.entry(frame.src).or_default();
+                    let Ok(req) = grpc::decode_message(ctx, &frame.payload, &service) else {
+                        continue;
+                    };
+                    if req.kind != MessageKind::Request {
+                        continue;
+                    }
+                    let mut resp = handler(&req);
+                    resp.call_id = req.call_id;
+                    resp.kind = MessageKind::Response;
+                    resp.src = addr;
+                    resp.dst = req.src; // the NAT'd sidecar hop
+                    let Ok(payload) = grpc::encode_response(&mut tx_ctx, &resp) else {
+                        continue;
+                    };
+                    let _ = link.send(Frame {
+                        src: addr,
+                        dst: sidecar,
+                        payload,
+                    });
+                }
+            })
+            .expect("spawn mesh server");
+        Self {
+            shutdown,
+            join: Some(join),
+        }
+    }
+
+    /// Stops the server.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for MeshServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{AccessLogFilter, AclFilter, FaultFilter};
+    use crate::sidecar::{spawn_sidecar, SidecarConfig, Upstream};
+    use adn_rpc::schema::{MethodDef, RpcSchema};
+    use adn_rpc::transport::InProcNetwork;
+    use adn_rpc::value::{Value, ValueType};
+
+    fn service() -> Arc<ServiceSchema> {
+        let request = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let response = Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        Arc::new(
+            ServiceSchema::new(
+                "objectstore.ObjectStore",
+                vec![MethodDef {
+                    id: 1,
+                    name: "Put".into(),
+                    request,
+                    response,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Builds the full Figure-1 topology:
+    /// client(1) → client-sidecar(11) → server-sidecar(12) → server(2).
+    fn mesh_world(
+        fault_prob: f64,
+    ) -> (
+        Arc<MeshClient>,
+        crate::sidecar::SidecarHandle,
+        crate::sidecar::SidecarHandle,
+        MeshServer,
+        Arc<ServiceSchema>,
+    ) {
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+
+        let server_frames = net.attach(2);
+        let svc2 = svc.clone();
+        let server = MeshServer::spawn(
+            2,
+            12,
+            link.clone(),
+            server_frames,
+            svc.clone(),
+            Box::new(move |req| {
+                let m = svc2.method_by_id(1).unwrap();
+                let mut resp = RpcMessage::response_to(req, m.response.clone());
+                resp.set("ok", Value::Bool(true));
+                resp.set("payload", req.get("payload").unwrap().clone());
+                resp
+            }),
+        );
+
+        // Client sidecar runs the full filter chain (the paper's setup);
+        // the server sidecar also parses/re-encodes but with no filters.
+        let cs_frames = net.attach(11);
+        let client_sidecar = spawn_sidecar(
+            SidecarConfig {
+                addr: 11,
+                filters: vec![
+                    Box::new(AccessLogFilter::new()),
+                    Box::new(AclFilter::with_default_table(2)),
+                    Box::new(FaultFilter::new(fault_prob, 99)),
+                ],
+                upstream: Upstream::Fixed(12),
+            },
+            link.clone(),
+            cs_frames,
+        );
+        let ss_frames = net.attach(12);
+        let server_sidecar = spawn_sidecar(
+            SidecarConfig {
+                addr: 12,
+                filters: vec![],
+                upstream: Upstream::Dst,
+            },
+            link.clone(),
+            ss_frames,
+        );
+
+        let client_frames = net.attach(1);
+        let client = MeshClient::new(1, 11, link, client_frames, svc.clone());
+        (client, client_sidecar, server_sidecar, server, svc)
+    }
+
+    fn request(svc: &ServiceSchema, oid: u64, user: &str) -> RpcMessage {
+        let m = svc.method_by_id(1).unwrap();
+        RpcMessage::request(0, 1, m.request.clone())
+            .with("object_id", oid)
+            .with("username", user)
+            .with("payload", vec![5u8; 16])
+    }
+
+    #[test]
+    fn end_to_end_roundtrip_through_both_sidecars() {
+        let (client, cs, ss, _server, svc) = mesh_world(0.0);
+        let resp = client.call(request(&svc, 1, "alice"), 2).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(resp.get("payload"), Some(&Value::Bytes(vec![5u8; 16])));
+        assert_eq!(cs.requests(), 1);
+        assert_eq!(cs.responses(), 1);
+        assert_eq!(ss.requests(), 1);
+        assert_eq!(ss.responses(), 1);
+    }
+
+    #[test]
+    fn acl_filter_denies_at_the_sidecar() {
+        let (client, cs, ss, _server, svc) = mesh_world(0.0);
+        let err = client.call(request(&svc, 1, "bob"), 2).unwrap_err();
+        assert!(matches!(err, RpcError::Aborted { code: 7, .. }));
+        assert_eq!(cs.denied(), 1);
+        // The server sidecar never saw the request.
+        assert_eq!(ss.requests(), 0);
+    }
+
+    #[test]
+    fn fault_filter_aborts_at_rate() {
+        let (client, _cs, _ss, _server, svc) = mesh_world(0.5);
+        let mut faulted = 0;
+        for i in 0..200 {
+            match client.call(request(&svc, i, "alice"), 2) {
+                Err(RpcError::Aborted { code: 3, .. }) => faulted += 1,
+                Ok(_) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let rate = faulted as f64 / 200.0;
+        assert!((rate - 0.5).abs() < 0.15, "fault rate {rate}");
+    }
+
+    #[test]
+    fn many_concurrent_calls_complete() {
+        let (client, _cs, _ss, _server, svc) = mesh_world(0.0);
+        let mut handles = Vec::new();
+        for i in 0..128 {
+            handles.push(client.send_call(request(&svc, i, "alice"), 2).unwrap());
+        }
+        for h in handles {
+            h.wait(Duration::from_secs(5)).unwrap();
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Envoy-style generic filters.
+//!
+//! Paper §6: "Envoy's RPC processing is also more expensive because the
+//! filters for logging, access control, and fault injection are more
+//! general with more knobs than our application needs." These filters are
+//! written in that general style: they operate on *decoded header lists and
+//! dynamic protobuf values* (not typed fields), carry configuration the
+//! benchmark never exercises, and pay string formatting / matching costs a
+//! specialized element would not.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pb::{DynMessage, PbValue};
+
+/// Filter outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterVerdict {
+    /// Pass to the next filter.
+    Continue,
+    /// Reject with a gRPC status.
+    Deny { grpc_status: u32, message: String },
+}
+
+/// A generic sidecar filter.
+pub trait MeshFilter: Send {
+    /// Filter name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Processes a request's headers + dynamic body.
+    fn on_request(
+        &mut self,
+        headers: &mut Vec<(String, String)>,
+        body: &mut DynMessage,
+    ) -> FilterVerdict;
+
+    /// Processes a response's headers + dynamic body.
+    fn on_response(
+        &mut self,
+        _headers: &mut Vec<(String, String)>,
+        _body: &mut DynMessage,
+    ) -> FilterVerdict {
+        FilterVerdict::Continue
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Access log filter
+// ---------------------------------------------------------------------------
+
+/// Envoy-style access log with a format string. Substitutions:
+/// `%PATH%`, `%METHOD%`, `%HEADER(name)%`, `%FIELD(n)%` (dynamic body
+/// field), `%SEQ%`.
+pub struct AccessLogFilter {
+    format: String,
+    seq: u64,
+    log: Vec<String>,
+    /// Knob the benchmark never uses: sample 1-in-N (1 = log everything).
+    pub sample_every: u64,
+}
+
+impl AccessLogFilter {
+    /// Default format comparable to Envoy's.
+    pub fn new() -> Self {
+        Self::with_format(
+            "[%SEQ%] %METHOD% %PATH% user=%FIELD(2)% object=%FIELD(1)% call=%HEADER(x-call-id)%",
+        )
+    }
+
+    /// Custom format string.
+    pub fn with_format(format: &str) -> Self {
+        Self {
+            format: format.to_owned(),
+            seq: 0,
+            log: Vec::new(),
+            sample_every: 1,
+        }
+    }
+
+    /// Captured log lines.
+    pub fn lines(&self) -> &[String] {
+        &self.log
+    }
+
+    fn render(&self, headers: &[(String, String)], body: &DynMessage, direction: &str) -> String {
+        let mut out = String::with_capacity(self.format.len() + 32);
+        let mut rest = self.format.as_str();
+        while let Some(start) = rest.find('%') {
+            out.push_str(&rest[..start]);
+            let after = &rest[start + 1..];
+            let Some(end) = after.find('%') else {
+                out.push('%');
+                rest = after;
+                continue;
+            };
+            let token = &after[..end];
+            rest = &after[end + 1..];
+            if token == "PATH" {
+                out.push_str(
+                    headers
+                        .iter()
+                        .find(|(n, _)| n == ":path")
+                        .map(|(_, v)| v.as_str())
+                        .unwrap_or("-"),
+                );
+            } else if token == "METHOD" {
+                out.push_str(direction);
+            } else if token == "SEQ" {
+                out.push_str(&self.seq.to_string());
+            } else if let Some(name) = token
+                .strip_prefix("HEADER(")
+                .and_then(|t| t.strip_suffix(')'))
+            {
+                out.push_str(
+                    headers
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.as_str())
+                        .unwrap_or("-"),
+                );
+            } else if let Some(num) = token
+                .strip_prefix("FIELD(")
+                .and_then(|t| t.strip_suffix(')'))
+                .and_then(|t| t.parse::<u64>().ok())
+            {
+                match body.iter().find(|(n, _)| *n == num) {
+                    Some((_, PbValue::Varint(v))) => out.push_str(&v.to_string()),
+                    Some((_, PbValue::Fixed64(v))) => out.push_str(&v.to_string()),
+                    Some((_, PbValue::Bytes(b))) => match std::str::from_utf8(b) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => out.push_str(&format!("<{} bytes>", b.len())),
+                    },
+                    None => out.push('-'),
+                }
+            } else {
+                out.push('%');
+                out.push_str(token);
+                out.push('%');
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+}
+
+impl Default for AccessLogFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeshFilter for AccessLogFilter {
+    fn name(&self) -> &str {
+        "access_log"
+    }
+
+    fn on_request(
+        &mut self,
+        headers: &mut Vec<(String, String)>,
+        body: &mut DynMessage,
+    ) -> FilterVerdict {
+        self.seq += 1;
+        if self.seq % self.sample_every == 0 {
+            let line = self.render(headers, body, "REQ");
+            self.log.push(line);
+        }
+        FilterVerdict::Continue
+    }
+
+    fn on_response(
+        &mut self,
+        headers: &mut Vec<(String, String)>,
+        body: &mut DynMessage,
+    ) -> FilterVerdict {
+        self.seq += 1;
+        if self.seq % self.sample_every == 0 {
+            let line = self.render(headers, body, "RESP");
+            self.log.push(line);
+        }
+        FilterVerdict::Continue
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ACL filter
+// ---------------------------------------------------------------------------
+
+/// One ACL rule over a dynamic body field.
+#[derive(Debug, Clone)]
+pub struct AclRule {
+    /// Protobuf field number holding the principal.
+    pub field_no: u64,
+    /// Principal this rule matches.
+    pub principal: String,
+    /// Allow or deny.
+    pub allow: bool,
+}
+
+/// Generic RBAC-ish filter: per-principal rules with unused generality
+/// (prefix matching, case folding) that still costs a branch per message.
+pub struct AclFilter {
+    rules: Vec<AclRule>,
+    /// Default action when no rule matches.
+    pub default_allow: bool,
+    /// Knobs the benchmark leaves at defaults:
+    pub case_insensitive: bool,
+    pub match_prefix: bool,
+    pub denied_status: u32,
+}
+
+impl AclFilter {
+    /// Builds from (principal, allow) pairs on `field_no`.
+    pub fn new(field_no: u64, entries: &[(&str, bool)]) -> Self {
+        Self {
+            rules: entries
+                .iter()
+                .map(|(p, allow)| AclRule {
+                    field_no,
+                    principal: p.to_string(),
+                    allow: *allow,
+                })
+                .collect(),
+            default_allow: false,
+            case_insensitive: false,
+            match_prefix: false,
+            denied_status: 7,
+        }
+    }
+
+    /// The mesh-side equivalent of the standard element ACL table.
+    pub fn with_default_table(field_no: u64) -> Self {
+        Self::new(
+            field_no,
+            &[
+                ("alice", true),
+                ("bob", false),
+                ("carol", true),
+                ("dave", true),
+                ("eve", false),
+            ],
+        )
+    }
+
+    fn matches(&self, rule: &AclRule, principal: &str) -> bool {
+        let (a, b) = if self.case_insensitive {
+            (rule.principal.to_lowercase(), principal.to_lowercase())
+        } else {
+            (rule.principal.clone(), principal.to_owned())
+        };
+        if self.match_prefix {
+            b.starts_with(&a)
+        } else {
+            a == b
+        }
+    }
+}
+
+impl MeshFilter for AclFilter {
+    fn name(&self) -> &str {
+        "rbac"
+    }
+
+    fn on_request(
+        &mut self,
+        _headers: &mut Vec<(String, String)>,
+        body: &mut DynMessage,
+    ) -> FilterVerdict {
+        let field_no = self.rules.first().map(|r| r.field_no).unwrap_or(0);
+        let principal = body
+            .iter()
+            .find(|(n, _)| *n == field_no)
+            .and_then(|(_, v)| v.as_str())
+            .unwrap_or("");
+        let allowed = self
+            .rules
+            .iter()
+            .find(|r| self.matches(r, principal))
+            .map(|r| r.allow)
+            .unwrap_or(self.default_allow);
+        if allowed {
+            FilterVerdict::Continue
+        } else {
+            FilterVerdict::Deny {
+                grpc_status: self.denied_status,
+                message: "permission denied".to_owned(),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection filter
+// ---------------------------------------------------------------------------
+
+/// Percentage-based abort injection, Envoy `fault` filter style.
+pub struct FaultFilter {
+    /// Abort probability in [0, 1].
+    pub probability: f64,
+    /// gRPC status used for injected aborts.
+    pub abort_status: u32,
+    /// Knob the benchmark leaves unset: only fault requests whose
+    /// `:path` contains this substring.
+    pub path_filter: Option<String>,
+    rng: StdRng,
+}
+
+impl FaultFilter {
+    pub fn new(probability: f64, seed: u64) -> Self {
+        Self {
+            probability,
+            abort_status: 3,
+            path_filter: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl MeshFilter for FaultFilter {
+    fn name(&self) -> &str {
+        "fault"
+    }
+
+    fn on_request(
+        &mut self,
+        headers: &mut Vec<(String, String)>,
+        _body: &mut DynMessage,
+    ) -> FilterVerdict {
+        if let Some(needle) = &self.path_filter {
+            let path = headers
+                .iter()
+                .find(|(n, _)| n == ":path")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("");
+            if !path.contains(needle.as_str()) {
+                return FilterVerdict::Continue;
+            }
+        }
+        if self.rng.gen::<f64>() < self.probability {
+            FilterVerdict::Deny {
+                grpc_status: self.abort_status,
+                message: "fault injected".to_owned(),
+            }
+        } else {
+            FilterVerdict::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn headers() -> Vec<(String, String)> {
+        vec![
+            (":method".into(), "POST".into()),
+            (":path".into(), "/objectstore.ObjectStore/Put".into()),
+            ("x-call-id".into(), "9".into()),
+        ]
+    }
+
+    fn body(user: &str) -> DynMessage {
+        vec![
+            (1, PbValue::Varint(42)),
+            (2, PbValue::Bytes(user.as_bytes().to_vec())),
+        ]
+    }
+
+    #[test]
+    fn access_log_renders_format() {
+        let mut f = AccessLogFilter::new();
+        let mut h = headers();
+        let mut b = body("alice");
+        assert_eq!(f.on_request(&mut h, &mut b), FilterVerdict::Continue);
+        let line = &f.lines()[0];
+        assert!(line.contains("REQ"), "{line}");
+        assert!(line.contains("/objectstore.ObjectStore/Put"), "{line}");
+        assert!(line.contains("user=alice"), "{line}");
+        assert!(line.contains("object=42"), "{line}");
+        assert!(line.contains("call=9"), "{line}");
+    }
+
+    #[test]
+    fn access_log_sampling_knob() {
+        let mut f = AccessLogFilter::new();
+        f.sample_every = 2;
+        for _ in 0..10 {
+            f.on_request(&mut headers(), &mut body("a"));
+        }
+        assert_eq!(f.lines().len(), 5);
+    }
+
+    #[test]
+    fn acl_allows_and_denies() {
+        let mut f = AclFilter::with_default_table(2);
+        assert_eq!(
+            f.on_request(&mut headers(), &mut body("alice")),
+            FilterVerdict::Continue
+        );
+        assert!(matches!(
+            f.on_request(&mut headers(), &mut body("bob")),
+            FilterVerdict::Deny { grpc_status: 7, .. }
+        ));
+        assert!(matches!(
+            f.on_request(&mut headers(), &mut body("mallory")),
+            FilterVerdict::Deny { .. }
+        ));
+    }
+
+    #[test]
+    fn acl_knobs_work() {
+        let mut f = AclFilter::new(2, &[("AL", true)]);
+        f.case_insensitive = true;
+        f.match_prefix = true;
+        assert_eq!(
+            f.on_request(&mut headers(), &mut body("alice")),
+            FilterVerdict::Continue
+        );
+    }
+
+    #[test]
+    fn fault_filter_rate() {
+        let mut f = FaultFilter::new(0.25, 3);
+        let mut denied = 0;
+        for _ in 0..4000 {
+            if f.on_request(&mut headers(), &mut body("a")) != FilterVerdict::Continue {
+                denied += 1;
+            }
+        }
+        let rate = denied as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "{rate}");
+    }
+
+    #[test]
+    fn fault_path_filter_knob() {
+        let mut f = FaultFilter::new(1.0, 0);
+        f.path_filter = Some("/other.Service/".into());
+        assert_eq!(
+            f.on_request(&mut headers(), &mut body("a")),
+            FilterVerdict::Continue
+        );
+    }
+}

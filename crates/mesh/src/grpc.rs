@@ -1,0 +1,292 @@
+//! gRPC-lite conventions: pseudo-headers, the 5-byte message prefix, and
+//! status trailers, layered over [`crate::http2`] + [`crate::hpack`] +
+//! [`crate::pb`].
+//!
+//! RPC metadata that ADN carries as varints (call id, source, destination)
+//! rides here as ASCII header strings — exactly the "embed application
+//! information into standardized protocol headers" workaround paper §2
+//! describes, with its integer↔string conversion cost on every hop.
+
+use std::sync::Arc;
+
+use adn_rpc::message::{MessageKind, RpcMessage, RpcStatus};
+use adn_rpc::schema::ServiceSchema;
+use adn_wire::codec::{WireError, WireResult};
+
+use crate::hpack::{self, HpackContext};
+use crate::http2;
+use crate::pb;
+
+/// gRPC message frame: 1-byte compressed flag + 4-byte big-endian length.
+pub fn grpc_frame(message: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + message.len());
+    out.push(0); // not compressed
+    out.extend_from_slice(&(message.len() as u32).to_be_bytes());
+    out.extend_from_slice(message);
+    out
+}
+
+/// Inverse of [`grpc_frame`].
+pub fn grpc_unframe(data: &[u8]) -> WireResult<&[u8]> {
+    if data.len() < 5 {
+        return Err(WireError::UnexpectedEof {
+            needed: 5 - data.len(),
+            context: "grpc frame prefix",
+        });
+    }
+    if data[0] != 0 {
+        return Err(WireError::Malformed("compressed grpc frames unsupported"));
+    }
+    let len = u32::from_be_bytes([data[1], data[2], data[3], data[4]]) as usize;
+    if data.len() != 5 + len {
+        return Err(WireError::Malformed("grpc frame length mismatch"));
+    }
+    Ok(&data[5..])
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_u64(headers: &[(String, String)], name: &str) -> WireResult<u64> {
+    header(headers, name)
+        .and_then(|v| v.parse().ok())
+        .ok_or(WireError::Malformed("missing or invalid numeric header"))
+}
+
+/// Encodes a request as HTTP/2 bytes using the sender's HPACK context.
+pub fn encode_request(
+    ctx: &mut HpackContext,
+    msg: &RpcMessage,
+    service_name: &str,
+    method_name: &str,
+) -> WireResult<Vec<u8>> {
+    let headers: Vec<(String, String)> = vec![
+        (":method".into(), "POST".into()),
+        (":scheme".into(), "http".into()),
+        (
+            ":path".into(),
+            format!("/{service_name}/{method_name}"),
+        ),
+        (":authority".into(), format!("svc-{}", msg.dst)),
+        ("content-type".into(), "application/grpc".into()),
+        ("te".into(), "trailers".into()),
+        ("user-agent".into(), "adn-mesh-grpc/0.1".into()),
+        ("x-call-id".into(), msg.call_id.to_string()),
+        ("x-method-id".into(), msg.method_id.to_string()),
+        ("x-src".into(), msg.src.to_string()),
+        ("x-dst".into(), msg.dst.to_string()),
+    ];
+    let header_block = hpack::encode_headers(ctx, &headers);
+    let body = grpc_frame(&pb::encode_to_vec(&msg.fields));
+    let mut out = Vec::with_capacity(header_block.len() + body.len() + 32);
+    http2::encode_message(1, &header_block, &body, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes a response (including aborted ones, via grpc-status).
+pub fn encode_response(ctx: &mut HpackContext, msg: &RpcMessage) -> WireResult<Vec<u8>> {
+    let (status, status_message) = match &msg.status {
+        RpcStatus::Ok => (0u32, String::new()),
+        RpcStatus::Aborted { code, message } => (*code, message.clone()),
+    };
+    let mut headers: Vec<(String, String)> = vec![
+        (":status".into(), "200".into()),
+        ("content-type".into(), "application/grpc".into()),
+        ("x-call-id".into(), msg.call_id.to_string()),
+        ("x-method-id".into(), msg.method_id.to_string()),
+        ("x-src".into(), msg.src.to_string()),
+        ("x-dst".into(), msg.dst.to_string()),
+        ("grpc-status".into(), status.to_string()),
+    ];
+    if !status_message.is_empty() {
+        headers.push(("grpc-message".into(), status_message));
+    }
+    let header_block = hpack::encode_headers(ctx, &headers);
+    let body = if status == 0 {
+        grpc_frame(&pb::encode_to_vec(&msg.fields))
+    } else {
+        Vec::new()
+    };
+    let mut out = Vec::with_capacity(header_block.len() + body.len() + 32);
+    http2::encode_message(1, &header_block, &body, &mut out)?;
+    Ok(out)
+}
+
+/// A message decoded at the application edge (schema known).
+pub fn decode_message(
+    ctx: &mut HpackContext,
+    bytes: &[u8],
+    service: &Arc<ServiceSchema>,
+) -> WireResult<RpcMessage> {
+    let h2 = http2::decode_message(bytes)?;
+    let headers = hpack::decode_headers(ctx, &h2.header_block)?;
+    let is_response = header(&headers, ":status").is_some();
+    let call_id = parse_u64(&headers, "x-call-id")?;
+    let method_id = parse_u64(&headers, "x-method-id")? as u16;
+    let src = parse_u64(&headers, "x-src")?;
+    let dst = parse_u64(&headers, "x-dst")?;
+
+    let method = service
+        .method_by_id(method_id)
+        .ok_or(WireError::Malformed("unknown method id"))?;
+    let (kind, schema) = if is_response {
+        (MessageKind::Response, method.response.clone())
+    } else {
+        (MessageKind::Request, method.request.clone())
+    };
+
+    let status = if is_response {
+        let code = parse_u64(&headers, "grpc-status")? as u32;
+        if code == 0 {
+            RpcStatus::Ok
+        } else {
+            RpcStatus::Aborted {
+                code,
+                message: header(&headers, "grpc-message")
+                    .unwrap_or("")
+                    .to_owned(),
+            }
+        }
+    } else {
+        RpcStatus::Ok
+    };
+
+    let fields = if h2.data.is_empty() && !matches!(status, RpcStatus::Ok) {
+        schema.default_values()
+    } else {
+        let pb_bytes = grpc_unframe(&h2.data)?;
+        pb::decode_with_schema(pb_bytes, &schema)?
+    };
+
+    Ok(RpcMessage {
+        call_id,
+        method_id,
+        kind,
+        status,
+        src,
+        dst,
+        schema,
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_rpc::schema::{MethodDef, RpcSchema};
+    use adn_rpc::value::{Value, ValueType};
+
+    fn service() -> Arc<ServiceSchema> {
+        let request = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let response = Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        Arc::new(
+            ServiceSchema::new(
+                "objectstore.ObjectStore",
+                vec![MethodDef {
+                    id: 1,
+                    name: "Put".into(),
+                    request,
+                    response,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let svc = service();
+        let m = svc.method_by_id(1).unwrap();
+        let mut msg = RpcMessage::request(7, 1, m.request.clone())
+            .with("object_id", 42u64)
+            .with("username", "alice")
+            .with("payload", vec![1u8, 2, 3]);
+        msg.src = 100;
+        msg.dst = 200;
+        let mut tx = HpackContext::new();
+        let mut rx = HpackContext::new();
+        let bytes = encode_request(&mut tx, &msg, &svc.name, "Put").unwrap();
+        let back = decode_message(&mut rx, &bytes, &svc).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn ok_response_roundtrip() {
+        let svc = service();
+        let m = svc.method_by_id(1).unwrap();
+        let req = RpcMessage::request(7, 1, m.request.clone());
+        let mut resp = RpcMessage::response_to(&req, m.response.clone());
+        resp.set("ok", Value::Bool(true));
+        let mut tx = HpackContext::new();
+        let mut rx = HpackContext::new();
+        let bytes = encode_response(&mut tx, &resp).unwrap();
+        let back = decode_message(&mut rx, &bytes, &svc).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn aborted_response_carries_status_without_body() {
+        let svc = service();
+        let m = svc.method_by_id(1).unwrap();
+        let req = RpcMessage::request(7, 1, m.request.clone());
+        let mut resp = RpcMessage::response_to(&req, m.response.clone());
+        resp.abort(7, "permission denied");
+        let mut tx = HpackContext::new();
+        let mut rx = HpackContext::new();
+        let bytes = encode_response(&mut tx, &resp).unwrap();
+        let back = decode_message(&mut rx, &bytes, &svc).unwrap();
+        assert_eq!(back.status, resp.status);
+        assert_eq!(back.fields, m.response.default_values());
+    }
+
+    #[test]
+    fn grpc_frame_roundtrip_and_validation() {
+        let framed = grpc_frame(b"hello");
+        assert_eq!(grpc_unframe(&framed).unwrap(), b"hello");
+        assert!(grpc_unframe(&framed[..4]).is_err());
+        let mut bad = framed.clone();
+        bad[0] = 1; // compressed flag
+        assert!(grpc_unframe(&bad).is_err());
+        let mut short = framed;
+        short.pop();
+        assert!(grpc_unframe(&short).is_err());
+    }
+
+    #[test]
+    fn wire_size_is_much_larger_than_adn() {
+        // The same message through both codecs: the general stack should
+        // cost several times the ADN bytes on short messages.
+        let svc = service();
+        let m = svc.method_by_id(1).unwrap();
+        let msg = RpcMessage::request(7, 1, m.request.clone())
+            .with("object_id", 42u64)
+            .with("username", "alice")
+            .with("payload", vec![1u8, 2, 3]);
+        let adn_bytes = adn_rpc::wire_format::encode_message_to_vec(&msg).unwrap();
+        let mut tx = HpackContext::new();
+        let mesh_bytes = encode_request(&mut tx, &msg, &svc.name, "Put").unwrap();
+        assert!(
+            mesh_bytes.len() > adn_bytes.len() * 3,
+            "mesh {} vs adn {}",
+            mesh_bytes.len(),
+            adn_bytes.len()
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! HPACK-lite header compression (RFC 7541 shape, no Huffman).
+//!
+//! Implements the pieces that cost CPU on every message: the static table,
+//! a bounded dynamic table with eviction, prefix-coded integers, and
+//! literal string fields. Every HEADERS frame the mesh path carries is
+//! encoded and decoded through this.
+
+use adn_wire::codec::{WireError, WireResult};
+
+/// Static table entries (a representative subset of RFC 7541 Appendix A).
+pub const STATIC_TABLE: &[(&str, &str)] = &[
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-encoding", "gzip, deflate"),
+    ("content-type", ""),
+    ("user-agent", ""),
+    ("grpc-status", ""),
+    ("grpc-message", ""),
+    ("te", "trailers"),
+];
+
+/// Maximum dynamic-table entries retained.
+const DYN_TABLE_MAX: usize = 64;
+
+/// Shared encoder/decoder state: the dynamic table.
+#[derive(Debug, Default, Clone)]
+pub struct HpackContext {
+    /// Most recent first (index 0 = newest), as RFC 7541.
+    dynamic: Vec<(String, String)>,
+}
+
+impl HpackContext {
+    /// Fresh context (per connection, as in HTTP/2).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lookup(&self, name: &str, value: &str) -> Option<usize> {
+        // Full (name, value) match: static table first, then dynamic.
+        if let Some(i) = STATIC_TABLE
+            .iter()
+            .position(|(n, v)| *n == name && *v == value)
+        {
+            return Some(i + 1);
+        }
+        self.dynamic
+            .iter()
+            .position(|(n, v)| n == name && v == value)
+            .map(|i| STATIC_TABLE.len() + 1 + i)
+    }
+
+    fn lookup_name(&self, name: &str) -> Option<usize> {
+        if let Some(i) = STATIC_TABLE.iter().position(|(n, _)| *n == name) {
+            return Some(i + 1);
+        }
+        self.dynamic
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| STATIC_TABLE.len() + 1 + i)
+    }
+
+    fn get(&self, index: usize) -> WireResult<(String, String)> {
+        if index == 0 {
+            return Err(WireError::InvalidTag {
+                tag: 0,
+                context: "hpack index 0",
+            });
+        }
+        if index <= STATIC_TABLE.len() {
+            let (n, v) = STATIC_TABLE[index - 1];
+            return Ok((n.to_owned(), v.to_owned()));
+        }
+        self.dynamic
+            .get(index - STATIC_TABLE.len() - 1)
+            .cloned()
+            .ok_or(WireError::InvalidTag {
+                tag: index as u64,
+                context: "hpack dynamic index",
+            })
+    }
+
+    fn insert(&mut self, name: String, value: String) {
+        self.dynamic.insert(0, (name, value));
+        if self.dynamic.len() > DYN_TABLE_MAX {
+            self.dynamic.pop();
+        }
+    }
+
+    /// Dynamic-table size (tests).
+    pub fn dynamic_len(&self) -> usize {
+        self.dynamic.len()
+    }
+}
+
+/// Prefix-coded integer (RFC 7541 §5.1).
+fn encode_int(out: &mut Vec<u8>, prefix_bits: u8, flags: u8, mut value: usize) {
+    let max_prefix = (1usize << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(flags | value as u8);
+        return;
+    }
+    out.push(flags | max_prefix as u8);
+    value -= max_prefix;
+    while value >= 128 {
+        out.push((value % 128 + 128) as u8);
+        value /= 128;
+    }
+    out.push(value as u8);
+}
+
+fn decode_int(buf: &[u8], pos: &mut usize, prefix_bits: u8) -> WireResult<usize> {
+    let max_prefix = (1usize << prefix_bits) - 1;
+    let first = *buf.get(*pos).ok_or(WireError::UnexpectedEof {
+        needed: 1,
+        context: "hpack integer",
+    })?;
+    *pos += 1;
+    let mut value = (first as usize) & max_prefix;
+    if value < max_prefix {
+        return Ok(value);
+    }
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::UnexpectedEof {
+            needed: 1,
+            context: "hpack integer continuation",
+        })?;
+        *pos += 1;
+        if shift > 28 {
+            return Err(WireError::VarintOverflow);
+        }
+        value += ((byte & 0x7f) as usize) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn encode_string(out: &mut Vec<u8>, s: &str) {
+    encode_int(out, 7, 0, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_string(buf: &[u8], pos: &mut usize) -> WireResult<String> {
+    let first = *buf.get(*pos).ok_or(WireError::UnexpectedEof {
+        needed: 1,
+        context: "hpack string",
+    })?;
+    if first & 0x80 != 0 {
+        return Err(WireError::Malformed("huffman strings not supported"));
+    }
+    let len = decode_int(buf, pos, 7)?;
+    let end = pos.checked_add(len).ok_or(WireError::LengthOutOfBounds {
+        length: len as u64,
+        limit: buf.len(),
+    })?;
+    if end > buf.len() {
+        return Err(WireError::LengthOutOfBounds {
+            length: len as u64,
+            limit: buf.len() - *pos,
+        });
+    }
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| WireError::InvalidUtf8)?
+        .to_owned();
+    *pos = end;
+    Ok(s)
+}
+
+/// Encodes a header list, updating the dynamic table.
+pub fn encode_headers(ctx: &mut HpackContext, headers: &[(String, String)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(headers.len() * 8);
+    for (name, value) in headers {
+        if let Some(index) = ctx.lookup(name, value) {
+            // Indexed header field: 1xxxxxxx.
+            encode_int(&mut out, 7, 0x80, index);
+            continue;
+        }
+        match ctx.lookup_name(name) {
+            Some(index) => {
+                // Literal with incremental indexing, indexed name: 01xxxxxx.
+                encode_int(&mut out, 6, 0x40, index);
+                encode_string(&mut out, value);
+            }
+            None => {
+                // Literal with incremental indexing, new name: 01000000.
+                encode_int(&mut out, 6, 0x40, 0);
+                encode_string(&mut out, name);
+                encode_string(&mut out, value);
+            }
+        }
+        ctx.insert(name.clone(), value.clone());
+    }
+    out
+}
+
+/// Decodes a header block, updating the dynamic table.
+pub fn decode_headers(ctx: &mut HpackContext, buf: &[u8]) -> WireResult<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let first = buf[pos];
+        if first & 0x80 != 0 {
+            // Indexed.
+            let index = decode_int(buf, &mut pos, 7)?;
+            headers.push(ctx.get(index)?);
+        } else if first & 0x40 != 0 {
+            // Literal with incremental indexing.
+            let index = decode_int(buf, &mut pos, 6)?;
+            let name = if index == 0 {
+                decode_string(buf, &mut pos)?
+            } else {
+                ctx.get(index)?.0
+            };
+            let value = decode_string(buf, &mut pos)?;
+            ctx.insert(name.clone(), value.clone());
+            headers.push((name, value));
+        } else {
+            return Err(WireError::InvalidTag {
+                tag: first as u64,
+                context: "hpack representation",
+            });
+        }
+    }
+    Ok(headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_with_shared_context() {
+        let mut enc_ctx = HpackContext::new();
+        let mut dec_ctx = HpackContext::new();
+        let headers = h(&[
+            (":method", "POST"),
+            (":path", "/objectstore.ObjectStore/Put"),
+            ("content-type", "application/grpc"),
+            ("x-call-id", "7"),
+        ]);
+        let block = encode_headers(&mut enc_ctx, &headers);
+        let back = decode_headers(&mut dec_ctx, &block).unwrap();
+        assert_eq!(back, headers);
+        assert_eq!(enc_ctx.dynamic_len(), dec_ctx.dynamic_len());
+    }
+
+    #[test]
+    fn repeated_headers_shrink_via_dynamic_table() {
+        let mut enc_ctx = HpackContext::new();
+        let headers = h(&[
+            (":path", "/objectstore.ObjectStore/Put"),
+            ("user-agent", "adn-mesh-bench/0.1"),
+        ]);
+        let first = encode_headers(&mut enc_ctx, &headers);
+        let second = encode_headers(&mut enc_ctx, &headers);
+        assert!(
+            second.len() < first.len() / 2,
+            "second block ({}) should be far smaller than first ({})",
+            second.len(),
+            first.len()
+        );
+        // And decoding both in order works.
+        let mut dec_ctx = HpackContext::new();
+        assert_eq!(decode_headers(&mut dec_ctx, &first).unwrap(), headers);
+        assert_eq!(decode_headers(&mut dec_ctx, &second).unwrap(), headers);
+    }
+
+    #[test]
+    fn integers_roundtrip_at_boundaries() {
+        for v in [0usize, 1, 30, 31, 32, 127, 128, 16_000, 1_000_000] {
+            let mut out = Vec::new();
+            encode_int(&mut out, 5, 0, v);
+            let mut pos = 0;
+            assert_eq!(decode_int(&out, &mut pos, 5).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        let mut ctx = HpackContext::new();
+        for seed in 0..200u8 {
+            let bytes: Vec<u8> = (0..seed).map(|i| i.wrapping_mul(31).wrapping_add(seed)).collect();
+            let _ = decode_headers(&mut ctx, &bytes);
+        }
+    }
+
+    #[test]
+    fn bad_index_is_an_error() {
+        let mut ctx = HpackContext::new();
+        // Indexed header 127 + continuation to a huge index.
+        let block = vec![0xFF, 0xFF, 0x7F];
+        assert!(decode_headers(&mut ctx, &block).is_err());
+    }
+
+    #[test]
+    fn dynamic_table_is_bounded() {
+        let mut ctx = HpackContext::new();
+        for i in 0..200 {
+            let headers = h(&[(&format!("x-h{i}"), "v")]);
+            encode_headers(&mut ctx, &headers);
+        }
+        assert!(ctx.dynamic_len() <= DYN_TABLE_MAX);
+    }
+}

@@ -1,0 +1,302 @@
+//! HTTP/2-lite framing.
+//!
+//! The 9-byte frame header (24-bit length, type, flags, 31-bit stream id)
+//! and the two frame types the gRPC data path uses: HEADERS (one header
+//! block per frame; no CONTINUATION) and DATA. Each mesh hop parses and
+//! re-emits these frames.
+
+use adn_wire::codec::{WireError, WireResult};
+
+/// Frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    Data,
+    Headers,
+    Settings,
+}
+
+impl FrameType {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Data => 0x0,
+            FrameType::Headers => 0x1,
+            FrameType::Settings => 0x4,
+        }
+    }
+
+    fn from_byte(b: u8) -> WireResult<Self> {
+        Ok(match b {
+            0x0 => FrameType::Data,
+            0x1 => FrameType::Headers,
+            0x4 => FrameType::Settings,
+            other => {
+                return Err(WireError::InvalidTag {
+                    tag: other as u64,
+                    context: "http2 frame type",
+                })
+            }
+        })
+    }
+}
+
+/// END_STREAM flag.
+pub const FLAG_END_STREAM: u8 = 0x1;
+/// END_HEADERS flag.
+pub const FLAG_END_HEADERS: u8 = 0x4;
+
+/// One HTTP/2 frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct H2Frame {
+    pub frame_type: FrameType,
+    pub flags: u8,
+    pub stream_id: u32,
+    pub payload: Vec<u8>,
+}
+
+/// Maximum frame payload accepted (default HTTP/2 SETTINGS_MAX_FRAME_SIZE).
+pub const MAX_FRAME_SIZE: usize = 16_384;
+
+/// Serializes a frame (splitting is the caller's job; oversize errors).
+pub fn encode_frame(frame: &H2Frame, out: &mut Vec<u8>) -> WireResult<()> {
+    if frame.payload.len() > MAX_FRAME_SIZE {
+        return Err(WireError::LengthOutOfBounds {
+            length: frame.payload.len() as u64,
+            limit: MAX_FRAME_SIZE,
+        });
+    }
+    let len = frame.payload.len() as u32;
+    out.extend_from_slice(&len.to_be_bytes()[1..4]);
+    out.push(frame.frame_type.to_byte());
+    out.push(frame.flags);
+    out.extend_from_slice(&(frame.stream_id & 0x7FFF_FFFF).to_be_bytes());
+    out.extend_from_slice(&frame.payload);
+    Ok(())
+}
+
+/// Parses one frame from the front of `buf`, returning it and the bytes
+/// consumed. `Ok(None)` means more bytes are needed.
+pub fn decode_frame(buf: &[u8]) -> WireResult<Option<(H2Frame, usize)>> {
+    if buf.len() < 9 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([0, buf[0], buf[1], buf[2]]) as usize;
+    if len > MAX_FRAME_SIZE {
+        return Err(WireError::LengthOutOfBounds {
+            length: len as u64,
+            limit: MAX_FRAME_SIZE,
+        });
+    }
+    if buf.len() < 9 + len {
+        return Ok(None);
+    }
+    let frame_type = FrameType::from_byte(buf[3])?;
+    let flags = buf[4];
+    let stream_id = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]) & 0x7FFF_FFFF;
+    let payload = buf[9..9 + len].to_vec();
+    Ok(Some((
+        H2Frame {
+            frame_type,
+            flags,
+            stream_id,
+            payload,
+        },
+        9 + len,
+    )))
+}
+
+/// Encodes a HEADERS frame followed by DATA frames carrying `data`,
+/// split at [`MAX_FRAME_SIZE`]. This is one "HTTP/2 message" on the wire.
+pub fn encode_message(
+    stream_id: u32,
+    header_block: &[u8],
+    data: &[u8],
+    out: &mut Vec<u8>,
+) -> WireResult<()> {
+    // HEADERS frames above MAX_FRAME_SIZE would need CONTINUATION; the
+    // header blocks gRPC produces stay tiny, enforce rather than implement.
+    encode_frame(
+        &H2Frame {
+            frame_type: FrameType::Headers,
+            flags: FLAG_END_HEADERS,
+            stream_id,
+            payload: header_block.to_vec(),
+        },
+        out,
+    )?;
+    let mut chunks = data.chunks(MAX_FRAME_SIZE).peekable();
+    if data.is_empty() {
+        encode_frame(
+            &H2Frame {
+                frame_type: FrameType::Data,
+                flags: FLAG_END_STREAM,
+                stream_id,
+                payload: Vec::new(),
+            },
+            out,
+        )?;
+        return Ok(());
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        encode_frame(
+            &H2Frame {
+                frame_type: FrameType::Data,
+                flags: if last { FLAG_END_STREAM } else { 0 },
+                stream_id,
+                payload: chunk.to_vec(),
+            },
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+/// A fully reassembled message: header block + concatenated data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct H2Message {
+    pub stream_id: u32,
+    pub header_block: Vec<u8>,
+    pub data: Vec<u8>,
+}
+
+/// Parses a byte buffer containing exactly the frames of one message
+/// (HEADERS then DATA...END_STREAM) into an [`H2Message`].
+pub fn decode_message(buf: &[u8]) -> WireResult<H2Message> {
+    let mut pos = 0usize;
+    let mut header_block: Option<(u32, Vec<u8>)> = None;
+    let mut data = Vec::new();
+    loop {
+        match decode_frame(&buf[pos..])? {
+            Some((frame, consumed)) => {
+                pos += consumed;
+                match frame.frame_type {
+                    FrameType::Headers => {
+                        if header_block.is_some() {
+                            return Err(WireError::Malformed("duplicate HEADERS"));
+                        }
+                        header_block = Some((frame.stream_id, frame.payload));
+                    }
+                    FrameType::Data => {
+                        let Some((sid, _)) = &header_block else {
+                            return Err(WireError::Malformed("DATA before HEADERS"));
+                        };
+                        if frame.stream_id != *sid {
+                            return Err(WireError::Malformed("stream id mismatch"));
+                        }
+                        data.extend_from_slice(&frame.payload);
+                        if frame.flags & FLAG_END_STREAM != 0 {
+                            if pos != buf.len() {
+                                return Err(WireError::Malformed("bytes after END_STREAM"));
+                            }
+                            let (stream_id, header_block) = header_block.expect("checked");
+                            return Ok(H2Message {
+                                stream_id,
+                                header_block,
+                                data,
+                            });
+                        }
+                    }
+                    FrameType::Settings => {} // connection management; skip
+                }
+            }
+            None => {
+                return Err(WireError::UnexpectedEof {
+                    needed: 9,
+                    context: "http2 message",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = H2Frame {
+            frame_type: FrameType::Headers,
+            flags: FLAG_END_HEADERS,
+            stream_id: 5,
+            payload: b"abc".to_vec(),
+        };
+        let mut out = Vec::new();
+        encode_frame(&frame, &mut out).unwrap();
+        let (back, consumed) = decode_frame(&out).unwrap().unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, out.len());
+    }
+
+    #[test]
+    fn partial_input_asks_for_more() {
+        let frame = H2Frame {
+            frame_type: FrameType::Data,
+            flags: 0,
+            stream_id: 1,
+            payload: vec![0; 100],
+        };
+        let mut out = Vec::new();
+        encode_frame(&frame, &mut out).unwrap();
+        assert!(decode_frame(&out[..5]).unwrap().is_none());
+        assert!(decode_frame(&out[..50]).unwrap().is_none());
+    }
+
+    #[test]
+    fn message_roundtrip_with_large_data() {
+        let header_block = vec![7u8; 40];
+        let data = vec![9u8; MAX_FRAME_SIZE * 2 + 100]; // 3 DATA frames
+        let mut out = Vec::new();
+        encode_message(3, &header_block, &data, &mut out).unwrap();
+        let msg = decode_message(&out).unwrap();
+        assert_eq!(msg.stream_id, 3);
+        assert_eq!(msg.header_block, header_block);
+        assert_eq!(msg.data, data);
+    }
+
+    #[test]
+    fn empty_data_still_ends_stream() {
+        let mut out = Vec::new();
+        encode_message(1, b"h", &[], &mut out).unwrap();
+        let msg = decode_message(&out).unwrap();
+        assert!(msg.data.is_empty());
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let frame = H2Frame {
+            frame_type: FrameType::Data,
+            flags: 0,
+            stream_id: 1,
+            payload: vec![0; MAX_FRAME_SIZE + 1],
+        };
+        let mut out = Vec::new();
+        assert!(encode_frame(&frame, &mut out).is_err());
+    }
+
+    #[test]
+    fn malformed_sequences_rejected() {
+        // DATA before HEADERS.
+        let mut out = Vec::new();
+        encode_frame(
+            &H2Frame {
+                frame_type: FrameType::Data,
+                flags: FLAG_END_STREAM,
+                stream_id: 1,
+                payload: vec![],
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(decode_message(&out).is_err());
+        // Truncated.
+        assert!(decode_message(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn unknown_frame_type_rejected() {
+        let mut out = vec![0, 0, 0, 0x9, 0, 0, 0, 0, 1];
+        out.extend_from_slice(&[]);
+        assert!(decode_frame(&out).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # adn-mesh — the baseline: a service mesh built from general-purpose
+//! protocol layers
+//!
+//! This crate rebuilds the data path the paper's Figure 1 describes and its
+//! evaluation compares against (gRPC + Envoy v1.20): the application
+//! marshals every RPC into protobuf, wraps it in gRPC message frames, wraps
+//! those in HTTP/2 frames with HPACK-coded headers, and a sidecar proxy at
+//! *each* host intercepts the byte stream, parses all of it back, runs
+//! generic filters, re-encodes all of it, and forwards.
+//!
+//! Layer by layer (all real computation, no sleeps or synthetic delays —
+//! the overhead measured in the benchmarks is work actually done):
+//!
+//! * [`pb`] — protobuf-lite: self-describing tag/varint wire format. The
+//!   sidecar decodes it *dynamically* (field number → value), exactly the
+//!   way generic proxies must, because they don't link the app's schema.
+//! * [`hpack`] — HPACK-lite header compression: static + dynamic tables,
+//!   integer prefix coding, literal strings.
+//! * [`http2`] — HTTP/2-lite framing: 9-byte frame headers, HEADERS and
+//!   DATA frames, stream ids.
+//! * [`grpc`] — the gRPC conventions: pseudo-headers (`:method`, `:path`),
+//!   `content-type: application/grpc`, the 5-byte message prefix,
+//!   `grpc-status` trailers.
+//! * [`filters`] — Envoy-style generic filters for the paper's three
+//!   policies (access log with format strings, ACL over dynamic metadata,
+//!   percentage fault injection), each with the configuration knobs a
+//!   general-purpose filter carries.
+//! * [`sidecar`] — the proxy itself: parse → filter → re-encode, with a
+//!   NAT flow table for the return path.
+//! * [`app`] — the gRPC application endpoints (client and server) that
+//!   marshal/unmarshal at the edges.
+//!
+//! The fabric underneath is the same flat-id [`adn_rpc::transport`] the ADN
+//! path uses, so the comparison isolates exactly what the paper blames:
+//! layered generality.
+
+pub mod app;
+pub mod filters;
+pub mod grpc;
+pub mod hpack;
+pub mod http2;
+pub mod pb;
+pub mod sidecar;
+
+pub use app::{MeshClient, MeshServer};
+pub use sidecar::{spawn_sidecar, SidecarConfig, SidecarHandle};

@@ -1,0 +1,245 @@
+//! Protobuf-lite: the self-describing tag/varint wire format.
+//!
+//! Field numbers come from schema position (index + 1); wire types follow
+//! protobuf's: 0 = varint, 1 = 64-bit, 2 = length-delimited. Strings,
+//! bytes, and floats use the standard representations. Booleans are
+//! varints.
+//!
+//! The decoder comes in two flavours, matching the two consumers:
+//! * [`decode_with_schema`] — the application side, which knows the schema.
+//! * [`decode_dynamic`] — the proxy side, which does not: it recovers a
+//!   generic `(field number, value)` list the way Envoy's generic filters
+//!   see payloads. This "parse without the schema" step is precisely the
+//!   overhead paper §6 attributes to the mesh.
+
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::{Value, ValueType};
+use adn_wire::codec::{Decoder, Encoder, WireError, WireResult};
+
+/// Wire types.
+const WT_VARINT: u64 = 0;
+const WT_I64: u64 = 1;
+const WT_LEN: u64 = 2;
+
+/// A dynamically decoded field value (the proxy's view).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbValue {
+    Varint(u64),
+    Fixed64(u64),
+    Bytes(Vec<u8>),
+}
+
+impl PbValue {
+    /// Interprets length-delimited bytes as UTF-8, if possible.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PbValue::Bytes(b) => std::str::from_utf8(b).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// A dynamically decoded message: (field number, value) in wire order.
+pub type DynMessage = Vec<(u64, PbValue)>;
+
+/// Encodes schema-ordered values as protobuf bytes.
+pub fn encode(values: &[Value], enc: &mut Encoder) {
+    for (i, v) in values.iter().enumerate() {
+        let field_no = (i + 1) as u64;
+        match v {
+            Value::U64(x) => {
+                enc.put_varint(field_no << 3 | WT_VARINT);
+                enc.put_varint(*x);
+            }
+            Value::I64(x) => {
+                enc.put_varint(field_no << 3 | WT_VARINT);
+                // Protobuf sint64 zig-zag.
+                enc.put_varint_signed(*x);
+            }
+            Value::Bool(b) => {
+                enc.put_varint(field_no << 3 | WT_VARINT);
+                enc.put_varint(*b as u64);
+            }
+            Value::F64(x) => {
+                enc.put_varint(field_no << 3 | WT_I64);
+                enc.put_u64(x.to_bits());
+            }
+            Value::Str(s) => {
+                enc.put_varint(field_no << 3 | WT_LEN);
+                enc.put_str(s);
+            }
+            Value::Bytes(b) => {
+                enc.put_varint(field_no << 3 | WT_LEN);
+                enc.put_bytes(b);
+            }
+        }
+    }
+}
+
+/// Encodes to a fresh buffer.
+pub fn encode_to_vec(values: &[Value]) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(values.iter().map(Value::size_hint).sum::<usize>() + 16);
+    encode(values, &mut enc);
+    enc.into_bytes()
+}
+
+/// Dynamic decode: no schema, self-description only (the proxy path).
+pub fn decode_dynamic(bytes: &[u8]) -> WireResult<DynMessage> {
+    let mut dec = Decoder::new(bytes);
+    let mut out = Vec::new();
+    while !dec.is_exhausted() {
+        let tag = dec.get_varint()?;
+        let field_no = tag >> 3;
+        if field_no == 0 {
+            return Err(WireError::InvalidTag {
+                tag,
+                context: "protobuf field number 0",
+            });
+        }
+        let value = match tag & 0x7 {
+            WT_VARINT => PbValue::Varint(dec.get_varint()?),
+            WT_I64 => PbValue::Fixed64(dec.get_u64()?),
+            WT_LEN => PbValue::Bytes(dec.get_bytes()?.to_vec()),
+            wt => {
+                return Err(WireError::InvalidTag {
+                    tag: wt,
+                    context: "protobuf wire type",
+                })
+            }
+        };
+        out.push((field_no, value));
+    }
+    Ok(out)
+}
+
+/// Re-encodes a dynamic message (what the proxy does after filtering).
+pub fn encode_dynamic(msg: &DynMessage, enc: &mut Encoder) {
+    for (field_no, value) in msg {
+        match value {
+            PbValue::Varint(v) => {
+                enc.put_varint(field_no << 3 | WT_VARINT);
+                enc.put_varint(*v);
+            }
+            PbValue::Fixed64(v) => {
+                enc.put_varint(field_no << 3 | WT_I64);
+                enc.put_u64(*v);
+            }
+            PbValue::Bytes(b) => {
+                enc.put_varint(field_no << 3 | WT_LEN);
+                enc.put_bytes(b);
+            }
+        }
+    }
+}
+
+/// Schema-driven decode (the application path). Unknown fields error;
+/// missing fields default.
+pub fn decode_with_schema(bytes: &[u8], schema: &RpcSchema) -> WireResult<Vec<Value>> {
+    let dynamic = decode_dynamic(bytes)?;
+    let mut values = schema.default_values();
+    for (field_no, pv) in dynamic {
+        let idx = (field_no - 1) as usize;
+        let Some(field) = schema.fields().get(idx) else {
+            return Err(WireError::InvalidTag {
+                tag: field_no,
+                context: "unknown protobuf field",
+            });
+        };
+        let v = match (field.ty, pv) {
+            (ValueType::U64, PbValue::Varint(x)) => Value::U64(x),
+            (ValueType::I64, PbValue::Varint(x)) => {
+                Value::I64(adn_wire::varint::zigzag_decode(x))
+            }
+            (ValueType::Bool, PbValue::Varint(x)) => Value::Bool(x != 0),
+            (ValueType::F64, PbValue::Fixed64(x)) => Value::F64(f64::from_bits(x)),
+            (ValueType::Str, PbValue::Bytes(b)) => Value::Str(
+                String::from_utf8(b).map_err(|_| WireError::InvalidUtf8)?,
+            ),
+            (ValueType::Bytes, PbValue::Bytes(b)) => Value::Bytes(b),
+            _ => return Err(WireError::Malformed("wire type does not match schema field")),
+        };
+        values[idx] = v;
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RpcSchema {
+        RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .field("score", ValueType::F64)
+            .field("delta", ValueType::I64)
+            .field("flag", ValueType::Bool)
+            .build()
+            .unwrap()
+    }
+
+    fn values() -> Vec<Value> {
+        vec![
+            Value::U64(42),
+            Value::Str("alice".into()),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::F64(2.5),
+            Value::I64(-7),
+            Value::Bool(true),
+        ]
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let bytes = encode_to_vec(&values());
+        let back = decode_with_schema(&bytes, &schema()).unwrap();
+        assert_eq!(back, values());
+    }
+
+    #[test]
+    fn dynamic_roundtrip() {
+        let bytes = encode_to_vec(&values());
+        let dynamic = decode_dynamic(&bytes).unwrap();
+        assert_eq!(dynamic.len(), 6);
+        assert_eq!(dynamic[0], (1, PbValue::Varint(42)));
+        assert_eq!(dynamic[1].1.as_str(), Some("alice"));
+        let mut enc = Encoder::new();
+        encode_dynamic(&dynamic, &mut enc);
+        assert_eq!(enc.into_bytes(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn dynamic_decode_never_panics_on_garbage() {
+        for seed in 0..200u8 {
+            let bytes: Vec<u8> = (0..seed).map(|i| i.wrapping_mul(seed)).collect();
+            let _ = decode_dynamic(&bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_field_rejected_by_schema_decode() {
+        let mut enc = Encoder::new();
+        enc.put_varint(99 << 3 | WT_VARINT);
+        enc.put_varint(1);
+        assert!(decode_with_schema(&enc.into_bytes(), &schema()).is_err());
+    }
+
+    #[test]
+    fn wire_type_mismatch_rejected() {
+        let mut enc = Encoder::new();
+        // Field 1 is u64 (varint) but sent length-delimited.
+        enc.put_varint(1 << 3 | WT_LEN);
+        enc.put_bytes(b"xx");
+        assert!(decode_with_schema(&enc.into_bytes(), &schema()).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = encode_to_vec(&values());
+        for cut in 1..bytes.len() {
+            // Either a clean error or a shorter valid prefix — never panic.
+            let _ = decode_dynamic(&bytes[..cut]);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The sidecar proxy: parse everything, filter, re-encode everything.
+//!
+//! One sidecar per host (paper Figure 1). Per message it performs exactly
+//! the work the paper attributes to the mesh:
+//!
+//! 1. HTTP/2 frame parse, 2. HPACK header decode, 3. gRPC unframe,
+//! 4. **dynamic** protobuf decode (a proxy doesn't link the app schema),
+//! 5. the generic filter chain, 6. protobuf re-encode, 7. gRPC re-frame,
+//! 8. HPACK re-encode toward the next hop, 9. HTTP/2 re-frame.
+//!
+//! Responses take the same 9 steps back through the NAT flow table.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+
+use adn_rpc::transport::{EndpointAddr, Frame, Link};
+use adn_wire::codec::WireResult;
+
+use crate::filters::{FilterVerdict, MeshFilter};
+use crate::hpack::{self, HpackContext};
+use crate::http2;
+use crate::pb;
+
+/// Sidecar counters.
+#[derive(Debug, Default)]
+pub struct SidecarStats {
+    pub requests: AtomicU64,
+    pub responses: AtomicU64,
+    pub denied: AtomicU64,
+    pub parse_errors: AtomicU64,
+}
+
+/// Where the sidecar sends requests after filtering.
+#[derive(Debug, Clone, Copy)]
+pub enum Upstream {
+    /// Forward to the destination named in the message's `x-dst` header.
+    Dst,
+    /// Forward to a fixed endpoint (the peer sidecar).
+    Fixed(EndpointAddr),
+}
+
+/// Configuration for [`spawn_sidecar`].
+pub struct SidecarConfig {
+    /// The sidecar's flat address (iptables-style interception means the
+    /// app's traffic is addressed here).
+    pub addr: EndpointAddr,
+    /// Filter chain.
+    pub filters: Vec<Box<dyn MeshFilter>>,
+    /// Next hop for requests.
+    pub upstream: Upstream,
+}
+
+/// Handle to a running sidecar.
+pub struct SidecarHandle {
+    addr: EndpointAddr,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    stats: Arc<SidecarStats>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SidecarHandle {
+    pub fn addr(&self) -> EndpointAddr {
+        self.addr
+    }
+
+    pub fn requests(&self) -> u64 {
+        self.stats.requests.load(Ordering::Relaxed)
+    }
+
+    pub fn responses(&self) -> u64 {
+        self.stats.responses.load(Ordering::Relaxed)
+    }
+
+    pub fn denied(&self) -> u64 {
+        self.stats.denied.load(Ordering::Relaxed)
+    }
+
+    pub fn parse_errors(&self) -> u64 {
+        self.stats.parse_errors.load(Ordering::Relaxed)
+    }
+
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for SidecarHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn set_header(headers: &mut Vec<(String, String)>, name: &str, value: String) {
+    match headers.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value,
+        None => headers.push((name.to_owned(), value)),
+    }
+}
+
+/// Spawns the sidecar thread.
+pub fn spawn_sidecar(
+    config: SidecarConfig,
+    link: Arc<dyn Link>,
+    frames: Receiver<Frame>,
+) -> SidecarHandle {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stats = Arc::new(SidecarStats::default());
+    let addr = config.addr;
+
+    let t_stop = stop.clone();
+    let t_stats = stats.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("mesh-sidecar-{addr}"))
+        .spawn(move || {
+            let SidecarConfig {
+                addr,
+                mut filters,
+                upstream,
+            } = config;
+            // Per-peer HPACK contexts (one "connection" per peer pair).
+            let mut rx_ctx: HashMap<EndpointAddr, HpackContext> = HashMap::new();
+            let mut tx_ctx: HashMap<EndpointAddr, HpackContext> = HashMap::new();
+            // NAT flow table: call id → original requester.
+            let mut flows: HashMap<u64, EndpointAddr> = HashMap::new();
+
+            while !t_stop.load(Ordering::Relaxed) {
+                let frame = match frames.recv_timeout(Duration::from_millis(20)) {
+                    Ok(f) => f,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                };
+                let outcome = process_frame(
+                    addr,
+                    &frame,
+                    &mut filters,
+                    rx_ctx.entry(frame.src).or_default(),
+                    &mut tx_ctx,
+                    &mut flows,
+                    upstream,
+                    &t_stats,
+                );
+                match outcome {
+                    Ok(Some((dst, payload))) => {
+                        let _ = link.send(Frame {
+                            src: addr,
+                            dst,
+                            payload,
+                        });
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        t_stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+        .expect("spawn sidecar thread");
+
+    SidecarHandle {
+        addr,
+        stop,
+        stats,
+        join: Some(join),
+    }
+}
+
+/// The full per-message data path. Returns the forwarded (dst, bytes), or
+/// None when the message was consumed (denied request → synthesized
+/// response is returned instead through the same path).
+#[allow(clippy::too_many_arguments)]
+fn process_frame(
+    addr: EndpointAddr,
+    frame: &Frame,
+    filters: &mut [Box<dyn MeshFilter>],
+    rx_ctx: &mut HpackContext,
+    tx_ctx: &mut HashMap<EndpointAddr, HpackContext>,
+    flows: &mut HashMap<u64, EndpointAddr>,
+    upstream: Upstream,
+    stats: &SidecarStats,
+) -> WireResult<Option<(EndpointAddr, Vec<u8>)>> {
+    // 1. HTTP/2 parse.
+    let h2 = http2::decode_message(&frame.payload)?;
+    // 2. HPACK decode.
+    let mut headers = hpack::decode_headers(rx_ctx, &h2.header_block)?;
+    let is_response = header(&headers, ":status").is_some();
+    // 3-4. gRPC unframe + dynamic protobuf decode (empty bodies allowed on
+    // error responses).
+    let mut body: pb::DynMessage = if h2.data.is_empty() {
+        Vec::new()
+    } else {
+        pb::decode_dynamic(crate::grpc::grpc_unframe(&h2.data)?)?
+    };
+
+    let call_id: u64 = header(&headers, "x-call-id")
+        .and_then(|v| v.parse().ok())
+        .ok_or(adn_wire::codec::WireError::Malformed("missing x-call-id"))?;
+
+    // 5. Filter chain.
+    let mut verdict = FilterVerdict::Continue;
+    for f in filters.iter_mut() {
+        verdict = if is_response {
+            f.on_response(&mut headers, &mut body)
+        } else {
+            f.on_request(&mut headers, &mut body)
+        };
+        if verdict != FilterVerdict::Continue {
+            break;
+        }
+    }
+
+    if is_response {
+        stats.responses.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    match verdict {
+        FilterVerdict::Continue => {
+            let (dst, out_headers) = if is_response {
+                // NAT out: restore the original requester.
+                let dst = flows
+                    .remove(&call_id)
+                    .or_else(|| header(&headers, "x-dst").and_then(|v| v.parse().ok()))
+                    .ok_or(adn_wire::codec::WireError::Malformed("unknown flow"))?;
+                set_header(&mut headers, "x-dst", dst.to_string());
+                (dst, headers)
+            } else {
+                // NAT in.
+                let orig_src: u64 = header(&headers, "x-src")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(adn_wire::codec::WireError::Malformed("missing x-src"))?;
+                flows.insert(call_id, orig_src);
+                set_header(&mut headers, "x-src", addr.to_string());
+                let dst = match upstream {
+                    Upstream::Fixed(a) => a,
+                    Upstream::Dst => header(&headers, "x-dst")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(adn_wire::codec::WireError::Malformed("missing x-dst"))?,
+                };
+                (dst, headers)
+            };
+            // 6-9. Re-encode everything toward the next hop.
+            let header_block =
+                hpack::encode_headers(tx_ctx.entry(dst).or_default(), &out_headers);
+            let data = if body.is_empty() && h2.data.is_empty() {
+                Vec::new()
+            } else {
+                let mut enc = adn_wire::codec::Encoder::new();
+                pb::encode_dynamic(&body, &mut enc);
+                crate::grpc::grpc_frame(&enc.into_bytes())
+            };
+            let mut out = Vec::with_capacity(header_block.len() + data.len() + 32);
+            http2::encode_message(h2.stream_id, &header_block, &data, &mut out)?;
+            Ok(Some((dst, out)))
+        }
+        FilterVerdict::Deny {
+            grpc_status,
+            message,
+        } => {
+            stats.denied.fetch_add(1, Ordering::Relaxed);
+            if is_response {
+                // Denied response: drop.
+                return Ok(None);
+            }
+            // Synthesize an error response to the caller, Envoy-style.
+            let caller: u64 = header(&headers, "x-src")
+                .and_then(|v| v.parse().ok())
+                .ok_or(adn_wire::codec::WireError::Malformed("missing x-src"))?;
+            let resp_headers: Vec<(String, String)> = vec![
+                (":status".into(), "200".into()),
+                ("content-type".into(), "application/grpc".into()),
+                (
+                    "x-call-id".into(),
+                    call_id.to_string(),
+                ),
+                (
+                    "x-method-id".into(),
+                    header(&headers, "x-method-id").unwrap_or("0").to_owned(),
+                ),
+                ("x-src".into(), addr.to_string()),
+                ("x-dst".into(), caller.to_string()),
+                ("grpc-status".into(), grpc_status.to_string()),
+                ("grpc-message".into(), message),
+            ];
+            let header_block =
+                hpack::encode_headers(tx_ctx.entry(caller).or_default(), &resp_headers);
+            let mut out = Vec::with_capacity(header_block.len() + 16);
+            http2::encode_message(h2.stream_id, &header_block, &[], &mut out)?;
+            Ok(Some((caller, out)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{AccessLogFilter, AclFilter, FaultFilter};
+
+    // The sidecar's end-to-end behaviour is exercised through `app`'s
+    // tests (client → sidecar → sidecar → server); here we check the
+    // handle mechanics and filter wiring compile-level contracts.
+
+    #[test]
+    fn sidecar_starts_and_stops() {
+        let net = adn_rpc::transport::InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let frames = net.attach(9);
+        let handle = spawn_sidecar(
+            SidecarConfig {
+                addr: 9,
+                filters: vec![
+                    Box::new(AccessLogFilter::new()),
+                    Box::new(AclFilter::with_default_table(2)),
+                    Box::new(FaultFilter::new(0.0, 1)),
+                ],
+                upstream: Upstream::Dst,
+            },
+            link,
+            frames,
+        );
+        assert_eq!(handle.addr(), 9);
+        assert_eq!(handle.requests(), 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn garbage_frames_count_as_parse_errors() {
+        let net = adn_rpc::transport::InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let frames = net.attach(9);
+        let handle = spawn_sidecar(
+            SidecarConfig {
+                addr: 9,
+                filters: vec![],
+                upstream: Upstream::Dst,
+            },
+            link.clone(),
+            frames,
+        );
+        link.send(Frame {
+            src: 1,
+            dst: 9,
+            payload: b"not http2".to_vec(),
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(handle.parse_errors(), 1);
+    }
+}

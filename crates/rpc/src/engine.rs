@@ -1,0 +1,305 @@
+//! The chainable network-function abstraction ("engine", after mRPC).
+//!
+//! An ADN element, once compiled, runs as an [`Engine`]: a stateful object
+//! invoked once per RPC message, in place, in structured form. Engines are
+//! composed into an [`EngineChain`] — the paper's "RPC processing chain".
+//!
+//! Engines expose their internal state for export/import because state
+//! decoupling is what lets the controller migrate and scale elements without
+//! disrupting the application (paper §5.2).
+
+use std::fmt;
+
+use crate::message::RpcMessage;
+
+/// The outcome of processing one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Pass the (possibly modified) message downstream.
+    Forward,
+    /// Silently discard the message (e.g. rate limiter shedding load).
+    Drop,
+    /// Reject the message; the runtime reflects an error to the caller.
+    Abort {
+        /// Application-meaningful status code.
+        code: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Verdict {
+    /// Standard abort for access-control denials.
+    pub fn abort_permission_denied() -> Verdict {
+        Verdict::Abort {
+            code: 7,
+            message: "permission denied".to_owned(),
+        }
+    }
+
+    /// Whether the message continues downstream.
+    pub fn is_forward(&self) -> bool {
+        matches!(self, Verdict::Forward)
+    }
+}
+
+/// A network function processing structured RPC messages.
+pub trait Engine: Send {
+    /// Stable engine name for diagnostics and telemetry.
+    fn name(&self) -> &str;
+
+    /// Processes one message in place and decides its fate.
+    fn process(&mut self, msg: &mut RpcMessage) -> Verdict;
+
+    /// Serializes internal state for live migration. Engines with no state
+    /// return an empty buffer.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores internal state from a prior [`Engine::export_state`] image.
+    /// The default accepts only the empty image.
+    fn import_state(&mut self, image: &[u8]) -> Result<(), String> {
+        if image.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("engine {} does not accept state images", self.name()))
+        }
+    }
+}
+
+impl fmt::Debug for dyn Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Engine({})", self.name())
+    }
+}
+
+/// An ordered chain of engines applied to each message.
+#[derive(Default)]
+pub struct EngineChain {
+    engines: Vec<Box<dyn Engine>>,
+}
+
+impl EngineChain {
+    /// Empty chain (messages pass through untouched).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a chain from boxed engines.
+    pub fn from_engines(engines: Vec<Box<dyn Engine>>) -> Self {
+        Self { engines }
+    }
+
+    /// Appends an engine to the tail of the chain.
+    pub fn push(&mut self, engine: Box<dyn Engine>) {
+        self.engines.push(engine);
+    }
+
+    /// Number of engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Engine names in order, for diagnostics.
+    pub fn names(&self) -> Vec<&str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Runs the message through every engine in order. The first non-forward
+    /// verdict short-circuits the chain.
+    pub fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+        for engine in &mut self.engines {
+            match engine.process(msg) {
+                Verdict::Forward => continue,
+                other => return other,
+            }
+        }
+        Verdict::Forward
+    }
+
+    /// Mutable access to an engine by index (used by hot-update).
+    pub fn engine_mut(&mut self, idx: usize) -> Option<&mut Box<dyn Engine>> {
+        self.engines.get_mut(idx)
+    }
+
+    /// Replaces the engine at `idx`, returning the old one. The new engine
+    /// may import the old engine's state to implement hot logic updates.
+    pub fn replace(&mut self, idx: usize, engine: Box<dyn Engine>) -> Option<Box<dyn Engine>> {
+        if idx < self.engines.len() {
+            Some(std::mem::replace(&mut self.engines[idx], engine))
+        } else {
+            None
+        }
+    }
+
+    /// Exports the state of every engine, in order.
+    pub fn export_states(&self) -> Vec<Vec<u8>> {
+        self.engines.iter().map(|e| e.export_state()).collect()
+    }
+
+    /// Imports per-engine state images, in order.
+    pub fn import_states(&mut self, images: &[Vec<u8>]) -> Result<(), String> {
+        if images.len() != self.engines.len() {
+            return Err(format!(
+                "state image count {} != engine count {}",
+                images.len(),
+                self.engines.len()
+            ));
+        }
+        for (engine, image) in self.engines.iter_mut().zip(images) {
+            engine.import_state(image)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for EngineChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EngineChain{:?}", self.names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::schema::RpcSchema;
+    use crate::value::{Value, ValueType};
+
+    struct Increment {
+        field: usize,
+    }
+    impl Engine for Increment {
+        fn name(&self) -> &str {
+            "increment"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            if let Value::U64(v) = msg.get_idx(self.field) {
+                let v = *v;
+                msg.set_idx(self.field, Value::U64(v + 1));
+            }
+            Verdict::Forward
+        }
+    }
+
+    struct DropOdd {
+        field: usize,
+    }
+    impl Engine for DropOdd {
+        fn name(&self) -> &str {
+            "drop_odd"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            match msg.get_idx(self.field) {
+                Value::U64(v) if v % 2 == 1 => Verdict::Drop,
+                _ => Verdict::Forward,
+            }
+        }
+    }
+
+    struct Counter {
+        count: u64,
+    }
+    impl Engine for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn process(&mut self, _msg: &mut RpcMessage) -> Verdict {
+            self.count += 1;
+            Verdict::Forward
+        }
+        fn export_state(&self) -> Vec<u8> {
+            self.count.to_le_bytes().to_vec()
+        }
+        fn import_state(&mut self, image: &[u8]) -> Result<(), String> {
+            let bytes: [u8; 8] = image.try_into().map_err(|_| "bad image".to_owned())?;
+            self.count = u64::from_le_bytes(bytes);
+            Ok(())
+        }
+    }
+
+    fn msg(v: u64) -> RpcMessage {
+        let schema = Arc::new(
+            RpcSchema::builder()
+                .field("x", ValueType::U64)
+                .build()
+                .unwrap(),
+        );
+        RpcMessage::request(1, 1, schema).with("x", v)
+    }
+
+    #[test]
+    fn chain_runs_in_order() {
+        let mut chain = EngineChain::from_engines(vec![
+            Box::new(Increment { field: 0 }),
+            Box::new(DropOdd { field: 0 }),
+        ]);
+        // 0 -> incremented to 1 -> dropped (order matters).
+        let mut m = msg(0);
+        assert_eq!(chain.process(&mut m), Verdict::Drop);
+        // 1 -> incremented to 2 -> forwarded.
+        let mut m = msg(1);
+        assert_eq!(chain.process(&mut m), Verdict::Forward);
+        assert_eq!(m.get("x"), Some(&Value::U64(2)));
+    }
+
+    #[test]
+    fn short_circuit_skips_downstream() {
+        let mut chain = EngineChain::from_engines(vec![
+            Box::new(DropOdd { field: 0 }),
+            Box::new(Increment { field: 0 }),
+        ]);
+        let mut m = msg(3);
+        assert_eq!(chain.process(&mut m), Verdict::Drop);
+        // Increment must not have run.
+        assert_eq!(m.get("x"), Some(&Value::U64(3)));
+    }
+
+    #[test]
+    fn state_export_import_roundtrip() {
+        let mut chain = EngineChain::from_engines(vec![Box::new(Counter { count: 0 })]);
+        let mut m = msg(0);
+        chain.process(&mut m);
+        chain.process(&mut m);
+        let images = chain.export_states();
+
+        let mut fresh = EngineChain::from_engines(vec![Box::new(Counter { count: 0 })]);
+        fresh.import_states(&images).unwrap();
+        assert_eq!(fresh.export_states(), images);
+    }
+
+    #[test]
+    fn import_rejects_wrong_arity() {
+        let mut chain = EngineChain::from_engines(vec![Box::new(Counter { count: 0 })]);
+        assert!(chain.import_states(&[]).is_err());
+    }
+
+    #[test]
+    fn hot_replace_preserves_state() {
+        let mut chain = EngineChain::from_engines(vec![Box::new(Counter { count: 0 })]);
+        let mut m = msg(0);
+        chain.process(&mut m);
+        let old = chain.replace(0, Box::new(Counter { count: 0 })).unwrap();
+        chain
+            .engine_mut(0)
+            .unwrap()
+            .import_state(&old.export_state())
+            .unwrap();
+        assert_eq!(chain.export_states()[0], 1u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn empty_chain_forwards() {
+        let mut chain = EngineChain::new();
+        let mut m = msg(9);
+        assert_eq!(chain.process(&mut m), Verdict::Forward);
+        assert!(chain.is_empty());
+    }
+}

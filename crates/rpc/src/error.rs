@@ -1,0 +1,102 @@
+//! Error types for the RPC runtime.
+
+use std::fmt;
+
+use adn_wire::codec::WireError;
+
+use crate::schema::SchemaError;
+
+/// Errors surfaced by the RPC runtime and transports.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Wire-format encode/decode failure.
+    Wire(WireError),
+    /// Schema mismatch.
+    Schema(SchemaError),
+    /// The destination endpoint is unknown to the transport.
+    UnknownEndpoint(u64),
+    /// The peer or channel closed.
+    Disconnected,
+    /// A request did not complete within its deadline.
+    Timeout { call_id: u64 },
+    /// The remote (or a network element) aborted the call.
+    Aborted { code: u32, message: String },
+    /// Method id not present in the service schema.
+    UnknownMethod(u16),
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// Internal invariant violation (bug).
+    Internal(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Wire(e) => write!(f, "wire error: {e}"),
+            RpcError::Schema(e) => write!(f, "schema error: {e}"),
+            RpcError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id:#x}"),
+            RpcError::Disconnected => write!(f, "transport disconnected"),
+            RpcError::Timeout { call_id } => write!(f, "call {call_id} timed out"),
+            RpcError::Aborted { code, message } => write!(f, "aborted ({code}): {message}"),
+            RpcError::UnknownMethod(id) => write!(f, "unknown method id {id}"),
+            RpcError::Io(e) => write!(f, "io error: {e}"),
+            RpcError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Wire(e) => Some(e),
+            RpcError::Schema(e) => Some(e),
+            RpcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Wire(e)
+    }
+}
+
+impl From<SchemaError> for RpcError {
+    fn from(e: SchemaError) -> Self {
+        RpcError::Schema(e)
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type RpcResult<T> = Result<T, RpcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RpcError::Timeout { call_id: 5 };
+        assert_eq!(e.to_string(), "call 5 timed out");
+        let e = RpcError::Aborted {
+            code: 7,
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: RpcError = WireError::InvalidUtf8.into();
+        assert!(matches!(e, RpcError::Wire(_)));
+        let e: RpcError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(matches!(e, RpcError::Io(_)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # adn-rpc — a managed RPC runtime in the style of mRPC
+//!
+//! The ADN prototype (paper §6) runs on mRPC, a *managed RPC system service*:
+//! applications hand structured RPC messages to a runtime, and network
+//! functions ("engines") process those messages **in structured form**,
+//! without any marshal/unmarshal step between co-located engines. Only when a
+//! message actually crosses a host boundary is it serialized — and then with
+//! a schema-driven, self-description-free format.
+//!
+//! This crate rebuilds that substrate:
+//!
+//! * [`value`] / [`schema`] — typed RPC field values and application-declared
+//!   message schemas (ADN has no standard headers; the schema *is* the
+//!   contract).
+//! * [`message`] — [`message::RpcMessage`], the unit every engine processes.
+//! * [`wire_format`] — schema-driven encode/decode for host-crossing hops.
+//! * [`engine`] — the chainable network-function abstraction and verdicts.
+//! * [`transport`] — a flat-identifier virtual link layer (paper §3: "a
+//!   (virtual) link layer that can deliver packets to endpoints based on a
+//!   flat identifier"), with in-process and TCP realizations.
+//! * [`runtime`] — client/server runtimes that pump messages through engine
+//!   chains over a transport.
+
+pub mod engine;
+pub mod error;
+pub mod message;
+pub mod runtime;
+pub mod schema;
+pub mod transport;
+pub mod value;
+pub mod wire_format;
+
+pub use engine::{Engine, EngineChain, Verdict};
+pub use error::{RpcError, RpcResult};
+pub use message::{MessageKind, RpcMessage, RpcStatus};
+pub use schema::{FieldDef, MethodDef, RpcSchema, ServiceSchema};
+pub use value::{Value, ValueType};

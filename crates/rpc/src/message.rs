@@ -1,0 +1,238 @@
+//! The structured RPC message every ADN engine processes.
+//!
+//! An [`RpcMessage`] stays in this structured form for its entire life on a
+//! host — engines read and write typed fields directly, which is precisely
+//! the property (inherited from mRPC) that lets ADN skip the parse/serialize
+//! cycles a sidecar mesh pays at every hop.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schema::RpcSchema;
+use crate::value::Value;
+
+/// Whether a message is a request or a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    Request,
+    Response,
+}
+
+/// Delivery status carried with a message. Elements that reject RPCs (ACL,
+/// fault injection, admission control) set `Aborted`; the runtime then
+/// reflects an aborted request back to the caller as an error response
+/// without invoking the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcStatus {
+    /// Normal delivery.
+    Ok,
+    /// Rejected by a network element.
+    Aborted {
+        /// Application-meaningful code (e.g. 7 = permission denied).
+        code: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl RpcStatus {
+    /// Whether the status is `Ok`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RpcStatus::Ok)
+    }
+}
+
+/// A structured RPC message: routing metadata plus schema-ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcMessage {
+    /// Caller-assigned correlation id; responses echo it.
+    pub call_id: u64,
+    /// Method wire id (resolved against the service schema).
+    pub method_id: u16,
+    /// Request or response.
+    pub kind: MessageKind,
+    /// Delivery status.
+    pub status: RpcStatus,
+    /// Flat source endpoint identifier (virtual link layer address).
+    pub src: u64,
+    /// Flat destination endpoint identifier. Load balancers rewrite this.
+    pub dst: u64,
+    /// The message schema. Shared, immutable.
+    pub schema: Arc<RpcSchema>,
+    /// Field values, positionally matching `schema`.
+    pub fields: Vec<Value>,
+}
+
+impl RpcMessage {
+    /// Creates a request with all fields defaulted.
+    pub fn request(call_id: u64, method_id: u16, schema: Arc<RpcSchema>) -> Self {
+        let fields = schema.default_values();
+        Self {
+            call_id,
+            method_id,
+            kind: MessageKind::Request,
+            status: RpcStatus::Ok,
+            src: 0,
+            dst: 0,
+            schema,
+            fields,
+        }
+    }
+
+    /// Creates a response correlated with `req`, fields defaulted to the
+    /// response schema.
+    pub fn response_to(req: &RpcMessage, response_schema: Arc<RpcSchema>) -> Self {
+        let fields = response_schema.default_values();
+        Self {
+            call_id: req.call_id,
+            method_id: req.method_id,
+            kind: MessageKind::Response,
+            status: RpcStatus::Ok,
+            src: req.dst,
+            dst: req.src,
+            schema: response_schema,
+            fields,
+        }
+    }
+
+    /// Reads a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.schema.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Reads a field by index (compiled plans use this path).
+    #[inline]
+    pub fn get_idx(&self, idx: usize) -> &Value {
+        &self.fields[idx]
+    }
+
+    /// Writes a field by name; returns false if the field doesn't exist.
+    pub fn set(&mut self, name: &str, value: Value) -> bool {
+        match self.schema.index_of(name) {
+            Some(i) => {
+                self.fields[i] = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Writes a field by index (compiled plans use this path).
+    #[inline]
+    pub fn set_idx(&mut self, idx: usize, value: Value) {
+        self.fields[idx] = value;
+    }
+
+    /// Builder-style field assignment for tests and examples.
+    pub fn with(mut self, name: &str, value: impl Into<Value>) -> Self {
+        let ok = self.set(name, value.into());
+        debug_assert!(ok, "unknown field {name:?}");
+        self
+    }
+
+    /// Marks the message aborted.
+    pub fn abort(&mut self, code: u32, message: impl Into<String>) {
+        self.status = RpcStatus::Aborted {
+            code,
+            message: message.into(),
+        };
+    }
+
+    /// Approximate payload size (sum of field sizes), for telemetry.
+    pub fn size_hint(&self) -> usize {
+        self.fields.iter().map(Value::size_hint).sum()
+    }
+}
+
+impl fmt::Display for RpcMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            MessageKind::Request => "REQ",
+            MessageKind::Response => "RESP",
+        };
+        write!(
+            f,
+            "{kind} call={} method={} {}->{}",
+            self.call_id, self.method_id, self.src, self.dst
+        )?;
+        if let RpcStatus::Aborted { code, message } = &self.status {
+            write!(f, " ABORTED({code}: {message})")?;
+        }
+        write!(f, " {{")?;
+        for (i, (fd, v)) in self.schema.fields().iter().zip(&self.fields).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {v}", fd.name)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RpcSchema;
+    use crate::value::ValueType;
+
+    fn schema() -> Arc<RpcSchema> {
+        Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn request_defaults_then_set_get() {
+        let mut m = RpcMessage::request(1, 2, schema());
+        assert_eq!(m.get("object_id"), Some(&Value::U64(0)));
+        assert!(m.set("object_id", Value::U64(42)));
+        assert_eq!(m.get("object_id"), Some(&Value::U64(42)));
+        assert!(!m.set("missing", Value::U64(1)));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn response_swaps_endpoints_and_keeps_call_id() {
+        let mut req = RpcMessage::request(99, 1, schema());
+        req.src = 10;
+        req.dst = 20;
+        let resp_schema = Arc::new(
+            RpcSchema::builder()
+                .field("status", ValueType::U64)
+                .build()
+                .unwrap(),
+        );
+        let resp = RpcMessage::response_to(&req, resp_schema);
+        assert_eq!(resp.call_id, 99);
+        assert_eq!(resp.kind, MessageKind::Response);
+        assert_eq!((resp.src, resp.dst), (20, 10));
+    }
+
+    #[test]
+    fn abort_sets_status() {
+        let mut m = RpcMessage::request(1, 1, schema());
+        assert!(m.status.is_ok());
+        m.abort(7, "permission denied");
+        assert!(!m.status.is_ok());
+        assert!(m.to_string().contains("ABORTED(7"));
+    }
+
+    #[test]
+    fn builder_with_sets_fields() {
+        let m = RpcMessage::request(1, 1, schema())
+            .with("object_id", 5u64)
+            .with("username", "alice");
+        assert_eq!(m.get("username"), Some(&Value::Str("alice".into())));
+        assert!(m.to_string().contains("username: 'alice'"));
+    }
+
+    #[test]
+    fn size_hint_counts_payload() {
+        let m = RpcMessage::request(1, 1, schema()).with("username", "abcd");
+        assert_eq!(m.size_hint(), 8 + 4);
+    }
+}

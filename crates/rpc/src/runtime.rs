@@ -1,0 +1,602 @@
+//! Client/server RPC runtimes over the virtual link layer.
+//!
+//! The runtime realizes "Configuration 1" of the paper's Figure 2 natively:
+//! engine chains run inside the RPC library on the client's egress and the
+//! server's ingress. Other configurations (kernel/SmartNIC/switch offload,
+//! scale-out) are realized by the `adn-dataplane` crate, which hosts chains
+//! on standalone processor endpoints; this runtime stays unchanged — it just
+//! addresses frames to whatever flat id the controller configured.
+//!
+//! A client supports many outstanding calls (the paper's workload drives 128
+//! concurrent RPCs from a single thread) via [`RpcClient::send_call`] /
+//! [`PendingCall::wait`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::engine::{EngineChain, Verdict};
+use crate::error::{RpcError, RpcResult};
+use crate::message::{MessageKind, RpcMessage, RpcStatus};
+use crate::schema::ServiceSchema;
+use crate::transport::{EndpointAddr, Frame, Link};
+use crate::wire_format;
+
+/// Default per-call deadline.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A server-side request handler: consumes a request, produces a response.
+pub type Handler = Box<dyn FnMut(&RpcMessage) -> RpcMessage + Send>;
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// An in-flight call; resolve it with [`PendingCall::wait`].
+pub struct PendingCall {
+    call_id: u64,
+    rx: Receiver<RpcMessage>,
+    pending: Arc<Mutex<HashMap<u64, Sender<RpcMessage>>>>,
+}
+
+impl PendingCall {
+    /// The correlation id of this call.
+    pub fn call_id(&self) -> u64 {
+        self.call_id
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses. An aborted
+    /// status (set by a network element or the server) becomes
+    /// [`RpcError::Aborted`].
+    pub fn wait(self, timeout: Duration) -> RpcResult<RpcMessage> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => match &resp.status {
+                RpcStatus::Ok => Ok(resp),
+                RpcStatus::Aborted { code, message } => Err(RpcError::Aborted {
+                    code: *code,
+                    message: message.clone(),
+                }),
+            },
+            Err(_) => {
+                self.pending.lock().remove(&self.call_id);
+                Err(RpcError::Timeout {
+                    call_id: self.call_id,
+                })
+            }
+        }
+    }
+}
+
+/// An RPC client endpoint with an egress/ingress engine chain.
+pub struct RpcClient {
+    addr: EndpointAddr,
+    link: Arc<dyn Link>,
+    service: Arc<ServiceSchema>,
+    chain: Arc<Mutex<EngineChain>>,
+    /// First-hop override: when set, frames are sent to this endpoint
+    /// instead of `msg.dst` (the controller points clients at the first
+    /// off-host processor of the chain; `msg.dst` keeps the logical
+    /// destination for downstream routing).
+    via: Mutex<Option<EndpointAddr>>,
+    next_call_id: AtomicU64,
+    pending: Arc<Mutex<HashMap<u64, Sender<RpcMessage>>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RpcClient {
+    /// Creates a client at flat id `addr`, reading frames from `frames`
+    /// (obtained by attaching `addr` to the fabric). Spawns the dispatcher
+    /// thread that completes pending calls as responses arrive.
+    pub fn new(
+        addr: EndpointAddr,
+        link: Arc<dyn Link>,
+        frames: Receiver<Frame>,
+        service: Arc<ServiceSchema>,
+        chain: EngineChain,
+    ) -> Arc<Self> {
+        let client = Arc::new(Self {
+            addr,
+            link,
+            service,
+            chain: Arc::new(Mutex::new(chain)),
+            via: Mutex::new(None),
+            next_call_id: AtomicU64::new(1),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+
+        let dispatcher = client.clone();
+        std::thread::Builder::new()
+            .name(format!("rpc-client-{addr}"))
+            .spawn(move || dispatcher.dispatch_loop(frames))
+            .expect("spawn client dispatcher");
+        client
+    }
+
+    /// This client's flat id.
+    pub fn addr(&self) -> EndpointAddr {
+        self.addr
+    }
+
+    /// The service schema this client speaks.
+    pub fn service(&self) -> &Arc<ServiceSchema> {
+        &self.service
+    }
+
+    fn dispatch_loop(&self, frames: Receiver<Frame>) {
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let frame = match frames.recv_timeout(Duration::from_millis(50)) {
+                Ok(f) => f,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            };
+            let mut msg = match wire_format::decode_message_exact(&frame.payload, &self.service) {
+                Ok(m) => m,
+                Err(_) => continue, // malformed frame: count and drop
+            };
+            if msg.kind != MessageKind::Response {
+                continue;
+            }
+            // Ingress chain processes the response (e.g. decompression,
+            // response logging) before the caller sees it.
+            let verdict = self.chain.lock().process(&mut msg);
+            match verdict {
+                Verdict::Forward => {}
+                Verdict::Drop => continue,
+                Verdict::Abort { code, message } => msg.abort(code, message),
+            }
+            if let Some(tx) = self.pending.lock().remove(&msg.call_id) {
+                let _ = tx.send(msg);
+            }
+        }
+    }
+
+    /// Allocates a call id.
+    pub fn next_call_id(&self) -> u64 {
+        self.next_call_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a call: runs the egress chain, serializes, sends. Returns the
+    /// pending handle immediately so callers can pipeline many RPCs.
+    ///
+    /// If an egress element aborts the request, the abort is reflected
+    /// locally without touching the network (the handle resolves to
+    /// [`RpcError::Aborted`]). A `Drop` verdict resolves to an abort with
+    /// code 14 (unavailable) — in a real network the message would vanish
+    /// and the deadline would fire; resolving early keeps closed-loop
+    /// workloads running.
+    pub fn send_call(&self, mut msg: RpcMessage, to: EndpointAddr) -> RpcResult<PendingCall> {
+        msg.call_id = self.next_call_id();
+        msg.kind = MessageKind::Request;
+        msg.src = self.addr;
+        msg.dst = to;
+
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let handle = PendingCall {
+            call_id: msg.call_id,
+            rx,
+            pending: self.pending.clone(),
+        };
+
+        let verdict = self.chain.lock().process(&mut msg);
+        match verdict {
+            Verdict::Forward => {}
+            Verdict::Drop => {
+                let mut aborted = msg.clone();
+                aborted.kind = MessageKind::Response;
+                aborted.abort(14, "dropped by network element");
+                let _ = tx.send(aborted);
+                return Ok(handle);
+            }
+            Verdict::Abort { code, message } => {
+                let mut aborted = msg.clone();
+                aborted.kind = MessageKind::Response;
+                aborted.abort(code, message);
+                let _ = tx.send(aborted);
+                return Ok(handle);
+            }
+        }
+
+        self.pending.lock().insert(msg.call_id, tx);
+        let payload = wire_format::encode_message_to_vec(&msg)?;
+        // dst may have been rewritten by an egress load balancer; the
+        // frame goes to the configured first hop when one is set.
+        let dst = self.via.lock().unwrap_or(msg.dst);
+        self.link.send(Frame {
+            src: self.addr,
+            dst,
+            payload,
+        })?;
+        Ok(handle)
+    }
+
+    /// Convenience: send one call and wait for its response.
+    pub fn call(&self, msg: RpcMessage, to: EndpointAddr) -> RpcResult<RpcMessage> {
+        self.send_call(msg, to)?.wait(DEFAULT_TIMEOUT)
+    }
+
+    /// Number of calls awaiting responses.
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Swaps the engine chain (used by the controller for reconfiguration).
+    pub fn install_chain(&self, chain: EngineChain) -> EngineChain {
+        std::mem::replace(&mut self.chain.lock(), chain)
+    }
+
+    /// Runs `f` against the installed chain (state export/import during
+    /// hot logic updates). Blocks message processing for the duration.
+    pub fn with_chain<R>(&self, f: impl FnOnce(&mut EngineChain) -> R) -> R {
+        f(&mut self.chain.lock())
+    }
+
+    /// Sets or clears the first-hop override for outgoing frames.
+    pub fn set_via(&self, via: Option<EndpointAddr>) {
+        *self.via.lock() = via;
+    }
+
+    /// Current first-hop override.
+    pub fn via(&self) -> Option<EndpointAddr> {
+        *self.via.lock()
+    }
+
+    /// Stops the dispatcher thread.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for RpcClient {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Handle for a running server; dropping it (or calling [`ServerHandle::stop`])
+/// stops the serve loop.
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+    addr: EndpointAddr,
+    chain: Arc<Mutex<EngineChain>>,
+}
+
+impl ServerHandle {
+    /// The server's flat id.
+    pub fn addr(&self) -> EndpointAddr {
+        self.addr
+    }
+
+    /// Swaps the server's engine chain (controller reconfiguration),
+    /// returning the old chain.
+    pub fn install_chain(&self, chain: EngineChain) -> EngineChain {
+        std::mem::replace(&mut self.chain.lock(), chain)
+    }
+
+    /// Exports the chain's per-engine state images.
+    pub fn export_chain_state(&self) -> Vec<Vec<u8>> {
+        self.chain.lock().export_states()
+    }
+
+    /// Runs `f` against the installed chain (state export/import during
+    /// hot logic updates). Blocks request handling for the duration.
+    pub fn with_chain<R>(&self, f: impl FnOnce(&mut EngineChain) -> R) -> R {
+        f(&mut self.chain.lock())
+    }
+
+    /// Signals the serve loop to exit and waits for it.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Configuration for [`spawn_server`].
+pub struct ServerConfig {
+    /// Flat id the server answers on.
+    pub addr: EndpointAddr,
+    /// Service schema.
+    pub service: Arc<ServiceSchema>,
+    /// Ingress/egress engine chain (requests in, responses out).
+    pub chain: EngineChain,
+}
+
+/// Spawns a server thread: for each incoming request frame it runs the
+/// ingress chain, invokes the handler (unless the chain aborted/dropped),
+/// runs the response back through the chain, and replies.
+pub fn spawn_server(
+    config: ServerConfig,
+    link: Arc<dyn Link>,
+    frames: Receiver<Frame>,
+    mut handler: Handler,
+) -> ServerHandle {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = shutdown.clone();
+    let ServerConfig {
+        addr,
+        service,
+        chain,
+    } = config;
+    let chain = Arc::new(Mutex::new(chain));
+    let loop_chain = chain.clone();
+
+    let join = std::thread::Builder::new()
+        .name(format!("rpc-server-{addr}"))
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let frame = match frames.recv_timeout(Duration::from_millis(50)) {
+                    Ok(f) => f,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                };
+                let mut req = match wire_format::decode_message_exact(&frame.payload, &service) {
+                    Ok(m) => m,
+                    Err(_) => continue,
+                };
+                if req.kind != MessageKind::Request {
+                    continue;
+                }
+
+                let mut resp = match loop_chain.lock().process(&mut req) {
+                    Verdict::Forward => handler(&req),
+                    Verdict::Drop => continue, // silent: caller's deadline fires
+                    Verdict::Abort { code, message } => {
+                        // Reflect an aborted response without running the app.
+                        let method = match service.method_by_id(req.method_id) {
+                            Some(m) => m,
+                            None => continue,
+                        };
+                        let mut r = RpcMessage::response_to(&req, method.response.clone());
+                        r.abort(code, message);
+                        r
+                    }
+                };
+                resp.call_id = req.call_id;
+                resp.kind = MessageKind::Response;
+                resp.src = addr;
+                resp.dst = req.src;
+
+                // Responses pass back through the chain (e.g. logging both
+                // directions, compressing responses) unless already aborted.
+                if resp.status.is_ok() {
+                    match loop_chain.lock().process(&mut resp) {
+                        Verdict::Forward => {}
+                        Verdict::Drop => continue,
+                        Verdict::Abort { code, message } => resp.abort(code, message),
+                    }
+                }
+
+                let Ok(payload) = wire_format::encode_message_to_vec(&resp) else {
+                    continue;
+                };
+                let dst = resp.dst;
+                let _ = link.send(Frame {
+                    src: addr,
+                    dst,
+                    payload,
+                });
+            }
+        })
+        .expect("spawn server thread");
+
+    ServerHandle {
+        shutdown,
+        join: Some(join),
+        addr,
+        chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::engine::Engine;
+    use crate::schema::{MethodDef, RpcSchema};
+    use crate::transport::InProcNetwork;
+    use crate::value::{Value, ValueType};
+
+    fn echo_service() -> Arc<ServiceSchema> {
+        let request = Arc::new(
+            RpcSchema::builder()
+                .field("x", ValueType::U64)
+                .field("note", ValueType::Str)
+                .build()
+                .unwrap(),
+        );
+        let response = Arc::new(
+            RpcSchema::builder()
+                .field("x", ValueType::U64)
+                .field("note", ValueType::Str)
+                .build()
+                .unwrap(),
+        );
+        Arc::new(
+            ServiceSchema::new(
+                "Echo",
+                vec![MethodDef {
+                    id: 1,
+                    name: "Echo".into(),
+                    request,
+                    response,
+                }],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn echo_handler(service: Arc<ServiceSchema>) -> Handler {
+        Box::new(move |req: &RpcMessage| {
+            let method = service.method_by_id(req.method_id).unwrap();
+            let mut resp = RpcMessage::response_to(req, method.response.clone());
+            resp.set("x", req.get("x").unwrap().clone());
+            resp.set("note", req.get("note").unwrap().clone());
+            resp
+        })
+    }
+
+    fn setup(
+        chain_client: EngineChain,
+        chain_server: EngineChain,
+    ) -> (Arc<RpcClient>, ServerHandle, Arc<ServiceSchema>) {
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+
+        let server_frames = net.attach(2);
+        let server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: service.clone(),
+                chain: chain_server,
+            },
+            link.clone(),
+            server_frames,
+            echo_handler(service.clone()),
+        );
+
+        let client_frames = net.attach(1);
+        let client = RpcClient::new(1, link, client_frames, service.clone(), chain_client);
+        (client, server, service)
+    }
+
+    fn request(service: &ServiceSchema, x: u64) -> RpcMessage {
+        let m = service.method_by_id(1).unwrap();
+        RpcMessage::request(0, 1, m.request.clone())
+            .with("x", x)
+            .with("note", "hello")
+    }
+
+    #[test]
+    fn call_roundtrips() {
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        let resp = client.call(request(&service, 41), 2).unwrap();
+        assert_eq!(resp.get("x"), Some(&Value::U64(41)));
+        assert_eq!(resp.get("note"), Some(&Value::Str("hello".into())));
+    }
+
+    #[test]
+    fn concurrent_calls_complete() {
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        let mut handles = Vec::new();
+        for i in 0..128 {
+            handles.push(client.send_call(request(&service, i), 2).unwrap());
+        }
+        assert!(client.outstanding() > 0 || true);
+        for (i, h) in handles.into_iter().enumerate() {
+            let resp = h.wait(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.get("x"), Some(&Value::U64(i as u64)));
+        }
+        assert_eq!(client.outstanding(), 0);
+    }
+
+    struct AbortAll;
+    impl Engine for AbortAll {
+        fn name(&self) -> &str {
+            "abort_all"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            if msg.kind == MessageKind::Request {
+                Verdict::abort_permission_denied()
+            } else {
+                Verdict::Forward
+            }
+        }
+    }
+
+    #[test]
+    fn client_egress_abort_is_local() {
+        let (client, _server, service) = setup(
+            EngineChain::from_engines(vec![Box::new(AbortAll)]),
+            EngineChain::new(),
+        );
+        let err = client.call(request(&service, 1), 2).unwrap_err();
+        assert!(matches!(err, RpcError::Aborted { code: 7, .. }));
+    }
+
+    #[test]
+    fn server_ingress_abort_reflects_to_caller() {
+        let (client, _server, service) = setup(
+            EngineChain::new(),
+            EngineChain::from_engines(vec![Box::new(AbortAll)]),
+        );
+        let err = client.call(request(&service, 1), 2).unwrap_err();
+        assert!(matches!(err, RpcError::Aborted { code: 7, .. }));
+    }
+
+    #[test]
+    fn unknown_destination_fails_fast() {
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        let err = client.call(request(&service, 1), 999).unwrap_err();
+        assert!(matches!(err, RpcError::UnknownEndpoint(999)));
+    }
+
+    struct Stamp;
+    impl Engine for Stamp {
+        fn name(&self) -> &str {
+            "stamp"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            if msg.kind == MessageKind::Response {
+                msg.set("note", Value::Str("stamped".into()));
+            }
+            Verdict::Forward
+        }
+    }
+
+    #[test]
+    fn client_chain_sees_responses() {
+        let (client, _server, service) = setup(
+            EngineChain::from_engines(vec![Box::new(Stamp)]),
+            EngineChain::new(),
+        );
+        let resp = client.call(request(&service, 1), 2).unwrap();
+        assert_eq!(resp.get("note"), Some(&Value::Str("stamped".into())));
+    }
+
+    #[test]
+    fn via_overrides_frame_destination() {
+        // Client targets logical dst 2 but frames detour via endpoint 9,
+        // where nothing listens — the call must time out; clearing the via
+        // restores direct delivery.
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        client.set_via(Some(9));
+        assert_eq!(client.via(), Some(9));
+        let err = match client.send_call(request(&service, 1), 2) {
+            Err(e) => e,
+            Ok(pending) => pending.wait(Duration::from_millis(200)).unwrap_err(),
+        };
+        assert!(matches!(err, RpcError::UnknownEndpoint(9) | RpcError::Timeout { .. }));
+        client.set_via(None);
+        assert!(client.call(request(&service, 1), 2).is_ok());
+    }
+
+    #[test]
+    fn install_chain_swaps_behavior() {
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        assert!(client.call(request(&service, 1), 2).is_ok());
+        client.install_chain(EngineChain::from_engines(vec![Box::new(AbortAll)]));
+        assert!(client.call(request(&service, 1), 2).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Application-declared RPC schemas.
+//!
+//! ADN has no standard protocol headers; the application's own message
+//! schema is the only contract (paper §4 Q1: element reuse "needs careful
+//! consideration because there are no standard headers"). A [`ServiceSchema`]
+//! declares the methods a service exposes; each [`MethodDef`] names a request
+//! and a response [`RpcSchema`] — an ordered list of typed fields.
+//!
+//! Field order is significant: compiled plans address fields by index, and
+//! the wire format encodes fields in schema order with no tags.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::{Value, ValueType};
+
+/// One field of an RPC message schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name as referenced by DSL programs (`input.<name>`).
+    pub name: String,
+    /// Field type.
+    pub ty: ValueType,
+}
+
+impl FieldDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered, typed field list describing one message shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcSchema {
+    fields: Vec<FieldDef>,
+}
+
+impl RpcSchema {
+    /// Builds a schema; field names must be unique.
+    pub fn new(fields: Vec<FieldDef>) -> Result<Self, SchemaError> {
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                if fields[i].name == fields[j].name {
+                    return Err(SchemaError::DuplicateField(fields[i].name.clone()));
+                }
+            }
+        }
+        Ok(Self { fields })
+    }
+
+    /// Builder-style schema construction used in tests and examples.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { fields: Vec::new() }
+    }
+
+    /// Ordered fields.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field definition by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Type of a field by name.
+    pub fn type_of(&self, name: &str) -> Option<ValueType> {
+        self.field(name).map(|f| f.ty)
+    }
+
+    /// Default (zero) values for all fields, in order.
+    pub fn default_values(&self) -> Vec<Value> {
+        self.fields
+            .iter()
+            .map(|f| Value::default_of(f.ty))
+            .collect()
+    }
+
+    /// Validates that `values` matches this schema positionally.
+    pub fn check_values(&self, values: &[Value]) -> Result<(), SchemaError> {
+        if values.len() != self.fields.len() {
+            return Err(SchemaError::ArityMismatch {
+                expected: self.fields.len(),
+                actual: values.len(),
+            });
+        }
+        for (f, v) in self.fields.iter().zip(values) {
+            if v.value_type() != f.ty {
+                return Err(SchemaError::TypeMismatch {
+                    field: f.name.clone(),
+                    expected: f.ty,
+                    actual: v.value_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental schema construction.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    fields: Vec<FieldDef>,
+}
+
+impl SchemaBuilder {
+    /// Appends a field.
+    pub fn field(mut self, name: impl Into<String>, ty: ValueType) -> Self {
+        self.fields.push(FieldDef::new(name, ty));
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Result<RpcSchema, SchemaError> {
+        RpcSchema::new(self.fields)
+    }
+}
+
+/// One RPC method: a named request/response schema pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDef {
+    /// Method id used on the wire and in compiled plans.
+    pub id: u16,
+    /// Method name (`Service.Method` style left to the application).
+    pub name: String,
+    /// Request message schema.
+    pub request: Arc<RpcSchema>,
+    /// Response message schema.
+    pub response: Arc<RpcSchema>,
+}
+
+/// The full schema of a service: its methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSchema {
+    /// Service name.
+    pub name: String,
+    methods: Vec<MethodDef>,
+}
+
+impl ServiceSchema {
+    /// Builds a service schema; method ids and names must be unique.
+    pub fn new(name: impl Into<String>, methods: Vec<MethodDef>) -> Result<Self, SchemaError> {
+        for i in 0..methods.len() {
+            for j in (i + 1)..methods.len() {
+                if methods[i].id == methods[j].id {
+                    return Err(SchemaError::DuplicateMethodId(methods[i].id));
+                }
+                if methods[i].name == methods[j].name {
+                    return Err(SchemaError::DuplicateField(methods[i].name.clone()));
+                }
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            methods,
+        })
+    }
+
+    /// All methods.
+    pub fn methods(&self) -> &[MethodDef] {
+        &self.methods
+    }
+
+    /// Looks up a method by wire id.
+    pub fn method_by_id(&self, id: u16) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.id == id)
+    }
+
+    /// Looks up a method by name.
+    pub fn method_by_name(&self, name: &str) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// Schema construction/validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two fields (or methods) share a name.
+    DuplicateField(String),
+    /// Two methods share a wire id.
+    DuplicateMethodId(u16),
+    /// Value list length does not match schema.
+    ArityMismatch { expected: usize, actual: usize },
+    /// A value's type does not match its field.
+    TypeMismatch {
+        field: String,
+        expected: ValueType,
+        actual: ValueType,
+    },
+    /// A named field does not exist.
+    UnknownField(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateField(name) => write!(f, "duplicate field or method {name:?}"),
+            SchemaError::DuplicateMethodId(id) => write!(f, "duplicate method id {id}"),
+            SchemaError::ArityMismatch { expected, actual } => {
+                write!(f, "expected {expected} values, got {actual}")
+            }
+            SchemaError::TypeMismatch {
+                field,
+                expected,
+                actual,
+            } => write!(f, "field {field:?} expects {expected}, got {actual}"),
+            SchemaError::UnknownField(name) => write!(f, "unknown field {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv_schema() -> RpcSchema {
+        RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let s = kv_schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("username"), Some(1));
+        assert_eq!(s.type_of("payload"), Some(ValueType::Bytes));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        let err = RpcSchema::builder()
+            .field("a", ValueType::U64)
+            .field("a", ValueType::Str)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateField("a".into()));
+    }
+
+    #[test]
+    fn check_values_validates_types_and_arity() {
+        let s = kv_schema();
+        assert!(s
+            .check_values(&[Value::U64(1), Value::Str("u".into()), Value::Bytes(vec![])])
+            .is_ok());
+        assert!(matches!(
+            s.check_values(&[Value::U64(1)]),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_values(&[Value::Str("x".into()), Value::Str("u".into()), Value::Bytes(vec![])]),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn default_values_typecheck() {
+        let s = kv_schema();
+        assert!(s.check_values(&s.default_values()).is_ok());
+    }
+
+    #[test]
+    fn service_schema_rejects_duplicate_ids() {
+        let req = Arc::new(kv_schema());
+        let resp = Arc::new(RpcSchema::builder().field("status", ValueType::U64).build().unwrap());
+        let m = |id: u16, name: &str| MethodDef {
+            id,
+            name: name.into(),
+            request: req.clone(),
+            response: resp.clone(),
+        };
+        assert!(ServiceSchema::new("S", vec![m(1, "Get"), m(1, "Put")]).is_err());
+        let ok = ServiceSchema::new("S", vec![m(1, "Get"), m(2, "Put")]).unwrap();
+        assert_eq!(ok.method_by_id(2).unwrap().name, "Put");
+        assert_eq!(ok.method_by_name("Get").unwrap().id, 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! The flat-identifier virtual link layer.
+//!
+//! Paper §3: "The network and the software stack under the application
+//! should offer no protocols or abstractions by default except for a
+//! (virtual) link layer that can deliver packets to endpoints based on a
+//! flat identifier such as a MAC address."
+//!
+//! [`Frame`] is that packet: source and destination flat ids plus opaque
+//! bytes. Two realizations are provided:
+//!
+//! * [`InProcNetwork`] — a process-local fabric over crossbeam channels, the
+//!   default for experiments (both the ADN path and the baseline mesh path
+//!   ride it, so fabric cost is identical for the comparison).
+//! * [`TcpLink`] — length-delimited frames over TCP for actually crossing
+//!   host boundaries; used by the distributed examples.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{RpcError, RpcResult};
+
+/// Flat endpoint identifier (the "MAC address" of the virtual link layer).
+pub type EndpointAddr = u64;
+
+/// A link-layer frame: flat addressing plus opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender's flat id.
+    pub src: EndpointAddr,
+    /// Receiver's flat id.
+    pub dst: EndpointAddr,
+    /// Opaque bytes. The ADN path carries schema-driven message encodings;
+    /// the baseline mesh path carries HTTP/2-lite byte streams.
+    pub payload: Vec<u8>,
+}
+
+/// Anything that can push a frame toward a destination endpoint.
+pub trait Link: Send + Sync {
+    /// Delivers `frame` to `frame.dst`, or fails if the endpoint is unknown
+    /// or disconnected.
+    fn send(&self, frame: Frame) -> RpcResult<()>;
+}
+
+// ---------------------------------------------------------------------------
+// In-process fabric
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct InProcState {
+    endpoints: HashMap<EndpointAddr, Sender<Frame>>,
+}
+
+/// A process-local frame fabric. Endpoints attach with [`InProcNetwork::attach`]
+/// and receive their frames on the returned channel.
+#[derive(Clone, Default)]
+pub struct InProcNetwork {
+    state: Arc<RwLock<InProcState>>,
+}
+
+impl InProcNetwork {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an endpoint, returning its frame receiver. Re-attaching an
+    /// address replaces the previous endpoint (used by live migration: the
+    /// new instance takes over the flat id).
+    pub fn attach(&self, addr: EndpointAddr) -> Receiver<Frame> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.state.write().endpoints.insert(addr, tx);
+        rx
+    }
+
+    /// Detaches an endpoint; its queued frames are dropped.
+    pub fn detach(&self, addr: EndpointAddr) {
+        self.state.write().endpoints.remove(&addr);
+    }
+
+    /// Whether an endpoint is currently attached.
+    pub fn is_attached(&self, addr: EndpointAddr) -> bool {
+        self.state.read().endpoints.contains_key(&addr)
+    }
+
+    /// Number of attached endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.state.read().endpoints.len()
+    }
+}
+
+impl Link for InProcNetwork {
+    fn send(&self, frame: Frame) -> RpcResult<()> {
+        let state = self.state.read();
+        let tx = state
+            .endpoints
+            .get(&frame.dst)
+            .ok_or(RpcError::UnknownEndpoint(frame.dst))?;
+        tx.send(frame).map_err(|_| RpcError::Disconnected)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP link
+// ---------------------------------------------------------------------------
+
+/// Wire framing for TCP: 4-byte big-endian length, then src (8 bytes BE),
+/// dst (8 bytes BE), then payload.
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let len = 16 + frame.payload.len();
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    buf.extend_from_slice(&frame.src.to_be_bytes());
+    buf.extend_from_slice(&frame.dst.to_be_bytes());
+    buf.extend_from_slice(&frame.payload);
+    stream.write_all(&buf)
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len < 16 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame shorter than header",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    let src = u64::from_be_bytes(buf[0..8].try_into().expect("8 bytes"));
+    let dst = u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let payload = buf[16..].to_vec();
+    Ok(Frame { src, dst, payload })
+}
+
+/// A TCP realization of the virtual link layer for one host.
+///
+/// Each host runs one `TcpLink`, binds a listener, and registers a routing
+/// table mapping remote flat ids to socket addresses (in a real deployment
+/// the controller distributes this table; here tests populate it directly).
+/// Frames to local endpoints are delivered on the host's receive channel.
+pub struct TcpLink {
+    local_addr: SocketAddr,
+    routes: RwLock<HashMap<EndpointAddr, SocketAddr>>,
+    conns: Mutex<HashMap<SocketAddr, TcpStream>>,
+    incoming_rx: Receiver<Frame>,
+}
+
+impl TcpLink {
+    /// Binds a listener on `bind` (use port 0 for an ephemeral port) and
+    /// starts the accept loop.
+    pub fn bind(bind: &str) -> RpcResult<Arc<Self>> {
+        let listener = TcpListener::bind(bind)?;
+        let local_addr = listener.local_addr()?;
+        let (incoming_tx, incoming_rx) = crossbeam::channel::unbounded();
+
+        let link = Arc::new(Self {
+            local_addr,
+            routes: RwLock::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            incoming_rx,
+        });
+
+        std::thread::Builder::new()
+            .name(format!("tcp-link-accept-{local_addr}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(mut stream) = stream else { continue };
+                    let tx = incoming_tx.clone();
+                    std::thread::Builder::new()
+                        .name("tcp-link-read".to_owned())
+                        .spawn(move || {
+                            stream.set_nodelay(true).ok();
+                            while let Ok(frame) = read_frame(&mut stream) {
+                                if tx.send(frame).is_err() {
+                                    break;
+                                }
+                            }
+                        })
+                        .expect("spawn reader thread");
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(link)
+    }
+
+    /// The bound socket address (for distributing routes).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Registers (or updates) the socket address hosting a flat id.
+    pub fn add_route(&self, endpoint: EndpointAddr, to: SocketAddr) {
+        self.routes.write().insert(endpoint, to);
+    }
+
+    /// Frames addressed to this host's endpoints.
+    pub fn incoming(&self) -> &Receiver<Frame> {
+        &self.incoming_rx
+    }
+
+    fn connection_to(&self, peer: SocketAddr) -> RpcResult<TcpStream> {
+        let mut conns = self.conns.lock();
+        if let Some(stream) = conns.get(&peer) {
+            return Ok(stream.try_clone()?);
+        }
+        let stream = TcpStream::connect_timeout(&peer, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        conns.insert(peer, stream.try_clone()?);
+        Ok(stream)
+    }
+}
+
+impl Link for TcpLink {
+    fn send(&self, frame: Frame) -> RpcResult<()> {
+        let peer = {
+            let routes = self.routes.read();
+            *routes
+                .get(&frame.dst)
+                .ok_or(RpcError::UnknownEndpoint(frame.dst))?
+        };
+        let mut stream = self.connection_to(peer)?;
+        write_frame(&mut stream, &frame).map_err(|e| {
+            // Connection may have died; drop it so the next send redials.
+            self.conns.lock().remove(&peer);
+            RpcError::Io(e)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inproc_delivers_to_attached_endpoint() {
+        let net = InProcNetwork::new();
+        let rx = net.attach(7);
+        net.send(Frame {
+            src: 1,
+            dst: 7,
+            payload: b"hi".to_vec(),
+        })
+        .unwrap();
+        let frame = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(frame.payload, b"hi");
+        assert_eq!(frame.src, 1);
+    }
+
+    #[test]
+    fn inproc_unknown_endpoint_errors() {
+        let net = InProcNetwork::new();
+        let err = net
+            .send(Frame {
+                src: 1,
+                dst: 99,
+                payload: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, RpcError::UnknownEndpoint(99)));
+    }
+
+    #[test]
+    fn inproc_reattach_replaces_endpoint() {
+        let net = InProcNetwork::new();
+        let _old = net.attach(5);
+        let new = net.attach(5);
+        net.send(Frame {
+            src: 0,
+            dst: 5,
+            payload: b"x".to_vec(),
+        })
+        .unwrap();
+        assert!(new.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn inproc_detach_removes_endpoint() {
+        let net = InProcNetwork::new();
+        let _rx = net.attach(3);
+        assert!(net.is_attached(3));
+        net.detach(3);
+        assert!(!net.is_attached(3));
+        assert_eq!(net.endpoint_count(), 0);
+    }
+
+    #[test]
+    fn tcp_roundtrip_over_loopback() {
+        let a = TcpLink::bind("127.0.0.1:0").unwrap();
+        let b = TcpLink::bind("127.0.0.1:0").unwrap();
+        a.add_route(200, b.local_addr());
+        b.add_route(100, a.local_addr());
+
+        a.send(Frame {
+            src: 100,
+            dst: 200,
+            payload: b"ping".to_vec(),
+        })
+        .unwrap();
+        let frame = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(frame.payload, b"ping");
+
+        b.send(Frame {
+            src: 200,
+            dst: 100,
+            payload: b"pong".to_vec(),
+        })
+        .unwrap();
+        let frame = a.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(frame.payload, b"pong");
+    }
+
+    #[test]
+    fn tcp_many_frames_preserve_order_per_connection() {
+        let a = TcpLink::bind("127.0.0.1:0").unwrap();
+        let b = TcpLink::bind("127.0.0.1:0").unwrap();
+        a.add_route(2, b.local_addr());
+        for i in 0..100u32 {
+            a.send(Frame {
+                src: 1,
+                dst: 2,
+                payload: i.to_be_bytes().to_vec(),
+            })
+            .unwrap();
+        }
+        for i in 0..100u32 {
+            let frame = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(frame.payload, i.to_be_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn tcp_unknown_route_errors() {
+        let a = TcpLink::bind("127.0.0.1:0").unwrap();
+        assert!(matches!(
+            a.send(Frame {
+                src: 1,
+                dst: 42,
+                payload: vec![]
+            }),
+            Err(RpcError::UnknownEndpoint(42))
+        ));
+    }
+}

@@ -1,0 +1,392 @@
+//! Typed RPC field values.
+//!
+//! ADN views an RPC as "a tuple with one or more fields" (paper §5.1). This
+//! module defines the scalar value domain those tuples range over, plus the
+//! comparison/arithmetic semantics the DSL evaluator and compiled plans use.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use adn_wire::header::{HeaderType, HeaderValue};
+
+/// The scalar types an RPC field (or element state column) may have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    U64,
+    I64,
+    F64,
+    Bool,
+    Str,
+    Bytes,
+}
+
+impl ValueType {
+    /// The corresponding wire header type.
+    pub fn header_type(self) -> HeaderType {
+        match self {
+            ValueType::U64 => HeaderType::U64,
+            ValueType::I64 => HeaderType::I64,
+            ValueType::F64 => HeaderType::F64,
+            ValueType::Bool => HeaderType::Bool,
+            ValueType::Str => HeaderType::Str,
+            ValueType::Bytes => HeaderType::Bytes,
+        }
+    }
+
+    /// Parses a DSL type name.
+    pub fn parse(name: &str) -> Option<ValueType> {
+        Some(match name {
+            "u64" | "uint" => ValueType::U64,
+            "i64" | "int" => ValueType::I64,
+            "f64" | "float" => ValueType::F64,
+            "bool" => ValueType::Bool,
+            "string" | "str" => ValueType::Str,
+            "bytes" => ValueType::Bytes,
+            _ => return None,
+        })
+    }
+
+    /// Whether this type supports arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueType::U64 | ValueType::I64 | ValueType::F64)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::U64 => "u64",
+            ValueType::I64 => "i64",
+            ValueType::F64 => "f64",
+            ValueType::Bool => "bool",
+            ValueType::Str => "string",
+            ValueType::Bytes => "bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single RPC field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::U64(_) => ValueType::U64,
+            Value::I64(_) => ValueType::I64,
+            Value::F64(_) => ValueType::F64,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Str(_) => ValueType::Str,
+            Value::Bytes(_) => ValueType::Bytes,
+        }
+    }
+
+    /// A zero/empty value of the given type, used to initialize fields.
+    pub fn default_of(ty: ValueType) -> Value {
+        match ty {
+            ValueType::U64 => Value::U64(0),
+            ValueType::I64 => Value::I64(0),
+            ValueType::F64 => Value::F64(0.0),
+            ValueType::Bool => Value::Bool(false),
+            ValueType::Str => Value::Str(String::new()),
+            ValueType::Bytes => Value::Bytes(Vec::new()),
+        }
+    }
+
+    /// Truthiness used by the DSL's WHERE clauses.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::U64(v) => *v != 0,
+            Value::I64(v) => *v != 0,
+            Value::F64(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+        }
+    }
+
+    /// Numeric view as f64, if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as bytes, if the value is bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// View as u64, if losslessly possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            Value::Bool(b) => Some(*b as u64),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by comparison operators. Numeric types compare by
+    /// value across U64/I64/F64; other cross-type comparisons order by type
+    /// tag so sorting is always total (needed for deterministic state-table
+    /// merges).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::U64(_) | Value::I64(_) | Value::F64(_) => 0,
+                Value::Bool(_) => 1,
+                Value::Str(_) => 2,
+                Value::Bytes(_) => 3,
+            }
+        }
+        match (self, other) {
+            (a, b) if tag(a) == 0 && tag(b) == 0 => {
+                // Compare integers exactly where possible to avoid f64
+                // rounding at the 2^53 boundary.
+                match (a, b) {
+                    (Value::U64(x), Value::U64(y)) => x.cmp(y),
+                    (Value::I64(x), Value::I64(y)) => x.cmp(y),
+                    (Value::U64(x), Value::I64(y)) => {
+                        if *y < 0 {
+                            Ordering::Greater
+                        } else {
+                            x.cmp(&(*y as u64))
+                        }
+                    }
+                    (Value::I64(x), Value::U64(y)) => {
+                        if *x < 0 {
+                            Ordering::Less
+                        } else {
+                            (*x as u64).cmp(y)
+                        }
+                    }
+                    _ => {
+                        let x = a.as_f64().unwrap_or(f64::NAN);
+                        let y = b.as_f64().unwrap_or(f64::NAN);
+                        x.total_cmp(&y)
+                    }
+                }
+            }
+            (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+            (Value::Str(x), Value::Str(y)) => x.cmp(y),
+            (Value::Bytes(x), Value::Bytes(y)) => x.cmp(y),
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+
+    /// Equality under the DSL's `==` (numeric cross-type equality allowed).
+    pub fn dsl_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Stable 64-bit hash of the value, used for key-based load balancing
+    /// and consistent-hash state partitioning. FNV-1a over a typed prefix.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        fn feed(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        match self {
+            // Numerics hash by canonical numeric value so U64(5)/I64(5) agree.
+            Value::U64(v) => feed(feed(OFFSET, &[0]), &v.to_le_bytes()),
+            Value::I64(v) if *v >= 0 => feed(feed(OFFSET, &[0]), &(*v as u64).to_le_bytes()),
+            Value::I64(v) => feed(feed(OFFSET, &[1]), &v.to_le_bytes()),
+            Value::F64(v) => feed(feed(OFFSET, &[2]), &v.to_bits().to_le_bytes()),
+            Value::Bool(b) => feed(feed(OFFSET, &[3]), &[*b as u8]),
+            Value::Str(s) => feed(feed(OFFSET, &[4]), s.as_bytes()),
+            Value::Bytes(b) => feed(feed(OFFSET, &[5]), b),
+        }
+    }
+
+    /// Converts to the wire-layer representation.
+    pub fn to_header_value(&self) -> HeaderValue {
+        match self {
+            Value::U64(v) => HeaderValue::U64(*v),
+            Value::I64(v) => HeaderValue::I64(*v),
+            Value::F64(v) => HeaderValue::F64(*v),
+            Value::Bool(v) => HeaderValue::Bool(*v),
+            Value::Str(v) => HeaderValue::Str(v.clone()),
+            Value::Bytes(v) => HeaderValue::Bytes(v.clone()),
+        }
+    }
+
+    /// Converts from the wire-layer representation.
+    pub fn from_header_value(hv: HeaderValue) -> Value {
+        match hv {
+            HeaderValue::U64(v) => Value::U64(v),
+            HeaderValue::I64(v) => Value::I64(v),
+            HeaderValue::F64(v) => Value::F64(v),
+            HeaderValue::Bool(v) => Value::Bool(v),
+            HeaderValue::Str(v) => Value::Str(v),
+            HeaderValue::Bytes(v) => Value::Bytes(v),
+        }
+    }
+
+    /// Approximate in-memory size in bytes, used by cost models.
+    pub fn size_hint(&self) -> usize {
+        match self {
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "'{v}'"),
+            Value::Bytes(v) => write!(f, "0x{}", hex(v)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_parse() {
+        assert_eq!(ValueType::parse("u64"), Some(ValueType::U64));
+        assert_eq!(ValueType::parse("string"), Some(ValueType::Str));
+        assert_eq!(ValueType::parse("nope"), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::U64(1).is_truthy());
+        assert!(!Value::U64(0).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(Value::Str("x".into()).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert!(Value::U64(5).dsl_eq(&Value::I64(5)));
+        assert!(Value::I64(5).dsl_eq(&Value::F64(5.0)));
+        assert!(!Value::U64(5).dsl_eq(&Value::Str("5".into())));
+    }
+
+    #[test]
+    fn numeric_ordering_exact_at_large_magnitudes() {
+        // These differ by 1 but collide when both are rounded to f64.
+        let a = Value::U64(u64::MAX);
+        let b = Value::U64(u64::MAX - 1);
+        assert_eq!(a.total_cmp(&b), Ordering::Greater);
+        let c = Value::I64(-1);
+        assert_eq!(c.total_cmp(&Value::U64(0)), Ordering::Less);
+    }
+
+    #[test]
+    fn stable_hash_agrees_across_numeric_reprs() {
+        assert_eq!(Value::U64(7).stable_hash(), Value::I64(7).stable_hash());
+        assert_ne!(Value::U64(7).stable_hash(), Value::U64(8).stable_hash());
+    }
+
+    #[test]
+    fn header_value_conversion_roundtrips() {
+        for v in [
+            Value::U64(9),
+            Value::I64(-9),
+            Value::F64(1.5),
+            Value::Bool(true),
+            Value::Str("abc".into()),
+            Value::Bytes(vec![1, 2]),
+        ] {
+            assert_eq!(Value::from_header_value(v.to_header_value()), v);
+        }
+    }
+
+    #[test]
+    fn defaults_match_types() {
+        for ty in [
+            ValueType::U64,
+            ValueType::I64,
+            ValueType::F64,
+            ValueType::Bool,
+            ValueType::Str,
+            ValueType::Bytes,
+        ] {
+            assert_eq!(Value::default_of(ty).value_type(), ty);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Schema-driven wire format for host-crossing hops.
+//!
+//! Because both ends of a hop hold the same [`ServiceSchema`] (distributed by
+//! the controller), nothing on the wire is self-describing: no field names,
+//! no tags, no type bytes. A message costs its routing metadata (varints)
+//! plus exactly its field bytes. This is the "minimum set of headers needed
+//! to satisfy the network requirements" of paper §4 Q2 taken to its limit —
+//! the general format here carries *all* schema fields; the dataplane's
+//! header-minimized fast path (see `adn-wire::header`) can carry fewer.
+
+use std::sync::Arc;
+
+use adn_wire::codec::{Decoder, Encoder, WireError, WireResult};
+
+use crate::message::{MessageKind, RpcMessage, RpcStatus};
+use crate::schema::{RpcSchema, ServiceSchema};
+use crate::value::{Value, ValueType};
+
+/// Frame kind discriminants on the wire.
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+/// Status discriminants.
+const STATUS_OK: u8 = 0;
+const STATUS_ABORTED: u8 = 1;
+
+/// Encodes one value with no tag, by schema-known type.
+pub fn encode_value(enc: &mut Encoder, v: &Value) {
+    match v {
+        Value::U64(x) => enc.put_varint(*x),
+        Value::I64(x) => enc.put_varint_signed(*x),
+        Value::F64(x) => enc.put_f64(*x),
+        Value::Bool(x) => enc.put_u8(*x as u8),
+        Value::Str(x) => enc.put_str(x),
+        Value::Bytes(x) => enc.put_bytes(x),
+    }
+}
+
+/// Decodes one value of schema-known type.
+pub fn decode_value(dec: &mut Decoder<'_>, ty: ValueType) -> WireResult<Value> {
+    Ok(match ty {
+        ValueType::U64 => Value::U64(dec.get_varint()?),
+        ValueType::I64 => Value::I64(dec.get_varint_signed()?),
+        ValueType::F64 => Value::F64(dec.get_f64()?),
+        ValueType::Bool => match dec.get_u8()? {
+            0 => Value::Bool(false),
+            1 => Value::Bool(true),
+            t => {
+                return Err(WireError::InvalidTag {
+                    tag: t as u64,
+                    context: "bool field",
+                })
+            }
+        },
+        ValueType::Str => Value::Str(dec.get_str()?.to_owned()),
+        ValueType::Bytes => Value::Bytes(dec.get_bytes()?.to_owned()),
+    })
+}
+
+/// Serializes a full message into `enc`. Returns bytes written.
+pub fn encode_message(enc: &mut Encoder, msg: &RpcMessage) -> WireResult<usize> {
+    let start = enc.len();
+    enc.put_varint(msg.call_id);
+    enc.put_varint(msg.method_id as u64);
+    enc.put_u8(match msg.kind {
+        MessageKind::Request => KIND_REQUEST,
+        MessageKind::Response => KIND_RESPONSE,
+    });
+    match &msg.status {
+        RpcStatus::Ok => enc.put_u8(STATUS_OK),
+        RpcStatus::Aborted { code, message } => {
+            enc.put_u8(STATUS_ABORTED);
+            enc.put_varint(*code as u64);
+            enc.put_str(message);
+        }
+    }
+    enc.put_varint(msg.src);
+    enc.put_varint(msg.dst);
+    for v in &msg.fields {
+        encode_value(enc, v);
+    }
+    Ok(enc.len() - start)
+}
+
+/// Serializes a message into a fresh buffer.
+pub fn encode_message_to_vec(msg: &RpcMessage) -> WireResult<Vec<u8>> {
+    let mut enc = Encoder::with_capacity(64 + msg.size_hint());
+    encode_message(&mut enc, msg)?;
+    Ok(enc.into_bytes())
+}
+
+/// Deserializes a message, resolving the field schema through `service`.
+pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireResult<RpcMessage> {
+    let call_id = dec.get_varint()?;
+    let method_raw = dec.get_varint()?;
+    if method_raw > u16::MAX as u64 {
+        return Err(WireError::InvalidTag {
+            tag: method_raw,
+            context: "method id",
+        });
+    }
+    let method_id = method_raw as u16;
+    let kind = match dec.get_u8()? {
+        KIND_REQUEST => MessageKind::Request,
+        KIND_RESPONSE => MessageKind::Response,
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "message kind",
+            })
+        }
+    };
+    let status = match dec.get_u8()? {
+        STATUS_OK => RpcStatus::Ok,
+        STATUS_ABORTED => {
+            let code_raw = dec.get_varint()?;
+            if code_raw > u32::MAX as u64 {
+                return Err(WireError::InvalidTag {
+                    tag: code_raw,
+                    context: "abort code",
+                });
+            }
+            RpcStatus::Aborted {
+                code: code_raw as u32,
+                message: dec.get_str()?.to_owned(),
+            }
+        }
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "status",
+            })
+        }
+    };
+    let src = dec.get_varint()?;
+    let dst = dec.get_varint()?;
+
+    let method = service
+        .method_by_id(method_id)
+        .ok_or(WireError::InvalidTag {
+            tag: method_id as u64,
+            context: "unknown method id",
+        })?;
+    let schema: Arc<RpcSchema> = match kind {
+        MessageKind::Request => method.request.clone(),
+        MessageKind::Response => method.response.clone(),
+    };
+    let mut fields = Vec::with_capacity(schema.len());
+    for fd in schema.fields() {
+        fields.push(decode_value(dec, fd.ty)?);
+    }
+    Ok(RpcMessage {
+        call_id,
+        method_id,
+        kind,
+        status,
+        src,
+        dst,
+        schema,
+        fields,
+    })
+}
+
+/// Decodes a message from a standalone buffer, requiring full consumption.
+pub fn decode_message_exact(buf: &[u8], service: &ServiceSchema) -> WireResult<RpcMessage> {
+    let mut dec = Decoder::new(buf);
+    let msg = decode_message(&mut dec, service)?;
+    if !dec.is_exhausted() {
+        return Err(WireError::Malformed("trailing bytes after message"));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{MethodDef, RpcSchema, ServiceSchema};
+
+    fn service() -> ServiceSchema {
+        let request = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let response = Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        ServiceSchema::new(
+            "ObjectStore",
+            vec![MethodDef {
+                id: 1,
+                name: "Get".into(),
+                request,
+                response,
+            }],
+        )
+        .unwrap()
+    }
+
+    fn sample_request(svc: &ServiceSchema) -> RpcMessage {
+        let m = svc.method_by_id(1).unwrap();
+        let mut msg = RpcMessage::request(77, 1, m.request.clone())
+            .with("object_id", 42u64)
+            .with("username", "alice")
+            .with("payload", vec![1u8, 2, 3]);
+        msg.src = 100;
+        msg.dst = 200;
+        msg
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let svc = service();
+        let msg = sample_request(&svc);
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        let back = decode_message_exact(&bytes, &svc).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn aborted_status_roundtrips() {
+        let svc = service();
+        let mut msg = sample_request(&svc);
+        msg.abort(7, "permission denied");
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        let back = decode_message_exact(&bytes, &svc).unwrap();
+        assert_eq!(back.status, msg.status);
+    }
+
+    #[test]
+    fn response_uses_response_schema() {
+        let svc = service();
+        let req = sample_request(&svc);
+        let m = svc.method_by_id(1).unwrap();
+        let resp = RpcMessage::response_to(&req, m.response.clone()).with("ok", true);
+        let bytes = encode_message_to_vec(&resp).unwrap();
+        let back = decode_message_exact(&bytes, &svc).unwrap();
+        assert_eq!(back.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(back.kind, MessageKind::Response);
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let svc = service();
+        let mut msg = sample_request(&svc);
+        msg.method_id = 99;
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        assert!(decode_message_exact(&bytes, &svc).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let svc = service();
+        let mut bytes = encode_message_to_vec(&sample_request(&svc)).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            decode_message_exact(&bytes, &svc),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let svc = service();
+        let bytes = encode_message_to_vec(&sample_request(&svc)).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_message_exact(&bytes[..cut], &svc).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        // The paper's workload: short byte strings. Metadata overhead should
+        // be a handful of bytes, not HTTP-sized.
+        let svc = service();
+        let msg = sample_request(&svc);
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        // 2(call)+1(method)+1(kind)+1(status)+1(src)+2(dst)+1+6+4 fields.
+        assert!(bytes.len() < 32, "got {} bytes", bytes.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! A small freelist buffer pool.
+//!
+//! mRPC's data path avoids per-message allocation by carving messages out of
+//! shared-memory heaps. We approximate the property that matters for the
+//! benchmarks — hot paths do not allocate per RPC — with a thread-safe
+//! freelist of `Vec<u8>` buffers. Both the ADN path and the baseline mesh
+//! path draw from pools so allocation behaviour is not a confound.
+
+use std::sync::{Arc, Mutex};
+
+/// Shared pool of reusable byte buffers.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<Mutex<Vec<Vec<u8>>>>,
+    /// Capacity given to freshly allocated buffers.
+    default_capacity: usize,
+    /// Buffers larger than this are dropped instead of pooled, bounding
+    /// worst-case retained memory.
+    max_retained_capacity: usize,
+    /// Maximum number of idle buffers retained.
+    max_pooled: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool producing buffers with `default_capacity` preallocated
+    /// bytes, retaining at most `max_pooled` idle buffers.
+    pub fn new(default_capacity: usize, max_pooled: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            default_capacity,
+            max_retained_capacity: default_capacity.max(64 * 1024),
+            max_pooled,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool, or allocates one.
+    pub fn take(&self) -> Vec<u8> {
+        let mut guard = self.inner.lock().expect("buffer pool poisoned");
+        match guard.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(self.default_capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool. Oversized or excess buffers are dropped.
+    pub fn give(&self, buf: Vec<u8>) {
+        if buf.capacity() > self.max_retained_capacity {
+            return;
+        }
+        let mut guard = self.inner.lock().expect("buffer pool poisoned");
+        if guard.len() < self.max_pooled {
+            guard.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(4096, 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_reuses_allocation() {
+        let pool = BufferPool::new(128, 8);
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"hello");
+        let ptr = buf.as_ptr();
+        pool.give(buf);
+        assert_eq!(pool.idle(), 1);
+        let buf2 = pool.take();
+        assert!(buf2.is_empty(), "returned buffer must be cleared");
+        assert_eq!(buf2.as_ptr(), ptr, "allocation should be reused");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_bounds_idle_count() {
+        let pool = BufferPool::new(16, 2);
+        pool.give(Vec::with_capacity(16));
+        pool.give(Vec::with_capacity(16));
+        pool.give(Vec::with_capacity(16));
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn oversized_buffers_not_retained() {
+        let pool = BufferPool::new(16, 8);
+        pool.give(Vec::with_capacity(10 * 1024 * 1024));
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let pool = BufferPool::new(16, 8);
+        let clone = pool.clone();
+        clone.give(Vec::with_capacity(16));
+        assert_eq!(pool.idle(), 1);
+    }
+}

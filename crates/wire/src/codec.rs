@@ -1,0 +1,362 @@
+//! Cursor-style encoder/decoder over byte buffers.
+//!
+//! Every parse in the workspace goes through [`Decoder`], which never panics
+//! on malformed input: all failures surface as [`WireError`] so fuzzed and
+//! property-tested inputs are safe by construction.
+
+use std::fmt;
+
+use crate::varint;
+
+/// Errors produced by wire-format encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete item could be decoded.
+    UnexpectedEof {
+        /// How many more bytes were needed (best effort).
+        needed: usize,
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A varint ran past the maximum encodable length.
+    VarintTooLong,
+    /// A varint encoded a value larger than 64 bits.
+    VarintOverflow,
+    /// A length prefix exceeded the configured or remaining bound.
+    LengthOutOfBounds { length: u64, limit: usize },
+    /// A string field did not contain valid UTF-8.
+    InvalidUtf8,
+    /// A type/status/tag byte had an unknown value.
+    InvalidTag { tag: u64, context: &'static str },
+    /// A checksum did not match.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// Any other malformed-input condition.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, context } => {
+                write!(f, "unexpected end of input decoding {context} (needed {needed} more bytes)")
+            }
+            WireError::VarintTooLong => write!(f, "varint longer than 10 bytes"),
+            WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::LengthOutOfBounds { length, limit } => {
+                write!(f, "length prefix {length} exceeds limit {limit}")
+            }
+            WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::InvalidTag { tag, context } => {
+                write!(f, "invalid tag {tag} decoding {context}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used across the workspace.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Append-only encoder over a `Vec<u8>`.
+///
+/// The encoder owns its buffer; call [`Encoder::into_bytes`] to take it.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing buffer (appends to its end).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow of the current contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a varint `u64`.
+    pub fn put_varint(&mut self, v: u64) {
+        varint::write_u64(&mut self.buf, v);
+    }
+
+    /// Appends a zig-zag varint `i64`.
+    pub fn put_varint_signed(&mut self, v: i64) {
+        varint::write_i64(&mut self.buf, v);
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a varint length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.put_bytes_raw(v);
+    }
+
+    /// Appends a varint length prefix followed by UTF-8 bytes.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends an IEEE-754 `f64` (big-endian bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// Non-panicking cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole input.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current cursor position (bytes consumed).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n - self.remaining(),
+                context,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> WireResult<u16> {
+        let b = self.take(2, "u16")?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> WireResult<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a varint `u64`.
+    pub fn get_varint(&mut self) -> WireResult<u64> {
+        let (v, n) = varint::read_u64(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a zig-zag varint `i64`.
+    pub fn get_varint_signed(&mut self) -> WireResult<i64> {
+        let (v, n) = varint::read_i64(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_bytes_raw(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        self.take(n, "raw bytes")
+    }
+
+    /// Reads a varint length prefix then that many bytes. The length is
+    /// validated against the remaining input before any allocation occurs.
+    pub fn get_bytes(&mut self) -> WireResult<&'a [u8]> {
+        let len = self.get_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::LengthOutOfBounds {
+                length: len,
+                limit: self.remaining(),
+            });
+        }
+        self.take(len as usize, "length-prefixed bytes")
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> WireResult<&'a str> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn get_f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Returns the unread tail without consuming it.
+    pub fn peek_rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> WireResult<()> {
+        self.take(n, "skip")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xAB);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEADBEEF);
+        e.put_u64(0x0123_4567_89AB_CDEF);
+        e.put_varint(300);
+        e.put_varint_signed(-42);
+        e.put_str("hello");
+        e.put_bytes(b"\x00\x01\x02");
+        e.put_f64(2.5);
+        let bytes = e.into_bytes();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 0xAB);
+        assert_eq!(d.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(d.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(d.get_varint().unwrap(), 300);
+        assert_eq!(d.get_varint_signed().unwrap(), -42);
+        assert_eq!(d.get_str().unwrap(), "hello");
+        assert_eq!(d.get_bytes().unwrap(), b"\x00\x01\x02");
+        assert_eq!(d.get_f64().unwrap(), 2.5);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn eof_reports_context() {
+        let mut d = Decoder::new(&[0x01]);
+        let err = d.get_u32().unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { needed: 3, .. }));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_before_allocation() {
+        // Length prefix claims u64::MAX bytes follow.
+        let mut e = Encoder::new();
+        e.put_varint(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(
+            d.get_bytes(),
+            Err(WireError::LengthOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xFF, 0xFE]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_str(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn skip_and_position_track() {
+        let mut d = Decoder::new(&[1, 2, 3, 4]);
+        d.skip(2).unwrap();
+        assert_eq!(d.position(), 2);
+        assert_eq!(d.get_u8().unwrap(), 3);
+        assert_eq!(d.remaining(), 1);
+        assert!(d.skip(2).is_err());
+    }
+
+    #[test]
+    fn f64_preserves_nan_bits() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let mut e = Encoder::new();
+        e.put_f64(weird);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_f64().unwrap().to_bits(), weird.to_bits());
+    }
+}

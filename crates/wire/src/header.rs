@@ -1,0 +1,277 @@
+//! Minimal wire-header synthesis runtime.
+//!
+//! The ADN compiler computes, for each hop that leaves a host, the exact set
+//! of RPC fields that downstream processors read (paper §4 Q2, §5.3: "the
+//! RPC headers might convey additional information intended for the
+//! utilization of downstream processors"). That set becomes a
+//! [`HeaderLayout`]: an ordered list of `(field id, type)` pairs. Encoding a
+//! header writes only those fields, in layout order, with no names, no
+//! self-description, and no nesting — the decoder on the other side holds the
+//! same layout (distributed by the controller), so a header for a
+//! load-balancer that reads one `u64` key costs exactly one varint on the
+//! wire.
+//!
+//! Contrast with the baseline mesh, where the same information rides in
+//! HTTP/2 HEADERS frames as named, HPACK-coded strings.
+
+use std::fmt;
+
+use crate::codec::{Decoder, Encoder, WireError, WireResult};
+
+/// Scalar type of a header field. Mirrors the DSL's scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeaderType {
+    /// Unsigned 64-bit integer (varint on the wire).
+    U64,
+    /// Signed 64-bit integer (zig-zag varint).
+    I64,
+    /// IEEE-754 double (8 bytes).
+    F64,
+    /// Boolean (1 byte).
+    Bool,
+    /// UTF-8 string (varint length + bytes).
+    Str,
+    /// Opaque bytes (varint length + bytes).
+    Bytes,
+}
+
+impl fmt::Display for HeaderType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HeaderType::U64 => "u64",
+            HeaderType::I64 => "i64",
+            HeaderType::F64 => "f64",
+            HeaderType::Bool => "bool",
+            HeaderType::Str => "string",
+            HeaderType::Bytes => "bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single typed header value. The conversion to/from the RPC layer's
+/// richer `Value` type lives in `adn-rpc` to keep this crate dependency-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeaderValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+impl HeaderValue {
+    /// The wire type of this value.
+    pub fn header_type(&self) -> HeaderType {
+        match self {
+            HeaderValue::U64(_) => HeaderType::U64,
+            HeaderValue::I64(_) => HeaderType::I64,
+            HeaderValue::F64(_) => HeaderType::F64,
+            HeaderValue::Bool(_) => HeaderType::Bool,
+            HeaderValue::Str(_) => HeaderType::Str,
+            HeaderValue::Bytes(_) => HeaderType::Bytes,
+        }
+    }
+}
+
+/// One field slot in a layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderField {
+    /// Compiler-assigned stable field id (unique within the application).
+    pub id: u16,
+    /// Human-readable name, used for diagnostics only — never on the wire.
+    pub name: String,
+    /// Wire type.
+    pub ty: HeaderType,
+}
+
+/// An ordered set of header fields: the complete wire schema for one hop.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeaderLayout {
+    fields: Vec<HeaderField>,
+}
+
+impl HeaderLayout {
+    /// Empty layout (a hop where downstream reads nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a layout from fields, keeping the given order.
+    pub fn from_fields(fields: Vec<HeaderField>) -> Self {
+        Self { fields }
+    }
+
+    /// Appends a field slot.
+    pub fn push(&mut self, id: u16, name: impl Into<String>, ty: HeaderType) {
+        self.fields.push(HeaderField {
+            id,
+            name: name.into(),
+            ty,
+        });
+    }
+
+    /// The field slots in wire order.
+    pub fn fields(&self) -> &[HeaderField] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the layout carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Finds the position of a field by name.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Encodes `values` (which must match the layout arity and types)
+    /// into `enc`. Returns the number of bytes written.
+    pub fn encode(&self, values: &[HeaderValue], enc: &mut Encoder) -> WireResult<usize> {
+        if values.len() != self.fields.len() {
+            return Err(WireError::Malformed("header value arity mismatch"));
+        }
+        let start = enc.len();
+        for (slot, value) in self.fields.iter().zip(values) {
+            if value.header_type() != slot.ty {
+                return Err(WireError::Malformed("header value type mismatch"));
+            }
+            match value {
+                HeaderValue::U64(v) => enc.put_varint(*v),
+                HeaderValue::I64(v) => enc.put_varint_signed(*v),
+                HeaderValue::F64(v) => enc.put_f64(*v),
+                HeaderValue::Bool(v) => enc.put_u8(*v as u8),
+                HeaderValue::Str(v) => enc.put_str(v),
+                HeaderValue::Bytes(v) => enc.put_bytes(v),
+            }
+        }
+        Ok(enc.len() - start)
+    }
+
+    /// Decodes one header according to this layout.
+    pub fn decode(&self, dec: &mut Decoder<'_>) -> WireResult<Vec<HeaderValue>> {
+        let mut out = Vec::with_capacity(self.fields.len());
+        for slot in &self.fields {
+            let v = match slot.ty {
+                HeaderType::U64 => HeaderValue::U64(dec.get_varint()?),
+                HeaderType::I64 => HeaderValue::I64(dec.get_varint_signed()?),
+                HeaderType::F64 => HeaderValue::F64(dec.get_f64()?),
+                HeaderType::Bool => match dec.get_u8()? {
+                    0 => HeaderValue::Bool(false),
+                    1 => HeaderValue::Bool(true),
+                    t => {
+                        return Err(WireError::InvalidTag {
+                            tag: t as u64,
+                            context: "bool header field",
+                        })
+                    }
+                },
+                HeaderType::Str => HeaderValue::Str(dec.get_str()?.to_owned()),
+                HeaderType::Bytes => HeaderValue::Bytes(dec.get_bytes()?.to_owned()),
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Exact encoded size of `values` under this layout, for budgeting
+    /// against device constraints (e.g. the P4 switch's 200-byte window).
+    pub fn encoded_size(&self, values: &[HeaderValue]) -> WireResult<usize> {
+        let mut enc = Encoder::new();
+        self.encode(values, &mut enc)?;
+        Ok(enc.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_layout() -> HeaderLayout {
+        let mut l = HeaderLayout::new();
+        l.push(1, "object_id", HeaderType::U64);
+        l.push(2, "username", HeaderType::Str);
+        l.push(3, "deadline_ms", HeaderType::I64);
+        l.push(4, "compressed", HeaderType::Bool);
+        l
+    }
+
+    fn sample_values() -> Vec<HeaderValue> {
+        vec![
+            HeaderValue::U64(42),
+            HeaderValue::Str("alice".into()),
+            HeaderValue::I64(-5),
+            HeaderValue::Bool(true),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let layout = sample_layout();
+        let values = sample_values();
+        let mut enc = Encoder::new();
+        layout.encode(&values, &mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = layout.decode(&mut dec).unwrap();
+        assert_eq!(back, values);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn minimal_header_is_small() {
+        // A single u64 LB key should cost at most 10 bytes, typically 1-2.
+        let mut l = HeaderLayout::new();
+        l.push(1, "key", HeaderType::U64);
+        let size = l.encoded_size(&[HeaderValue::U64(7)]).unwrap();
+        assert_eq!(size, 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let layout = sample_layout();
+        let mut enc = Encoder::new();
+        let err = layout.encode(&sample_values()[..2], &mut enc).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let layout = sample_layout();
+        let mut vals = sample_values();
+        vals[0] = HeaderValue::Str("not a u64".into());
+        let mut enc = Encoder::new();
+        assert!(layout.encode(&vals, &mut enc).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_byte_rejected() {
+        let mut l = HeaderLayout::new();
+        l.push(1, "flag", HeaderType::Bool);
+        let mut dec = Decoder::new(&[2]);
+        assert!(matches!(
+            l.decode(&mut dec),
+            Err(WireError::InvalidTag { tag: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_layout_is_zero_bytes() {
+        let l = HeaderLayout::new();
+        assert_eq!(l.encoded_size(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn position_of_finds_fields() {
+        let l = sample_layout();
+        assert_eq!(l.position_of("username"), Some(1));
+        assert_eq!(l.position_of("missing"), None);
+    }
+}

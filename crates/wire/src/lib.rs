@@ -1,0 +1,29 @@
+//! # adn-wire — encoding substrate for Application Defined Networks
+//!
+//! ADN's thesis is that an application network should put *only the bytes the
+//! application needs* on the wire. This crate provides the low-level pieces
+//! every other layer builds on:
+//!
+//! * [`varint`] — LEB128-style variable-length integers and zig-zag signed
+//!   encoding (the same building block protobuf uses, so the baseline mesh
+//!   codec and the ADN minimal-header codec share primitives and the
+//!   comparison is apples-to-apples).
+//! * [`codec`] — a cursor-style [`codec::Encoder`]/[`codec::Decoder`] pair
+//!   over byte buffers with explicit, non-panicking error handling.
+//! * [`header`] — *minimal header synthesis* runtime: given the set of RPC
+//!   fields that downstream off-host processors actually read (computed by
+//!   the compiler), lay out a compact wire header carrying exactly those
+//!   fields.
+//! * [`checksum`] — CRC32 (IEEE) used by frame formats.
+//! * [`buffer`] — a small freelist buffer pool so hot paths reuse
+//!   allocations, in the spirit of mRPC's shared-memory heaps.
+//!
+//! Nothing in this crate knows about RPC semantics; it is pure bytes.
+
+pub mod buffer;
+pub mod checksum;
+pub mod codec;
+pub mod header;
+pub mod varint;
+
+pub use codec::{Decoder, Encoder, WireError, WireResult};

@@ -1,0 +1,178 @@
+//! Variable-length integer encoding (LEB128) and zig-zag signed mapping.
+//!
+//! Both the baseline gRPC-lite codec and ADN's minimal headers use varints,
+//! so the two systems share the cheapest possible integer representation and
+//! performance differences come from *how much* they encode, not *how*.
+
+use crate::codec::{WireError, WireResult};
+
+/// Maximum number of bytes a varint-encoded `u64` can occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `buf` as a LEB128 varint. Returns the number of bytes
+/// written (1..=10).
+pub fn write_u64(buf: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            buf.push(byte);
+            return n;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `buf`, returning the value and the
+/// number of bytes consumed.
+pub fn read_u64(buf: &[u8]) -> WireResult<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(WireError::VarintTooLong);
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The tenth byte may only contribute a single bit.
+        if shift == 63 && payload > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(WireError::UnexpectedEof {
+        needed: 1,
+        context: "varint continuation",
+    })
+}
+
+/// Number of bytes `value` occupies when varint-encoded.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Zig-zag maps a signed integer to unsigned so small magnitudes stay small.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends a zig-zag varint-encoded `i64`.
+pub fn write_i64(buf: &mut Vec<u8>, value: i64) -> usize {
+    write_u64(buf, zigzag_encode(value))
+}
+
+/// Reads a zig-zag varint-encoded `i64`.
+pub fn read_i64(buf: &[u8]) -> WireResult<(i64, usize)> {
+    let (raw, n) = read_u64(buf)?;
+    Ok((zigzag_decode(raw), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_one_byte() {
+        let mut buf = Vec::new();
+        assert_eq!(write_u64(&mut buf, 0), 1);
+        assert_eq!(buf, vec![0]);
+        assert_eq!(read_u64(&buf).unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn boundary_values_roundtrip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            let n = write_u64(&mut buf, v);
+            assert_eq!(n, encoded_len(v), "encoded_len mismatch for {v}");
+            let (back, m) = read_u64(&buf).unwrap();
+            assert_eq!((back, m), (v, n), "roundtrip mismatch for {v}");
+        }
+    }
+
+    #[test]
+    fn max_u64_is_ten_bytes() {
+        let mut buf = Vec::new();
+        assert_eq!(write_u64(&mut buf, u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.pop();
+        assert!(matches!(
+            read_u64(&buf),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_input_is_error() {
+        // Eleven continuation bytes: longer than any valid u64 varint.
+        let buf = [0x80u8; 11];
+        assert!(matches!(read_u64(&buf), Err(WireError::VarintTooLong)));
+    }
+
+    #[test]
+    fn tenth_byte_overflow_is_error() {
+        // 9 continuation bytes then a tenth byte with more than one bit set.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert!(matches!(read_u64(&buf), Err(WireError::VarintOverflow)));
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            let n = write_i64(&mut buf, v);
+            let (back, m) = read_i64(&buf).unwrap();
+            assert_eq!((back, m), (v, n));
+        }
+    }
+
+    #[test]
+    fn reads_only_first_varint() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 7);
+        write_u64(&mut buf, 1000);
+        let (v, n) = read_u64(&buf).unwrap();
+        assert_eq!(v, 7);
+        let (v2, _) = read_u64(&buf[n..]).unwrap();
+        assert_eq!(v2, 1000);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the wire substrate: every codec must roundtrip
+//! arbitrary values and must never panic on arbitrary input bytes.
+
+use adn_wire::codec::{Decoder, Encoder};
+use adn_wire::header::{HeaderLayout, HeaderType, HeaderValue};
+use adn_wire::{checksum, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_u64_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        let n = varint::write_u64(&mut buf, v);
+        prop_assert_eq!(n, varint::encoded_len(v));
+        let (back, m) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(m, n);
+    }
+
+    #[test]
+    fn varint_i64_roundtrips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, v);
+        let (back, _) = varint::read_i64(&buf).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection(v in any::<i64>()) {
+        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn varint_read_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = varint::read_u64(&bytes);
+        let _ = varint::read_i64(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut d = Decoder::new(&bytes);
+        // Exercise each accessor; errors are fine, panics are not.
+        let _ = d.clone().get_u8();
+        let _ = d.clone().get_u16();
+        let _ = d.clone().get_u32();
+        let _ = d.clone().get_u64();
+        let _ = d.clone().get_varint();
+        let _ = d.clone().get_bytes();
+        let _ = d.clone().get_str();
+        let _ = d.get_f64();
+    }
+
+    #[test]
+    fn length_prefixed_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut e = Encoder::new();
+        e.put_bytes(&data);
+        let buf = e.into_bytes();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.get_bytes().unwrap(), &data[..]);
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn strings_roundtrip(s in ".{0,64}") {
+        let mut e = Encoder::new();
+        e.put_str(&s);
+        let buf = e.into_bytes();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.get_str().unwrap(), s);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut c = checksum::Crc32::new();
+        c.update(&data[..split]);
+        c.update(&data[split..]);
+        prop_assert_eq!(c.finish(), checksum::crc32(&data));
+    }
+}
+
+fn arb_header_value() -> impl Strategy<Value = HeaderValue> {
+    prop_oneof![
+        any::<u64>().prop_map(HeaderValue::U64),
+        any::<i64>().prop_map(HeaderValue::I64),
+        any::<f64>().prop_map(HeaderValue::F64),
+        any::<bool>().prop_map(HeaderValue::Bool),
+        ".{0,32}".prop_map(HeaderValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(HeaderValue::Bytes),
+    ]
+}
+
+fn layout_for(values: &[HeaderValue]) -> HeaderLayout {
+    let mut layout = HeaderLayout::new();
+    for (i, v) in values.iter().enumerate() {
+        layout.push(i as u16, format!("f{i}"), v.header_type());
+    }
+    layout
+}
+
+proptest! {
+    #[test]
+    fn header_layout_roundtrips(values in proptest::collection::vec(arb_header_value(), 0..8)) {
+        let layout = layout_for(&values);
+        let mut enc = Encoder::new();
+        layout.encode(&values, &mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = layout.decode(&mut dec).unwrap();
+        prop_assert!(dec.is_exhausted());
+        // Compare via bit patterns so NaN floats compare equal.
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(values.iter()) {
+            match (a, b) {
+                (HeaderValue::F64(x), HeaderValue::F64(y)) => {
+                    prop_assert_eq!(x.to_bits(), y.to_bits())
+                }
+                _ => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn header_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        types in proptest::collection::vec(0u8..6, 0..6),
+    ) {
+        let mut layout = HeaderLayout::new();
+        for (i, t) in types.iter().enumerate() {
+            let ty = match t {
+                0 => HeaderType::U64,
+                1 => HeaderType::I64,
+                2 => HeaderType::F64,
+                3 => HeaderType::Bool,
+                4 => HeaderType::Str,
+                _ => HeaderType::Bytes,
+            };
+            layout.push(i as u16, format!("f{i}"), ty);
+        }
+        let mut dec = Decoder::new(&bytes);
+        let _ = layout.decode(&mut dec);
+    }
+}

@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: the full pipeline (DSL → compiler →
+//! controller → data plane → RPC runtime) against the baseline mesh, on
+//! the same workloads.
+
+use adn::harness::{AdnWorld, EnvPreset, MeshPolicies, MeshWorld, WorldConfig};
+use adn_cluster::resources::{AdnConfig, ElementSpec, PlacementConstraint, ReplicaSpec, NodeId};
+use adn_rpc::RpcError;
+
+/// The two systems must agree on the *semantics* of the paper's policy
+/// chain: identical allow/deny behaviour per user.
+#[test]
+fn adn_and_mesh_agree_on_policy_semantics() {
+    let adn = AdnWorld::start(WorldConfig::paper_eval_chain(0.0)).unwrap();
+    let mesh = MeshWorld::start(MeshPolicies::all(0.0), 3);
+
+    for (oid, user) in [(1u64, "alice"), (2, "bob"), (3, "carol"), (4, "dave"), (5, "eve"), (6, "zed")] {
+        let a = adn.call(oid, user, b"payload");
+        let m = mesh.call(oid, user, b"payload");
+        match (a, m) {
+            (Ok(_), Ok(_)) => {}
+            (Err(RpcError::Aborted { code: ca, .. }), Err(RpcError::Aborted { code: cm, .. })) => {
+                assert_eq!(ca, cm, "deny codes must agree for {user}");
+            }
+            (a, m) => panic!("verdicts diverge for {user}: adn={a:?} mesh={m:?}"),
+        }
+    }
+}
+
+/// Fault injection rates converge to the configured probability in both
+/// systems (the elements share no code; the distributions must still match).
+#[test]
+fn fault_rates_match_between_systems() {
+    let prob = 0.2;
+    let adn = AdnWorld::start(WorldConfig::paper_eval_chain(prob)).unwrap();
+    let mesh = MeshWorld::start(MeshPolicies::all(prob), 5);
+
+    let n = 600;
+    let mut adn_aborts = 0;
+    let mut mesh_aborts = 0;
+    for i in 0..n {
+        if matches!(adn.call(i, "alice", b"x"), Err(RpcError::Aborted { code: 3, .. })) {
+            adn_aborts += 1;
+        }
+        if matches!(mesh.call(i, "alice", b"x"), Err(RpcError::Aborted { code: 3, .. })) {
+            mesh_aborts += 1;
+        }
+    }
+    let adn_rate = adn_aborts as f64 / n as f64;
+    let mesh_rate = mesh_aborts as f64 / n as f64;
+    assert!((adn_rate - prob).abs() < 0.06, "adn rate {adn_rate}");
+    assert!((mesh_rate - prob).abs() < 0.06, "mesh rate {mesh_rate}");
+}
+
+/// The compression pair survives any placement the solver picks: payloads
+/// roundtrip bit-exactly through bare and rich environments.
+#[test]
+fn compression_roundtrips_across_placements() {
+    for env in [EnvPreset::Bare, EnvPreset::Rich] {
+        let mut cfg = WorldConfig::of_elements(&["Compress", "Acl", "Decompress"]);
+        cfg.env = env;
+        cfg.chain[0].constraints = vec![PlacementConstraint::SenderSide];
+        cfg.chain[1].constraints = vec![PlacementConstraint::OffApp];
+        cfg.chain[2].constraints = vec![PlacementConstraint::ReceiverSide];
+        let world = AdnWorld::start(cfg).unwrap();
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
+        let resp = world.call(1, "alice", &payload).unwrap();
+        assert_eq!(
+            resp.get("payload").and_then(|v| v.as_bytes()),
+            Some(&payload[..]),
+            "payload must roundtrip under {env:?} ({})",
+            world.describe()
+        );
+    }
+}
+
+/// Load balancing reacts to replica arrival: after a scale-up of the
+/// destination service, new traffic reaches the new replica.
+#[test]
+fn replica_arrival_rebalances_traffic() {
+    let mut cfg = WorldConfig::of_elements(&["LoadBalancer"]);
+    cfg.replicas = 1;
+    let world = AdnWorld::start(cfg).unwrap();
+
+    let spread = |world: &AdnWorld| {
+        let mut seen = std::collections::HashSet::new();
+        for oid in 0..64 {
+            // Empty payload → replicas identify themselves.
+            let resp = world.call(oid, "alice", b"").unwrap();
+            seen.insert(resp.get("payload").unwrap().as_bytes().unwrap().to_vec());
+        }
+        seen.len()
+    };
+    assert_eq!(spread(&world), 1);
+
+    // A second replica joins. (The harness only spawned one server; for
+    // this test, replica arrival means the store learns about a new
+    // endpoint that happens to be served by... a fresh server we spawn on
+    // the same fabric.)
+    let net = world.net().clone();
+    let link: std::sync::Arc<dyn adn_rpc::transport::Link> = std::sync::Arc::new(net.clone());
+    let service = adn::harness::object_store_service();
+    let frames = net.attach(201);
+    let svc = service.clone();
+    let _server2 = adn_rpc::runtime::spawn_server(
+        adn_rpc::runtime::ServerConfig {
+            addr: 201,
+            service: service.clone(),
+            chain: adn_rpc::engine::EngineChain::new(),
+        },
+        link,
+        frames,
+        Box::new(move |req| {
+            let m = svc.method_by_id(req.method_id).unwrap();
+            let mut resp = adn_rpc::message::RpcMessage::response_to(req, m.response.clone());
+            resp.set("ok", adn_rpc::value::Value::Bool(true));
+            resp.set(
+                "payload",
+                adn_rpc::value::Value::Bytes(201u64.to_be_bytes().to_vec()),
+            );
+            resp
+        }),
+    );
+    world
+        .store()
+        .add_replica("storage", ReplicaSpec { node: NodeId(2), endpoint: 201 })
+        .unwrap();
+    world.sync().unwrap();
+    assert_eq!(spread(&world), 2, "new replica should receive traffic");
+}
+
+/// Config updates through the store change behaviour without restarting
+/// anything (the paper's ADNConfig watch loop).
+#[test]
+fn config_update_swaps_the_network() {
+    let world = AdnWorld::start(WorldConfig::of_elements(&["Acl"])).unwrap();
+    assert!(world.call(1, "bob", b"x").is_err());
+
+    // Push a new program: replace ACL with a firewall blocking object 13.
+    world.store().apply_config(AdnConfig {
+        app: "app".into(),
+        src_service: "frontend".into(),
+        dst_service: "storage".into(),
+        chain: vec![ElementSpec {
+            element: "Firewall".into(),
+            source: None,
+            args: vec![("blocked".into(), serde_json::json!(13))],
+            constraints: vec![],
+        }],
+        seed: 0,
+    });
+    world.sync().unwrap();
+
+    assert!(world.call(1, "bob", b"x").is_ok(), "ACL is gone");
+    assert!(world.call(13, "bob", b"x").is_err(), "firewall drops 13");
+}
+
+/// An inline-source element (not from the catalog) deploys end to end.
+#[test]
+fn inline_custom_element_deploys() {
+    let mut cfg = WorldConfig::of_elements(&[]);
+    cfg.chain = vec![ElementSpec {
+        element: "OddBlocker".into(),
+        source: Some(
+            "element OddBlocker() { on request { \
+                ABORT(9, 'odd objects forbidden') WHERE input.object_id % 2 == 1; \
+                SELECT * FROM input; } }"
+                .into(),
+        ),
+        args: vec![],
+        constraints: vec![],
+    }];
+    let world = AdnWorld::start(cfg).unwrap();
+    assert!(world.call(2, "alice", b"x").is_ok());
+    match world.call(3, "alice", b"x") {
+        Err(RpcError::Aborted { code: 9, message }) => {
+            assert!(message.contains("odd"));
+        }
+        other => panic!("expected abort 9, got {other:?}"),
+    }
+}
+
+/// The paper's Figure-5 workload shape holds end to end: ADN completes a
+/// closed-loop window at least twice as fast as the mesh on this substrate
+/// (the measured gap is larger; 2x is the regression floor).
+#[test]
+fn adn_outperforms_mesh_on_the_paper_workload() {
+    use std::time::{Duration, Instant};
+    let adn = AdnWorld::start(WorldConfig::paper_eval_chain(0.02)).unwrap();
+    let mesh = MeshWorld::start(MeshPolicies::all(0.02), 7);
+
+    let window = Duration::from_millis(500);
+    let users = ["alice", "carol"];
+
+    let t0 = Instant::now();
+    let adn_stats = adn.run_closed_loop(64, window, b"short payload", &users);
+    let adn_elapsed = t0.elapsed();
+    let t0 = Instant::now();
+    let mesh_stats = mesh.run_closed_loop(64, window, b"short payload", &users);
+    let mesh_elapsed = t0.elapsed();
+
+    let adn_rate = adn_stats.total() as f64 / adn_elapsed.as_secs_f64();
+    let mesh_rate = mesh_stats.total() as f64 / mesh_elapsed.as_secs_f64();
+    assert_eq!(adn_stats.errors, 0);
+    assert_eq!(mesh_stats.errors, 0);
+    assert!(
+        adn_rate > mesh_rate * 2.0,
+        "adn {adn_rate:.0} rps vs mesh {mesh_rate:.0} rps"
+    );
+}
