@@ -50,7 +50,13 @@ impl Engine for EbpfEngine {
             MessageKind::Response => &self.element.response,
         };
         let mut route = RouteDecision::default();
-        let verdict = ebpf::execute(prog, &mut msg.fields, &mut self.maps, &mut self.udf, &mut route);
+        let verdict = ebpf::execute(
+            prog,
+            &mut msg.fields,
+            &mut self.maps,
+            &mut self.udf,
+            &mut route,
+        );
         if let Some(hash) = route.key_hash {
             if !self.replicas.is_empty() {
                 msg.dst = self.replicas[(hash % self.replicas.len() as u64) as usize];
@@ -185,7 +191,10 @@ mod tests {
                     .unwrap(),
             ),
             Arc::new(
-                RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+                RpcSchema::builder()
+                    .field("ok", ValueType::Bool)
+                    .build()
+                    .unwrap(),
             ),
         )
     }
@@ -237,9 +246,8 @@ mod tests {
 
     #[test]
     fn ebpf_engine_routes_like_native() {
-        let element = lower(
-            "element Lb() { on request { ROUTE input.object_id; SELECT * FROM input; } }",
-        );
+        let element =
+            lower("element Lb() { on request { ROUTE input.object_id; SELECT * FROM input; } }");
         let (req, resp) = schemas();
         let types_req: Vec<ValueType> = req.fields().iter().map(|f| f.ty).collect();
         let types_resp: Vec<ValueType> = resp.fields().iter().map(|f| f.ty).collect();

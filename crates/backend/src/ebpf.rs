@@ -362,13 +362,7 @@ pub fn execute(
                     AluOp::Add => a.wrapping_add(b),
                     AluOp::Sub => a.wrapping_sub(b),
                     AluOp::Mul => a.wrapping_mul(b),
-                    AluOp::DivU => {
-                        if b == 0 {
-                            0
-                        } else {
-                            a / b
-                        }
-                    }
+                    AluOp::DivU => a.checked_div(b).unwrap_or(0),
                     AluOp::ModU => {
                         if b == 0 {
                             0
@@ -400,9 +394,7 @@ pub fn execute(
             Insn::Neg { dst } => {
                 regs[*dst as usize] = (regs[*dst as usize] as i64).wrapping_neg() as u64
             }
-            Insn::LogicalNot { dst } => {
-                regs[*dst as usize] = (regs[*dst as usize] == 0) as u64
-            }
+            Insn::LogicalNot { dst } => regs[*dst as usize] = (regs[*dst as usize] == 0) as u64,
             Insn::Jmp { off } => {
                 pc += 1 + *off as usize;
                 continue;
@@ -511,8 +503,9 @@ pub fn compile(element: &ElementIr) -> Result<EbpfElement, String> {
         if t.column_types[key_col] != ValueType::U64 {
             return Err(format!("table {:?}: eBPF map keys must be u64", t.name));
         }
-        let value_cols: Vec<usize> =
-            (0..t.column_types.len()).filter(|c| *c != key_col).collect();
+        let value_cols: Vec<usize> = (0..t.column_types.len())
+            .filter(|c| *c != key_col)
+            .collect();
         if value_cols.len() > 1 {
             return Err(format!(
                 "table {:?}: eBPF maps hold a single u64 value",
@@ -631,9 +624,7 @@ impl<'a> Compiler<'a> {
                     Some(ValueType::U64) => ETy::U64,
                     Some(ValueType::I64) => ETy::I64,
                     Some(ValueType::Bool) => ETy::Bool,
-                    Some(t) => {
-                        return Err(format!("field {i} has type {t}, not loadable in eBPF"))
-                    }
+                    Some(t) => return Err(format!("field {i} has type {t}, not loadable in eBPF")),
                     None => return Err(format!("field {i} out of range")),
                 };
                 self.field_ty(*i, field_types.len())?;
@@ -678,9 +669,9 @@ impl<'a> Compiler<'a> {
                     self.emit(Insn::Now { dst: r });
                     Ok((r, ETy::U64))
                 }
-                ("random", []) => Err(
-                    "random() only compiles in `random() < constant` predicates in eBPF".into(),
-                ),
+                ("random", []) => {
+                    Err("random() only compiles in `random() < constant` predicates in eBPF".into())
+                }
                 (other, _) => Err(format!("UDF {other} has no eBPF implementation")),
             },
             IrExpr::Cast { to, inner } => {
@@ -784,7 +775,11 @@ impl<'a> Compiler<'a> {
                     (IrBinOp::Mod, true) => AluOp::ModS,
                     _ => unreachable!(),
                 };
-                self.emit(Insn::Alu { op: alu, dst: a, src: b });
+                self.emit(Insn::Alu {
+                    op: alu,
+                    dst: a,
+                    src: b,
+                });
                 (a, if signed { ETy::I64 } else { ETy::U64 })
             }
             IrBinOp::And | IrBinOp::Or => {
@@ -792,13 +787,22 @@ impl<'a> Compiler<'a> {
                     return Err("logical op on non-bool in eBPF".into());
                 }
                 self.emit(Insn::Alu {
-                    op: if op == IrBinOp::And { AluOp::And } else { AluOp::Or },
+                    op: if op == IrBinOp::And {
+                        AluOp::And
+                    } else {
+                        AluOp::Or
+                    },
                     dst: a,
                     src: b,
                 });
                 (a, ETy::Bool)
             }
-            IrBinOp::Eq | IrBinOp::NotEq | IrBinOp::Lt | IrBinOp::Le | IrBinOp::Gt | IrBinOp::Ge => {
+            IrBinOp::Eq
+            | IrBinOp::NotEq
+            | IrBinOp::Lt
+            | IrBinOp::Le
+            | IrBinOp::Gt
+            | IrBinOp::Ge => {
                 let cmp = match op {
                     IrBinOp::Eq => CmpOp::Eq,
                     IrBinOp::NotEq => CmpOp::Ne,
@@ -893,7 +897,10 @@ impl<'a> Compiler<'a> {
         let r = self.alloc()?;
         self.emit(Insn::Rand { dst: r });
         let t = self.alloc()?;
-        self.emit(Insn::LdImm { dst: t, imm: threshold });
+        self.emit(Insn::LdImm {
+            dst: t,
+            imm: threshold,
+        });
         let out = saved; // reuse
         self.emit(Insn::LdImm { dst: out, imm: 1 });
         // out pre-set to 1 clobbers r! Allocate distinct output register.
@@ -1377,7 +1384,10 @@ mod tests {
                 .field("payload", ValueType::Bytes)
                 .build()
                 .unwrap(),
-            RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .build()
+                .unwrap(),
         )
     }
 
@@ -1429,7 +1439,10 @@ mod tests {
     fn numeric_acl_executes_correctly() {
         let compiled = compile_full(NUMERIC_ACL).unwrap();
         let mut allowed = vec![Value::U64(1), Value::U64(9), Value::Bytes(vec![])];
-        assert_eq!(run_request(&compiled, &mut allowed, 0), EbpfVerdict::Forward);
+        assert_eq!(
+            run_request(&compiled, &mut allowed, 0),
+            EbpfVerdict::Forward
+        );
         let mut denied = vec![Value::U64(2), Value::U64(9), Value::Bytes(vec![])];
         assert_eq!(run_request(&compiled, &mut denied, 0), EbpfVerdict::Drop);
         let mut unknown = vec![Value::U64(99), Value::U64(9), Value::Bytes(vec![])];
@@ -1492,7 +1505,13 @@ mod tests {
         let mut maps = EbpfMaps::for_element(&compiled);
         let mut udf = UdfRuntime::new(0);
         let mut route = RouteDecision::default();
-        let v = execute(&compiled.request, &mut fields, &mut maps, &mut udf, &mut route);
+        let v = execute(
+            &compiled.request,
+            &mut fields,
+            &mut maps,
+            &mut udf,
+            &mut route,
+        );
         assert_eq!(v, EbpfVerdict::Forward);
         assert_eq!(route.key_hash, Some(Value::U64(42).stable_hash()));
     }
@@ -1517,7 +1536,13 @@ mod tests {
         let mut route = RouteDecision::default();
         for _ in 0..3 {
             let mut fields = vec![Value::U64(7), Value::U64(0), Value::Bytes(vec![])];
-            execute(&compiled.request, &mut fields, &mut maps, &mut udf, &mut route);
+            execute(
+                &compiled.request,
+                &mut fields,
+                &mut maps,
+                &mut udf,
+                &mut route,
+            );
         }
         // INSERT is if-absent (once, value 0); UPDATE bumps per message.
         assert_eq!(maps.maps[0][&7], 3);
@@ -1528,7 +1553,9 @@ mod tests {
         let prog = EbpfProgram {
             insns: vec![
                 Insn::Mov { dst: 2, src: 3 },
-                Insn::Ret { verdict: RET_FORWARD },
+                Insn::Ret {
+                    verdict: RET_FORWARD,
+                },
             ],
         };
         let err = verify(&prog, 0).unwrap_err();
@@ -1548,7 +1575,9 @@ mod tests {
         let prog = EbpfProgram {
             insns: vec![
                 Insn::Jmp { off: 99 },
-                Insn::Ret { verdict: RET_FORWARD },
+                Insn::Ret {
+                    verdict: RET_FORWARD,
+                },
             ],
         };
         assert!(verify(&prog, 0).is_err());
@@ -1569,7 +1598,9 @@ mod tests {
                 // Fallthrough AND miss path both arrive here; dst only init
                 // on fallthrough → meet says uninitialized.
                 Insn::Mov { dst: 3, src: 2 },
-                Insn::Ret { verdict: RET_FORWARD },
+                Insn::Ret {
+                    verdict: RET_FORWARD,
+                },
             ],
         };
         let err = verify(&prog, 1).unwrap_err();

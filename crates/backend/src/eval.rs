@@ -96,15 +96,11 @@ pub fn eval_cow<'a>(
                         match r.as_ref() {
                             Value::Bool(b) => Cow::Owned(Value::Bool(*b)),
                             other => {
-                                return Err(
-                                    EvalError::TypeError(format!("AND on {other}")).into()
-                                )
+                                return Err(EvalError::TypeError(format!("AND on {other}")).into())
                             }
                         }
                     }
-                    other => {
-                        return Err(EvalError::TypeError(format!("AND on {other}")).into())
-                    }
+                    other => return Err(EvalError::TypeError(format!("AND on {other}")).into()),
                 },
                 IrBinOp::Or => match eval_cow(left, fields, row, udf)?.as_ref() {
                     Value::Bool(true) => Cow::Owned(Value::Bool(true)),
@@ -113,15 +109,11 @@ pub fn eval_cow<'a>(
                         match r.as_ref() {
                             Value::Bool(b) => Cow::Owned(Value::Bool(*b)),
                             other => {
-                                return Err(
-                                    EvalError::TypeError(format!("OR on {other}")).into()
-                                )
+                                return Err(EvalError::TypeError(format!("OR on {other}")).into())
                             }
                         }
                     }
-                    other => {
-                        return Err(EvalError::TypeError(format!("OR on {other}")).into())
-                    }
+                    other => return Err(EvalError::TypeError(format!("OR on {other}")).into()),
                 },
                 other => {
                     let l = eval_cow(left, fields, row, udf)?;
@@ -183,10 +175,7 @@ mod tests {
     #[test]
     fn col_requires_row() {
         let e = IrExpr::Col(0);
-        assert_eq!(
-            eval(&e, &[], None, &mut rt()),
-            Err(ExecError::NoRowBound)
-        );
+        assert_eq!(eval(&e, &[], None, &mut rt()), Err(ExecError::NoRowBound));
         let row = vec![Value::Str("W".into())];
         assert_eq!(
             eval(&e, &[], Some(&row), &mut rt()).unwrap(),
@@ -239,7 +228,10 @@ mod tests {
     #[test]
     fn case_without_match_or_else_is_false() {
         let e = IrExpr::Case {
-            arms: vec![(IrExpr::Const(Value::Bool(false)), IrExpr::Const(Value::U64(1)))],
+            arms: vec![(
+                IrExpr::Const(Value::Bool(false)),
+                IrExpr::Const(Value::U64(1)),
+            )],
             otherwise: None,
         };
         assert_eq!(eval(&e, &[], None, &mut rt()).unwrap(), Value::Bool(false));

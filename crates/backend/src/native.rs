@@ -144,13 +144,14 @@ impl NativeEngine {
                         match else_abort {
                             Some((code_expr, message_expr)) => {
                                 let code_v = exec(code_expr, &msg.fields, None, udf)?.into_owned();
-                                let code =
-                                    code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
+                                let code = code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
                                 let message = match message_expr {
-                                    Some(m) => match exec(m, &msg.fields, None, udf)?.into_owned() {
-                                        Value::Str(s) => s,
-                                        other => other.to_string(),
-                                    },
+                                    Some(m) => {
+                                        match exec(m, &msg.fields, None, udf)?.into_owned() {
+                                            Value::Str(s) => s,
+                                            other => other.to_string(),
+                                        }
+                                    }
                                     None => format!("rejected by {}", self.name),
                                 };
                                 Verdict::Abort { code, message }
@@ -169,19 +170,13 @@ impl NativeEngine {
                         let table = &tables[j.table];
                         let found = match &j.strategy {
                             JoinStrategy::KeyLookup { input_fields } => {
-                                let h = table.key_hash_of_iter(
-                                    input_fields.iter().map(|&i| &msg.fields[i]),
-                                );
+                                let h = table
+                                    .key_hash_of_iter(input_fields.iter().map(|&i| &msg.fields[i]));
                                 // The hash index is a fast path; confirm with
                                 // the full predicate to be exact.
                                 match table.lookup(h) {
                                     Some(candidate)
-                                        if exec_pred(
-                                            &j.on,
-                                            &msg.fields,
-                                            Some(candidate),
-                                            udf,
-                                        )? =>
+                                        if exec_pred(&j.on, &msg.fields, Some(candidate), udf)? =>
                                     {
                                         Some(candidate)
                                     }
@@ -609,15 +604,27 @@ mod tests {
         let mut msg = request(1, "alice", &payload);
         assert_eq!(c.process(&mut msg), Verdict::Forward);
         let compressed_len = msg.get("payload").unwrap().as_bytes().unwrap().len();
-        assert!(compressed_len < 50, "payload should shrink, got {compressed_len}");
+        assert!(
+            compressed_len < 50,
+            "payload should shrink, got {compressed_len}"
+        );
         assert_eq!(d.process(&mut msg), Verdict::Forward);
-        assert_eq!(msg.get("payload").unwrap().as_bytes().unwrap(), &payload[..]);
+        assert_eq!(
+            msg.get("payload").unwrap().as_bytes().unwrap(),
+            &payload[..]
+        );
     }
 
     #[test]
     fn fault_injection_aborts_at_configured_rate() {
         let src = "element F(p: f64 = 0.3) { on request { ABORT(3, 'fault') WHERE random() < p; SELECT * FROM input; } }";
-        let mut e = compile_element(&lower(src), &CompileOpts { seed: 7, replicas: vec![] });
+        let mut e = compile_element(
+            &lower(src),
+            &CompileOpts {
+                seed: 7,
+                replicas: vec![],
+            },
+        );
         let mut aborted = 0;
         let n = 2000;
         for i in 0..n {
@@ -746,15 +753,15 @@ mod tests {
             .collect();
         for i in 0..50 {
             let user = if i % 3 == 0 { "alice" } else { "bob" };
-            let mut a = request(i, user, &vec![i as u8; 64]);
+            let mut a = request(i, user, &[i as u8; 64]);
             let mut b = a.clone();
             let va = fused.process(&mut a);
-            let vb = chain.iter_mut().try_fold(Verdict::Forward, |_, e| {
-                match e.process(&mut b) {
+            let vb = chain
+                .iter_mut()
+                .try_fold(Verdict::Forward, |_, e| match e.process(&mut b) {
                     Verdict::Forward => Ok(Verdict::Forward),
                     other => Err(other),
-                }
-            });
+                });
             let vb = match vb {
                 Ok(v) => v,
                 Err(v) => v,

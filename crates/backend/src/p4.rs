@@ -179,7 +179,9 @@ pub fn check_header_budget(fields: &[usize], types: &[ValueType]) -> Result<usiz
             Some(ValueType::Bool) => 1,
             Some(ValueType::Str) => STR_FIELD_WIDTH,
             Some(ValueType::Bytes) => {
-                return Err(format!("field {f}: bytes fields cannot ride the switch header"))
+                return Err(format!(
+                    "field {f}: bytes fields cannot ride the switch header"
+                ))
             }
             None => return Err(format!("field {f} out of schema range")),
         };
@@ -221,9 +223,7 @@ fn compile_stmts(
                     Some((IrExpr::Const(v), _)) => Action::Abort {
                         code: v.as_u64().ok_or("abort code must be numeric")? as u32,
                     },
-                    Some(_) => {
-                        return Err("switch ELSE ABORT codes must be constants".into())
-                    }
+                    Some(_) => return Err("switch ELSE ABORT codes must be constants".into()),
                 };
                 match (join, condition) {
                     (Some(j), cond) => {
@@ -244,13 +244,11 @@ fn compile_stmts(
                         let mut entries = Vec::new();
                         for row in &table.init_rows {
                             let passes = match cond {
-                                Some(c) => {
-                                    eval_static_pred(c, row).ok_or_else(|| {
-                                        "switch SELECT conditions may only read joined columns \
+                                Some(c) => eval_static_pred(c, row).ok_or_else(|| {
+                                    "switch SELECT conditions may only read joined columns \
                                          and constants"
-                                            .to_string()
-                                    })?
-                                }
+                                        .to_string()
+                                })?,
                                 None => true,
                             };
                             entries.push((
@@ -457,7 +455,10 @@ mod tests {
                 .field("payload", ValueType::Bytes)
                 .build()
                 .unwrap(),
-            RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .build()
+                .unwrap(),
         )
     }
 
@@ -484,7 +485,7 @@ mod tests {
         let p = compile(&lower(ACL)).unwrap();
         assert_eq!(p.request.len(), 1);
         assert_eq!(p.request[0].match_field, Some(1)); // username
-        // Entry actions were decided at install time from the row data.
+                                                       // Entry actions were decided at install time from the row data.
         let entries = &p.initial_tables.tables[0];
         assert_eq!(entries.len(), 2);
         assert!(entries
@@ -499,11 +500,7 @@ mod tests {
     fn acl_executes_like_software() {
         let p = compile(&lower(ACL)).unwrap();
         let run = |user: &str| {
-            let mut fields = vec![
-                Value::U64(1),
-                Value::Str(user.into()),
-                Value::Bytes(vec![]),
-            ];
+            let mut fields = vec![Value::U64(1), Value::Str(user.into()), Value::Bytes(vec![])];
             execute(&p.request, &p.initial_tables, &mut fields)
         };
         assert!(!run("alice").dropped);
@@ -565,7 +562,10 @@ mod tests {
             Some(9)
         );
         let mut ok = vec![Value::U64(14), Value::Str("x".into()), Value::Bytes(vec![])];
-        assert_eq!(execute(&p.request, &p.initial_tables, &mut ok).abort_code, None);
+        assert_eq!(
+            execute(&p.request, &p.initial_tables, &mut ok).abort_code,
+            None
+        );
     }
 
     #[test]

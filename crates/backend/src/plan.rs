@@ -286,7 +286,7 @@ pub fn exec<'a>(
                 }
                 other => {
                     return Err(
-                        adn_ir::expr::EvalError::TypeError(format!("AND on {other}")).into()
+                        adn_ir::expr::EvalError::TypeError(format!("AND on {other}")).into(),
                     )
                 }
             },
@@ -305,9 +305,7 @@ pub fn exec<'a>(
                     }
                 }
                 other => {
-                    return Err(
-                        adn_ir::expr::EvalError::TypeError(format!("OR on {other}")).into()
-                    )
+                    return Err(adn_ir::expr::EvalError::TypeError(format!("OR on {other}")).into())
                 }
             },
             other => {
@@ -340,9 +338,11 @@ pub fn exec_pred(
 ) -> Result<bool, ExecError> {
     // The dominant shapes return without allocating.
     match e {
-        CExpr::Cmp { op, left, right } => {
-            Ok(cmp_values(*op, left.get(fields, row)?, right.get(fields, row)?))
-        }
+        CExpr::Cmp { op, left, right } => Ok(cmp_values(
+            *op,
+            left.get(fields, row)?,
+            right.get(fields, row)?,
+        )),
         CExpr::RandomBelow(p) => Ok(udf.random_f64() < *p),
         other => match exec(other, fields, row, udf)?.as_ref() {
             Value::Bool(b) => Ok(*b),
@@ -357,15 +357,11 @@ pub fn exec_pred(
 /// Enum-dispatched UDF invocation (no string matching per message).
 fn call_udf(id: UdfId, args: &[Value], udf: &mut UdfRuntime) -> Result<Value, ExecError> {
     match id {
-        UdfId::Random => {
-            if args.is_empty() {
-                return Ok(Value::F64(udf.random_f64()));
-            }
+        UdfId::Random if args.is_empty() => {
+            return Ok(Value::F64(udf.random_f64()));
         }
-        UdfId::Now => {
-            if args.is_empty() {
-                return Ok(Value::U64(udf.now()));
-            }
+        UdfId::Now if args.is_empty() => {
+            return Ok(Value::U64(udf.now()));
         }
         UdfId::Hash => {
             if let [v] = args {
@@ -451,7 +447,7 @@ pub enum CStmt {
 
 /// Finds a conjunct `Col(key_col) == e` where `e` reads no columns,
 /// returning `e`.
-fn keyed_condition<'a>(cond: &'a IrExpr, key_col: usize) -> Option<&'a IrExpr> {
+fn keyed_condition(cond: &IrExpr, key_col: usize) -> Option<&IrExpr> {
     match cond {
         IrExpr::Binary {
             op: IrBinOp::And,
@@ -463,9 +459,7 @@ fn keyed_condition<'a>(cond: &'a IrExpr, key_col: usize) -> Option<&'a IrExpr> {
             left,
             right,
         } => match (left.as_ref(), right.as_ref()) {
-            (IrExpr::Col(c), e) | (e, IrExpr::Col(c)) if *c == key_col && !e.uses_cols() => {
-                Some(e)
-            }
+            (IrExpr::Col(c), e) | (e, IrExpr::Col(c)) if *c == key_col && !e.uses_cols() => Some(e),
             _ => None,
         },
         _ => None,
@@ -662,15 +656,17 @@ mod tests {
                     op: IrUnOp::Not,
                     operand: Box::new(e),
                 }),
-                (inner.clone(), proptest::collection::vec(inner.clone(), 1..2)).prop_map(
-                    |(v, mut args)| {
+                (
+                    inner.clone(),
+                    proptest::collection::vec(inner.clone(), 1..2)
+                )
+                    .prop_map(|(v, mut args)| {
                         args.truncate(1);
                         IrExpr::Case {
                             arms: vec![(args.pop().expect("one"), v)],
                             otherwise: None,
                         }
-                    }
-                ),
+                    }),
                 inner.clone().prop_map(|e| IrExpr::Udf {
                     name: "hash".into(),
                     args: vec![e],

@@ -199,17 +199,25 @@ impl StateTable {
     ) -> usize {
         let mut updated = 0;
         let mut reindex = false;
-        for slot in &mut self.rows {
-            if let Some(row) = slot {
-                if pred(row) {
-                    let old_key = self.layout.key_columns.iter().map(|&c| row[c].clone()).collect::<Vec<_>>();
-                    update(row);
-                    let new_key = self.layout.key_columns.iter().map(|&c| row[c].clone()).collect::<Vec<_>>();
-                    if old_key != new_key {
-                        reindex = true;
-                    }
-                    updated += 1;
+        for row in self.rows.iter_mut().flatten() {
+            if pred(row) {
+                let old_key = self
+                    .layout
+                    .key_columns
+                    .iter()
+                    .map(|&c| row[c].clone())
+                    .collect::<Vec<_>>();
+                update(row);
+                let new_key = self
+                    .layout
+                    .key_columns
+                    .iter()
+                    .map(|&c| row[c].clone())
+                    .collect::<Vec<_>>();
+                if old_key != new_key {
+                    reindex = true;
                 }
+                updated += 1;
             }
         }
         if reindex {
@@ -398,10 +406,7 @@ mod tests {
     #[test]
     fn update_where_reindexes_key_changes() {
         let mut t = StateTable::new(layout());
-        let n = t.update_where(
-            |row| row[0] == s("bob"),
-            |row| row[0] = s("robert"),
-        );
+        let n = t.update_where(|row| row[0] == s("bob"), |row| row[0] = s("robert"));
         assert_eq!(n, 1);
         assert!(t.lookup(t.key_hash_of(&[&s("bob")])).is_none());
         assert_eq!(t.lookup(t.key_hash_of(&[&s("robert")])).unwrap()[1], s("R"));

@@ -211,7 +211,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, String> {
                 if out.len() + n as usize > orig_len as usize {
                     return Err("run exceeds declared length".into());
                 }
-                out.extend(std::iter::repeat(data[i]).take(n as usize));
+                out.extend(std::iter::repeat_n(data[i], n as usize));
                 i += 1;
             }
             other => return Err(format!("unknown op {other:#x}")),
@@ -304,13 +304,20 @@ mod tests {
     fn compress_shrinks_repetitive_data() {
         let data = vec![0u8; 4096];
         let c = compress(&data);
-        assert!(c.len() < 32, "4096 zeros should compress to a few bytes, got {}", c.len());
+        assert!(
+            c.len() < 32,
+            "4096 zeros should compress to a few bytes, got {}",
+            c.len()
+        );
     }
 
     #[test]
     fn decompress_rejects_garbage() {
         assert!(decompress(&[]).is_err());
-        assert!(decompress(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]).is_err());
+        assert!(
+            decompress(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F])
+                .is_err()
+        );
         // Valid header, bogus op.
         assert!(decompress(&[4, 0x05, 1, 2]).is_err());
         // Run longer than declared length.
@@ -382,7 +389,7 @@ mod tests {
     fn compress_udf_roundtrip_through_dispatch() {
         let mut rt = UdfRuntime::new(0);
         let data = Value::Bytes(b"xxxxxxxxyyyyyyyyzzzz".to_vec());
-        let c = rt.call("compress", &[data.clone()]).unwrap();
+        let c = rt.call("compress", std::slice::from_ref(&data)).unwrap();
         let d = rt.call("decompress", &[c]).unwrap();
         assert_eq!(d, data);
     }

@@ -19,20 +19,14 @@ fn bench(c: &mut Criterion) {
     let (req_schema, resp_schema) = object_store_schemas();
     let mut group = c.benchmark_group("codegen_overhead");
 
-    let proto = RpcMessage::request(
-        1,
-        1,
-        std::sync::Arc::new((*req_schema).clone()),
-    )
-    .with("object_id", 42u64)
-    .with("username", "alice")
-    .with("payload", PAPER_PAYLOAD.to_vec());
+    let proto = RpcMessage::request(1, 1, std::sync::Arc::new((*req_schema).clone()))
+        .with("object_id", 42u64)
+        .with("username", "alice")
+        .with("payload", PAPER_PAYLOAD.to_vec());
 
     let mut bench_engine = |label: String, mut engine: Box<dyn Engine>| {
         let mut msg = proto.clone();
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(engine.process(&mut msg)))
-        });
+        group.bench_function(label, |b| b.iter(|| black_box(engine.process(&mut msg))));
     };
 
     for element in ["Logging", "Acl", "Fault"] {

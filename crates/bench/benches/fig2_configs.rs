@@ -62,9 +62,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 i += 1;
-                world
-                    .call(i, "alice", &payload)
-                    .expect("alice is a writer");
+                world.call(i, "alice", &payload).expect("alice is a writer");
             })
         });
         drop(world);

@@ -53,7 +53,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("mesh_hpack_encode", |b| {
         b.iter(|| {
             let mut ctx = HpackContext::new();
-            black_box(adn_mesh::hpack::encode_headers(&mut ctx, black_box(&headers)))
+            black_box(adn_mesh::hpack::encode_headers(
+                &mut ctx,
+                black_box(&headers),
+            ))
         })
     });
     let block = {

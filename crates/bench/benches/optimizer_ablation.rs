@@ -63,7 +63,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 i += 1;
-                let user = if i % 2 == 0 { "alice" } else { "bob" };
+                let user = if i.is_multiple_of(2) { "alice" } else { "bob" };
                 let mut msg = RpcMessage::request(1, 1, Arc::new((*m_req).clone()))
                     .with("object_id", i)
                     .with("username", user)

@@ -12,16 +12,16 @@
 //!   E7     live reconfiguration without disruption
 //!   E8     optimizer ablations (reorder, const-fold, minimal headers)
 //!
-//! Usage: `paper_eval [--fig5] [--loc] [--fig2] [--overhead] [--codegen]
-//! [--reconfig] [--ablation]` (no flags = run everything).
+//! Usage: `paper_eval [--lint] [--fig5] [--loc] [--fig2] [--overhead]
+//! [--codegen] [--reconfig] [--ablation]` (no flags = run everything).
 //! `ADN_BENCH_SECS` scales measurement time (default 2s per point).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adn::harness::{
-    object_store_schemas, object_store_service, AdnWorld, HandcodedWorld, MeshPolicies,
-    MeshWorld, WorldConfig,
+    object_store_schemas, object_store_service, AdnWorld, HandcodedWorld, MeshPolicies, MeshWorld,
+    WorldConfig,
 };
 use adn_bench::{
     measure_duration, median, percentile, us, Table, PAPER_CONCURRENCY, PAPER_FAULT_PROB,
@@ -36,12 +36,18 @@ fn main() {
     let all = args.is_empty();
     let has = |flag: &str| all || args.iter().any(|a| a == flag);
 
-    println!("== ADN paper evaluation harness (adn {}) ==", adn::version());
+    println!(
+        "== ADN paper evaluation harness (adn {}) ==",
+        adn::version()
+    );
     println!(
         "measurement window: {:?} per point (ADN_BENCH_SECS to change)\n",
         measure_duration()
     );
 
+    if has("--lint") {
+        lint_eval_chains();
+    }
     if has("--fig5") {
         fig5();
     }
@@ -62,6 +68,84 @@ fn main() {
     }
     if has("--ablation") {
         ablation();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-flight: static verification of every chain the harness measures
+// ---------------------------------------------------------------------------
+
+/// Runs the chain verifier and the optimizer audit over each chain used by
+/// the experiments below, so a broken element or a miscompiling pass shows
+/// up as a named diagnostic before any time is spent measuring it.
+fn lint_eval_chains() {
+    use adn_ir::{optimize, ChainIr, PassConfig};
+    use adn_verifier::{audit_headers, audit_report, verify_chain, ChainVerifyOptions};
+
+    println!("--- pre-flight: chain verification and optimizer audit ---\n");
+    let (req_schema, resp_schema) = object_store_schemas();
+
+    let chains: &[(&str, &[&str])] = &[
+        ("E1 logging", &["Logging"]),
+        ("E1 acl", &["Acl"]),
+        ("E1/E2 full", &["Logging", "Acl", "Fault"]),
+        (
+            "E4 fig2",
+            &["LoadBalancer", "Compress", "Acl", "Decompress"],
+        ),
+        ("E4 scale-out", &["Compress", "Acl", "Decompress"]),
+        ("E7 reconfig", &["Metrics"]),
+        ("E8 reorder", &["Compress", "Acl"]),
+    ];
+
+    let mut t = Table::new(&["chain", "elements", "verify", "optimizer audit"]);
+    let mut dirty = 0usize;
+    for (label, names) in chains {
+        let elements: Vec<adn_ir::ElementIr> = names
+            .iter()
+            .map(|n| adn_elements::build(n, &[], &req_schema, &resp_schema).expect("build"))
+            .collect();
+        let chain = ChainIr::new(elements, req_schema.clone(), resp_schema.clone());
+
+        let findings = verify_chain(&chain, &ChainVerifyOptions::default());
+        let (optimized, report) = optimize(chain.clone(), &PassConfig::default());
+        let mut audit = audit_report(&chain, &optimized, &report);
+        audit.extend(audit_headers(&optimized));
+
+        for f in &findings {
+            let name = f
+                .element
+                .map(|i| chain.elements[i].name.as_str())
+                .unwrap_or("-");
+            eprintln!(
+                "  {label}: [{}] {} ({name})",
+                f.diagnostic.code, f.diagnostic.message
+            );
+        }
+        for d in &audit {
+            eprintln!("  {label}: [{}] {}", d.code, d.message);
+        }
+        dirty += findings.len() + audit.len();
+        t.row(&[
+            (*label).into(),
+            names.join(" → "),
+            if findings.is_empty() {
+                "clean".into()
+            } else {
+                format!("{} finding(s)", findings.len())
+            },
+            if audit.is_empty() {
+                "clean".into()
+            } else {
+                format!("{} finding(s)", audit.len())
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    if dirty == 0 {
+        println!("all evaluation chains verify clean; optimizer reports re-validated.\n");
+    } else {
+        println!("{dirty} diagnostic(s) above — results below may not be meaningful.\n");
     }
 }
 
@@ -136,10 +220,18 @@ fn measure_handcoded(engines: Vec<Box<dyn Engine>>) -> SystemPoint {
 
 fn fig5() {
     println!("--- E1/E2: Figure 5 — RPC rate and latency ---");
-    println!("workload: {PAPER_CONCURRENCY} concurrent RPCs, one client thread, short byte strings\n");
+    println!(
+        "workload: {PAPER_CONCURRENCY} concurrent RPCs, one client thread, short byte strings\n"
+    );
     let (req_schema, _) = object_store_schemas();
 
-    let cases: Vec<(&str, WorldConfig, MeshPolicies, Vec<Box<dyn Engine>>)> = vec![
+    type Fig5Case = (
+        &'static str,
+        WorldConfig,
+        MeshPolicies,
+        Vec<Box<dyn Engine>>,
+    );
+    let cases: Vec<Fig5Case> = vec![
         (
             "Logging",
             WorldConfig::of_elements(&["Logging"]),
@@ -160,24 +252,26 @@ fn fig5() {
                 acl: true,
                 fault_prob: 0.0,
             },
-            vec![Box::new(adn_elements::handcoded::HandAcl::with_default_table(
-                &req_schema,
-            ))],
+            vec![Box::new(
+                adn_elements::handcoded::HandAcl::with_default_table(&req_schema),
+            )],
         ),
         (
             "Fault",
             WorldConfig::paper_eval_chain(PAPER_FAULT_PROB),
             MeshPolicies::all(PAPER_FAULT_PROB),
-            adn_elements::handcoded::paper_eval_chain_handcoded(
-                &req_schema,
-                PAPER_FAULT_PROB,
-                7,
-            ),
+            adn_elements::handcoded::paper_eval_chain_handcoded(&req_schema, PAPER_FAULT_PROB, 7),
         ),
     ];
     // The third group chains all three elements, as in the paper ("RPCs
     // are logged, access controlled, and some of them are dropped").
-    let mut rate = Table::new(&["element", "gRPC+Envoy (krps)", "ADN (krps)", "hand-coded (krps)", "ADN/Envoy"]);
+    let mut rate = Table::new(&[
+        "element",
+        "gRPC+Envoy (krps)",
+        "ADN (krps)",
+        "hand-coded (krps)",
+        "ADN/Envoy",
+    ]);
     let mut latency = Table::new(&[
         "element",
         "gRPC+Envoy p50 (us)",
@@ -223,7 +317,13 @@ fn loc_table() {
     let (req, resp) = object_store_schemas();
     let handcoded_src = include_str!("../../../elements/src/handcoded.rs");
 
-    let mut t = Table::new(&["element", "DSL LoC", "generated Rust LoC", "hand-written Rust LoC", "DSL/hand ratio"]);
+    let mut t = Table::new(&[
+        "element",
+        "DSL LoC",
+        "generated Rust LoC",
+        "hand-written Rust LoC",
+        "DSL/hand ratio",
+    ]);
     for (name, hand_struct) in [
         ("Logging", "HandLogging"),
         ("Acl", "HandAcl"),
@@ -255,7 +355,7 @@ fn handwritten_loc(source: &str, struct_name: &str) -> usize {
     let impl_marker = format!("impl Engine for {struct_name}");
     let impl_start = source[start..].find(&impl_marker).expect("impl present") + start;
     // Find the end of the impl block by brace matching.
-    let bytes = source[impl_start..].as_bytes();
+    let bytes = &source.as_bytes()[impl_start..];
     let mut depth = 0usize;
     let mut end = impl_start;
     for (i, &b) in bytes.iter().enumerate() {
@@ -325,7 +425,10 @@ fn fig2() {
             vec![PlacementConstraint::OffApp],
             vec![PlacementConstraint::OffApp, PlacementConstraint::SenderSide],
             vec![PlacementConstraint::OffApp],
-            vec![PlacementConstraint::OffApp, PlacementConstraint::ReceiverSide],
+            vec![
+                PlacementConstraint::OffApp,
+                PlacementConstraint::ReceiverSide,
+            ],
         ],
     );
     eprintln!("  config 3 (switch offload + reorder)...");
@@ -439,7 +542,13 @@ fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64
     );
 
     let client_frames = net.attach(100);
-    let client = RpcClient::new(100, link, client_frames, service.clone(), EngineChain::new());
+    let client = RpcClient::new(
+        100,
+        link,
+        client_frames,
+        service.clone(),
+        EngineChain::new(),
+    );
     client.set_via(Some(500));
 
     let make = |i: u64, user: &str| {
@@ -531,9 +640,12 @@ fn mesh_overhead() {
         let msg = msg.clone();
         t.row(&[
             "ADN: schema encode (full message)".into(),
-            format!("{:.0}", time_op(Box::new(move || {
-                let _ = adn_rpc::wire_format::encode_message_to_vec(&msg);
-            }))),
+            format!(
+                "{:.0}",
+                time_op(Box::new(move || {
+                    let _ = adn_rpc::wire_format::encode_message_to_vec(&msg);
+                }))
+            ),
             adn_bytes.len().to_string(),
         ]);
     }
@@ -542,9 +654,12 @@ fn mesh_overhead() {
         let svc = service.clone();
         t.row(&[
             "ADN: schema decode".into(),
-            format!("{:.0}", time_op(Box::new(move || {
-                let _ = adn_rpc::wire_format::decode_message_exact(&bytes, &svc);
-            }))),
+            format!(
+                "{:.0}",
+                time_op(Box::new(move || {
+                    let _ = adn_rpc::wire_format::decode_message_exact(&bytes, &svc);
+                }))
+            ),
             adn_bytes.len().to_string(),
         ]);
     }
@@ -555,9 +670,12 @@ fn mesh_overhead() {
         let fields = msg.fields.clone();
         t.row(&[
             "mesh: protobuf encode".into(),
-            format!("{:.0}", time_op(Box::new(move || {
-                let _ = adn_mesh::pb::encode_to_vec(&fields);
-            }))),
+            format!(
+                "{:.0}",
+                time_op(Box::new(move || {
+                    let _ = adn_mesh::pb::encode_to_vec(&fields);
+                }))
+            ),
             pb_bytes.len().to_string(),
         ]);
     }
@@ -565,9 +683,12 @@ fn mesh_overhead() {
         let bytes = pb_bytes.clone();
         t.row(&[
             "mesh: protobuf dynamic decode (proxy)".into(),
-            format!("{:.0}", time_op(Box::new(move || {
-                let _ = adn_mesh::pb::decode_dynamic(&bytes);
-            }))),
+            format!(
+                "{:.0}",
+                time_op(Box::new(move || {
+                    let _ = adn_mesh::pb::decode_dynamic(&bytes);
+                }))
+            ),
             pb_bytes.len().to_string(),
         ]);
     }
@@ -581,20 +702,26 @@ fn mesh_overhead() {
         let svc_name = service.name.clone();
         t.row(&[
             "mesh: full gRPC+HPACK+HTTP/2 encode".into(),
-            format!("{:.0}", time_op(Box::new(move || {
-                let mut ctx = adn_mesh::hpack::HpackContext::new();
-                let _ = adn_mesh::grpc::encode_request(&mut ctx, &msg3, &svc_name, "Put");
-            }))),
+            format!(
+                "{:.0}",
+                time_op(Box::new(move || {
+                    let mut ctx = adn_mesh::hpack::HpackContext::new();
+                    let _ = adn_mesh::grpc::encode_request(&mut ctx, &msg3, &svc_name, "Put");
+                }))
+            ),
             mesh_full.len().to_string(),
         ]);
         let svc = service.clone();
         let bytes = mesh_full.clone();
         t.row(&[
             "mesh: full decode (app edge)".into(),
-            format!("{:.0}", time_op(Box::new(move || {
-                let mut ctx = adn_mesh::hpack::HpackContext::new();
-                let _ = adn_mesh::grpc::decode_message(&mut ctx, &bytes, &svc);
-            }))),
+            format!(
+                "{:.0}",
+                time_op(Box::new(move || {
+                    let mut ctx = adn_mesh::hpack::HpackContext::new();
+                    let _ = adn_mesh::grpc::decode_message(&mut ctx, &bytes, &svc);
+                }))
+            ),
             mesh_full.len().to_string(),
         ]);
     }
@@ -617,7 +744,12 @@ fn codegen_overhead() {
     let m = service.method_by_id(1).expect("method");
     let iters = 200_000u32;
 
-    let mut t = Table::new(&["element", "generated ns/msg", "hand-coded ns/msg", "overhead"]);
+    let mut t = Table::new(&[
+        "element",
+        "generated ns/msg",
+        "hand-coded ns/msg",
+        "overhead",
+    ]);
     let mut bench_pair = |name: &str, mut generated: Box<dyn Engine>, mut hand: Box<dyn Engine>| {
         let proto = RpcMessage::request(1, 1, m.request.clone())
             .with("object_id", 42u64)
@@ -660,7 +792,9 @@ fn codegen_overhead() {
     bench_pair(
         "Acl",
         build("Acl"),
-        Box::new(adn_elements::handcoded::HandAcl::with_default_table(&req_schema)),
+        Box::new(adn_elements::handcoded::HandAcl::with_default_table(
+            &req_schema,
+        )),
     );
     bench_pair(
         "Fault",
@@ -709,8 +843,7 @@ fn reconfig() {
         }),
     );
 
-    let element =
-        adn_elements::build("Metrics", &[], &req_schema, &resp_schema).expect("build");
+    let element = adn_elements::build("Metrics", &[], &req_schema, &resp_schema).expect("build");
     let make_chain = {
         let element = element.clone();
         move || {
@@ -741,7 +874,13 @@ fn reconfig() {
     );
 
     let client_frames = net.attach(100);
-    let client = RpcClient::new(100, link.clone(), client_frames, service.clone(), EngineChain::new());
+    let client = RpcClient::new(
+        100,
+        link.clone(),
+        client_frames,
+        service.clone(),
+        EngineChain::new(),
+    );
     client.set_via(Some(50));
 
     // Background load.
@@ -826,10 +965,30 @@ fn reconfig() {
     merged.stop();
 
     let mut t = Table::new(&["operation", "control time (ms)", "calls ok", "calls failed"]);
-    t.row(&["migrate".into(), format!("{migrate_ms:.1}"), String::new(), String::new()]);
-    t.row(&["scale out x3".into(), format!("{scale_out_ms:.1}"), String::new(), String::new()]);
-    t.row(&["scale in".into(), format!("{scale_in_ms:.1}"), String::new(), String::new()]);
-    t.row(&["whole run".into(), String::new(), ok.to_string(), failed.to_string()]);
+    t.row(&[
+        "migrate".into(),
+        format!("{migrate_ms:.1}"),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "scale out x3".into(),
+        format!("{scale_out_ms:.1}"),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "scale in".into(),
+        format!("{scale_in_ms:.1}"),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "whole run".into(),
+        String::new(),
+        ok.to_string(),
+        failed.to_string(),
+    ]);
     println!("{}", t.render());
     println!("expected: zero failed calls across migrate/scale-out/scale-in.\n");
 }
@@ -929,7 +1088,8 @@ fn ablation() {
     let start = Instant::now();
     for _ in 0..iters {
         // What a full-decode hop does.
-        let decoded = adn_rpc::wire_format::decode_message_exact(&full_bytes, &service).expect("dec");
+        let decoded =
+            adn_rpc::wire_format::decode_message_exact(&full_bytes, &service).expect("dec");
         let _ = adn_rpc::wire_format::encode_message_to_vec(&decoded);
     }
     let full_ns = start.elapsed().as_nanos() as f64 / iters as f64;
@@ -957,7 +1117,10 @@ fn ablation() {
             adn_dsl::compile_frontend(folded_src, &req_schema, &resp_schema).expect("frontend");
         adn_ir::lower_element(&checked, &[], &req_schema, &resp_schema).expect("lower")
     };
-    for (label, passes) in [("passes off", PassConfig::none()), ("passes on", PassConfig::default())] {
+    for (label, passes) in [
+        ("passes off", PassConfig::none()),
+        ("passes on", PassConfig::default()),
+    ] {
         let chain = ChainIr::new(vec![ir.clone()], req_schema.clone(), resp_schema.clone());
         let (opt_chain, rep) = optimize(chain, &passes);
         let mut engine = compile_element(&opt_chain.elements[0], &CompileOpts::default());

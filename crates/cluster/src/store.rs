@@ -170,7 +170,10 @@ impl ClusterStore {
         let app = config.app.clone();
         let version = {
             let mut state = self.state.write();
-            let entry = state.configs.entry(app.clone()).or_insert((0, config.clone()));
+            let entry = state
+                .configs
+                .entry(app.clone())
+                .or_insert((0, config.clone()));
             entry.0 += 1;
             entry.1 = config;
             entry.0
@@ -258,7 +261,15 @@ mod tests {
         store.remove_replica("b", 200).unwrap();
         assert!(store.service("b").unwrap().replicas.is_empty());
         assert!(store.remove_replica("b", 200).is_err());
-        assert!(store.add_replica("ghost", ReplicaSpec { node: NodeId(1), endpoint: 1 }).is_err());
+        assert!(store
+            .add_replica(
+                "ghost",
+                ReplicaSpec {
+                    node: NodeId(1),
+                    endpoint: 1
+                }
+            )
+            .is_err());
     }
 
     #[test]
@@ -274,7 +285,10 @@ mod tests {
             });
         }
         let nodes = store.nodes();
-        assert_eq!(nodes.iter().map(|n| n.id.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            nodes.iter().map(|n| n.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert!(store.node(NodeId(2)).unwrap().ebpf_capable);
         assert!(store.node(NodeId(9)).is_none());
     }

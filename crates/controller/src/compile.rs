@@ -8,11 +8,24 @@
 use std::sync::Arc;
 
 use adn_cluster::resources::{AdnConfig, ElementSpec, PlacementConstraint};
+use adn_dsl::diag::Diagnostic;
 use adn_ir::{ChainIr, ElementIr, OptReport, PassConfig};
 use adn_rpc::schema::RpcSchema;
 use adn_rpc::value::Value;
 
 use crate::placement::ElementConstraints;
+
+/// How much static verification runs during compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// Skip the verifier entirely.
+    Off,
+    /// Run it; record diagnostics on the [`CompiledApp`] but never fail.
+    #[default]
+    Warn,
+    /// Run it; any error-severity diagnostic fails compilation.
+    Deny,
+}
 
 /// A compiled application network, ready for placement and deployment.
 #[derive(Debug, Clone)]
@@ -23,6 +36,9 @@ pub struct CompiledApp {
     pub constraints: Vec<ElementConstraints>,
     /// What the optimizer did.
     pub report: OptReport,
+    /// Verifier findings (chain lints + optimizer audit), when the
+    /// [`VerifyLevel`] asked for them.
+    pub diagnostics: Vec<Diagnostic>,
     /// Seed for engine RNGs.
     pub seed: u64,
 }
@@ -34,6 +50,8 @@ pub enum CompileError {
     Frontend(String, adn_dsl::FrontendError),
     Lower(String, adn_ir::LowerError),
     BadArgument(String, String),
+    /// [`VerifyLevel::Deny`] and the verifier reported errors.
+    Verification(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for CompileError {
@@ -44,6 +62,13 @@ impl std::fmt::Display for CompileError {
             CompileError::Lower(name, e) => write!(f, "element {name}: {e}"),
             CompileError::BadArgument(name, what) => {
                 write!(f, "element {name}: bad argument: {what}")
+            }
+            CompileError::Verification(diags) => {
+                write!(f, "verification failed:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -102,19 +127,53 @@ pub fn compile_element_spec(
     Ok(ir)
 }
 
-/// Compiles a full AdnConfig with the given pass configuration.
+/// Compiles a full AdnConfig with the given pass configuration, verifying
+/// at [`VerifyLevel::Warn`].
 pub fn compile_app_with_passes(
     config: &AdnConfig,
     request: Arc<RpcSchema>,
     response: Arc<RpcSchema>,
     passes: &PassConfig,
 ) -> Result<CompiledApp, CompileError> {
+    compile_app_verified(config, request, response, passes, VerifyLevel::Warn)
+}
+
+/// Compiles a full AdnConfig with explicit pass configuration and
+/// verification level. Verification runs the chain dataflow lints over the
+/// pre-optimization chain and re-audits every optimizer decision (order,
+/// stages, parallel pairs, minimal headers) on the optimized one.
+pub fn compile_app_verified(
+    config: &AdnConfig,
+    request: Arc<RpcSchema>,
+    response: Arc<RpcSchema>,
+    passes: &PassConfig,
+    verify: VerifyLevel,
+) -> Result<CompiledApp, CompileError> {
     let mut elements = Vec::with_capacity(config.chain.len());
     for spec in &config.chain {
         elements.push(compile_element_spec(spec, &request, &response)?);
     }
     let chain = ChainIr::new(elements, request, response);
+    let original = match verify {
+        VerifyLevel::Off => None,
+        _ => Some(chain.clone()),
+    };
     let (chain, report) = adn_ir::optimize(chain, passes);
+
+    let mut diagnostics = Vec::new();
+    if let Some(original) = original {
+        let opts = adn_verifier::ChainVerifyOptions::default();
+        diagnostics.extend(
+            adn_verifier::verify_chain(&original, &opts)
+                .into_iter()
+                .map(|f| f.diagnostic),
+        );
+        diagnostics.extend(adn_verifier::audit_report(&original, &chain, &report));
+        diagnostics.extend(adn_verifier::audit_headers(&chain));
+        if verify == VerifyLevel::Deny && diagnostics.iter().any(|d| d.is_error()) {
+            return Err(CompileError::Verification(diagnostics));
+        }
+    }
 
     // The optimizer may have reordered elements; constraints follow their
     // element by name (names are unique per config position; when an
@@ -144,6 +203,7 @@ pub fn compile_app_with_passes(
         chain,
         constraints,
         report,
+        diagnostics,
         seed: config.seed,
     })
 }
@@ -288,6 +348,46 @@ mod tests {
             compile_app(&cfg, req, resp),
             Err(CompileError::BadArgument(..))
         ));
+    }
+
+    #[test]
+    fn warn_level_records_diagnostics_without_failing() {
+        let (req, resp) = schemas();
+        // A pure pass-through element: V0003 (dead element) warning.
+        let cfg = config(vec![
+            ElementSpec {
+                element: "Tee".into(),
+                source: Some("element Tee() { on request { SELECT * FROM input; } }".into()),
+                args: vec![],
+                constraints: vec![],
+            },
+            spec("Compress"),
+        ]);
+        let app = compile_app(&cfg, req, resp).unwrap();
+        assert!(
+            app.diagnostics.iter().any(|d| d.code == "V0003"),
+            "{:?}",
+            app.diagnostics
+        );
+        assert!(app.diagnostics.iter().all(|d| !d.is_error()));
+    }
+
+    #[test]
+    fn deny_level_accepts_a_clean_chain() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![spec("Logging"), spec("Acl"), spec("Fault")]);
+        let app = compile_app_verified(&cfg, req, resp, &PassConfig::default(), VerifyLevel::Deny)
+            .unwrap();
+        assert!(app.diagnostics.iter().all(|d| !d.is_error()));
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let (req, resp) = schemas();
+        let cfg = config(vec![spec("Acl")]);
+        let app = compile_app_verified(&cfg, req, resp, &PassConfig::default(), VerifyLevel::Off)
+            .unwrap();
+        assert!(app.diagnostics.is_empty());
     }
 
     #[test]

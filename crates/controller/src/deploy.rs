@@ -125,9 +125,11 @@ pub fn build_engine(
                 .iter()
                 .map(|f| f.ty)
                 .collect();
-            let compiled = ebpf::compile_for_schema(element, &req_types, &resp_types)
-                .map_err(|e| DeployError {
-                    message: format!("ebpf compile of {}: {e}", element.name),
+            let compiled =
+                ebpf::compile_for_schema(element, &req_types, &resp_types).map_err(|e| {
+                    DeployError {
+                        message: format!("ebpf compile of {}: {e}", element.name),
+                    }
                 })?;
             Ok(Box::new(EbpfEngine::new(compiled, seed, replicas.to_vec())))
         }
@@ -367,12 +369,7 @@ mod tests {
             seed: 5,
         };
         let app = compile_app(&config, req_schema, resp_schema.clone()).unwrap();
-        let placement = place(
-            &app.chain.elements,
-            &app.constraints,
-            &env(rich),
-        )
-        .unwrap();
+        let placement = place(&app.chain.elements, &app.constraints, &env(rich)).unwrap();
 
         let net = InProcNetwork::new();
         let link: Arc<dyn Link> = Arc::new(net.clone());
@@ -445,10 +442,8 @@ mod tests {
 
     #[test]
     fn offapp_sidecar_deployment_enforces_acl() {
-        let (_client, results) = run_deployment(
-            vec![spec("Acl", vec![PlacementConstraint::OffApp])],
-            false,
-        );
+        let (_client, results) =
+            run_deployment(vec![spec("Acl", vec![PlacementConstraint::OffApp])], false);
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
     }

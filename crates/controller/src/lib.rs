@@ -28,7 +28,7 @@ pub mod placement;
 pub mod reconfig;
 pub mod runtime;
 
-pub use compile::{compile_app, CompileError, CompiledApp};
+pub use compile::{compile_app, compile_app_verified, CompileError, CompiledApp, VerifyLevel};
 pub use deploy::{deploy, AddrAllocator, Deployment};
-pub use placement::{place, Environment, PlaceError, Placement, Site};
+pub use placement::{place, place_with_policy, Environment, PlaceError, Placement, Site};
 pub use runtime::Controller;

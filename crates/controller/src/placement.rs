@@ -27,6 +27,7 @@
 use adn_backend::Platform;
 use adn_cluster::resources::{NodeSpec, PlacementConstraint, SwitchSpec};
 use adn_ir::ElementIr;
+use adn_verifier::ebpf::EbpfPolicy;
 
 /// A processor site on the client→server path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -158,7 +159,11 @@ impl Environment {
             Site::ServerEbpf => self.server_node.ebpf_capable,
             Site::ClientNic => self.client_node.smartnic.is_some(),
             Site::ServerNic => self.server_node.smartnic.is_some(),
-            Site::Switch => self.switch.as_ref().map(|s| s.programmable).unwrap_or(false),
+            Site::Switch => self
+                .switch
+                .as_ref()
+                .map(|s| s.programmable)
+                .unwrap_or(false),
         }
     }
 }
@@ -192,7 +197,10 @@ impl Placement {
             if !s.is_empty() {
                 s.push_str(" → ");
             }
-            let names: Vec<&str> = elements[start..end].iter().map(|e| e.name.as_str()).collect();
+            let names: Vec<&str> = elements[start..end]
+                .iter()
+                .map(|e| e.name.as_str())
+                .collect();
             s.push_str(&format!("{site:?}[{}]", names.join("+")));
         }
         s
@@ -244,11 +252,25 @@ impl ElementConstraints {
     }
 }
 
-/// Solves placement for `elements` under `constraints` in `env`.
+/// Solves placement for `elements` under `constraints` in `env`, with the
+/// default (permissive) kernel offload policy.
 pub fn place(
     elements: &[ElementIr],
     constraints: &[ElementConstraints],
     env: &Environment,
+) -> Result<Placement, PlaceError> {
+    place_with_policy(elements, constraints, env, &EbpfPolicy::default())
+}
+
+/// Solves placement under an explicit eBPF offload policy. An element only
+/// qualifies for an eBPF site if the offload verifier
+/// ([`adn_verifier::ebpf::audit_element`]) passes it under `policy`; one
+/// that compiles but fails the audit falls back to native processors.
+pub fn place_with_policy(
+    elements: &[ElementIr],
+    constraints: &[ElementConstraints],
+    env: &Environment,
+    ebpf_policy: &EbpfPolicy,
 ) -> Result<Placement, PlaceError> {
     assert_eq!(elements.len(), constraints.len());
     if elements.is_empty() {
@@ -263,6 +285,8 @@ pub fn place(
     for (element, cons) in elements.iter().zip(constraints) {
         let facts = adn_ir::analysis::analyze(element);
         let exec_units = facts.total_cost() as f64;
+        // Offload verdict is per element, not per site: compute it once.
+        let ebpf_verdict = adn_verifier::ebpf::audit_element(element, ebpf_policy);
         let mut options = Vec::new();
         let mut reasons = Vec::new();
         for (si, &site) in ALL_SITES.iter().enumerate() {
@@ -277,6 +301,13 @@ pub fn place(
             if let Err(reason) = adn_backend::supports(element, site.platform()) {
                 reasons.push((site, reason));
                 continue;
+            }
+            if site.platform() == Platform::Ebpf {
+                if let Err(diags) = &ebpf_verdict {
+                    let why: Vec<String> = diags.iter().map(|d| d.message.clone()).collect();
+                    reasons.push((site, format!("offload verifier: {}", why.join("; "))));
+                    continue;
+                }
             }
             options.push((si, exec_units * site.speed_factor()));
         }
@@ -322,9 +353,9 @@ pub fn place(
     // Pick the best terminal site (delivery to the server app is free from
     // any site — the message continues along the path regardless).
     let (mut best_si, mut best_cost) = (usize::MAX, f64::INFINITY);
-    for si in 0..ALL_SITES.len() {
-        if dp[n - 1][si] < best_cost {
-            best_cost = dp[n - 1][si];
+    for (si, &cost) in dp[n - 1].iter().enumerate().take(ALL_SITES.len()) {
+        if cost < best_cost {
+            best_cost = cost;
             best_si = si;
         }
     }
@@ -371,7 +402,10 @@ mod tests {
                 .field("payload", ValueType::Bytes)
                 .build()
                 .unwrap(),
-            RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .build()
+                .unwrap(),
         )
     }
 
@@ -416,8 +450,7 @@ mod tests {
 
     const COMPRESS: &str =
         "element Compress() { on request { SET payload = compress(input.payload); SELECT * FROM input; } }";
-    const LB: &str =
-        "element Lb() { on request { ROUTE input.object_id; SELECT * FROM input; } }";
+    const LB: &str = "element Lb() { on request { ROUTE input.object_id; SELECT * FROM input; } }";
     const FIREWALL: &str =
         "element Fw() { on request { DROP WHERE input.object_id == 13; SELECT * FROM input; } }";
 
@@ -543,7 +576,12 @@ mod tests {
     #[test]
     fn groups_cluster_consecutive_sites() {
         let p = Placement {
-            sites: vec![Site::ClientLib, Site::ClientLib, Site::Switch, Site::ServerLib],
+            sites: vec![
+                Site::ClientLib,
+                Site::ClientLib,
+                Site::Switch,
+                Site::ServerLib,
+            ],
             cost: 0.0,
         };
         assert_eq!(
@@ -553,6 +591,48 @@ mod tests {
                 (Site::Switch, 2, 3),
                 (Site::ServerLib, 3, 4)
             ]
+        );
+    }
+
+    #[test]
+    fn restrictive_ebpf_policy_forces_native_fallback() {
+        // A u64-keyed ACL compiles to eBPF; in an eBPF-only environment
+        // (no NIC, no switch, no in-app) it lands in the kernel…
+        let acl = lower(
+            r#"
+            element NumAcl() {
+                state acl(object_id: u64 key, allowed: u64) init { (1, 1) };
+                on request {
+                    SELECT * FROM input JOIN acl ON input.object_id == acl.object_id
+                    WHERE acl.allowed == 1;
+                }
+            }
+            "#,
+        );
+        let cons = vec![ElementConstraints::default()];
+        let env = Environment {
+            client_node: node(1, true, false),
+            server_node: node(2, true, false),
+            switch: None,
+            allow_in_app: false,
+        };
+        let p = place(std::slice::from_ref(&acl), &cons, &env).unwrap();
+        assert!(
+            matches!(p.sites[0], Site::ClientEbpf | Site::ServerEbpf),
+            "default policy should offload, got {:?}",
+            p.sites[0]
+        );
+        // …but a site policy that refuses map helpers pushes it back to a
+        // native processor even though the element still compiles.
+        let policy = EbpfPolicy {
+            allow_map_helpers: false,
+            ..EbpfPolicy::default()
+        };
+        let p = place_with_policy(&[acl], &cons, &env, &policy).unwrap();
+        assert!(
+            matches!(p.sites[0], Site::ClientSidecar | Site::ServerSidecar),
+            "audited-out element must fall back, got {:?}",
+            p.sites[0]
         );
     }
 

@@ -169,10 +169,8 @@ fn table_aligned_with(element: &ElementIr, table_idx: usize, shard_field: usize)
             | IrStmt::Delete {
                 table,
                 condition: Some(cond),
-            } if *table == table_idx => {
-                if cond_matches_key_field(cond, *key_col, shard_field) {
-                    return true;
-                }
+            } if *table == table_idx && cond_matches_key_field(cond, *key_col, shard_field) => {
+                return true;
             }
             _ => {}
         }
@@ -473,7 +471,10 @@ mod tests {
                     .unwrap(),
             ),
             Arc::new(
-                RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+                RpcSchema::builder()
+                    .field("ok", ValueType::Bool)
+                    .build()
+                    .unwrap(),
             ),
         )
     }
@@ -541,7 +542,13 @@ mod tests {
             }),
         );
         let client_frames = net.attach(100);
-        let client = RpcClient::new(100, link.clone(), client_frames, svc.clone(), EngineChain::new());
+        let client = RpcClient::new(
+            100,
+            link.clone(),
+            client_frames,
+            svc.clone(),
+            EngineChain::new(),
+        );
         Harness {
             net,
             link,

@@ -581,7 +581,7 @@ mod tests {
             let resp = call(&w, i, "alice").unwrap();
             seen.insert(resp.get("payload").unwrap().as_bytes().unwrap()[0]);
         }
-        assert_eq!(seen, std::collections::HashSet::from([200u8 as u8]));
+        assert_eq!(seen, std::collections::HashSet::from([200_u8]));
     }
 
     #[test]

@@ -29,10 +29,19 @@ fn schemas() -> (RpcSchema, RpcSchema) {
 
 fn element_pool() -> Vec<adn_ir::ElementIr> {
     let (req, resp) = schemas();
-    ["Logging", "Acl", "Fault", "LoadBalancer", "Compress", "Decompress", "Firewall", "Metrics"]
-        .iter()
-        .map(|n| adn_elements::build(n, &[], &req, &resp).unwrap())
-        .collect()
+    [
+        "Logging",
+        "Acl",
+        "Fault",
+        "LoadBalancer",
+        "Compress",
+        "Decompress",
+        "Firewall",
+        "Metrics",
+    ]
+    .iter()
+    .map(|n| adn_elements::build(n, &[], &req, &resp).unwrap())
+    .collect()
 }
 
 fn arb_constraints() -> impl Strategy<Value = Vec<PlacementConstraint>> {
@@ -41,8 +50,14 @@ fn arb_constraints() -> impl Strategy<Value = Vec<PlacementConstraint>> {
         Just(vec![PlacementConstraint::OffApp]),
         Just(vec![PlacementConstraint::SenderSide]),
         Just(vec![PlacementConstraint::ReceiverSide]),
-        Just(vec![PlacementConstraint::OffApp, PlacementConstraint::SenderSide]),
-        Just(vec![PlacementConstraint::OffApp, PlacementConstraint::ReceiverSide]),
+        Just(vec![
+            PlacementConstraint::OffApp,
+            PlacementConstraint::SenderSide
+        ]),
+        Just(vec![
+            PlacementConstraint::OffApp,
+            PlacementConstraint::ReceiverSide
+        ]),
     ]
 }
 

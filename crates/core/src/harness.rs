@@ -560,7 +560,8 @@ impl MeshWorld {
 
     /// One blocking call.
     pub fn call(&self, object_id: u64, username: &str, payload: &[u8]) -> RpcResult<RpcMessage> {
-        self.client.call(self.request(object_id, username, payload), 2)
+        self.client
+            .call(self.request(object_id, username, payload), 2)
     }
 
     /// Sidecar stats (client side, server side).
@@ -675,7 +676,8 @@ impl HandcodedWorld {
 
     /// One blocking call.
     pub fn call(&self, object_id: u64, username: &str, payload: &[u8]) -> RpcResult<RpcMessage> {
-        self.client.call(self.request(object_id, username, payload), 200)
+        self.client
+            .call(self.request(object_id, username, payload), 200)
     }
 
     /// Closed-loop driver.
@@ -748,12 +750,8 @@ mod tests {
     #[test]
     fn closed_loop_counts_add_up() {
         let world = AdnWorld::start(WorldConfig::paper_eval_chain(0.1)).unwrap();
-        let stats = world.run_closed_loop(
-            32,
-            Duration::from_millis(300),
-            b"x",
-            &["alice", "carol"],
-        );
+        let stats =
+            world.run_closed_loop(32, Duration::from_millis(300), b"x", &["alice", "carol"]);
         assert!(stats.completed > 0, "{stats:?}");
         assert!(stats.aborted > 0, "fault injection should fire: {stats:?}");
         assert_eq!(stats.errors, 0, "{stats:?}");

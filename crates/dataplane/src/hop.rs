@@ -145,7 +145,10 @@ mod tests {
                 .unwrap(),
         );
         let response = Arc::new(
-            RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .build()
+                .unwrap(),
         );
         Arc::new(
             ServiceSchema::new(

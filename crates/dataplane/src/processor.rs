@@ -249,9 +249,7 @@ pub fn spawn_processor(
 
     let join = std::thread::Builder::new()
         .name(format!("adn-processor-{addr}"))
-        .spawn(move ||
-
- {
+        .spawn(move || {
             let ProcessorConfig {
                 addr,
                 service,
@@ -495,7 +493,13 @@ mod tests {
     }
 
     /// client(1) → processor(5) → server(2)
-    fn setup(chain: EngineChain) -> (Arc<RpcClient>, ProcessorHandle, adn_rpc::runtime::ServerHandle) {
+    fn setup(
+        chain: EngineChain,
+    ) -> (
+        Arc<RpcClient>,
+        ProcessorHandle,
+        adn_rpc::runtime::ServerHandle,
+    ) {
         let net = InProcNetwork::new();
         let link: Arc<dyn Link> = Arc::new(net.clone());
         let svc = service();
@@ -595,9 +599,10 @@ mod tests {
         let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
         let (client, processor, _server) = setup(chain);
         client.call(req(&client, 0), 5).unwrap();
-        let old_state = processor.install_chain(EngineChain::from_engines(vec![Box::new(
-            CountAndStamp { count: 0 },
-        )]));
+        let old_state =
+            processor.install_chain(EngineChain::from_engines(vec![Box::new(CountAndStamp {
+                count: 0,
+            })]));
         assert_eq!(old_state[0], 2u64.to_le_bytes().to_vec());
         // New chain starts fresh and still works.
         client.call(req(&client, 2), 5).unwrap();

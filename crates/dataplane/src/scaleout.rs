@@ -81,9 +81,7 @@ impl ShardedHandle {
     pub fn drain(&self) {
         self.drain_req.store(true, Ordering::Relaxed);
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while !self.drain_done.load(Ordering::Relaxed)
-            && std::time::Instant::now() < deadline
-        {
+        while !self.drain_done.load(Ordering::Relaxed) && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_micros(100));
         }
     }
@@ -302,9 +300,7 @@ mod tests {
                 ProcessorConfig {
                     addr,
                     service: svc.clone(),
-                    chain: EngineChain::from_engines(vec![Box::new(KeyRecorder {
-                        seen,
-                    })]),
+                    chain: EngineChain::from_engines(vec![Box::new(KeyRecorder { seen })]),
                     request_next: NextHop::Fixed(2),
                     response_next: NextHop::Dst,
                     initial_flows: Default::default(),
@@ -342,7 +338,10 @@ mod tests {
         let a = seen_a.lock().clone();
         let b = seen_b.lock().clone();
         assert_eq!(a.len() + b.len(), 40);
-        assert!(!a.is_empty() && !b.is_empty(), "both shards should see traffic");
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "both shards should see traffic"
+        );
         // Consistency: every key landed on the shard `shard_of` predicts.
         for k in a {
             assert_eq!(shard_of(&Value::U64(k), 2), 0, "key {k} misrouted");

@@ -7,6 +7,8 @@
 
 use adn_rpc::value::ValueType;
 
+use crate::diag::Span;
+
 /// A compilation unit: one or more element definitions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
@@ -14,15 +16,30 @@ pub struct Program {
 }
 
 /// One `element Name(params) { ... }` definition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ElementDef {
     pub name: String,
+    /// Byte span of the element's name token in its source.
+    pub name_span: Span,
     pub params: Vec<ParamDef>,
     pub states: Vec<StateDef>,
     /// Handler for requests, if declared.
     pub on_request: Option<Handler>,
     /// Handler for responses, if declared.
     pub on_response: Option<Handler>,
+}
+
+// Spans are positional metadata, not syntax: two definitions that print the
+// same are equal even when lexed from different offsets (the printer
+// round-trip property relies on this).
+impl PartialEq for ElementDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.states == other.states
+            && self.on_request == other.on_request
+            && self.on_response == other.on_response
+    }
 }
 
 impl ElementDef {
@@ -38,24 +55,43 @@ impl ElementDef {
 }
 
 /// A typed element parameter with an optional default.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ParamDef {
     pub name: String,
+    /// Byte span of the parameter's name token.
+    pub span: Span,
     pub ty: ValueType,
     pub default: Option<Literal>,
 }
 
+impl PartialEq for ParamDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.ty == other.ty && self.default == other.default
+    }
+}
+
 /// A state table declaration: typed columns, optional key columns, optional
 /// initial rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StateDef {
     pub name: String,
+    /// Byte span of the table's name token.
+    pub span: Span,
     pub columns: Vec<ColumnDef>,
     /// Maximum live rows; inserting beyond it evicts the oldest row
     /// (FIFO — log-rotation semantics). `None` = unbounded.
     pub capacity: Option<u64>,
     /// Rows the table starts with (each row is one literal per column).
     pub init_rows: Vec<Vec<Literal>>,
+}
+
+impl PartialEq for StateDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.capacity == other.capacity
+            && self.init_rows == other.init_rows
+    }
 }
 
 impl StateDef {
@@ -92,10 +128,26 @@ pub enum Direction {
 }
 
 /// A handler body: ordered statements executed per RPC.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Handler {
     pub direction: Direction,
     pub body: Vec<Stmt>,
+    /// Byte span of each statement in `body` (same length when produced by
+    /// the parser; may be empty for synthesized handlers).
+    pub stmt_spans: Vec<Span>,
+}
+
+impl Handler {
+    /// Span of statement `i`, when known.
+    pub fn stmt_span(&self, i: usize) -> Option<Span> {
+        self.stmt_spans.get(i).copied()
+    }
+}
+
+impl PartialEq for Handler {
+    fn eq(&self, other: &Self) -> bool {
+        self.direction == other.direction && self.body == other.body
+    }
 }
 
 /// Statements of the DSL.
@@ -120,10 +172,7 @@ pub enum Stmt {
     /// stable hash of the key expression (the paper's "load balance RPC
     /// requests from A to B.1 or B.2 based on the object identifier").
     /// The replica set is bound by the controller at deployment.
-    Route {
-        key: Expr,
-        condition: Option<Expr>,
-    },
+    Route { key: Expr, condition: Option<Expr> },
     /// `ABORT(code[, message]) [WHERE cond];` — reject the RPC.
     Abort {
         code: Expr,
@@ -264,12 +313,21 @@ pub enum Expr {
     InputField(String),
     /// `table.column` — a column of the joined state row (valid only under
     /// a JOIN on that table, or in UPDATE/DELETE WHERE clauses).
-    TableColumn { table: String, column: String },
+    TableColumn {
+        table: String,
+        column: String,
+    },
     /// A bare identifier: an element parameter.
     Param(String),
     /// Function call (built-in or user-defined).
-    Call { function: String, args: Vec<Expr> },
-    Unary { op: UnOp, operand: Box<Expr> },
+    Call {
+        function: String,
+        args: Vec<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
     Binary {
         op: BinOp,
         left: Box<Expr>,
@@ -394,6 +452,7 @@ mod tests {
     fn state_key_indices() {
         let s = StateDef {
             name: "t".into(),
+            span: Span::DUMMY,
             capacity: None,
             columns: vec![
                 ColumnDef {

@@ -1,0 +1,300 @@
+//! Structured, source-spanned diagnostics.
+//!
+//! Every front-end and verification pass reports problems as a
+//! [`Diagnostic`]: a stable machine-readable code, a severity, an optional
+//! byte [`Span`] into the originating DSL source, a human message, and an
+//! optional help line. Diagnostics render either rustc-style (with the
+//! offending source line and a caret underline) or as a single JSON object
+//! per diagnostic for tooling.
+
+use std::fmt;
+
+/// Stable diagnostic codes emitted by the front end. Verification-layer
+/// codes (`V00xx`, `A00xx`, `B00xx`) live in the `adn-verifier` crate.
+pub mod codes {
+    /// Lexical error (bad character, unterminated string, bad literal).
+    pub const LEX: &str = "E0001";
+    /// Syntax error.
+    pub const PARSE: &str = "E0002";
+    /// Duplicate definition (state table, column, parameter).
+    pub const DUPLICATE_DEF: &str = "E0101";
+    /// Reference to an unknown field, table, column, parameter or function.
+    pub const UNKNOWN_NAME: &str = "E0102";
+    /// Expression or literal type mismatch.
+    pub const TYPE_MISMATCH: &str = "E0103";
+    /// Wrong number of arguments or values.
+    pub const ARITY: &str = "E0104";
+    /// Construct used where it is not allowed.
+    pub const INVALID_CONTEXT: &str = "E0105";
+}
+
+/// Half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    /// The empty placeholder span used where no position is known.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+}
+
+/// 1-based line and column of `offset` within `source`.
+pub fn line_col(source: &str, offset: u32) -> (u32, u32) {
+    let offset = (offset as usize).min(source.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for b in source.as_bytes()[..offset].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// How severe a diagnostic is. `Error` fails compilation under
+/// deny-level verification; `Warning` never does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single structured finding with a stable code.
+///
+/// Code ranges: `E00xx` front-end (lex/parse/type), `V00xx` chain dataflow
+/// verifier, `A00xx` optimizer audit, `B00xx` eBPF offload verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Byte span into the element's DSL source, when one is known.
+    pub span: Option<Span>,
+    pub message: String,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span: None,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span: None,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Renders rustc-style against `source`, labelling the snippet `origin`
+    /// (a file name or element name). Produces, e.g.:
+    ///
+    /// ```text
+    /// error[E0102]: unknown input field `nope`
+    ///   --> acl.adn:4:12
+    ///    |
+    ///  4 |     WHERE input.nope == 1;
+    ///    |           ^^^^^^^^^^
+    ///    = help: declared request fields are: object_id, username, payload
+    /// ```
+    pub fn render(&self, origin: &str, source: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        match self.span {
+            Some(span) => {
+                let (line, col) = line_col(source, span.start);
+                out.push_str(&format!("  --> {origin}:{line}:{col}\n"));
+                let text = source.lines().nth(line as usize - 1).unwrap_or("");
+                let gutter = format!("{line}");
+                let pad = " ".repeat(gutter.len());
+                out.push_str(&format!("{pad} |\n"));
+                out.push_str(&format!("{gutter} | {text}\n"));
+                // Underline within this line only; multi-line spans get a
+                // caret run to the end of the first line.
+                let width = ((span.end.saturating_sub(span.start)) as usize)
+                    .max(1)
+                    .min(text.len().saturating_sub(col as usize - 1).max(1));
+                out.push_str(&format!(
+                    "{pad} | {}{}\n",
+                    " ".repeat(col as usize - 1),
+                    "^".repeat(width)
+                ));
+            }
+            None => {
+                out.push_str(&format!("  --> {origin}\n"));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("   = help: {help}\n"));
+        }
+        out
+    }
+
+    /// Serializes as one JSON object. When `source` is given, the span also
+    /// carries 1-based `line`/`col` for editors that want them.
+    pub fn to_json(&self, origin: &str, source: Option<&str>) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":{}", json_str(self.code)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_str(&self.severity.to_string())
+        ));
+        out.push_str(&format!(",\"origin\":{}", json_str(origin)));
+        match self.span {
+            Some(span) => {
+                out.push_str(&format!(
+                    ",\"span\":{{\"start\":{},\"end\":{}",
+                    span.start, span.end
+                ));
+                if let Some(src) = source {
+                    let (line, col) = line_col(src, span.start);
+                    out.push_str(&format!(",\"line\":{line},\"col\":{col}"));
+                }
+                out.push('}');
+            }
+            None => out.push_str(",\"span\":null"),
+        }
+        out.push_str(&format!(",\"message\":{}", json_str(&self.message)));
+        match &self.help {
+            Some(help) => out.push_str(&format!(",\"help\":{}", json_str(help))),
+            None => out.push_str(",\"help\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+        // Past-the-end clamps.
+        assert_eq!(line_col(src, 99), (3, 3));
+    }
+
+    #[test]
+    fn span_merge() {
+        assert_eq!(Span::new(3, 5).merge(Span::new(1, 4)), Span::new(1, 5));
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(0, 1).is_dummy());
+    }
+
+    #[test]
+    fn render_with_span() {
+        let src = "SELECT *\nFROM input;";
+        let d = Diagnostic::error("E0102", "unknown table `inpot`")
+            .with_span(Span::new(14, 19))
+            .with_help("did you mean `input`?");
+        let r = d.render("demo.adn", src);
+        assert!(r.contains("error[E0102]: unknown table `inpot`"));
+        assert!(r.contains("--> demo.adn:2:6"));
+        assert!(r.contains("2 | FROM input;"));
+        assert!(r.contains("^^^^^"));
+        assert!(r.contains("= help: did you mean `input`?"));
+    }
+
+    #[test]
+    fn render_without_span() {
+        let d = Diagnostic::warning("V0003", "element `Tee` has no effect");
+        let r = d.render("chain", "");
+        assert!(r.starts_with("warning[V0003]: element `Tee` has no effect"));
+        assert!(r.contains("--> chain\n"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let src = "abc";
+        let d = Diagnostic::error("E0001", "bad \"char\"").with_span(Span::new(1, 2));
+        let j = d.to_json("x.adn", Some(src));
+        assert_eq!(
+            j,
+            "{\"code\":\"E0001\",\"severity\":\"error\",\"origin\":\"x.adn\",\
+             \"span\":{\"start\":1,\"end\":2,\"line\":1,\"col\":2},\
+             \"message\":\"bad \\\"char\\\"\",\"help\":null}"
+        );
+        let d2 = Diagnostic::warning("V0002", "dead write");
+        assert!(d2.to_json("c", None).contains("\"span\":null"));
+    }
+}

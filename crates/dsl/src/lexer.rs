@@ -63,9 +63,9 @@ pub enum Tok {
     Minus,
     Slash,
     Percent,
-    Eq,     // =
-    EqEq,   // ==
-    NotEq,  // !=
+    Eq,    // =
+    EqEq,  // ==
+    NotEq, // !=
     Lt,
     Le,
     Gt,
@@ -86,12 +86,16 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its source position (1-based line/column).
+/// A token with its source position (1-based line/column) and byte span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub tok: Tok,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: u32,
+    /// Byte offset one past the last byte of the token.
+    pub end: u32,
 }
 
 /// Lexing failure.
@@ -100,6 +104,8 @@ pub struct LexError {
     pub message: String,
     pub line: u32,
     pub col: u32,
+    /// Byte offset where the error was detected.
+    pub offset: u32,
 }
 
 impl fmt::Display for LexError {
@@ -157,6 +163,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     let mut i = 0usize;
     let mut line = 1u32;
     let mut col = 1u32;
+    // Byte offset of the token currently being scanned; referenced by the
+    // `push!` macro, so it must be declared before the macro definition.
+    #[allow(unused_assignments)]
+    let mut ts = 0u32;
 
     macro_rules! push {
         ($tok:expr, $l:expr, $c:expr) => {
@@ -164,6 +174,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 tok: $tok,
                 line: $l,
                 col: $c,
+                start: ts,
+                end: i as u32,
             })
         };
     }
@@ -171,6 +183,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     while i < bytes.len() {
         let c = bytes[i] as char;
         let (tl, tc) = (line, col);
+        ts = i as u32;
 
         // Non-ASCII is only legal inside string literals (handled below);
         // reject it here so byte-indexed scanning never splits a char.
@@ -180,6 +193,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 message: format!("unexpected character {ch:?}"),
                 line: tl,
                 col: tc,
+                offset: ts,
             });
         }
 
@@ -247,6 +261,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("invalid float literal {text:?}"),
                     line: tl,
                     col: tc,
+                    offset: ts,
                 })?;
                 push!(Tok::Float(v), tl, tc);
             } else {
@@ -254,6 +269,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("integer literal {text:?} out of range"),
                     line: tl,
                     col: tc,
+                    offset: ts,
                 })?;
                 push!(Tok::Int(v), tl, tc);
             }
@@ -270,6 +286,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         message: "unterminated string literal".into(),
                         line: tl,
                         col: tc,
+                        offset: ts,
                     });
                 }
                 let ch = bytes[i] as char;
@@ -312,9 +329,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             _ => None,
         };
         if let Some((tok, n)) = tok {
-            push!(tok, tl, tc);
             i += n;
             col += n as u32;
+            push!(tok, tl, tc);
             continue;
         }
         let tok = match c {
@@ -339,17 +356,20 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("unexpected character {other:?}"),
                     line: tl,
                     col: tc,
+                    offset: ts,
                 })
             }
         };
-        push!(tok, tl, tc);
         i += 1;
         col += 1;
+        push!(tok, tl, tc);
     }
     tokens.push(Token {
         tok: Tok::Eof,
         line,
         col,
+        start: bytes.len() as u32,
+        end: bytes.len() as u32,
     });
     Ok(tokens)
 }
@@ -364,36 +384,38 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("SELECT select SeLeCt"), vec![
-            Tok::Select,
-            Tok::Select,
-            Tok::Select,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("SELECT select SeLeCt"),
+            vec![Tok::Select, Tok::Select, Tok::Select, Tok::Eof]
+        );
     }
 
     #[test]
     fn identifiers_case_sensitive() {
-        assert_eq!(toks("ac_tab AC_TAB"), vec![
-            Tok::Ident("ac_tab".into()),
-            Tok::Ident("AC_TAB".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("ac_tab AC_TAB"),
+            vec![
+                Tok::Ident("ac_tab".into()),
+                Tok::Ident("AC_TAB".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 0.05"), vec![Tok::Int(42), Tok::Float(0.05), Tok::Eof]);
+        assert_eq!(
+            toks("42 0.05"),
+            vec![Tok::Int(42), Tok::Float(0.05), Tok::Eof]
+        );
     }
 
     #[test]
     fn dotted_access_is_not_a_float() {
-        assert_eq!(toks("input.x"), vec![
-            Tok::Input,
-            Tok::Dot,
-            Tok::Ident("x".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("input.x"),
+            vec![Tok::Input, Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -417,17 +439,20 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(toks("== != <> <= >= < > ="), vec![
-            Tok::EqEq,
-            Tok::NotEq,
-            Tok::NotEq,
-            Tok::Le,
-            Tok::Ge,
-            Tok::Lt,
-            Tok::Gt,
-            Tok::Eq,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("== != <> <= >= < > ="),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

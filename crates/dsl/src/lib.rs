@@ -37,6 +37,7 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -44,6 +45,7 @@ pub mod typecheck;
 pub mod udf;
 
 pub use ast::{ElementDef, Program};
+pub use diag::{Diagnostic, Severity, Span};
 pub use parser::{parse_element, parse_program, ParseError};
 pub use typecheck::{check_element, CheckedElement, TypeError};
 
@@ -78,3 +80,13 @@ impl std::fmt::Display for FrontendError {
 }
 
 impl std::error::Error for FrontendError {}
+
+impl FrontendError {
+    /// Converts either phase's failure into a structured [`Diagnostic`].
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        match self {
+            FrontendError::Parse(e) => e.to_diagnostic(),
+            FrontendError::Type(e) => e.to_diagnostic(),
+        }
+    }
+}

@@ -9,6 +9,7 @@ use std::fmt;
 use adn_rpc::value::ValueType;
 
 use crate::ast::*;
+use crate::diag::{codes, Diagnostic, Span};
 use crate::lexer::{lex, LexError, Tok, Token};
 
 /// Parse failure with source position.
@@ -17,6 +18,24 @@ pub struct ParseError {
     pub message: String,
     pub line: u32,
     pub col: u32,
+    /// Byte span of the offending token.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Structured form: lex errors are `E0001`, syntax errors `E0002`.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let code = if self.message.starts_with("unexpected character")
+            || self.message.starts_with("unterminated string")
+            || self.message.starts_with("invalid float")
+            || self.message.starts_with("integer literal")
+        {
+            codes::LEX
+        } else {
+            codes::PARSE
+        };
+        Diagnostic::error(code, self.message.clone()).with_span(self.span)
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -33,6 +52,7 @@ impl From<LexError> for ParseError {
             message: e.message,
             line: e.line,
             col: e.col,
+            span: Span::new(e.offset, e.offset + 1),
         }
     }
 }
@@ -101,6 +121,7 @@ impl Parser {
             message: format!("{}, found {}", message.into(), t.tok),
             line: t.line,
             col: t.col,
+            span: Span::new(t.start, t.end.max(t.start + 1)),
         }
     }
 
@@ -113,16 +134,25 @@ impl Parser {
     }
 
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        self.spanned_ident(what).map(|(name, _)| name)
+    }
+
+    fn spanned_ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
         match &self.peek().tok {
             Tok::Ident(name) => {
                 let name = name.clone();
-                self.advance();
-                Ok(name)
+                let t = self.advance();
+                Ok((name, Span::new(t.start, t.end)))
             }
             // Contextual words that are keywords elsewhere may appear as
             // names in a pinch (`key`, `state`); keep strict for clarity.
             _ => Err(self.error(format!("expected {what}"))),
         }
+    }
+
+    /// Byte offset one past the most recently consumed token.
+    fn prev_end(&self) -> u32 {
+        self.tokens[self.pos.saturating_sub(1)].end
     }
 
     fn type_name(&mut self) -> Result<ValueType, ParseError> {
@@ -131,6 +161,7 @@ impl Parser {
             message: format!("unknown type {name:?} (expected u64/i64/f64/bool/string/bytes)"),
             line: self.peek().line,
             col: self.peek().col,
+            span: Span::new(self.peek().start, self.peek().end),
         })
     }
 
@@ -138,7 +169,7 @@ impl Parser {
 
     fn element(&mut self) -> Result<ElementDef, ParseError> {
         self.expect(Tok::Element, "`element`")?;
-        let name = self.ident("element name")?;
+        let (name, name_span) = self.spanned_ident("element name")?;
         self.expect(Tok::LParen, "`(` after element name")?;
         let mut params = Vec::new();
         if !self.check(&Tok::RParen) {
@@ -179,6 +210,7 @@ impl Parser {
         self.expect(Tok::RBrace, "`}` ending element body")?;
         Ok(ElementDef {
             name,
+            name_span,
             params,
             states,
             on_request,
@@ -187,7 +219,7 @@ impl Parser {
     }
 
     fn param(&mut self) -> Result<ParamDef, ParseError> {
-        let name = self.ident("parameter name")?;
+        let (name, span) = self.spanned_ident("parameter name")?;
         self.expect(Tok::Colon, "`:` after parameter name")?;
         let ty = self.type_name()?;
         let default = if self.eat(&Tok::Eq) {
@@ -195,12 +227,17 @@ impl Parser {
         } else {
             None
         };
-        Ok(ParamDef { name, ty, default })
+        Ok(ParamDef {
+            name,
+            span,
+            ty,
+            default,
+        })
     }
 
     fn state_def(&mut self) -> Result<StateDef, ParseError> {
         self.expect(Tok::State, "`state`")?;
-        let name = self.ident("state table name")?;
+        let (name, span) = self.spanned_ident("state table name")?;
         self.expect(Tok::LParen, "`(` after table name")?;
         let mut columns = Vec::new();
         loop {
@@ -259,6 +296,7 @@ impl Parser {
         self.eat(&Tok::Semi);
         Ok(StateDef {
             name,
+            span,
             columns,
             capacity,
             init_rows,
@@ -276,11 +314,18 @@ impl Parser {
         };
         self.expect(Tok::LBrace, "`{` starting handler body")?;
         let mut body = Vec::new();
+        let mut stmt_spans = Vec::new();
         while !self.check(&Tok::RBrace) {
+            let start = self.peek().start;
             body.push(self.stmt()?);
+            stmt_spans.push(Span::new(start, self.prev_end()));
         }
         self.expect(Tok::RBrace, "`}` ending handler body")?;
-        Ok(Handler { direction, body })
+        Ok(Handler {
+            direction,
+            body,
+            stmt_spans,
+        })
     }
 
     // -- statements ---------------------------------------------------------
@@ -339,7 +384,9 @@ impl Parser {
                     condition,
                 })
             }
-            _ => Err(self.error("expected a statement (SELECT/INSERT/UPDATE/DELETE/DROP/ABORT/SET)")),
+            _ => {
+                Err(self.error("expected a statement (SELECT/INSERT/UPDATE/DELETE/DROP/ABORT/SET)"))
+            }
         }
     }
 
@@ -372,7 +419,10 @@ impl Parser {
             Projection::Items(items)
         };
         self.expect(Tok::From, "`FROM`")?;
-        self.expect(Tok::Input, "`input` (elements select from the input stream)")?;
+        self.expect(
+            Tok::Input,
+            "`input` (elements select from the input stream)",
+        )?;
         let join = if self.eat(&Tok::Join) {
             let table = self.ident("join table name")?;
             self.expect(Tok::On, "`ON` after join table")?;
@@ -808,14 +858,35 @@ mod tests {
         let src = "element E() { on request { SELECT * FROM input WHERE input.a + 1 * 2 == 3 AND true OR false; } }";
         let e = parse_element(src).unwrap();
         let body = &e.on_request.as_ref().unwrap().body;
-        let Stmt::Select(s) = &body[0] else { unreachable!() };
+        let Stmt::Select(s) = &body[0] else {
+            unreachable!()
+        };
         // Expect ((a + (1*2)) == 3 AND true) OR false.
         match s.condition.as_ref().unwrap() {
-            Expr::Binary { op: BinOp::Or, left, .. } => match left.as_ref() {
-                Expr::Binary { op: BinOp::And, left, .. } => match left.as_ref() {
-                    Expr::Binary { op: BinOp::Eq, left, .. } => match left.as_ref() {
-                        Expr::Binary { op: BinOp::Add, right, .. } => {
-                            assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+            Expr::Binary {
+                op: BinOp::Or,
+                left,
+                ..
+            } => match left.as_ref() {
+                Expr::Binary {
+                    op: BinOp::And,
+                    left,
+                    ..
+                } => match left.as_ref() {
+                    Expr::Binary {
+                        op: BinOp::Eq,
+                        left,
+                        ..
+                    } => match left.as_ref() {
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            right,
+                            ..
+                        } => {
+                            assert!(matches!(
+                                right.as_ref(),
+                                Expr::Binary { op: BinOp::Mul, .. }
+                            ));
                         }
                         other => panic!("expected Add, got {other:?}"),
                     },
@@ -839,7 +910,9 @@ mod tests {
         "#;
         let e = parse_element(src).unwrap();
         let body = &e.on_request.as_ref().unwrap().body;
-        let Stmt::Set { value, .. } = &body[0] else { unreachable!() };
+        let Stmt::Set { value, .. } = &body[0] else {
+            unreachable!()
+        };
         assert!(matches!(value, Expr::Case { .. }));
     }
 

@@ -269,7 +269,10 @@ mod tests {
         let printed = print_element(&ast1);
         let ast2 = parse_element(&printed)
             .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
-        assert_eq!(ast1, ast2, "print/parse roundtrip changed the AST:\n{printed}");
+        assert_eq!(
+            ast1, ast2,
+            "print/parse roundtrip changed the AST:\n{printed}"
+        );
     }
 
     #[test]

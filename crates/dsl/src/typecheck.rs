@@ -14,18 +14,40 @@ use adn_rpc::schema::RpcSchema;
 use adn_rpc::value::ValueType;
 
 use crate::ast::*;
+use crate::diag::{codes, Diagnostic, Span};
 use crate::udf::{self, TypePattern};
 
-/// Type/resolution failure.
+/// Type/resolution failure with a stable code and, when known, the byte
+/// span of the offending statement or declaration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TypeError {
     pub message: String,
+    /// Stable diagnostic code (see [`crate::diag::codes`]).
+    pub code: &'static str,
+    /// Span of the enclosing statement or declaration in the DSL source.
+    pub span: Option<Span>,
 }
 
 impl TypeError {
-    fn new(message: impl Into<String>) -> Self {
+    pub fn coded(code: &'static str, message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            code,
+            span: None,
+        }
+    }
+
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Structured form for rendering and JSON output.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let d = Diagnostic::error(self.code, self.message.clone());
+        match self.span {
+            Some(span) => d.with_span(span),
+            None => d,
         }
     }
 }
@@ -111,28 +133,34 @@ pub fn check_element(
     let mut seen = BTreeSet::new();
     for state in &element.states {
         if !seen.insert(state.name.clone()) {
-            return Err(TypeError::new(format!(
-                "duplicate state table {:?}",
-                state.name
-            )));
+            return Err(TypeError::coded(
+                codes::DUPLICATE_DEF,
+                format!("duplicate state table {:?}", state.name),
+            )
+            .with_span(state.span));
         }
         let mut cols = BTreeSet::new();
         for col in &state.columns {
             if !cols.insert(col.name.clone()) {
-                return Err(TypeError::new(format!(
-                    "duplicate column {:?} in table {:?}",
-                    col.name, state.name
-                )));
+                return Err(TypeError::coded(
+                    codes::DUPLICATE_DEF,
+                    format!("duplicate column {:?} in table {:?}", col.name, state.name),
+                )
+                .with_span(state.span));
             }
         }
         for (rownum, row) in state.init_rows.iter().enumerate() {
             for (lit, col) in row.iter().zip(&state.columns) {
                 let lt = literal_type(lit);
                 if !coercible(lt, col.ty) {
-                    return Err(TypeError::new(format!(
-                        "init row {rownum} of table {:?}: column {:?} expects {}, got {}",
-                        state.name, col.name, col.ty, lt
-                    )));
+                    return Err(TypeError::coded(
+                        codes::TYPE_MISMATCH,
+                        format!(
+                            "init row {rownum} of table {:?}: column {:?} expects {}, got {}",
+                            state.name, col.name, col.ty, lt
+                        ),
+                    )
+                    .with_span(state.span));
                 }
             }
         }
@@ -141,15 +169,23 @@ pub fn check_element(
     let mut param_names = BTreeSet::new();
     for p in &element.params {
         if !param_names.insert(p.name.clone()) {
-            return Err(TypeError::new(format!("duplicate parameter {:?}", p.name)));
+            return Err(TypeError::coded(
+                codes::DUPLICATE_DEF,
+                format!("duplicate parameter {:?}", p.name),
+            )
+            .with_span(p.span));
         }
         if let Some(default) = &p.default {
             let lt = literal_type(default);
             if !coercible(lt, p.ty) {
-                return Err(TypeError::new(format!(
-                    "parameter {:?} default has type {}, expected {}",
-                    p.name, lt, p.ty
-                )));
+                return Err(TypeError::coded(
+                    codes::TYPE_MISMATCH,
+                    format!(
+                        "parameter {:?} default has type {}, expected {}",
+                        p.name, lt, p.ty
+                    ),
+                )
+                .with_span(p.span));
             }
         }
     }
@@ -191,11 +227,10 @@ fn coercible(from: ValueType, to: ValueType) -> bool {
     if from == to {
         return true;
     }
-    match (from, to) {
-        (ValueType::U64, ValueType::I64 | ValueType::F64) => true,
-        (ValueType::I64, ValueType::F64) => true,
-        _ => false,
-    }
+    matches!(
+        (from, to),
+        (ValueType::U64, ValueType::I64 | ValueType::F64) | (ValueType::I64, ValueType::F64)
+    )
 }
 
 /// Whether two types can appear on either side of a comparison.
@@ -209,6 +244,8 @@ struct HandlerChecker<'a> {
     direction: Direction,
     /// Table currently in scope for `table.column` refs, if any.
     scoped_table: Option<&'a StateDef>,
+    /// Span of the statement currently being checked.
+    span: Option<Span>,
     facts: HandlerFacts,
 }
 
@@ -222,25 +259,37 @@ fn check_handler(
         input,
         direction: handler.direction,
         scoped_table: None,
+        span: None,
         facts: HandlerFacts {
             deterministic: true,
             ..Default::default()
         },
     };
     if handler.body.is_empty() {
-        return Err(TypeError::new("handler body must not be empty"));
+        return Err(
+            TypeError::coded(codes::INVALID_CONTEXT, "handler body must not be empty")
+                .with_span(element.name_span),
+        );
     }
-    for stmt in &handler.body {
+    for (i, stmt) in handler.body.iter().enumerate() {
+        checker.span = handler.stmt_span(i);
         checker.check_stmt(stmt)?;
     }
     Ok(checker.facts)
 }
 
 impl<'a> HandlerChecker<'a> {
+    /// Builds a [`TypeError`] carrying the current statement's span.
+    fn err(&self, code: &'static str, message: impl Into<String>) -> TypeError {
+        let mut e = TypeError::coded(code, message);
+        e.span = self.span;
+        e
+    }
+
     fn table(&self, name: &str) -> Result<&'a StateDef, TypeError> {
         self.element
             .state(name)
-            .ok_or_else(|| TypeError::new(format!("unknown state table {name:?}")))
+            .ok_or_else(|| self.err(codes::UNKNOWN_NAME, format!("unknown state table {name:?}")))
     }
 
     fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), TypeError> {
@@ -249,20 +298,26 @@ impl<'a> HandlerChecker<'a> {
             Stmt::Insert(ins) => {
                 let table = self.table(&ins.table)?;
                 if ins.values.len() != table.columns.len() {
-                    return Err(TypeError::new(format!(
-                        "INSERT INTO {:?} has {} values, table has {} columns",
-                        ins.table,
-                        ins.values.len(),
-                        table.columns.len()
-                    )));
+                    return Err(self.err(
+                        codes::ARITY,
+                        format!(
+                            "INSERT INTO {:?} has {} values, table has {} columns",
+                            ins.table,
+                            ins.values.len(),
+                            table.columns.len()
+                        ),
+                    ));
                 }
                 for (expr, col) in ins.values.iter().zip(&table.columns) {
                     let ty = self.check_expr(expr)?;
                     if !coercible(ty, col.ty) {
-                        return Err(TypeError::new(format!(
-                            "INSERT INTO {:?}: column {:?} expects {}, got {}",
-                            ins.table, col.name, col.ty, ty
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!(
+                                "INSERT INTO {:?}: column {:?} expects {}, got {}",
+                                ins.table, col.name, col.ty, ty
+                            ),
+                        ));
                     }
                 }
                 self.facts.uses_state = true;
@@ -273,20 +328,25 @@ impl<'a> HandlerChecker<'a> {
                 let table = self.table(&upd.table)?;
                 self.scoped_table = Some(table);
                 for (col_name, expr) in &upd.assignments {
-                    let col = table.columns.iter().find(|c| &c.name == col_name).ok_or_else(
-                        || {
-                            TypeError::new(format!(
-                                "UPDATE {:?}: unknown column {:?}",
-                                upd.table, col_name
-                            ))
-                        },
-                    )?;
+                    let col = table
+                        .columns
+                        .iter()
+                        .find(|c| &c.name == col_name)
+                        .ok_or_else(|| {
+                            self.err(
+                                codes::UNKNOWN_NAME,
+                                format!("UPDATE {:?}: unknown column {:?}", upd.table, col_name),
+                            )
+                        })?;
                     let ty = self.check_expr(expr)?;
                     if !coercible(ty, col.ty) {
-                        return Err(TypeError::new(format!(
-                            "UPDATE {:?}: column {:?} expects {}, got {}",
-                            upd.table, col.name, col.ty, ty
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!(
+                                "UPDATE {:?}: column {:?} expects {}, got {}",
+                                upd.table, col.name, col.ty, ty
+                            ),
+                        ));
                     }
                 }
                 if let Some(cond) = &upd.condition {
@@ -317,7 +377,8 @@ impl<'a> HandlerChecker<'a> {
             }
             Stmt::Route { key, condition } => {
                 if self.direction == Direction::Response {
-                    return Err(TypeError::new(
+                    return Err(self.err(
+                        codes::INVALID_CONTEXT,
                         "ROUTE is only valid in `on request` handlers (responses return to the caller)",
                     ));
                 }
@@ -336,16 +397,18 @@ impl<'a> HandlerChecker<'a> {
             } => {
                 let code_ty = self.check_expr(code)?;
                 if !code_ty.is_numeric() {
-                    return Err(TypeError::new(format!(
-                        "ABORT code must be numeric, got {code_ty}"
-                    )));
+                    return Err(self.err(
+                        codes::TYPE_MISMATCH,
+                        format!("ABORT code must be numeric, got {code_ty}"),
+                    ));
                 }
                 if let Some(msg) = message {
                     let msg_ty = self.check_expr(msg)?;
                     if msg_ty != ValueType::Str {
-                        return Err(TypeError::new(format!(
-                            "ABORT message must be a string, got {msg_ty}"
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!("ABORT message must be a string, got {msg_ty}"),
+                        ));
                     }
                 }
                 if let Some(cond) = condition {
@@ -360,13 +423,17 @@ impl<'a> HandlerChecker<'a> {
                 condition,
             } => {
                 let field_ty = self.input.type_of(field).ok_or_else(|| {
-                    TypeError::new(format!("SET targets unknown input field {field:?}"))
+                    self.err(
+                        codes::UNKNOWN_NAME,
+                        format!("SET targets unknown input field {field:?}"),
+                    )
                 })?;
                 let value_ty = self.check_expr(value)?;
                 if !coercible(value_ty, field_ty) {
-                    return Err(TypeError::new(format!(
-                        "SET {field:?}: field is {field_ty}, expression is {value_ty}"
-                    )));
+                    return Err(self.err(
+                        codes::TYPE_MISMATCH,
+                        format!("SET {field:?}: field is {field_ty}, expression is {value_ty}"),
+                    ));
                 }
                 if let Some(cond) = condition {
                     self.expect_bool(cond, "SET WHERE")?;
@@ -393,16 +460,18 @@ impl<'a> HandlerChecker<'a> {
         if let Some(ea) = &sel.else_abort {
             let code_ty = self.check_expr(&ea.code)?;
             if !code_ty.is_numeric() {
-                return Err(TypeError::new(format!(
-                    "ELSE ABORT code must be numeric, got {code_ty}"
-                )));
+                return Err(self.err(
+                    codes::TYPE_MISMATCH,
+                    format!("ELSE ABORT code must be numeric, got {code_ty}"),
+                ));
             }
             if let Some(msg) = &ea.message {
                 let msg_ty = self.check_expr(msg)?;
                 if msg_ty != ValueType::Str {
-                    return Err(TypeError::new(format!(
-                        "ELSE ABORT message must be a string, got {msg_ty}"
-                    )));
+                    return Err(self.err(
+                        codes::TYPE_MISMATCH,
+                        format!("ELSE ABORT message must be a string, got {msg_ty}"),
+                    ));
                 }
             }
         }
@@ -415,21 +484,28 @@ impl<'a> HandlerChecker<'a> {
                         (None, Expr::InputField(name)) => name.clone(),
                         (None, Expr::TableColumn { column, .. }) => column.clone(),
                         (None, _) => {
-                            return Err(TypeError::new(
+                            return Err(self.err(
+                                codes::INVALID_CONTEXT,
                                 "projection expression needs an AS alias naming an input field",
                             ))
                         }
                     };
                     let field_ty = self.input.type_of(&out_name).ok_or_else(|| {
-                        TypeError::new(format!(
+                        self.err(
+                            codes::UNKNOWN_NAME,
+                            format!(
                             "projection output {out_name:?} is not a field of the message schema"
-                        ))
+                        ),
+                        )
                     })?;
                     let expr_ty = self.check_expr(&item.expr)?;
                     if !coercible(expr_ty, field_ty) {
-                        return Err(TypeError::new(format!(
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!(
                             "projection {out_name:?}: field is {field_ty}, expression is {expr_ty}"
-                        )));
+                        ),
+                        ));
                     }
                     // Identity projections (`SELECT x` where x stays x) do
                     // not count as writes; anything else does.
@@ -450,9 +526,10 @@ impl<'a> HandlerChecker<'a> {
     fn expect_bool(&mut self, expr: &Expr, what: &str) -> Result<(), TypeError> {
         let ty = self.check_expr(expr)?;
         if ty != ValueType::Bool {
-            return Err(TypeError::new(format!(
-                "{what} condition must be boolean, got {ty}"
-            )));
+            return Err(self.err(
+                codes::TYPE_MISMATCH,
+                format!("{what} condition must be boolean, got {ty}"),
+            ));
         }
         Ok(())
     }
@@ -462,36 +539,45 @@ impl<'a> HandlerChecker<'a> {
             Expr::Literal(lit) => Ok(literal_type(lit)),
             Expr::InputField(name) => {
                 let ty = self.input.type_of(name).ok_or_else(|| {
-                    TypeError::new(format!("unknown input field {name:?}"))
+                    self.err(codes::UNKNOWN_NAME, format!("unknown input field {name:?}"))
                 })?;
                 self.facts.reads.insert(name.clone());
                 Ok(ty)
             }
             Expr::TableColumn { table, column } => {
                 let scoped = self.scoped_table.ok_or_else(|| {
-                    TypeError::new(format!(
-                        "reference {table}.{column} outside a JOIN/UPDATE/DELETE on that table"
-                    ))
+                    self.err(
+                        codes::INVALID_CONTEXT,
+                        format!(
+                            "reference {table}.{column} outside a JOIN/UPDATE/DELETE on that table"
+                        ),
+                    )
                 })?;
                 if scoped.name != *table {
-                    return Err(TypeError::new(format!(
-                        "reference {table}.{column}: only table {:?} is in scope here",
-                        scoped.name
-                    )));
+                    return Err(self.err(
+                        codes::INVALID_CONTEXT,
+                        format!(
+                            "reference {table}.{column}: only table {:?} is in scope here",
+                            scoped.name
+                        ),
+                    ));
                 }
                 let col = scoped
                     .columns
                     .iter()
                     .find(|c| c.name == *column)
                     .ok_or_else(|| {
-                        TypeError::new(format!("table {table:?} has no column {column:?}"))
+                        self.err(
+                            codes::UNKNOWN_NAME,
+                            format!("table {table:?} has no column {column:?}"),
+                        )
                     })?;
                 self.facts.uses_state = true;
                 Ok(col.ty)
             }
             Expr::Param(name) => {
                 let p = self.element.param(name).ok_or_else(|| {
-                    TypeError::new(format!(
+                    self.err(codes::UNKNOWN_NAME, format!(
                         "unknown name {name:?} (not a parameter; input fields are written input.{name})"
                     ))
                 })?;
@@ -499,14 +585,20 @@ impl<'a> HandlerChecker<'a> {
             }
             Expr::Call { function, args } => {
                 let sig = udf::lookup(function).ok_or_else(|| {
-                    TypeError::new(format!("unknown function {function:?}"))
+                    self.err(
+                        codes::UNKNOWN_NAME,
+                        format!("unknown function {function:?}"),
+                    )
                 })?;
                 if args.len() != sig.params.len() {
-                    return Err(TypeError::new(format!(
-                        "{function} expects {} arguments, got {}",
-                        sig.params.len(),
-                        args.len()
-                    )));
+                    return Err(self.err(
+                        codes::ARITY,
+                        format!(
+                            "{function} expects {} arguments, got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    ));
                 }
                 let mut arg_types = Vec::with_capacity(args.len());
                 for a in args {
@@ -518,9 +610,10 @@ impl<'a> HandlerChecker<'a> {
                         other => other.matches(*ty),
                     };
                     if !ok {
-                        return Err(TypeError::new(format!(
-                            "{function}: argument {i} has type {ty}, which does not match"
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!("{function}: argument {i} has type {ty}, which does not match"),
+                        ));
                     }
                 }
                 if !sig.deterministic {
@@ -540,13 +633,19 @@ impl<'a> HandlerChecker<'a> {
                 match op {
                     UnOp::Not => {
                         if ty != ValueType::Bool {
-                            return Err(TypeError::new(format!("NOT requires bool, got {ty}")));
+                            return Err(self.err(
+                                codes::TYPE_MISMATCH,
+                                format!("NOT requires bool, got {ty}"),
+                            ));
                         }
                         Ok(ValueType::Bool)
                     }
                     UnOp::Neg => {
                         if !ty.is_numeric() {
-                            return Err(TypeError::new(format!("negation requires numeric, got {ty}")));
+                            return Err(self.err(
+                                codes::TYPE_MISMATCH,
+                                format!("negation requires numeric, got {ty}"),
+                            ));
                         }
                         // Negating an unsigned value promotes to signed.
                         Ok(if ty == ValueType::U64 {
@@ -562,25 +661,28 @@ impl<'a> HandlerChecker<'a> {
                 let rt = self.check_expr(right)?;
                 if op.is_logical() {
                     if lt != ValueType::Bool || rt != ValueType::Bool {
-                        return Err(TypeError::new(format!(
-                            "{op:?} requires booleans, got {lt} and {rt}"
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!("{op:?} requires booleans, got {lt} and {rt}"),
+                        ));
                     }
                     return Ok(ValueType::Bool);
                 }
                 if op.is_comparison() {
                     if !comparable(lt, rt) {
-                        return Err(TypeError::new(format!(
-                            "cannot compare {lt} with {rt}"
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!("cannot compare {lt} with {rt}"),
+                        ));
                     }
                     return Ok(ValueType::Bool);
                 }
                 // Arithmetic.
                 if !lt.is_numeric() || !rt.is_numeric() {
-                    return Err(TypeError::new(format!(
-                        "arithmetic requires numeric operands, got {lt} and {rt}"
-                    )));
+                    return Err(self.err(
+                        codes::TYPE_MISMATCH,
+                        format!("arithmetic requires numeric operands, got {lt} and {rt}"),
+                    ));
                 }
                 Ok(unify_numeric(lt, rt))
             }
@@ -595,9 +697,10 @@ impl<'a> HandlerChecker<'a> {
                             result = Some(unify_if_numeric(prev, vt))
                         }
                         Some(prev) => {
-                            return Err(TypeError::new(format!(
-                                "CASE arms have incompatible types {prev} and {vt}"
-                            )))
+                            return Err(self.err(
+                                codes::TYPE_MISMATCH,
+                                format!("CASE arms have incompatible types {prev} and {vt}"),
+                            ))
                         }
                     }
                 }
@@ -605,9 +708,10 @@ impl<'a> HandlerChecker<'a> {
                 if let Some(e) = otherwise {
                     let et = self.check_expr(e)?;
                     if !comparable(result, et) {
-                        return Err(TypeError::new(format!(
-                            "CASE ELSE has type {et}, arms have {result}"
-                        )));
+                        return Err(self.err(
+                            codes::TYPE_MISMATCH,
+                            format!("CASE ELSE has type {et}, arms have {result}"),
+                        ));
                     }
                 }
                 Ok(result)
@@ -764,14 +868,16 @@ mod tests {
 
     #[test]
     fn projection_alias_must_name_schema_field() {
-        let src = "element E() { on request { SELECT hash(input.username) AS mystery FROM input; } }";
+        let src =
+            "element E() { on request { SELECT hash(input.username) AS mystery FROM input; } }";
         let err = check(src).unwrap_err();
         assert!(err.message.contains("mystery"));
     }
 
     #[test]
     fn projection_rewrite_counts_as_write() {
-        let src = "element E() { on request { SELECT hash(input.username) AS object_id FROM input; } }";
+        let src =
+            "element E() { on request { SELECT hash(input.username) AS object_id FROM input; } }";
         let checked = check(src).unwrap();
         assert!(checked.request_facts.writes.contains("object_id"));
     }
@@ -779,7 +885,8 @@ mod tests {
     #[test]
     fn response_handler_checked_against_response_schema() {
         // `username` exists only in the request schema.
-        let src = "element E() { on response { SELECT * FROM input WHERE input.username == 'x'; } }";
+        let src =
+            "element E() { on response { SELECT * FROM input WHERE input.username == 'x'; } }";
         assert!(check(src).is_err());
         let src = "element E() { on response { SELECT * FROM input WHERE input.ok; } }";
         assert!(check(src).is_ok());

@@ -3,6 +3,7 @@
 //! parser must never panic on arbitrary input.
 
 use adn_dsl::ast::*;
+use adn_dsl::diag::Span;
 use adn_dsl::parser::{parse_element, parse_program};
 use adn_dsl::printer::print_element;
 use adn_rpc::value::ValueType;
@@ -38,8 +39,7 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
         any::<u64>().prop_map(Literal::Int),
         // Simple non-negative decimals so the canonical printer's output
         // re-lexes exactly (the grammar has no exponent notation).
-        (0u32..1_000_000, 1u32..1000)
-            .prop_map(|(n, d)| Literal::Float(n as f64 / d as f64)),
+        (0u32..1_000_000, 1u32..1000).prop_map(|(n, d)| Literal::Float(n as f64 / d as f64)),
         "[a-zA-Z0-9 _']{0,12}".prop_map(Literal::Str),
         any::<bool>().prop_map(Literal::Bool),
     ]
@@ -49,8 +49,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_literal().prop_map(Expr::Literal),
         arb_ident().prop_map(Expr::InputField),
-        (arb_ident(), arb_ident())
-            .prop_map(|(table, column)| Expr::TableColumn { table, column }),
+        (arb_ident(), arb_ident()).prop_map(|(table, column)| Expr::TableColumn { table, column }),
         arb_ident().prop_map(Expr::Param),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
@@ -108,12 +107,14 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             proptest::option::of(arb_expr()),
             proptest::option::of((arb_expr(), proptest::option::of(arb_expr()))),
         )
-            .prop_map(|(projection, join, condition, ea)| Stmt::Select(SelectStmt {
-                projection,
-                join,
-                condition,
-                else_abort: ea.map(|(code, message)| ElseAbort { code, message }),
-            })),
+            .prop_map(
+                |(projection, join, condition, ea)| Stmt::Select(SelectStmt {
+                    projection,
+                    join,
+                    condition,
+                    else_abort: ea.map(|(code, message)| ElseAbort { code, message }),
+                })
+            ),
         (arb_ident(), proptest::collection::vec(arb_expr(), 1..4))
             .prop_map(|(table, values)| Stmt::Insert(InsertStmt { table, values })),
         (
@@ -129,13 +130,16 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         (arb_ident(), proptest::option::of(arb_expr()))
             .prop_map(|(table, condition)| Stmt::Delete(DeleteStmt { table, condition })),
         proptest::option::of(arb_expr()).prop_map(Stmt::Drop),
-        (arb_expr(), proptest::option::of(arb_expr()), proptest::option::of(arb_expr())).prop_map(
-            |(code, message, condition)| Stmt::Abort {
+        (
+            arb_expr(),
+            proptest::option::of(arb_expr()),
+            proptest::option::of(arb_expr())
+        )
+            .prop_map(|(code, message, condition)| Stmt::Abort {
                 code,
                 message,
                 condition,
-            }
-        ),
+            }),
         (arb_ident(), arb_expr(), proptest::option::of(arb_expr())).prop_map(
             |(field, value, condition)| Stmt::Set {
                 field,
@@ -164,7 +168,10 @@ fn arb_join() -> impl Strategy<Value = JoinClause> {
 
 fn arb_element() -> impl Strategy<Value = ElementDef> {
     (
-        proptest::collection::vec((arb_ident(), arb_type(), proptest::option::of(arb_literal())), 0..3),
+        proptest::collection::vec(
+            (arb_ident(), arb_type(), proptest::option::of(arb_literal())),
+            0..3,
+        ),
         proptest::collection::vec(
             (
                 arb_ident(),
@@ -180,7 +187,12 @@ fn arb_element() -> impl Strategy<Value = ElementDef> {
             let mut params_out: Vec<ParamDef> = Vec::new();
             for (name, ty, default) in params {
                 if params_out.iter().all(|p| p.name != name) {
-                    params_out.push(ParamDef { name, ty, default });
+                    params_out.push(ParamDef {
+                        name,
+                        span: Span::DUMMY,
+                        ty,
+                        default,
+                    });
                 }
             }
             let mut states_out: Vec<StateDef> = Vec::new();
@@ -200,6 +212,7 @@ fn arb_element() -> impl Strategy<Value = ElementDef> {
                 }
                 states_out.push(StateDef {
                     name,
+                    span: Span::DUMMY,
                     columns,
                     capacity: None,
                     init_rows: vec![],
@@ -207,15 +220,18 @@ fn arb_element() -> impl Strategy<Value = ElementDef> {
             }
             ElementDef {
                 name: "Gen".to_owned(),
+                name_span: Span::DUMMY,
                 params: params_out,
                 states: states_out,
                 on_request: Some(Handler {
                     direction: Direction::Request,
                     body: req_body,
+                    stmt_spans: vec![],
                 }),
                 on_response: resp_body.map(|body| Handler {
                     direction: Direction::Response,
                     body,
+                    stmt_spans: vec![],
                 }),
             }
         })

@@ -48,7 +48,9 @@ impl HandLogging {
     pub fn new(request_schema: &RpcSchema) -> Self {
         Self {
             username_idx: request_schema.index_of("username").expect("username field"),
-            object_id_idx: request_schema.index_of("object_id").expect("object_id field"),
+            object_id_idx: request_schema
+                .index_of("object_id")
+                .expect("object_id field"),
             seq: 0,
             records: std::collections::VecDeque::new(),
         }

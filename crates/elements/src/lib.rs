@@ -73,8 +73,7 @@ pub fn check(
     request: &RpcSchema,
     response: &RpcSchema,
 ) -> Result<CheckedElement, BuildError> {
-    let source =
-        dsl_source(name).ok_or_else(|| BuildError::UnknownElement(name.to_owned()))?;
+    let source = dsl_source(name).ok_or_else(|| BuildError::UnknownElement(name.to_owned()))?;
     adn_dsl::compile_frontend(source, request, response).map_err(BuildError::Frontend)
 }
 

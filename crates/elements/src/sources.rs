@@ -225,9 +225,9 @@ mod tests {
 
     #[test]
     fn no_duplicate_names() {
-        for i in 0..ALL.len() {
-            for j in (i + 1)..ALL.len() {
-                assert_ne!(ALL[i].0, ALL[j].0);
+        for (i, (a, _)) in ALL.iter().enumerate() {
+            for (b, _) in &ALL[i + 1..] {
+                assert_ne!(a, b);
             }
         }
     }

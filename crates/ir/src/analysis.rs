@@ -222,6 +222,31 @@ pub fn required_fields(elements: &[ElementIr], dir: Direction) -> u64 {
     mask
 }
 
+/// Converts a field bitmask (bit *i* = schema field *i*) into the field
+/// names it covers.
+///
+/// This is the bridge between the two read/write-set representations in
+/// the codebase: the front end's name sets (`adn_dsl::typecheck::
+/// HandlerFacts`, computed over the AST for error messages) and this
+/// module's bitmasks (computed over lowered IR). **The IR facts are
+/// authoritative** — every consumer of dataflow facts (optimizer,
+/// placement, verifier) judges from the bitmasks; the front-end sets exist
+/// for diagnostics only. A cross-layer test in `adn-verifier`
+/// (`facts_agreement.rs`) pins the two representations to agree on every
+/// catalog element.
+pub fn field_names(
+    schema: &adn_rpc::schema::RpcSchema,
+    mask: u64,
+) -> std::collections::BTreeSet<String> {
+    schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, f)| f.name.clone())
+        .collect()
+}
+
 /// Pairs of adjacent elements that touch disjoint fields and no shared
 /// state — candidates for parallel execution (paper §5.2).
 pub fn parallelizable_pairs(elements: &[ElementIr]) -> Vec<(usize, usize)> {
@@ -234,12 +259,7 @@ pub fn parallelizable_pairs(elements: &[ElementIr]) -> Vec<(usize, usize)> {
             let (da, db) = (a.dir(d), b.dir(d));
             let fields_a = da.reads | da.writes;
             let fields_b = db.reads | db.writes;
-            if fields_a & fields_b != 0
-                || da.can_drop
-                || db.can_drop
-                || da.routes
-                || db.routes
-            {
+            if fields_a & fields_b != 0 || da.can_drop || db.can_drop || da.routes || db.routes {
                 independent = false;
             }
         }
@@ -388,6 +408,9 @@ mod tests {
         let elems = vec![id_mut.clone(), lower(COMPRESS)];
         assert_eq!(parallelizable_pairs(&elems), vec![(0, 1)]);
         let elems = vec![lower(ACL), lower(COMPRESS)];
-        assert!(parallelizable_pairs(&elems).is_empty(), "dropper blocks parallelism");
+        assert!(
+            parallelizable_pairs(&elems).is_empty(),
+            "dropper blocks parallelism"
+        );
     }
 }

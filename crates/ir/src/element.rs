@@ -185,8 +185,7 @@ impl IrStmt {
                 condition,
                 else_abort,
             } => {
-                let mut out: Vec<&mut IrExpr> =
-                    assignments.iter_mut().map(|(_, e)| e).collect();
+                let mut out: Vec<&mut IrExpr> = assignments.iter_mut().map(|(_, e)| e).collect();
                 if let Some(j) = join {
                     out.push(&mut j.on);
                 }
@@ -207,8 +206,7 @@ impl IrStmt {
                 condition,
                 ..
             } => {
-                let mut out: Vec<&mut IrExpr> =
-                    assignments.iter_mut().map(|(_, e)| e).collect();
+                let mut out: Vec<&mut IrExpr> = assignments.iter_mut().map(|(_, e)| e).collect();
                 if let Some(c) = condition {
                     out.push(c);
                 }

@@ -45,9 +45,15 @@ pub enum IrExpr {
     /// Column of the joined/scoped state row by column index.
     Col(usize),
     /// UDF call by name (backends bind implementations by name).
-    Udf { name: String, args: Vec<IrExpr> },
+    Udf {
+        name: String,
+        args: Vec<IrExpr>,
+    },
     /// Explicit numeric widening cast.
-    Cast { to: ValueType, inner: Box<IrExpr> },
+    Cast {
+        to: ValueType,
+        inner: Box<IrExpr>,
+    },
     Unary {
         op: IrUnOp,
         operand: Box<IrExpr>,
@@ -383,16 +389,31 @@ mod tests {
 
     #[test]
     fn unops() {
-        assert_eq!(eval_unop(IrUnOp::Not, &Value::Bool(true)).unwrap(), Value::Bool(false));
-        assert_eq!(eval_unop(IrUnOp::Neg, &Value::U64(5)).unwrap(), Value::I64(-5));
-        assert_eq!(eval_unop(IrUnOp::Neg, &Value::F64(2.0)).unwrap(), Value::F64(-2.0));
+        assert_eq!(
+            eval_unop(IrUnOp::Not, &Value::Bool(true)).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_unop(IrUnOp::Neg, &Value::U64(5)).unwrap(),
+            Value::I64(-5)
+        );
+        assert_eq!(
+            eval_unop(IrUnOp::Neg, &Value::F64(2.0)).unwrap(),
+            Value::F64(-2.0)
+        );
         assert!(eval_unop(IrUnOp::Neg, &Value::Str("x".into())).is_err());
     }
 
     #[test]
     fn casts() {
-        assert_eq!(eval_cast(ValueType::F64, &Value::U64(2)).unwrap(), Value::F64(2.0));
-        assert_eq!(eval_cast(ValueType::I64, &Value::U64(2)).unwrap(), Value::I64(2));
+        assert_eq!(
+            eval_cast(ValueType::F64, &Value::U64(2)).unwrap(),
+            Value::F64(2.0)
+        );
+        assert_eq!(
+            eval_cast(ValueType::I64, &Value::U64(2)).unwrap(),
+            Value::I64(2)
+        );
         assert!(eval_cast(ValueType::I64, &Value::U64(u64::MAX)).is_err());
         assert!(eval_cast(ValueType::U64, &Value::Str("x".into())).is_err());
     }

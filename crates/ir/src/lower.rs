@@ -195,11 +195,7 @@ impl<'a> LowerCtx<'a> {
             .ok_or_else(|| LowerError::new(format!("unknown table {name:?}")))
     }
 
-    fn lower_handler(
-        &self,
-        body: &[Stmt],
-        schema: &RpcSchema,
-    ) -> Result<Vec<IrStmt>, LowerError> {
+    fn lower_handler(&self, body: &[Stmt], schema: &RpcSchema) -> Result<Vec<IrStmt>, LowerError> {
         body.iter().map(|s| self.lower_stmt(s, schema)).collect()
     }
 
@@ -236,9 +232,9 @@ impl<'a> LowerCtx<'a> {
                                 return Err(LowerError::new("projection item needs alias"))
                             }
                         };
-                        let idx = schema
-                            .index_of(&out_name)
-                            .ok_or_else(|| LowerError::new(format!("unknown field {out_name:?}")))?;
+                        let idx = schema.index_of(&out_name).ok_or_else(|| {
+                            LowerError::new(format!("unknown field {out_name:?}"))
+                        })?;
                         // Skip identity items.
                         if matches!(&item.expr, Expr::InputField(n) if *n == out_name) {
                             continue;
@@ -287,9 +283,7 @@ impl<'a> LowerCtx<'a> {
                         .column_names
                         .iter()
                         .position(|c| c == col_name)
-                        .ok_or_else(|| {
-                            LowerError::new(format!("unknown column {col_name:?}"))
-                        })?;
+                        .ok_or_else(|| LowerError::new(format!("unknown column {col_name:?}")))?;
                     let expr = self.lower_expr(e, schema, Some(table))?;
                     assignments.push((col, cast_to(expr, tbl.column_types[col])));
                 }
@@ -395,9 +389,10 @@ impl<'a> LowerCtx<'a> {
                 IrExpr::Col(col)
             }
             Expr::Param(name) => {
-                let v = self.params.get(name).ok_or_else(|| {
-                    LowerError::new(format!("unknown parameter {name:?}"))
-                })?;
+                let v = self
+                    .params
+                    .get(name)
+                    .ok_or_else(|| LowerError::new(format!("unknown parameter {name:?}")))?;
                 IrExpr::Const(v.clone())
             }
             Expr::Call { function, args } => {
@@ -661,7 +656,8 @@ mod tests {
 
     #[test]
     fn projection_rewrite_lowered_to_assignment() {
-        let src = "element E() { on request { SELECT hash(input.username) AS object_id FROM input; } }";
+        let src =
+            "element E() { on request { SELECT hash(input.username) AS object_id FROM input; } }";
         let ir = lower(src, &[]).unwrap();
         let IrStmt::Select { assignments, .. } = &ir.request[0] else {
             panic!()
@@ -672,7 +668,8 @@ mod tests {
 
     #[test]
     fn identity_projection_produces_no_assignment() {
-        let src = "element E() { on request { SELECT input.username, input.object_id FROM input; } }";
+        let src =
+            "element E() { on request { SELECT input.username, input.object_id FROM input; } }";
         let ir = lower(src, &[]).unwrap();
         let IrStmt::Select { assignments, .. } = &ir.request[0] else {
             panic!()
@@ -689,7 +686,8 @@ mod tests {
 
     #[test]
     fn missing_required_param_rejected() {
-        let src = "element F(p: f64) { on request { DROP WHERE random() < p; SELECT * FROM input; } }";
+        let src =
+            "element F(p: f64) { on request { DROP WHERE random() < p; SELECT * FROM input; } }";
         let err = lower(src, &[]).unwrap_err();
         assert!(err.message.contains("no argument"));
     }

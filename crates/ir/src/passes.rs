@@ -71,7 +71,11 @@ pub fn optimize(mut chain: ChainIr, config: &PassConfig) -> (ChainIr, OptReport)
 
     if config.const_fold {
         for element in &mut chain.elements {
-            for stmt in element.request.iter_mut().chain(element.response.iter_mut()) {
+            for stmt in element
+                .request
+                .iter_mut()
+                .chain(element.response.iter_mut())
+            {
                 for expr in stmt.expressions_mut() {
                     report.folds += fold_expr(expr);
                 }
@@ -421,7 +425,9 @@ mod tests {
     fn may_forward_detects_unconditional_terminators() {
         let always_drop = lower("element D() { on request { DROP; } }");
         assert!(!may_forward(&always_drop.request));
-        let conditional = lower("element D() { on request { DROP WHERE input.object_id == 0; SELECT * FROM input; } }");
+        let conditional = lower(
+            "element D() { on request { DROP WHERE input.object_id == 0; SELECT * FROM input; } }",
+        );
         assert!(may_forward(&conditional.request));
     }
 }

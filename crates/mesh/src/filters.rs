@@ -160,7 +160,7 @@ impl MeshFilter for AccessLogFilter {
         body: &mut DynMessage,
     ) -> FilterVerdict {
         self.seq += 1;
-        if self.seq % self.sample_every == 0 {
+        if self.seq.is_multiple_of(self.sample_every) {
             let line = self.render(headers, body, "REQ");
             self.log.push(line);
         }
@@ -173,7 +173,7 @@ impl MeshFilter for AccessLogFilter {
         body: &mut DynMessage,
     ) -> FilterVerdict {
         self.seq += 1;
-        if self.seq % self.sample_every == 0 {
+        if self.seq.is_multiple_of(self.sample_every) {
             let line = self.render(headers, body, "RESP");
             self.log.push(line);
         }

@@ -67,10 +67,7 @@ pub fn encode_request(
     let headers: Vec<(String, String)> = vec![
         (":method".into(), "POST".into()),
         (":scheme".into(), "http".into()),
-        (
-            ":path".into(),
-            format!("/{service_name}/{method_name}"),
-        ),
+        (":path".into(), format!("/{service_name}/{method_name}")),
         (":authority".into(), format!("svc-{}", msg.dst)),
         ("content-type".into(), "application/grpc".into()),
         ("te".into(), "trailers".into()),
@@ -146,9 +143,7 @@ pub fn decode_message(
         } else {
             RpcStatus::Aborted {
                 code,
-                message: header(&headers, "grpc-message")
-                    .unwrap_or("")
-                    .to_owned(),
+                message: header(&headers, "grpc-message").unwrap_or("").to_owned(),
             }
         }
     } else {

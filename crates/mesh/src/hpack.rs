@@ -296,7 +296,9 @@ mod tests {
     fn decode_rejects_garbage_without_panicking() {
         let mut ctx = HpackContext::new();
         for seed in 0..200u8 {
-            let bytes: Vec<u8> = (0..seed).map(|i| i.wrapping_mul(31).wrapping_add(seed)).collect();
+            let bytes: Vec<u8> = (0..seed)
+                .map(|i| i.wrapping_mul(31).wrapping_add(seed))
+                .collect();
             let _ = decode_headers(&mut ctx, &bytes);
         }
     }

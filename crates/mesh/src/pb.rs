@@ -147,16 +147,18 @@ pub fn decode_with_schema(bytes: &[u8], schema: &RpcSchema) -> WireResult<Vec<Va
         };
         let v = match (field.ty, pv) {
             (ValueType::U64, PbValue::Varint(x)) => Value::U64(x),
-            (ValueType::I64, PbValue::Varint(x)) => {
-                Value::I64(adn_wire::varint::zigzag_decode(x))
-            }
+            (ValueType::I64, PbValue::Varint(x)) => Value::I64(adn_wire::varint::zigzag_decode(x)),
             (ValueType::Bool, PbValue::Varint(x)) => Value::Bool(x != 0),
             (ValueType::F64, PbValue::Fixed64(x)) => Value::F64(f64::from_bits(x)),
-            (ValueType::Str, PbValue::Bytes(b)) => Value::Str(
-                String::from_utf8(b).map_err(|_| WireError::InvalidUtf8)?,
-            ),
+            (ValueType::Str, PbValue::Bytes(b)) => {
+                Value::Str(String::from_utf8(b).map_err(|_| WireError::InvalidUtf8)?)
+            }
             (ValueType::Bytes, PbValue::Bytes(b)) => Value::Bytes(b),
-            _ => return Err(WireError::Malformed("wire type does not match schema field")),
+            _ => {
+                return Err(WireError::Malformed(
+                    "wire type does not match schema field",
+                ))
+            }
         };
         values[idx] = v;
     }

@@ -257,8 +257,7 @@ fn process_frame(
                 (dst, headers)
             };
             // 6-9. Re-encode everything toward the next hop.
-            let header_block =
-                hpack::encode_headers(tx_ctx.entry(dst).or_default(), &out_headers);
+            let header_block = hpack::encode_headers(tx_ctx.entry(dst).or_default(), &out_headers);
             let data = if body.is_empty() && h2.data.is_empty() {
                 Vec::new()
             } else {
@@ -286,10 +285,7 @@ fn process_frame(
             let resp_headers: Vec<(String, String)> = vec![
                 (":status".into(), "200".into()),
                 ("content-type".into(), "application/grpc".into()),
-                (
-                    "x-call-id".into(),
-                    call_id.to_string(),
-                ),
+                ("x-call-id".into(), call_id.to_string()),
                 (
                     "x-method-id".into(),
                     header(&headers, "x-method-id").unwrap_or("0").to_owned(),

@@ -63,7 +63,10 @@ pub trait Engine: Send {
         if image.is_empty() {
             Ok(())
         } else {
-            Err(format!("engine {} does not accept state images", self.name()))
+            Err(format!(
+                "engine {} does not accept state images",
+                self.name()
+            ))
         }
     }
 }

@@ -96,7 +96,7 @@ mod tests {
     fn conversions() {
         let e: RpcError = WireError::InvalidUtf8.into();
         assert!(matches!(e, RpcError::Wire(_)));
-        let e: RpcError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: RpcError = std::io::Error::other("x").into();
         assert!(matches!(e, RpcError::Io(_)));
     }
 }

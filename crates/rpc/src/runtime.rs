@@ -503,7 +503,8 @@ mod tests {
         for i in 0..128 {
             handles.push(client.send_call(request(&service, i), 2).unwrap());
         }
-        assert!(client.outstanding() > 0 || true);
+        // Some calls may already have completed; just exercise the counter.
+        let _ = client.outstanding();
         for (i, h) in handles.into_iter().enumerate() {
             let resp = h.wait(Duration::from_secs(5)).unwrap();
             assert_eq!(resp.get("x"), Some(&Value::U64(i as u64)));
@@ -587,7 +588,10 @@ mod tests {
             Err(e) => e,
             Ok(pending) => pending.wait(Duration::from_millis(200)).unwrap_err(),
         };
-        assert!(matches!(err, RpcError::UnknownEndpoint(9) | RpcError::Timeout { .. }));
+        assert!(matches!(
+            err,
+            RpcError::UnknownEndpoint(9) | RpcError::Timeout { .. }
+        ));
         client.set_via(None);
         assert!(client.call(request(&service, 1), 2).is_ok());
     }

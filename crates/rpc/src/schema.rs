@@ -273,7 +273,11 @@ mod tests {
             Err(SchemaError::ArityMismatch { .. })
         ));
         assert!(matches!(
-            s.check_values(&[Value::Str("x".into()), Value::Str("u".into()), Value::Bytes(vec![])]),
+            s.check_values(&[
+                Value::Str("x".into()),
+                Value::Str("u".into()),
+                Value::Bytes(vec![])
+            ]),
             Err(SchemaError::TypeMismatch { .. })
         ));
     }
@@ -287,7 +291,12 @@ mod tests {
     #[test]
     fn service_schema_rejects_duplicate_ids() {
         let req = Arc::new(kv_schema());
-        let resp = Arc::new(RpcSchema::builder().field("status", ValueType::U64).build().unwrap());
+        let resp = Arc::new(
+            RpcSchema::builder()
+                .field("status", ValueType::U64)
+                .build()
+                .unwrap(),
+        );
         let m = |id: u16, name: &str| MethodDef {
             id,
             name: name.into(),

@@ -1,0 +1,381 @@
+//! Post-hoc audit of optimizer decisions.
+//!
+//! [`adn_ir::optimize`] returns an [`OptReport`] describing what it did:
+//! the final element order, fused stages, and parallel-eligible pairs.
+//! This module re-derives each of those claims from first principles and
+//! flags any it cannot justify — a cheap, independent proof-checker for
+//! the optimizer rather than a re-run of it.
+//!
+//! Reorders are validated with the adjacent-transposition argument: a
+//! permutation is reachable through semantics-preserving swaps iff every
+//! pair of elements whose relative order flipped commutes. Because
+//! [`analysis::commute`] is a static, symmetric, pairwise judgment, this
+//! is both sound and complete with respect to it.
+
+use std::collections::BTreeSet;
+
+use adn_dsl::diag::Diagnostic;
+use adn_ir::element::Direction;
+use adn_ir::{analysis, ChainIr, OptReport};
+use adn_wire::header::HeaderLayout;
+
+use crate::chain::masks;
+use crate::codes;
+
+/// Audits `report` as a description of how `original` became `optimized`.
+/// Empty result = every recorded decision re-validates.
+pub fn audit_report(
+    original: &ChainIr,
+    optimized: &ChainIr,
+    report: &OptReport,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // A0001 — the report must describe the chain it came with.
+    let opt_names: Vec<String> = optimized.names().iter().map(|s| s.to_string()).collect();
+    if report.final_order != opt_names {
+        out.push(Diagnostic::error(
+            codes::REPORT_MISMATCH,
+            format!(
+                "report claims final order {:?} but the optimized chain is {:?}",
+                report.final_order, opt_names
+            ),
+        ));
+    }
+
+    // Map each optimized element back to its index in the original chain
+    // (first unused element with the same name — names may repeat).
+    let mut used = vec![false; original.elements.len()];
+    let mut perm: Vec<usize> = Vec::with_capacity(optimized.elements.len());
+    let mut is_permutation = original.elements.len() == optimized.elements.len();
+    for e in &optimized.elements {
+        match original
+            .elements
+            .iter()
+            .enumerate()
+            .position(|(i, o)| !used[i] && o.name == e.name)
+        {
+            Some(i) => {
+                used[i] = true;
+                perm.push(i);
+            }
+            None => {
+                is_permutation = false;
+                break;
+            }
+        }
+    }
+    if !is_permutation {
+        out.push(Diagnostic::error(
+            codes::ILLEGAL_REORDER,
+            format!(
+                "optimized chain {:?} is not a permutation of the original {:?}",
+                opt_names,
+                original.names()
+            ),
+        ));
+    } else {
+        // A0002 — every order-flipped pair must commute. Judged on the
+        // ORIGINAL elements: const folding inside the optimized copies
+        // must not be allowed to launder a conflict away.
+        for a in 0..perm.len() {
+            for b in a + 1..perm.len() {
+                let (oi, oj) = (perm[a], perm[b]);
+                if oi > oj && !analysis::commute(&original.elements[oj], &original.elements[oi]) {
+                    out.push(Diagnostic::error(
+                        codes::ILLEGAL_REORDER,
+                        format!(
+                            "reorder moved `{}` across `{}`, but they do not commute",
+                            original.elements[oi].name, original.elements[oj].name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // A0003 — stages must partition [0, len) contiguously and in order.
+    let n = optimized.elements.len();
+    let mut cursor = 0usize;
+    let mut stages_ok = true;
+    for &(start, end) in &report.stages {
+        if start != cursor || end <= start || end > n {
+            stages_ok = false;
+            break;
+        }
+        cursor = end;
+    }
+    if !(stages_ok && (cursor == n || (n == 0 && report.stages.is_empty()))) {
+        out.push(Diagnostic::error(
+            codes::BAD_STAGES,
+            format!(
+                "stages {:?} do not partition the {n}-element chain contiguously",
+                report.stages
+            ),
+        ));
+    }
+
+    // A0006 — parallel pairs re-checked with our own mask walk: adjacent,
+    // disjoint field footprints, and neither side drops or routes.
+    for &(i, j) in &report.parallel_pairs {
+        if j != i + 1 || j >= n {
+            out.push(Diagnostic::error(
+                codes::ILLEGAL_PARALLEL,
+                format!("parallel pair ({i}, {j}) is not an adjacent pair of the chain"),
+            ));
+            continue;
+        }
+        let (a, b) = (&optimized.elements[i], &optimized.elements[j]);
+        let mut conflict = None;
+        for d in [Direction::Request, Direction::Response] {
+            let ma = masks(a.stmts(d));
+            let mb = masks(b.stmts(d));
+            if (ma.reads | ma.writes) & (mb.reads | mb.writes) != 0 {
+                conflict = Some("they touch overlapping fields");
+            } else if ma.can_drop || mb.can_drop {
+                conflict = Some("one side may drop the message");
+            } else if ma.routes || mb.routes {
+                conflict = Some("one side routes the message");
+            }
+        }
+        if let Some(why) = conflict {
+            out.push(Diagnostic::error(
+                codes::ILLEGAL_PARALLEL,
+                format!(
+                    "reported parallel pair `{}` ∥ `{}` is not safe: {why}",
+                    a.name, b.name
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Field names the hop at `from` must carry: everything the downstream
+/// tail `chain.elements[from..]` reads or writes in either direction,
+/// re-derived with the verifier's own mask walk (deduplicated by name,
+/// matching the wire format's name-keyed layout).
+fn required_names(chain: &ChainIr, from: usize) -> BTreeSet<String> {
+    let tail = &chain.elements[from.min(chain.elements.len())..];
+    let mut need = BTreeSet::new();
+    for (dir, schema) in [
+        (Direction::Request, &chain.request_schema),
+        (Direction::Response, &chain.response_schema),
+    ] {
+        let mut mask = 0u64;
+        for e in tail {
+            let m = masks(e.stmts(dir));
+            mask |= m.reads | m.writes;
+        }
+        for (i, f) in schema.fields().iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                need.insert(f.name.clone());
+            }
+        }
+    }
+    need
+}
+
+/// Checks one synthesized header `layout` for the hop whose downstream is
+/// `chain.elements[from..]`. A field the tail needs but the layout omits
+/// is a hard error (the downstream processor would read garbage); a field
+/// the layout carries but nothing needs is a lint (wasted wire bytes).
+pub fn audit_header_layout(chain: &ChainIr, from: usize, layout: &HeaderLayout) -> Vec<Diagnostic> {
+    let need = required_names(chain, from);
+    let have: BTreeSet<String> = layout.fields().iter().map(|f| f.name.clone()).collect();
+    let mut out = Vec::new();
+    for name in need.difference(&have) {
+        out.push(Diagnostic::error(
+            codes::HEADER_MISSING_FIELD,
+            format!(
+                "header for hop {from} omits field `{name}`, which downstream \
+                 element(s) read or write"
+            ),
+        ));
+    }
+    for name in have.difference(&need) {
+        out.push(
+            Diagnostic::warning(
+                codes::HEADER_EXTRA_FIELD,
+                format!(
+                    "header for hop {from} carries field `{name}`, which no \
+                     downstream element touches"
+                ),
+            )
+            .with_help("dropping it shrinks every message on this hop"),
+        );
+    }
+    out
+}
+
+/// Audits the minimal header the optimizer would synthesize at every
+/// possible hop boundary of `chain`.
+pub fn audit_headers(chain: &ChainIr) -> Vec<Diagnostic> {
+    (0..=chain.elements.len())
+        .flat_map(|from| {
+            audit_header_layout(chain, from, &adn_ir::passes::minimal_header(chain, from))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use adn_dsl::{check_element, parser::parse_element};
+    use adn_ir::element::ElementIr;
+    use adn_ir::{optimize, PassConfig};
+    use adn_rpc::schema::RpcSchema;
+    use adn_rpc::value::ValueType;
+    use adn_wire::header::HeaderType;
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        let req = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let resp = Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        (req, resp)
+    }
+
+    fn lower(src: &str) -> ElementIr {
+        let (req, resp) = schemas();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+    }
+
+    fn chain_of(srcs: &[&str]) -> ChainIr {
+        let (req, resp) = schemas();
+        ChainIr::new(srcs.iter().map(|s| lower(s)).collect(), req, resp)
+    }
+
+    const ACL: &str = r#"
+        element Acl() {
+            state ac_tab(username: string key, permission: string);
+            on request {
+                SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                WHERE ac_tab.permission == 'W';
+            }
+        }
+    "#;
+    const COMPRESS: &str = r#"
+        element Compress() {
+            on request { SET payload = compress(input.payload); SELECT * FROM input; }
+        }
+    "#;
+    const ENCRYPT: &str = r#"
+        element Encrypt() {
+            on request { SET payload = encrypt(input.payload, 'k'); SELECT * FROM input; }
+        }
+    "#;
+
+    #[test]
+    fn genuine_optimizer_output_audits_clean() {
+        let original = chain_of(&[COMPRESS, ACL]);
+        let (optimized, report) = optimize(original.clone(), &PassConfig::default());
+        assert_eq!(report.swaps, 1, "precondition: the reorder actually fired");
+        let diags = audit_report(&original, &optimized, &report);
+        assert!(diags.is_empty(), "{diags:?}");
+        let diags = audit_headers(&optimized);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn hand_constructed_illegal_swap_is_caught() {
+        // Compress and Encrypt both write `payload`: they do not commute.
+        let original = chain_of(&[COMPRESS, ENCRYPT]);
+        let mut optimized = original.clone();
+        optimized.elements.swap(0, 1);
+        let report = OptReport {
+            swaps: 1,
+            final_order: vec!["Encrypt".into(), "Compress".into()],
+            stages: vec![(0, 2)],
+            ..Default::default()
+        };
+        let diags = audit_report(&original, &optimized, &report);
+        assert!(
+            diags.iter().any(|d| d.code == codes::ILLEGAL_REORDER),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn report_order_mismatch_is_caught() {
+        let original = chain_of(&[ACL, COMPRESS]);
+        let (optimized, mut report) = optimize(original.clone(), &PassConfig::default());
+        report.final_order.reverse();
+        let diags = audit_report(&original, &optimized, &report);
+        assert!(
+            diags.iter().any(|d| d.code == codes::REPORT_MISMATCH),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn gapped_and_overlapping_stages_are_caught() {
+        let original = chain_of(&[ACL, COMPRESS]);
+        let (optimized, mut report) = optimize(original.clone(), &PassConfig::default());
+        report.stages = vec![(0, 1)]; // gap: element 1 in no stage
+        let diags = audit_report(&original, &optimized, &report);
+        assert!(
+            diags.iter().any(|d| d.code == codes::BAD_STAGES),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn fabricated_parallel_pair_is_caught() {
+        // ACL can drop: it must never be reported parallel-eligible.
+        let original = chain_of(&[ACL, COMPRESS]);
+        let (optimized, mut report) = optimize(original.clone(), &PassConfig::default());
+        report.parallel_pairs = vec![(0, 1)];
+        let diags = audit_report(&original, &optimized, &report);
+        assert!(
+            diags.iter().any(|d| d.code == codes::ILLEGAL_PARALLEL),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn header_missing_downstream_read_is_hard_error() {
+        let chain = chain_of(&[ACL, COMPRESS]);
+        // Hop 0 needs username (ACL) and payload (Compress); omit payload.
+        let mut layout = HeaderLayout::new();
+        layout.push(0, "username", HeaderType::Str);
+        let diags = audit_header_layout(&chain, 0, &layout);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::HEADER_MISSING_FIELD);
+        assert!(diags[0].is_error());
+        assert!(diags[0].message.contains("payload"));
+    }
+
+    #[test]
+    fn header_extra_field_is_lint_not_error() {
+        let chain = chain_of(&[COMPRESS]);
+        let mut layout = HeaderLayout::new();
+        layout.push(0, "payload", HeaderType::Bytes);
+        layout.push(1, "object_id", HeaderType::U64); // nothing reads it
+        let diags = audit_header_layout(&chain, 0, &layout);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::HEADER_EXTRA_FIELD);
+        assert!(!diags[0].is_error());
+    }
+
+    #[test]
+    fn minimal_headers_audit_clean_at_every_hop() {
+        let chain = chain_of(&[ACL, COMPRESS, ENCRYPT]);
+        assert!(audit_headers(&chain).is_empty());
+    }
+}

@@ -1,0 +1,604 @@
+//! Chain-level dataflow verification over [`ChainIr`].
+//!
+//! All facts here are re-derived locally from the IR statements — the
+//! verifier deliberately does not reuse `adn_ir::analysis` bitmask
+//! summaries, so a bug there cannot blind the check that is supposed to
+//! catch it.
+
+use adn_dsl::diag::{Diagnostic, Span};
+use adn_ir::element::{Direction, ElementIr, IrStmt, JoinStrategy};
+use adn_ir::ChainIr;
+
+use crate::codes;
+
+/// Options for [`verify_chain`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainVerifyOptions {
+    /// Request-schema field index the deployment shards by, when scale-out
+    /// replication is planned. Enables the state-partitionability lint
+    /// (`V0005`).
+    pub shard_field: Option<usize>,
+}
+
+/// A finding tied (when possible) to one element of the chain; the
+/// diagnostic's span, if set, is a byte range into that element's
+/// canonical-printed `source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainDiagnostic {
+    pub element: Option<usize>,
+    pub diagnostic: Diagnostic,
+}
+
+/// Per-direction dataflow facts, re-derived statement by statement.
+/// Shared with the optimizer audit so both layers judge from the same
+/// independent walk.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DirMasks {
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) uses_state: bool,
+    pub(crate) writes_state: bool,
+    pub(crate) can_drop: bool,
+    pub(crate) routes: bool,
+}
+
+pub(crate) fn masks(stmts: &[IrStmt]) -> DirMasks {
+    let mut m = DirMasks::default();
+    for s in stmts {
+        for e in s.expressions() {
+            m.reads |= e.field_mask();
+        }
+        match s {
+            IrStmt::Select {
+                assignments, join, ..
+            } => {
+                for (idx, _) in assignments {
+                    m.writes |= 1 << idx;
+                }
+                if join.is_some() {
+                    m.uses_state = true;
+                }
+                if s.can_terminate() {
+                    m.can_drop = true;
+                }
+            }
+            IrStmt::Insert { .. } | IrStmt::Update { .. } | IrStmt::Delete { .. } => {
+                m.uses_state = true;
+                m.writes_state = true;
+            }
+            IrStmt::Drop { .. } | IrStmt::Abort { .. } => m.can_drop = true,
+            IrStmt::Route { .. } => m.routes = true,
+            IrStmt::Set { field, .. } => m.writes |= 1 << field,
+        }
+    }
+    m
+}
+
+/// Statement spans recovered by re-parsing the element's canonical source.
+/// Only used when the statement counts line up (lowering is 1:1).
+struct SourceSpans {
+    request: Vec<Span>,
+    response: Vec<Span>,
+}
+
+fn spans_for(element: &ElementIr) -> SourceSpans {
+    let empty = SourceSpans {
+        request: Vec::new(),
+        response: Vec::new(),
+    };
+    let Ok(ast) = adn_dsl::parser::parse_element(&element.source) else {
+        return empty;
+    };
+    let take = |h: Option<adn_dsl::ast::Handler>, n: usize| -> Vec<Span> {
+        match h {
+            Some(h) if h.stmt_spans.len() == n => h.stmt_spans,
+            _ => Vec::new(),
+        }
+    };
+    SourceSpans {
+        request: take(ast.on_request, element.request.len()),
+        response: take(ast.on_response, element.response.len()),
+    }
+}
+
+fn dir_name(d: Direction) -> &'static str {
+    match d {
+        Direction::Request => "request",
+        Direction::Response => "response",
+    }
+}
+
+fn field_name(chain: &ChainIr, d: Direction, bit: usize) -> String {
+    let schema = match d {
+        Direction::Request => &chain.request_schema,
+        Direction::Response => &chain.response_schema,
+    };
+    schema
+        .fields()
+        .get(bit)
+        .map(|f| f.name.clone())
+        .unwrap_or_else(|| format!("#{bit}"))
+}
+
+/// Runs every chain-level lint. Well-formed chains produced by the
+/// controller's front end come back clean (modulo intentional warnings
+/// such as dead elements in hand-built test chains).
+pub fn verify_chain(chain: &ChainIr, opts: &ChainVerifyOptions) -> Vec<ChainDiagnostic> {
+    let mut out = Vec::new();
+    let dirs = [Direction::Request, Direction::Response];
+    let per_dir: Vec<[DirMasks; 2]> = chain
+        .elements
+        .iter()
+        .map(|e| [masks(&e.request), masks(&e.response)])
+        .collect();
+    let spans: Vec<SourceSpans> = chain.elements.iter().map(spans_for).collect();
+
+    // V0001 — reads/writes outside the RPC schema. The schema provides
+    // every declared field, so "uninitialized" means an index no schema
+    // field nor upstream write could ever populate.
+    for (di, d) in dirs.iter().enumerate() {
+        let schema_len = match d {
+            Direction::Request => chain.request_schema.fields().len(),
+            Direction::Response => chain.response_schema.fields().len(),
+        };
+        let provided: u64 = if schema_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << schema_len) - 1
+        };
+        let mut available = provided;
+        for (i, e) in chain.elements.iter().enumerate() {
+            let m = &per_dir[i][di];
+            let bad = (m.reads | m.writes) & !available;
+            if bad != 0 {
+                for bit in 0..64 {
+                    if bad & (1 << bit) != 0 {
+                        out.push(ChainDiagnostic {
+                            element: Some(i),
+                            diagnostic: Diagnostic::error(
+                                codes::UNINIT_READ,
+                                format!(
+                                    "element `{}` accesses {} field #{bit}, which neither \
+                                     the schema ({schema_len} fields) nor any upstream \
+                                     element provides",
+                                    e.name,
+                                    dir_name(*d)
+                                ),
+                            ),
+                        });
+                    }
+                }
+            }
+            available |= m.writes & provided;
+        }
+    }
+
+    // V0002 — dead writes: a field written by element i and overwritten by
+    // a later element before anything reads it.
+    for (di, d) in dirs.iter().enumerate() {
+        for i in 0..chain.elements.len() {
+            let mut pending = per_dir[i][di].writes;
+            for (j, downstream) in per_dir.iter().enumerate().skip(i + 1) {
+                if pending == 0 {
+                    break;
+                }
+                let read_here = pending & downstream[di].reads;
+                pending &= !read_here;
+                let overwritten = pending & downstream[di].writes;
+                for bit in 0..64 {
+                    if overwritten & (1 << bit) != 0 {
+                        out.push(ChainDiagnostic {
+                            element: Some(i),
+                            diagnostic: Diagnostic::warning(
+                                codes::DEAD_WRITE,
+                                format!(
+                                    "element `{}` writes {} field `{}`, but `{}` \
+                                     overwrites it before anything reads it",
+                                    chain.elements[i].name,
+                                    dir_name(*d),
+                                    field_name(chain, *d, bit),
+                                    chain.elements[j].name
+                                ),
+                            ),
+                        });
+                    }
+                }
+                pending &= !overwritten;
+            }
+        }
+    }
+
+    // V0003 — elements with no observable effect in either direction.
+    for (i, e) in chain.elements.iter().enumerate() {
+        let effect = per_dir[i]
+            .iter()
+            .any(|m| m.writes != 0 || m.uses_state || m.writes_state || m.can_drop || m.routes);
+        if !effect {
+            out.push(ChainDiagnostic {
+                element: Some(i),
+                diagnostic: Diagnostic::warning(
+                    codes::DEAD_ELEMENT,
+                    format!(
+                        "element `{}` neither writes fields, touches state, drops, \
+                         nor routes — it has no observable effect",
+                        e.name
+                    ),
+                )
+                .with_help("remove it from the chain or give it an effect"),
+            });
+        }
+    }
+
+    // V0004 — unreachable statements (after an unconditional terminator)
+    // and unreachable elements (after a handler that can never forward).
+    for (i, e) in chain.elements.iter().enumerate() {
+        for d in dirs {
+            let stmts = e.stmts(d);
+            let term = stmts.iter().position(|s| {
+                matches!(
+                    s,
+                    IrStmt::Drop { condition: None }
+                        | IrStmt::Abort {
+                            condition: None,
+                            ..
+                        }
+                )
+            });
+            if let Some(t) = term {
+                if t + 1 < stmts.len() {
+                    let span_list = match d {
+                        Direction::Request => &spans[i].request,
+                        Direction::Response => &spans[i].response,
+                    };
+                    let mut diag = Diagnostic::warning(
+                        codes::UNREACHABLE,
+                        format!(
+                            "statement {} of element `{}`'s {} handler is unreachable: \
+                             statement {t} unconditionally terminates the message",
+                            t + 1,
+                            e.name,
+                            dir_name(d)
+                        ),
+                    );
+                    if let Some(span) = span_list.get(t + 1) {
+                        diag = diag.with_span(*span);
+                    }
+                    out.push(ChainDiagnostic {
+                        element: Some(i),
+                        diagnostic: diag,
+                    });
+                }
+            }
+        }
+        if i + 1 < chain.elements.len() && !adn_ir::passes::may_forward(&e.request) {
+            out.push(ChainDiagnostic {
+                element: Some(i),
+                diagnostic: Diagnostic::warning(
+                    codes::UNREACHABLE,
+                    format!(
+                        "element `{}` never forwards requests, so the {} downstream \
+                         element(s) can only see responses that will never come",
+                        e.name,
+                        chain.elements.len() - i - 1
+                    ),
+                ),
+            });
+        }
+    }
+
+    // V0005 — state partitionability against the shard key.
+    if let Some(shard) = opts.shard_field {
+        let shard_mask = 1u64 << shard;
+        let shard_name = field_name(chain, Direction::Request, shard);
+        for (i, e) in chain.elements.iter().enumerate() {
+            // Read-only tables replicate cleanly to every shard; only
+            // tables the element mutates need key discipline.
+            let mutated: Vec<usize> = (0..e.tables.len())
+                .filter(|t| {
+                    e.all_stmts().any(|s| match s {
+                        IrStmt::Insert { table, .. }
+                        | IrStmt::Update { table, .. }
+                        | IrStmt::Delete { table, .. } => table == t,
+                        _ => false,
+                    })
+                })
+                .collect();
+            for &t in &mutated {
+                let table = &e.tables[t];
+                let mut reason: Option<String> = None;
+                for s in e.all_stmts() {
+                    match s {
+                        IrStmt::Select { join: Some(j), .. } if j.table == t => match &j.strategy {
+                            JoinStrategy::KeyLookup { input_fields } => {
+                                if input_fields.iter().any(|f| *f != shard) {
+                                    reason = Some(format!(
+                                        "a join keys it by input fields {input_fields:?}, \
+                                         not the shard field"
+                                    ));
+                                }
+                            }
+                            JoinStrategy::Scan => {
+                                reason = Some(
+                                    "a join scans it, and partitioned shards each see \
+                                     only a subset of rows"
+                                        .to_owned(),
+                                );
+                            }
+                        },
+                        IrStmt::Insert { table: ti, values } if *ti == t => {
+                            for &kc in &table.key_columns {
+                                let mask = values.get(kc).map(|v| v.field_mask()).unwrap_or(0);
+                                if mask != shard_mask {
+                                    reason = Some(format!(
+                                        "an INSERT derives key column `{}` from \
+                                         something other than the shard field",
+                                        table
+                                            .column_names
+                                            .get(kc)
+                                            .cloned()
+                                            .unwrap_or_else(|| format!("#{kc}"))
+                                    ));
+                                }
+                            }
+                        }
+                        IrStmt::Update {
+                            table: ti,
+                            condition: Some(c),
+                            ..
+                        }
+                        | IrStmt::Delete {
+                            table: ti,
+                            condition: Some(c),
+                        } if *ti == t && c.field_mask() & !shard_mask != 0 => {
+                            reason = Some(
+                                "an UPDATE/DELETE selects rows using non-shard \
+                                     fields"
+                                    .to_owned(),
+                            );
+                        }
+                        _ => {}
+                    }
+                    if reason.is_some() {
+                        break;
+                    }
+                }
+                if let Some(why) = reason {
+                    out.push(ChainDiagnostic {
+                        element: Some(i),
+                        diagnostic: Diagnostic::warning(
+                            codes::NON_PARTITIONABLE,
+                            format!(
+                                "state table `{}` of element `{}` is not a function of \
+                                 shard field `{shard_name}`: {why}; replicating the \
+                                 element across shards will split or duplicate rows",
+                                table.name, e.name
+                            ),
+                        )
+                        .with_help(
+                            "key the table by the shard field, or keep this element on \
+                             an unsharded processor",
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use adn_dsl::{check_element, parser::parse_element};
+    use adn_rpc::schema::RpcSchema;
+    use adn_rpc::value::ValueType;
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        let req = Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        let resp = Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        );
+        (req, resp)
+    }
+
+    fn lower(src: &str) -> ElementIr {
+        let (req, resp) = schemas();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+    }
+
+    fn chain_of(srcs: &[&str]) -> ChainIr {
+        let (req, resp) = schemas();
+        ChainIr::new(srcs.iter().map(|s| lower(s)).collect(), req, resp)
+    }
+
+    fn codes_of(diags: &[ChainDiagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.diagnostic.code).collect()
+    }
+
+    const ACL: &str = r#"
+        element Acl() {
+            state ac_tab(username: string key, permission: string);
+            on request {
+                SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username
+                WHERE ac_tab.permission == 'W';
+            }
+        }
+    "#;
+    const COMPRESS: &str = r#"
+        element Compress() {
+            on request { SET payload = compress(input.payload); SELECT * FROM input; }
+        }
+    "#;
+
+    #[test]
+    fn clean_chain_verifies_clean() {
+        let chain = chain_of(&[ACL, COMPRESS]);
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn out_of_schema_read_is_uninitialized() {
+        let mut chain = chain_of(&[COMPRESS]);
+        // Corrupt the IR: read request field #7 in a 3-field schema.
+        chain.elements[0].request.insert(
+            0,
+            IrStmt::Set {
+                field: 2,
+                value: adn_ir::IrExpr::Field(7),
+                condition: None,
+            },
+        );
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        assert!(codes_of(&diags).contains(&codes::UNINIT_READ), "{diags:?}");
+    }
+
+    #[test]
+    fn overwritten_write_is_dead() {
+        let blind_writer = "element A() { on request { SET object_id = 1; SELECT * FROM input; } }";
+        let overwriter = "element B() { on request { SET object_id = 2; SELECT * FROM input; } }";
+        let chain = chain_of(&[blind_writer, overwriter]);
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        assert_eq!(codes_of(&diags), vec![codes::DEAD_WRITE]);
+        assert_eq!(diags[0].element, Some(0));
+    }
+
+    #[test]
+    fn read_between_writes_keeps_write_live() {
+        // Compress reads payload before Encrypt overwrites it: no dead write.
+        let encrypt = "element Enc() { on request { SET payload = encrypt(input.payload, 'k'); SELECT * FROM input; } }";
+        let chain = chain_of(&[COMPRESS, encrypt]);
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn pure_passthrough_is_dead_element() {
+        let tee = "element Tee() { on request { SELECT * FROM input; } }";
+        let chain = chain_of(&[tee, COMPRESS]);
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        assert_eq!(codes_of(&diags), vec![codes::DEAD_ELEMENT]);
+    }
+
+    #[test]
+    fn statements_after_unconditional_drop_are_unreachable() {
+        let src = "element D() { on request { DROP; SELECT * FROM input; } }";
+        let chain = chain_of(&[src]);
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.diagnostic.code == codes::UNREACHABLE)
+            .collect();
+        assert!(!unreachable.is_empty(), "{diags:?}");
+        // The span maps back into the element's canonical source.
+        let spanned = unreachable.iter().find(|d| d.diagnostic.span.is_some());
+        let d = spanned.expect("span recovered from source");
+        let span = d.diagnostic.span.unwrap();
+        let source = &chain.elements[0].source;
+        assert!(source[span.start as usize..span.end as usize].contains("SELECT"));
+    }
+
+    #[test]
+    fn never_forwarding_element_makes_tail_unreachable() {
+        let src = "element D() { on request { DROP; } }";
+        let chain = chain_of(&[src, COMPRESS]);
+        let diags = verify_chain(&chain, &ChainVerifyOptions::default());
+        assert!(codes_of(&diags).contains(&codes::UNREACHABLE), "{diags:?}");
+    }
+
+    #[test]
+    fn quota_keyed_by_shard_field_is_partitionable() {
+        let quota = r#"
+            element Quota() {
+                state q_tab(username: string key, used: u64);
+                on request {
+                    UPDATE q_tab SET used = q_tab.used + 1
+                        WHERE q_tab.username == input.username;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let chain = chain_of(&[quota]);
+        // Sharded by username (request field 1).
+        let diags = verify_chain(
+            &chain,
+            &ChainVerifyOptions {
+                shard_field: Some(1),
+            },
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn state_keyed_off_shard_field_is_flagged() {
+        let quota = r#"
+            element Quota() {
+                state q_tab(username: string key, used: u64);
+                on request {
+                    UPDATE q_tab SET used = q_tab.used + 1
+                        WHERE q_tab.username == input.username;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let chain = chain_of(&[quota]);
+        // Sharded by object_id (field 0) while the table is keyed by
+        // username (field 1): rows would scatter.
+        let diags = verify_chain(
+            &chain,
+            &ChainVerifyOptions {
+                shard_field: Some(0),
+            },
+        );
+        assert_eq!(codes_of(&diags), vec![codes::NON_PARTITIONABLE]);
+    }
+
+    #[test]
+    fn insert_key_not_from_shard_field_is_flagged() {
+        let logging = r#"
+            element Logging() {
+                state log_tab(seq: u64 key, who: string);
+                on request {
+                    INSERT INTO log_tab VALUES (now(), input.username);
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let chain = chain_of(&[logging]);
+        let diags = verify_chain(
+            &chain,
+            &ChainVerifyOptions {
+                shard_field: Some(1),
+            },
+        );
+        assert_eq!(codes_of(&diags), vec![codes::NON_PARTITIONABLE]);
+    }
+
+    #[test]
+    fn read_only_table_is_exempt_from_partitionability() {
+        // ACL never writes ac_tab: replicating it to every shard is fine.
+        let chain = chain_of(&[ACL]);
+        let diags = verify_chain(
+            &chain,
+            &ChainVerifyOptions {
+                shard_field: Some(0),
+            },
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

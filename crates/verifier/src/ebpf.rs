@@ -1,0 +1,357 @@
+//! Offload verifier for the eBPF backend.
+//!
+//! [`adn_backend::ebpf::compile`] already runs a kernel-style structural
+//! verifier (register init, forward jumps, mandatory `Ret`). This module
+//! is the *policy* layer on top: it re-walks the emitted instruction
+//! stream and answers "should this program be trusted in the kernel at
+//! this site?" under an operator-configurable [`EbpfPolicy`] — bounded
+//! worst-case path length, helper whitelist, and a simulated stack
+//! budget. The placement solver consults the verdict: an element that
+//! compiles but fails the audit is kept on a native processor.
+
+use adn_backend::ebpf::{compile, EbpfProgram, Insn};
+use adn_dsl::diag::Diagnostic;
+use adn_ir::element::ElementIr;
+
+use crate::codes;
+
+/// What a site's kernel is willing to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EbpfPolicy {
+    /// Longest permissible execution path, in instructions.
+    pub max_path_insns: usize,
+    /// Simulated stack budget: 8 bytes per live register slot.
+    pub max_stack_bytes: usize,
+    /// Allow the `Rand` helper (fault injection).
+    pub allow_rand: bool,
+    /// Allow the `Now` helper (logical clocks).
+    pub allow_now: bool,
+    /// Allow map helpers (stateful elements).
+    pub allow_map_helpers: bool,
+    /// Allow the `Route` helper (in-kernel load balancing).
+    pub allow_route: bool,
+}
+
+impl Default for EbpfPolicy {
+    fn default() -> Self {
+        Self {
+            max_path_insns: adn_backend::ebpf::MAX_INSNS,
+            max_stack_bytes: 512,
+            allow_rand: true,
+            allow_now: true,
+            allow_map_helpers: true,
+            allow_route: true,
+        }
+    }
+}
+
+/// Resource usage of a verified element, for placement cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EbpfAuditReport {
+    /// Longest request-path length in instructions.
+    pub request_path_insns: usize,
+    /// Longest response-path length in instructions.
+    pub response_path_insns: usize,
+    /// Simulated stack high-water mark across both programs.
+    pub stack_bytes: usize,
+}
+
+/// Longest execution path through a forward-jump-only program, in
+/// instructions. Jumps only go forward, so the flow graph is a DAG and a
+/// single reverse pass computes the exact bound — the same argument the
+/// kernel verifier uses to reject unbounded programs. Returns `None` for
+/// malformed flow (a jump landing past the end).
+fn longest_path(prog: &EbpfProgram) -> Option<usize> {
+    let n = prog.insns.len();
+    // longest[i] = max instructions executed starting at insn i.
+    let mut longest = vec![0usize; n + 1];
+    for i in (0..n).rev() {
+        let mut succ_max = 0usize;
+        let mut succs = 0usize;
+        let mut push = |t: usize| -> Option<()> {
+            if t > n {
+                return None;
+            }
+            succ_max = succ_max.max(longest[t]);
+            succs += 1;
+            Some(())
+        };
+        match &prog.insns[i] {
+            Insn::Ret { .. } => {}
+            Insn::Jmp { off } => push(i + 1 + *off as usize)?,
+            Insn::JmpIf { off, .. } => {
+                push(i + 1 + *off as usize)?;
+                push(i + 1)?;
+            }
+            Insn::MapLookup { miss_off, .. } => {
+                push(i + 1 + *miss_off as usize)?;
+                push(i + 1)?;
+            }
+            _ => push(i + 1)?,
+        }
+        let _ = succs;
+        longest[i] = 1 + succ_max;
+    }
+    Some(longest.first().copied().unwrap_or(0))
+}
+
+/// Register the instruction writes, if any.
+fn written_reg(insn: &Insn) -> Option<u8> {
+    match insn {
+        Insn::LdImm { dst, .. }
+        | Insn::LdField { dst, .. }
+        | Insn::Mov { dst, .. }
+        | Insn::Alu { dst, .. }
+        | Insn::Neg { dst }
+        | Insn::LogicalNot { dst }
+        | Insn::HashField { dst, .. }
+        | Insn::LenField { dst, .. }
+        | Insn::Rand { dst }
+        | Insn::Now { dst }
+        | Insn::MapLookup { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn check_program(
+    element: &str,
+    dir: &str,
+    prog: &EbpfProgram,
+    policy: &EbpfPolicy,
+) -> Result<(usize, usize), Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+
+    let path = match longest_path(prog) {
+        Some(p) => p,
+        None => {
+            diags.push(Diagnostic::error(
+                codes::EBPF_UNBOUNDED,
+                format!("element `{element}` {dir} program has a jump past the end"),
+            ));
+            0
+        }
+    };
+    if path > policy.max_path_insns {
+        diags.push(Diagnostic::error(
+            codes::EBPF_UNBOUNDED,
+            format!(
+                "element `{element}` {dir} program's longest path is {path} \
+                 instructions; the site allows {}",
+                policy.max_path_insns
+            ),
+        ));
+    }
+
+    for insn in &prog.insns {
+        let denied = match insn {
+            Insn::Rand { .. } if !policy.allow_rand => Some("rand"),
+            Insn::Now { .. } if !policy.allow_now => Some("now"),
+            Insn::MapLookup { .. } | Insn::MapUpdate { .. } | Insn::MapDelete { .. }
+                if !policy.allow_map_helpers =>
+            {
+                Some("map access")
+            }
+            Insn::Route { .. } if !policy.allow_route => Some("route"),
+            _ => None,
+        };
+        if let Some(helper) = denied {
+            diags.push(
+                Diagnostic::error(
+                    codes::EBPF_HELPER,
+                    format!(
+                        "element `{element}` {dir} program uses the `{helper}` helper, \
+                         which this site's policy does not whitelist"
+                    ),
+                )
+                .with_help("place the element on a native processor instead"),
+            );
+            break; // one diagnostic per program is enough
+        }
+    }
+
+    // Stack model: 8 bytes per distinct register the program ever writes
+    // (each live register spills to one stack slot in the worst case).
+    let mut regs = 0u16;
+    for insn in &prog.insns {
+        if let Some(r) = written_reg(insn) {
+            regs |= 1 << r;
+        }
+    }
+    let stack = regs.count_ones() as usize * 8;
+    if stack > policy.max_stack_bytes {
+        diags.push(Diagnostic::error(
+            codes::EBPF_STACK,
+            format!(
+                "element `{element}` {dir} program needs {stack} stack bytes; the \
+                 site allows {}",
+                policy.max_stack_bytes
+            ),
+        ));
+    }
+
+    if diags.is_empty() {
+        Ok((path, stack))
+    } else {
+        Err(diags)
+    }
+}
+
+/// Verifies that `element` can be offloaded under `policy`. `Ok` carries
+/// resource usage for cost models; `Err` carries the diagnostics that
+/// explain why the element must stay on a native processor.
+pub fn audit_element(
+    element: &ElementIr,
+    policy: &EbpfPolicy,
+) -> Result<EbpfAuditReport, Vec<Diagnostic>> {
+    let compiled = match compile(element) {
+        Ok(c) => c,
+        Err(why) => {
+            return Err(vec![Diagnostic::error(
+                codes::EBPF_UNSUPPORTED,
+                format!(
+                    "element `{}` does not fit the kernel execution model: {why}",
+                    element.name
+                ),
+            )]);
+        }
+    };
+
+    let mut diags = Vec::new();
+    let mut report = EbpfAuditReport::default();
+    match check_program(&element.name, "request", &compiled.request, policy) {
+        Ok((path, stack)) => {
+            report.request_path_insns = path;
+            report.stack_bytes = report.stack_bytes.max(stack);
+        }
+        Err(d) => diags.extend(d),
+    }
+    match check_program(&element.name, "response", &compiled.response, policy) {
+        Ok((path, stack)) => {
+            report.response_path_insns = path;
+            report.stack_bytes = report.stack_bytes.max(stack);
+        }
+        Err(d) => diags.extend(d),
+    }
+
+    if diags.is_empty() {
+        Ok(report)
+    } else {
+        Err(diags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_dsl::{check_element, parser::parse_element};
+    use adn_rpc::schema::RpcSchema;
+    use adn_rpc::value::ValueType;
+
+    fn lower(src: &str) -> ElementIr {
+        let req = RpcSchema::builder()
+            .field("user_id", ValueType::U64)
+            .field("object_id", ValueType::U64)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap();
+        let resp = RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .build()
+            .unwrap();
+        let checked = check_element(&parse_element(src).unwrap(), &req, &resp).unwrap();
+        adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+    }
+
+    const NUMERIC_ACL: &str = r#"
+        element NumAcl() {
+            state acl(user_id: u64 key, allowed: u64) init { (1, 1), (2, 0) };
+            on request {
+                SELECT * FROM input JOIN acl ON input.user_id == acl.user_id
+                WHERE acl.allowed == 1;
+            }
+        }
+    "#;
+
+    #[test]
+    fn offloadable_element_passes_default_policy() {
+        let report = audit_element(&lower(NUMERIC_ACL), &EbpfPolicy::default()).unwrap();
+        assert!(report.request_path_insns > 0);
+        assert!(report.stack_bytes > 0);
+        // Response handler is empty: just the implicit Ret.
+        assert_eq!(report.response_path_insns, 1);
+    }
+
+    #[test]
+    fn non_compilable_element_reports_unsupported() {
+        let compress =
+            "element C() { on request { SET payload = compress(input.payload); SELECT * FROM input; } }";
+        let diags = audit_element(&lower(compress), &EbpfPolicy::default()).unwrap_err();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::EBPF_UNSUPPORTED);
+    }
+
+    #[test]
+    fn map_helpers_can_be_denied_by_policy() {
+        let policy = EbpfPolicy {
+            allow_map_helpers: false,
+            ..EbpfPolicy::default()
+        };
+        let diags = audit_element(&lower(NUMERIC_ACL), &policy).unwrap_err();
+        assert!(
+            diags.iter().any(|d| d.code == codes::EBPF_HELPER),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rand_helper_denial_blocks_fault_injection() {
+        let fault =
+            "element F(p: f64 = 0.5) { on request { ABORT(3) WHERE random() < p; SELECT * FROM input; } }";
+        let element = lower(fault);
+        assert!(audit_element(&element, &EbpfPolicy::default()).is_ok());
+        let policy = EbpfPolicy {
+            allow_rand: false,
+            ..EbpfPolicy::default()
+        };
+        let diags = audit_element(&element, &policy).unwrap_err();
+        assert!(
+            diags.iter().any(|d| d.code == codes::EBPF_HELPER),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn path_budget_is_enforced() {
+        let policy = EbpfPolicy {
+            max_path_insns: 2,
+            ..EbpfPolicy::default()
+        };
+        let diags = audit_element(&lower(NUMERIC_ACL), &policy).unwrap_err();
+        assert!(
+            diags.iter().any(|d| d.code == codes::EBPF_UNBOUNDED),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stack_budget_is_enforced() {
+        let policy = EbpfPolicy {
+            max_stack_bytes: 8,
+            ..EbpfPolicy::default()
+        };
+        let diags = audit_element(&lower(NUMERIC_ACL), &policy).unwrap_err();
+        assert!(
+            diags.iter().any(|d| d.code == codes::EBPF_STACK),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn longest_path_bounds_branching_programs() {
+        // Path length accounts for the longer arm of a branch, not the sum.
+        let set = "element S() { on request { SET object_id = CASE WHEN input.user_id > 1 THEN 1 ELSE 2 END; SELECT * FROM input; } }";
+        let report = audit_element(&lower(set), &EbpfPolicy::default()).unwrap();
+        let compiled = compile(&lower(set)).unwrap();
+        assert!(report.request_path_insns <= compiled.request.insns.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! # adn-verifier — static verification for ADN chains
+//!
+//! The compiler's optimizer and placement layers make semantics-critical
+//! decisions (element reordering, stage fusion, minimal wire headers,
+//! kernel offload). This crate is the independent second opinion:
+//!
+//! * [`chain`] — dataflow verification over a lowered [`adn_ir::ChainIr`]:
+//!   uninitialized-field reads, dead writes, dead elements, unreachable
+//!   statements and elements, and state partitionability against a shard
+//!   key (`V00xx` codes).
+//! * [`audit`] — post-hoc re-derivation of every optimizer decision
+//!   recorded in an [`adn_ir::OptReport`]: reorders re-validated against
+//!   the commutativity judgment, stages checked for coverage, parallel
+//!   pairs re-checked for read/write conflicts, and synthesized header
+//!   layouts diffed against the fields genuinely needed downstream
+//!   (`A00xx` codes).
+//! * [`ebpf`] — a conservative verifier over the instruction programs the
+//!   eBPF backend emits: bounded execution, helper whitelist, simulated
+//!   stack depth (`B00xx` codes). Its verdicts are consumed by the
+//!   controller's placement solver, so an element that compiles but does
+//!   not verify falls back to a native processor.
+//!
+//! Front-end codes (`E00xx`) live in [`adn_dsl::diag::codes`]; the
+//! `adn-lint` binary drives all layers over `.adn` sources.
+
+pub mod audit;
+pub mod chain;
+pub mod ebpf;
+
+pub use adn_dsl::diag::{Diagnostic, Severity, Span};
+pub use audit::{audit_header_layout, audit_headers, audit_report};
+pub use chain::{verify_chain, ChainDiagnostic, ChainVerifyOptions};
+pub use ebpf::{audit_element as audit_ebpf_element, EbpfAuditReport, EbpfPolicy};
+
+/// Stable diagnostic codes emitted by the verification layers.
+pub mod codes {
+    /// Element reads (or writes) a field the RPC schema does not provide.
+    pub const UNINIT_READ: &str = "V0001";
+    /// Field write overwritten downstream before any read.
+    pub const DEAD_WRITE: &str = "V0002";
+    /// Element with no observable effect in either direction.
+    pub const DEAD_ELEMENT: &str = "V0003";
+    /// Statement or element that can never execute.
+    pub const UNREACHABLE: &str = "V0004";
+    /// Mutable state not partitionable by the deployment's shard key.
+    pub const NON_PARTITIONABLE: &str = "V0005";
+
+    /// Optimizer report disagrees with the chain it claims to describe.
+    pub const REPORT_MISMATCH: &str = "A0001";
+    /// Reorder that is not reachable through commuting swaps.
+    pub const ILLEGAL_REORDER: &str = "A0002";
+    /// Fused stages do not cover the chain contiguously and in order.
+    pub const BAD_STAGES: &str = "A0003";
+    /// Synthesized header misses a field read downstream of the hop.
+    pub const HEADER_MISSING_FIELD: &str = "A0004";
+    /// Synthesized header carries a field nothing downstream needs.
+    pub const HEADER_EXTRA_FIELD: &str = "A0005";
+    /// Reported parallel pair has a read/write conflict.
+    pub const ILLEGAL_PARALLEL: &str = "A0006";
+
+    /// Element does not compile to eBPF at all.
+    pub const EBPF_UNSUPPORTED: &str = "B0001";
+    /// Program exceeds the bounded-execution limit or has malformed flow.
+    pub const EBPF_UNBOUNDED: &str = "B0002";
+    /// Program calls a helper the policy does not whitelist.
+    pub const EBPF_HELPER: &str = "B0003";
+    /// Program exceeds the simulated stack budget.
+    pub const EBPF_STACK: &str = "B0004";
+}

@@ -1,0 +1,118 @@
+//! Cross-layer agreement: the front end's name-set dataflow facts
+//! (`adn_dsl::typecheck::HandlerFacts`, computed over the AST) and the
+//! IR's bitmask facts (`adn_ir::analysis::DirFacts`, computed over
+//! lowered statements) must describe every catalog element identically.
+//!
+//! The IR facts are the single source of truth — the optimizer, the
+//! placement solver, and the verifier all judge from them. The AST-level
+//! sets exist for diagnostics. This test pins the two inference paths
+//! together so they cannot silently diverge.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use adn_dsl::parser::parse_element;
+use adn_dsl::typecheck::{check_element, HandlerFacts};
+use adn_ir::analysis::{self, DirFacts};
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::ValueType;
+
+fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+    let req = Arc::new(
+        RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    );
+    let resp = Arc::new(
+        RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    );
+    (req, resp)
+}
+
+fn assert_dir_agrees(
+    element: &str,
+    dir: &str,
+    ast: &HandlerFacts,
+    ir: &DirFacts,
+    schema: &RpcSchema,
+) {
+    let ir_reads: BTreeSet<String> = analysis::field_names(schema, ir.reads);
+    let ir_writes: BTreeSet<String> = analysis::field_names(schema, ir.writes);
+    assert_eq!(
+        ast.reads, ir_reads,
+        "{element}/{dir}: read sets disagree (AST vs IR)"
+    );
+    assert_eq!(
+        ast.writes, ir_writes,
+        "{element}/{dir}: write sets disagree (AST vs IR)"
+    );
+    assert_eq!(
+        ast.uses_state, ir.uses_state,
+        "{element}/{dir}: uses_state disagrees"
+    );
+    assert_eq!(
+        ast.writes_state, ir.writes_state,
+        "{element}/{dir}: writes_state disagrees"
+    );
+    assert_eq!(
+        ast.can_drop, ir.can_drop,
+        "{element}/{dir}: can_drop disagrees"
+    );
+    assert_eq!(ast.routes, ir.routes, "{element}/{dir}: routes disagrees");
+    assert_eq!(
+        ast.deterministic, ir.deterministic,
+        "{element}/{dir}: determinism disagrees"
+    );
+}
+
+#[test]
+fn ast_and_ir_facts_agree_on_every_catalog_element() {
+    let (req, resp) = schemas();
+    for (name, source) in adn_elements::sources::ALL {
+        let ast = parse_element(source).unwrap_or_else(|e| panic!("{name} does not parse: {e:?}"));
+        let checked = check_element(&ast, &req, &resp)
+            .unwrap_or_else(|e| panic!("{name} does not typecheck: {e:?}"));
+        let ir = adn_ir::lower_element(&checked, &[], &req, &resp)
+            .unwrap_or_else(|e| panic!("{name} does not lower: {e:?}"));
+        let facts = analysis::analyze(&ir);
+        assert_dir_agrees(
+            name,
+            "request",
+            &checked.request_facts,
+            &facts.request,
+            &req,
+        );
+        assert_dir_agrees(
+            name,
+            "response",
+            &checked.response_facts,
+            &facts.response,
+            &resp,
+        );
+    }
+}
+
+#[test]
+fn field_names_roundtrips_masks() {
+    let (req, _) = schemas();
+    assert!(analysis::field_names(&req, 0).is_empty());
+    let all = analysis::field_names(&req, 0b111);
+    assert_eq!(
+        all.into_iter().collect::<Vec<_>>(),
+        vec!["object_id", "payload", "username"]
+    );
+    // Bits beyond the schema are ignored rather than invented.
+    assert_eq!(
+        analysis::field_names(&req, 1 << 63 | 0b010)
+            .into_iter()
+            .collect::<Vec<_>>(),
+        vec!["username"]
+    );
+}

@@ -1,0 +1,198 @@
+//! Golden-file tests for `adn-lint` output.
+//!
+//! Each fixture under `tests/lint/` (repo root) is linted through the real
+//! binary and the rendered text / JSON output is compared byte-for-byte
+//! against its `.expected` / `.expected.json` neighbour. This pins the
+//! diagnostic codes, spans, and rendering format: any change to them shows
+//! up as a golden diff, not a silent behaviour change.
+//!
+//! To regenerate after an intentional format change:
+//!   ADN_BLESS=1 cargo test -p adn-verifier --test golden_lint
+//! then review the diff under tests/lint/.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Repo root: the binary runs from here so fixture paths (and therefore the
+/// origin strings baked into the goldens) are stable relative paths.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verifier sits two levels below the repo root")
+        .to_path_buf()
+}
+
+struct Fixture {
+    name: &'static str,
+    extra_args: &'static [&'static str],
+    exit: i32,
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "parse_error",
+        extra_args: &[],
+        exit: 1,
+    },
+    Fixture {
+        name: "unknown_field",
+        extra_args: &[],
+        exit: 1,
+    },
+    Fixture {
+        name: "type_mismatch",
+        extra_args: &[],
+        exit: 1,
+    },
+    Fixture {
+        name: "dead_write",
+        extra_args: &[],
+        exit: 0,
+    },
+    Fixture {
+        name: "dead_element",
+        extra_args: &[],
+        exit: 0,
+    },
+    Fixture {
+        name: "unreachable",
+        extra_args: &[],
+        exit: 0,
+    },
+    Fixture {
+        name: "non_partitionable",
+        extra_args: &["--shard-field", "0"],
+        exit: 0,
+    },
+    Fixture {
+        name: "clean",
+        extra_args: &[],
+        exit: 0,
+    },
+];
+
+fn run_lint(json: bool, fixture: &Fixture) -> (String, i32) {
+    let root = repo_root();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_adn-lint"));
+    cmd.current_dir(&root);
+    if json {
+        cmd.arg("--json");
+    }
+    cmd.args(fixture.extra_args);
+    cmd.arg(format!("tests/lint/{}.adn", fixture.name));
+    let out = cmd.output().expect("adn-lint runs");
+    assert!(
+        out.stderr.is_empty(),
+        "{}: unexpected stderr: {}",
+        fixture.name,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf-8 output"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+/// Compares `actual` against the golden file, or rewrites the golden when
+/// `ADN_BLESS` is set in the environment.
+fn check_golden(name: &str, ext: &str, actual: &str) {
+    let path = repo_root().join(format!("tests/lint/{name}.{ext}"));
+    if std::env::var_os("ADN_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} (run with ADN_BLESS=1): {e}",
+            path.display()
+        )
+    });
+    assert_eq!(actual, expected, "{name}.{ext} drifted from golden");
+}
+
+#[test]
+fn text_output_matches_goldens() {
+    for fixture in FIXTURES {
+        let (stdout, code) = run_lint(false, fixture);
+        check_golden(fixture.name, "expected", &stdout);
+        assert_eq!(code, fixture.exit, "{}: exit status drifted", fixture.name);
+    }
+}
+
+#[test]
+fn json_output_matches_goldens() {
+    for fixture in FIXTURES {
+        let (stdout, code) = run_lint(true, fixture);
+        check_golden(fixture.name, "expected.json", &stdout);
+        assert_eq!(code, fixture.exit, "{}: exit status drifted", fixture.name);
+        // Every non-empty line is a standalone JSON object with the fields
+        // machine consumers rely on.
+        for line in stdout.lines() {
+            for key in ["\"code\":", "\"severity\":", "\"origin\":", "\"message\":"] {
+                assert!(
+                    line.contains(key),
+                    "{}: JSON line missing {key}: {line}",
+                    fixture.name
+                );
+            }
+        }
+    }
+}
+
+/// A0004 cannot be produced through the honest pipeline (the real optimizer
+/// always emits correct minimal headers), so its rendering is pinned via the
+/// library on a hand-built deficient layout.
+#[test]
+fn header_missing_field_rendering_matches_golden() {
+    use adn_rpc::schema::RpcSchema;
+    use adn_rpc::value::ValueType;
+    use adn_wire::header::HeaderLayout;
+    use std::sync::Arc;
+
+    let req = Arc::new(
+        RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    );
+    let resp = Arc::new(
+        RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    );
+    let compress = r#"
+        element Compress() {
+            on request {
+                SET payload = compress(input.payload);
+                SELECT * FROM input;
+            }
+        }
+    "#;
+    let checked = adn_dsl::check_element(
+        &adn_dsl::parser::parse_element(compress).unwrap(),
+        &req,
+        &resp,
+    )
+    .unwrap();
+    let ir = adn_ir::lower_element(&checked, &[], &req, &resp).unwrap();
+    let chain = adn_ir::ChainIr::new(vec![ir], req, resp);
+
+    // Hop 0 must carry `payload` (Compress reads it); an empty layout is
+    // deficient.
+    let layout = HeaderLayout::new();
+    let diags = adn_verifier::audit::audit_header_layout(&chain, 0, &layout);
+    let rendered: String = diags
+        .iter()
+        .map(|d| format!("{}\n", d.render("tests/lint/header_missing", "")))
+        .collect();
+    check_golden("header_missing", "expected", &rendered);
+    assert!(diags
+        .iter()
+        .all(|d| d.code == adn_verifier::codes::HEADER_MISSING_FIELD));
+    assert!(diags.iter().all(|d| d.is_error()));
+}

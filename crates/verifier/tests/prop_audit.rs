@@ -1,0 +1,94 @@
+//! Property: the optimizer audit has zero false positives.
+//!
+//! For any chain assembled from catalog elements, the report produced by
+//! `adn_ir::passes::optimize` with the default pass configuration must be
+//! accepted verbatim by `audit_report`, and every minimal header layout
+//! derivable from the optimized chain must be accepted by `audit_headers`.
+
+use std::sync::Arc;
+
+use adn_ir::passes::{optimize, PassConfig};
+use adn_ir::{ChainIr, ElementIr};
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::ValueType;
+use adn_verifier::audit::{audit_headers, audit_report};
+use proptest::prelude::*;
+
+fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+    let req = Arc::new(
+        RpcSchema::builder()
+            .field("object_id", ValueType::U64)
+            .field("username", ValueType::Str)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    );
+    let resp = Arc::new(
+        RpcSchema::builder()
+            .field("ok", ValueType::Bool)
+            .field("payload", ValueType::Bytes)
+            .build()
+            .unwrap(),
+    );
+    (req, resp)
+}
+
+fn lower(source: &str) -> ElementIr {
+    let (req, resp) = schemas();
+    let checked = adn_dsl::check_element(
+        &adn_dsl::parser::parse_element(source).unwrap(),
+        &req,
+        &resp,
+    )
+    .unwrap();
+    adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+}
+
+fn chain_from_indices(indices: &[usize]) -> ChainIr {
+    let (req, resp) = schemas();
+    let elements = indices
+        .iter()
+        .map(|&i| lower(adn_elements::sources::ALL[i].1))
+        .collect();
+    ChainIr::new(elements, req, resp)
+}
+
+proptest! {
+    #[test]
+    fn default_optimizer_output_passes_audit(
+        indices in proptest::collection::vec(0usize..adn_elements::sources::ALL.len(), 0..6)
+    ) {
+        let original = chain_from_indices(&indices);
+        let (optimized, report) = optimize(original.clone(), &PassConfig::default());
+
+        let audit = audit_report(&original, &optimized, &report);
+        prop_assert!(
+            audit.is_empty(),
+            "audit flagged a genuine optimizer run on {:?}: {:?}",
+            indices.iter().map(|&i| adn_elements::sources::ALL[i].0).collect::<Vec<_>>(),
+            audit.iter().map(|d| (d.code, d.message.clone())).collect::<Vec<_>>()
+        );
+
+        let headers = audit_headers(&optimized);
+        prop_assert!(
+            headers.is_empty(),
+            "header audit flagged the optimizer's own minimal layouts: {:?}",
+            headers.iter().map(|d| (d.code, d.message.clone())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn audit_accepts_identity_when_passes_disabled(
+        indices in proptest::collection::vec(0usize..adn_elements::sources::ALL.len(), 0..5)
+    ) {
+        let config = PassConfig {
+            const_fold: false,
+            reorder: false,
+            fuse: false,
+        };
+        let original = chain_from_indices(&indices);
+        let (optimized, report) = optimize(original.clone(), &config);
+        let audit = audit_report(&original, &optimized, &report);
+        prop_assert!(audit.is_empty(), "identity run flagged: {audit:?}");
+    }
+}

@@ -38,7 +38,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::UnexpectedEof { needed, context } => {
-                write!(f, "unexpected end of input decoding {context} (needed {needed} more bytes)")
+                write!(
+                    f,
+                    "unexpected end of input decoding {context} (needed {needed} more bytes)"
+                )
             }
             WireError::VarintTooLong => write!(f, "varint longer than 10 bytes"),
             WireError::VarintOverflow => write!(f, "varint overflows u64"),
@@ -50,7 +53,10 @@ impl fmt::Display for WireError {
                 write!(f, "invalid tag {tag} decoding {context}")
             }
             WireError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             WireError::Malformed(what) => write!(f, "malformed input: {what}"),
         }

@@ -76,7 +76,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let client_frames = net.attach(100);
-    let client = RpcClient::new(100, link.clone(), client_frames, service.clone(), EngineChain::new());
+    let client = RpcClient::new(
+        100,
+        link.clone(),
+        client_frames,
+        service.clone(),
+        EngineChain::new(),
+    );
     client.set_via(Some(50));
 
     // Background load: sequential calls as fast as they complete.
@@ -94,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .with("object_id", i)
                     .with("username", users[(i % 6) as usize])
                     .with("payload", b"x".to_vec());
-                match client.send_call(msg, 200).and_then(|p| p.wait(Duration::from_secs(10))) {
+                match client
+                    .send_call(msg, 200)
+                    .and_then(|p| p.wait(Duration::from_secs(10)))
+                {
                     Ok(_) => ok += 1,
                     Err(_) => failed += 1,
                 }
@@ -154,7 +163,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     stop.store(true, Ordering::Relaxed);
     let (ok, failed) = load.join().expect("load thread");
     println!("\nload summary: {ok} calls OK, {failed} failed");
-    assert_eq!(failed, 0, "reconfiguration must not disrupt the application");
+    assert_eq!(
+        failed, 0,
+        "reconfiguration must not disrupt the application"
+    );
 
     // Verify merged per-user counts survived every transition: export the
     // final state and confirm the table still has all six users.

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let _ = rich.call(i, "alice", &payload)?;
     }
     let adn_us = t0.elapsed().as_micros() as f64 / n as f64;
-    println!("mean latency over {n} calls: mesh {mesh_us:.0} us, ADN {adn_us:.0} us ({:.1}x)", mesh_us / adn_us);
+    println!(
+        "mean latency over {n} calls: mesh {mesh_us:.0} us, ADN {adn_us:.0} us ({:.1}x)",
+        mesh_us / adn_us
+    );
     Ok(())
 }
 
@@ -70,7 +73,11 @@ fn exercise(world: &AdnWorld, payload: &[u8]) -> Result<(), Box<dyn std::error::
     let mut replicas_hit = std::collections::HashSet::new();
     for oid in 0..32 {
         let resp = world.call(oid, "carol", b"")?;
-        replicas_hit.insert(resp.get("payload").and_then(|v| v.as_bytes()).map(<[u8]>::to_vec));
+        replicas_hit.insert(
+            resp.get("payload")
+                .and_then(|v| v.as_bytes())
+                .map(<[u8]>::to_vec),
+        );
     }
     println!(
         "  writers OK, readers denied, {} replicas served traffic",

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- feasibility matrix -------------------------------------------------
     println!("=== element × platform feasibility (the §2 portability gate) ===\n");
-    println!("{:<14} {:<10} {:<8} {:<10} {:<8}", "element", "software", "ebpf", "smartnic", "switch");
+    println!(
+        "{:<14} {:<10} {:<8} {:<10} {:<8}",
+        "element", "software", "ebpf", "smartnic", "switch"
+    );
     for name in adn_elements::standard_names() {
         let ir = adn_elements::build(name, &[], &req, &resp)?;
         let cell = |p: Platform| match adn_backend::supports(&ir, p) {
@@ -89,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let placement = place(&elements, &constraints, &env)?;
         println!("{label}:");
-        println!("  {}  (cost {:.0})", placement.describe(&elements), placement.cost);
+        println!(
+            "  {}  (cost {:.0})",
+            placement.describe(&elements),
+            placement.cost
+        );
     }
 
     println!("\nthe same specification, four different distributed implementations —");

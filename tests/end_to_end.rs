@@ -3,7 +3,7 @@
 //! the same workloads.
 
 use adn::harness::{AdnWorld, EnvPreset, MeshPolicies, MeshWorld, WorldConfig};
-use adn_cluster::resources::{AdnConfig, ElementSpec, PlacementConstraint, ReplicaSpec, NodeId};
+use adn_cluster::resources::{AdnConfig, ElementSpec, NodeId, PlacementConstraint, ReplicaSpec};
 use adn_rpc::RpcError;
 
 /// The two systems must agree on the *semantics* of the paper's policy
@@ -13,7 +13,14 @@ fn adn_and_mesh_agree_on_policy_semantics() {
     let adn = AdnWorld::start(WorldConfig::paper_eval_chain(0.0)).unwrap();
     let mesh = MeshWorld::start(MeshPolicies::all(0.0), 3);
 
-    for (oid, user) in [(1u64, "alice"), (2, "bob"), (3, "carol"), (4, "dave"), (5, "eve"), (6, "zed")] {
+    for (oid, user) in [
+        (1u64, "alice"),
+        (2, "bob"),
+        (3, "carol"),
+        (4, "dave"),
+        (5, "eve"),
+        (6, "zed"),
+    ] {
         let a = adn.call(oid, user, b"payload");
         let m = mesh.call(oid, user, b"payload");
         match (a, m) {
@@ -38,10 +45,16 @@ fn fault_rates_match_between_systems() {
     let mut adn_aborts = 0;
     let mut mesh_aborts = 0;
     for i in 0..n {
-        if matches!(adn.call(i, "alice", b"x"), Err(RpcError::Aborted { code: 3, .. })) {
+        if matches!(
+            adn.call(i, "alice", b"x"),
+            Err(RpcError::Aborted { code: 3, .. })
+        ) {
             adn_aborts += 1;
         }
-        if matches!(mesh.call(i, "alice", b"x"), Err(RpcError::Aborted { code: 3, .. })) {
+        if matches!(
+            mesh.call(i, "alice", b"x"),
+            Err(RpcError::Aborted { code: 3, .. })
+        ) {
             mesh_aborts += 1;
         }
     }
@@ -122,7 +135,13 @@ fn replica_arrival_rebalances_traffic() {
     );
     world
         .store()
-        .add_replica("storage", ReplicaSpec { node: NodeId(2), endpoint: 201 })
+        .add_replica(
+            "storage",
+            ReplicaSpec {
+                node: NodeId(2),
+                endpoint: 201,
+            },
+        )
         .unwrap();
     world.sync().unwrap();
     assert_eq!(spread(&world), 2, "new replica should receive traffic");

@@ -24,7 +24,10 @@ fn numeric_schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
                 .unwrap(),
         ),
         Arc::new(
-            RpcSchema::builder().field("ok", ValueType::Bool).build().unwrap(),
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .build()
+                .unwrap(),
         ),
     )
 }

@@ -54,7 +54,13 @@ fn rig() -> Rig {
 
     let element = adn_elements::build("Metrics", &[], &req_schema, &resp_schema).unwrap();
     let client_frames = net.attach(100);
-    let client = RpcClient::new(100, link.clone(), client_frames, service.clone(), EngineChain::new());
+    let client = RpcClient::new(
+        100,
+        link.clone(),
+        client_frames,
+        service.clone(),
+        EngineChain::new(),
+    );
     client.set_via(Some(50));
 
     Rig {
@@ -171,7 +177,10 @@ fn migrate_scale_out_scale_in_loses_nothing() {
 
     stop.store(true, Ordering::Relaxed);
     let (ok, failed) = load.join().unwrap();
-    assert_eq!(failed, 0, "no call may fail during reconfiguration ({ok} ok)");
+    assert_eq!(
+        failed, 0,
+        "no call may fail during reconfiguration ({ok} ok)"
+    );
     assert!(ok > 100, "load should have made real progress, got {ok}");
 
     // State correctness: total hit count across users equals calls that
@@ -186,10 +195,7 @@ fn migrate_scale_out_scale_in_loses_nothing() {
     let mut dec = adn_wire::codec::Decoder::new(&images[0]);
     assert_eq!(dec.get_varint().unwrap(), 1);
     table.restore(dec.get_bytes().unwrap()).unwrap();
-    let total: u64 = table
-        .scan()
-        .map(|row| row[1].as_u64().unwrap())
-        .sum();
+    let total: u64 = table.scan().map(|row| row[1].as_u64().unwrap()).sum();
     assert_eq!(
         total, ok,
         "per-user counters must account for every successful call"

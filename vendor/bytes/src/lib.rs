@@ -1,0 +1,42 @@
+//! Minimal in-tree stand-in for the `bytes` crate so the workspace builds
+//! without network access. Only the small surface the workspace could need
+//! is provided; the crate is currently declared but unused.
+
+/// A cheaply clonable contiguous byte buffer (here: a plain `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+}
+
+/// A growable byte buffer (here: a plain `Vec<u8>`).
+pub type BytesMut = Vec<u8>;

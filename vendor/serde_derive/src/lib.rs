@@ -1,0 +1,343 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the in-tree serde shim.
+//!
+//! Parses the item with a hand-written `TokenStream` walker (no syn/quote in
+//! an offline build) and supports exactly the shapes the workspace uses:
+//! named-field structs, tuple structs, and enums with unit variants, plus
+//! the `#[serde(default)]` field attribute. `skip_serializing_if` is parsed
+//! and ignored (fields always serialize; `default` covers the read side).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// The shapes we can derive for.
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            body.push_str("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.push((String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Content::Map(m)");
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_content(&self) -> ::serde::Content {{ {body} }}"),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_content(&self) -> ::serde::Content {{ {body} }}"),
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(String::from(\"{v}\")),"))
+                .collect();
+            impl_block(
+                name,
+                "Serialize",
+                &format!(
+                    "fn to_content(&self) -> ::serde::Content {{ match self {{ {} }} }}",
+                    arms.join("\n")
+                ),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::DeError::custom(\"missing field `{}`\"))",
+                        f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{n}: match c.field(\"{n}\") {{ \
+                       Some(v) => ::serde::Deserialize::from_content(v)?, \
+                       None => {missing}, \
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            impl_block(
+                name,
+                "Deserialize",
+                &format!(
+                    "fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{ \
+                   if c.as_map().is_none() {{ \
+                     return Err(::serde::DeError::custom(\"expected map for struct {name}\")); \
+                   }} \
+                   Ok(Self {{ {inits} }}) \
+                 }}"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "Ok(Self(::serde::Deserialize::from_content(c)?))".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = match c {{ \
+                       ::serde::Content::Seq(items) if items.len() == {arity} => items, \
+                       _ => return Err(::serde::DeError::custom(\"expected {arity}-element array\")), \
+                     }}; \
+                     Ok(Self({}))",
+                    items.join(", ")
+                )
+            };
+            impl_block(name, "Deserialize", &format!(
+                "fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{ {body} }}"
+            ))
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            impl_block(
+                name,
+                "Deserialize",
+                &format!(
+                    "fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{ \
+                   match c {{ \
+                     ::serde::Content::Str(s) => match s.as_str() {{ \
+                       {} \
+                       other => Err(::serde::DeError::custom(format!( \
+                         \"unknown {name} variant {{other:?}}\"))), \
+                     }}, \
+                     _ => Err(::serde::DeError::custom(\"expected string variant\")), \
+                   }} \
+                 }}",
+                    arms.join("\n")
+                ),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn impl_block(name: &str, trait_name: &str, body: &str) -> String {
+    format!("impl ::serde::{trait_name} for {name} {{ {body} }}")
+}
+
+/// Walks the item tokens: leading attributes, visibility, `struct`/`enum`,
+/// name, then the field/variant group.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic items ({name})");
+    }
+
+    match kind.as_str() {
+        "struct" => match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected struct body {other}"),
+        },
+        "enum" => match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body {other}"),
+        },
+        other => panic!("serde_derive: cannot derive for {other} items"),
+    }
+}
+
+/// Skips `#[...]` attribute pairs starting at `*i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // '#' plus the bracket group
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, etc. starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Scans the attributes before a field and reports whether `#[serde(default)]`
+/// (possibly alongside other serde options) is among them; leaves `*i` on the
+/// first non-attribute token.
+fn scan_field_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let mut angle = 0i32;
+                    for t in args.stream() {
+                        match &t {
+                            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                            TokenTree::Ident(id) if angle == 0 && id.to_string() == "default" => {
+                                default = true
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = scan_field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected ':' after field {name}"
+        );
+        i += 1;
+        // Consume the type: everything up to a comma outside angle brackets.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts tuple-struct fields: comma-separated segments outside angle brackets.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not start a new field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        scan_field_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive shim supports unit enum variants only ({name} has data)")
+            }
+            Some(other) => panic!("serde_derive: unexpected token after variant: {other}"),
+        }
+        variants.push(name);
+    }
+    variants
+}

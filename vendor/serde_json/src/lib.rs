@@ -1,0 +1,607 @@
+//! Minimal in-tree stand-in for `serde_json` so the workspace builds without
+//! network access: a JSON value tree, a recursive-descent parser, compact and
+//! pretty printers, and bridges to the serde shim's `Content` data model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// JSON object representation (sorted keys — deterministic output).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+/// A JSON number: u64, i64, or finite f64.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    /// Finite floats only, matching serde_json.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number::F64(v))
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::U64(v) => Some(*v),
+            Number::I64(v) => u64::try_from(*v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::I64(v) => Some(*v),
+            Number::U64(v) => i64::try_from(*v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::U64(v) => Some(*v as f64),
+            Number::I64(v) => Some(*v as f64),
+            Number::F64(v) => Some(*v),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty => $variant:ident as $as:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Self {
+                Number::$variant(v as $as)
+            }
+        }
+
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+impl_value_from_int! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Number::from_f64(v)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        let mut object = $crate::Map::new();
+        $( object.insert(String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.message())
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::U64(v)) => Content::U64(*v),
+            Value::Number(Number::I64(v)) => Content::I64(*v),
+            Value::Number(Number::F64(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(|v| v.to_content()).collect()),
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(v) => Value::Number(Number::U64(*v)),
+            Content::I64(v) => Value::Number(Number::I64(*v)),
+            Content::F64(v) => Value::Number(Number::F64(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(
+                items
+                    .iter()
+                    .map(Value::from_content)
+                    .collect::<Result<_, _>>()?,
+            ),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), Value::from_content(v)?)))
+                    .collect::<Result<_, DeError>>()?,
+            ),
+        })
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = Value::from_content(&value.to_content())?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = Value::from_content(&value.to_content())?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(Value::from_content(&value.to_content())?)
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_content(&value.to_content())?)
+}
+
+/// Parses JSON text into any deserializable value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    Ok(T::from_content(&value.to_content())?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of JSON input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::new(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::new("invalid \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new(format!("invalid escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err(Error::new("unterminated string"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+    if text.is_empty() {
+        return Err(Error::new(format!("expected value at byte {start}")));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U64(v)));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I64(v)));
+        }
+    }
+    text.parse::<f64>()
+        .ok()
+        .and_then(Number::from_f64)
+        .map(Value::Number)
+        .ok_or_else(|| Error::new(format!("invalid number {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let src = r#"{"a": [1, -2, 3.5], "b": "x\ny", "c": null, "d": true}"#;
+        let v: Value = from_str(src).unwrap();
+        let printed = to_string(&v).unwrap();
+        let back: Value = from_str(&printed).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7).as_u64(), Some(7));
+        assert_eq!(json!(0.5).as_f64(), Some(0.5));
+        assert_eq!(json!([1, 2]).as_array().unwrap().len(), 2);
+        assert_eq!(json!({"k": 1}).get("k").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+    }
+
+    #[test]
+    fn pretty_output_contains_newlines() {
+        let v = json!({"chain": [1, 2]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        assert!(s.contains("\"chain\""));
+    }
+}
