@@ -44,6 +44,9 @@ pub enum ClusterEvent {
     NodeAdded { node: NodeId },
     /// A processor load report arrived.
     Load(LoadReport),
+    /// A data-plane processor stopped heartbeating (failure detector
+    /// verdict); the controller reacts by re-placing its elements.
+    ProcessorDown { endpoint: u64 },
 }
 
 #[derive(Default)]
@@ -193,6 +196,12 @@ impl ClusterStore {
     pub fn report_load(&self, report: LoadReport) {
         self.broadcast(ClusterEvent::Load(report));
     }
+
+    /// Reports a processor as failed (missed heartbeats). Watchers — the
+    /// controller — react by failing the processor's elements over.
+    pub fn report_processor_down(&self, endpoint: u64) {
+        self.broadcast(ClusterEvent::ProcessorDown { endpoint });
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +313,17 @@ mod tests {
             utilization: 0.8,
         });
         assert!(matches!(rx.try_recv().unwrap(), ClusterEvent::Load(r) if r.endpoint == 5));
+    }
+
+    #[test]
+    fn processor_down_reaches_watchers() {
+        let store = ClusterStore::new();
+        let rx = store.watch();
+        store.report_processor_down(10_000);
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            ClusterEvent::ProcessorDown { endpoint: 10_000 }
+        );
     }
 
     #[test]

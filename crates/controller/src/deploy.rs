@@ -53,6 +53,10 @@ pub struct DeployedGroup {
     pub range: (usize, usize),
     /// The processor handle (None for in-library groups).
     pub handle: Option<ProcessorHandle>,
+    /// The next hop the group's processor was wired with (recorded so a
+    /// failover replacement rejoins the chain at the same position;
+    /// `NextHop::Dst` for in-library groups).
+    pub request_next: NextHop,
 }
 
 /// A live deployment.
@@ -200,6 +204,7 @@ pub fn deploy(
                     elements: names,
                     range: (start, end),
                     handle: None,
+                    request_next: NextHop::Dst,
                 });
             }
             Site::ServerLib => {
@@ -209,6 +214,7 @@ pub fn deploy(
                     elements: names,
                     range: (start, end),
                     handle: None,
+                    request_next: NextHop::Dst,
                 });
             }
             _ => pending.push(PendingGroup {
@@ -238,12 +244,14 @@ pub fn deploy(
             link.clone(),
             frames,
         );
+        let request_next = next_hop;
         next_hop = NextHop::Fixed(addr);
         spawned.push(DeployedGroup {
             site: group.site,
             elements: group.names,
             range: group.range,
             handle: Some(handle),
+            request_next,
         });
     }
     spawned.reverse();

@@ -67,7 +67,9 @@ pub fn migrate_processor(
     let addr = old.addr();
     // 1-2: pause and snapshot (element state AND in-flight NAT flows).
     old.pause();
-    let images = old.export_state();
+    let images = old
+        .export_state()
+        .map_err(|e| err(format!("snapshot of {addr:#x}: {e}")))?;
     let flows = old.export_flows();
     // 3: successor with imported state.
     let mut chain = make_chain();
@@ -89,7 +91,8 @@ pub fn migrate_processor(
         frames,
     );
     // 5: drain queued frames to the successor.
-    old.drain();
+    old.drain()
+        .map_err(|e| err(format!("drain of {addr:#x}: {e}")))?;
     // 6: retire.
     old.stop();
     Ok(successor)
@@ -284,7 +287,9 @@ pub fn scale_out(
     let addr = old.addr();
     // Pause + snapshot (element state and in-flight NAT flows).
     old.pause();
-    let images = old.export_state();
+    let images = old
+        .export_state()
+        .map_err(|e| err(format!("snapshot of {addr:#x}: {e}")))?;
     let inherited_flows = old.export_flows();
     if images.len() != elements.len() {
         return Err(err("engine/image arity mismatch"));
@@ -347,7 +352,8 @@ pub fn scale_out(
         link,
         router_frames,
     );
-    old.drain();
+    old.drain()
+        .map_err(|e| err(format!("drain of {addr:#x}: {e}")))?;
     old.stop();
 
     Ok(ScaledGroup { router, instances })
@@ -394,7 +400,9 @@ pub fn scale_in(
     let mut per_element_images: Vec<Vec<Vec<u8>>> = vec![Vec::new(); elements.len()];
     let merged_flows = group.router.export_flows();
     for instance in &group.instances {
-        let images = instance.export_state();
+        let images = instance
+            .export_state()
+            .map_err(|e| err(format!("instance snapshot: {e}")))?;
         if images.len() != elements.len() {
             return Err(err("instance image arity mismatch"));
         }
@@ -442,7 +450,8 @@ pub fn scale_in(
     group.router.drain();
     group.router.stop();
     for instance in group.instances {
-        instance.drain();
+        // Best-effort: the instances are retiring either way.
+        let _ = instance.drain();
         instance.stop();
     }
     Ok(merged)
@@ -628,7 +637,7 @@ mod tests {
             call(&h, i, "alice").unwrap();
         }
         // Counter state survived: 10 requests total for alice.
-        let images = new.export_state();
+        let images = new.export_state().unwrap();
         let tables = decode_engine_image(&element, &images[0]).unwrap();
         let hits = &tables[0];
         let key = Value::Str("alice".into());
@@ -687,7 +696,7 @@ mod tests {
             call(&h, 200 + i as u64, user).unwrap();
         }
 
-        let images = merged.export_state();
+        let images = merged.export_state().unwrap();
         let tables = decode_engine_image(&element, &images[0]).unwrap();
         let hits = &tables[0];
         assert_eq!(hits.len(), users.len());

@@ -13,17 +13,45 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use adn_cluster::{ClusterEvent, ClusterStore};
+use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig};
+use adn_rpc::engine::EngineChain;
+use adn_rpc::retry::DegradedMode;
 use adn_rpc::runtime::{RpcClient, ServerHandle};
 use adn_rpc::schema::{RpcSchema, ServiceSchema};
 use adn_rpc::transport::{EndpointAddr, InProcNetwork, Link};
 
 use crate::compile::{compile_app, CompiledApp};
-use crate::deploy::{deploy, AddrAllocator, Deployment};
+use crate::deploy::{build_engine, deploy, AddrAllocator, Deployment};
 use crate::placement::{place, Environment};
+
+/// Failure-detection and degraded-mode policy for one app.
+///
+/// A processor that has not stored a heartbeat within
+/// `heartbeat_timeout` is declared dead; until its replacement is live,
+/// the app's client behaves per `degraded`: fail-closed calls fail fast
+/// on the open circuit, fail-open calls bypass the (dead) chain entry
+/// and go straight to the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Maximum tolerated heartbeat age before a processor is dead.
+    pub heartbeat_timeout: Duration,
+    /// What the client does while the chain entry is unreachable.
+    pub degraded: DegradedMode,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_millis(500),
+            degraded: DegradedMode::FailClosed,
+        }
+    }
+}
 
 /// Everything the controller needs to manage one application.
 pub struct AppRegistration {
@@ -47,6 +75,12 @@ struct ManagedApp {
     version: u64,
     compiled: Option<CompiledApp>,
     deployment: Option<Deployment>,
+    health: HealthPolicy,
+    /// Last state snapshot per processor group, keyed by the group's
+    /// start index into the compiled chain. Restored into failover
+    /// replacements (state since the snapshot is lost — crash, not
+    /// migration).
+    checkpoints: HashMap<usize, Vec<Vec<u8>>>,
 }
 
 /// Controller error.
@@ -96,8 +130,11 @@ fn transfer_matching_state(
                 continue;
             };
             if signature(old_comp, old_group.range) == new_sig {
-                let images = old_handle.export_state();
-                let _ = new_handle.import_state(images);
+                // A crashed (unresponsive) old processor simply has no
+                // state to carry; the new group starts fresh.
+                if let Ok(images) = old_handle.export_state() {
+                    let _ = new_handle.import_state(images);
+                }
                 break;
             }
         }
@@ -118,6 +155,18 @@ impl Controller {
     /// addresses are allocated starting at `addr_base`.
     pub fn new(store: ClusterStore, net: InProcNetwork, addr_base: u64) -> Self {
         let link: Arc<dyn Link> = Arc::new(net.clone());
+        Self::with_link(store, net, link, addr_base)
+    }
+
+    /// Like [`Controller::new`] but with an explicit link — used to route
+    /// controller-deployed processors through a wrapper link (e.g. an
+    /// `adn_rpc::ChaosLink` injecting faults in tests).
+    pub fn with_link(
+        store: ClusterStore,
+        net: InProcNetwork,
+        link: Arc<dyn Link>,
+        addr_base: u64,
+    ) -> Self {
         Self {
             store,
             net,
@@ -141,8 +190,28 @@ impl Controller {
                 version: 0,
                 compiled: None,
                 deployment: None,
+                health: HealthPolicy::default(),
+                checkpoints: HashMap::new(),
             },
         );
+    }
+
+    /// Sets the app's failure-detection policy and pushes the degraded
+    /// mode into its client (effective on the next resilient call).
+    pub fn set_health_policy(&self, app: &str, policy: HealthPolicy) {
+        let mut apps = self.apps.lock();
+        if let Some(managed) = apps.get_mut(app) {
+            managed.health = policy;
+            managed
+                .registration
+                .client
+                .set_degraded_mode(policy.degraded);
+        }
+    }
+
+    /// The app's current failure-detection policy.
+    pub fn health_policy(&self, app: &str) -> Option<HealthPolicy> {
+        self.apps.lock().get(app).map(|m| m.health)
     }
 
     /// Current replica endpoints of an app's destination service.
@@ -290,6 +359,23 @@ impl Controller {
                 // Inventory growth and load feed scaling policy, which the
                 // operator drives explicitly (see `reconfig::scale_out`).
             }
+            ClusterEvent::ProcessorDown { endpoint } => {
+                // Fail over every app hosting the dead processor.
+                let affected: Vec<String> = {
+                    let apps = self.apps.lock();
+                    apps.iter()
+                        .filter(|(_, m)| {
+                            m.deployment
+                                .as_ref()
+                                .is_some_and(|d| d.processors().any(|p| p.addr() == *endpoint))
+                        })
+                        .map(|(app, _)| app.clone())
+                        .collect()
+                };
+                for app in affected {
+                    self.fail_over_app(&app)?;
+                }
+            }
         }
         Ok(())
     }
@@ -359,6 +445,152 @@ impl Controller {
             .processors()
             .map(|p| (p.addr(), p.stats()))
             .collect()
+    }
+
+    /// Snapshots every live processor group's element state into the
+    /// controller's checkpoint map (the images a failover replacement is
+    /// restored from). Returns the number of groups checkpointed; groups
+    /// whose processor is unresponsive keep their previous checkpoint.
+    pub fn checkpoint_app(&self, app: &str) -> usize {
+        let mut apps = self.apps.lock();
+        let Some(managed) = apps.get_mut(app) else {
+            return 0;
+        };
+        let Some(deployment) = managed.deployment.as_ref() else {
+            return 0;
+        };
+        let mut taken = 0;
+        for group in &deployment.groups {
+            let Some(handle) = group.handle.as_ref() else {
+                continue;
+            };
+            if let Ok(images) = handle.export_state() {
+                managed.checkpoints.insert(group.range.0, images);
+                taken += 1;
+            }
+        }
+        taken
+    }
+
+    /// Endpoints of the app's processors whose heartbeat age exceeds the
+    /// app's [`HealthPolicy`] timeout.
+    pub fn dead_processors(&self, app: &str) -> Vec<EndpointAddr> {
+        let apps = self.apps.lock();
+        let Some(managed) = apps.get(app) else {
+            return Vec::new();
+        };
+        let Some(deployment) = managed.deployment.as_ref() else {
+            return Vec::new();
+        };
+        deployment
+            .processors()
+            .filter(|p| p.heartbeat_age() > managed.health.heartbeat_timeout)
+            .map(|p| p.addr())
+            .collect()
+    }
+
+    /// Crashes one of the app's processors (chaos testing): it stops
+    /// heartbeating and blackholes traffic but stays attached to the
+    /// fabric, exactly like a hung process. Returns false if no processor
+    /// of the app owns `endpoint`.
+    pub fn kill_processor(&self, app: &str, endpoint: EndpointAddr) -> bool {
+        let apps = self.apps.lock();
+        let Some(managed) = apps.get(app) else {
+            return false;
+        };
+        let Some(deployment) = managed.deployment.as_ref() else {
+            return false;
+        };
+        for p in deployment.processors() {
+            if p.addr() == endpoint {
+                p.kill();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One failure-detector sweep: reports every newly-dead processor of
+    /// the app to the cluster store (whose watchers — including this
+    /// controller via [`Controller::process_event`] — drive failover).
+    /// Returns the endpoints reported.
+    pub fn monitor_health(&self, app: &str) -> Vec<EndpointAddr> {
+        let dead = self.dead_processors(app);
+        for &endpoint in &dead {
+            self.store.report_processor_down(endpoint);
+        }
+        dead
+    }
+
+    /// Re-places every heartbeat-dead processor group of the app: rebuilds
+    /// the group's engines, restores the latest checkpoint, takes over the
+    /// dead processor's flat address on the fabric, and rejoins the chain
+    /// at the recorded next hop. The old handle is dropped (its crashed
+    /// thread exits on the stop signal). Returns the replaced endpoints.
+    pub fn fail_over_app(&self, app: &str) -> Result<Vec<EndpointAddr>, ControllerError> {
+        let mut apps = self.apps.lock();
+        let managed = apps
+            .get_mut(app)
+            .ok_or_else(|| cerr(format!("app {app:?} not registered")))?;
+        let timeout = managed.health.heartbeat_timeout;
+        let replicas = match self.store.config(app) {
+            Some((_, config)) => self.replicas_of(&config.dst_service),
+            None => Vec::new(),
+        };
+        let ManagedApp {
+            registration,
+            compiled,
+            deployment,
+            checkpoints,
+            ..
+        } = managed;
+        let (Some(compiled), Some(deployment)) = (compiled.as_ref(), deployment.as_mut()) else {
+            return Ok(Vec::new());
+        };
+        let mut replaced = Vec::new();
+        for group in deployment.groups.iter_mut() {
+            let Some(handle) = group.handle.as_ref() else {
+                continue;
+            };
+            if handle.heartbeat_age() <= timeout {
+                continue;
+            }
+            let addr = handle.addr();
+            let (start, end) = group.range;
+            let mut chain = EngineChain::new();
+            for (offset, element) in compiled.chain.elements[start..end].iter().enumerate() {
+                chain.push(
+                    build_engine(element, group.site, compiled, start + offset, &replicas)
+                        .map_err(cerr)?,
+                );
+            }
+            if let Some(images) = checkpoints.get(&start) {
+                chain
+                    .import_states(images)
+                    .map_err(|e| cerr(format!("checkpoint restore at {addr:#x}: {e}")))?;
+            }
+            // Same-address takeover: attaching the successor atomically
+            // redirects all new frames; in-flight state since the last
+            // checkpoint is lost (crash semantics, not migration).
+            let frames = self.net.attach(addr);
+            let successor = spawn_processor(
+                ProcessorConfig {
+                    addr,
+                    service: registration.service.clone(),
+                    chain,
+                    request_next: group.request_next,
+                    response_next: NextHop::Dst,
+                    initial_flows: Default::default(),
+                },
+                self.link.clone(),
+                frames,
+            );
+            // Dropping the old handle signals its (crashed) thread to
+            // exit; it never touched the fabric again after the kill.
+            group.handle = Some(successor);
+            replaced.push(addr);
+        }
+        Ok(replaced)
     }
 }
 
@@ -650,5 +882,80 @@ mod tests {
     fn unregistered_app_errors() {
         let w = world(&[200]);
         assert!(w.controller.sync_app("ghost").is_err());
+    }
+
+    fn lenient_health(w: &World) {
+        w.controller.set_health_policy(
+            "shop",
+            HealthPolicy {
+                heartbeat_timeout: Duration::from_millis(100),
+                degraded: DegradedMode::FailClosed,
+            },
+        );
+    }
+
+    fn wait_dead(w: &World) -> Vec<EndpointAddr> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let dead = w.controller.dead_processors("shop");
+            if !dead.is_empty() || std::time::Instant::now() > deadline {
+                return dead;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn killed_processor_is_detected_and_failed_over() {
+        let w = world(&[200]);
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        lenient_health(&w);
+        assert!(call(&w, 1, "alice").is_ok());
+
+        let endpoint = w.controller.processor_stats("shop")[0].0;
+        assert!(w.controller.kill_processor("shop", endpoint));
+        assert_eq!(wait_dead(&w), vec![endpoint]);
+
+        // A detector sweep publishes ProcessorDown; draining the event
+        // stream re-places the group at the same address.
+        assert_eq!(w.controller.monitor_health("shop"), vec![endpoint]);
+        assert!(w.controller.run_pending(&w.events).unwrap() >= 1);
+        assert!(w.controller.dead_processors("shop").is_empty());
+        assert!(call(&w, 2, "alice").is_ok());
+        assert!(
+            call(&w, 2, "bob").is_err(),
+            "ACL must still be enforced after failover"
+        );
+    }
+
+    #[test]
+    fn failover_restores_checkpointed_state() {
+        let w = world(&[200]);
+        let mut quota = spec("Quota", vec![PlacementConstraint::OffApp]);
+        quota.args = vec![("limit".into(), serde_json::json!(10))];
+        w.store.apply_config(config(vec![quota]));
+        w.controller.run_pending(&w.events).unwrap();
+        lenient_health(&w);
+        for i in 0..6 {
+            call(&w, i, "alice").unwrap();
+        }
+        assert_eq!(w.controller.checkpoint_app("shop"), 1);
+
+        let endpoint = w.controller.processor_stats("shop")[0].0;
+        assert!(w.controller.kill_processor("shop", endpoint));
+        assert!(!wait_dead(&w).is_empty());
+        assert_eq!(w.controller.fail_over_app("shop").unwrap(), vec![endpoint]);
+
+        // 6 of alice's 10 were used before the crash and restored from the
+        // checkpoint: 4 remain, the 5th sheds.
+        for i in 0..4 {
+            call(&w, 100 + i, "alice").unwrap_or_else(|e| panic!("call {i}: {e}"));
+        }
+        assert!(
+            call(&w, 999, "alice").is_err(),
+            "quota counters must survive failover"
+        );
     }
 }

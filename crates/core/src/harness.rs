@@ -3,8 +3,11 @@
 //! store) and the equivalent service-mesh deployment, driving the same
 //! object-store application over the same in-process fabric.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use adn_cluster::resources::{
     AdnConfig, ElementSpec, NodeId, NodeSpec, ReplicaSpec, ServiceSpec, SmartNicSpec, SwitchId,
@@ -17,10 +20,12 @@ use adn_controller::Controller;
 use adn_mesh::filters::{AccessLogFilter, AclFilter, FaultFilter, MeshFilter};
 use adn_mesh::sidecar::{spawn_sidecar, SidecarConfig, Upstream};
 use adn_mesh::{MeshClient, MeshServer, SidecarHandle};
+use adn_rpc::chaos::{ChaosLink, ChaosPolicy};
 use adn_rpc::engine::EngineChain;
 use adn_rpc::error::{RpcError, RpcResult};
 use adn_rpc::message::RpcMessage;
-use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig, ServerHandle};
+use adn_rpc::retry::RetryPolicy;
+use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig, ServerHandle, ServerStatsSnapshot};
 use adn_rpc::schema::{MethodDef, RpcSchema, ServiceSchema};
 use adn_rpc::transport::{InProcNetwork, Link};
 use adn_rpc::value::{Value, ValueType};
@@ -100,6 +105,17 @@ impl EnvPreset {
     }
 }
 
+/// Fault injection for an [`AdnWorld`]'s fabric: every frame (client,
+/// processors, servers, controller deployments) crosses one seeded
+/// [`ChaosLink`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Deterministic RNG seed for the fault rolls.
+    pub seed: u64,
+    /// Default per-frame fault policy.
+    pub policy: ChaosPolicy,
+}
+
 /// Configuration of an [`AdnWorld`].
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -111,6 +127,11 @@ pub struct WorldConfig {
     pub env: EnvPreset,
     /// RNG seed (fault injection, etc.).
     pub seed: u64,
+    /// Wrap the fabric in a [`ChaosLink`] with this config.
+    pub chaos: Option<ChaosConfig>,
+    /// Record per-object-id server side-effect counts (for verifying
+    /// at-most-once execution under retries).
+    pub track_effects: bool,
 }
 
 impl WorldConfig {
@@ -129,6 +150,8 @@ impl WorldConfig {
             replicas: 1,
             env: EnvPreset::Bare,
             seed: 0xADB,
+            chaos: None,
+            track_effects: false,
         }
     }
 
@@ -179,8 +202,10 @@ pub struct AdnWorld {
     service: Arc<ServiceSchema>,
     events: crossbeam::channel::Receiver<adn_cluster::ClusterEvent>,
     replica_endpoints: Vec<u64>,
-    _servers: Vec<Arc<ServerHandle>>,
+    servers: Vec<Arc<ServerHandle>>,
     net: InProcNetwork,
+    chaos: Option<Arc<ChaosLink>>,
+    effects: Option<Arc<Mutex<HashMap<u64, u64>>>>,
 }
 
 /// World construction failure.
@@ -210,7 +235,16 @@ impl AdnWorld {
         store.add_node(env.server_node.clone());
 
         let net = InProcNetwork::new();
-        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let chaos = config
+            .chaos
+            .map(|c| ChaosLink::with_policy(Arc::new(net.clone()), c.seed, c.policy));
+        let link: Arc<dyn Link> = match &chaos {
+            Some(chaos) => chaos.clone(),
+            None => Arc::new(net.clone()),
+        };
+        let effects = config
+            .track_effects
+            .then(|| Arc::new(Mutex::new(HashMap::new())));
 
         // Replicas at 200, 201, ...; each echoes the payload back.
         let replica_endpoints: Vec<u64> = (0..config.replicas as u64).map(|i| 200 + i).collect();
@@ -218,6 +252,7 @@ impl AdnWorld {
         for &endpoint in &replica_endpoints {
             let frames = net.attach(endpoint);
             let svc = service.clone();
+            let effect_log = effects.clone();
             servers.push(Arc::new(spawn_server(
                 ServerConfig {
                     addr: endpoint,
@@ -227,6 +262,11 @@ impl AdnWorld {
                 link.clone(),
                 frames,
                 Box::new(move |req| {
+                    if let (Some(log), Some(Value::U64(oid))) =
+                        (effect_log.as_ref(), req.get("object_id"))
+                    {
+                        *log.lock().entry(*oid).or_insert(0) += 1;
+                    }
                     let m = svc.method_by_id(req.method_id).expect("method");
                     let mut resp = RpcMessage::response_to(req, m.response.clone());
                     resp.set("ok", Value::Bool(true));
@@ -260,13 +300,15 @@ impl AdnWorld {
         let client_frames = net.attach(100);
         let client = RpcClient::new(
             100,
-            link,
+            link.clone(),
             client_frames,
             service.clone(),
             EngineChain::new(),
         );
 
-        let controller = Controller::new(store.clone(), net.clone(), 10_000);
+        // The controller spawns its processors on the same (possibly
+        // chaos-wrapped) link the app uses.
+        let controller = Controller::with_link(store.clone(), net.clone(), link, 10_000);
         controller.register_app(
             "app",
             AppRegistration {
@@ -292,8 +334,10 @@ impl AdnWorld {
             service,
             events,
             replica_endpoints,
-            _servers: servers,
+            servers,
             net,
+            chaos,
+            effects,
         };
         world.sync()?;
         Ok(world)
@@ -321,6 +365,22 @@ impl AdnWorld {
     pub fn call(&self, object_id: u64, username: &str, payload: &[u8]) -> RpcResult<RpcMessage> {
         self.client
             .call(self.request(object_id, username, payload), self.target())
+    }
+
+    /// One blocking call with retries, dedup, and circuit breaking — the
+    /// path chaos tests drive.
+    pub fn call_resilient(
+        &self,
+        object_id: u64,
+        username: &str,
+        payload: &[u8],
+        policy: &RetryPolicy,
+    ) -> RpcResult<RpcMessage> {
+        self.client.call_resilient(
+            self.request(object_id, username, payload),
+            self.target(),
+            policy,
+        )
     }
 
     /// Starts a call without waiting.
@@ -357,6 +417,25 @@ impl AdnWorld {
     /// The fabric (for advanced reconfiguration drills).
     pub fn net(&self) -> &InProcNetwork {
         &self.net
+    }
+
+    /// The chaos link, when the world was started with one.
+    pub fn chaos(&self) -> Option<&Arc<ChaosLink>> {
+        self.chaos.as_ref()
+    }
+
+    /// Per-object-id server side-effect counts (requires
+    /// `track_effects`). At-most-once execution means every entry is 1.
+    pub fn effect_counts(&self) -> HashMap<u64, u64> {
+        self.effects
+            .as_ref()
+            .map(|e| e.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Stats snapshots of every replica server, in endpoint order.
+    pub fn server_stats(&self) -> Vec<ServerStatsSnapshot> {
+        self.servers.iter().map(|s| s.stats()).collect()
     }
 
     /// Current placement description.

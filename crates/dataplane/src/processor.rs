@@ -1,17 +1,53 @@
 //! Standalone ADN processor endpoints.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use adn_rpc::engine::{EngineChain, Verdict};
 use adn_rpc::message::{MessageKind, RpcMessage};
+use adn_rpc::retry::DedupWindow;
 use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, Frame, Link};
 use adn_rpc::wire_format;
+
+/// Entries retained in the processor's request/response dedup caches.
+const PROCESSOR_DEDUP_WINDOW: usize = 4096;
+
+/// Why a control-plane query to a processor failed. Distinguishes a
+/// processor whose serve loop has exited from one that is alive but wedged —
+/// callers must not mistake either for an empty answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlError {
+    /// The serve loop has exited (stopped or crashed); the control channel
+    /// is closed.
+    Stopped,
+    /// The processor did not answer within the control deadline (wedged or
+    /// overloaded).
+    Unresponsive,
+}
+
+impl fmt::Display for CtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlError::Stopped => write!(f, "processor stopped"),
+            CtlError::Unresponsive => write!(f, "processor unresponsive"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+fn ctl_recv_err(e: RecvTimeoutError) -> CtlError {
+    match e {
+        RecvTimeoutError::Timeout => CtlError::Unresponsive,
+        RecvTimeoutError::Disconnected => CtlError::Stopped,
+    }
+}
 
 /// Where a processor forwards messages after processing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +77,8 @@ pub struct ProcessorStats {
     pub dropped: AtomicU64,
     pub aborted: AtomicU64,
     pub decode_errors: AtomicU64,
+    pub dedup_hits: AtomicU64,
+    pub stale_responses: AtomicU64,
 }
 
 /// Point-in-time snapshot of the counters.
@@ -52,6 +90,12 @@ pub struct StatsSnapshot {
     pub dropped: u64,
     pub aborted: u64,
     pub decode_errors: u64,
+    /// Retransmitted frames answered from the dedup caches without
+    /// re-running the chain.
+    pub dedup_hits: u64,
+    /// Responses with no flow entry and no cached reply (dropped: their
+    /// NAT'd destination would be this processor itself).
+    pub stale_responses: u64,
 }
 
 impl ProcessorStats {
@@ -63,6 +107,8 @@ impl ProcessorStats {
             dropped: self.dropped.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            stale_responses: self.stale_responses.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,6 +134,13 @@ enum Ctl {
     Stop,
     /// Finish the queued frames, then exit the serve loop.
     StopWhenIdle,
+    /// Re-point where requests are forwarded after processing (controller
+    /// re-routing during failover).
+    SetRequestNext(NextHop),
+    /// Simulate a hard crash: stop processing frames and heartbeating, but
+    /// keep the frame receiver open so traffic silently blackholes (a dead
+    /// host, not a closed socket). Only `Stop` ends the crashed thread.
+    Crash,
 }
 
 /// Configuration for [`spawn_processor`].
@@ -134,6 +187,9 @@ pub struct ProcessorHandle {
     ctl: Sender<Ctl>,
     stats: Arc<ProcessorStats>,
     flows: Arc<parking_lot::Mutex<HashMap<u64, EndpointAddr>>>,
+    /// Milliseconds since `epoch` of the serve loop's last liveness beat.
+    beat: Arc<AtomicU64>,
+    epoch: Instant,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -146,6 +202,28 @@ impl ProcessorHandle {
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Time since the serve loop last proved liveness. The loop beats every
+    /// iteration (including while paused), so a large age means the
+    /// processor is dead or wedged — the controller's failure detector
+    /// compares this against its heartbeat timeout.
+    pub fn heartbeat_age(&self) -> Duration {
+        let last = Duration::from_millis(self.beat.load(Ordering::Relaxed));
+        self.epoch.elapsed().saturating_sub(last)
+    }
+
+    /// Simulates a hard crash for failure testing: frames blackhole,
+    /// heartbeats stop, control queries fail with [`CtlError::Stopped`].
+    /// The thread itself stays joinable (drop/stop still work).
+    pub fn kill(&self) {
+        let _ = self.ctl.send(Ctl::Crash);
+    }
+
+    /// Re-points where requests are forwarded after processing (controller
+    /// re-routing during failover).
+    pub fn set_request_next(&self, next: NextHop) {
+        let _ = self.ctl.send(Ctl::SetRequestNext(next));
     }
 
     /// Pauses frame processing (queued frames are retained).
@@ -161,13 +239,16 @@ impl ProcessorHandle {
         let _ = self.ctl.send(Ctl::Resume);
     }
 
-    /// Exports per-engine state images.
-    pub fn export_state(&self) -> Vec<Vec<u8>> {
+    /// Exports per-engine state images. Fails explicitly if the processor
+    /// is stopped or unresponsive — an empty answer is a real (stateless)
+    /// export, never a masked hang.
+    pub fn export_state(&self) -> Result<Vec<Vec<u8>>, CtlError> {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        if self.ctl.send(Ctl::ExportState(tx)).is_err() {
-            return Vec::new();
-        }
-        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+        self.ctl
+            .send(Ctl::ExportState(tx))
+            .map_err(|_| CtlError::Stopped)?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(ctl_recv_err)
     }
 
     /// Imports per-engine state images.
@@ -175,18 +256,19 @@ impl ProcessorHandle {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.ctl
             .send(Ctl::ImportState(images, tx))
-            .map_err(|_| "processor stopped".to_owned())?;
+            .map_err(|_| CtlError::Stopped.to_string())?;
         rx.recv_timeout(Duration::from_secs(5))
-            .map_err(|_| "processor unresponsive".to_owned())?
+            .map_err(|e| ctl_recv_err(e).to_string())?
     }
 
     /// Hot-swaps the engine chain, returning the old chain's state images.
-    pub fn install_chain(&self, chain: EngineChain) -> Vec<Vec<u8>> {
+    pub fn install_chain(&self, chain: EngineChain) -> Result<Vec<Vec<u8>>, CtlError> {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        if self.ctl.send(Ctl::InstallChain(chain, tx)).is_err() {
-            return Vec::new();
-        }
-        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+        self.ctl
+            .send(Ctl::InstallChain(chain, tx))
+            .map_err(|_| CtlError::Stopped)?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(ctl_recv_err)
     }
 
     /// Snapshot of the NAT flow table (in-flight call id → requester).
@@ -197,13 +279,16 @@ impl ProcessorHandle {
     }
 
     /// Re-emits queued frames to this processor's address (after the fabric
-    /// has been re-pointed at a successor). Returns frames drained.
-    pub fn drain(&self) -> usize {
+    /// has been re-pointed at a successor). Returns frames drained, or an
+    /// explicit error if the processor is stopped or unresponsive (a hung
+    /// processor must not look like an empty queue).
+    pub fn drain(&self) -> Result<usize, CtlError> {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        if self.ctl.send(Ctl::Drain(tx)).is_err() {
-            return 0;
-        }
-        rx.recv_timeout(Duration::from_secs(5)).unwrap_or(0)
+        self.ctl
+            .send(Ctl::Drain(tx))
+            .map_err(|_| CtlError::Stopped)?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(ctl_recv_err)
     }
 
     /// Stops the processor thread.
@@ -245,6 +330,9 @@ pub fn spawn_processor(
     let thread_stats = stats.clone();
     let flows = Arc::new(parking_lot::Mutex::new(config.initial_flows.clone()));
     let thread_flows = flows.clone();
+    let beat = Arc::new(AtomicU64::new(0));
+    let thread_beat = beat.clone();
+    let epoch = Instant::now();
     let addr = config.addr;
 
     let join = std::thread::Builder::new()
@@ -254,14 +342,35 @@ pub fn spawn_processor(
                 addr,
                 service,
                 mut chain,
-                request_next,
+                mut request_next,
                 response_next,
                 initial_flows: _,
             } = config;
             let mut paused = false;
             let mut stopping = false;
+            let mut crashed = false;
+            // At-most-once caches. Requests key on (pre-NAT src, call id) and
+            // cache the outbound frame, so a retransmission replays the
+            // forward without re-running the chain or re-inserting the flow.
+            // Responses key on call id and cache the post-chain reply, so a
+            // response retransmitted after its flow entry was consumed still
+            // reaches the requester instead of looping back to us.
+            let mut req_cache: DedupWindow<(EndpointAddr, u64), Option<Frame>> =
+                DedupWindow::new(PROCESSOR_DEDUP_WINDOW);
+            let mut resp_cache: DedupWindow<u64, Option<Frame>> =
+                DedupWindow::new(PROCESSOR_DEDUP_WINDOW);
 
             loop {
+                if crashed {
+                    // Blackhole: no frame processing, no heartbeats, no
+                    // control replies. Only Stop (sent by stop()/drop) or a
+                    // closed control channel ends the thread.
+                    match ctl_rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(Ctl::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+                        _ => continue,
+                    }
+                }
+                thread_beat.store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
                 // Drain control messages first.
                 while let Ok(ctl) = ctl_rx.try_recv() {
                     match ctl {
@@ -293,7 +402,12 @@ pub fn spawn_processor(
                         }
                         Ctl::Stop => return,
                         Ctl::StopWhenIdle => stopping = true,
+                        Ctl::SetRequestNext(next) => request_next = next,
+                        Ctl::Crash => crashed = true,
                     }
+                }
+                if crashed {
+                    continue;
                 }
                 if paused {
                     std::thread::sleep(Duration::from_millis(1));
@@ -322,6 +436,18 @@ pub fn spawn_processor(
 
                 match msg.kind {
                     MessageKind::Request => {
+                        let dedup_key = (msg.src, msg.call_id);
+                        if let Some(cached) = req_cache.get(&dedup_key) {
+                            // Retransmission: replay the recorded outcome
+                            // without re-running the chain (at-most-once
+                            // through stateful elements) or re-inserting
+                            // the flow.
+                            thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                            if let Some(out) = cached {
+                                let _ = link.send(out.clone());
+                            }
+                            continue;
+                        }
                         thread_stats.requests.fetch_add(1, Ordering::Relaxed);
                         let orig_src = msg.src;
                         match chain.process(&mut msg) {
@@ -330,46 +456,68 @@ pub fn spawn_processor(
                                 thread_flows.lock().insert(msg.call_id, orig_src);
                                 msg.src = addr;
                                 let to = request_next.resolve(msg.dst);
-                                forward(&*link, addr, to, &msg, &thread_stats);
+                                let out = forward(&*link, addr, to, &msg, &thread_stats);
+                                req_cache.insert(dedup_key, out);
                             }
                             Verdict::Drop => {
                                 thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                req_cache.insert(dedup_key, None);
                             }
                             Verdict::Abort { code, message } => {
                                 thread_stats.aborted.fetch_add(1, Ordering::Relaxed);
                                 // Reflect an aborted response to the caller.
+                                let mut out = None;
                                 if let Some(method) = service.method_by_id(msg.method_id) {
                                     let mut resp =
                                         RpcMessage::response_to(&msg, method.response.clone());
                                     resp.abort(code, message);
                                     resp.src = addr;
                                     resp.dst = orig_src;
-                                    forward(&*link, addr, orig_src, &resp, &thread_stats);
+                                    out = forward(&*link, addr, orig_src, &resp, &thread_stats);
                                 }
+                                req_cache.insert(dedup_key, out);
                             }
                         }
                     }
                     MessageKind::Response => {
-                        thread_stats.responses.fetch_add(1, Ordering::Relaxed);
                         // NAT out: restore the original requester.
-                        if let Some(orig_src) = thread_flows.lock().remove(&msg.call_id) {
-                            msg.dst = orig_src;
-                        }
+                        let flow = thread_flows.lock().remove(&msg.call_id);
+                        let Some(orig_src) = flow else {
+                            // No flow entry: either a retransmitted response
+                            // whose flow was already consumed (replay the
+                            // cached reply) or a stale/foreign response whose
+                            // NAT'd destination is this processor itself
+                            // (drop it — forwarding would self-loop).
+                            if let Some(cached) = resp_cache.get(&msg.call_id) {
+                                thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                if let Some(out) = cached {
+                                    let _ = link.send(out.clone());
+                                }
+                            } else {
+                                thread_stats.stale_responses.fetch_add(1, Ordering::Relaxed);
+                            }
+                            continue;
+                        };
+                        thread_stats.responses.fetch_add(1, Ordering::Relaxed);
+                        msg.dst = orig_src;
                         match chain.process(&mut msg) {
                             Verdict::Forward => {
                                 msg.src = addr;
                                 let to = response_next.resolve(msg.dst);
-                                forward(&*link, addr, to, &msg, &thread_stats);
+                                let out = forward(&*link, addr, to, &msg, &thread_stats);
+                                resp_cache.insert(msg.call_id, out);
                             }
                             Verdict::Drop => {
                                 thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                resp_cache.insert(msg.call_id, None);
                             }
                             Verdict::Abort { code, message } => {
                                 thread_stats.aborted.fetch_add(1, Ordering::Relaxed);
                                 msg.abort(code, message);
                                 msg.src = addr;
                                 let to = msg.dst;
-                                forward(&*link, addr, to, &msg, &thread_stats);
+                                let out = forward(&*link, addr, to, &msg, &thread_stats);
+                                resp_cache.insert(msg.call_id, out);
                             }
                         }
                     }
@@ -383,29 +531,32 @@ pub fn spawn_processor(
         ctl: ctl_tx,
         stats,
         flows,
+        beat,
+        epoch,
         join: Some(join),
     }
 }
 
+/// Encodes and sends `msg`; returns the frame that went out (even if the
+/// fabric rejected it — retransmission replays resend it) so callers can
+/// record it in a dedup cache. `None` only on encode failure.
 fn forward(
     link: &dyn Link,
     src: EndpointAddr,
     to: EndpointAddr,
     msg: &RpcMessage,
     stats: &ProcessorStats,
-) {
-    if let Ok(payload) = wire_format::encode_message_to_vec(msg) {
-        if link
-            .send(Frame {
-                src,
-                dst: to,
-                payload,
-            })
-            .is_ok()
-        {
-            stats.forwarded.fetch_add(1, Ordering::Relaxed);
-        }
+) -> Option<Frame> {
+    let payload = wire_format::encode_message_to_vec(msg).ok()?;
+    let frame = Frame {
+        src,
+        dst: to,
+        payload,
+    };
+    if link.send(frame.clone()).is_ok() {
+        stats.forwarded.fetch_add(1, Ordering::Relaxed);
     }
+    Some(frame)
 }
 
 #[cfg(test)]
@@ -582,7 +733,7 @@ mod tests {
             client.call(req(&client, i * 2), 5).unwrap();
         }
         processor.pause();
-        let images = processor.export_state();
+        let images = processor.export_state().unwrap();
         // 3 requests + 3 responses = 6 engine invocations.
         assert_eq!(images[0], 6u64.to_le_bytes().to_vec());
         processor.resume();
@@ -591,7 +742,10 @@ mod tests {
         processor
             .import_state(vec![100u64.to_le_bytes().to_vec()])
             .unwrap();
-        assert_eq!(processor.export_state()[0], 100u64.to_le_bytes().to_vec());
+        assert_eq!(
+            processor.export_state().unwrap()[0],
+            100u64.to_le_bytes().to_vec()
+        );
     }
 
     #[test]
@@ -599,14 +753,18 @@ mod tests {
         let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
         let (client, processor, _server) = setup(chain);
         client.call(req(&client, 0), 5).unwrap();
-        let old_state =
-            processor.install_chain(EngineChain::from_engines(vec![Box::new(CountAndStamp {
+        let old_state = processor
+            .install_chain(EngineChain::from_engines(vec![Box::new(CountAndStamp {
                 count: 0,
-            })]));
+            })]))
+            .unwrap();
         assert_eq!(old_state[0], 2u64.to_le_bytes().to_vec());
         // New chain starts fresh and still works.
         client.call(req(&client, 2), 5).unwrap();
-        assert_eq!(processor.export_state()[0], 2u64.to_le_bytes().to_vec());
+        assert_eq!(
+            processor.export_state().unwrap()[0],
+            2u64.to_le_bytes().to_vec()
+        );
     }
 
     #[test]
@@ -620,5 +778,197 @@ mod tests {
         processor.resume();
         let resp = pending.wait(Duration::from_secs(5)).unwrap();
         assert_eq!(resp.get("x"), Some(&Value::U64(8)));
+    }
+
+    #[test]
+    fn killed_processor_blackholes_and_control_errors() {
+        let chain = EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]);
+        let (client, processor, _server) = setup(chain);
+        client.call(req(&client, 2), 5).unwrap();
+        assert!(processor.heartbeat_age() < Duration::from_secs(1));
+
+        processor.kill();
+        std::thread::sleep(Duration::from_millis(120));
+        // Heartbeats stopped.
+        assert!(processor.heartbeat_age() >= Duration::from_millis(100));
+        // Control queries fail explicitly — a crashed processor is
+        // distinguishable from an empty answer.
+        assert_eq!(processor.export_state().unwrap_err(), CtlError::Stopped);
+        assert_eq!(processor.drain().unwrap_err(), CtlError::Stopped);
+        assert_eq!(
+            processor.install_chain(EngineChain::new()).unwrap_err(),
+            CtlError::Stopped
+        );
+        // Traffic blackholes: the deadline fires, no panic, no response.
+        let err = client
+            .send_call(req(&client, 4), 5)
+            .unwrap()
+            .wait(Duration::from_millis(200))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Timeout { .. }));
+        // Drop of the handle (end of test) must still join cleanly.
+    }
+
+    #[test]
+    fn duplicate_request_replays_cached_outcome() {
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let svc2 = svc.clone();
+        let _server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: svc.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            Box::new(move |request| {
+                let m = svc2.method_by_id(request.method_id).unwrap();
+                let mut resp = RpcMessage::response_to(request, m.response.clone());
+                resp.set("x", request.get("x").unwrap().clone());
+                resp.set("who", Value::Str("server".into()));
+                resp
+            }),
+        );
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            ),
+            link.clone(),
+            net.attach(5),
+        );
+        let client_rx = net.attach(1);
+
+        // Hand-build one request and send the identical frame twice (what a
+        // resilient client's retransmission looks like on the wire).
+        let m = svc.method_by_id(1).unwrap();
+        let mut msg = RpcMessage::request(0, 1, m.request.clone())
+            .with("x", 4u64)
+            .with("who", "client");
+        msg.call_id = 99;
+        msg.src = 1;
+        msg.dst = 2;
+        let payload = wire_format::encode_message_to_vec(&msg).unwrap();
+        for _ in 0..2 {
+            net.send(Frame {
+                src: 1,
+                dst: 5,
+                payload: payload.clone(),
+            })
+            .unwrap();
+        }
+
+        // Both transmissions produce a response back to the client.
+        for _ in 0..2 {
+            let frame = client_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let resp = wire_format::decode_message_exact(&frame.payload, &svc).unwrap();
+            assert_eq!(resp.call_id, 99);
+        }
+        let stats = processor.stats();
+        // ... but the chain ran for exactly one request + one response.
+        assert_eq!(stats.requests, 1);
+        assert!(stats.dedup_hits >= 1);
+        assert_eq!(
+            processor.export_state().unwrap()[0],
+            2u64.to_le_bytes().to_vec()
+        );
+    }
+
+    #[test]
+    fn stale_response_is_dropped_not_looped() {
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            ),
+            link,
+            net.attach(5),
+        );
+
+        // A response for a call id with no flow entry and no cached reply:
+        // before dedup, the processor forwarded it unchanged — and since a
+        // NAT'd response's dst is the processor itself, a duplicated frame
+        // would self-loop. It must be counted stale and dropped.
+        let m = svc.method_by_id(1).unwrap();
+        let mut stale = RpcMessage::request(777, 1, m.response.clone())
+            .with("x", 0u64)
+            .with("who", "ghost");
+        stale.kind = MessageKind::Response;
+        stale.call_id = 777;
+        stale.src = 2;
+        stale.dst = 5;
+        let payload = wire_format::encode_message_to_vec(&stale).unwrap();
+        net.send(Frame {
+            src: 2,
+            dst: 5,
+            payload,
+        })
+        .unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while processor.stats().stale_responses == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = processor.stats();
+        assert_eq!(stats.stale_responses, 1);
+        assert_eq!(stats.forwarded, 0, "stale responses must not be forwarded");
+    }
+
+    #[test]
+    fn set_request_next_reroutes_traffic() {
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let mut servers = Vec::new();
+        for (addr, tag) in [(2u64, "alpha"), (3, "beta")] {
+            let svc2 = svc.clone();
+            servers.push(spawn_server(
+                ServerConfig {
+                    addr,
+                    service: svc.clone(),
+                    chain: EngineChain::new(),
+                },
+                link.clone(),
+                net.attach(addr),
+                Box::new(move |request| {
+                    let m = svc2.method_by_id(request.method_id).unwrap();
+                    let mut resp = RpcMessage::response_to(request, m.response.clone());
+                    resp.set("x", request.get("x").unwrap().clone());
+                    resp.set("who", Value::Str(tag.into()));
+                    resp
+                }),
+            ));
+        }
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            ),
+            link.clone(),
+            net.attach(5),
+        );
+        let client = RpcClient::new(1, link, net.attach(1), svc, EngineChain::new());
+
+        let resp = client.call(req(&client, 0), 5).unwrap();
+        assert_eq!(resp.get("who"), Some(&Value::Str("alpha".into())));
+
+        processor.set_request_next(NextHop::Fixed(3));
+        std::thread::sleep(Duration::from_millis(50));
+        let resp = client.call(req(&client, 2), 5).unwrap();
+        assert_eq!(resp.get("who"), Some(&Value::Str("beta".into())));
     }
 }

@@ -1,0 +1,439 @@
+//! Deterministic failure injection at the virtual link layer.
+//!
+//! [`ChaosLink`] wraps any [`Link`] and perturbs the frame stream: seeded
+//! random drops, duplicates, one-frame reorders, delayed delivery, and named
+//! partitions that blackhole (src, dst) pairs until healed. Policies are
+//! togglable per pair at runtime, so a test can degrade exactly one path
+//! (say client → processor) while the rest of the fabric stays clean.
+//!
+//! All randomness comes from one seeded [`StdRng`], so a given seed and
+//! send sequence reproduces the same fault schedule — chaos tests are
+//! deterministic modulo thread scheduling.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::error::RpcResult;
+use crate::transport::{EndpointAddr, Frame, Link};
+
+/// Fault probabilities applied to frames on a path. Effects are mutually
+/// exclusive per frame, checked in order: drop, delay, reorder, duplicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPolicy {
+    /// Probability the frame is silently discarded.
+    pub drop_prob: f64,
+    /// Probability the frame is delivered twice.
+    pub dup_prob: f64,
+    /// Probability the frame is held back one send and delivered after the
+    /// next frame (a one-frame reorder).
+    pub reorder_prob: f64,
+    /// Probability the frame is delivered late, after `delay`.
+    pub delay_prob: f64,
+    /// Lateness applied to delayed frames.
+    pub delay: Duration,
+}
+
+impl ChaosPolicy {
+    /// No faults: frames pass through untouched.
+    pub fn lossless() -> Self {
+        Self {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Drops only, at probability `p`.
+    pub fn drops(p: f64) -> Self {
+        Self {
+            drop_prob: p,
+            ..Self::lossless()
+        }
+    }
+
+    /// Duplicates only, at probability `p`.
+    pub fn duplicates(p: f64) -> Self {
+        Self {
+            dup_prob: p,
+            ..Self::lossless()
+        }
+    }
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        Self::lossless()
+    }
+}
+
+/// Counters for injected faults (snapshot via [`ChaosLink::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames delivered unperturbed.
+    pub passed: u64,
+    /// Frames discarded by drop injection.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back for a one-frame reorder.
+    pub reordered: u64,
+    /// Frames delivered late.
+    pub delayed: u64,
+    /// Frames blackholed by an active partition.
+    pub partitioned: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    passed: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    delayed: AtomicU64,
+    partitioned: AtomicU64,
+}
+
+/// A [`Link`] wrapper that injects faults per [`ChaosPolicy`].
+///
+/// Partition semantics: a named partition is a set of (a, b) endpoint pairs;
+/// frames between a and b **in either direction** are blackholed (the send
+/// still returns `Ok`, like a lossy wire) until [`ChaosLink::heal`] removes
+/// the partition.
+pub struct ChaosLink {
+    inner: Arc<dyn Link>,
+    default_policy: RwLock<ChaosPolicy>,
+    pair_policies: RwLock<HashMap<(EndpointAddr, EndpointAddr), ChaosPolicy>>,
+    partitions: RwLock<HashMap<String, HashSet<(EndpointAddr, EndpointAddr)>>>,
+    rng: Mutex<StdRng>,
+    stash: Mutex<Option<Frame>>,
+    counters: Counters,
+}
+
+impl ChaosLink {
+    /// Wraps `inner` with a lossless default policy.
+    pub fn new(inner: Arc<dyn Link>, seed: u64) -> Arc<Self> {
+        Self::with_policy(inner, seed, ChaosPolicy::lossless())
+    }
+
+    /// Wraps `inner` with `policy` as the default for every path.
+    pub fn with_policy(inner: Arc<dyn Link>, seed: u64, policy: ChaosPolicy) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            default_policy: RwLock::new(policy),
+            pair_policies: RwLock::new(HashMap::new()),
+            partitions: RwLock::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stash: Mutex::new(None),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Replaces the default policy applied to paths without an override.
+    pub fn set_default_policy(&self, policy: ChaosPolicy) {
+        *self.default_policy.write() = policy;
+    }
+
+    /// Sets a policy override for the (src, dst) path (one direction).
+    pub fn set_pair_policy(&self, src: EndpointAddr, dst: EndpointAddr, policy: ChaosPolicy) {
+        self.pair_policies.write().insert((src, dst), policy);
+    }
+
+    /// Removes a path override; the path reverts to the default policy.
+    pub fn clear_pair_policy(&self, src: EndpointAddr, dst: EndpointAddr) {
+        self.pair_policies.write().remove(&(src, dst));
+    }
+
+    /// Installs (or extends) a named partition blackholing every listed
+    /// pair, both directions.
+    pub fn partition(&self, name: &str, pairs: &[(EndpointAddr, EndpointAddr)]) {
+        self.partitions
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .extend(pairs.iter().copied());
+    }
+
+    /// Removes a named partition; traffic between its pairs resumes.
+    pub fn heal(&self, name: &str) {
+        self.partitions.write().remove(name);
+    }
+
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            passed: self.counters.passed.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            duplicated: self.counters.duplicated.load(Ordering::Relaxed),
+            reordered: self.counters.reordered.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+            partitioned: self.counters.partitioned.load(Ordering::Relaxed),
+        }
+    }
+
+    fn is_partitioned(&self, src: EndpointAddr, dst: EndpointAddr) -> bool {
+        self.partitions
+            .read()
+            .values()
+            .any(|pairs| pairs.contains(&(src, dst)) || pairs.contains(&(dst, src)))
+    }
+
+    fn policy_for(&self, src: EndpointAddr, dst: EndpointAddr) -> ChaosPolicy {
+        self.pair_policies
+            .read()
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(*self.default_policy.read())
+    }
+
+    /// Delivers any frame still held by the reorder stash (useful at the
+    /// end of a test so no frame stays parked forever).
+    pub fn flush(&self) {
+        if let Some(held) = self.stash.lock().take() {
+            let _ = self.inner.send(held);
+        }
+    }
+}
+
+impl Link for ChaosLink {
+    fn send(&self, frame: Frame) -> RpcResult<()> {
+        if self.is_partitioned(frame.src, frame.dst) {
+            self.counters.partitioned.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // blackhole, like a lossy wire
+        }
+        let policy = self.policy_for(frame.src, frame.dst);
+        // One roll sequence under a single lock keeps the schedule
+        // reproducible for a given seed and send order.
+        let (dropped, delay, reorder, dup) = {
+            let mut rng = self.rng.lock();
+            (
+                rng.gen_bool(policy.drop_prob),
+                rng.gen_bool(policy.delay_prob),
+                rng.gen_bool(policy.reorder_prob),
+                rng.gen_bool(policy.dup_prob),
+            )
+        };
+        if dropped {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if delay && policy.delay > Duration::ZERO {
+            self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+            let inner = self.inner.clone();
+            let delay = policy.delay;
+            std::thread::Builder::new()
+                .name("chaos-delay".to_owned())
+                .spawn(move || {
+                    std::thread::sleep(delay);
+                    let _ = inner.send(frame);
+                })
+                .expect("spawn chaos delay thread");
+            return Ok(());
+        }
+        if reorder {
+            self.counters.reordered.fetch_add(1, Ordering::Relaxed);
+            let mut stash = self.stash.lock();
+            match stash.take() {
+                None => {
+                    *stash = Some(frame);
+                    return Ok(());
+                }
+                Some(held) => {
+                    drop(stash);
+                    // Already holding a frame: deliver the new one first,
+                    // then the held one — the reorder resolves now.
+                    self.inner.send(frame)?;
+                    let _ = self.inner.send(held);
+                    return Ok(());
+                }
+            }
+        }
+        // Normal delivery; flush any stashed frame *after* this one so the
+        // stashed frame is observably reordered.
+        let held = self.stash.lock().take();
+        let dup_frame = dup.then(|| frame.clone());
+        self.inner.send(frame)?;
+        self.counters.passed.fetch_add(1, Ordering::Relaxed);
+        if let Some(copy) = dup_frame {
+            self.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            let _ = self.inner.send(copy);
+        }
+        if let Some(held) = held {
+            let _ = self.inner.send(held);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcNetwork;
+
+    fn frame(src: u64, dst: u64, tag: u8) -> Frame {
+        Frame {
+            src,
+            dst,
+            payload: vec![tag],
+        }
+    }
+
+    #[test]
+    fn lossless_passes_everything() {
+        let net = InProcNetwork::new();
+        let rx = net.attach(2);
+        let chaos = ChaosLink::new(Arc::new(net), 1);
+        for i in 0..10u8 {
+            chaos.send(frame(1, 2, i)).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+                [i]
+            );
+        }
+        assert_eq!(chaos.stats().passed, 10);
+        assert_eq!(chaos.stats().dropped, 0);
+    }
+
+    #[test]
+    fn full_drop_discards_everything() {
+        let net = InProcNetwork::new();
+        let rx = net.attach(2);
+        let chaos = ChaosLink::with_policy(Arc::new(net), 1, ChaosPolicy::drops(1.0));
+        for i in 0..5u8 {
+            chaos.send(frame(1, 2, i)).unwrap();
+        }
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(chaos.stats().dropped, 5);
+    }
+
+    #[test]
+    fn drop_rate_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let net = InProcNetwork::new();
+            let _rx = net.attach(2);
+            let chaos = ChaosLink::with_policy(Arc::new(net), seed, ChaosPolicy::drops(0.3));
+            for i in 0..100u8 {
+                chaos.send(frame(1, 2, i)).unwrap();
+            }
+            chaos.stats().dropped
+        };
+        assert_eq!(run(42), run(42));
+        // Some drops happened, but not all frames dropped.
+        let dropped = run(42);
+        assert!(dropped > 0 && dropped < 100, "dropped={dropped}");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let net = InProcNetwork::new();
+        let rx = net.attach(2);
+        let chaos = ChaosLink::with_policy(Arc::new(net), 1, ChaosPolicy::duplicates(1.0));
+        chaos.send(frame(1, 2, 7)).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            [7]
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            [7]
+        );
+        assert_eq!(chaos.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames() {
+        let net = InProcNetwork::new();
+        let rx = net.attach(2);
+        let chaos = ChaosLink::new(Arc::new(net), 1);
+        // Only the first frame reorders: hold it, deliver the second first.
+        chaos.set_pair_policy(
+            1,
+            2,
+            ChaosPolicy {
+                reorder_prob: 1.0,
+                ..ChaosPolicy::lossless()
+            },
+        );
+        chaos.send(frame(1, 2, 0)).unwrap();
+        chaos.set_pair_policy(1, 2, ChaosPolicy::lossless());
+        chaos.send(frame(1, 2, 1)).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            [1]
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            [0]
+        );
+        assert_eq!(chaos.stats().reordered, 1);
+    }
+
+    #[test]
+    fn delay_arrives_late() {
+        let net = InProcNetwork::new();
+        let rx = net.attach(2);
+        let chaos = ChaosLink::new(Arc::new(net), 1);
+        chaos.set_pair_policy(
+            1,
+            2,
+            ChaosPolicy {
+                delay_prob: 1.0,
+                delay: Duration::from_millis(30),
+                ..ChaosPolicy::lossless()
+            },
+        );
+        let start = std::time::Instant::now();
+        chaos.send(frame(1, 2, 9)).unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.payload, [9]);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(chaos.stats().delayed, 1);
+    }
+
+    #[test]
+    fn partition_blackholes_both_directions_until_healed() {
+        let net = InProcNetwork::new();
+        let rx1 = net.attach(1);
+        let rx2 = net.attach(2);
+        let chaos = ChaosLink::new(Arc::new(net), 1);
+        chaos.partition("split", &[(1, 2)]);
+        chaos.send(frame(1, 2, 0)).unwrap();
+        chaos.send(frame(2, 1, 0)).unwrap();
+        assert!(rx2.recv_timeout(Duration::from_millis(50)).is_err());
+        assert!(rx1.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(chaos.stats().partitioned, 2);
+
+        chaos.heal("split");
+        chaos.send(frame(1, 2, 1)).unwrap();
+        assert_eq!(
+            rx2.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            [1]
+        );
+    }
+
+    #[test]
+    fn pair_policy_overrides_default() {
+        let net = InProcNetwork::new();
+        let rx2 = net.attach(2);
+        let rx3 = net.attach(3);
+        // Default drops everything; the 1→3 path is exempted.
+        let chaos = ChaosLink::with_policy(Arc::new(net), 1, ChaosPolicy::drops(1.0));
+        chaos.set_pair_policy(1, 3, ChaosPolicy::lossless());
+        chaos.send(frame(1, 2, 0)).unwrap();
+        chaos.send(frame(1, 3, 0)).unwrap();
+        assert!(rx2.recv_timeout(Duration::from_millis(50)).is_err());
+        assert!(rx3.recv_timeout(Duration::from_secs(1)).is_ok());
+
+        chaos.clear_pair_policy(1, 3);
+        chaos.send(frame(1, 3, 1)).unwrap();
+        assert!(rx3.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+}

@@ -19,6 +19,9 @@ pub enum RpcError {
     Disconnected,
     /// A request did not complete within its deadline.
     Timeout { call_id: u64 },
+    /// The per-destination circuit breaker is open: the call failed fast
+    /// without touching the network.
+    CircuitOpen { endpoint: u64 },
     /// The remote (or a network element) aborted the call.
     Aborted { code: u32, message: String },
     /// Method id not present in the service schema.
@@ -37,6 +40,9 @@ impl fmt::Display for RpcError {
             RpcError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id:#x}"),
             RpcError::Disconnected => write!(f, "transport disconnected"),
             RpcError::Timeout { call_id } => write!(f, "call {call_id} timed out"),
+            RpcError::CircuitOpen { endpoint } => {
+                write!(f, "circuit open for endpoint {endpoint:#x}")
+            }
             RpcError::Aborted { code, message } => write!(f, "aborted ({code}): {message}"),
             RpcError::UnknownMethod(id) => write!(f, "unknown method id {id}"),
             RpcError::Io(e) => write!(f, "io error: {e}"),

@@ -20,18 +20,26 @@
 //!   flat identifier"), with in-process and TCP realizations.
 //! * [`runtime`] — client/server runtimes that pump messages through engine
 //!   chains over a transport.
+//! * [`chaos`] — a deterministic fault-injecting [`transport::Link`] wrapper
+//!   (drops, duplicates, reorders, delays, partitions).
+//! * [`retry`] — resilience primitives: retry policies with backoff+jitter,
+//!   per-destination circuit breakers, and the at-most-once dedup window.
 
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod message;
+pub mod retry;
 pub mod runtime;
 pub mod schema;
 pub mod transport;
 pub mod value;
 pub mod wire_format;
 
+pub use chaos::{ChaosLink, ChaosPolicy, ChaosStats};
 pub use engine::{Engine, EngineChain, Verdict};
 pub use error::{RpcError, RpcResult};
 pub use message::{MessageKind, RpcMessage, RpcStatus};
+pub use retry::{BreakerPolicy, CircuitBreaker, DedupWindow, DegradedMode, RetryPolicy};
 pub use schema::{FieldDef, MethodDef, RpcSchema, ServiceSchema};
 pub use value::{Value, ValueType};

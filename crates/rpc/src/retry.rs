@@ -1,0 +1,283 @@
+//! Resilience primitives for the RPC runtime: retry policies with
+//! exponential backoff and jitter, per-destination circuit breakers, and the
+//! bounded dedup window that keeps retried requests at-most-once on the
+//! server and processor side.
+//!
+//! The paper's reconfiguration story (§5.2) assumes the chain keeps serving
+//! while the controller moves elements around. These primitives are what a
+//! client and the data plane need so that the degraded window — frames lost,
+//! a processor dead, a partition healing — is survived without duplicate
+//! side-effects in stateful elements.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng};
+
+/// How a resilient client behaves toward a destination whose circuit
+/// breaker is open (the chain path is degraded, e.g. a dead processor that
+/// the controller has not yet replaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedMode {
+    /// Fail fast with [`crate::RpcError::CircuitOpen`]; no traffic flows
+    /// until the path recovers. Safe default: policy elements (ACL, quota)
+    /// are never bypassed.
+    #[default]
+    FailClosed,
+    /// Bypass the configured first hop and send straight to the logical
+    /// destination. Keeps the application alive at the cost of skipping
+    /// off-path chain elements for the degraded window.
+    FailOpen,
+}
+
+/// Retry schedule for [`crate::runtime::RpcClient::call_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Per-attempt response wait before the attempt counts as failed.
+    pub attempt_timeout: Duration,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff growth cap (jitter is added on top).
+    pub max_backoff: Duration,
+    /// Overall per-call deadline across all attempts and backoffs.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            attempt_timeout: Duration::from_secs(1),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after `failures` failed attempts (1-based):
+    /// exponential growth capped at `max_backoff`, plus up to 50% seeded
+    /// jitter so synchronized retriers de-correlate.
+    pub fn backoff(&self, failures: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << failures.clamp(1, 16).saturating_sub(1));
+        let capped = exp.min(self.max_backoff);
+        let half_ns = capped.as_nanos() as u64 / 2;
+        let jitter = if half_ns == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(rng.gen_range(0..half_ns))
+        };
+        capped + jitter
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// How long the breaker stays open before a half-open probe is allowed.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            threshold: 5,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-destination circuit breaker: after `threshold` consecutive failures
+/// it opens and rejects calls for `cooldown`; the first call afterwards is
+/// a half-open probe — success closes the breaker, failure re-opens it.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            consecutive_failures: 0,
+            open_until: None,
+        }
+    }
+
+    /// Whether a call may proceed at `now` (closed, or half-open probe).
+    pub fn allow(&self, now: Instant) -> bool {
+        match self.open_until {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+
+    /// Whether the breaker is currently rejecting calls.
+    pub fn is_open(&self, now: Instant) -> bool {
+        !self.allow(now)
+    }
+
+    /// Records a successful call: closes the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    /// Records a failed call (timeout or send error); opens the breaker
+    /// once the consecutive-failure threshold is reached.
+    pub fn record_failure(&mut self, now: Instant) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.policy.threshold {
+            self.open_until = Some(now + self.policy.cooldown);
+        }
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+/// A bounded insertion-ordered map: the dedup window used by servers and
+/// processors to recognize retransmitted requests. Oldest entries evict
+/// first once `cap` is exceeded.
+#[derive(Debug)]
+pub struct DedupWindow<K, V> {
+    cap: usize,
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Clone, V> DedupWindow<K, V> {
+    /// A window retaining at most `cap` entries (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts (or replaces) an entry, evicting the oldest beyond capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let b1 = policy.backoff(1, &mut rng);
+        let b4 = policy.backoff(4, &mut rng);
+        let b10 = policy.backoff(10, &mut rng);
+        assert!(b1 >= Duration::from_millis(10) && b1 < Duration::from_millis(16));
+        assert!(b4 >= Duration::from_millis(80), "{b4:?}");
+        // Cap plus at most 50% jitter.
+        assert!(b10 <= Duration::from_millis(120), "{b10:?}");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for i in 1..6 {
+            assert_eq!(policy.backoff(i, &mut a), policy.backoff(i, &mut b));
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens() {
+        let mut breaker = CircuitBreaker::new(BreakerPolicy {
+            threshold: 3,
+            cooldown: Duration::from_millis(50),
+        });
+        let t0 = Instant::now();
+        assert!(breaker.allow(t0));
+        breaker.record_failure(t0);
+        breaker.record_failure(t0);
+        assert!(breaker.allow(t0), "below threshold stays closed");
+        breaker.record_failure(t0);
+        assert!(breaker.is_open(t0));
+        // Half-open probe after cooldown.
+        let later = t0 + Duration::from_millis(60);
+        assert!(breaker.allow(later));
+        // Probe failure re-opens immediately.
+        breaker.record_failure(later);
+        assert!(breaker.is_open(later));
+        // Probe success closes.
+        breaker.record_success();
+        assert!(breaker.allow(later));
+        assert_eq!(breaker.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest() {
+        let mut window: DedupWindow<u64, u64> = DedupWindow::new(3);
+        for i in 0..5u64 {
+            window.insert(i, i * 10);
+        }
+        assert_eq!(window.len(), 3);
+        assert!(!window.contains(&0));
+        assert!(!window.contains(&1));
+        assert_eq!(window.get(&4), Some(&40));
+    }
+
+    #[test]
+    fn dedup_window_replacement_keeps_size() {
+        let mut window: DedupWindow<u64, &str> = DedupWindow::new(2);
+        window.insert(1, "a");
+        window.insert(1, "b");
+        assert_eq!(window.len(), 1);
+        assert_eq!(window.get(&1), Some(&"b"));
+        assert!(!window.is_empty());
+    }
+}

@@ -14,14 +14,16 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use rand::{rngs::StdRng, SeedableRng};
 
 use crate::engine::{EngineChain, Verdict};
 use crate::error::{RpcError, RpcResult};
 use crate::message::{MessageKind, RpcMessage, RpcStatus};
+use crate::retry::{BreakerPolicy, CircuitBreaker, DedupWindow, DegradedMode, RetryPolicy};
 use crate::schema::ServiceSchema;
 use crate::transport::{EndpointAddr, Frame, Link};
 use crate::wire_format;
@@ -29,12 +31,40 @@ use crate::wire_format;
 /// Default per-call deadline.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Retransmissions a server (or processor) can recognize: entries retained
+/// in the at-most-once dedup window.
+pub const SERVER_DEDUP_WINDOW: usize = 4096;
+
 /// A server-side request handler: consumes a request, produces a response.
 pub type Handler = Box<dyn FnMut(&RpcMessage) -> RpcMessage + Send>;
 
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ClientStats {
+    malformed_frames: AtomicU64,
+    orphan_responses: AtomicU64,
+    retries: AtomicU64,
+    breaker_rejections: AtomicU64,
+    fail_open_bypasses: AtomicU64,
+}
+
+/// Point-in-time copy of a client's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStatsSnapshot {
+    /// Frames that failed to decode against the service schema.
+    pub malformed_frames: u64,
+    /// Well-formed responses with no pending call (late duplicates).
+    pub orphan_responses: u64,
+    /// Retransmissions performed by [`RpcClient::call_resilient`].
+    pub retries: u64,
+    /// Calls rejected fast because a circuit breaker was open.
+    pub breaker_rejections: u64,
+    /// Calls sent directly to the logical destination under fail-open.
+    pub fail_open_bypasses: u64,
+}
 
 /// An in-flight call; resolve it with [`PendingCall::wait`].
 pub struct PendingCall {
@@ -85,6 +115,12 @@ pub struct RpcClient {
     next_call_id: AtomicU64,
     pending: Arc<Mutex<HashMap<u64, Sender<RpcMessage>>>>,
     shutdown: Arc<AtomicBool>,
+    stats: ClientStats,
+    /// Per-first-hop circuit breakers for resilient calls.
+    breakers: Mutex<HashMap<EndpointAddr, CircuitBreaker>>,
+    breaker_policy: Mutex<BreakerPolicy>,
+    degraded: Mutex<DegradedMode>,
+    retry_rng: Mutex<StdRng>,
 }
 
 impl RpcClient {
@@ -107,6 +143,11 @@ impl RpcClient {
             next_call_id: AtomicU64::new(1),
             pending: Arc::new(Mutex::new(HashMap::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
+            stats: ClientStats::default(),
+            breakers: Mutex::new(HashMap::new()),
+            breaker_policy: Mutex::new(BreakerPolicy::default()),
+            degraded: Mutex::new(DegradedMode::default()),
+            retry_rng: Mutex::new(StdRng::seed_from_u64(addr)),
         });
 
         let dispatcher = client.clone();
@@ -136,7 +177,10 @@ impl RpcClient {
             };
             let mut msg = match wire_format::decode_message_exact(&frame.payload, &self.service) {
                 Ok(m) => m,
-                Err(_) => continue, // malformed frame: count and drop
+                Err(_) => {
+                    self.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
             };
             if msg.kind != MessageKind::Response {
                 continue;
@@ -149,8 +193,15 @@ impl RpcClient {
                 Verdict::Drop => continue,
                 Verdict::Abort { code, message } => msg.abort(code, message),
             }
-            if let Some(tx) = self.pending.lock().remove(&msg.call_id) {
-                let _ = tx.send(msg);
+            match self.pending.lock().remove(&msg.call_id) {
+                Some(tx) => {
+                    let _ = tx.send(msg);
+                }
+                // No pending call: a late duplicate of an already-resolved
+                // response (retransmission echo). Count and drop.
+                None => {
+                    self.stats.orphan_responses.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -219,6 +270,165 @@ impl RpcClient {
         self.send_call(msg, to)?.wait(DEFAULT_TIMEOUT)
     }
 
+    /// Calls with retries: the request is sent at-least-once over a lossy
+    /// fabric, retransmitting on timeout with exponential backoff + jitter
+    /// under `policy.deadline`. The server-side dedup window makes the
+    /// retries at-most-once, so together the call is exactly-once unless the
+    /// deadline expires.
+    ///
+    /// The egress chain runs **once**; retries retransmit the identical
+    /// encoded frame (same call id), so client-side stateful elements see
+    /// one logical call. A per-first-hop circuit breaker fails fast with
+    /// [`RpcError::CircuitOpen`] after consecutive failures; under
+    /// [`DegradedMode::FailOpen`] an open breaker instead bypasses the
+    /// configured `via` hop and sends straight to the logical destination
+    /// (skipping off-path chain elements for the degraded window).
+    ///
+    /// An [`RpcError::Aborted`] response is a definitive completion (the
+    /// chain or server judged the call) and is never retried.
+    pub fn call_resilient(
+        &self,
+        mut msg: RpcMessage,
+        to: EndpointAddr,
+        policy: &RetryPolicy,
+    ) -> RpcResult<RpcMessage> {
+        msg.call_id = self.next_call_id();
+        msg.kind = MessageKind::Request;
+        msg.src = self.addr;
+        msg.dst = to;
+
+        match self.chain.lock().process(&mut msg) {
+            Verdict::Forward => {}
+            Verdict::Drop => {
+                return Err(RpcError::Aborted {
+                    code: 14,
+                    message: "dropped by network element".to_owned(),
+                })
+            }
+            Verdict::Abort { code, message } => return Err(RpcError::Aborted { code, message }),
+        }
+        let payload = wire_format::encode_message_to_vec(&msg)?;
+        let configured_hop = self.via.lock().unwrap_or(msg.dst);
+        let call_id = msg.call_id;
+        let deadline = Instant::now() + policy.deadline;
+        let mut failures = 0u32;
+
+        loop {
+            let now = Instant::now();
+            let mut first_hop = configured_hop;
+            let allowed = self
+                .breakers
+                .lock()
+                .entry(configured_hop)
+                .or_insert_with(|| CircuitBreaker::new(*self.breaker_policy.lock()))
+                .allow(now);
+            if !allowed {
+                let fail_open = *self.degraded.lock() == DegradedMode::FailOpen;
+                if fail_open && configured_hop != msg.dst {
+                    self.stats
+                        .fail_open_bypasses
+                        .fetch_add(1, Ordering::Relaxed);
+                    first_hop = msg.dst;
+                } else {
+                    self.stats
+                        .breaker_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(RpcError::CircuitOpen {
+                        endpoint: configured_hop,
+                    });
+                }
+            }
+
+            let (tx, rx) = crossbeam::channel::bounded(1);
+            self.pending.lock().insert(call_id, tx);
+            let attempt: Result<RpcMessage, Option<RpcError>> = match self.link.send(Frame {
+                src: self.addr,
+                dst: first_hop,
+                payload: payload.clone(),
+            }) {
+                // A send error is a failed attempt, not a hard error: a
+                // dead first hop may be replaced before the deadline.
+                Err(e) => Err(Some(e)),
+                Ok(()) => {
+                    let wait = policy
+                        .attempt_timeout
+                        .min(deadline.saturating_duration_since(Instant::now()));
+                    rx.recv_timeout(wait).map_err(|_| None)
+                }
+            };
+            self.pending.lock().remove(&call_id);
+
+            match attempt {
+                Ok(resp) => {
+                    if first_hop == configured_hop {
+                        if let Some(b) = self.breakers.lock().get_mut(&configured_hop) {
+                            b.record_success();
+                        }
+                    }
+                    return match resp.status {
+                        RpcStatus::Ok => Ok(resp),
+                        RpcStatus::Aborted { code, ref message } => Err(RpcError::Aborted {
+                            code,
+                            message: message.clone(),
+                        }),
+                    };
+                }
+                Err(maybe_err) => {
+                    failures += 1;
+                    if first_hop == configured_hop {
+                        if let Some(b) = self.breakers.lock().get_mut(&configured_hop) {
+                            b.record_failure(Instant::now());
+                        }
+                    }
+                    let backoff = policy.backoff(failures, &mut self.retry_rng.lock());
+                    if failures >= policy.max_attempts || Instant::now() + backoff >= deadline {
+                        return Err(match maybe_err {
+                            Some(e) => e,
+                            None => RpcError::Timeout { call_id },
+                        });
+                    }
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// Point-in-time copy of this client's counters.
+    pub fn stats(&self) -> ClientStatsSnapshot {
+        ClientStatsSnapshot {
+            malformed_frames: self.stats.malformed_frames.load(Ordering::Relaxed),
+            orphan_responses: self.stats.orphan_responses.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            breaker_rejections: self.stats.breaker_rejections.load(Ordering::Relaxed),
+            fail_open_bypasses: self.stats.fail_open_bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replaces the circuit-breaker tuning and resets all breakers.
+    pub fn set_breaker_policy(&self, policy: BreakerPolicy) {
+        *self.breaker_policy.lock() = policy;
+        self.breakers.lock().clear();
+    }
+
+    /// Sets the behavior toward destinations whose breaker is open.
+    pub fn set_degraded_mode(&self, mode: DegradedMode) {
+        *self.degraded.lock() = mode;
+    }
+
+    /// Current degraded-window behavior.
+    pub fn degraded_mode(&self) -> DegradedMode {
+        *self.degraded.lock()
+    }
+
+    /// Whether the breaker toward `endpoint` is currently rejecting calls.
+    pub fn breaker_open(&self, endpoint: EndpointAddr) -> bool {
+        self.breakers
+            .lock()
+            .get(&endpoint)
+            .is_some_and(|b| b.is_open(Instant::now()))
+    }
+
     /// Number of calls awaiting responses.
     pub fn outstanding(&self) -> usize {
         self.pending.lock().len()
@@ -261,6 +471,25 @@ impl Drop for RpcClient {
 // Server
 // ---------------------------------------------------------------------------
 
+#[derive(Debug, Default)]
+struct ServerStats {
+    handled: AtomicU64,
+    malformed_frames: AtomicU64,
+    dedup_hits: AtomicU64,
+}
+
+/// Point-in-time copy of a server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Requests that reached the handler (each logical call at most once).
+    pub handled: u64,
+    /// Frames that failed to decode against the service schema.
+    pub malformed_frames: u64,
+    /// Retransmitted requests answered from the dedup window without
+    /// re-running the chain or the handler.
+    pub dedup_hits: u64,
+}
+
 /// Handle for a running server; dropping it (or calling [`ServerHandle::stop`])
 /// stops the serve loop.
 pub struct ServerHandle {
@@ -268,12 +497,22 @@ pub struct ServerHandle {
     join: Option<std::thread::JoinHandle<()>>,
     addr: EndpointAddr,
     chain: Arc<Mutex<EngineChain>>,
+    stats: Arc<ServerStats>,
 }
 
 impl ServerHandle {
     /// The server's flat id.
     pub fn addr(&self) -> EndpointAddr {
         self.addr
+    }
+
+    /// Point-in-time copy of this server's counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            handled: self.stats.handled.load(Ordering::Relaxed),
+            malformed_frames: self.stats.malformed_frames.load(Ordering::Relaxed),
+            dedup_hits: self.stats.dedup_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Swaps the server's engine chain (controller reconfiguration),
@@ -324,6 +563,11 @@ pub struct ServerConfig {
 /// Spawns a server thread: for each incoming request frame it runs the
 /// ingress chain, invokes the handler (unless the chain aborted/dropped),
 /// runs the response back through the chain, and replies.
+///
+/// Retransmitted requests — same (src, call id) within the dedup window —
+/// are answered by replaying the cached response frame without re-running
+/// the chain or the handler, so resilient-client retries are at-most-once
+/// even through stateful elements.
 pub fn spawn_server(
     config: ServerConfig,
     link: Arc<dyn Link>,
@@ -339,10 +583,16 @@ pub fn spawn_server(
     } = config;
     let chain = Arc::new(Mutex::new(chain));
     let loop_chain = chain.clone();
+    let stats = Arc::new(ServerStats::default());
+    let loop_stats = stats.clone();
 
     let join = std::thread::Builder::new()
         .name(format!("rpc-server-{addr}"))
         .spawn(move || {
+            // (requester, call id) → cached outbound frame; `None` records
+            // a Drop verdict so retransmissions stay silently dropped.
+            let mut dedup: DedupWindow<(EndpointAddr, u64), Option<Frame>> =
+                DedupWindow::new(SERVER_DEDUP_WINDOW);
             while !stop.load(Ordering::Relaxed) {
                 let frame = match frames.recv_timeout(Duration::from_millis(50)) {
                     Ok(f) => f,
@@ -351,20 +601,42 @@ pub fn spawn_server(
                 };
                 let mut req = match wire_format::decode_message_exact(&frame.payload, &service) {
                     Ok(m) => m,
-                    Err(_) => continue,
+                    Err(_) => {
+                        loop_stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                 };
                 if req.kind != MessageKind::Request {
                     continue;
                 }
+                let dedup_key = (req.src, req.call_id);
+                if let Some(cached) = dedup.get(&dedup_key) {
+                    loop_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(reply) = cached {
+                        let _ = link.send(reply.clone());
+                    }
+                    continue;
+                }
 
                 let mut resp = match loop_chain.lock().process(&mut req) {
-                    Verdict::Forward => handler(&req),
-                    Verdict::Drop => continue, // silent: caller's deadline fires
+                    Verdict::Forward => {
+                        loop_stats.handled.fetch_add(1, Ordering::Relaxed);
+                        handler(&req)
+                    }
+                    Verdict::Drop => {
+                        // Silent: caller's deadline fires. Remember the
+                        // verdict so retries don't re-run the chain.
+                        dedup.insert(dedup_key, None);
+                        continue;
+                    }
                     Verdict::Abort { code, message } => {
                         // Reflect an aborted response without running the app.
                         let method = match service.method_by_id(req.method_id) {
                             Some(m) => m,
-                            None => continue,
+                            None => {
+                                dedup.insert(dedup_key, None);
+                                continue;
+                            }
                         };
                         let mut r = RpcMessage::response_to(&req, method.response.clone());
                         r.abort(code, message);
@@ -381,20 +653,25 @@ pub fn spawn_server(
                 if resp.status.is_ok() {
                     match loop_chain.lock().process(&mut resp) {
                         Verdict::Forward => {}
-                        Verdict::Drop => continue,
+                        Verdict::Drop => {
+                            dedup.insert(dedup_key, None);
+                            continue;
+                        }
                         Verdict::Abort { code, message } => resp.abort(code, message),
                     }
                 }
 
                 let Ok(payload) = wire_format::encode_message_to_vec(&resp) else {
+                    dedup.insert(dedup_key, None);
                     continue;
                 };
-                let dst = resp.dst;
-                let _ = link.send(Frame {
+                let reply = Frame {
                     src: addr,
-                    dst,
+                    dst: resp.dst,
                     payload,
-                });
+                };
+                dedup.insert(dedup_key, Some(reply.clone()));
+                let _ = link.send(reply);
             }
         })
         .expect("spawn server thread");
@@ -404,6 +681,7 @@ pub fn spawn_server(
         join: Some(join),
         addr,
         chain,
+        stats,
     }
 }
 
@@ -602,5 +880,178 @@ mod tests {
         assert!(client.call(request(&service, 1), 2).is_ok());
         client.install_chain(EngineChain::from_engines(vec![Box::new(AbortAll)]));
         assert!(client.call(request(&service, 1), 2).is_err());
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_dropped() {
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: service.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            echo_handler(service.clone()),
+        );
+        let client = RpcClient::new(1, link, net.attach(1), service.clone(), EngineChain::new());
+
+        // Garbage frames at both endpoints, before any real traffic.
+        net.send(Frame {
+            src: 9,
+            dst: 2,
+            payload: vec![0xde, 0xad],
+        })
+        .unwrap();
+        net.send(Frame {
+            src: 9,
+            dst: 1,
+            payload: vec![0xbe, 0xef],
+        })
+        .unwrap();
+
+        // Frames are consumed in order, so once this call completes both
+        // loops have seen (and survived) the garbage.
+        let resp = client.call(request(&service, 1), 2).unwrap();
+        assert_eq!(resp.get("x"), Some(&Value::U64(1)));
+        assert_eq!(server.stats().malformed_frames, 1);
+        assert_eq!(server.stats().handled, 1);
+        assert_eq!(client.stats().malformed_frames, 1);
+    }
+
+    #[test]
+    fn resilient_call_retries_through_drops() {
+        use crate::chaos::{ChaosLink, ChaosPolicy};
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let chaos = ChaosLink::with_policy(Arc::new(net.clone()), 11, ChaosPolicy::drops(0.4));
+        let link: Arc<dyn Link> = chaos;
+        let _server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: service.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            echo_handler(service.clone()),
+        );
+        let client = RpcClient::new(1, link, net.attach(1), service.clone(), EngineChain::new());
+        // Heavy sustained loss trips the default breaker by design; this
+        // test is about retries, so make the breaker tolerant.
+        client.set_breaker_policy(BreakerPolicy {
+            threshold: 1000,
+            cooldown: Duration::from_millis(10),
+        });
+        let policy = RetryPolicy {
+            max_attempts: 32,
+            attempt_timeout: Duration::from_millis(100),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(30),
+        };
+        for i in 0..30u64 {
+            let resp = client
+                .call_resilient(request(&service, i), 2, &policy)
+                .unwrap();
+            assert_eq!(resp.get("x"), Some(&Value::U64(i)));
+        }
+        assert!(client.stats().retries > 0, "40% drops must force retries");
+    }
+
+    #[test]
+    fn server_dedup_prevents_duplicate_side_effects() {
+        use crate::chaos::{ChaosLink, ChaosPolicy};
+        use std::sync::atomic::AtomicU64;
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        // Every frame delivered twice, both directions.
+        let chaos = ChaosLink::with_policy(Arc::new(net.clone()), 3, ChaosPolicy::duplicates(1.0));
+        let link: Arc<dyn Link> = chaos;
+        let effects = Arc::new(AtomicU64::new(0));
+        let handler_effects = effects.clone();
+        let handler_service = service.clone();
+        let server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: service.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            Box::new(move |req| {
+                handler_effects.fetch_add(1, Ordering::Relaxed);
+                let m = handler_service.method_by_id(req.method_id).unwrap();
+                let mut resp = RpcMessage::response_to(req, m.response.clone());
+                resp.set("x", req.get("x").unwrap().clone());
+                resp.set("note", req.get("note").unwrap().clone());
+                resp
+            }),
+        );
+        let client = RpcClient::new(1, link, net.attach(1), service.clone(), EngineChain::new());
+        for i in 0..30u64 {
+            client.call(request(&service, i), 2).unwrap();
+        }
+        assert_eq!(
+            effects.load(Ordering::Relaxed),
+            30,
+            "duplicated requests must not re-run the handler"
+        );
+        assert!(server.stats().dedup_hits >= 1);
+    }
+
+    #[test]
+    fn resilient_call_does_not_retry_aborts() {
+        let (client, _server, service) = setup(
+            EngineChain::new(),
+            EngineChain::from_engines(vec![Box::new(AbortAll)]),
+        );
+        let err = client
+            .call_resilient(request(&service, 1), 2, &RetryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Aborted { code: 7, .. }));
+        assert_eq!(client.stats().retries, 0, "aborts are definitive");
+    }
+
+    #[test]
+    fn breaker_opens_and_fail_open_bypasses_via() {
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        client.set_breaker_policy(BreakerPolicy {
+            threshold: 2,
+            cooldown: Duration::from_secs(60),
+        });
+        // Point the first hop at a dead endpoint: sends fail fast.
+        client.set_via(Some(9));
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            attempt_timeout: Duration::from_millis(50),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            deadline: Duration::from_secs(1),
+        };
+        let err = client
+            .call_resilient(request(&service, 1), 2, &policy)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::UnknownEndpoint(9)));
+        assert!(client.breaker_open(9), "two failures reach the threshold");
+
+        // Fail-closed (default): the next call is rejected without touching
+        // the network.
+        let err = client
+            .call_resilient(request(&service, 2), 2, &policy)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::CircuitOpen { endpoint: 9 }));
+        assert!(client.stats().breaker_rejections >= 1);
+
+        // Fail-open: bypass the dead via and reach the logical destination.
+        client.set_degraded_mode(DegradedMode::FailOpen);
+        let resp = client
+            .call_resilient(request(&service, 3), 2, &policy)
+            .unwrap();
+        assert_eq!(resp.get("x"), Some(&Value::U64(3)));
+        assert!(client.stats().fail_open_bypasses >= 1);
     }
 }

@@ -16,7 +16,8 @@
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -150,6 +151,8 @@ pub struct TcpLink {
     routes: RwLock<HashMap<EndpointAddr, SocketAddr>>,
     conns: Mutex<HashMap<SocketAddr, TcpStream>>,
     incoming_rx: Receiver<Frame>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    closed: Arc<AtomicBool>,
 }
 
 impl TcpLink {
@@ -159,19 +162,29 @@ impl TcpLink {
         let listener = TcpListener::bind(bind)?;
         let local_addr = listener.local_addr()?;
         let (incoming_tx, incoming_rx) = crossbeam::channel::unbounded();
+        let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let closed = Arc::new(AtomicBool::new(false));
 
         let link = Arc::new(Self {
             local_addr,
             routes: RwLock::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             incoming_rx,
+            accepted: accepted.clone(),
+            closed: closed.clone(),
         });
 
         std::thread::Builder::new()
             .name(format!("tcp-link-accept-{local_addr}"))
             .spawn(move || {
                 for stream in listener.incoming() {
+                    if closed.load(Ordering::Relaxed) {
+                        return; // listener drops; the port is released
+                    }
                     let Ok(mut stream) = stream else { continue };
+                    if let Ok(clone) = stream.try_clone() {
+                        accepted.lock().push(clone);
+                    }
                     let tx = incoming_tx.clone();
                     std::thread::Builder::new()
                         .name("tcp-link-read".to_owned())
@@ -189,6 +202,22 @@ impl TcpLink {
             .expect("spawn accept thread");
 
         Ok(link)
+    }
+
+    /// Shuts the link down: stops accepting, severs every accepted and
+    /// outbound connection, and releases the listening port. Peers' next
+    /// sends to this host fail with an [`RpcError`]; a peer recovers by
+    /// re-pointing its route at a live host.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        // Wake the accept loop so it observes the flag and exits.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        for stream in self.accepted.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (_, stream) in self.conns.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 
     /// The bound socket address (for distributing routes).
@@ -220,18 +249,34 @@ impl TcpLink {
 
 impl Link for TcpLink {
     fn send(&self, frame: Frame) -> RpcResult<()> {
-        let peer = {
-            let routes = self.routes.read();
-            *routes
-                .get(&frame.dst)
-                .ok_or(RpcError::UnknownEndpoint(frame.dst))?
-        };
-        let mut stream = self.connection_to(peer)?;
-        write_frame(&mut stream, &frame).map_err(|e| {
-            // Connection may have died; drop it so the next send redials.
-            self.conns.lock().remove(&peer);
-            RpcError::Io(e)
-        })
+        // Two attempts: a cached connection may be stale (peer restarted),
+        // in which case the write error evicts it and the second attempt
+        // re-resolves the route and dials fresh.
+        let mut last_err = None;
+        for _ in 0..2 {
+            let peer = {
+                let routes = self.routes.read();
+                *routes
+                    .get(&frame.dst)
+                    .ok_or(RpcError::UnknownEndpoint(frame.dst))?
+            };
+            let mut stream = match self.connection_to(peer) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match write_frame(&mut stream, &frame) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    // Connection died; drop it so the retry redials.
+                    self.conns.lock().remove(&peer);
+                    last_err = Some(RpcError::Io(e));
+                }
+            }
+        }
+        Err(last_err.unwrap_or(RpcError::Disconnected))
     }
 }
 
@@ -334,6 +379,64 @@ mod tests {
             let frame = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(frame.payload, i.to_be_bytes().to_vec());
         }
+    }
+
+    #[test]
+    fn tcp_send_to_closed_peer_errors_then_reconnect_succeeds() {
+        let a = TcpLink::bind("127.0.0.1:0").unwrap();
+        let b = TcpLink::bind("127.0.0.1:0").unwrap();
+        a.add_route(2, b.local_addr());
+        a.send(Frame {
+            src: 1,
+            dst: 2,
+            payload: b"pre".to_vec(),
+        })
+        .unwrap();
+        assert_eq!(
+            b.incoming()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .payload,
+            b"pre".to_vec()
+        );
+
+        // Peer goes away entirely: connections severed, listener closed.
+        b.close();
+        // TCP buffering may absorb a few writes before the reset surfaces;
+        // the send must eventually return an error — never panic or hang.
+        let mut saw_err = false;
+        for _ in 0..400 {
+            if a.send(Frame {
+                src: 1,
+                dst: 2,
+                payload: b"lost".to_vec(),
+            })
+            .is_err()
+            {
+                saw_err = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_err, "send to a closed peer must surface an RpcError");
+
+        // Failover: re-point the flat id at a live replacement host; the
+        // next send redials and delivery resumes.
+        let b2 = TcpLink::bind("127.0.0.1:0").unwrap();
+        a.add_route(2, b2.local_addr());
+        a.send(Frame {
+            src: 1,
+            dst: 2,
+            payload: b"post".to_vec(),
+        })
+        .unwrap();
+        assert_eq!(
+            b2.incoming()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .payload,
+            b"post".to_vec()
+        );
     }
 
     #[test]

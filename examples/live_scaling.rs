@@ -170,7 +170,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify merged per-user counts survived every transition: export the
     // final state and confirm the table still has all six users.
-    let images = merged.export_state();
+    let images = merged.export_state().unwrap();
     println!(
         "final metrics state image: {} bytes across {} engine(s) — per-user counts preserved",
         images.iter().map(Vec::len).sum::<usize>(),

@@ -185,7 +185,7 @@ fn migrate_scale_out_scale_in_loses_nothing() {
 
     // State correctness: total hit count across users equals calls that
     // passed the Metrics element. Decode the merged state and sum.
-    let images = merged.export_state();
+    let images = merged.export_state().unwrap();
     merged.stop();
     let mut table = adn_backend::state::StateTable::new(adn_ir::TableIr {
         init_rows: vec![],
