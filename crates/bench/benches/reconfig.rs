@@ -60,6 +60,7 @@ fn bench(c: &mut Criterion) {
                 request_next: NextHop::Fixed(200),
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
+                telemetry: None,
             },
             link.clone(),
             frames,

@@ -13,11 +13,16 @@
 //!   E8     optimizer ablations (reorder, const-fold, minimal headers)
 //!   E9     goodput under chaos: frame drops vs resilient (retry + dedup)
 //!          calls; at-most-once verified via server effect counters
+//!   E10    per-element latency breakdown from in-band trace spans
+//!          (sampling 1.0; the residual row is the unattributed
+//!          transport + endpoint time)
 //!
 //! Usage: `paper_eval [--lint] [--fig5] [--loc] [--fig2] [--overhead]
-//! [--codegen] [--reconfig] [--ablation] [--chaos]` (no flags = run
-//! everything). `ADN_BENCH_SECS` scales measurement time (default 2s per
-//! point); `ADN_CHAOS_DROP` / `ADN_CHAOS_SEED` configure E9.
+//! [--codegen] [--reconfig] [--ablation] [--chaos]
+//! [--latency-breakdown]` (no flags = run everything). `--smoke` shrinks
+//! sample counts for CI. `ADN_BENCH_SECS` scales measurement time
+//! (default 2s per point); `ADN_CHAOS_DROP` / `ADN_CHAOS_SEED`
+//! configure E9.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,7 +41,8 @@ use adn_rpc::value::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let all = args.iter().all(|a| a == "--smoke");
     let has = |flag: &str| all || args.iter().any(|a| a == flag);
 
     println!(
@@ -74,6 +80,9 @@ fn main() {
     }
     if has("--chaos") {
         chaos_goodput();
+    }
+    if has("--latency-breakdown") {
+        latency_breakdown(smoke);
     }
 }
 
@@ -528,6 +537,7 @@ fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64
                 request_next: NextHop::Fixed(200),
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
+                telemetry: None,
             },
             link.clone(),
             frames,
@@ -874,6 +884,7 @@ fn reconfig() {
             request_next: NextHop::Fixed(200),
             response_next: NextHop::Dst,
             initial_flows: Default::default(),
+            telemetry: None,
         },
         link.clone(),
         frames,
@@ -946,6 +957,7 @@ fn reconfig() {
         service.clone(),
         NextHop::Fixed(200),
         &alloc,
+        None,
     )
     .expect("scale out");
     let scale_out_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -1236,4 +1248,105 @@ fn chaos_goodput() {
     println!("expected: goodput degrades gracefully with the drop rate while");
     println!("dup effects stay 0 — retries are made at-most-once by request");
     println!("dedup at processors and servers.\n");
+}
+
+// ---------------------------------------------------------------------------
+// E10: per-element latency breakdown from in-band trace spans
+// ---------------------------------------------------------------------------
+
+/// Runs the paper chain off-app with trace sampling at 1.0 and decomposes
+/// end-to-end latency into per-element execution, queue wait, serialize,
+/// and an explicit unattributed residual (transport + endpoint work the
+/// processor spans cannot see). The attributed + residual sum is checked
+/// against measured end-to-end latency.
+fn latency_breakdown(smoke: bool) {
+    use adn_cluster::resources::PlacementConstraint;
+    use std::collections::BTreeMap;
+
+    println!("--- E10: latency breakdown (in-band tracing, sampling = 1.0) ---\n");
+
+    let mut cfg = WorldConfig::paper_eval_chain(0.0);
+    for spec in &mut cfg.chain {
+        // Off-app placement puts every element on a traced processor hop.
+        spec.constraints = vec![PlacementConstraint::OffApp];
+    }
+    let world = AdnWorld::start(cfg).expect("world");
+    world.controller().set_trace_sampling("app", 1.0);
+
+    // Warm up, then discard the warmup spans.
+    for i in 0..20u64 {
+        let _ = world.call(i, "alice", PAPER_PAYLOAD);
+    }
+    world.controller().spans().drain();
+
+    // Keep request+response spans per call under the ring capacity.
+    let calls: u64 = if smoke { 300 } else { 1500 };
+    let mut e2e = Vec::with_capacity(calls as usize);
+    for i in 0..calls {
+        let start = Instant::now();
+        let _ = world.call(i, "alice", PAPER_PAYLOAD);
+        e2e.push(start.elapsed());
+    }
+    // The final response-hop span lands just after the client unblocks.
+    std::thread::sleep(Duration::from_millis(50));
+    let spans = world.controller().spans().drain();
+    assert!(!spans.is_empty(), "sampling at 1.0 must produce spans");
+
+    let mut stages: BTreeMap<String, Vec<Duration>> = BTreeMap::new();
+    let mut queue = Vec::new();
+    let mut serialize = Vec::new();
+    let mut attributed: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in &spans {
+        *attributed.entry(s.call_id).or_default() += s.total_ns();
+        queue.push(Duration::from_nanos(s.queue_ns));
+        serialize.push(Duration::from_nanos(s.serialize_ns));
+        for (name, ns) in &s.stages {
+            stages
+                .entry(name.clone())
+                .or_default()
+                .push(Duration::from_nanos(*ns));
+        }
+    }
+    let attr: Vec<Duration> = attributed
+        .values()
+        .map(|&ns| Duration::from_nanos(ns))
+        .collect();
+    let med_e2e = median(&e2e);
+    let med_attr = median(&attr);
+    let residual = med_e2e.saturating_sub(med_attr);
+
+    let mut t = Table::new(&["stage", "p50 (us)", "p99 (us)", "samples"]);
+    let quant_row = |t: &mut Table, name: &str, samples: &[Duration]| {
+        t.row(&[
+            name.to_owned(),
+            format!("{:.2}", us(percentile(samples, 50.0))),
+            format!("{:.2}", us(percentile(samples, 99.0))),
+            samples.len().to_string(),
+        ]);
+    };
+    for (name, samples) in &stages {
+        quant_row(&mut t, &format!("element: {name}"), samples);
+    }
+    quant_row(&mut t, "queue wait (per hop)", &queue);
+    quant_row(&mut t, "serialize + forward (per hop)", &serialize);
+    t.row(&[
+        "unattributed (transport, client, server)".into(),
+        format!("{:.2}", us(residual)),
+        "-".into(),
+        e2e.len().to_string(),
+    ]);
+    println!("{}", t.render());
+
+    let sum_us = us(med_attr) + us(residual);
+    let deviation = (sum_us - us(med_e2e)).abs() / us(med_e2e) * 100.0;
+    println!("\nend-to-end p50      : {:>9.2} us", us(med_e2e));
+    println!(
+        "hop-attributed p50  : {:>9.2} us (spans: queue + stages + serialize)",
+        us(med_attr)
+    );
+    println!("unattributed p50    : {:>9.2} us", us(residual));
+    println!(
+        "stage sum vs e2e    : {sum_us:.2} us vs {:.2} us ({deviation:.2}% deviation, budget 10%)\n",
+        us(med_e2e)
+    );
 }

@@ -16,6 +16,10 @@ use crate::resources::{AdnConfig, NodeId, NodeSpec, ReplicaSpec, ServiceSpec, Sw
 /// Periodic load report from a data-plane processor (paper §5.3: processors
 /// "periodically send reports of logging, tracing, and runtime statistical
 /// information back to the controller").
+///
+/// Telemetry piggybacks here rather than on a new message type: the queue
+/// depth and per-element metric snapshots ride the same heartbeat report
+/// the controller already consumes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     /// Endpoint address of the reporting processor.
@@ -26,6 +30,11 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Utilization estimate in [0, 1].
     pub utilization: f64,
+    /// Inbound frames queued at the processor at report time (congestion
+    /// signal for load-aware placement).
+    pub queue_depth: u64,
+    /// Cumulative per-element metric snapshots hosted on the processor.
+    pub elements: Vec<adn_telemetry::ElementSnapshot>,
 }
 
 /// Events delivered to watchers.
@@ -311,6 +320,8 @@ mod tests {
             processed: 100,
             rejected: 3,
             utilization: 0.8,
+            queue_depth: 7,
+            elements: vec![],
         });
         assert!(matches!(rx.try_recv().unwrap(), ClusterEvent::Load(r) if r.endpoint == 5));
     }

@@ -19,6 +19,7 @@ use adn_rpc::engine::{Engine, EngineChain};
 use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, InProcNetwork, Link};
 use adn_rpc::value::ValueType;
+use adn_telemetry::HopTelemetry;
 
 use crate::compile::CompiledApp;
 use crate::placement::{Placement, Site};
@@ -162,7 +163,10 @@ pub fn build_engine(
 /// Materializes `placement` of `app` onto the in-process fabric.
 ///
 /// `service` is the destination service's schema; `replicas` its current
-/// replica endpoints (bound into ROUTE elements).
+/// replica endpoints (bound into ROUTE elements). `telemetry` (when given)
+/// is cloned into every spawned processor so their element metrics and
+/// spans land in the controller's registry.
+#[allow(clippy::too_many_arguments)]
 pub fn deploy(
     app: &CompiledApp,
     placement: &Placement,
@@ -171,6 +175,7 @@ pub fn deploy(
     service: Arc<ServiceSchema>,
     replicas: &[EndpointAddr],
     alloc: &AddrAllocator,
+    telemetry: Option<HopTelemetry>,
 ) -> Result<Deployment, DeployError> {
     assert_eq!(placement.sites.len(), app.chain.len());
 
@@ -240,6 +245,7 @@ pub fn deploy(
                 request_next: next_hop,
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
+                telemetry: telemetry.clone(),
             },
             link.clone(),
             frames,
@@ -394,6 +400,7 @@ mod tests {
             svc.clone(),
             &[200],
             &alloc,
+            None,
         )
         .unwrap();
         let Deployment {
@@ -520,6 +527,7 @@ mod tests {
             svc.clone(),
             &[201, 202],
             &alloc,
+            None,
         )
         .unwrap();
 

@@ -28,6 +28,7 @@ use adn_ir::element::{ElementIr, IrStmt, JoinStrategy};
 use adn_rpc::engine::EngineChain;
 use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, InProcNetwork, Link};
+use adn_telemetry::HopTelemetry;
 use adn_wire::codec::{Decoder, Encoder};
 
 use crate::deploy::AddrAllocator;
@@ -86,6 +87,7 @@ pub fn migrate_processor(
             request_next,
             response_next: NextHop::Dst,
             initial_flows: flows,
+            telemetry: None,
         },
         link,
         frames,
@@ -269,7 +271,8 @@ pub struct ScaledGroup {
 /// router that takes over the group's address (clients are untouched).
 /// `elements` are the IR elements the old processor hosted (one engine
 /// each, in order); `shard_field` is the request-schema field index the
-/// router hashes.
+/// router hashes. `telemetry` is cloned into each instance so the scaled
+/// group keeps reporting element metrics.
 #[allow(clippy::too_many_arguments)]
 pub fn scale_out(
     old: ProcessorHandle,
@@ -283,6 +286,7 @@ pub fn scale_out(
     service: Arc<ServiceSchema>,
     request_next: NextHop,
     alloc: &AddrAllocator,
+    telemetry: Option<HopTelemetry>,
 ) -> Result<ScaledGroup, ReconfigError> {
     let addr = old.addr();
     // Pause + snapshot (element state and in-flight NAT flows).
@@ -332,6 +336,7 @@ pub fn scale_out(
                 request_next,
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
+                telemetry: telemetry.clone(),
             },
             link.clone(),
             frames,
@@ -441,6 +446,7 @@ pub fn scale_in(
             request_next,
             response_next: NextHop::Dst,
             initial_flows: merged_flows,
+            telemetry: None,
         },
         link,
         frames,
@@ -585,6 +591,7 @@ mod tests {
                 request_next: NextHop::Fixed(200),
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
+                telemetry: None,
             },
             h.link.clone(),
             frames,
@@ -672,6 +679,7 @@ mod tests {
             h.svc.clone(),
             NextHop::Fixed(200),
             &alloc,
+            None,
         )
         .unwrap();
 

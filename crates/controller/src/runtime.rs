@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -24,10 +24,14 @@ use adn_rpc::retry::DegradedMode;
 use adn_rpc::runtime::{RpcClient, ServerHandle};
 use adn_rpc::schema::{RpcSchema, ServiceSchema};
 use adn_rpc::transport::{EndpointAddr, InProcNetwork, Link};
+use adn_telemetry::{
+    ClusterView, HopTelemetry, LoadAwarePolicy, ProcessorObservation, Registry, Sampler, SpanRing,
+};
 
 use crate::compile::{compile_app, CompiledApp};
 use crate::deploy::{build_engine, deploy, AddrAllocator, Deployment};
 use crate::placement::{place, Environment};
+use crate::reconfig::{scale_out, ScaledGroup};
 
 /// Failure-detection and degraded-mode policy for one app.
 ///
@@ -70,6 +74,19 @@ pub struct AppRegistration {
     pub env: Environment,
 }
 
+/// How an app answers a load-policy breach: shard the breached group on
+/// `shard_field` into `shards` instances. Enabled per app via
+/// [`Controller::enable_autoscale`].
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// Thresholds and cooldown.
+    pub policy: LoadAwarePolicy,
+    /// Request-schema field index the shard router hashes.
+    pub shard_field: usize,
+    /// Instances to scale out to.
+    pub shards: usize,
+}
+
 struct ManagedApp {
     registration: AppRegistration,
     version: u64,
@@ -81,6 +98,15 @@ struct ManagedApp {
     /// replacements (state since the snapshot is lost — crash, not
     /// migration).
     checkpoints: HashMap<usize, Vec<Vec<u8>>>,
+    /// Scale-out-on-breach policy; `None` leaves scaling operator-driven.
+    autoscale: Option<AutoscaleConfig>,
+    /// The group scaled out by the autoscaler (its router holds the
+    /// original group address). At most one per app.
+    scaled: Option<ScaledGroup>,
+    /// When the autoscaler last scaled out (cooldown anchor).
+    last_scaleout: Option<Instant>,
+    /// Scale-outs performed by the autoscaler since registration.
+    scaleouts: u64,
 }
 
 /// Controller error.
@@ -148,6 +174,16 @@ pub struct Controller {
     link: Arc<dyn Link>,
     alloc: AddrAllocator,
     apps: Mutex<HashMap<String, ManagedApp>>,
+    /// Shared metric registry; processors deployed by this controller
+    /// record element metrics here, and heartbeats snapshot from it.
+    registry: Arc<Registry>,
+    /// Span sink for every traced hop of every app.
+    spans: Arc<SpanRing>,
+    /// Sliding-window cluster view fed by `ClusterEvent::Load`.
+    view: Arc<ClusterView>,
+    /// Per-app trace samplers (shared with every hop of the app).
+    /// Lock ordering: never held together with `apps`.
+    samplers: Mutex<HashMap<String, Arc<Sampler>>>,
 }
 
 impl Controller {
@@ -173,7 +209,90 @@ impl Controller {
             link,
             alloc: AddrAllocator::new(addr_base),
             apps: Mutex::new(HashMap::new()),
+            registry: Arc::new(Registry::new()),
+            spans: Arc::new(SpanRing::new(4096)),
+            view: Arc::new(ClusterView::new(Duration::from_secs(10))),
+            samplers: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The shared metric registry (element metrics plus re-exported
+    /// legacy counters).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The span ring every traced hop writes into.
+    pub fn spans(&self) -> &Arc<SpanRing> {
+        &self.spans
+    }
+
+    /// The sliding-window cluster view fed by load reports.
+    pub fn view(&self) -> &Arc<ClusterView> {
+        &self.view
+    }
+
+    /// The app's trace sampler (created off on first use).
+    fn sampler(&self, app: &str) -> Arc<Sampler> {
+        self.samplers
+            .lock()
+            .entry(app.to_owned())
+            .or_insert_with(|| Arc::new(Sampler::off()))
+            .clone()
+    }
+
+    /// Sets the app's trace-sampling rate in [0, 1]. Pushed to both the
+    /// client (which synthesizes root trace contexts) and every processor
+    /// hop (which decides locally for untraced frames).
+    pub fn set_trace_sampling(&self, app: &str, rate: f64) {
+        self.sampler(app).set_rate(rate);
+        // Locks taken one at a time: sampler first, then apps.
+        let client = self
+            .apps
+            .lock()
+            .get(app)
+            .map(|m| m.registration.client.clone());
+        if let Some(client) = client {
+            client.set_trace_sampling(rate);
+        }
+    }
+
+    /// The telemetry bundle handed to every processor of `app`.
+    pub fn hop_telemetry(&self, app: &str) -> HopTelemetry {
+        HopTelemetry {
+            app: app.to_owned(),
+            registry: self.registry.clone(),
+            spans: self.spans.clone(),
+            sampler: self.sampler(app),
+        }
+    }
+
+    /// Enables scale-out-on-breach for the app.
+    pub fn enable_autoscale(&self, app: &str, config: AutoscaleConfig) {
+        if let Some(managed) = self.apps.lock().get_mut(app) {
+            managed.autoscale = Some(config);
+        }
+    }
+
+    /// Scale-outs the autoscaler has performed for the app.
+    pub fn scaleout_count(&self, app: &str) -> u64 {
+        self.apps.lock().get(app).map(|m| m.scaleouts).unwrap_or(0)
+    }
+
+    /// The least-loaded candidate per the app's load-aware policy (falls
+    /// back to the default policy when autoscale is not configured).
+    pub fn preferred_processor(
+        &self,
+        app: &str,
+        candidates: &[EndpointAddr],
+    ) -> Option<EndpointAddr> {
+        let policy = self
+            .apps
+            .lock()
+            .get(app)
+            .and_then(|m| m.autoscale.as_ref().map(|a| a.policy.clone()))
+            .unwrap_or_default();
+        policy.prefer(&self.view, candidates)
     }
 
     /// The address allocator (shared with manual reconfiguration calls).
@@ -192,6 +311,10 @@ impl Controller {
                 deployment: None,
                 health: HealthPolicy::default(),
                 checkpoints: HashMap::new(),
+                autoscale: None,
+                scaled: None,
+                last_scaleout: None,
+                scaleouts: 0,
             },
         );
     }
@@ -225,6 +348,8 @@ impl Controller {
     /// Reconciles one app against the store's current AdnConfig and
     /// replica inventory. Returns the placement description.
     pub fn sync_app(&self, app: &str) -> Result<String, ControllerError> {
+        // Bundle built before the apps lock (sampler lock ordering).
+        let telemetry = self.hop_telemetry(app);
         let mut apps = self.apps.lock();
         let managed = apps
             .get_mut(app)
@@ -256,6 +381,7 @@ impl Controller {
             managed.registration.service.clone(),
             &replicas,
             &self.alloc,
+            Some(telemetry),
         )
         .map_err(cerr)?;
 
@@ -355,9 +481,19 @@ impl Controller {
                     self.sync_app(&app)?;
                 }
             }
-            ClusterEvent::NodeAdded { .. } | ClusterEvent::Load(_) => {
-                // Inventory growth and load feed scaling policy, which the
-                // operator drives explicitly (see `reconfig::scale_out`).
+            ClusterEvent::NodeAdded { .. } => {
+                // Inventory growth feeds placement on the next sync.
+            }
+            ClusterEvent::Load(report) => {
+                // Every heartbeat updates the sliding-window cluster view;
+                // apps with autoscale enabled are then checked for breach.
+                self.view.observe(ProcessorObservation {
+                    endpoint: report.endpoint,
+                    processed: report.processed,
+                    queue_depth: report.queue_depth,
+                    elements: report.elements.clone(),
+                });
+                self.maybe_autoscale(report.endpoint)?;
             }
             ClusterEvent::ProcessorDown { endpoint } => {
                 // Fail over every app hosting the dead processor.
@@ -377,6 +513,101 @@ impl Controller {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Checks the breached endpoint against its owning app's autoscale
+    /// policy and, at most once per cooldown, shards the group out.
+    ///
+    /// Exactly-once per breach episode: the group's handle is `take()`n
+    /// into [`scale_out`], so a second breach report finds no handle (the
+    /// scaled group no longer heartbeats through `report_loads`) and the
+    /// `scaled` slot plus cooldown guard refuse re-entry regardless.
+    fn maybe_autoscale(&self, endpoint: EndpointAddr) -> Result<(), ControllerError> {
+        // Find the app that autoscales this endpoint (locks: apps only).
+        let app = {
+            let apps = self.apps.lock();
+            apps.iter()
+                .find(|(_, m)| {
+                    m.autoscale.is_some()
+                        && m.scaled.is_none()
+                        && m.deployment.as_ref().is_some_and(|d| {
+                            d.groups
+                                .iter()
+                                .any(|g| g.handle.as_ref().is_some_and(|h| h.addr() == endpoint))
+                        })
+                })
+                .map(|(app, _)| app.clone())
+        };
+        let Some(app) = app else {
+            return Ok(());
+        };
+        let telemetry = self.hop_telemetry(&app);
+        let replicas = match self.store.config(&app) {
+            Some((_, config)) => self.replicas_of(&config.dst_service),
+            None => Vec::new(),
+        };
+
+        let mut apps = self.apps.lock();
+        let Some(managed) = apps.get_mut(&app) else {
+            return Ok(());
+        };
+        let Some(cfg) = managed.autoscale.clone() else {
+            return Ok(());
+        };
+        if managed.scaled.is_some() {
+            return Ok(());
+        }
+        if let Some(last) = managed.last_scaleout {
+            if last.elapsed() < cfg.policy.cooldown {
+                return Ok(());
+            }
+        }
+        if !cfg.policy.breached(&self.view, endpoint) {
+            return Ok(());
+        }
+        let Some(compiled) = managed.compiled.as_ref() else {
+            return Ok(());
+        };
+        let seed = compiled.seed;
+        let service = managed.registration.service.clone();
+        let Some(deployment) = managed.deployment.as_mut() else {
+            return Ok(());
+        };
+        let Some(group) = deployment
+            .groups
+            .iter_mut()
+            .find(|g| g.handle.as_ref().is_some_and(|h| h.addr() == endpoint))
+        else {
+            return Ok(());
+        };
+        let Some(old) = group.handle.take() else {
+            return Ok(());
+        };
+        let (start, end) = group.range;
+        let request_next = group.request_next;
+        let scaled = scale_out(
+            old,
+            &compiled.chain.elements[start..end],
+            cfg.shard_field,
+            cfg.shards,
+            seed,
+            &replicas,
+            &self.net,
+            self.link.clone(),
+            service,
+            request_next,
+            &self.alloc,
+            Some(telemetry),
+        )
+        .map_err(cerr)?;
+        managed.scaled = Some(scaled);
+        managed.last_scaleout = Some(Instant::now());
+        managed.scaleouts += 1;
+        drop(apps);
+        // The old endpoint now fronts the shard router; its congested
+        // observations no longer describe a schedulable processor.
+        self.view.forget(endpoint);
         Ok(())
     }
 
@@ -423,6 +654,8 @@ impl Controller {
                 } else {
                     snap.forwarded as f64 / processed as f64
                 },
+                queue_depth: snap.queue_depth,
+                elements: self.registry.snapshot_for(app, endpoint),
             });
             published += 1;
         }
@@ -528,6 +761,8 @@ impl Controller {
     /// at the recorded next hop. The old handle is dropped (its crashed
     /// thread exits on the stop signal). Returns the replaced endpoints.
     pub fn fail_over_app(&self, app: &str) -> Result<Vec<EndpointAddr>, ControllerError> {
+        // Bundle built before the apps lock (sampler lock ordering).
+        let telemetry = self.hop_telemetry(app);
         let mut apps = self.apps.lock();
         let managed = apps
             .get_mut(app)
@@ -581,6 +816,7 @@ impl Controller {
                     request_next: group.request_next,
                     response_next: NextHop::Dst,
                     initial_flows: Default::default(),
+                    telemetry: Some(telemetry.clone()),
                 },
                 self.link.clone(),
                 frames,

@@ -309,6 +309,51 @@ impl AdnWorld {
         // The controller spawns its processors on the same (possibly
         // chaos-wrapped) link the app uses.
         let controller = Controller::with_link(store.clone(), net.clone(), link, 10_000);
+
+        // Re-export the world's ad-hoc counters through the telemetry
+        // registry: one `Registry::snapshot()` now covers fault injection,
+        // client resilience, and server dedup alongside element metrics.
+        if let Some(chaos) = &chaos {
+            let chaos = chaos.clone();
+            controller.registry().register_source(move || {
+                let s = chaos.stats();
+                vec![
+                    ("chaos.passed".into(), s.passed),
+                    ("chaos.dropped".into(), s.dropped),
+                    ("chaos.duplicated".into(), s.duplicated),
+                    ("chaos.reordered".into(), s.reordered),
+                    ("chaos.delayed".into(), s.delayed),
+                    ("chaos.partitioned".into(), s.partitioned),
+                ]
+            });
+        }
+        {
+            let client = client.clone();
+            controller.registry().register_source(move || {
+                let s = client.stats();
+                vec![
+                    ("client.malformed_frames".into(), s.malformed_frames),
+                    ("client.orphan_responses".into(), s.orphan_responses),
+                    ("client.retries".into(), s.retries),
+                    ("client.breaker_rejections".into(), s.breaker_rejections),
+                    ("client.fail_open_bypasses".into(), s.fail_open_bypasses),
+                ]
+            });
+        }
+        {
+            let servers = servers.clone();
+            controller.registry().register_source(move || {
+                let mut out = Vec::new();
+                for server in &servers {
+                    let s = server.stats();
+                    let tag = server.addr();
+                    out.push((format!("server.{tag}.handled"), s.handled));
+                    out.push((format!("server.{tag}.malformed_frames"), s.malformed_frames));
+                    out.push((format!("server.{tag}.dedup_hits"), s.dedup_hits));
+                }
+                out
+            });
+        }
         controller.register_app(
             "app",
             AppRegistration {
@@ -420,8 +465,19 @@ impl AdnWorld {
     }
 
     /// The chaos link, when the world was started with one.
+    ///
+    /// Note: for reading fault counters, prefer
+    /// [`AdnWorld::telemetry_counters`] (the registry re-exports them as
+    /// `chaos.*`); this getter remains for configuring policies at runtime.
     pub fn chaos(&self) -> Option<&Arc<ChaosLink>> {
         self.chaos.as_ref()
+    }
+
+    /// All re-exported counters from the telemetry registry, sorted by
+    /// name: `chaos.*` fault-injection stats, `client.*` resilience stats
+    /// (retries, breaker, fail-open), and `server.<addr>.*` dedup stats.
+    pub fn telemetry_counters(&self) -> Vec<(String, u64)> {
+        self.controller.registry().snapshot().counters
     }
 
     /// Per-object-id server side-effect counts (requires
@@ -434,6 +490,11 @@ impl AdnWorld {
     }
 
     /// Stats snapshots of every replica server, in endpoint order.
+    ///
+    /// Note: the same numbers are re-exported through the telemetry
+    /// registry as `server.<addr>.*` counters — prefer
+    /// [`AdnWorld::telemetry_counters`] when reading them alongside other
+    /// metrics; this getter remains for typed access.
     pub fn server_stats(&self) -> Vec<ServerStatsSnapshot> {
         self.servers.iter().map(|s| s.stats()).collect()
     }

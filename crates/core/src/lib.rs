@@ -18,6 +18,7 @@
 //! | data plane | [`adn_dataplane`] | processors, scale-out router, hop codec |
 //! | cluster | [`adn_cluster`] | simulated cluster manager + AdnConfig CRD |
 //! | control | [`adn_controller`] | placement, deployment, live reconfiguration |
+//! | telemetry | [`adn_telemetry`] | metrics, in-band tracing, cluster view |
 //! | baseline | [`adn_mesh`] | gRPC + Envoy-style sidecar mesh for comparison |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use adn_elements as elements;
 pub use adn_ir as ir;
 pub use adn_mesh as mesh;
 pub use adn_rpc as rpc;
+pub use adn_telemetry as telemetry;
 pub use adn_wire as wire;
 
 /// Library version.

@@ -18,7 +18,7 @@ use adn_rpc::schema::ServiceSchema;
 use adn_rpc::value::Value;
 use adn_rpc::wire_format;
 use adn_wire::codec::{Decoder, Encoder, WireError, WireResult};
-use adn_wire::header::HeaderLayout;
+use adn_wire::header::{HeaderLayout, TraceContext};
 
 /// A hop frame split into the parts an intermediate processor touches and
 /// the part it never parses.
@@ -30,10 +30,35 @@ pub struct HopFrame {
     pub kind: MessageKind,
     /// Destination (rewritable by routing elements at intermediate hops).
     pub dst: u64,
+    /// In-band trace context. Only present when the hop's layout carries
+    /// the trace extension ([`HeaderLayout::carries_trace`]); untraced
+    /// layouts keep the frame byte-identical to the pre-telemetry format.
+    pub trace: Option<TraceContext>,
     /// Header field values, positionally matching the hop's layout.
     pub header: Vec<Value>,
     /// The full message, opaque to intermediate hops.
     pub blob: Vec<u8>,
+}
+
+fn encode_trace_slot(enc: &mut Encoder, trace: &Option<TraceContext>) {
+    match trace {
+        None => enc.put_u8(0),
+        Some(ctx) => {
+            enc.put_u8(1);
+            ctx.encode(enc);
+        }
+    }
+}
+
+fn decode_trace_slot(dec: &mut Decoder<'_>) -> WireResult<Option<TraceContext>> {
+    match dec.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext::decode(dec)?)),
+        t => Err(WireError::InvalidTag {
+            tag: t as u64,
+            context: "hop trace presence",
+        }),
+    }
 }
 
 /// Encodes a structured message into hop-frame bytes under `layout`.
@@ -45,6 +70,9 @@ pub fn encode_hop(msg: &RpcMessage, layout: &HeaderLayout) -> WireResult<Vec<u8>
         MessageKind::Response => 1,
     });
     enc.put_varint(msg.dst);
+    if layout.carries_trace() {
+        encode_trace_slot(&mut enc, &msg.trace);
+    }
     // Header: the layout's fields, pulled from the message by name.
     let values: Vec<adn_wire::header::HeaderValue> = layout
         .fields()
@@ -77,6 +105,11 @@ pub fn decode_hop(bytes: &[u8], layout: &HeaderLayout) -> WireResult<HopFrame> {
         }
     };
     let dst = dec.get_varint()?;
+    let trace = if layout.carries_trace() {
+        decode_trace_slot(&mut dec)?
+    } else {
+        None
+    };
     let header = layout
         .decode(&mut dec)?
         .into_iter()
@@ -90,6 +123,7 @@ pub fn decode_hop(bytes: &[u8], layout: &HeaderLayout) -> WireResult<HopFrame> {
         call_id,
         kind,
         dst,
+        trace,
         header,
         blob,
     })
@@ -104,6 +138,9 @@ pub fn reencode_hop(frame: &HopFrame, layout: &HeaderLayout) -> WireResult<Vec<u
         MessageKind::Response => 1,
     });
     enc.put_varint(frame.dst);
+    if layout.carries_trace() {
+        encode_trace_slot(&mut enc, &frame.trace);
+    }
     let values: Vec<adn_wire::header::HeaderValue> =
         frame.header.iter().map(Value::to_header_value).collect();
     layout.encode(&values, &mut enc)?;
@@ -125,6 +162,11 @@ pub fn finish_hop(
         }
     }
     msg.dst = frame.dst;
+    if frame.trace.is_some() {
+        // Header-level context is authoritative: an intermediate hop may
+        // have consumed the per-hop budget.
+        msg.trace = frame.trace;
+    }
     Ok(msg)
 }
 
@@ -234,6 +276,33 @@ mod tests {
         for cut in 0..bytes.len().min(24) {
             assert!(decode_hop(&bytes[..cut], &layout).is_err());
         }
+    }
+
+    #[test]
+    fn traced_layout_carries_context_and_costs_one_byte_when_off() {
+        let svc = service();
+        let traced = lb_layout().with_trace();
+        let mut msg = sample_msg(&svc);
+
+        // Sampling off: one presence byte of overhead, no context.
+        let off_bytes = encode_hop(&msg, &traced).unwrap();
+        let plain_bytes = encode_hop(&msg, &lb_layout()).unwrap();
+        assert_eq!(off_bytes.len(), plain_bytes.len() + 1);
+        assert_eq!(decode_hop(&off_bytes, &traced).unwrap().trace, None);
+
+        // Sampling on: the context survives hop decode, rewrite, reencode,
+        // and finish.
+        msg.trace = Some(TraceContext::root(0xabc));
+        let bytes = encode_hop(&msg, &traced).unwrap();
+        let mut frame = decode_hop(&bytes, &traced).unwrap();
+        assert_eq!(frame.trace, Some(TraceContext::root(0xabc)));
+        frame.trace = Some(frame.trace.unwrap().child_from(50));
+        let bytes2 = reencode_hop(&frame, &traced).unwrap();
+        let frame2 = decode_hop(&bytes2, &traced).unwrap();
+        let finished = finish_hop(&frame2, &traced, &svc).unwrap();
+        let ctx = finished.trace.unwrap();
+        assert_eq!(ctx.trace_id, 0xabc);
+        assert_eq!(ctx.parent_span, TraceContext::root(0xabc).span_at(50));
     }
 
     #[test]

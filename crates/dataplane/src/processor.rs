@@ -14,6 +14,7 @@ use adn_rpc::retry::DedupWindow;
 use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, Frame, Link};
 use adn_rpc::wire_format;
+use adn_telemetry::{ElementMetrics, HopTelemetry, Span, TraceContext};
 
 /// Entries retained in the processor's request/response dedup caches.
 const PROCESSOR_DEDUP_WINDOW: usize = 4096;
@@ -79,6 +80,7 @@ pub struct ProcessorStats {
     pub decode_errors: AtomicU64,
     pub dedup_hits: AtomicU64,
     pub stale_responses: AtomicU64,
+    pub queue_depth: AtomicU64,
 }
 
 /// Point-in-time snapshot of the counters.
@@ -96,6 +98,9 @@ pub struct StatsSnapshot {
     /// Responses with no flow entry and no cached reply (dropped: their
     /// NAT'd destination would be this processor itself).
     pub stale_responses: u64,
+    /// Frames waiting in the inbound queue when the serve loop last checked
+    /// — the congestion signal the controller's load-aware placement reads.
+    pub queue_depth: u64,
 }
 
 impl ProcessorStats {
@@ -109,6 +114,7 @@ impl ProcessorStats {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             stale_responses: self.stale_responses.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -159,6 +165,10 @@ pub struct ProcessorConfig {
     /// NAT flow entries inherited from a predecessor (live migration moves
     /// in-flight flows along with element state).
     pub initial_flows: HashMap<u64, EndpointAddr>,
+    /// Observability wiring. `None` keeps the serve loop on the untimed
+    /// path; `Some` costs one sampling branch per message until a message
+    /// is actually sampled.
+    pub telemetry: Option<HopTelemetry>,
 }
 
 impl ProcessorConfig {
@@ -177,7 +187,94 @@ impl ProcessorConfig {
             request_next,
             response_next,
             initial_flows: HashMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches observability wiring (builder style).
+    pub fn with_telemetry(mut self, telemetry: HopTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// Per-processor observation state: the chain's metric series (rebuilt on
+/// hot chain swaps), the scratch stage-timing buffer, and the span sink.
+struct HopObserver {
+    telemetry: HopTelemetry,
+    addr: EndpointAddr,
+    /// Engine names in chain order, cloned once per chain install.
+    names: Vec<String>,
+    /// Registry series positionally matching `names`.
+    series: Vec<Arc<ElementMetrics>>,
+    /// Scratch buffer for [`EngineChain::process_timed`].
+    stage_ns: Vec<u64>,
+}
+
+impl HopObserver {
+    fn new(telemetry: HopTelemetry, addr: EndpointAddr, chain: &EngineChain) -> Self {
+        let mut obs = Self {
+            telemetry,
+            addr,
+            names: Vec::new(),
+            series: Vec::new(),
+            stage_ns: Vec::new(),
+        };
+        obs.rebind(chain);
+        obs
+    }
+
+    /// Re-resolves the metric series after a chain install.
+    fn rebind(&mut self, chain: &EngineChain) {
+        self.names = chain.names().into_iter().map(str::to_owned).collect();
+        self.series = self
+            .names
+            .iter()
+            .map(|n| {
+                self.telemetry
+                    .registry
+                    .element(&self.telemetry.app, n, self.addr)
+            })
+            .collect();
+    }
+
+    /// Whether this message takes the timed path: in-band context wins (so
+    /// every hop of a sampled call agrees), otherwise the local sampler
+    /// decides by call id.
+    fn sampled(&self, trace: Option<&TraceContext>, call_id: u64) -> bool {
+        trace.is_some() || self.telemetry.sampler.decide(call_id)
+    }
+
+    /// Records the stage timings `process_timed` left in `stage_ns`. Only
+    /// the last executed stage can have produced a non-forward verdict.
+    fn record_stages(&self, verdict: &Verdict) {
+        let ran = self.stage_ns.len();
+        for (i, (series, &ns)) in self.series.iter().zip(&self.stage_ns).enumerate() {
+            let forwarded = verdict.is_forward() || i + 1 < ran;
+            series.observe(ns, forwarded);
+        }
+    }
+
+    /// Emits a span for a traced hop, honoring the context's budget flag.
+    fn emit_span(&self, ctx: &TraceContext, call_id: u64, queue_ns: u64, serialize_ns: u64) {
+        if !ctx.budget {
+            return;
+        }
+        self.telemetry.spans.push(Span {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_at(self.addr),
+            parent_span: ctx.parent_span,
+            call_id,
+            processor: self.addr,
+            queue_ns,
+            stages: self
+                .names
+                .iter()
+                .zip(&self.stage_ns)
+                .map(|(n, &ns)| (n.clone(), ns))
+                .collect(),
+            serialize_ns,
+        });
     }
 }
 
@@ -345,7 +442,13 @@ pub fn spawn_processor(
                 mut request_next,
                 response_next,
                 initial_flows: _,
+                telemetry,
             } = config;
+            let mut observer = telemetry.map(|t| HopObserver::new(t, addr, &chain));
+            // When the previous frame finished: a frame pulled from a
+            // non-empty queue has been waiting at least since then (the
+            // queue-wait approximation spans record).
+            let mut last_done = Instant::now();
             let mut paused = false;
             let mut stopping = false;
             let mut crashed = false;
@@ -387,6 +490,9 @@ pub fn spawn_processor(
                         }
                         Ctl::InstallChain(new_chain, reply) => {
                             let old = std::mem::replace(&mut chain, new_chain);
+                            if let Some(obs) = observer.as_mut() {
+                                obs.rebind(&chain);
+                            }
                             let _ = reply.send(old.export_states());
                         }
                         Ctl::Drain(reply) => {
@@ -413,6 +519,10 @@ pub fn spawn_processor(
                     std::thread::sleep(Duration::from_millis(1));
                     continue;
                 }
+                let backlog = frames.len();
+                thread_stats
+                    .queue_depth
+                    .store(backlog as u64, Ordering::Relaxed);
                 let frame = if stopping {
                     // Graceful retirement: drain what is queued, then exit.
                     match frames.try_recv() {
@@ -422,17 +532,38 @@ pub fn spawn_processor(
                 } else {
                     match frames.recv_timeout(Duration::from_millis(20)) {
                         Ok(f) => f,
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            last_done = Instant::now();
+                            continue;
+                        }
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     }
+                };
+                // A frame pulled from a non-empty queue was waiting while
+                // the previous frame was processed; one pulled from an
+                // empty queue arrived just now.
+                let queue_ns = if backlog > 0 {
+                    last_done.elapsed().as_nanos() as u64
+                } else {
+                    0
                 };
                 let mut msg = match wire_format::decode_message_exact(&frame.payload, &service) {
                     Ok(m) => m,
                     Err(_) => {
                         thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        last_done = Instant::now();
                         continue;
                     }
                 };
+
+                // Sampling: the in-band context wins (every hop of a sampled
+                // call agrees without coordination), otherwise the local
+                // sampler decides by call id. With telemetry off or
+                // unsampled, the only added cost is this branch.
+                let ctx = msg.trace;
+                let sampled = observer
+                    .as_ref()
+                    .is_some_and(|o| o.sampled(ctx.as_ref(), msg.call_id));
 
                 match msg.kind {
                     MessageKind::Request => {
@@ -446,21 +577,42 @@ pub fn spawn_processor(
                             if let Some(out) = cached {
                                 let _ = link.send(out.clone());
                             }
+                            last_done = Instant::now();
                             continue;
                         }
                         thread_stats.requests.fetch_add(1, Ordering::Relaxed);
                         let orig_src = msg.src;
-                        match chain.process(&mut msg) {
+                        let verdict = match (&mut observer, sampled) {
+                            (Some(obs), true) => {
+                                let v = chain.process_timed(&mut msg, &mut obs.stage_ns);
+                                obs.record_stages(&v);
+                                v
+                            }
+                            _ => chain.process(&mut msg),
+                        };
+                        match verdict {
                             Verdict::Forward => {
                                 // NAT in: responses will come back to us.
                                 thread_flows.lock().insert(msg.call_id, orig_src);
                                 msg.src = addr;
+                                if let Some(c) = &ctx {
+                                    // Downstream spans parent on this hop.
+                                    msg.trace = Some(c.child_from(addr));
+                                }
                                 let to = request_next.resolve(msg.dst);
+                                let serialize = Instant::now();
                                 let out = forward(&*link, addr, to, &msg, &thread_stats);
+                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
+                                    let ser_ns = serialize.elapsed().as_nanos() as u64;
+                                    obs.emit_span(c, msg.call_id, queue_ns, ser_ns);
+                                }
                                 req_cache.insert(dedup_key, out);
                             }
                             Verdict::Drop => {
                                 thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
+                                    obs.emit_span(c, msg.call_id, queue_ns, 0);
+                                }
                                 req_cache.insert(dedup_key, None);
                             }
                             Verdict::Abort { code, message } => {
@@ -474,6 +626,9 @@ pub fn spawn_processor(
                                     resp.src = addr;
                                     resp.dst = orig_src;
                                     out = forward(&*link, addr, orig_src, &resp, &thread_stats);
+                                }
+                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
+                                    obs.emit_span(c, msg.call_id, queue_ns, 0);
                                 }
                                 req_cache.insert(dedup_key, out);
                             }
@@ -496,19 +651,39 @@ pub fn spawn_processor(
                             } else {
                                 thread_stats.stale_responses.fetch_add(1, Ordering::Relaxed);
                             }
+                            last_done = Instant::now();
                             continue;
                         };
                         thread_stats.responses.fetch_add(1, Ordering::Relaxed);
                         msg.dst = orig_src;
-                        match chain.process(&mut msg) {
+                        let verdict = match (&mut observer, sampled) {
+                            (Some(obs), true) => {
+                                let v = chain.process_timed(&mut msg, &mut obs.stage_ns);
+                                obs.record_stages(&v);
+                                v
+                            }
+                            _ => chain.process(&mut msg),
+                        };
+                        match verdict {
                             Verdict::Forward => {
                                 msg.src = addr;
+                                if let Some(c) = &ctx {
+                                    msg.trace = Some(c.child_from(addr));
+                                }
                                 let to = response_next.resolve(msg.dst);
+                                let serialize = Instant::now();
                                 let out = forward(&*link, addr, to, &msg, &thread_stats);
+                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
+                                    let ser_ns = serialize.elapsed().as_nanos() as u64;
+                                    obs.emit_span(c, msg.call_id, queue_ns, ser_ns);
+                                }
                                 resp_cache.insert(msg.call_id, out);
                             }
                             Verdict::Drop => {
                                 thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
+                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
+                                    obs.emit_span(c, msg.call_id, queue_ns, 0);
+                                }
                                 resp_cache.insert(msg.call_id, None);
                             }
                             Verdict::Abort { code, message } => {
@@ -522,6 +697,7 @@ pub fn spawn_processor(
                         }
                     }
                 }
+                last_done = Instant::now();
             }
         })
         .expect("spawn processor thread");
@@ -683,6 +859,7 @@ mod tests {
                 request_next: NextHop::Fixed(2),
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
+                telemetry: None,
             },
             link.clone(),
             proc_frames,
@@ -713,6 +890,85 @@ mod tests {
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.responses, 1);
         assert_eq!(stats.forwarded, 2);
+    }
+
+    #[test]
+    fn sampled_calls_record_spans_and_element_metrics() {
+        use adn_telemetry::{Registry, Sampler, SpanRing};
+
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let svc2 = svc.clone();
+        let _server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: svc.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            Box::new(move |request| {
+                let m = svc2.method_by_id(request.method_id).unwrap();
+                let mut resp = RpcMessage::response_to(request, m.response.clone());
+                resp.set("x", request.get("x").unwrap().clone());
+                resp.set("who", Value::Str("server".into()));
+                resp
+            }),
+        );
+        let telemetry = HopTelemetry {
+            app: "echo".into(),
+            registry: Arc::new(Registry::new()),
+            spans: Arc::new(SpanRing::new(64)),
+            sampler: Arc::new(Sampler::off()),
+        };
+        let _processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::from_engines(vec![Box::new(CountAndStamp { count: 0 })]),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            )
+            .with_telemetry(telemetry.clone()),
+            link.clone(),
+            net.attach(5),
+        );
+        let client = RpcClient::new(1, link, net.attach(1), svc, EngineChain::new());
+
+        // The client samples every call: each request carries a root trace
+        // context the processor must honor regardless of its own sampler.
+        client.set_trace_sampling(1.0);
+        let resp = client.call(req(&client, 4), 5).unwrap();
+        assert_eq!(resp.get("x"), Some(&Value::U64(4)));
+
+        // Request + response each ran the one-stage chain under sampling.
+        let snaps = telemetry.registry.snapshot_for("echo", 5);
+        assert_eq!(snaps.len(), 1, "{snaps:?}");
+        assert_eq!(snaps[0].key.element, "count_stamp");
+        assert_eq!(snaps[0].count, 2);
+        assert_eq!(snaps[0].errors, 0);
+
+        // Both hop directions emitted spans under the same trace id. The
+        // response-hop span lands just after the client unblocks, so give
+        // the processor thread a moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while telemetry.spans.len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let spans = telemetry.spans.drain();
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        assert_eq!(spans[0].trace_id, spans[1].trace_id);
+        assert!(spans.iter().all(|s| s.processor == 5));
+        assert!(spans
+            .iter()
+            .all(|s| s.stages.len() == 1 && s.stages[0].0 == "count_stamp"));
+
+        // With sampling off and no inbound trace, nothing is recorded.
+        client.set_trace_sampling(0.0);
+        client.call(req(&client, 6), 5).unwrap();
+        assert!(telemetry.spans.is_empty());
+        assert_eq!(telemetry.registry.snapshot_for("echo", 5)[0].count, 2);
     }
 
     #[test]

@@ -304,6 +304,7 @@ mod tests {
                     request_next: NextHop::Fixed(2),
                     response_next: NextHop::Dst,
                     initial_flows: Default::default(),
+                    telemetry: None,
                 },
                 link.clone(),
                 frames,

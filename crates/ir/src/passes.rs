@@ -240,6 +240,14 @@ pub fn minimal_header(chain: &ChainIr, from: usize) -> HeaderLayout {
     layout
 }
 
+/// [`minimal_header`] plus the optional trace-context extension: the layout
+/// reserves a one-byte presence slot per hop frame, so the controller can
+/// turn sampling on later without redistributing layouts. Untraced apps
+/// keep using [`minimal_header`] and pay nothing.
+pub fn minimal_header_traced(chain: &ChainIr, from: usize) -> HeaderLayout {
+    minimal_header(chain, from).with_trace()
+}
+
 /// Statement-level sanity used by debug assertions and tests: a handler
 /// that can never emit (e.g. unconditional DROP as the only statement) is
 /// legal but suspicious; returns true when at least one control path
@@ -409,6 +417,16 @@ mod tests {
         // After everything: empty header.
         let layout = minimal_header(&chain, 2);
         assert!(layout.is_empty());
+    }
+
+    #[test]
+    fn traced_header_keeps_fields_and_sets_flag() {
+        let chain = chain_of(&[ACL, COMPRESS]);
+        let plain = minimal_header(&chain, 0);
+        let traced = minimal_header_traced(&chain, 0);
+        assert!(!plain.carries_trace());
+        assert!(traced.carries_trace());
+        assert_eq!(plain.fields(), traced.fields());
     }
 
     #[test]

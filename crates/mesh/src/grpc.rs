@@ -164,6 +164,7 @@ pub fn decode_message(
         status,
         src,
         dst,
+        trace: None,
         schema,
         fields,
     })

@@ -126,6 +126,24 @@ impl EngineChain {
         Verdict::Forward
     }
 
+    /// Like [`EngineChain::process`], but appends each executed stage's
+    /// wall time in nanoseconds to `stage_ns` (cleared first). Stages the
+    /// chain short-circuited past contribute no entry. Telemetry-sampled
+    /// messages take this path; everything else stays on `process`.
+    pub fn process_timed(&mut self, msg: &mut RpcMessage, stage_ns: &mut Vec<u64>) -> Verdict {
+        stage_ns.clear();
+        for engine in &mut self.engines {
+            let start = std::time::Instant::now();
+            let verdict = engine.process(msg);
+            stage_ns.push(start.elapsed().as_nanos() as u64);
+            match verdict {
+                Verdict::Forward => continue,
+                other => return other,
+            }
+        }
+        Verdict::Forward
+    }
+
     /// Mutable access to an engine by index (used by hot-update).
     pub fn engine_mut(&mut self, idx: usize) -> Option<&mut Box<dyn Engine>> {
         self.engines.get_mut(idx)

@@ -8,6 +8,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use adn_wire::header::TraceContext;
+
 use crate::schema::RpcSchema;
 use crate::value::Value;
 
@@ -57,6 +59,11 @@ pub struct RpcMessage {
     pub src: u64,
     /// Flat destination endpoint identifier. Load balancers rewrite this.
     pub dst: u64,
+    /// In-band trace context, present when the originating client sampled
+    /// this call. Responses echo the request's context; retransmits reuse
+    /// it (the payload is encoded once), so a trace id survives NAT,
+    /// dedup, and retry unchanged.
+    pub trace: Option<TraceContext>,
     /// The message schema. Shared, immutable.
     pub schema: Arc<RpcSchema>,
     /// Field values, positionally matching `schema`.
@@ -74,6 +81,7 @@ impl RpcMessage {
             status: RpcStatus::Ok,
             src: 0,
             dst: 0,
+            trace: None,
             schema,
             fields,
         }
@@ -90,6 +98,7 @@ impl RpcMessage {
             status: RpcStatus::Ok,
             src: req.dst,
             dst: req.src,
+            trace: req.trace,
             schema: response_schema,
             fields,
         }
@@ -210,6 +219,15 @@ mod tests {
         assert_eq!(resp.call_id, 99);
         assert_eq!(resp.kind, MessageKind::Response);
         assert_eq!((resp.src, resp.dst), (20, 10));
+    }
+
+    #[test]
+    fn response_echoes_trace_context() {
+        let mut req = RpcMessage::request(1, 1, schema());
+        assert_eq!(req.trace, None);
+        req.trace = Some(TraceContext::root(42));
+        let resp = RpcMessage::response_to(&req, schema());
+        assert_eq!(resp.trace, Some(TraceContext::root(42)));
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! [`PendingCall::wait`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use adn_wire::header::TraceContext;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
@@ -121,6 +122,18 @@ pub struct RpcClient {
     breaker_policy: Mutex<BreakerPolicy>,
     degraded: Mutex<DegradedMode>,
     retry_rng: Mutex<StdRng>,
+    /// Trace-sampling rate in parts per million; 0 keeps the hot path at
+    /// one atomic load + one branch. Set per-app by the controller.
+    trace_ppm: AtomicU32,
+}
+
+/// splitmix64, for deterministic per-call sampling and trace ids.
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RpcClient {
@@ -148,6 +161,7 @@ impl RpcClient {
             breaker_policy: Mutex::new(BreakerPolicy::default()),
             degraded: Mutex::new(DegradedMode::default()),
             retry_rng: Mutex::new(StdRng::seed_from_u64(addr)),
+            trace_ppm: AtomicU32::new(0),
         });
 
         let dispatcher = client.clone();
@@ -211,6 +225,35 @@ impl RpcClient {
         self.next_call_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Sets the fraction (0.0–1.0) of calls that carry an in-band trace
+    /// context. The controller drives this per app.
+    pub fn set_trace_sampling(&self, rate: f64) {
+        let ppm = (rate.clamp(0.0, 1.0) * 1_000_000.0) as u32;
+        self.trace_ppm.store(ppm, Ordering::Relaxed);
+    }
+
+    /// Current trace-sampling rate as a fraction.
+    pub fn trace_sampling(&self) -> f64 {
+        self.trace_ppm.load(Ordering::Relaxed) as f64 / 1_000_000.0
+    }
+
+    /// Mints a root trace context for `call_id` when sampling selects it.
+    /// Deterministic on (client address, call id): a retransmitted call id
+    /// reuses the same trace id.
+    #[inline]
+    fn maybe_trace(&self, call_id: u64) -> Option<TraceContext> {
+        let ppm = self.trace_ppm.load(Ordering::Relaxed);
+        if ppm == 0 {
+            return None;
+        }
+        let seed = mix64(self.addr.rotate_left(32) ^ call_id);
+        if ppm >= 1_000_000 || seed % 1_000_000 < ppm as u64 {
+            Some(TraceContext::root(mix64(seed)))
+        } else {
+            None
+        }
+    }
+
     /// Starts a call: runs the egress chain, serializes, sends. Returns the
     /// pending handle immediately so callers can pipeline many RPCs.
     ///
@@ -225,6 +268,9 @@ impl RpcClient {
         msg.kind = MessageKind::Request;
         msg.src = self.addr;
         msg.dst = to;
+        if msg.trace.is_none() {
+            msg.trace = self.maybe_trace(msg.call_id);
+        }
 
         let (tx, rx) = crossbeam::channel::bounded(1);
         let handle = PendingCall {
@@ -296,6 +342,9 @@ impl RpcClient {
         msg.kind = MessageKind::Request;
         msg.src = self.addr;
         msg.dst = to;
+        if msg.trace.is_none() {
+            msg.trace = self.maybe_trace(msg.call_id);
+        }
 
         match self.chain.lock().process(&mut msg) {
             Verdict::Forward => {}
@@ -1001,6 +1050,25 @@ mod tests {
             "duplicated requests must not re-run the handler"
         );
         assert!(server.stats().dedup_hits >= 1);
+    }
+
+    #[test]
+    fn sampled_calls_carry_trace_end_to_end() {
+        let (client, _server, service) = setup(EngineChain::new(), EngineChain::new());
+        assert_eq!(client.trace_sampling(), 0.0);
+        let resp = client.call(request(&service, 1), 2).unwrap();
+        assert_eq!(resp.trace, None, "sampling off: no context on the wire");
+
+        client.set_trace_sampling(1.0);
+        assert_eq!(client.trace_sampling(), 1.0);
+        let resp = client.call(request(&service, 2), 2).unwrap();
+        let ctx = resp.trace.expect("sampled call echoes its trace context");
+        assert_eq!(ctx.parent_span, 0);
+        assert!(ctx.budget);
+
+        // Distinct calls get distinct trace ids.
+        let again = client.call(request(&service, 3), 2).unwrap();
+        assert_ne!(again.trace.unwrap().trace_id, ctx.trace_id);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use adn_wire::codec::{Decoder, Encoder, WireError, WireResult};
+use adn_wire::header::TraceContext;
 
 use crate::message::{MessageKind, RpcMessage, RpcStatus};
 use crate::schema::{RpcSchema, ServiceSchema};
@@ -22,6 +23,9 @@ const KIND_RESPONSE: u8 = 1;
 /// Status discriminants.
 const STATUS_OK: u8 = 0;
 const STATUS_ABORTED: u8 = 1;
+/// Trace-context presence discriminants.
+const TRACE_ABSENT: u8 = 0;
+const TRACE_PRESENT: u8 = 1;
 
 /// Encodes one value with no tag, by schema-known type.
 pub fn encode_value(enc: &mut Encoder, v: &Value) {
@@ -75,6 +79,13 @@ pub fn encode_message(enc: &mut Encoder, msg: &RpcMessage) -> WireResult<usize> 
     }
     enc.put_varint(msg.src);
     enc.put_varint(msg.dst);
+    match &msg.trace {
+        None => enc.put_u8(TRACE_ABSENT),
+        Some(ctx) => {
+            enc.put_u8(TRACE_PRESENT);
+            ctx.encode(enc);
+        }
+    }
     for v in &msg.fields {
         encode_value(enc, v);
     }
@@ -133,6 +144,16 @@ pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireRes
     };
     let src = dec.get_varint()?;
     let dst = dec.get_varint()?;
+    let trace = match dec.get_u8()? {
+        TRACE_ABSENT => None,
+        TRACE_PRESENT => Some(TraceContext::decode(dec)?),
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "trace presence",
+            })
+        }
+    };
 
     let method = service
         .method_by_id(method_id)
@@ -155,6 +176,7 @@ pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireRes
         status,
         src,
         dst,
+        trace,
         schema,
         fields,
     })
@@ -284,7 +306,33 @@ mod tests {
         let svc = service();
         let msg = sample_request(&svc);
         let bytes = encode_message_to_vec(&msg).unwrap();
-        // 2(call)+1(method)+1(kind)+1(status)+1(src)+2(dst)+1+6+4 fields.
+        // 2(call)+1(method)+1(kind)+1(status)+1(src)+2(dst)+1(trace)+1+6+4
+        // field bytes.
         assert!(bytes.len() < 32, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn trace_context_roundtrips_on_the_wire() {
+        let svc = service();
+        let mut msg = sample_request(&svc);
+        msg.trace = Some(TraceContext {
+            trace_id: 0xfeed_f00d,
+            parent_span: 9,
+            budget: true,
+        });
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        let back = decode_message_exact(&bytes, &svc).unwrap();
+        assert_eq!(back.trace, msg.trace);
+        assert_eq!(back, msg);
+
+        // trace_id 0xfeed_f00d is a 5-byte varint; +1 parent span, +1 budget.
+        let untraced = encode_message_to_vec(&sample_request(&svc)).unwrap();
+        assert_eq!(bytes.len(), untraced.len() + 7);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_message_exact(&bytes[..cut], &svc).is_err(),
+                "traced truncation at {cut} must fail"
+            );
+        }
     }
 }

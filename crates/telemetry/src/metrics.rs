@@ -1,0 +1,443 @@
+//! Lock-free counters and mergeable log-linear latency histograms.
+//!
+//! The histogram uses the classic log-linear bucketing scheme (a small
+//! linear region, then 16 linear sub-buckets per power of two). Bucket
+//! boundaries are a pure function of the value, so two histograms recorded
+//! on different processors merge exactly by bucket-wise addition — the
+//! property the controller relies on when it aggregates per-processor
+//! snapshots into a cluster-wide distribution. Relative quantile error is
+//! bounded by one bucket (≤ 1/16 ≈ 6.25%).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adn_wire::{Decoder, Encoder, WireResult};
+
+/// Bits of linear resolution per octave (16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave, also the size of the initial linear region.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: the linear region plus one sub-bucket group per
+/// remaining octave of a u64.
+pub const BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// Maps a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let top = v >> (exp - SUB_BITS);
+        ((exp - SUB_BITS) as u64 * SUB + (top - SUB) + SUB) as usize
+    }
+}
+
+/// The smallest value that lands in bucket `idx` (the bucket's
+/// representative when reporting quantiles).
+#[inline]
+pub fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        idx
+    } else {
+        let octave = (idx - SUB) / SUB;
+        let sub = (idx - SUB) % SUB;
+        (SUB + sub) << octave
+    }
+}
+
+/// A monotonically increasing lock-free counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A concurrent log-linear histogram. Recording is three relaxed atomic
+/// adds and one atomic max; no locks anywhere.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable, mergeable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut sparse = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                sparse.push((i as u16, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets: sparse,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An immutable histogram: sparse `(bucket, count)` pairs plus count, sum,
+/// and exact max. Merge is bucket-wise addition, which makes it associative
+/// and commutative (see the property tests).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    buckets: Vec<(u16, u64)>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records into the snapshot directly (for single-threaded collection,
+    /// e.g. client-side end-to-end latencies).
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v) as u16;
+        match self.buckets.binary_search_by_key(&idx, |(i, _)| *i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |(i, _)| *i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1), reported as the floor of the bucket
+    /// holding the ranked observation — within one bucket of the exact
+    /// value. `quantile(1.0)` returns the exact max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(idx as usize);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise difference `self - prev` for delta reporting. Both
+    /// snapshots must come from the same monotonically growing histogram;
+    /// counts saturate at zero otherwise. The delta's `max` is the
+    /// cumulative max (the exact window max is not recoverable).
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for &(idx, n) in &self.buckets {
+            let prev_n = prev
+                .buckets
+                .binary_search_by_key(&idx, |(i, _)| *i)
+                .map(|pos| prev.buckets[pos].1)
+                .unwrap_or(0);
+            let d = n.saturating_sub(prev_n);
+            if d > 0 {
+                buckets.push((idx, d));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            max: self.max,
+        }
+    }
+
+    /// Encodes the snapshot onto `enc` (varints throughout; sparse buckets
+    /// are delta-coded on the index).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.count);
+        enc.put_varint(self.sum);
+        enc.put_varint(self.max);
+        enc.put_varint(self.buckets.len() as u64);
+        let mut last = 0u64;
+        for &(idx, n) in &self.buckets {
+            enc.put_varint(idx as u64 - last);
+            enc.put_varint(n);
+            last = idx as u64;
+        }
+    }
+
+    /// Decodes a snapshot written by [`HistogramSnapshot::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let count = dec.get_varint()?;
+        let sum = dec.get_varint()?;
+        let max = dec.get_varint()?;
+        let n_buckets = dec.get_varint()? as usize;
+        let mut buckets = Vec::with_capacity(n_buckets.min(BUCKETS));
+        let mut last = 0u64;
+        for _ in 0..n_buckets {
+            let idx = last + dec.get_varint()?;
+            let n = dec.get_varint()?;
+            if idx >= BUCKETS as u64 {
+                return Err(adn_wire::WireError::Malformed(
+                    "histogram bucket index out of range",
+                ));
+            }
+            buckets.push((idx as u16, n));
+            last = idx;
+        }
+        Ok(Self {
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_fns_are_inverse_on_floors() {
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(idx)), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_at_boundaries() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_floor(idx) <= v);
+            if idx + 1 < BUCKETS {
+                assert!(v < bucket_floor(idx + 1), "v {v} idx {idx}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_reports() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), 100_000);
+        let p50 = s.quantile(0.5);
+        assert!((bucket_floor(bucket_index(50_000))..=50_000).contains(&p50));
+        assert_eq!(s.quantile(1.0), 100_000);
+        assert_eq!(s.mean(), (1..=100u64).map(|v| v * 1000).sum::<u64>() / 100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = HistogramSnapshot::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_over_wire() {
+        let h = Histogram::new();
+        for v in [0, 1, 17, 90, 5_000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut enc = Encoder::new();
+        s.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(HistogramSnapshot::decode(&mut dec).unwrap(), s);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let h = Histogram::new();
+        h.record(100);
+        let before = h.snapshot();
+        h.record(100);
+        h.record(200);
+        let after = h.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 300);
+    }
+
+    fn from_values(values: &[u64]) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::new();
+        for &v in values {
+            s.record(v);
+        }
+        s
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merge is commutative and associative: the defining property that
+        /// makes per-processor histograms aggregatable in any order.
+        #[test]
+        fn merge_commutes_and_associates(
+            a in proptest::collection::vec(any::<u64>(), 0..64),
+            b in proptest::collection::vec(any::<u64>(), 0..64),
+            c in proptest::collection::vec(any::<u64>(), 0..64),
+        ) {
+            let (sa, sb, sc) = (from_values(&a), from_values(&b), from_values(&c));
+
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(&ab, &ba);
+
+            let mut ab_c = ab.clone();
+            ab_c.merge(&sc);
+            let mut bc = sb.clone();
+            bc.merge(&sc);
+            let mut a_bc = sa.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(ab_c, a_bc);
+        }
+
+        /// Reported quantiles land in the same bucket as the exact ranked
+        /// observation — error bounded by one bucket.
+        #[test]
+        fn quantile_error_within_one_bucket(
+            mut values in proptest::collection::vec(any::<u64>(), 1..256),
+            q in 0.01f64..1.0f64,
+        ) {
+            let s = from_values(&values);
+            values.sort_unstable();
+            let rank = ((q * values.len() as f64).ceil() as usize)
+                .clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = s.quantile(q);
+            let (bi_exact, bi_approx) = (bucket_index(exact), bucket_index(approx));
+            prop_assert!(
+                bi_exact.abs_diff(bi_approx) <= 1,
+                "exact {} (bucket {}) vs approx {} (bucket {})",
+                exact, bi_exact, approx, bi_approx
+            );
+        }
+
+        /// Merging two snapshots preserves the exact max and total count.
+        #[test]
+        fn merge_preserves_count_and_max(
+            a in proptest::collection::vec(any::<u64>(), 0..64),
+            b in proptest::collection::vec(any::<u64>(), 0..64),
+        ) {
+            let mut m = from_values(&a);
+            m.merge(&from_values(&b));
+            prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+            let exact_max = a.iter().chain(b.iter()).copied().max().unwrap_or(0);
+            prop_assert_eq!(m.max(), exact_max);
+        }
+    }
+}

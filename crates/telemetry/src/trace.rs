@@ -1,0 +1,219 @@
+//! Sampling and span collection for in-band tracing.
+//!
+//! The wire-level [`TraceContext`] lives in `adn-wire::header` (re-exported
+//! here); this module holds the process-local machinery: a [`Sampler`]
+//! whose off state costs exactly one relaxed atomic load and one branch,
+//! and a bounded [`SpanRing`] hop instrumentation emits into.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+pub use adn_wire::header::TraceContext;
+
+/// splitmix64 — the same cheap mixer the trace-context span ids use.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-key sampling decision at a rate stored in parts per
+/// million. Deterministic on the key means every hop of a call agrees on
+/// whether the call is sampled without coordination.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    per_million: AtomicU32,
+}
+
+impl Sampler {
+    /// A sampler that never fires.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// A sampler firing at `rate` (0.0–1.0).
+    pub fn with_rate(rate: f64) -> Self {
+        let s = Self::off();
+        s.set_rate(rate);
+        s
+    }
+
+    /// Sets the sampling rate (clamped to 0.0–1.0). Takes effect on the
+    /// next decision; shared via `Arc` with every hop of an app.
+    pub fn set_rate(&self, rate: f64) {
+        let ppm = (rate.clamp(0.0, 1.0) * 1_000_000.0) as u32;
+        self.per_million.store(ppm, Ordering::Relaxed);
+    }
+
+    /// Current rate as a fraction.
+    pub fn rate(&self) -> f64 {
+        self.per_million.load(Ordering::Relaxed) as f64 / 1_000_000.0
+    }
+
+    /// Whether the call identified by `key` is sampled. When the rate is
+    /// zero this is one atomic load and one branch — the entire hot-path
+    /// cost of disabled telemetry.
+    #[inline]
+    pub fn decide(&self, key: u64) -> bool {
+        let ppm = self.per_million.load(Ordering::Relaxed);
+        if ppm == 0 {
+            return false;
+        }
+        if ppm >= 1_000_000 {
+            return true;
+        }
+        mix64(key) % 1_000_000 < ppm as u64
+    }
+}
+
+/// One recorded hop: where a sampled call spent its time on one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// End-to-end trace id (from the in-band context).
+    pub trace_id: u64,
+    /// This hop's span id.
+    pub span_id: u64,
+    /// The upstream hop's span id (0 when the client is the parent).
+    pub parent_span: u64,
+    /// Correlation id of the call.
+    pub call_id: u64,
+    /// Flat endpoint address of the recording processor.
+    pub processor: u64,
+    /// Time spent queued before the processor dequeued the frame (ns).
+    pub queue_ns: u64,
+    /// Per-chain-stage execution time, in chain order (ns). Stages the
+    /// chain short-circuited past are absent.
+    pub stages: Vec<(String, u64)>,
+    /// Time to re-serialize and hand the frame to the link (ns).
+    pub serialize_ns: u64,
+}
+
+impl Span {
+    /// Total time attributed to this hop (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.stages.iter().map(|(_, ns)| ns).sum::<u64>() + self.serialize_ns
+    }
+}
+
+/// A bounded MPSC ring of spans. Producers (processor threads) push and
+/// evict the oldest when full; a consumer drains periodically. Overflow is
+/// counted, never blocking.
+#[derive(Debug)]
+pub struct SpanRing {
+    cap: usize,
+    inner: Mutex<VecDeque<Span>>,
+    dropped: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `cap` spans.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            inner: Mutex::new(VecDeque::with_capacity(cap.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Pushes a span, evicting the oldest when full.
+    pub fn push(&self, span: Span) {
+        let mut ring = self.inner.lock();
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// Removes and returns everything currently buffered.
+    pub fn drain(&self) -> Vec<Span> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Spans evicted unread since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_off_never_fires() {
+        let s = Sampler::off();
+        assert!((0..1000).all(|k| !s.decide(k)));
+        assert_eq!(s.rate(), 0.0);
+    }
+
+    #[test]
+    fn sampler_full_always_fires() {
+        let s = Sampler::with_rate(1.0);
+        assert!((0..1000).all(|k| s.decide(k)));
+    }
+
+    #[test]
+    fn sampler_partial_is_deterministic_and_roughly_proportional() {
+        let s = Sampler::with_rate(0.25);
+        let hits: Vec<u64> = (0..10_000).filter(|&k| s.decide(k)).collect();
+        let again: Vec<u64> = (0..10_000).filter(|&k| s.decide(k)).collect();
+        assert_eq!(hits, again);
+        assert!((1500..3500).contains(&hits.len()), "{}", hits.len());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let ring = SpanRing::new(2);
+        let span = |id| Span {
+            trace_id: id,
+            span_id: id,
+            parent_span: 0,
+            call_id: id,
+            processor: 1,
+            queue_ns: 0,
+            stages: vec![],
+            serialize_ns: 0,
+        };
+        ring.push(span(1));
+        ring.push(span(2));
+        ring.push(span(3));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let drained = ring.drain();
+        assert_eq!(
+            drained.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn span_total_sums_components() {
+        let s = Span {
+            trace_id: 1,
+            span_id: 2,
+            parent_span: 0,
+            call_id: 3,
+            processor: 4,
+            queue_ns: 10,
+            stages: vec![("Acl".into(), 20), ("Logging".into(), 30)],
+            serialize_ns: 5,
+        };
+        assert_eq!(s.total_ns(), 65);
+    }
+}

@@ -75,6 +75,87 @@ impl HeaderValue {
     }
 }
 
+/// In-band trace context riding alongside a message or hop header.
+///
+/// The compiler's minimal-header synthesis treats this as an optional
+/// extension: layouts for traced applications set
+/// [`HeaderLayout::carries_trace`], and each hop then encodes a presence
+/// byte plus (when present) three fields. `budget` gates per-hop span
+/// recording — a hop that receives `budget == false` forwards the context
+/// for correlation but records nothing, so the controller can bound the
+/// tracing cost of a single call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// End-to-end trace identifier, assigned once at the originating client
+    /// and preserved across retries, NAT rewrites, and dedup replays.
+    pub trace_id: u64,
+    /// Span id of the upstream hop (0 at the client).
+    pub parent_span: u64,
+    /// Whether downstream hops may still record spans for this call.
+    pub budget: bool,
+}
+
+impl TraceContext {
+    /// A fresh root context as the originating client mints it.
+    pub fn root(trace_id: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span: 0,
+            budget: true,
+        }
+    }
+
+    /// Deterministic span id for a hop of this trace at `endpoint`.
+    pub fn span_at(&self, endpoint: u64) -> u64 {
+        // splitmix64 of (trace_id ^ rotated endpoint): stable across
+        // retransmits of the same call through the same hop.
+        let mut z = self
+            .trace_id
+            .wrapping_add(endpoint.rotate_left(32))
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The context to forward downstream after recording a span here.
+    pub fn child_from(&self, endpoint: u64) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            parent_span: self.span_at(endpoint),
+            budget: self.budget,
+        }
+    }
+
+    /// Encodes the context (two varints + one flag byte).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.trace_id);
+        enc.put_varint(self.parent_span);
+        enc.put_u8(self.budget as u8);
+    }
+
+    /// Decodes a context previously written by [`TraceContext::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let trace_id = dec.get_varint()?;
+        let parent_span = dec.get_varint()?;
+        let budget = match dec.get_u8()? {
+            0 => false,
+            1 => true,
+            t => {
+                return Err(WireError::InvalidTag {
+                    tag: t as u64,
+                    context: "trace budget flag",
+                })
+            }
+        };
+        Ok(Self {
+            trace_id,
+            parent_span,
+            budget,
+        })
+    }
+}
+
 /// One field slot in a layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeaderField {
@@ -90,6 +171,7 @@ pub struct HeaderField {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HeaderLayout {
     fields: Vec<HeaderField>,
+    carries_trace: bool,
 }
 
 impl HeaderLayout {
@@ -100,7 +182,28 @@ impl HeaderLayout {
 
     /// Builds a layout from fields, keeping the given order.
     pub fn from_fields(fields: Vec<HeaderField>) -> Self {
-        Self { fields }
+        Self {
+            fields,
+            carries_trace: false,
+        }
+    }
+
+    /// Marks the layout as carrying an optional trace-context extension.
+    /// Hop codecs for such layouts write a presence byte (plus the context
+    /// when present); untraced layouts stay byte-identical to before.
+    pub fn with_trace(mut self) -> Self {
+        self.carries_trace = true;
+        self
+    }
+
+    /// Sets the trace-extension flag in place.
+    pub fn set_carries_trace(&mut self, on: bool) {
+        self.carries_trace = on;
+    }
+
+    /// Whether hop frames under this layout reserve a trace-context slot.
+    pub fn carries_trace(&self) -> bool {
+        self.carries_trace
     }
 
     /// Appends a field slot.
@@ -273,5 +376,51 @@ mod tests {
         let l = sample_layout();
         assert_eq!(l.position_of("username"), Some(1));
         assert_eq!(l.position_of("missing"), None);
+    }
+
+    #[test]
+    fn trace_context_roundtrips() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_cafe,
+            parent_span: 77,
+            budget: true,
+        };
+        let mut enc = Encoder::new();
+        ctx.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(TraceContext::decode(&mut dec).unwrap(), ctx);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn trace_context_bad_budget_byte_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_varint(1);
+        enc.put_varint(2);
+        enc.put_u8(9);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            TraceContext::decode(&mut dec),
+            Err(WireError::InvalidTag { tag: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn span_ids_are_stable_and_distinct_per_endpoint() {
+        let ctx = TraceContext::root(42);
+        assert_eq!(ctx.span_at(5), ctx.span_at(5));
+        assert_ne!(ctx.span_at(5), ctx.span_at(6));
+        let child = ctx.child_from(5);
+        assert_eq!(child.trace_id, 42);
+        assert_eq!(child.parent_span, ctx.span_at(5));
+        assert!(child.budget);
+    }
+
+    #[test]
+    fn layout_trace_flag_defaults_off() {
+        assert!(!sample_layout().carries_trace());
+        assert!(sample_layout().with_trace().carries_trace());
     }
 }

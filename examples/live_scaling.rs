@@ -70,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             request_next: NextHop::Fixed(200),
             response_next: NextHop::Dst,
             initial_flows: Default::default(),
+            telemetry: None,
         },
         link.clone(),
         frames,
@@ -140,6 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service.clone(),
         NextHop::Fixed(200),
         &alloc,
+        None,
     )?;
     println!(
         "  shard router live at the old address; instances at {:?}",

@@ -97,6 +97,7 @@ fn migrate_scale_out_scale_in_loses_nothing() {
             request_next: NextHop::Fixed(200),
             response_next: NextHop::Dst,
             initial_flows: Default::default(),
+            telemetry: None,
         },
         rig.link.clone(),
         frames,
@@ -157,6 +158,7 @@ fn migrate_scale_out_scale_in_loses_nothing() {
         rig.service.clone(),
         NextHop::Fixed(200),
         &alloc,
+        None,
     )
     .unwrap();
     std::thread::sleep(Duration::from_millis(150));
