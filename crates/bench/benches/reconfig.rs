@@ -61,6 +61,7 @@ fn bench(c: &mut Criterion) {
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
                 telemetry: None,
+                clock: None,
             },
             link.clone(),
             frames,

@@ -538,6 +538,7 @@ fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
                 telemetry: None,
+                clock: None,
             },
             link.clone(),
             frames,
@@ -885,6 +886,7 @@ fn reconfig() {
             response_next: NextHop::Dst,
             initial_flows: Default::default(),
             telemetry: None,
+            clock: None,
         },
         link.clone(),
         frames,

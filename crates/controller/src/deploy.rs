@@ -15,6 +15,7 @@ use adn_backend::native::{compile_element, element_seed, CompileOpts};
 use adn_backend::{ebpf, p4};
 use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, ProcessorHandle};
 use adn_ir::ElementIr;
+use adn_rpc::clock::Clock;
 use adn_rpc::engine::{Engine, EngineChain};
 use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, InProcNetwork, Link};
@@ -165,7 +166,9 @@ pub fn build_engine(
 /// `service` is the destination service's schema; `replicas` its current
 /// replica endpoints (bound into ROUTE elements). `telemetry` (when given)
 /// is cloned into every spawned processor so their element metrics and
-/// spans land in the controller's registry.
+/// spans land in the controller's registry. `clock` (when given) becomes
+/// every spawned processor's heartbeat time source — the controller passes
+/// its own clock so failure detection stays on one timeline.
 #[allow(clippy::too_many_arguments)]
 pub fn deploy(
     app: &CompiledApp,
@@ -176,6 +179,7 @@ pub fn deploy(
     replicas: &[EndpointAddr],
     alloc: &AddrAllocator,
     telemetry: Option<HopTelemetry>,
+    clock: Option<Arc<dyn Clock>>,
 ) -> Result<Deployment, DeployError> {
     assert_eq!(placement.sites.len(), app.chain.len());
 
@@ -246,6 +250,7 @@ pub fn deploy(
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
                 telemetry: telemetry.clone(),
+                clock: clock.clone(),
             },
             link.clone(),
             frames,
@@ -401,6 +406,7 @@ mod tests {
             &[200],
             &alloc,
             None,
+            None,
         )
         .unwrap();
         let Deployment {
@@ -527,6 +533,7 @@ mod tests {
             svc.clone(),
             &[201, 202],
             &alloc,
+            None,
             None,
         )
         .unwrap();

@@ -88,6 +88,9 @@ pub fn migrate_processor(
             response_next: NextHop::Dst,
             initial_flows: flows,
             telemetry: None,
+            // The successor keeps the predecessor's (possibly virtual)
+            // heartbeat time source across the migration.
+            clock: Some(old.clock()),
         },
         link,
         frames,
@@ -337,6 +340,7 @@ pub fn scale_out(
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
                 telemetry: telemetry.clone(),
+                clock: Some(old.clock()),
             },
             link.clone(),
             frames,
@@ -447,6 +451,9 @@ pub fn scale_in(
             response_next: NextHop::Dst,
             initial_flows: merged_flows,
             telemetry: None,
+            // The merged processor keeps the shards' (possibly virtual)
+            // heartbeat time source.
+            clock: group.instances.first().map(|i| i.clock()),
         },
         link,
         frames,
@@ -592,6 +599,7 @@ mod tests {
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
                 telemetry: None,
+                clock: None,
             },
             h.link.clone(),
             frames,

@@ -13,12 +13,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use adn_cluster::{ClusterEvent, ClusterStore};
 use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig};
+use adn_rpc::clock::Clock;
 use adn_rpc::engine::EngineChain;
 use adn_rpc::retry::DegradedMode;
 use adn_rpc::runtime::{RpcClient, ServerHandle};
@@ -103,8 +104,9 @@ struct ManagedApp {
     /// The group scaled out by the autoscaler (its router holds the
     /// original group address). At most one per app.
     scaled: Option<ScaledGroup>,
-    /// When the autoscaler last scaled out (cooldown anchor).
-    last_scaleout: Option<Instant>,
+    /// When the autoscaler last scaled out, on the controller's clock
+    /// (cooldown anchor).
+    last_scaleout: Option<Duration>,
     /// Scale-outs performed by the autoscaler since registration.
     scaleouts: u64,
 }
@@ -184,6 +186,9 @@ pub struct Controller {
     /// Per-app trace samplers (shared with every hop of the app).
     /// Lock ordering: never held together with `apps`.
     samplers: Mutex<HashMap<String, Arc<Sampler>>>,
+    /// Time source for autoscale cooldowns, the cluster view's window, and
+    /// the heartbeat clock handed to deployed processors.
+    clock: Arc<dyn Clock>,
 }
 
 impl Controller {
@@ -203,6 +208,20 @@ impl Controller {
         link: Arc<dyn Link>,
         addr_base: u64,
     ) -> Self {
+        Self::with_link_and_clock(store, net, link, addr_base, adn_rpc::clock::system())
+    }
+
+    /// Like [`Controller::with_link`] but with an explicit time source.
+    /// Deterministic tests pass a [`adn_rpc::clock::VirtualClock`] shared
+    /// with the processors so cooldowns and heartbeat ages follow
+    /// controlled jumps.
+    pub fn with_link_and_clock(
+        store: ClusterStore,
+        net: InProcNetwork,
+        link: Arc<dyn Link>,
+        addr_base: u64,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Self {
             store,
             net,
@@ -211,9 +230,18 @@ impl Controller {
             apps: Mutex::new(HashMap::new()),
             registry: Arc::new(Registry::new()),
             spans: Arc::new(SpanRing::new(4096)),
-            view: Arc::new(ClusterView::new(Duration::from_secs(10))),
+            view: Arc::new(ClusterView::with_clock(
+                Duration::from_secs(10),
+                clock.clone(),
+            )),
             samplers: Mutex::new(HashMap::new()),
+            clock,
         }
+    }
+
+    /// The controller's time source.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
     }
 
     /// The shared metric registry (element metrics plus re-exported
@@ -382,6 +410,7 @@ impl Controller {
             &replicas,
             &self.alloc,
             Some(telemetry),
+            Some(self.clock.clone()),
         )
         .map_err(cerr)?;
 
@@ -559,7 +588,7 @@ impl Controller {
             return Ok(());
         }
         if let Some(last) = managed.last_scaleout {
-            if last.elapsed() < cfg.policy.cooldown {
+            if self.clock.now().saturating_sub(last) < cfg.policy.cooldown {
                 return Ok(());
             }
         }
@@ -602,7 +631,7 @@ impl Controller {
         )
         .map_err(cerr)?;
         managed.scaled = Some(scaled);
-        managed.last_scaleout = Some(Instant::now());
+        managed.last_scaleout = Some(self.clock.now());
         managed.scaleouts += 1;
         drop(apps);
         // The old endpoint now fronts the shard router; its congested
@@ -817,6 +846,7 @@ impl Controller {
                     response_next: NextHop::Dst,
                     initial_flows: Default::default(),
                     telemetry: Some(telemetry.clone()),
+                    clock: Some(self.clock.clone()),
                 },
                 self.link.clone(),
                 frames,
@@ -885,6 +915,10 @@ mod tests {
     }
 
     fn world(replica_endpoints: &[u64]) -> World {
+        world_with_clock(replica_endpoints, adn_rpc::clock::system())
+    }
+
+    fn world_with_clock(replica_endpoints: &[u64], clock: Arc<dyn Clock>) -> World {
         let (req, resp) = schemas();
         let svc = Arc::new(
             ServiceSchema::new(
@@ -938,9 +972,16 @@ mod tests {
         }
 
         let client_frames = net.attach(100);
-        let client = RpcClient::new(100, link, client_frames, svc.clone(), EngineChain::new());
+        let client = RpcClient::new(
+            100,
+            link.clone(),
+            client_frames,
+            svc.clone(),
+            EngineChain::new(),
+        );
 
-        let controller = Controller::new(store.clone(), net, 10_000);
+        let controller =
+            Controller::with_link_and_clock(store.clone(), net, link.clone(), 10_000, clock);
         controller.register_app(
             "shop",
             AppRegistration {
@@ -1193,5 +1234,99 @@ mod tests {
             call(&w, 999, "alice").is_err(),
             "quota counters must survive failover"
         );
+    }
+
+    fn load(endpoint: EndpointAddr, processed: u64, queue_depth: u64) -> adn_cluster::LoadReport {
+        adn_cluster::LoadReport {
+            endpoint,
+            processed,
+            rejected: 0,
+            utilization: 0.5,
+            queue_depth,
+            elements: vec![],
+        }
+    }
+
+    /// The autoscale cooldown anchor lives on the controller's clock, not
+    /// the wall clock: a breach inside the window is refused, and jumping
+    /// the virtual clock past the window (no sleeping) re-arms it.
+    #[test]
+    fn autoscale_cooldown_gates_on_the_virtual_clock() {
+        let clock = adn_rpc::clock::VirtualClock::shared();
+        let w = world_with_clock(&[200], clock.clone());
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        assert!(call(&w, 1, "alice").is_ok());
+        let entry = w.controller.processor_stats("shop")[0].0;
+
+        let cooldown = Duration::from_secs(5);
+        w.controller.enable_autoscale(
+            "shop",
+            AutoscaleConfig {
+                policy: LoadAwarePolicy {
+                    queue_depth_threshold: 2,
+                    cooldown,
+                    ..LoadAwarePolicy::default()
+                },
+                shard_field: 1, // username
+                shards: 2,
+            },
+        );
+        // Seed the cooldown anchor at virtual-now, as if a scale-out had
+        // just happened (the state a scale-in hands back): the guard — and
+        // only the guard — must refuse the next breach.
+        {
+            let mut apps = w.controller.apps.lock();
+            apps.get_mut("shop").unwrap().last_scaleout = Some(clock.now());
+        }
+
+        // A breach inside the cooldown window is refused.
+        w.store.report_load(load(entry, 10, 100));
+        w.controller.run_pending(&w.events).unwrap();
+        assert_eq!(w.controller.scaleout_count("shop"), 0, "inside cooldown");
+
+        // Jump virtual time past the window; the same breach now scales.
+        clock.advance(cooldown + Duration::from_millis(1));
+        w.store.report_load(load(entry, 20, 100));
+        w.controller.run_pending(&w.events).unwrap();
+        assert_eq!(w.controller.scaleout_count("shop"), 1, "cooldown expired");
+        assert!(call(&w, 2, "alice").is_ok());
+        assert!(call(&w, 3, "bob").is_err(), "ACL enforced on shards");
+    }
+
+    /// Heartbeat staleness is pure clock arithmetic: with the cluster on a
+    /// virtual clock, a crashed processor is declared dead by advancing
+    /// time in one controlled jump — no sleep-polling for a detector.
+    #[test]
+    fn crashed_processor_staleness_follows_virtual_clock_jumps() {
+        let clock = adn_rpc::clock::VirtualClock::shared();
+        let w = world_with_clock(&[200], clock.clone());
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        lenient_health(&w); // heartbeat_timeout = 100ms
+        assert!(call(&w, 1, "alice").is_ok());
+        assert!(w.controller.dead_processors("shop").is_empty());
+
+        let endpoint = w.controller.processor_stats("shop")[0].0;
+        assert!(w.controller.kill_processor("shop", endpoint));
+        // Wait (bounded by thread latency, not wall time) for the serve
+        // loop to observe the crash; after that it never beats again.
+        while w.controller.checkpoint_app("shop") > 0 {
+            std::thread::yield_now();
+        }
+        // Virtual time hasn't moved, so the corpse is not yet stale...
+        assert!(w.controller.dead_processors("shop").is_empty());
+        // ...one controlled jump past the timeout makes it exactly stale.
+        clock.advance(Duration::from_millis(101));
+        assert_eq!(w.controller.dead_processors("shop"), vec![endpoint]);
+
+        // Failover replaces it; the successor beats at current virtual
+        // time, so it is immediately live again without advancing.
+        assert_eq!(w.controller.fail_over_app("shop").unwrap(), vec![endpoint]);
+        assert!(w.controller.dead_processors("shop").is_empty());
+        assert!(call(&w, 2, "alice").is_ok());
+        assert!(call(&w, 2, "bob").is_err(), "ACL enforced after failover");
     }
 }

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
+use adn_rpc::clock::Clock;
 use adn_rpc::engine::{EngineChain, Verdict};
 use adn_rpc::message::{MessageKind, RpcMessage};
 use adn_rpc::retry::DedupWindow;
@@ -169,6 +170,10 @@ pub struct ProcessorConfig {
     /// path; `Some` costs one sampling branch per message until a message
     /// is actually sampled.
     pub telemetry: Option<HopTelemetry>,
+    /// Time source for the liveness heartbeat. `None` uses the wall clock;
+    /// deterministic tests share a virtual clock between processors and the
+    /// controller so heartbeat ages follow controlled jumps.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl ProcessorConfig {
@@ -188,12 +193,19 @@ impl ProcessorConfig {
             response_next,
             initial_flows: HashMap::new(),
             telemetry: None,
+            clock: None,
         }
     }
 
     /// Attaches observability wiring (builder style).
     pub fn with_telemetry(mut self, telemetry: HopTelemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Substitutes the heartbeat time source (builder style).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
         self
     }
 }
@@ -284,9 +296,9 @@ pub struct ProcessorHandle {
     ctl: Sender<Ctl>,
     stats: Arc<ProcessorStats>,
     flows: Arc<parking_lot::Mutex<HashMap<u64, EndpointAddr>>>,
-    /// Milliseconds since `epoch` of the serve loop's last liveness beat.
+    /// Nanoseconds on `clock` of the serve loop's last liveness beat.
     beat: Arc<AtomicU64>,
-    epoch: Instant,
+    clock: Arc<dyn Clock>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -306,8 +318,15 @@ impl ProcessorHandle {
     /// processor is dead or wedged — the controller's failure detector
     /// compares this against its heartbeat timeout.
     pub fn heartbeat_age(&self) -> Duration {
-        let last = Duration::from_millis(self.beat.load(Ordering::Relaxed));
-        self.epoch.elapsed().saturating_sub(last)
+        let last = Duration::from_nanos(self.beat.load(Ordering::Relaxed));
+        self.clock.now().saturating_sub(last)
+    }
+
+    /// The time source this processor's heartbeat runs on. Reconfiguration
+    /// hands it to successors so a migrated processor keeps the same
+    /// (possibly virtual) clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
     }
 
     /// Simulates a hard crash for failure testing: frames blackhole,
@@ -418,7 +437,7 @@ impl Drop for ProcessorHandle {
 /// Spawns a processor thread serving `config.addr` with frames from
 /// `frames` over `link`.
 pub fn spawn_processor(
-    config: ProcessorConfig,
+    mut config: ProcessorConfig,
     link: Arc<dyn Link>,
     frames: Receiver<Frame>,
 ) -> ProcessorHandle {
@@ -427,9 +446,15 @@ pub fn spawn_processor(
     let thread_stats = stats.clone();
     let flows = Arc::new(parking_lot::Mutex::new(config.initial_flows.clone()));
     let thread_flows = flows.clone();
-    let beat = Arc::new(AtomicU64::new(0));
+    let clock = config.clock.take().unwrap_or_else(adn_rpc::clock::system);
+    // Born live: the spawn itself counts as a beat. Otherwise a failure
+    // detector polling between spawn and the serve loop's first iteration
+    // sees age = now − 0 and declares a newborn (e.g. a failover
+    // successor) dead — a race on the wall clock, a certainty on a
+    // virtual one.
+    let beat = Arc::new(AtomicU64::new(clock.now().as_nanos() as u64));
     let thread_beat = beat.clone();
-    let epoch = Instant::now();
+    let thread_clock = clock.clone();
     let addr = config.addr;
 
     let join = std::thread::Builder::new()
@@ -443,6 +468,7 @@ pub fn spawn_processor(
                 response_next,
                 initial_flows: _,
                 telemetry,
+                clock: _,
             } = config;
             let mut observer = telemetry.map(|t| HopObserver::new(t, addr, &chain));
             // When the previous frame finished: a frame pulled from a
@@ -473,7 +499,7 @@ pub fn spawn_processor(
                         _ => continue,
                     }
                 }
-                thread_beat.store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+                thread_beat.store(thread_clock.now().as_nanos() as u64, Ordering::Relaxed);
                 // Drain control messages first.
                 while let Ok(ctl) = ctl_rx.try_recv() {
                     match ctl {
@@ -708,7 +734,7 @@ pub fn spawn_processor(
         stats,
         flows,
         beat,
-        epoch,
+        clock,
         join: Some(join),
     }
 }
@@ -860,6 +886,7 @@ mod tests {
                 response_next: NextHop::Dst,
                 initial_flows: Default::default(),
                 telemetry: None,
+                clock: None,
             },
             link.clone(),
             proc_frames,
@@ -1226,5 +1253,43 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let resp = client.call(req(&client, 2), 5).unwrap();
         assert_eq!(resp.get("who"), Some(&Value::Str("beta".into())));
+    }
+
+    /// Heartbeat staleness on a virtual clock: a processor is born live
+    /// (the spawn itself beats, so a detector polling before the serve
+    /// loop's first iteration finds age zero), a crashed one ages by
+    /// exactly the controlled jumps and nothing else.
+    #[test]
+    fn heartbeat_age_follows_virtual_clock_jumps() {
+        let clock = adn_rpc::clock::VirtualClock::shared();
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                service(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            )
+            .with_clock(clock.clone()),
+            link,
+            net.attach(5),
+        );
+        // Born live, even before the serve loop has run once.
+        assert_eq!(processor.heartbeat_age(), Duration::ZERO);
+
+        processor.kill();
+        // Wait (bounded by thread latency, not wall time) until the serve
+        // loop observes the crash; after that it never beats again.
+        while processor.export_state().is_ok() {
+            std::thread::yield_now();
+        }
+        // Every beat so far happened at virtual zero, so staleness is
+        // exactly the jump we make — deterministic, not approximate.
+        clock.advance(Duration::from_millis(300));
+        assert_eq!(processor.heartbeat_age(), Duration::from_millis(300));
+        clock.advance(Duration::from_millis(300));
+        assert_eq!(processor.heartbeat_age(), Duration::from_millis(600));
     }
 }

@@ -305,6 +305,7 @@ mod tests {
                     response_next: NextHop::Dst,
                     initial_flows: Default::default(),
                     telemetry: None,
+                    clock: None,
                 },
                 link.clone(),
                 frames,

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use adn_wire::clock::Clock;
 use parking_lot::{Mutex, RwLock};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -114,6 +115,9 @@ pub struct ChaosLink {
     rng: Mutex<StdRng>,
     stash: Mutex<Option<Frame>>,
     counters: Counters,
+    /// Time source for the delayed-delivery path; the delay thread sleeps
+    /// on this clock, so under a virtual clock the hold is virtual too.
+    clock: Arc<dyn Clock>,
 }
 
 impl ChaosLink {
@@ -124,6 +128,17 @@ impl ChaosLink {
 
     /// Wraps `inner` with `policy` as the default for every path.
     pub fn with_policy(inner: Arc<dyn Link>, seed: u64, policy: ChaosPolicy) -> Arc<Self> {
+        Self::with_policy_and_clock(inner, seed, policy, adn_wire::clock::system())
+    }
+
+    /// [`ChaosLink::with_policy`] with an explicit time source for the
+    /// delayed-delivery path.
+    pub fn with_policy_and_clock(
+        inner: Arc<dyn Link>,
+        seed: u64,
+        policy: ChaosPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             inner,
             default_policy: RwLock::new(policy),
@@ -132,6 +147,7 @@ impl ChaosLink {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stash: Mutex::new(None),
             counters: Counters::default(),
+            clock,
         })
     }
 
@@ -227,10 +243,11 @@ impl Link for ChaosLink {
             self.counters.delayed.fetch_add(1, Ordering::Relaxed);
             let inner = self.inner.clone();
             let delay = policy.delay;
+            let clock = self.clock.clone();
             std::thread::Builder::new()
                 .name("chaos-delay".to_owned())
                 .spawn(move || {
-                    std::thread::sleep(delay);
+                    clock.sleep(delay);
                     let _ = inner.send(frame);
                 })
                 .expect("spawn chaos delay thread");

@@ -27,6 +27,12 @@
 
 pub mod chaos;
 pub mod engine;
+
+/// Re-export of the shared time-source abstraction ([`adn_wire::clock`]):
+/// retry deadlines, breaker windows, heartbeats, and chaos delays all read
+/// time through [`clock::Clock`] so the deterministic simulator can
+/// substitute virtual time.
+pub use adn_wire::clock;
 pub mod error;
 pub mod message;
 pub mod retry;

@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::{rngs::StdRng, Rng};
 
@@ -98,11 +98,15 @@ impl Default for BreakerPolicy {
 /// Per-destination circuit breaker: after `threshold` consecutive failures
 /// it opens and rejects calls for `cooldown`; the first call afterwards is
 /// a half-open probe — success closes the breaker, failure re-opens it.
+///
+/// Timestamps are [`Duration`]s read off a [`adn_wire::clock::Clock`]
+/// (time since the clock's epoch), not `Instant`s, so the breaker's
+/// half-open window follows virtual time under the simulator.
 #[derive(Debug)]
 pub struct CircuitBreaker {
     policy: BreakerPolicy,
     consecutive_failures: u32,
-    open_until: Option<Instant>,
+    open_until: Option<Duration>,
 }
 
 impl CircuitBreaker {
@@ -116,7 +120,7 @@ impl CircuitBreaker {
     }
 
     /// Whether a call may proceed at `now` (closed, or half-open probe).
-    pub fn allow(&self, now: Instant) -> bool {
+    pub fn allow(&self, now: Duration) -> bool {
         match self.open_until {
             Some(until) => now >= until,
             None => true,
@@ -124,7 +128,7 @@ impl CircuitBreaker {
     }
 
     /// Whether the breaker is currently rejecting calls.
-    pub fn is_open(&self, now: Instant) -> bool {
+    pub fn is_open(&self, now: Duration) -> bool {
         !self.allow(now)
     }
 
@@ -136,7 +140,7 @@ impl CircuitBreaker {
 
     /// Records a failed call (timeout or send error); opens the breaker
     /// once the consecutive-failure threshold is reached.
-    pub fn record_failure(&mut self, now: Instant) {
+    pub fn record_failure(&mut self, now: Duration) {
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
         if self.consecutive_failures >= self.policy.threshold {
             self.open_until = Some(now + self.policy.cooldown);
@@ -240,7 +244,9 @@ mod tests {
             threshold: 3,
             cooldown: Duration::from_millis(50),
         });
-        let t0 = Instant::now();
+        // Timestamps are plain durations-since-epoch, driven here in
+        // controlled jumps exactly as a virtual clock would produce them.
+        let t0 = Duration::from_secs(1);
         assert!(breaker.allow(t0));
         breaker.record_failure(t0);
         breaker.record_failure(t0);
@@ -257,6 +263,26 @@ mod tests {
         breaker.record_success();
         assert!(breaker.allow(later));
         assert_eq!(breaker.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn breaker_half_open_window_follows_virtual_clock() {
+        use adn_wire::clock::{Clock, VirtualClock};
+        let clock = VirtualClock::new();
+        let mut breaker = CircuitBreaker::new(BreakerPolicy {
+            threshold: 1,
+            cooldown: Duration::from_secs(30),
+        });
+        breaker.record_failure(clock.now());
+        assert!(breaker.is_open(clock.now()));
+        // Jump to just before the cooldown edge, then across it: the probe
+        // window opens at exactly epoch + cooldown, with no wall time spent.
+        clock.advance(Duration::from_secs(30) - Duration::from_nanos(1));
+        assert!(breaker.is_open(clock.now()));
+        clock.advance(Duration::from_nanos(1));
+        assert!(breaker.allow(clock.now()), "probe allowed at the edge");
+        breaker.record_failure(clock.now());
+        assert!(breaker.is_open(clock.now()), "failed probe re-opens");
     }
 
     #[test]

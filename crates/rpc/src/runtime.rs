@@ -14,8 +14,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use adn_wire::clock::Clock;
 use adn_wire::header::TraceContext;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
@@ -125,6 +126,10 @@ pub struct RpcClient {
     /// Trace-sampling rate in parts per million; 0 keeps the hot path at
     /// one atomic load + one branch. Set per-app by the controller.
     trace_ppm: AtomicU32,
+    /// Time source for retry deadlines, backoffs, and breaker windows.
+    /// Production clients run on the wall clock; the simulator substitutes
+    /// virtual time so a 10 s deadline costs zero wall time.
+    clock: Arc<dyn Clock>,
 }
 
 /// splitmix64, for deterministic per-call sampling and trace ids.
@@ -147,6 +152,26 @@ impl RpcClient {
         service: Arc<ServiceSchema>,
         chain: EngineChain,
     ) -> Arc<Self> {
+        Self::with_clock(
+            addr,
+            link,
+            frames,
+            service,
+            chain,
+            adn_wire::clock::system(),
+        )
+    }
+
+    /// [`RpcClient::new`] with an explicit time source. Deterministic tests
+    /// pass a [`adn_wire::clock::VirtualClock`] and drive it in jumps.
+    pub fn with_clock(
+        addr: EndpointAddr,
+        link: Arc<dyn Link>,
+        frames: Receiver<Frame>,
+        service: Arc<ServiceSchema>,
+        chain: EngineChain,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
         let client = Arc::new(Self {
             addr,
             link,
@@ -162,6 +187,7 @@ impl RpcClient {
             degraded: Mutex::new(DegradedMode::default()),
             retry_rng: Mutex::new(StdRng::seed_from_u64(addr)),
             trace_ppm: AtomicU32::new(0),
+            clock,
         });
 
         let dispatcher = client.clone();
@@ -359,11 +385,11 @@ impl RpcClient {
         let payload = wire_format::encode_message_to_vec(&msg)?;
         let configured_hop = self.via.lock().unwrap_or(msg.dst);
         let call_id = msg.call_id;
-        let deadline = Instant::now() + policy.deadline;
+        let deadline = self.clock.now() + policy.deadline;
         let mut failures = 0u32;
 
         loop {
-            let now = Instant::now();
+            let now = self.clock.now();
             let mut first_hop = configured_hop;
             let allowed = self
                 .breakers
@@ -401,7 +427,7 @@ impl RpcClient {
                 Ok(()) => {
                     let wait = policy
                         .attempt_timeout
-                        .min(deadline.saturating_duration_since(Instant::now()));
+                        .min(deadline.saturating_sub(self.clock.now()));
                     rx.recv_timeout(wait).map_err(|_| None)
                 }
             };
@@ -426,18 +452,18 @@ impl RpcClient {
                     failures += 1;
                     if first_hop == configured_hop {
                         if let Some(b) = self.breakers.lock().get_mut(&configured_hop) {
-                            b.record_failure(Instant::now());
+                            b.record_failure(self.clock.now());
                         }
                     }
                     let backoff = policy.backoff(failures, &mut self.retry_rng.lock());
-                    if failures >= policy.max_attempts || Instant::now() + backoff >= deadline {
+                    if failures >= policy.max_attempts || self.clock.now() + backoff >= deadline {
                         return Err(match maybe_err {
                             Some(e) => e,
                             None => RpcError::Timeout { call_id },
                         });
                     }
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(backoff);
+                    self.clock.sleep(backoff);
                 }
             }
         }
@@ -475,7 +501,7 @@ impl RpcClient {
         self.breakers
             .lock()
             .get(&endpoint)
-            .is_some_and(|b| b.is_open(Instant::now()))
+            .is_some_and(|b| b.is_open(self.clock.now()))
     }
 
     /// Number of calls awaiting responses.
@@ -1121,5 +1147,48 @@ mod tests {
             .unwrap();
         assert_eq!(resp.get("x"), Some(&Value::U64(3)));
         assert!(client.stats().fail_open_bypasses >= 1);
+    }
+
+    #[test]
+    fn retry_deadline_and_backoff_follow_virtual_clock() {
+        use adn_wire::clock::VirtualClock;
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let clock = VirtualClock::shared();
+        let frames = net.attach(1);
+        let client = RpcClient::with_clock(
+            1,
+            link,
+            frames,
+            service.clone(),
+            EngineChain::new(),
+            clock.clone(),
+        );
+        // Dead first hop: every attempt fails at the send, so no wall-clock
+        // response wait happens and every timed quantity — the backoffs and
+        // the overall deadline — runs on the virtual clock.
+        client.set_via(Some(9));
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            attempt_timeout: Duration::from_secs(1),
+            base_backoff: Duration::from_secs(10),
+            max_backoff: Duration::from_secs(10),
+            deadline: Duration::from_secs(60),
+        };
+        let wall = std::time::Instant::now();
+        let err = client
+            .call_resilient(request(&service, 1), 2, &policy)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::UnknownEndpoint(9)));
+        // Backoff sleeps advanced virtual time past the 60 s deadline
+        // (10–15 s per retry with jitter) without real sleeping.
+        assert!(clock.now() >= Duration::from_secs(40), "{:?}", clock.now());
+        assert!(clock.now() < Duration::from_secs(80), "{:?}", clock.now());
+        assert!(client.stats().retries >= 3);
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "a 60 s virtual deadline must not consume wall time"
+        );
     }
 }

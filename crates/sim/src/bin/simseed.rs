@@ -1,0 +1,198 @@
+//! `simseed` — the deterministic-simulation seed runner.
+//!
+//! ```text
+//! simseed list
+//! simseed run    --scenario NAME --seed N [--max-events N] [--dump-log]
+//! simseed sweep  --scenario NAME --seeds A..B [--artifact PATH]
+//! simseed shrink --scenario NAME --seed N
+//! ```
+//!
+//! `sweep` exits nonzero on the first failing seed, after shrinking it
+//! and printing (and optionally writing to `--artifact`) a replay
+//! command that reproduces the violation from the minimal event prefix.
+
+use std::process::ExitCode;
+
+use adn_sim::sweep::{replay_command, scenario_by_name, shrink, sweep, SCENARIO_NAMES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  simseed list\n  simseed run --scenario NAME --seed N \
+         [--max-events N] [--dump-log]\n  simseed sweep --scenario NAME \
+         --seeds A..B [--artifact PATH]\n  simseed shrink --scenario NAME --seed N\n\
+         scenarios: {}",
+        SCENARIO_NAMES.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    scenario: Option<String>,
+    seed: Option<u64>,
+    seeds: Option<(u64, u64)>,
+    max_events: Option<u64>,
+    dump_log: bool,
+    artifact: Option<String>,
+}
+
+fn parse(args: &[String]) -> Option<Args> {
+    let mut out = Args {
+        scenario: None,
+        seed: None,
+        seeds: None,
+        max_events: None,
+        dump_log: false,
+        artifact: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                out.scenario = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = Some(args.get(i + 1)?.parse().ok()?);
+                i += 2;
+            }
+            "--seeds" => {
+                let spec = args.get(i + 1)?;
+                let (a, b) = spec.split_once("..")?;
+                out.seeds = Some((a.parse().ok()?, b.parse().ok()?));
+                i += 2;
+            }
+            "--max-events" => {
+                out.max_events = Some(args.get(i + 1)?.parse().ok()?);
+                i += 2;
+            }
+            "--dump-log" => {
+                out.dump_log = true;
+                i += 1;
+            }
+            "--artifact" => {
+                out.artifact = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let Some(args) = parse(&argv[1..]) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            for name in SCENARIO_NAMES {
+                let s = scenario_by_name(name).expect("listed scenario exists");
+                println!(
+                    "{name}: procs={} calls={} chaos_drop={} autoscale={} kill={}",
+                    s.processors,
+                    s.calls,
+                    s.chaos.drop_prob,
+                    s.autoscale.is_some(),
+                    s.kill.is_some(),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let (Some(name), Some(seed)) = (args.scenario.as_deref(), args.seed) else {
+                return usage();
+            };
+            let Some(mut scenario) = scenario_by_name(name) else {
+                eprintln!("unknown scenario: {name}");
+                return usage();
+            };
+            if let Some(m) = args.max_events {
+                scenario.max_events = m;
+            }
+            let report = scenario.run(seed);
+            if args.dump_log {
+                print!("{}", report.log_text());
+            }
+            println!(
+                "scenario={} seed={} events={} fingerprint={:#018x} stats={:?}",
+                report.scenario,
+                report.seed,
+                report.events,
+                report.fingerprint(),
+                report.stats
+            );
+            match &report.violation {
+                None => {
+                    println!("all invariants held");
+                    ExitCode::SUCCESS
+                }
+                Some(v) => {
+                    println!("FAILED: {v}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "sweep" => {
+            let (Some(name), Some((a, b))) = (args.scenario.as_deref(), args.seeds) else {
+                return usage();
+            };
+            let Some(scenario) = scenario_by_name(name) else {
+                eprintln!("unknown scenario: {name}");
+                return usage();
+            };
+            let outcome = sweep(&scenario, a..b);
+            match outcome.failure {
+                None => {
+                    println!(
+                        "scenario={} seeds={}..{} ({} run): all invariants held",
+                        name, a, b, outcome.seeds_run
+                    );
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    let line = format!(
+                        "scenario={name} seed={} FAILED: {}\nminimal prefix: {} of {} events\nreplay: {}",
+                        f.seed, f.violation, f.min_events, f.events, f.replay
+                    );
+                    eprintln!("{line}");
+                    if let Some(path) = &args.artifact {
+                        if let Err(e) = std::fs::write(path, format!("{line}\n")) {
+                            eprintln!("could not write artifact {path}: {e}");
+                        }
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "shrink" => {
+            let (Some(name), Some(seed)) = (args.scenario.as_deref(), args.seed) else {
+                return usage();
+            };
+            let Some(scenario) = scenario_by_name(name) else {
+                eprintln!("unknown scenario: {name}");
+                return usage();
+            };
+            match shrink(&scenario, seed) {
+                None => {
+                    println!(
+                        "seed {seed} passes; nothing to shrink (try: {})",
+                        replay_command(name, seed, u64::MAX)
+                    );
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    println!(
+                        "seed={} violation={}\nminimal prefix: {} of {} events\nreplay: {}",
+                        f.seed, f.violation, f.min_events, f.events, f.replay
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,279 @@
+//! Message-level models of the cluster's node types. Each model is plain
+//! data driven by the scenario's event handlers; none owns a thread, a
+//! lock, or a clock. Where the real runtime has a mechanism that matters
+//! for correctness — dedup windows, NAT flow tables, circuit breakers,
+//! retry budgets, engine chains — the model reuses the *real* component
+//! rather than a simplified copy, so the simulator exercises the same
+//! code the production path runs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adn_rpc::engine::EngineChain;
+use adn_rpc::retry::{CircuitBreaker, DedupWindow, DegradedMode, RetryPolicy};
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::transport::Frame;
+use adn_rpc::value::Value;
+
+/// Dedup window capacity used by simulated processors and the server.
+/// Larger than any scenario's in-flight set, so eviction never weakens
+/// the at-most-once invariant inside a run.
+pub const DEDUP_CAP: usize = 4096;
+
+/// One element of a processor's chain, kept in buildable form so
+/// failover and migration can reconstruct the chain deterministically.
+#[derive(Debug, Clone)]
+pub struct ElementSpec {
+    /// Standard element name (e.g. `"Acl"`).
+    pub name: String,
+    /// Instantiation arguments.
+    pub args: Vec<(String, Value)>,
+}
+
+impl ElementSpec {
+    /// An element with no arguments.
+    pub fn plain(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            args: Vec::new(),
+        }
+    }
+}
+
+/// Where a processor sends accepted requests.
+#[derive(Debug, Clone)]
+pub enum NextHop {
+    /// Single downstream endpoint.
+    Fixed(u64),
+    /// Key-hash over shard replicas (post-scale-out router mode).
+    Sharded(Vec<u64>),
+}
+
+/// What a processor did with a (deduplicated) message — replayed verbatim
+/// on retransmission.
+#[derive(Debug, Clone)]
+pub enum CachedAction {
+    /// A frame was emitted; retransmits resend the identical frame.
+    Sent(Frame),
+    /// The chain dropped the message; retransmits drop too.
+    Dropped,
+}
+
+/// The state of one in-flight or finished client call.
+#[derive(Debug)]
+pub struct CallState {
+    /// Workload object id (unique per call in the sim workload).
+    pub object_id: u64,
+    /// Requesting username (drives the ACL element).
+    pub user: String,
+    /// The request payload, encoded once; retransmits reuse it so the
+    /// trace id and field bytes are identical across attempts.
+    pub payload: Vec<u8>,
+    /// Current 1-based attempt number.
+    pub attempt: u32,
+    /// Failed attempts so far (drives backoff growth).
+    pub failures: u32,
+    /// Absolute virtual deadline for the whole call.
+    pub deadline: Duration,
+    /// Terminal outcome, once resolved.
+    pub outcome: Option<CallOutcome>,
+}
+
+/// Terminal result of a simulated call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// Completed with an `Ok` response.
+    Ok,
+    /// Rejected by a network element (ACL, fault injection).
+    Aborted,
+    /// Retry budget or deadline exhausted.
+    TimedOut,
+}
+
+/// The closed-loop client: issues calls against the chain entry, retries
+/// with the real backoff policy, and trips the real circuit breaker.
+#[derive(Debug)]
+pub struct SimClient {
+    /// The client's flat endpoint address.
+    pub addr: u64,
+    /// First hop (chain entry processor).
+    pub via: u64,
+    /// Final destination (the server).
+    pub server: u64,
+    /// Real retry policy (backoff math shared with `call_resilient`).
+    pub policy: RetryPolicy,
+    /// Real circuit breaker guarding the first hop.
+    pub breaker: CircuitBreaker,
+    /// Breaker-open behavior.
+    pub degraded: DegradedMode,
+    /// All calls, keyed by call id (ordered for deterministic iteration).
+    pub calls: BTreeMap<u64, CallState>,
+    /// Workload indices handed to `IssueCall` so far.
+    pub scheduled: u64,
+    /// Total calls the workload will issue.
+    pub total: u64,
+    /// Calls in flight at once.
+    pub concurrency: u64,
+}
+
+impl SimClient {
+    /// Call id for workload index `i` (offset so ids never collide with
+    /// endpoint addresses in logs).
+    pub fn call_id(index: u64) -> u64 {
+        1000 + index
+    }
+}
+
+/// A simulated chain processor: the real engine chain plus the real
+/// dedup/NAT bookkeeping from the serve loop, minus the thread.
+#[derive(Debug)]
+pub struct SimProcessor {
+    /// Flat endpoint address (stable across failover and migration).
+    pub addr: u64,
+    /// The real compiled element chain.
+    pub chain: EngineChain,
+    /// Buildable description of `chain` for failover/migration rebuilds.
+    pub elements: Vec<ElementSpec>,
+    /// Downstream routing for accepted requests.
+    pub next_req: NextHop,
+    /// NAT flow table: call id → original requester address.
+    pub flows: HashMap<u64, u64>,
+    /// Request dedup window, keyed by (upstream address, call id).
+    pub req_cache: DedupWindow<(u64, u64), CachedAction>,
+    /// Response dedup window, keyed by call id.
+    pub resp_cache: DedupWindow<u64, CachedAction>,
+    /// False after a `Kill`: stops heartbeating, blackholes frames.
+    pub alive: bool,
+    /// Virtual time of the last heartbeat the controller saw.
+    pub last_beat: Duration,
+}
+
+impl SimProcessor {
+    /// A fresh processor with the given chain.
+    pub fn new(
+        addr: u64,
+        chain: EngineChain,
+        elements: Vec<ElementSpec>,
+        next_req: NextHop,
+    ) -> Self {
+        Self {
+            addr,
+            chain,
+            elements,
+            next_req,
+            flows: HashMap::new(),
+            req_cache: DedupWindow::new(DEDUP_CAP),
+            resp_cache: DedupWindow::new(DEDUP_CAP),
+            alive: true,
+            last_beat: Duration::ZERO,
+        }
+    }
+}
+
+/// The application server: executes requests at most once (real dedup
+/// window) and echoes responses.
+#[derive(Debug)]
+pub struct SimServer {
+    /// Flat endpoint address.
+    pub addr: u64,
+    /// Request dedup window, keyed by (last-hop address, call id); holds
+    /// the cached response frame for replay.
+    pub dedup: DedupWindow<(u64, u64), Frame>,
+    /// Response schema for building replies.
+    pub resp_schema: Arc<RpcSchema>,
+}
+
+/// The simulated controller: failure detection, checkpoint/restore, and
+/// load-triggered scale-out with a cooldown — the sim analog of the
+/// control loops in `adn-controller`.
+#[derive(Debug)]
+pub struct SimController {
+    /// Heartbeat age beyond which a processor is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Interval between controller sweeps.
+    pub sweep_interval: Duration,
+    /// Interval between state checkpoints.
+    pub checkpoint_interval: Duration,
+    /// Last checkpointed element-state images per processor.
+    pub checkpoints: BTreeMap<u64, Vec<Vec<u8>>>,
+    /// Scale-out config, when the scenario enables autoscale.
+    pub autoscale: Option<AutoscaleModel>,
+    /// Virtual time of the most recent scale-out.
+    pub last_scaleout: Option<Duration>,
+    /// Kills the controller has already repaired (avoid double failover).
+    pub failed_over: BTreeMap<u64, Duration>,
+}
+
+/// Autoscale parameters for the simulated controller.
+#[derive(Debug, Clone)]
+pub struct AutoscaleModel {
+    /// Entry-processor requests per sweep that trigger a scale-out.
+    pub threshold: u64,
+    /// Minimum virtual time between consecutive scale-outs.
+    pub cooldown: Duration,
+    /// Upper bound on shard replicas.
+    pub max_shards: usize,
+}
+
+/// One recorded trace span (the sim's analog of `adn_telemetry::Span`,
+/// reduced to the tree-shape fields the invariant checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanFact {
+    /// End-to-end trace id.
+    pub trace_id: u64,
+    /// This hop's span id (`TraceContext::span_at`).
+    pub span_id: u64,
+    /// Upstream span id (0 when the client is the parent).
+    pub parent_span: u64,
+    /// Recording processor address.
+    pub processor: u64,
+}
+
+/// Everything the invariant checkers observe. The event handlers update
+/// these facts inline; checkers only read them.
+#[derive(Debug, Default)]
+pub struct Facts {
+    /// Calls minted by the client.
+    pub calls_issued: u64,
+    /// Calls resolved `Ok`.
+    pub calls_ok: u64,
+    /// Calls rejected by an element.
+    pub calls_aborted: u64,
+    /// Calls that exhausted their retry budget or deadline.
+    pub calls_timed_out: u64,
+    /// Retransmissions scheduled by the retry layer.
+    pub retries: u64,
+    /// Frames handed to the link.
+    pub frames_sent: u64,
+    /// Frames delivered to a node.
+    pub frames_delivered: u64,
+    /// Frames the chaos layer dropped (incl. partition blackholes).
+    pub frames_dropped: u64,
+    /// Frames absorbed by dead processors.
+    pub frames_blackholed: u64,
+    /// Retransmits recognized by a dedup window (processor or server).
+    pub dedup_hits: u64,
+    /// Server executions per call id — the at-most-once ledger.
+    pub executions: BTreeMap<u64, u32>,
+    /// The most recent execution `(call_id, count_after)`, for O(1)
+    /// per-event checking.
+    pub last_exec: Option<(u64, u32)>,
+    /// Every span recorded, in causal order.
+    pub spans: Vec<SpanFact>,
+    /// Virtual times of scale-outs, in order.
+    pub scaleouts: Vec<Duration>,
+    /// Kills: processor address → virtual kill time.
+    pub kills: BTreeMap<u64, Duration>,
+    /// Failovers: processor address → virtual repair time.
+    pub failovers: BTreeMap<u64, Duration>,
+    /// Live migrations performed.
+    pub migrations: u64,
+}
+
+impl Facts {
+    /// Calls resolved one way or another.
+    pub fn calls_resolved(&self) -> u64 {
+        self.calls_ok + self.calls_aborted + self.calls_timed_out
+    }
+}

@@ -1,0 +1,1238 @@
+//! Scenario construction and the simulation world itself.
+//!
+//! A [`Scenario`] describes a whole cluster — chain topology, workload,
+//! chaos policy, failure schedule, controller knobs — and `run(seed)`
+//! executes it deterministically inside a [`SimExecutor`]: one thread,
+//! one RNG, virtual time only. The node models reuse the real runtime's
+//! pure components (compiled element chains, dedup windows, NAT flow
+//! tables, circuit breakers, retry backoff, trace contexts), so the
+//! invariants checked here are checked against production logic, not a
+//! simplified re-implementation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adn::harness::{object_store_schemas, object_store_service};
+use adn_backend::native::{compile_element, CompileOpts};
+use adn_rpc::chaos::ChaosPolicy;
+use adn_rpc::engine::{EngineChain, Verdict};
+use adn_rpc::message::{MessageKind, RpcMessage, RpcStatus};
+use adn_rpc::retry::{BreakerPolicy, CircuitBreaker, DedupWindow, DegradedMode, RetryPolicy};
+use adn_rpc::schema::{RpcSchema, ServiceSchema};
+use adn_rpc::transport::Frame;
+use adn_rpc::value::Value;
+use adn_rpc::wire_format::{decode_message_exact, encode_message_to_vec};
+use adn_telemetry::trace::mix64;
+use rand::Rng;
+
+use crate::executor::{Event, SimExecutor};
+use crate::invariant::{invariants_for, Violation};
+use crate::nodes::{
+    AutoscaleModel, CachedAction, CallOutcome, CallState, ElementSpec, Facts, NextHop, SimClient,
+    SimController, SimProcessor, SimServer, SpanFact, DEDUP_CAP,
+};
+
+/// The client's flat endpoint address.
+pub const CLIENT_ADDR: u64 = 100;
+/// The application server's flat endpoint address.
+pub const SERVER_ADDR: u64 = 200;
+/// First chain-processor address; hop `i` lives at `PROC_BASE + i`.
+pub const PROC_BASE: u64 = 50;
+/// First scale-out shard address.
+pub const SHARD_BASE: u64 = 500;
+
+/// Fixed one-way link latency before jitter and chaos delay.
+const BASE_LATENCY: Duration = Duration::from_millis(1);
+/// Uniform per-frame latency jitter bound (exclusive), in nanoseconds.
+const JITTER_NS: u64 = 200_000;
+
+/// Autoscale knobs for a scenario.
+#[derive(Debug, Clone)]
+pub struct SimAutoscale {
+    /// Entry-processor forwards per sweep that trigger a scale-out.
+    pub threshold: u64,
+    /// Minimum virtual time between consecutive scale-outs.
+    pub cooldown: Duration,
+    /// Upper bound on shard replicas.
+    pub max_shards: usize,
+}
+
+/// A whole-cluster test scenario. Build one with the preset constructors
+/// or field-by-field, then `run(seed)` as many seeds as you like — each
+/// run is deterministic and independent.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Name used in replay commands and reports.
+    pub name: String,
+    /// Number of chain processors; the paper-eval elements (Logging →
+    /// ACL → Fault) are distributed contiguously across them, extra
+    /// processors forward with an empty chain.
+    pub processors: usize,
+    /// Total calls the closed-loop workload issues.
+    pub calls: u64,
+    /// Calls kept in flight at once.
+    pub concurrency: u64,
+    /// Usernames cycled across calls (drives the ACL element: `bob` and
+    /// `eve` are read-only and get aborted).
+    pub users: Vec<String>,
+    /// `Fault` element abort probability.
+    pub fault_prob: f64,
+    /// Link chaos applied to every frame.
+    pub chaos: ChaosPolicy,
+    /// Client ↔ entry partition window `(start, end)`, if any.
+    pub partition_window: Option<(Duration, Duration)>,
+    /// Crash `(time, processor index)`, if any.
+    pub kill: Option<(Duration, usize)>,
+    /// Live migration `(time, processor index)`, if any.
+    pub migrate: Option<(Duration, usize)>,
+    /// Controller autoscale, if enabled.
+    pub autoscale: Option<SimAutoscale>,
+    /// Heartbeat age that declares a processor dead.
+    pub heartbeat_timeout: Duration,
+    /// Controller sweep interval.
+    pub sweep_interval: Duration,
+    /// Controller checkpoint interval.
+    pub checkpoint_interval: Duration,
+    /// Client retry policy (real backoff math, virtual time).
+    pub retry: RetryPolicy,
+    /// Client circuit-breaker policy.
+    pub breaker: BreakerPolicy,
+    /// Breaker-open behavior.
+    pub degraded: DegradedMode,
+    /// Whether calls carry trace contexts (enables the trace invariant).
+    pub trace: bool,
+    /// Whether timed-out calls are tolerated (true under chaos; false
+    /// means the zero-loss invariant fails the run on any timeout).
+    pub allow_timeouts: bool,
+    /// Hard cap on processed events (replay/shrink uses this).
+    pub max_events: u64,
+}
+
+impl Scenario {
+    /// A quiet baseline: defaults chosen so a scenario is valid the
+    /// moment it's constructed; presets tighten from here.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            processors: 1,
+            calls: 20,
+            concurrency: 4,
+            users: vec!["alice".into()],
+            fault_prob: 0.0,
+            chaos: ChaosPolicy {
+                drop_prob: 0.0,
+                dup_prob: 0.0,
+                reorder_prob: 0.0,
+                delay_prob: 0.0,
+                delay: Duration::ZERO,
+            },
+            partition_window: None,
+            kill: None,
+            migrate: None,
+            autoscale: None,
+            heartbeat_timeout: Duration::from_millis(100),
+            sweep_interval: Duration::from_millis(40),
+            checkpoint_interval: Duration::from_millis(60),
+            retry: RetryPolicy {
+                max_attempts: 16,
+                attempt_timeout: Duration::from_millis(250),
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(20),
+                deadline: Duration::from_secs(30),
+            },
+            breaker: BreakerPolicy {
+                threshold: 1000,
+                cooldown: Duration::from_millis(10),
+            },
+            degraded: DegradedMode::FailClosed,
+            trace: true,
+            allow_timeouts: false,
+            max_events: 500_000,
+        }
+    }
+
+    /// Tiny deterministic run with a mid-run live migration; the golden
+    /// event log and the determinism test use this.
+    pub fn smoke() -> Self {
+        let mut s = Self::new("smoke");
+        s.calls = 8;
+        s.concurrency = 2;
+        s.migrate = Some((Duration::from_millis(8), 0));
+        s
+    }
+
+    /// The chaos port of `tests/chaos_failover.rs`: paper-eval chain
+    /// split over two processors under drops, dups, reorders, delays and
+    /// fault injection, with an ACL-denied user in the mix.
+    pub fn chaos() -> Self {
+        let mut s = Self::new("chaos");
+        s.processors = 2;
+        s.calls = 60;
+        s.concurrency = 4;
+        s.users = vec!["alice".into(), "bob".into()];
+        s.fault_prob = 0.02;
+        s.chaos = ChaosPolicy {
+            drop_prob: 0.05,
+            dup_prob: 0.05,
+            reorder_prob: 0.05,
+            delay_prob: 0.05,
+            delay: Duration::from_millis(10),
+        };
+        s.allow_timeouts = true;
+        s
+    }
+
+    /// The reconfiguration port of `tests/reconfig_zero_loss.rs`: live
+    /// migration plus load-triggered scale-out on a clean link, with the
+    /// strict zero-loss invariant (any timed-out call fails the run).
+    pub fn reconfig() -> Self {
+        let mut s = Self::new("reconfig");
+        s.processors = 2;
+        s.calls = 120;
+        s.concurrency = 4;
+        s.migrate = Some((Duration::from_millis(50), 0));
+        s.autoscale = Some(SimAutoscale {
+            threshold: 15,
+            cooldown: Duration::from_millis(60),
+            max_shards: 3,
+        });
+        s
+    }
+
+    /// The acceptance scenario: chaos + processor crash/failover +
+    /// autoscale in one run, all five invariants armed.
+    pub fn everything() -> Self {
+        let mut s = Self::new("everything");
+        s.processors = 2;
+        s.calls = 200;
+        s.concurrency = 8;
+        s.users = vec!["alice".into(), "bob".into()];
+        s.fault_prob = 0.01;
+        s.chaos = ChaosPolicy {
+            drop_prob: 0.02,
+            dup_prob: 0.02,
+            reorder_prob: 0.02,
+            delay_prob: 0.02,
+            delay: Duration::from_millis(5),
+        };
+        s.kill = Some((Duration::from_millis(60), 0));
+        s.autoscale = Some(SimAutoscale {
+            threshold: 20,
+            cooldown: Duration::from_millis(120),
+            max_shards: 3,
+        });
+        s.allow_timeouts = true;
+        s
+    }
+
+    /// The failover liveness bound this scenario's controller promises:
+    /// detection needs the heartbeat to go stale (one timeout) plus at
+    /// most two sweeps to notice, with one sweep of slack.
+    pub fn failover_bound(&self) -> Duration {
+        self.heartbeat_timeout + self.sweep_interval * 3
+    }
+
+    /// Runs the scenario under `seed` and returns the full report. Same
+    /// seed, same scenario ⇒ byte-identical event log.
+    pub fn run(&self, seed: u64) -> SimReport {
+        let mut sim = Sim::new(self, seed);
+        let mut invs = invariants_for(self);
+        let mut violation: Option<Violation> = None;
+        let mut truncated = false;
+        'outer: while let Some((now, ev)) = sim.exec.pop() {
+            sim.exec.processed += 1;
+            let n = sim.exec.processed;
+            sim.handle(now, ev);
+            for inv in invs.iter_mut() {
+                if let Err(detail) = inv.check(now, &sim.facts) {
+                    violation = Some(Violation {
+                        invariant: inv.name().to_string(),
+                        at_event: n,
+                        at_ns: now.as_nanos() as u64,
+                        detail,
+                    });
+                    break 'outer;
+                }
+            }
+            if n >= self.max_events {
+                truncated = true;
+                break;
+            }
+        }
+        let end = sim.exec.now();
+        let events = sim.exec.processed;
+        if violation.is_none() && !truncated {
+            for inv in invs.iter_mut() {
+                if let Err(detail) = inv.check_end(end, &sim.facts) {
+                    violation = Some(Violation {
+                        invariant: inv.name().to_string(),
+                        at_event: events,
+                        at_ns: end.as_nanos() as u64,
+                        detail,
+                    });
+                    break;
+                }
+            }
+        }
+        SimReport {
+            scenario: self.name.clone(),
+            seed,
+            events,
+            truncated,
+            stats: SimStats::from_facts(&sim.facts),
+            violation,
+            log: sim.exec.into_log(),
+        }
+    }
+}
+
+/// Counters summarizing one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Calls minted.
+    pub calls_issued: u64,
+    /// Calls completed `Ok`.
+    pub calls_ok: u64,
+    /// Calls rejected by an element.
+    pub calls_aborted: u64,
+    /// Calls that exhausted retries or deadline.
+    pub calls_timed_out: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Frames handed to the link.
+    pub frames_sent: u64,
+    /// Frames delivered.
+    pub frames_delivered: u64,
+    /// Frames dropped by chaos or partitions.
+    pub frames_dropped: u64,
+    /// Frames absorbed by dead processors.
+    pub frames_blackholed: u64,
+    /// Dedup-window hits across processors and the server.
+    pub dedup_hits: u64,
+    /// Distinct calls executed at the server.
+    pub server_executions: u64,
+    /// Trace spans recorded.
+    pub spans: u64,
+    /// Failovers performed.
+    pub failovers: u64,
+    /// Scale-outs performed.
+    pub scaleouts: u64,
+    /// Live migrations performed.
+    pub migrations: u64,
+}
+
+impl SimStats {
+    fn from_facts(f: &Facts) -> Self {
+        Self {
+            calls_issued: f.calls_issued,
+            calls_ok: f.calls_ok,
+            calls_aborted: f.calls_aborted,
+            calls_timed_out: f.calls_timed_out,
+            retries: f.retries,
+            frames_sent: f.frames_sent,
+            frames_delivered: f.frames_delivered,
+            frames_dropped: f.frames_dropped,
+            frames_blackholed: f.frames_blackholed,
+            dedup_hits: f.dedup_hits,
+            server_executions: f.executions.len() as u64,
+            spans: f.spans.len() as u64,
+            failovers: f.failovers.len() as u64,
+            scaleouts: f.scaleouts.len() as u64,
+            migrations: f.migrations,
+        }
+    }
+}
+
+/// The result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The run seed.
+    pub seed: u64,
+    /// Events processed.
+    pub events: u64,
+    /// True when the run hit `max_events` before draining.
+    pub truncated: bool,
+    /// Outcome counters.
+    pub stats: SimStats,
+    /// First invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// The deterministic event log.
+    pub log: Vec<String>,
+}
+
+impl SimReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// The log as one newline-joined string (trailing newline included).
+    pub fn log_text(&self) -> String {
+        let mut s = self.log.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// FNV-1a fingerprint of the event log.
+    pub fn fingerprint(&self) -> u64 {
+        crate::executor::fingerprint(&self.log)
+    }
+}
+
+/// Builds the paper-eval element list for a scenario.
+fn paper_elements(fault_prob: f64) -> Vec<ElementSpec> {
+    vec![
+        ElementSpec::plain("Logging"),
+        ElementSpec::plain("Acl"),
+        ElementSpec {
+            name: "Fault".into(),
+            args: vec![("abort_prob".into(), Value::F64(fault_prob))],
+        },
+    ]
+}
+
+/// Compiles a chain from element specs with a fixed per-run compile seed
+/// (rebuilds during failover/migration replay the same random stream).
+fn build_chain(
+    specs: &[ElementSpec],
+    req: &RpcSchema,
+    resp: &RpcSchema,
+    compile_seed: u64,
+) -> EngineChain {
+    let mut chain = EngineChain::new();
+    for spec in specs {
+        let ir = adn_elements::build(&spec.name, &spec.args, req, resp)
+            .unwrap_or_else(|e| panic!("element {} must build: {e:?}", spec.name));
+        chain.push(Box::new(compile_element(
+            &ir,
+            &CompileOpts {
+                seed: compile_seed,
+                replicas: vec![],
+            },
+        )));
+    }
+    chain
+}
+
+/// The live simulation: executor + node models + observed facts.
+pub(crate) struct Sim<'a> {
+    cfg: &'a Scenario,
+    pub exec: SimExecutor,
+    pub facts: Facts,
+    client: SimClient,
+    procs: BTreeMap<u64, SimProcessor>,
+    server: SimServer,
+    ctl: SimController,
+    /// Chain-entry address (autoscale target, partition endpoint).
+    entry: u64,
+    /// Entry-processor forwards since the last sweep (autoscale signal).
+    entry_load: u64,
+    /// Scale-out shard addresses, in creation order.
+    shards: Vec<u64>,
+    /// Element specs shards are built from (set at first scale-out).
+    shard_elements: Vec<ElementSpec>,
+    /// Downstream hop shards forward to (set at first scale-out).
+    shard_downstream: u64,
+    partitioned: bool,
+    compile_seed: u64,
+    service: Arc<ServiceSchema>,
+    req_schema: Arc<RpcSchema>,
+    resp_schema: Arc<RpcSchema>,
+}
+
+impl<'a> Sim<'a> {
+    pub fn new(cfg: &'a Scenario, seed: u64) -> Self {
+        let (req_schema, resp_schema) = object_store_schemas();
+        let service = object_store_service();
+        let mut exec = SimExecutor::new(seed);
+        let compile_seed = mix64(seed ^ 0x0ADD_5EED);
+
+        // Distribute the paper-eval chain contiguously over N hops;
+        // hops past the element count forward with an empty chain.
+        let n = cfg.processors.max(1);
+        let elements = paper_elements(cfg.fault_prob);
+        let mut groups: Vec<Vec<ElementSpec>> = vec![Vec::new(); n];
+        for (j, spec) in elements.into_iter().enumerate() {
+            let target = (j * n) / 3;
+            groups[target.min(n - 1)].push(spec);
+        }
+        let mut procs = BTreeMap::new();
+        for (i, group) in groups.into_iter().enumerate() {
+            let addr = PROC_BASE + i as u64;
+            let next = if i + 1 < n {
+                NextHop::Fixed(PROC_BASE + i as u64 + 1)
+            } else {
+                NextHop::Fixed(SERVER_ADDR)
+            };
+            let chain = build_chain(&group, &req_schema, &resp_schema, compile_seed);
+            procs.insert(addr, SimProcessor::new(addr, chain, group, next));
+        }
+
+        let client = SimClient {
+            addr: CLIENT_ADDR,
+            via: PROC_BASE,
+            server: SERVER_ADDR,
+            policy: cfg.retry,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            degraded: cfg.degraded,
+            calls: BTreeMap::new(),
+            scheduled: 0,
+            total: cfg.calls,
+            concurrency: cfg.concurrency.max(1),
+        };
+        let server = SimServer {
+            addr: SERVER_ADDR,
+            dedup: DedupWindow::new(DEDUP_CAP),
+            resp_schema: resp_schema.clone(),
+        };
+        let ctl = SimController {
+            heartbeat_timeout: cfg.heartbeat_timeout,
+            sweep_interval: cfg.sweep_interval,
+            checkpoint_interval: cfg.checkpoint_interval,
+            checkpoints: BTreeMap::new(),
+            autoscale: cfg.autoscale.as_ref().map(|a| AutoscaleModel {
+                threshold: a.threshold,
+                cooldown: a.cooldown,
+                max_shards: a.max_shards,
+            }),
+            last_scaleout: None,
+            failed_over: BTreeMap::new(),
+        };
+
+        // Seed the event queue: workload warm-up, controller loops, and
+        // the scenario's failure schedule.
+        let mut client = client;
+        let warmup = client.concurrency.min(client.total);
+        for i in 0..warmup {
+            exec.schedule_at(
+                Duration::from_millis(1) + Duration::from_micros(100 * i),
+                Event::IssueCall { index: i },
+            );
+        }
+        client.scheduled = warmup;
+        exec.schedule_at(cfg.sweep_interval, Event::Sweep);
+        exec.schedule_at(cfg.checkpoint_interval, Event::Checkpoint);
+        if let Some((t, idx)) = cfg.kill {
+            exec.schedule_at(
+                t,
+                Event::Kill {
+                    addr: PROC_BASE + idx as u64,
+                },
+            );
+        }
+        if let Some((t, idx)) = cfg.migrate {
+            exec.schedule_at(
+                t,
+                Event::Migrate {
+                    addr: PROC_BASE + idx as u64,
+                },
+            );
+        }
+        if let Some((start, end)) = cfg.partition_window {
+            exec.schedule_at(start, Event::PartitionStart);
+            exec.schedule_at(end.max(start), Event::PartitionEnd);
+        }
+        Self {
+            cfg,
+            exec,
+            facts: Facts::default(),
+            client,
+            procs,
+            server,
+            ctl,
+            entry: PROC_BASE,
+            entry_load: 0,
+            shards: Vec::new(),
+            shard_elements: Vec::new(),
+            shard_downstream: SERVER_ADDR,
+            partitioned: false,
+            compile_seed,
+            service,
+            req_schema,
+            resp_schema,
+        }
+    }
+
+    fn client_done(&self) -> bool {
+        self.facts.calls_resolved() >= self.client.total
+    }
+
+    pub fn handle(&mut self, now: Duration, ev: Event) {
+        match ev {
+            Event::IssueCall { index } => self.issue_call(now, index),
+            Event::SendAttempt { call_id, attempt } => self.send_attempt(now, call_id, attempt),
+            Event::RetryFire { call_id, attempt } => self.retry_fire(now, call_id, attempt),
+            Event::Deliver { frame } => self.deliver(now, frame),
+            Event::Sweep => self.sweep(now),
+            Event::Checkpoint => self.checkpoint(now),
+            Event::Kill { addr } => self.kill(now, addr),
+            Event::Migrate { addr } => self.migrate(now, addr),
+            Event::PartitionStart => {
+                self.partitioned = true;
+                self.exec.log("partition_start");
+            }
+            Event::PartitionEnd => {
+                self.partitioned = false;
+                self.exec.log("partition_end");
+            }
+        }
+    }
+
+    // ---- link ----------------------------------------------------------
+
+    /// Applies partition and chaos policy (rolls in the same order as
+    /// `ChaosLink`: drop, delay, reorder, dup) and schedules delivery.
+    fn send_frame(&mut self, frame: Frame) {
+        self.facts.frames_sent += 1;
+        if self.partitioned {
+            let (a, b) = (frame.src, frame.dst);
+            let (cl, entry) = (self.client.addr, self.entry);
+            if (a == cl && b == entry) || (a == entry && b == cl) {
+                self.facts.frames_dropped += 1;
+                self.exec.log(format!("partition_drop src={a} dst={b}"));
+                return;
+            }
+        }
+        let p = self.cfg.chaos;
+        if p.drop_prob > 0.0 && self.exec.rng.gen_bool(p.drop_prob) {
+            self.facts.frames_dropped += 1;
+            self.exec
+                .log(format!("chaos_drop src={} dst={}", frame.src, frame.dst));
+            return;
+        }
+        let mut latency =
+            BASE_LATENCY + Duration::from_nanos(self.exec.rng.gen_range(0..JITTER_NS));
+        if p.delay_prob > 0.0 && self.exec.rng.gen_bool(p.delay_prob) {
+            latency += p.delay;
+            self.exec
+                .log(format!("chaos_delay src={} dst={}", frame.src, frame.dst));
+        }
+        if p.reorder_prob > 0.0 && self.exec.rng.gen_bool(p.reorder_prob) {
+            // Holding a frame back past its successors is, in virtual
+            // time, extra latency.
+            latency += BASE_LATENCY * 2;
+            self.exec
+                .log(format!("chaos_reorder src={} dst={}", frame.src, frame.dst));
+        }
+        if p.dup_prob > 0.0 && self.exec.rng.gen_bool(p.dup_prob) {
+            self.exec
+                .log(format!("chaos_dup src={} dst={}", frame.src, frame.dst));
+            self.exec.schedule_after(
+                latency + BASE_LATENCY / 2,
+                Event::Deliver {
+                    frame: frame.clone(),
+                },
+            );
+        }
+        self.exec.schedule_after(latency, Event::Deliver { frame });
+    }
+
+    fn deliver(&mut self, now: Duration, frame: Frame) {
+        self.facts.frames_delivered += 1;
+        let dst = frame.dst;
+        if dst == self.client.addr {
+            self.client_recv(now, frame);
+        } else if dst == self.server.addr {
+            self.server_recv(frame);
+        } else if self.procs.contains_key(&dst) {
+            self.proc_recv(now, frame);
+        } else {
+            self.exec.log(format!("drop_unknown dst={dst}"));
+        }
+    }
+
+    // ---- client --------------------------------------------------------
+
+    fn issue_call(&mut self, now: Duration, index: u64) {
+        let call_id = SimClient::call_id(index);
+        let user = self.cfg.users[index as usize % self.cfg.users.len()].clone();
+        let object_id = index;
+        let mut msg = RpcMessage::request(call_id, 1, self.req_schema.clone());
+        msg.src = self.client.addr;
+        msg.dst = self.client.server;
+        msg.set("object_id", Value::U64(object_id));
+        msg.set("username", Value::Str(user.clone()));
+        msg.set("payload", Value::Bytes(b"sim".to_vec()));
+        if self.cfg.trace {
+            msg.trace = Some(adn_wire::header::TraceContext::root(mix64(call_id)));
+        }
+        let payload = encode_message_to_vec(&msg).expect("request encodes");
+        self.client.calls.insert(
+            call_id,
+            CallState {
+                object_id,
+                user: user.clone(),
+                payload,
+                attempt: 1,
+                failures: 0,
+                deadline: now + self.client.policy.deadline,
+                outcome: None,
+            },
+        );
+        self.facts.calls_issued += 1;
+        self.exec
+            .log(format!("issue call={call_id} obj={object_id} user={user}"));
+        self.exec.schedule_after(
+            Duration::ZERO,
+            Event::SendAttempt {
+                call_id,
+                attempt: 1,
+            },
+        );
+    }
+
+    fn send_attempt(&mut self, now: Duration, call_id: u64, attempt: u32) {
+        let Some(call) = self.client.calls.get(&call_id) else {
+            return;
+        };
+        if call.outcome.is_some() || call.attempt != attempt {
+            return; // stale timer or already resolved
+        }
+        let deadline = call.deadline;
+        if now >= deadline {
+            self.resolve_call(
+                call_id,
+                CallOutcome::TimedOut,
+                format!("call_timeout call={call_id}"),
+            );
+            return;
+        }
+        let payload = call.payload.clone();
+        let dst = if self.client.breaker.allow(now) {
+            self.client.via
+        } else {
+            match self.client.degraded {
+                DegradedMode::FailOpen => {
+                    // Availability over policy: skip the (dead) chain.
+                    self.exec.log(format!("breaker_bypass call={call_id}"));
+                    self.client.server
+                }
+                DegradedMode::FailClosed => {
+                    self.resolve_call(
+                        call_id,
+                        CallOutcome::TimedOut,
+                        format!("breaker_reject call={call_id}"),
+                    );
+                    return;
+                }
+            }
+        };
+        self.exec
+            .log(format!("send call={call_id} attempt={attempt} dst={dst}"));
+        self.send_frame(Frame {
+            src: self.client.addr,
+            dst,
+            payload,
+        });
+        let wait = self
+            .client
+            .policy
+            .attempt_timeout
+            .min(deadline.saturating_sub(now))
+            .max(Duration::from_nanos(1));
+        self.exec
+            .schedule_after(wait, Event::RetryFire { call_id, attempt });
+    }
+
+    fn retry_fire(&mut self, now: Duration, call_id: u64, attempt: u32) {
+        let Some(call) = self.client.calls.get_mut(&call_id) else {
+            return;
+        };
+        if call.outcome.is_some() || call.attempt != attempt {
+            return; // the call moved on; this timer is stale
+        }
+        call.failures += 1;
+        let failures = call.failures;
+        let deadline = call.deadline;
+        self.client.breaker.record_failure(now);
+        if failures >= self.client.policy.max_attempts {
+            self.resolve_call(
+                call_id,
+                CallOutcome::TimedOut,
+                format!("call_timeout call={call_id} attempts={failures}"),
+            );
+            return;
+        }
+        let backoff = self.client.policy.backoff(failures, &mut self.exec.rng);
+        if now + backoff >= deadline {
+            self.resolve_call(
+                call_id,
+                CallOutcome::TimedOut,
+                format!("call_timeout call={call_id} attempts={failures}"),
+            );
+            return;
+        }
+        self.client
+            .calls
+            .get_mut(&call_id)
+            .expect("checked")
+            .attempt = attempt + 1;
+        self.facts.retries += 1;
+        self.exec
+            .log(format!("retry call={call_id} attempt={}", attempt + 1));
+        self.exec.schedule_after(
+            backoff,
+            Event::SendAttempt {
+                call_id,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    fn client_recv(&mut self, _now: Duration, frame: Frame) {
+        let msg = match decode_message_exact(&frame.payload, &self.service) {
+            Ok(m) => m,
+            Err(e) => {
+                self.exec.log(format!("client_decode_error {e:?}"));
+                return;
+            }
+        };
+        let call_id = msg.call_id;
+        let resolved = match self.client.calls.get(&call_id) {
+            None => true,
+            Some(c) => c.outcome.is_some(),
+        };
+        if resolved {
+            self.exec.log(format!("late_resp call={call_id}"));
+            return;
+        }
+        self.client.breaker.record_success();
+        match &msg.status {
+            RpcStatus::Ok => {
+                self.resolve_call(call_id, CallOutcome::Ok, format!("call_ok call={call_id}"));
+            }
+            RpcStatus::Aborted { code, .. } => {
+                let line = format!("call_abort call={call_id} code={code}");
+                self.resolve_call(call_id, CallOutcome::Aborted, line);
+            }
+        }
+    }
+
+    /// Marks a call terminal, logs `line`, and refills the closed loop.
+    fn resolve_call(&mut self, call_id: u64, outcome: CallOutcome, line: String) {
+        let call = self.client.calls.get_mut(&call_id).expect("known call");
+        if call.outcome.is_some() {
+            return;
+        }
+        call.outcome = Some(outcome);
+        match outcome {
+            CallOutcome::Ok => self.facts.calls_ok += 1,
+            CallOutcome::Aborted => self.facts.calls_aborted += 1,
+            CallOutcome::TimedOut => self.facts.calls_timed_out += 1,
+        }
+        self.exec.log(line);
+        if self.client.scheduled < self.client.total {
+            let index = self.client.scheduled;
+            self.client.scheduled += 1;
+            self.exec
+                .schedule_after(Duration::from_micros(200), Event::IssueCall { index });
+        }
+    }
+
+    // ---- processors ----------------------------------------------------
+
+    fn proc_recv(&mut self, now: Duration, frame: Frame) {
+        {
+            let p = self
+                .procs
+                .get_mut(&frame.dst)
+                .expect("routed to a processor");
+            if !p.alive {
+                self.facts.frames_blackholed += 1;
+                self.exec.log(format!("blackhole addr={}", frame.dst));
+                return;
+            }
+            p.last_beat = now;
+        }
+        let msg = match decode_message_exact(&frame.payload, &self.service) {
+            Ok(m) => m,
+            Err(e) => {
+                self.exec
+                    .log(format!("proc_decode_error addr={} {e:?}", frame.dst));
+                return;
+            }
+        };
+        match msg.kind {
+            MessageKind::Request => self.proc_request(frame, msg),
+            MessageKind::Response => self.proc_response(frame, msg),
+        }
+    }
+
+    fn proc_request(&mut self, frame: Frame, mut msg: RpcMessage) {
+        let addr = frame.dst;
+        let mut out: Option<Frame> = None;
+        {
+            let p = self.procs.get_mut(&addr).expect("alive processor");
+            let key = (frame.src, msg.call_id);
+            if let Some(cached) = p.req_cache.get(&key) {
+                self.facts.dedup_hits += 1;
+                match cached {
+                    CachedAction::Sent(f) => {
+                        out = Some(f.clone());
+                        self.exec
+                            .log(format!("dedup_replay addr={addr} call={}", msg.call_id));
+                    }
+                    CachedAction::Dropped => {
+                        self.exec
+                            .log(format!("dedup_drop addr={addr} call={}", msg.call_id));
+                    }
+                }
+            } else {
+                if let Some(ctx) = msg.trace {
+                    if ctx.budget {
+                        self.facts.spans.push(SpanFact {
+                            trace_id: ctx.trace_id,
+                            span_id: ctx.span_at(addr),
+                            parent_span: ctx.parent_span,
+                            processor: addr,
+                        });
+                    }
+                    msg.trace = Some(ctx.child_from(addr));
+                }
+                match p.chain.process(&mut msg) {
+                    Verdict::Forward => {
+                        p.flows.insert(msg.call_id, frame.src);
+                        let oid = match msg.get("object_id") {
+                            Some(Value::U64(v)) => *v,
+                            _ => msg.call_id,
+                        };
+                        let next = match &p.next_req {
+                            NextHop::Fixed(a) => *a,
+                            NextHop::Sharded(v) => v[(mix64(oid) % v.len() as u64) as usize],
+                        };
+                        msg.src = addr;
+                        msg.dst = next;
+                        let payload = encode_message_to_vec(&msg).expect("forward encodes");
+                        let f = Frame {
+                            src: addr,
+                            dst: next,
+                            payload,
+                        };
+                        p.req_cache.insert(key, CachedAction::Sent(f.clone()));
+                        if addr == self.entry {
+                            self.entry_load += 1;
+                        }
+                        self.exec
+                            .log(format!("fwd addr={addr} call={} dst={next}", msg.call_id));
+                        out = Some(f);
+                    }
+                    Verdict::Drop => {
+                        p.req_cache.insert(key, CachedAction::Dropped);
+                        self.exec
+                            .log(format!("chain_drop addr={addr} call={}", msg.call_id));
+                    }
+                    Verdict::Abort { code, message } => {
+                        let mut resp = RpcMessage::response_to(&msg, self.resp_schema.clone());
+                        resp.status = RpcStatus::Aborted { code, message };
+                        resp.src = addr;
+                        resp.dst = frame.src;
+                        let payload = encode_message_to_vec(&resp).expect("abort encodes");
+                        let f = Frame {
+                            src: addr,
+                            dst: frame.src,
+                            payload,
+                        };
+                        p.req_cache.insert(key, CachedAction::Sent(f.clone()));
+                        self.exec.log(format!(
+                            "abort addr={addr} call={} code={code}",
+                            msg.call_id
+                        ));
+                        out = Some(f);
+                    }
+                }
+            }
+        }
+        if let Some(f) = out {
+            self.send_frame(f);
+        }
+    }
+
+    fn proc_response(&mut self, frame: Frame, mut msg: RpcMessage) {
+        let addr = frame.dst;
+        let mut out: Option<Frame> = None;
+        {
+            let p = self.procs.get_mut(&addr).expect("alive processor");
+            let call_id = msg.call_id;
+            if let Some(cached) = p.resp_cache.get(&call_id) {
+                self.facts.dedup_hits += 1;
+                match cached {
+                    CachedAction::Sent(f) => {
+                        out = Some(f.clone());
+                        self.exec
+                            .log(format!("resp_dedup addr={addr} call={call_id}"));
+                    }
+                    CachedAction::Dropped => {
+                        self.exec
+                            .log(format!("resp_dedup_drop addr={addr} call={call_id}"));
+                    }
+                }
+            } else {
+                // The chain sees responses too (paper-eval elements only
+                // match `on request`, so this is Forward for them — but
+                // response-matching elements keep their real semantics).
+                let verdict = p.chain.process(&mut msg);
+                if let Verdict::Drop = verdict {
+                    p.resp_cache.insert(call_id, CachedAction::Dropped);
+                    self.exec
+                        .log(format!("resp_drop addr={addr} call={call_id}"));
+                } else {
+                    if let Verdict::Abort { code, message } = verdict {
+                        msg.status = RpcStatus::Aborted { code, message };
+                    }
+                    match p.flows.remove(&call_id) {
+                        Some(orig) => {
+                            msg.src = addr;
+                            msg.dst = orig;
+                            let payload = encode_message_to_vec(&msg).expect("response encodes");
+                            let f = Frame {
+                                src: addr,
+                                dst: orig,
+                                payload,
+                            };
+                            p.resp_cache.insert(call_id, CachedAction::Sent(f.clone()));
+                            self.exec
+                                .log(format!("resp_fwd addr={addr} call={call_id} dst={orig}"));
+                            out = Some(f);
+                        }
+                        None => {
+                            p.resp_cache.insert(call_id, CachedAction::Dropped);
+                            self.exec
+                                .log(format!("stale_resp addr={addr} call={call_id}"));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(f) = out {
+            self.send_frame(f);
+        }
+    }
+
+    // ---- server --------------------------------------------------------
+
+    fn server_recv(&mut self, frame: Frame) {
+        let msg = match decode_message_exact(&frame.payload, &self.service) {
+            Ok(m) => m,
+            Err(e) => {
+                self.exec.log(format!("server_decode_error {e:?}"));
+                return;
+            }
+        };
+        let key = (frame.src, msg.call_id);
+        if let Some(f) = self.server.dedup.get(&key) {
+            let f = f.clone();
+            self.facts.dedup_hits += 1;
+            self.exec.log(format!("server_dedup call={}", msg.call_id));
+            self.send_frame(f);
+            return;
+        }
+        let count = {
+            let e = self.facts.executions.entry(msg.call_id).or_insert(0);
+            *e += 1;
+            *e
+        };
+        self.facts.last_exec = Some((msg.call_id, count));
+        let oid = match msg.get("object_id") {
+            Some(Value::U64(v)) => *v,
+            _ => 0,
+        };
+        self.exec
+            .log(format!("exec call={} obj={oid}", msg.call_id));
+        let mut resp = RpcMessage::response_to(&msg, self.server.resp_schema.clone());
+        resp.set("ok", Value::Bool(true));
+        let payload = encode_message_to_vec(&resp).expect("response encodes");
+        let f = Frame {
+            src: self.server.addr,
+            dst: frame.src,
+            payload,
+        };
+        self.server.dedup.insert(key, f.clone());
+        self.send_frame(f);
+    }
+
+    // ---- controller ----------------------------------------------------
+
+    fn sweep(&mut self, now: Duration) {
+        // Heartbeat collection + failure detection. Live processors beat
+        // between sweeps; a killed one's last beat goes stale.
+        let addrs: Vec<u64> = self.procs.keys().copied().collect();
+        for addr in addrs {
+            let (alive, last_beat) = {
+                let p = &self.procs[&addr];
+                (p.alive, p.last_beat)
+            };
+            if alive {
+                self.procs.get_mut(&addr).expect("present").last_beat = now;
+                continue;
+            }
+            let age = now.saturating_sub(last_beat);
+            if age > self.ctl.heartbeat_timeout {
+                self.failover(now, addr, age);
+            }
+        }
+        // Load-triggered scale-out on the chain entry, gated by cooldown.
+        if let Some(cfg) = self.ctl.autoscale.clone() {
+            let load = self.entry_load;
+            self.entry_load = 0;
+            let cooled = match self.ctl.last_scaleout {
+                None => true,
+                Some(t) => now.saturating_sub(t) >= cfg.cooldown,
+            };
+            let entry_alive = self.procs.get(&self.entry).map(|p| p.alive) == Some(true);
+            if load > cfg.threshold && cooled && self.shards.len() < cfg.max_shards && entry_alive {
+                self.scale_out(now);
+            }
+        }
+        if !self.client_done() || self.procs.values().any(|p| !p.alive) {
+            self.exec
+                .schedule_after(self.ctl.sweep_interval, Event::Sweep);
+        }
+    }
+
+    fn checkpoint(&mut self, now: Duration) {
+        let _ = now;
+        let addrs: Vec<u64> = self.procs.keys().copied().collect();
+        for addr in addrs {
+            let images = {
+                let p = &self.procs[&addr];
+                if !p.alive {
+                    continue;
+                }
+                p.chain.export_states()
+            };
+            self.exec
+                .log(format!("checkpoint addr={addr} engines={}", images.len()));
+            self.ctl.checkpoints.insert(addr, images);
+        }
+        if !self.client_done() {
+            self.exec
+                .schedule_after(self.ctl.checkpoint_interval, Event::Checkpoint);
+        }
+    }
+
+    fn failover(&mut self, now: Duration, addr: u64, age: Duration) {
+        let (elements, images) = {
+            let p = &self.procs[&addr];
+            (
+                p.elements.clone(),
+                self.ctl.checkpoints.get(&addr).cloned().unwrap_or_default(),
+            )
+        };
+        let mut chain = build_chain(
+            &elements,
+            &self.req_schema,
+            &self.resp_schema,
+            self.compile_seed,
+        );
+        if !images.is_empty() {
+            // Best effort, like the real controller: a stale checkpoint
+            // shape (post-reconfig) falls back to fresh state.
+            let _ = chain.import_states(&images);
+        }
+        let p = self.procs.get_mut(&addr).expect("present");
+        p.chain = chain;
+        p.flows.clear();
+        p.req_cache = DedupWindow::new(DEDUP_CAP);
+        p.resp_cache = DedupWindow::new(DEDUP_CAP);
+        p.alive = true;
+        p.last_beat = now;
+        self.ctl.failed_over.insert(addr, now);
+        self.facts.failovers.insert(addr, now);
+        self.exec
+            .log(format!("failover addr={addr} age_ns={}", age.as_nanos()));
+    }
+
+    fn scale_out(&mut self, now: Duration) {
+        let new_addr = SHARD_BASE + self.shards.len() as u64;
+        if self.shards.is_empty() {
+            // First scale-out: the entry's elements move to shard 0 (with
+            // exported state) and the entry becomes a pure router.
+            let (elements, downstream, images) = {
+                let p = self.procs.get_mut(&self.entry).expect("entry");
+                let downstream = match &p.next_req {
+                    NextHop::Fixed(a) => *a,
+                    NextHop::Sharded(_) => unreachable!("entry is not yet a router"),
+                };
+                let images = p.chain.export_states();
+                let elements = std::mem::take(&mut p.elements);
+                p.chain = EngineChain::new();
+                (elements, downstream, images)
+            };
+            let mut chain = build_chain(
+                &elements,
+                &self.req_schema,
+                &self.resp_schema,
+                self.compile_seed,
+            );
+            let _ = chain.import_states(&images);
+            let shard = SimProcessor::new(
+                new_addr,
+                chain,
+                elements.clone(),
+                NextHop::Fixed(downstream),
+            );
+            self.procs.insert(new_addr, shard);
+            self.shard_elements = elements;
+            self.shard_downstream = downstream;
+        } else {
+            let chain = build_chain(
+                &self.shard_elements,
+                &self.req_schema,
+                &self.resp_schema,
+                self.compile_seed,
+            );
+            let shard = SimProcessor::new(
+                new_addr,
+                chain,
+                self.shard_elements.clone(),
+                NextHop::Fixed(self.shard_downstream),
+            );
+            self.procs.insert(new_addr, shard);
+        }
+        self.shards.push(new_addr);
+        let p = self.procs.get_mut(&self.entry).expect("entry");
+        p.next_req = NextHop::Sharded(self.shards.clone());
+        self.ctl.last_scaleout = Some(now);
+        self.facts.scaleouts.push(now);
+        self.exec.log(format!(
+            "scaleout shards={} new_addr={new_addr}",
+            self.shards.len()
+        ));
+    }
+
+    fn kill(&mut self, now: Duration, addr: u64) {
+        if let Some(p) = self.procs.get_mut(&addr) {
+            p.alive = false;
+        }
+        self.facts.kills.insert(addr, now);
+        self.exec.log(format!("kill addr={addr}"));
+    }
+
+    /// Live migration: export element state, rebuild the chain, import —
+    /// flows and dedup caches ride along, exactly like the real
+    /// `migrate_processor` (same address, no frame loss).
+    fn migrate(&mut self, _now: Duration, addr: u64) {
+        let (elements, images, alive) = {
+            let Some(p) = self.procs.get(&addr) else {
+                return;
+            };
+            (p.elements.clone(), p.chain.export_states(), p.alive)
+        };
+        if !alive {
+            return;
+        }
+        let mut chain = build_chain(
+            &elements,
+            &self.req_schema,
+            &self.resp_schema,
+            self.compile_seed,
+        );
+        let _ = chain.import_states(&images);
+        self.procs.get_mut(&addr).expect("present").chain = chain;
+        self.facts.migrations += 1;
+        self.exec.log(format!("migrate addr={addr}"));
+    }
+}

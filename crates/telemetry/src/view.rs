@@ -8,8 +8,10 @@
 //! per-element rate, p99 latency, and queue depth.
 
 use std::collections::{HashMap, VecDeque};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
+use adn_wire::clock::Clock;
 use parking_lot::Mutex;
 
 use crate::metrics::HistogramSnapshot;
@@ -60,33 +62,48 @@ pub struct ViewRow {
 const MAX_SAMPLES_PER_PROC: usize = 64;
 
 /// Sliding-window aggregation of [`ProcessorObservation`]s.
+///
+/// Observation timestamps are durations since the view's [`Clock`] epoch;
+/// the controller shares its clock with the view so window aging follows
+/// virtual time under the deterministic simulator.
 pub struct ClusterView {
     window: Duration,
-    procs: Mutex<HashMap<u64, VecDeque<(Instant, ProcessorObservation)>>>,
+    clock: Arc<dyn Clock>,
+    procs: Mutex<HashMap<u64, VecDeque<(Duration, ProcessorObservation)>>>,
 }
 
 impl ClusterView {
-    /// A view retaining observations for `window`.
+    /// A view retaining observations for `window`, timestamped off the
+    /// wall clock.
     pub fn new(window: Duration) -> Self {
+        Self::with_clock(window, adn_wire::clock::system())
+    }
+
+    /// A view retaining observations for `window`, timestamped off `clock`.
+    pub fn with_clock(window: Duration, clock: Arc<dyn Clock>) -> Self {
         Self {
             window,
+            clock,
             procs: Mutex::new(HashMap::new()),
         }
     }
 
     /// Feeds one heartbeat observation into the window.
     pub fn observe(&self, obs: ProcessorObservation) {
-        self.observe_at(Instant::now(), obs);
+        self.observe_at(self.clock.now(), obs);
     }
 
-    fn observe_at(&self, now: Instant, obs: ProcessorObservation) {
+    /// Feeds an observation stamped at an explicit time (since the clock
+    /// epoch). The simulator uses this to replay observations at exact
+    /// virtual timestamps.
+    pub fn observe_at(&self, now: Duration, obs: ProcessorObservation) {
         let mut procs = self.procs.lock();
         let window = procs.entry(obs.endpoint).or_default();
         window.push_back((now, obs));
         while window.len() > MAX_SAMPLES_PER_PROC
             || window
                 .front()
-                .is_some_and(|(t, _)| now.duration_since(*t) > self.window && window.len() > 2)
+                .is_some_and(|(t, _)| now.saturating_sub(*t) > self.window && window.len() > 2)
         {
             window.pop_front();
         }
@@ -114,7 +131,7 @@ impl ClusterView {
         let (Some((t0, first)), Some((t1, last))) = (window.front(), window.back()) else {
             return 0.0;
         };
-        let dt = t1.duration_since(*t0).as_secs_f64();
+        let dt = t1.saturating_sub(*t0).as_secs_f64();
         if dt < 1e-3 {
             return 0.0;
         }
@@ -167,7 +184,7 @@ impl ClusterView {
             let (Some((t0, first)), Some((t1, last))) = (window.front(), window.back()) else {
                 continue;
             };
-            let dt = t1.duration_since(*t0).as_secs_f64();
+            let dt = t1.saturating_sub(*t0).as_secs_f64();
             let rate = if dt < 1e-3 {
                 0
             } else {
@@ -308,20 +325,24 @@ mod tests {
 
     #[test]
     fn rate_needs_two_observations() {
-        let view = ClusterView::new(Duration::from_secs(10));
-        let t0 = Instant::now();
-        view.observe_at(t0, obs(5, 100, 0));
+        // Drive the view off a virtual clock advanced in controlled jumps:
+        // the windowed rate is exact, not a wall-clock approximation.
+        let clock = adn_wire::clock::VirtualClock::shared();
+        let view = ClusterView::with_clock(Duration::from_secs(10), clock.clone());
+        view.observe(obs(5, 100, 0));
         assert_eq!(view.rate(5), 0.0);
-        view.observe_at(t0 + Duration::from_secs(2), obs(5, 300, 0));
+        clock.advance(Duration::from_secs(2));
+        view.observe(obs(5, 300, 0));
         assert!((view.rate(5) - 100.0).abs() < 1.0);
     }
 
     #[test]
     fn old_samples_age_out_but_two_remain() {
-        let view = ClusterView::new(Duration::from_millis(10));
-        let t0 = Instant::now();
+        let clock = adn_wire::clock::VirtualClock::shared();
+        let view = ClusterView::with_clock(Duration::from_millis(10), clock.clone());
         for i in 0..5u64 {
-            view.observe_at(t0 + Duration::from_secs(i), obs(5, i * 10, 0));
+            clock.advance_to(Duration::from_secs(i));
+            view.observe(obs(5, i * 10, 0));
         }
         // Everything but the last two is far older than the window.
         let procs = view.procs.lock();

@@ -15,6 +15,9 @@
 //!   the compiler), lay out a compact wire header carrying exactly those
 //!   fields.
 //! * [`checksum`] — CRC32 (IEEE) used by frame formats.
+//! * [`clock`] — the [`clock::Clock`] time-source trait every runtime layer
+//!   reads instead of `Instant::now()`, so the deterministic simulator can
+//!   substitute virtual time.
 //! * [`buffer`] — a small freelist buffer pool so hot paths reuse
 //!   allocations, in the spirit of mRPC's shared-memory heaps.
 //!
@@ -22,6 +25,7 @@
 
 pub mod buffer;
 pub mod checksum;
+pub mod clock;
 pub mod codec;
 pub mod header;
 pub mod varint;

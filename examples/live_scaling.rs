@@ -71,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             response_next: NextHop::Dst,
             initial_flows: Default::default(),
             telemetry: None,
+            clock: None,
         },
         link.clone(),
         frames,

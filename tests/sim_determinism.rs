@@ -1,0 +1,79 @@
+//! Determinism guarantees of the simulation harness: same seed ⇒
+//! byte-identical event log (the acceptance criterion for `adn-sim`),
+//! prefix stability (the property the shrinker relies on), and a golden
+//! event log pinned in-repo so unintended behavior drift shows up as a
+//! diff. Regenerate the golden file with `ADN_BLESS=1 cargo test -p
+//! adn-sim --test sim_determinism`.
+
+use adn_sim::Scenario;
+use std::path::PathBuf;
+
+/// Acceptance criterion: two runs of the same scenario under the same
+/// seed produce byte-identical event logs (and thus fingerprints).
+#[test]
+fn same_seed_produces_byte_identical_event_log() {
+    let a = Scenario::everything().run(42);
+    let b = Scenario::everything().run(42);
+    assert_eq!(a.log_text(), b.log_text());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.events, b.events);
+}
+
+/// Different seeds take different trajectories (chaos rolls, jitter,
+/// backoff all come from the seeded RNG).
+#[test]
+fn different_seeds_diverge() {
+    let a = Scenario::chaos().run(1);
+    let b = Scenario::chaos().run(2);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+/// A run capped at N events emits exactly the first N events' log lines
+/// of the uncapped run — the property that makes shrinking exact.
+#[test]
+fn truncated_run_is_a_prefix_of_the_full_run() {
+    let full = Scenario::chaos().run(9);
+    assert!(full.events > 100, "scenario too small: {}", full.events);
+    let mut capped_scenario = Scenario::chaos();
+    capped_scenario.max_events = full.events / 2;
+    let capped = capped_scenario.run(9);
+    assert!(capped.truncated);
+    assert!(capped.log.len() <= full.log.len());
+    assert_eq!(
+        capped.log.as_slice(),
+        &full.log[..capped.log.len()],
+        "capped log must be a byte-identical prefix"
+    );
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/sim/canonical.log")
+}
+
+/// The smoke scenario's event log is pinned as a golden file: behavior
+/// drift in the executor, chaos rolls, node models, or log format shows
+/// up as a readable diff. Bless intentional changes with `ADN_BLESS=1`.
+#[test]
+fn smoke_event_log_matches_golden() {
+    let report = Scenario::smoke().run(7);
+    assert!(report.passed(), "{:?}", report.violation);
+    let got = report.log_text();
+    let path = golden_path();
+    if std::env::var("ADN_BLESS").is_ok() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); regenerate with \
+             ADN_BLESS=1 cargo test -p adn-sim --test sim_determinism",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "smoke event log drifted from golden; if intentional, bless with \
+         ADN_BLESS=1 cargo test -p adn-sim --test sim_determinism"
+    );
+}
