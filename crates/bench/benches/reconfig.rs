@@ -8,7 +8,9 @@ use std::time::Duration;
 use adn::harness::{object_store_schemas, object_store_service};
 use adn_backend::native::{compile_element, CompileOpts};
 use adn_controller::reconfig::migrate_processor;
-use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, ProcessorHandle};
+use adn_dataplane::processor::{
+    spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, DEFAULT_BATCH_MAX,
+};
 use adn_rpc::engine::EngineChain;
 use adn_rpc::message::RpcMessage;
 use adn_rpc::transport::{InProcNetwork, Link};
@@ -62,6 +64,7 @@ fn bench(c: &mut Criterion) {
                 initial_flows: Default::default(),
                 telemetry: None,
                 clock: None,
+                batch_max: DEFAULT_BATCH_MAX,
             },
             link.clone(),
             frames,

@@ -1,0 +1,406 @@
+//! `load_scale` — saturating open-loop load generator for the batched,
+//! sharded dataplane.
+//!
+//! ```text
+//! load_scale [--out PATH] [--seed N] [--duration-ms N]
+//!            [--shards A,B,..] [--batch A,B,..] [--smoke]
+//! ```
+//!
+//! Two sweeps, one `BENCH_scale.json`:
+//!
+//! - **Shard scaling** (`group: "shards"`): a partitionable chain — a
+//!   compiled DSL quota element whose state table is keyed by the shard
+//!   field (proven clean by the verifier's V0005 partitionability lint
+//!   before any replication happens) plus a fixed per-message service
+//!   time — swept across shard counts at a fixed batch. Service time
+//!   dominates, so shard workers overlap even on a single core and
+//!   throughput scales with the shard count.
+//! - **Batch amortization** (`group: "batch"`): a trivial CPU-bound
+//!   chain on a single shard, swept across `batch_max`. Larger batches
+//!   amortize the per-iteration channel, lock, and send overhead.
+//!
+//! The generator is open-loop: every frame is offered up front (distinct
+//! call ids, so dedup never absorbs load) and the run clocks how long
+//! the dataplane takes to push them all through to a sink endpoint.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adn::harness::{object_store_schemas, object_store_service};
+use adn_backend::native::{compile_element, CompileOpts};
+use adn_dataplane::processor::{NextHop, ProcessorConfig};
+use adn_dataplane::shard::spawn_processor_sharded;
+use adn_dsl::{check_element, parser::parse_element};
+use adn_ir::ChainIr;
+use adn_rpc::engine::{Engine, EngineChain, Verdict};
+use adn_rpc::message::RpcMessage;
+use adn_rpc::transport::{Frame, InProcNetwork, Link};
+use adn_rpc::wire_format::encode_message_to_vec;
+use adn_verifier::{codes, verify_chain, ChainVerifyOptions};
+
+const CLIENT: u64 = 100;
+const PROC: u64 = 5;
+const SINK: u64 = 2;
+
+/// Per-message service time for the shard-scaling rows: long enough
+/// that sleeping shard workers overlap on one core, short enough that a
+/// sweep finishes in tens of milliseconds per thousand messages.
+const SERVICE_US: u64 = 30;
+
+/// The partitionable element for the shard rows: per-object quota state
+/// keyed by `object_id` — the field the workload makes unique per call,
+/// so the flow hash pins every row to one shard. V0005 verifies this
+/// shape before the bench replicates it.
+const QUOTA_DSL: &str = r#"
+    element ShardQuota() {
+        state q_tab(oid: u64 key, used: u64);
+        on request {
+            UPDATE q_tab SET used = q_tab.used + 1
+                WHERE q_tab.oid == input.object_id;
+            SELECT * FROM input;
+        }
+    }
+"#;
+
+/// Fixed-service-time stage: models downstream work (I/O wait, remote
+/// lookup) that a shard worker spends off-CPU.
+struct ServiceTime(Duration);
+
+impl Engine for ServiceTime {
+    fn name(&self) -> &str {
+        "ServiceTime"
+    }
+    fn process(&mut self, _msg: &mut RpcMessage) -> Verdict {
+        std::thread::sleep(self.0);
+        Verdict::Forward
+    }
+}
+
+/// Trivial CPU stage for the batch rows: touch the message, forward.
+struct Count(u64);
+
+impl Engine for Count {
+    fn name(&self) -> &str {
+        "Count"
+    }
+    fn process(&mut self, _msg: &mut RpcMessage) -> Verdict {
+        self.0 = self.0.wrapping_add(1);
+        Verdict::Forward
+    }
+}
+
+/// Compiles the quota element after proving, via the V0005 lint, that
+/// its state partitions cleanly along the shard field. Returns the
+/// engine; panics if the lint ever flags the chain (the bench must not
+/// silently shard non-partitionable state).
+fn partitionable_engine(seed: u64) -> Box<dyn Engine> {
+    let (req, resp) = object_store_schemas();
+    let ast = parse_element(QUOTA_DSL).expect("quota parses");
+    let checked = check_element(&ast, &req, &resp).expect("quota typechecks");
+    let ir = adn_ir::lower_element(&checked, &[], &req, &resp).expect("quota lowers");
+    let chain_ir = ChainIr::new(vec![ir.clone()], req, resp);
+    let diags = verify_chain(
+        &chain_ir,
+        &ChainVerifyOptions {
+            // object_id is request field 0 — the workload key.
+            shard_field: Some(0),
+        },
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.diagnostic.code == codes::NON_PARTITIONABLE),
+        "quota element must be shard-safe: {diags:?}"
+    );
+    Box::new(compile_element(
+        &ir,
+        &CompileOpts {
+            seed,
+            replicas: vec![],
+        },
+    ))
+}
+
+fn service_chain(seed: u64) -> EngineChain {
+    EngineChain::from_engines(vec![
+        partitionable_engine(seed),
+        Box::new(ServiceTime(Duration::from_micros(SERVICE_US))),
+    ])
+}
+
+fn trivial_chain() -> EngineChain {
+    EngineChain::from_engines(vec![Box::new(Count(0)) as Box<dyn Engine>])
+}
+
+struct Row {
+    group: &'static str,
+    shards: usize,
+    batch: usize,
+    service_us: u64,
+    offered: usize,
+    completed: usize,
+    elapsed_ms: f64,
+    msgs_per_sec: f64,
+}
+
+/// Runs one cell: offer `msgs` distinct requests to a (possibly
+/// sharded) processor and clock how long until the sink has seen them
+/// all. `chains[0]` seeds shard 0; the rest become extra shards.
+fn run_cell(
+    group: &'static str,
+    mut chains: Vec<EngineChain>,
+    batch: usize,
+    service_us: u64,
+    msgs: usize,
+    seed: u64,
+) -> Row {
+    let shards = chains.len();
+    let net = InProcNetwork::new();
+    let link: Arc<dyn Link> = Arc::new(net.clone());
+    let sink_rx = net.attach(SINK);
+    let proc_rx = net.attach(PROC);
+    let service = object_store_service();
+    let first = chains.remove(0);
+    let config = ProcessorConfig::new(
+        PROC,
+        service.clone(),
+        first,
+        NextHop::Fixed(SINK),
+        NextHop::Dst,
+    )
+    .with_batch(batch);
+    let sharded = spawn_processor_sharded(config, chains, link.clone(), proc_rx);
+
+    let m = service.method_by_id(1).expect("method 1");
+    let frames: Vec<Frame> = (0..msgs)
+        .map(|i| {
+            let call_id = 1_000 + i as u64;
+            let mut msg = RpcMessage::request(call_id, 1, m.request.clone());
+            msg.src = CLIENT;
+            msg.dst = SINK;
+            msg.set("object_id", adn_rpc::value::Value::U64(i as u64));
+            msg.set("username", adn_rpc::value::Value::Str("alice".into()));
+            msg.set(
+                "payload",
+                adn_rpc::value::Value::Bytes(seed.to_le_bytes().to_vec()),
+            );
+            Frame {
+                src: CLIENT,
+                dst: PROC,
+                payload: encode_message_to_vec(&msg).expect("request encodes"),
+            }
+        })
+        .collect();
+
+    let start = Instant::now();
+    for f in frames {
+        link.send(f).expect("in-proc send");
+    }
+    let mut completed = 0usize;
+    while completed < msgs {
+        match sink_rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(_) => completed += 1,
+            Err(_) => break,
+        }
+    }
+    let elapsed = start.elapsed();
+    sharded.stop();
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Row {
+        group,
+        shards,
+        batch,
+        service_us,
+        offered: msgs,
+        completed,
+        elapsed_ms: secs * 1e3,
+        msgs_per_sec: completed as f64 / secs,
+    }
+}
+
+struct Args {
+    out: String,
+    seed: u64,
+    duration_ms: u64,
+    shards: Vec<usize>,
+    batch: Vec<usize>,
+    smoke: bool,
+}
+
+fn parse_list(spec: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        out.push(part.trim().parse().ok()?);
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+fn parse(argv: &[String]) -> Option<Args> {
+    let mut args = Args {
+        out: "BENCH_scale.json".to_string(),
+        seed: 42,
+        duration_ms: 400,
+        shards: vec![1, 2, 4],
+        batch: vec![1, 16, 64],
+        smoke: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                args.out = argv.get(i + 1)?.clone();
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--duration-ms" => {
+                args.duration_ms = argv.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = parse_list(argv.get(i + 1)?)?;
+                i += 2;
+            }
+            "--batch" => {
+                args.batch = parse_list(argv.get(i + 1)?)?;
+                i += 2;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mut args) = parse(&argv) else {
+        eprintln!(
+            "usage: load_scale [--out PATH] [--seed N] [--duration-ms N] \
+             [--shards A,B,..] [--batch A,B,..] [--smoke]"
+        );
+        return ExitCode::from(2);
+    };
+    if args.smoke {
+        args.duration_ms = args.duration_ms.min(120);
+    }
+
+    // Sized so the slowest cell of each group runs ~duration_ms.
+    let service_msgs = ((args.duration_ms * 1_000) / SERVICE_US).max(200) as usize;
+    let trivial_msgs = (args.duration_ms * 300).max(5_000) as usize;
+    let shard_batch = 16.min(*args.batch.iter().max().unwrap_or(&16)).max(1);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &s in &args.shards {
+        let s = s.max(1);
+        let chains: Vec<EngineChain> = (0..s).map(|_| service_chain(args.seed)).collect();
+        let row = run_cell(
+            "shards",
+            chains,
+            shard_batch,
+            SERVICE_US,
+            service_msgs,
+            args.seed,
+        );
+        eprintln!(
+            "shards={} batch={} -> {:.0} msgs/s ({}/{} in {:.1} ms)",
+            row.shards, row.batch, row.msgs_per_sec, row.completed, row.offered, row.elapsed_ms
+        );
+        rows.push(row);
+    }
+    for &b in &args.batch {
+        let b = b.max(1);
+        let row = run_cell(
+            "batch",
+            vec![trivial_chain()],
+            b,
+            0,
+            trivial_msgs,
+            args.seed,
+        );
+        eprintln!(
+            "shards=1 batch={} -> {:.0} msgs/s ({}/{} in {:.1} ms)",
+            row.batch, row.msgs_per_sec, row.completed, row.offered, row.elapsed_ms
+        );
+        rows.push(row);
+    }
+
+    let rate = |group: &str, key: usize| -> Option<f64> {
+        rows.iter()
+            .find(|r| {
+                r.group == group
+                    && if group == "shards" {
+                        r.shards == key
+                    } else {
+                        r.batch == key
+                    }
+            })
+            .map(|r| r.msgs_per_sec)
+    };
+    let max_shards = *args.shards.iter().max().unwrap_or(&1);
+    let shard_speedup = match (rate("shards", 1), rate("shards", max_shards)) {
+        (Some(base), Some(top)) if base > 0.0 => top / base,
+        _ => 0.0,
+    };
+    let batch_ref = if args.batch.contains(&16) {
+        16
+    } else {
+        *args.batch.iter().max().unwrap_or(&1)
+    };
+    let batch_speedup = match (rate("batch", 1), rate("batch", batch_ref)) {
+        (Some(base), Some(top)) if base > 0.0 => top / base,
+        _ => 0.0,
+    };
+
+    let row_values: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "group": (r.group),
+                "shards": (r.shards),
+                "batch": (r.batch),
+                "service_us": (r.service_us),
+                "offered": (r.offered),
+                "completed": (r.completed),
+                "elapsed_ms": (r.elapsed_ms),
+                "msgs_per_sec": (r.msgs_per_sec)
+            })
+        })
+        .collect();
+    let summary = serde_json::json!({
+        "max_shards": (max_shards),
+        "shard_speedup": (shard_speedup),
+        "batch_ref": (batch_ref),
+        "batch_speedup": (batch_speedup)
+    });
+    let json = serde_json::json!({
+        "bench": "load_scale",
+        "schema_version": 1,
+        "seed": (args.seed),
+        "duration_ms": (args.duration_ms),
+        "smoke": (args.smoke),
+        "v0005_clean": true,
+        "rows": (row_values),
+        "summary": (summary)
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serialize");
+    if let Err(e) = std::fs::write(&args.out, format!("{text}\n")) {
+        eprintln!("could not write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{text}");
+
+    let lost = rows.iter().any(|r| r.completed < r.offered);
+    if lost {
+        eprintln!("FAILED: a cell lost messages");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

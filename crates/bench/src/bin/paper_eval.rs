@@ -479,7 +479,7 @@ fn fig2() {
 /// server and measures a closed loop.
 fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64) {
     use adn_backend::native::{compile_element, element_seed, CompileOpts};
-    use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig};
+    use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
     use adn_dataplane::scaleout::{spawn_sharded, ShardBy, ShardedConfig};
     use adn_rpc::engine::EngineChain;
     use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig};
@@ -539,6 +539,7 @@ fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64
                 initial_flows: Default::default(),
                 telemetry: None,
                 clock: None,
+                batch_max: DEFAULT_BATCH_MAX,
             },
             link.clone(),
             frames,
@@ -830,7 +831,7 @@ fn reconfig() {
     use adn_backend::native::{compile_element, CompileOpts};
     use adn_controller::reconfig::{migrate_processor, scale_in, scale_out};
     use adn_controller::AddrAllocator;
-    use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig};
+    use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
     use adn_rpc::engine::EngineChain;
     use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig};
     use adn_rpc::transport::{InProcNetwork, Link};
@@ -887,6 +888,7 @@ fn reconfig() {
             initial_flows: Default::default(),
             telemetry: None,
             clock: None,
+            batch_max: DEFAULT_BATCH_MAX,
         },
         link.clone(),
         frames,

@@ -13,7 +13,9 @@ use std::sync::Arc;
 use adn_backend::adapters::{EbpfEngine, SwitchEngine};
 use adn_backend::native::{compile_element, element_seed, CompileOpts};
 use adn_backend::{ebpf, p4};
-use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, ProcessorHandle};
+use adn_dataplane::processor::{
+    spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, DEFAULT_BATCH_MAX,
+};
 use adn_ir::ElementIr;
 use adn_rpc::clock::Clock;
 use adn_rpc::engine::{Engine, EngineChain};
@@ -251,6 +253,7 @@ pub fn deploy(
                 initial_flows: Default::default(),
                 telemetry: telemetry.clone(),
                 clock: clock.clone(),
+                batch_max: DEFAULT_BATCH_MAX,
             },
             link.clone(),
             frames,

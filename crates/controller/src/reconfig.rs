@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use adn_backend::native::{compile_element, element_seed, CompileOpts};
 use adn_backend::state::StateTable;
-use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, ProcessorHandle};
+use adn_dataplane::processor::{
+    spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, DEFAULT_BATCH_MAX,
+};
 use adn_dataplane::scaleout::{spawn_sharded, ShardBy, ShardedConfig, ShardedHandle};
 use adn_ir::element::{ElementIr, IrStmt, JoinStrategy};
 use adn_rpc::engine::EngineChain;
@@ -91,6 +93,7 @@ pub fn migrate_processor(
             // The successor keeps the predecessor's (possibly virtual)
             // heartbeat time source across the migration.
             clock: Some(old.clock()),
+            batch_max: DEFAULT_BATCH_MAX,
         },
         link,
         frames,
@@ -341,6 +344,7 @@ pub fn scale_out(
                 initial_flows: Default::default(),
                 telemetry: telemetry.clone(),
                 clock: Some(old.clock()),
+                batch_max: DEFAULT_BATCH_MAX,
             },
             link.clone(),
             frames,
@@ -454,6 +458,7 @@ pub fn scale_in(
             // The merged processor keeps the shards' (possibly virtual)
             // heartbeat time source.
             clock: group.instances.first().map(|i| i.clock()),
+            batch_max: DEFAULT_BATCH_MAX,
         },
         link,
         frames,
@@ -600,6 +605,7 @@ mod tests {
                 initial_flows: Default::default(),
                 telemetry: None,
                 clock: None,
+                batch_max: DEFAULT_BATCH_MAX,
             },
             h.link.clone(),
             frames,

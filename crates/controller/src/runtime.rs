@@ -18,7 +18,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use adn_cluster::{ClusterEvent, ClusterStore};
-use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig};
+use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
 use adn_rpc::clock::Clock;
 use adn_rpc::engine::EngineChain;
 use adn_rpc::retry::DegradedMode;
@@ -292,6 +292,7 @@ impl Controller {
             registry: self.registry.clone(),
             spans: self.spans.clone(),
             sampler: self.sampler(app),
+            metrics_processor: None,
         }
     }
 
@@ -847,6 +848,7 @@ impl Controller {
                     initial_flows: Default::default(),
                     telemetry: Some(telemetry.clone()),
                     clock: Some(self.clock.clone()),
+                    batch_max: DEFAULT_BATCH_MAX,
                 },
                 self.link.clone(),
                 frames,

@@ -162,9 +162,11 @@ pub fn finish_hop(
         }
     }
     msg.dst = frame.dst;
-    if frame.trace.is_some() {
-        // Header-level context is authoritative: an intermediate hop may
-        // have consumed the per-hop budget.
+    if layout.carries_trace() {
+        // The hop-level slot is authoritative whenever the layout carries
+        // it — including `None`: an intermediate hop that cleared the
+        // context (budget exhaustion) must not have it resurrected by the
+        // blob's stale copy.
         msg.trace = frame.trace;
     }
     Ok(msg)
@@ -303,6 +305,34 @@ mod tests {
         let ctx = finished.trace.unwrap();
         assert_eq!(ctx.trace_id, 0xabc);
         assert_eq!(ctx.parent_span, TraceContext::root(0xabc).span_at(50));
+    }
+
+    #[test]
+    fn traced_layout_cleared_context_stays_cleared() {
+        let svc = service();
+        let traced = lb_layout().with_trace();
+        let mut msg = sample_msg(&svc);
+        // The blob is encoded while the context is live...
+        msg.trace = Some(TraceContext::root(0xdead));
+        let bytes = encode_hop(&msg, &traced).unwrap();
+        // ...then an intermediate hop clears it (budget exhausted).
+        let mut frame = decode_hop(&bytes, &traced).unwrap();
+        frame.trace = None;
+        let bytes2 = reencode_hop(&frame, &traced).unwrap();
+        let frame2 = decode_hop(&bytes2, &traced).unwrap();
+        let finished = finish_hop(&frame2, &traced, &svc).unwrap();
+        assert_eq!(
+            finished.trace, None,
+            "blob's stale context must not resurrect a cleared hop slot"
+        );
+
+        // An untraced layout still defers to the blob: its frames have no
+        // trace slot at all.
+        let plain = lb_layout();
+        let bytes = encode_hop(&msg, &plain).unwrap();
+        let frame = decode_hop(&bytes, &plain).unwrap();
+        let finished = finish_hop(&frame, &plain, &svc).unwrap();
+        assert_eq!(finished.trace, Some(TraceContext::root(0xdead)));
     }
 
     #[test]

@@ -22,6 +22,11 @@
 pub mod hop;
 pub mod processor;
 pub mod scaleout;
+pub mod shard;
 
-pub use processor::{spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, ProcessorStats};
+pub use processor::{
+    spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, ProcessorStats, StatsSnapshot,
+    DEFAULT_BATCH_MAX,
+};
 pub use scaleout::{spawn_sharded, ShardedConfig, ShardedHandle};
+pub use shard::{spawn_processor_sharded, ShardedProcessor};

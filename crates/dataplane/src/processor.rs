@@ -16,9 +16,15 @@ use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, Frame, Link};
 use adn_rpc::wire_format;
 use adn_telemetry::{ElementMetrics, HopTelemetry, Span, TraceContext};
+use adn_wire::buffer::BufferPool;
 
 /// Entries retained in the processor's request/response dedup caches.
-const PROCESSOR_DEDUP_WINDOW: usize = 4096;
+pub(crate) const PROCESSOR_DEDUP_WINDOW: usize = 4096;
+
+/// Default ceiling on frames pulled per serve-loop iteration. One backlog
+/// read, one control-drain, one beat, and one batched send amortize over up
+/// to this many frames.
+pub const DEFAULT_BATCH_MAX: usize = 32;
 
 /// Why a control-plane query to a processor failed. Distinguishes a
 /// processor whose serve loop has exited from one that is alive but wedged —
@@ -82,6 +88,7 @@ pub struct ProcessorStats {
     pub dedup_hits: AtomicU64,
     pub stale_responses: AtomicU64,
     pub queue_depth: AtomicU64,
+    pub drain_drops: AtomicU64,
 }
 
 /// Point-in-time snapshot of the counters.
@@ -102,6 +109,10 @@ pub struct StatsSnapshot {
     /// Frames waiting in the inbound queue when the serve loop last checked
     /// — the congestion signal the controller's load-aware placement reads.
     pub queue_depth: u64,
+    /// Frames lost during a [`ProcessorHandle::drain`] because the link
+    /// rejected them even after a retry. Zero-loss reconfiguration demands
+    /// this stays zero; the sim's loss invariant reads it.
+    pub drain_drops: u64,
 }
 
 impl ProcessorStats {
@@ -116,6 +127,27 @@ impl ProcessorStats {
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             stale_responses: self.stale_responses.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            drain_drops: self.drain_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Element-wise sum, used to aggregate per-shard snapshots into one
+    /// logical processor view. `queue_depth` also sums: it is the total
+    /// backlog across shard inboxes.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests + other.requests,
+            responses: self.responses + other.responses,
+            forwarded: self.forwarded + other.forwarded,
+            dropped: self.dropped + other.dropped,
+            aborted: self.aborted + other.aborted,
+            decode_errors: self.decode_errors + other.decode_errors,
+            dedup_hits: self.dedup_hits + other.dedup_hits,
+            stale_responses: self.stale_responses + other.stale_responses,
+            queue_depth: self.queue_depth + other.queue_depth,
+            drain_drops: self.drain_drops + other.drain_drops,
         }
     }
 }
@@ -174,6 +206,10 @@ pub struct ProcessorConfig {
     /// deterministic tests share a virtual clock between processors and the
     /// controller so heartbeat ages follow controlled jumps.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Ceiling on frames pulled per serve-loop iteration
+    /// ([`DEFAULT_BATCH_MAX`] unless overridden). `1` restores strict
+    /// frame-at-a-time behavior.
+    pub batch_max: usize,
 }
 
 impl ProcessorConfig {
@@ -194,6 +230,7 @@ impl ProcessorConfig {
             initial_flows: HashMap::new(),
             telemetry: None,
             clock: None,
+            batch_max: DEFAULT_BATCH_MAX,
         }
     }
 
@@ -206,6 +243,13 @@ impl ProcessorConfig {
     /// Substitutes the heartbeat time source (builder style).
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = Some(clock);
+        self
+    }
+
+    /// Overrides the per-iteration batch ceiling (builder style). Clamped
+    /// to at least 1.
+    pub fn with_batch(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
         self
     }
 }
@@ -236,8 +280,11 @@ impl HopObserver {
         obs
     }
 
-    /// Re-resolves the metric series after a chain install.
+    /// Re-resolves the metric series after a chain install. Series register
+    /// under the telemetry's metrics id when set (distinct per shard of a
+    /// sharded processor), else under the hop address.
     fn rebind(&mut self, chain: &EngineChain) {
+        let metrics_id = self.telemetry.metrics_processor.unwrap_or(self.addr);
         self.names = chain.names().into_iter().map(str::to_owned).collect();
         self.series = self
             .names
@@ -245,7 +292,7 @@ impl HopObserver {
             .map(|n| {
                 self.telemetry
                     .registry
-                    .element(&self.telemetry.app, n, self.addr)
+                    .element(&self.telemetry.app, n, metrics_id)
             })
             .collect();
     }
@@ -434,6 +481,38 @@ impl Drop for ProcessorHandle {
     }
 }
 
+/// Per-message bookkeeping carried from batch classification to verdict
+/// handling.
+struct RunMeta {
+    sampled: bool,
+    /// Inbound trace context (forwards re-parent on this hop).
+    ctx: Option<TraceContext>,
+    origin: Origin,
+}
+
+/// What kind of traffic a runnable message is, plus the identifiers the
+/// at-most-once machinery needs after the chain has (possibly) rewritten
+/// the message.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Request {
+        /// Dedup key: (pre-NAT source, call id).
+        key: (EndpointAddr, u64),
+        orig_src: EndpointAddr,
+    },
+    Response {
+        call_id: u64,
+    },
+}
+
+/// A frame set aside during classification because an earlier frame in the
+/// same batch holds its dedup key: its outcome is replayed from the cache
+/// once the batch has executed, exactly as sequential processing would.
+enum Deferred {
+    Request((EndpointAddr, u64)),
+    Response(u64),
+}
+
 /// Spawns a processor thread serving `config.addr` with frames from
 /// `frames` over `link`.
 pub fn spawn_processor(
@@ -469,15 +548,28 @@ pub fn spawn_processor(
                 initial_flows: _,
                 telemetry,
                 clock: _,
+                batch_max,
             } = config;
+            let batch_max = batch_max.max(1);
             let mut observer = telemetry.map(|t| HopObserver::new(t, addr, &chain));
-            // When the previous frame finished: a frame pulled from a
-            // non-empty queue has been waiting at least since then (the
-            // queue-wait approximation spans record).
-            let mut last_done = Instant::now();
+            // When the previous batch finished, on the processor's clock: a
+            // frame pulled from a non-empty queue has been waiting at least
+            // since then (the queue-wait approximation spans record). Read
+            // through `Clock`, not `Instant`, so queue-wait is deterministic
+            // under the simulator's virtual time.
+            let mut last_done = thread_clock.now();
             let mut paused = false;
             let mut stopping = false;
             let mut crashed = false;
+            // Inbound payloads return here after decode and outbound encodes
+            // draw from here, so the steady-state hot path does not allocate
+            // per message.
+            let pool = BufferPool::new(512, 2 * batch_max);
+            let mut batch: Vec<Frame> = Vec::with_capacity(batch_max);
+            let mut runnable: Vec<RpcMessage> = Vec::with_capacity(batch_max);
+            let mut meta: Vec<RunMeta> = Vec::with_capacity(batch_max);
+            let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_max);
+            let mut deferred: Vec<Deferred> = Vec::new();
             // At-most-once caches. Requests key on (pre-NAT src, call id) and
             // cache the outbound frame, so a retransmission replays the
             // forward without re-running the chain or re-inserting the flow.
@@ -525,9 +617,16 @@ pub fn spawn_processor(
                             let mut count = 0;
                             while let Ok(frame) = frames.try_recv() {
                                 // Same dst: the fabric now delivers to the
-                                // successor attached at this address.
-                                if link.send(frame).is_ok() {
+                                // successor attached at this address. A
+                                // failed send is retried once (the link may
+                                // have been mid-repoint); a frame lost after
+                                // that is recorded, never silently dropped —
+                                // the sim's zero-loss invariant reads this
+                                // counter.
+                                if link.send(frame.clone()).is_ok() || link.send(frame).is_ok() {
                                     count += 1;
+                                } else {
+                                    thread_stats.drain_drops.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                             let _ = reply.send(count);
@@ -549,7 +648,7 @@ pub fn spawn_processor(
                 thread_stats
                     .queue_depth
                     .store(backlog as u64, Ordering::Relaxed);
-                let frame = if stopping {
+                let first = if stopping {
                     // Graceful retirement: drain what is queued, then exit.
                     match frames.try_recv() {
                         Ok(f) => f,
@@ -559,56 +658,161 @@ pub fn spawn_processor(
                     match frames.recv_timeout(Duration::from_millis(20)) {
                         Ok(f) => f,
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                            last_done = Instant::now();
+                            last_done = thread_clock.now();
                             continue;
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     }
                 };
+                // Fill the batch opportunistically: everything already
+                // queued, up to the ceiling. Never blocks.
+                batch.push(first);
+                while batch.len() < batch_max {
+                    match frames.try_recv() {
+                        Ok(f) => batch.push(f),
+                        Err(_) => break,
+                    }
+                }
                 // A frame pulled from a non-empty queue was waiting while
-                // the previous frame was processed; one pulled from an
-                // empty queue arrived just now.
+                // the previous batch was processed; one pulled from an
+                // empty queue arrived just now. One reading per batch.
                 let queue_ns = if backlog > 0 {
-                    last_done.elapsed().as_nanos() as u64
+                    thread_clock.now().saturating_sub(last_done).as_nanos() as u64
                 } else {
                     0
                 };
-                let mut msg = match wire_format::decode_message_exact(&frame.payload, &service) {
-                    Ok(m) => m,
-                    Err(_) => {
-                        thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        last_done = Instant::now();
-                        continue;
-                    }
-                };
 
-                // Sampling: the in-band context wins (every hop of a sampled
-                // call agrees without coordination), otherwise the local
-                // sampler decides by call id. With telemetry off or
-                // unsampled, the only added cost is this branch.
-                let ctx = msg.trace;
-                let sampled = observer
-                    .as_ref()
-                    .is_some_and(|o| o.sampled(ctx.as_ref(), msg.call_id));
-
-                match msg.kind {
-                    MessageKind::Request => {
-                        let dedup_key = (msg.src, msg.call_id);
-                        if let Some(cached) = req_cache.get(&dedup_key) {
-                            // Retransmission: replay the recorded outcome
-                            // without re-running the chain (at-most-once
-                            // through stateful elements) or re-inserting
-                            // the flow.
-                            thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                            if let Some(out) = cached {
-                                let _ = link.send(out.clone());
-                            }
-                            last_done = Instant::now();
+                // Phase 1 — classify. The shared header-parse fast path:
+                // every frame gets one envelope peek; retransmissions and
+                // stale responses are settled right here without a full
+                // decode. Only chain-bound messages decode their fields.
+                runnable.clear();
+                meta.clear();
+                deferred.clear();
+                let mut outbox: Vec<Frame> = Vec::with_capacity(batch.len());
+                let mut replays: Vec<Frame> = Vec::new();
+                for frame in batch.drain(..) {
+                    let payload = frame.payload;
+                    let env = match wire_format::peek_envelope(&payload) {
+                        Ok(e) => e,
+                        Err(_) => {
+                            thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            pool.give(payload);
                             continue;
                         }
-                        thread_stats.requests.fetch_add(1, Ordering::Relaxed);
-                        let orig_src = msg.src;
-                        let verdict = match (&mut observer, sampled) {
+                    };
+                    match env.kind {
+                        MessageKind::Request => {
+                            let key = (env.src, env.call_id);
+                            if meta.iter().any(
+                                |m| matches!(m.origin, Origin::Request { key: k, .. } if k == key),
+                            ) {
+                                // An earlier frame in this batch holds the
+                                // key: replay its outcome after the batch.
+                                deferred.push(Deferred::Request(key));
+                                pool.give(payload);
+                                continue;
+                            }
+                            if let Some(cached) = req_cache.get(&key) {
+                                // Retransmission: replay the recorded
+                                // outcome without re-running the chain
+                                // (at-most-once through stateful elements)
+                                // or re-inserting the flow.
+                                thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                if let Some(out) = cached {
+                                    replays.push(out.clone());
+                                }
+                                pool.give(payload);
+                                continue;
+                            }
+                            let msg = match wire_format::decode_message_exact(&payload, &service) {
+                                Ok(m) => m,
+                                Err(_) => {
+                                    thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                    pool.give(payload);
+                                    continue;
+                                }
+                            };
+                            pool.give(payload);
+                            thread_stats.requests.fetch_add(1, Ordering::Relaxed);
+                            // Sampling: the in-band context wins (every hop
+                            // of a sampled call agrees without
+                            // coordination), otherwise the local sampler
+                            // decides by call id.
+                            let sampled = observer
+                                .as_ref()
+                                .is_some_and(|o| o.sampled(msg.trace.as_ref(), msg.call_id));
+                            meta.push(RunMeta {
+                                sampled,
+                                ctx: msg.trace,
+                                origin: Origin::Request {
+                                    key,
+                                    orig_src: msg.src,
+                                },
+                            });
+                            runnable.push(msg);
+                        }
+                        MessageKind::Response => {
+                            let call_id = env.call_id;
+                            if meta.iter().any(|m| {
+                                matches!(m.origin, Origin::Response { call_id: c } if c == call_id)
+                            }) {
+                                deferred.push(Deferred::Response(call_id));
+                                pool.give(payload);
+                                continue;
+                            }
+                            let mut msg =
+                                match wire_format::decode_message_exact(&payload, &service) {
+                                    Ok(m) => m,
+                                    Err(_) => {
+                                        thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                        pool.give(payload);
+                                        continue;
+                                    }
+                                };
+                            pool.give(payload);
+                            // NAT out: restore the original requester.
+                            let flow = thread_flows.lock().remove(&call_id);
+                            let Some(orig_src) = flow else {
+                                // No flow entry: either a retransmitted
+                                // response whose flow was already consumed
+                                // (replay the cached reply) or a
+                                // stale/foreign response whose NAT'd
+                                // destination is this processor itself
+                                // (drop it — forwarding would self-loop).
+                                if let Some(cached) = resp_cache.get(&call_id) {
+                                    thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(out) = cached {
+                                        replays.push(out.clone());
+                                    }
+                                } else {
+                                    thread_stats.stale_responses.fetch_add(1, Ordering::Relaxed);
+                                }
+                                continue;
+                            };
+                            thread_stats.responses.fetch_add(1, Ordering::Relaxed);
+                            msg.dst = orig_src;
+                            let sampled = observer
+                                .as_ref()
+                                .is_some_and(|o| o.sampled(msg.trace.as_ref(), msg.call_id));
+                            meta.push(RunMeta {
+                                sampled,
+                                ctx: msg.trace,
+                                origin: Origin::Response { call_id },
+                            });
+                            runnable.push(msg);
+                        }
+                    }
+                }
+
+                // Phase 2+3 — run the chain and turn verdicts into outbound
+                // frames. Unsampled batches (the common case) take the
+                // engine-major batch entry point; a batch containing any
+                // sampled message falls back to per-message processing so
+                // stage timings and spans attribute to the right message.
+                if meta.iter().any(|m| m.sampled) {
+                    for (mut msg, m) in runnable.drain(..).zip(meta.drain(..)) {
+                        let verdict = match (&mut observer, m.sampled) {
                             (Some(obs), true) => {
                                 let v = chain.process_timed(&mut msg, &mut obs.stage_ns);
                                 obs.record_stages(&v);
@@ -616,114 +820,105 @@ pub fn spawn_processor(
                             }
                             _ => chain.process(&mut msg),
                         };
-                        match verdict {
-                            Verdict::Forward => {
-                                // NAT in: responses will come back to us.
-                                thread_flows.lock().insert(msg.call_id, orig_src);
-                                msg.src = addr;
-                                if let Some(c) = &ctx {
-                                    // Downstream spans parent on this hop.
-                                    msg.trace = Some(c.child_from(addr));
-                                }
-                                let to = request_next.resolve(msg.dst);
-                                let serialize = Instant::now();
-                                let out = forward(&*link, addr, to, &msg, &thread_stats);
-                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
-                                    let ser_ns = serialize.elapsed().as_nanos() as u64;
-                                    obs.emit_span(c, msg.call_id, queue_ns, ser_ns);
-                                }
-                                req_cache.insert(dedup_key, out);
-                            }
-                            Verdict::Drop => {
-                                thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
-                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
-                                    obs.emit_span(c, msg.call_id, queue_ns, 0);
-                                }
-                                req_cache.insert(dedup_key, None);
-                            }
-                            Verdict::Abort { code, message } => {
-                                thread_stats.aborted.fetch_add(1, Ordering::Relaxed);
-                                // Reflect an aborted response to the caller.
-                                let mut out = None;
-                                if let Some(method) = service.method_by_id(msg.method_id) {
-                                    let mut resp =
-                                        RpcMessage::response_to(&msg, method.response.clone());
-                                    resp.abort(code, message);
-                                    resp.src = addr;
-                                    resp.dst = orig_src;
-                                    out = forward(&*link, addr, orig_src, &resp, &thread_stats);
-                                }
-                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
-                                    obs.emit_span(c, msg.call_id, queue_ns, 0);
-                                }
-                                req_cache.insert(dedup_key, out);
-                            }
+                        let call_id = msg.call_id;
+                        let forward_verdict = verdict.is_forward();
+                        // Spans mirror the unbatched loop: every request
+                        // outcome and forwarded/dropped responses emit;
+                        // response aborts do not.
+                        let emit = !(matches!(m.origin, Origin::Response { .. })
+                            && matches!(verdict, Verdict::Abort { .. }));
+                        let serialize = Instant::now();
+                        handle_verdict(
+                            verdict,
+                            msg,
+                            m.origin,
+                            m.ctx,
+                            addr,
+                            request_next,
+                            response_next,
+                            &service,
+                            &thread_flows,
+                            &thread_stats,
+                            &pool,
+                            &mut req_cache,
+                            &mut resp_cache,
+                            &mut outbox,
+                        );
+                        if let (Some(obs), Some(c), true, true) =
+                            (&observer, &m.ctx, m.sampled, emit)
+                        {
+                            let ser_ns = if forward_verdict {
+                                serialize.elapsed().as_nanos() as u64
+                            } else {
+                                0
+                            };
+                            obs.emit_span(c, call_id, queue_ns, ser_ns);
                         }
                     }
-                    MessageKind::Response => {
-                        // NAT out: restore the original requester.
-                        let flow = thread_flows.lock().remove(&msg.call_id);
-                        let Some(orig_src) = flow else {
-                            // No flow entry: either a retransmitted response
-                            // whose flow was already consumed (replay the
-                            // cached reply) or a stale/foreign response whose
-                            // NAT'd destination is this processor itself
-                            // (drop it — forwarding would self-loop).
-                            if let Some(cached) = resp_cache.get(&msg.call_id) {
+                } else {
+                    chain.process_batch(&mut runnable, &mut verdicts);
+                    for ((msg, m), verdict) in runnable
+                        .drain(..)
+                        .zip(meta.drain(..))
+                        .zip(verdicts.drain(..))
+                    {
+                        handle_verdict(
+                            verdict,
+                            msg,
+                            m.origin,
+                            m.ctx,
+                            addr,
+                            request_next,
+                            response_next,
+                            &service,
+                            &thread_flows,
+                            &thread_stats,
+                            &pool,
+                            &mut req_cache,
+                            &mut resp_cache,
+                            &mut outbox,
+                        );
+                    }
+                }
+
+                // Phase 4 — deferred in-batch duplicates replay the (now
+                // recorded) outcome of their first instance.
+                for d in deferred.drain(..) {
+                    match d {
+                        Deferred::Request(key) => {
+                            if let Some(cached) = req_cache.get(&key) {
                                 thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
                                 if let Some(out) = cached {
-                                    let _ = link.send(out.clone());
+                                    replays.push(out.clone());
+                                }
+                            }
+                        }
+                        Deferred::Response(call_id) => {
+                            if let Some(cached) = resp_cache.get(&call_id) {
+                                thread_stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                if let Some(out) = cached {
+                                    replays.push(out.clone());
                                 }
                             } else {
                                 thread_stats.stale_responses.fetch_add(1, Ordering::Relaxed);
                             }
-                            last_done = Instant::now();
-                            continue;
-                        };
-                        thread_stats.responses.fetch_add(1, Ordering::Relaxed);
-                        msg.dst = orig_src;
-                        let verdict = match (&mut observer, sampled) {
-                            (Some(obs), true) => {
-                                let v = chain.process_timed(&mut msg, &mut obs.stage_ns);
-                                obs.record_stages(&v);
-                                v
-                            }
-                            _ => chain.process(&mut msg),
-                        };
-                        match verdict {
-                            Verdict::Forward => {
-                                msg.src = addr;
-                                if let Some(c) = &ctx {
-                                    msg.trace = Some(c.child_from(addr));
-                                }
-                                let to = response_next.resolve(msg.dst);
-                                let serialize = Instant::now();
-                                let out = forward(&*link, addr, to, &msg, &thread_stats);
-                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
-                                    let ser_ns = serialize.elapsed().as_nanos() as u64;
-                                    obs.emit_span(c, msg.call_id, queue_ns, ser_ns);
-                                }
-                                resp_cache.insert(msg.call_id, out);
-                            }
-                            Verdict::Drop => {
-                                thread_stats.dropped.fetch_add(1, Ordering::Relaxed);
-                                if let (Some(obs), Some(c), true) = (&observer, &ctx, sampled) {
-                                    obs.emit_span(c, msg.call_id, queue_ns, 0);
-                                }
-                                resp_cache.insert(msg.call_id, None);
-                            }
-                            Verdict::Abort { code, message } => {
-                                thread_stats.aborted.fetch_add(1, Ordering::Relaxed);
-                                msg.abort(code, message);
-                                msg.src = addr;
-                                let to = msg.dst;
-                                let out = forward(&*link, addr, to, &msg, &thread_stats);
-                                resp_cache.insert(msg.call_id, out);
-                            }
                         }
                     }
                 }
-                last_done = Instant::now();
+
+                // Phase 5 — one batched send for fresh forwards (these count
+                // toward `forwarded`, per successful frame) and one for
+                // dedup replays (these never did).
+                if !outbox.is_empty() {
+                    let sent = link.send_batch(outbox);
+                    thread_stats
+                        .forwarded
+                        .fetch_add(sent as u64, Ordering::Relaxed);
+                }
+                if !replays.is_empty() {
+                    link.send_batch(replays);
+                }
+                last_done = thread_clock.now();
             }
         })
         .expect("spawn processor thread");
@@ -739,26 +934,112 @@ pub fn spawn_processor(
     }
 }
 
-/// Encodes and sends `msg`; returns the frame that went out (even if the
-/// fabric rejected it — retransmission replays resend it) so callers can
-/// record it in a dedup cache. `None` only on encode failure.
-fn forward(
-    link: &dyn Link,
+/// Encodes `msg` into a pool-backed buffer as an outbound frame. The frame
+/// is both queued for the batched send and recorded in a dedup cache (even
+/// if the fabric later rejects it — retransmission replays resend it).
+/// `None` only on encode failure.
+fn encode_out(
+    pool: &BufferPool,
     src: EndpointAddr,
     to: EndpointAddr,
     msg: &RpcMessage,
-    stats: &ProcessorStats,
 ) -> Option<Frame> {
-    let payload = wire_format::encode_message_to_vec(msg).ok()?;
-    let frame = Frame {
+    let payload = wire_format::encode_message_into(pool.take(), msg).ok()?;
+    Some(Frame {
         src,
         dst: to,
         payload,
-    };
-    if link.send(frame.clone()).is_ok() {
-        stats.forwarded.fetch_add(1, Ordering::Relaxed);
+    })
+}
+
+/// Applies a chain verdict to one message: NAT bookkeeping, trace
+/// re-parenting, outbound encode, and the at-most-once cache insert. Fresh
+/// forwards land in `outbox` (sent — and counted — once per batch).
+#[allow(clippy::too_many_arguments)]
+fn handle_verdict(
+    verdict: Verdict,
+    mut msg: RpcMessage,
+    origin: Origin,
+    ctx: Option<TraceContext>,
+    addr: EndpointAddr,
+    request_next: NextHop,
+    response_next: NextHop,
+    service: &ServiceSchema,
+    flows: &parking_lot::Mutex<HashMap<u64, EndpointAddr>>,
+    stats: &ProcessorStats,
+    pool: &BufferPool,
+    req_cache: &mut DedupWindow<(EndpointAddr, u64), Option<Frame>>,
+    resp_cache: &mut DedupWindow<u64, Option<Frame>>,
+    outbox: &mut Vec<Frame>,
+) {
+    match origin {
+        Origin::Request { key, orig_src } => match verdict {
+            Verdict::Forward => {
+                // NAT in: responses will come back to us.
+                flows.lock().insert(msg.call_id, orig_src);
+                msg.src = addr;
+                if let Some(c) = &ctx {
+                    // Downstream spans parent on this hop.
+                    msg.trace = Some(c.child_from(addr));
+                }
+                let to = request_next.resolve(msg.dst);
+                let out = encode_out(pool, addr, to, &msg);
+                if let Some(frame) = &out {
+                    outbox.push(frame.clone());
+                }
+                req_cache.insert(key, out);
+            }
+            Verdict::Drop => {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                req_cache.insert(key, None);
+            }
+            Verdict::Abort { code, message } => {
+                stats.aborted.fetch_add(1, Ordering::Relaxed);
+                // Reflect an aborted response to the caller.
+                let mut out = None;
+                if let Some(method) = service.method_by_id(msg.method_id) {
+                    let mut resp = RpcMessage::response_to(&msg, method.response.clone());
+                    resp.abort(code, message);
+                    resp.src = addr;
+                    resp.dst = orig_src;
+                    out = encode_out(pool, addr, orig_src, &resp);
+                    if let Some(frame) = &out {
+                        outbox.push(frame.clone());
+                    }
+                }
+                req_cache.insert(key, out);
+            }
+        },
+        Origin::Response { call_id } => match verdict {
+            Verdict::Forward => {
+                msg.src = addr;
+                if let Some(c) = &ctx {
+                    msg.trace = Some(c.child_from(addr));
+                }
+                let to = response_next.resolve(msg.dst);
+                let out = encode_out(pool, addr, to, &msg);
+                if let Some(frame) = &out {
+                    outbox.push(frame.clone());
+                }
+                resp_cache.insert(call_id, out);
+            }
+            Verdict::Drop => {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                resp_cache.insert(call_id, None);
+            }
+            Verdict::Abort { code, message } => {
+                stats.aborted.fetch_add(1, Ordering::Relaxed);
+                msg.abort(code, message);
+                msg.src = addr;
+                let to = msg.dst;
+                let out = encode_out(pool, addr, to, &msg);
+                if let Some(frame) = &out {
+                    outbox.push(frame.clone());
+                }
+                resp_cache.insert(call_id, out);
+            }
+        },
     }
-    Some(frame)
 }
 
 #[cfg(test)]
@@ -887,6 +1168,7 @@ mod tests {
                 initial_flows: Default::default(),
                 telemetry: None,
                 clock: None,
+                batch_max: DEFAULT_BATCH_MAX,
             },
             link.clone(),
             proc_frames,
@@ -948,6 +1230,7 @@ mod tests {
             registry: Arc::new(Registry::new()),
             spans: Arc::new(SpanRing::new(64)),
             sampler: Arc::new(Sampler::off()),
+            metrics_processor: None,
         };
         let _processor = spawn_processor(
             ProcessorConfig::new(
@@ -1291,5 +1574,172 @@ mod tests {
         assert_eq!(processor.heartbeat_age(), Duration::from_millis(300));
         clock.advance(Duration::from_millis(300));
         assert_eq!(processor.heartbeat_age(), Duration::from_millis(600));
+    }
+
+    /// A link that fails its next `fail_next` sends, then recovers —
+    /// models a fabric caught mid-repoint during retirement.
+    struct FlakyLink {
+        inner: Arc<dyn Link>,
+        fail_next: AtomicU64,
+    }
+    impl Link for FlakyLink {
+        fn send(&self, frame: Frame) -> adn_rpc::RpcResult<()> {
+            if self
+                .fail_next
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(RpcError::Disconnected);
+            }
+            self.inner.send(frame)
+        }
+    }
+
+    /// Builds a paused processor at 5 over a [`FlakyLink`] with `queued`
+    /// frames waiting, then re-points the fabric address at a fresh
+    /// receiver (the "successor"), mirroring retirement order: frames are
+    /// queued on the old instance, the fabric moves, then `drain` re-emits.
+    fn drain_rig(
+        queued: usize,
+    ) -> (
+        ProcessorHandle,
+        Arc<FlakyLink>,
+        crossbeam::channel::Receiver<Frame>,
+    ) {
+        let net = InProcNetwork::new();
+        let flaky = Arc::new(FlakyLink {
+            inner: Arc::new(net.clone()),
+            fail_next: AtomicU64::new(0),
+        });
+        let svc = service();
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            ),
+            flaky.clone(),
+            net.attach(5),
+        );
+        processor.pause();
+
+        let m = svc.method_by_id(1).unwrap();
+        let mut msg = RpcMessage::request(0, 1, m.request.clone())
+            .with("x", 1u64)
+            .with("who", "c");
+        msg.src = 1;
+        msg.dst = 2;
+        let payload = wire_format::encode_message_to_vec(&msg).unwrap();
+        for _ in 0..queued {
+            net.send(Frame {
+                src: 1,
+                dst: 5,
+                payload: payload.clone(),
+            })
+            .unwrap();
+        }
+        // Re-point the address: re-emitted frames now reach the successor,
+        // not the retiring processor's own queue.
+        let successor_rx = net.attach(5);
+        (processor, flaky, successor_rx)
+    }
+
+    /// A transiently failing link during `drain` is absorbed by the
+    /// per-frame retry: nothing is lost, nothing is counted dropped.
+    #[test]
+    fn drain_retries_transient_link_failure() {
+        let (processor, flaky, successor_rx) = drain_rig(2);
+        flaky.fail_next.store(1, Ordering::SeqCst);
+        assert_eq!(processor.drain().unwrap(), 2);
+        assert_eq!(processor.stats().drain_drops, 0);
+        // Both frames reached the successor.
+        for _ in 0..2 {
+            successor_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+    }
+
+    /// Regression for silent drain loss: a frame the link rejects on both
+    /// attempts must be recorded in `drain_drops` — never silently
+    /// discarded (the sim's zero-loss invariant reads this counter).
+    #[test]
+    fn drain_across_failing_link_counts_drops() {
+        let (processor, flaky, successor_rx) = drain_rig(2);
+        flaky.fail_next.store(u64::MAX, Ordering::SeqCst);
+        assert_eq!(processor.drain().unwrap(), 0, "nothing was re-emitted");
+        assert_eq!(processor.stats().drain_drops, 2, "loss must be counted");
+        assert!(successor_rx.try_recv().is_err());
+    }
+
+    /// Regression for the queue-wait wall-clock leak: the serve loop used
+    /// `Instant::now()` for its batch timestamps, bypassing the `Clock`
+    /// trait, so spans recorded wall time even under a virtual clock. With
+    /// the fix, a virtual-clock jump while frames wait shows up in the
+    /// span's `queue_ns` exactly — deterministic, not approximate.
+    #[test]
+    fn queue_wait_is_measured_on_the_processor_clock() {
+        use adn_telemetry::{Registry, Sampler, SpanRing};
+
+        let clock = adn_rpc::clock::VirtualClock::shared();
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let telemetry = HopTelemetry {
+            app: "echo".into(),
+            registry: Arc::new(Registry::new()),
+            spans: Arc::new(SpanRing::new(16)),
+            sampler: Arc::new(Sampler::off()),
+            metrics_processor: None,
+        };
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            )
+            .with_clock(clock.clone())
+            .with_telemetry(telemetry.clone()),
+            link,
+            net.attach(5),
+        );
+        // Freeze intake so the frame provably waits across the jump.
+        processor.pause();
+
+        let m = svc.method_by_id(1).unwrap();
+        let mut msg = RpcMessage::request(0, 1, m.request.clone())
+            .with("x", 1u64)
+            .with("who", "c");
+        msg.call_id = 42;
+        msg.src = 1;
+        msg.dst = 2;
+        // In-band context: the hop samples it regardless of the local
+        // sampler, so a span (carrying queue_ns) is emitted.
+        msg.trace = Some(TraceContext::root(7));
+        let payload = wire_format::encode_message_to_vec(&msg).unwrap();
+        net.send(Frame {
+            src: 1,
+            dst: 5,
+            payload,
+        })
+        .unwrap();
+
+        // The wait happens entirely in virtual time.
+        clock.advance(Duration::from_secs(2));
+        processor.resume();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while telemetry.spans.is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let spans = telemetry.spans.drain();
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(
+            spans[0].queue_ns,
+            Duration::from_secs(2).as_nanos() as u64,
+            "queue wait must be the virtual-clock jump, exactly"
+        );
     }
 }

@@ -219,7 +219,7 @@ mod tests {
     use std::sync::Arc;
 
     use super::*;
-    use crate::processor::{spawn_processor, NextHop, ProcessorConfig};
+    use crate::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
     use adn_rpc::engine::{Engine, EngineChain, Verdict};
     use adn_rpc::message::RpcMessage;
     use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig};
@@ -306,6 +306,7 @@ mod tests {
                     initial_flows: Default::default(),
                     telemetry: None,
                     clock: None,
+                    batch_max: DEFAULT_BATCH_MAX,
                 },
                 link.clone(),
                 frames,

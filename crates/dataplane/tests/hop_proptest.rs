@@ -1,0 +1,229 @@
+//! Property tests for the minimal-header hop codec: over arbitrary
+//! schemas, layouts, values, and trace states,
+//! encode → decode → reencode → decode → finish must be the identity
+//! (and, with intermediate rewrites, must merge exactly the rewritten
+//! header fields over the blob).
+
+use std::sync::Arc;
+
+use adn_dataplane::hop::{decode_hop, encode_hop, finish_hop, reencode_hop};
+use adn_rpc::message::{MessageKind, RpcMessage};
+use adn_rpc::schema::{MethodDef, RpcSchema, ServiceSchema};
+use adn_rpc::value::{Value, ValueType};
+use adn_wire::header::{HeaderLayout, HeaderType, TraceContext};
+use proptest::arbitrary::any;
+use proptest::test_runner::ProptestConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+const TYPES: [ValueType; 6] = [
+    ValueType::U64,
+    ValueType::I64,
+    ValueType::F64,
+    ValueType::Bool,
+    ValueType::Str,
+    ValueType::Bytes,
+];
+
+fn header_type(ty: ValueType) -> HeaderType {
+    match ty {
+        ValueType::U64 => HeaderType::U64,
+        ValueType::I64 => HeaderType::I64,
+        ValueType::F64 => HeaderType::F64,
+        ValueType::Bool => HeaderType::Bool,
+        ValueType::Str => HeaderType::Str,
+        ValueType::Bytes => HeaderType::Bytes,
+    }
+}
+
+/// A deterministic value of `ty` synthesized from one u64 draw. Floats stay
+/// finite so equality is well-defined.
+fn value_from(ty: ValueType, x: u64) -> Value {
+    match ty {
+        ValueType::U64 => Value::U64(x),
+        ValueType::I64 => Value::I64(x as i64),
+        ValueType::F64 => Value::F64((x % 100_000) as f64 * 0.25),
+        ValueType::Bool => Value::Bool(x % 2 == 1),
+        ValueType::Str => Value::Str(format!("s{x}")),
+        ValueType::Bytes => Value::Bytes(x.to_be_bytes()[..(x % 9) as usize].to_vec()),
+    }
+}
+
+/// Builds a service whose request schema has `nfields` fields with types
+/// drawn from `type_seed` (base-6 digits), plus a layout containing the
+/// fields selected by `layout_mask`.
+fn build(
+    nfields: u64,
+    type_seed: u64,
+    layout_mask: u64,
+    traced: bool,
+) -> (Arc<ServiceSchema>, HeaderLayout, Arc<RpcSchema>) {
+    let mut builder = RpcSchema::builder();
+    let mut seed = type_seed;
+    let mut types = Vec::new();
+    for i in 0..nfields {
+        let ty = TYPES[(seed % 6) as usize];
+        seed /= 6;
+        types.push(ty);
+        builder = builder.field(format!("f{i}"), ty);
+    }
+    let schema = Arc::new(builder.build().unwrap());
+    let mut layout = HeaderLayout::new();
+    for (i, ty) in types.iter().enumerate() {
+        if layout_mask & (1 << i) != 0 {
+            layout.push(i as u16, format!("f{i}"), header_type(*ty));
+        }
+    }
+    if traced {
+        layout.set_carries_trace(true);
+    }
+    let service = Arc::new(
+        ServiceSchema::new(
+            "P",
+            vec![MethodDef {
+                id: 1,
+                name: "M".into(),
+                request: schema.clone(),
+                response: schema.clone(),
+            }],
+        )
+        .unwrap(),
+    );
+    (service, layout, schema)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_msg(
+    schema: Arc<RpcSchema>,
+    type_seed: u64,
+    value_seed: u64,
+    call_id: u64,
+    src: u64,
+    dst: u64,
+    is_response: bool,
+    trace_state: u64,
+) -> RpcMessage {
+    let mut msg = RpcMessage::request(call_id, 1, schema.clone());
+    let mut tseed = type_seed;
+    for i in 0..schema.len() {
+        let ty = TYPES[(tseed % 6) as usize];
+        tseed /= 6;
+        msg.set_idx(i, value_from(ty, value_seed.wrapping_mul(i as u64 + 1)));
+    }
+    msg.src = src;
+    msg.dst = dst;
+    if is_response {
+        msg.kind = MessageKind::Response;
+    }
+    msg.trace = match trace_state % 3 {
+        0 => None,
+        1 => Some(TraceContext::root(value_seed | 1)),
+        _ => Some(TraceContext::root(value_seed | 1).child_from(src)),
+    };
+    msg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Without intermediate rewrites the full pipeline is the identity:
+    /// the reencoded bytes equal the original bytes and the finished
+    /// message equals the original message (fields, dst, kind, trace).
+    #[test]
+    fn hop_codec_roundtrip_is_identity(
+        nfields in 1u64..=6,
+        type_seed in 0u64..46_656, // 6^6: every type combination reachable
+        layout_mask in 0u64..64,
+        traced in any::<bool>(),
+        value_seed in 0u64..u64::MAX,
+        call_id in 0u64..u64::MAX,
+        src in 0u64..10_000,
+        dst in 0u64..10_000,
+        is_response in any::<bool>(),
+        trace_state in 0u64..3,
+    ) {
+        let layout_mask = layout_mask & ((1 << nfields) - 1);
+        let (service, layout, schema) = build(nfields, type_seed, layout_mask, traced);
+        let msg = build_msg(
+            schema, type_seed, value_seed, call_id, src, dst, is_response, trace_state,
+        );
+
+        let bytes = encode_hop(&msg, &layout).unwrap();
+        let frame = decode_hop(&bytes, &layout).unwrap();
+        prop_assert_eq!(frame.call_id, msg.call_id);
+        prop_assert_eq!(frame.kind, msg.kind);
+        prop_assert_eq!(frame.dst, msg.dst);
+        if traced {
+            prop_assert_eq!(frame.trace, msg.trace);
+        } else {
+            prop_assert_eq!(frame.trace, None, "untraced layouts have no slot");
+        }
+
+        let bytes2 = reencode_hop(&frame, &layout).unwrap();
+        prop_assert_eq!(&bytes2, &bytes, "reencode must be byte-identical");
+        let frame2 = decode_hop(&bytes2, &layout).unwrap();
+        prop_assert_eq!(&frame2, &frame);
+
+        let finished = finish_hop(&frame2, &layout, &service).unwrap();
+        prop_assert_eq!(finished, msg, "finish must reproduce the original");
+    }
+
+    /// With an intermediate rewrite (header field, dst, and — for traced
+    /// layouts — a cleared context), the finished message reflects exactly
+    /// the rewrites; everything else comes from the blob.
+    #[test]
+    fn hop_rewrites_merge_exactly(
+        nfields in 1u64..=6,
+        type_seed in 0u64..46_656,
+        layout_mask in 1u64..64,
+        traced in any::<bool>(),
+        value_seed in 0u64..u64::MAX,
+        rewrite_seed in 0u64..u64::MAX,
+        new_dst in 0u64..10_000,
+        trace_state in 0u64..3,
+    ) {
+        let layout_mask = (layout_mask & ((1 << nfields) - 1)) | 1;
+        let (service, layout, schema) = build(nfields, type_seed, layout_mask, traced);
+        let msg = build_msg(
+            schema, type_seed, value_seed, 7, 1, 2, false, trace_state,
+        );
+
+        let bytes = encode_hop(&msg, &layout).unwrap();
+        let mut frame = decode_hop(&bytes, &layout).unwrap();
+        // Rewrite every header slot to a fresh value of the same type.
+        let rewrites: Vec<Value> = frame
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, v)| value_from(v.value_type(), rewrite_seed.wrapping_add(i as u64)))
+            .collect();
+        frame.header.clone_from(&rewrites);
+        frame.dst = new_dst;
+        if traced {
+            frame.trace = None; // e.g. budget-exhaustion policy
+        }
+
+        let reencoded = reencode_hop(&frame, &layout).unwrap();
+        let frame2 = decode_hop(&reencoded, &layout).unwrap();
+        let finished = finish_hop(&frame2, &layout, &service).unwrap();
+
+        prop_assert_eq!(finished.dst, new_dst);
+        if traced {
+            prop_assert_eq!(finished.trace, None, "cleared context must stay cleared");
+        } else {
+            prop_assert_eq!(finished.trace, msg.trace);
+        }
+        for (slot, expect) in layout.fields().iter().zip(&rewrites) {
+            prop_assert_eq!(finished.get(&slot.name), Some(expect));
+        }
+        for i in 0..nfields as usize {
+            if layout_mask & (1 << i) == 0 {
+                prop_assert_eq!(
+                    finished.get_idx(i),
+                    msg.get_idx(i),
+                    "non-header field {} must come from the blob", i
+                );
+            }
+        }
+        prop_assert!(finished.call_id == msg.call_id);
+    }
+}

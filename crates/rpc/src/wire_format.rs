@@ -99,6 +99,97 @@ pub fn encode_message_to_vec(msg: &RpcMessage) -> WireResult<Vec<u8>> {
     Ok(enc.into_bytes())
 }
 
+/// Serializes a message into a caller-supplied buffer (typically drawn from a
+/// `BufferPool`), appending to whatever it already holds. Returns the buffer
+/// so hot paths can recycle it after the send.
+pub fn encode_message_into(buf: Vec<u8>, msg: &RpcMessage) -> WireResult<Vec<u8>> {
+    let mut enc = Encoder::from_vec(buf);
+    encode_message(&mut enc, msg)?;
+    Ok(enc.into_bytes())
+}
+
+/// The routing metadata at the front of every encoded message — everything a
+/// dataplane hop can learn without resolving the field schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Call identifier.
+    pub call_id: u64,
+    /// Method identifier (schema lookup key).
+    pub method_id: u16,
+    /// Request or response.
+    pub kind: MessageKind,
+    /// Whether the message carries an aborted status.
+    pub aborted: bool,
+    /// Originating endpoint.
+    pub src: u64,
+    /// Destination endpoint.
+    pub dst: u64,
+    /// In-band trace context, if present.
+    pub trace: Option<TraceContext>,
+}
+
+/// Parses only the envelope (call id through trace slot) of an encoded
+/// message, stopping before any field bytes. This is the batched serve
+/// loop's shared header-parse fast path: classification (dedup hit, flow
+/// route, shard choice) needs the envelope alone, so frames that replay a
+/// cached reply or route by flow never pay a full `decode_message`.
+pub fn peek_envelope(buf: &[u8]) -> WireResult<Envelope> {
+    let mut dec = Decoder::new(buf);
+    let call_id = dec.get_varint()?;
+    let method_raw = dec.get_varint()?;
+    if method_raw > u16::MAX as u64 {
+        return Err(WireError::InvalidTag {
+            tag: method_raw,
+            context: "method id",
+        });
+    }
+    let kind = match dec.get_u8()? {
+        KIND_REQUEST => MessageKind::Request,
+        KIND_RESPONSE => MessageKind::Response,
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "message kind",
+            })
+        }
+    };
+    let aborted = match dec.get_u8()? {
+        STATUS_OK => false,
+        STATUS_ABORTED => {
+            dec.get_varint()?;
+            dec.get_str()?;
+            true
+        }
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "status",
+            })
+        }
+    };
+    let src = dec.get_varint()?;
+    let dst = dec.get_varint()?;
+    let trace = match dec.get_u8()? {
+        TRACE_ABSENT => None,
+        TRACE_PRESENT => Some(TraceContext::decode(&mut dec)?),
+        t => {
+            return Err(WireError::InvalidTag {
+                tag: t as u64,
+                context: "trace presence",
+            })
+        }
+    };
+    Ok(Envelope {
+        call_id,
+        method_id: method_raw as u16,
+        kind,
+        aborted,
+        src,
+        dst,
+        trace,
+    })
+}
+
 /// Deserializes a message, resolving the field schema through `service`.
 pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireResult<RpcMessage> {
     let call_id = dec.get_varint()?;
@@ -309,6 +400,58 @@ mod tests {
         // 2(call)+1(method)+1(kind)+1(status)+1(src)+2(dst)+1(trace)+1+6+4
         // field bytes.
         assert!(bytes.len() < 32, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn peek_envelope_matches_full_decode() {
+        let svc = service();
+        let mut msg = sample_request(&svc);
+        msg.trace = Some(TraceContext {
+            trace_id: 0xbeef,
+            parent_span: 3,
+            budget: false,
+        });
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        let env = peek_envelope(&bytes).unwrap();
+        assert_eq!(env.call_id, msg.call_id);
+        assert_eq!(env.method_id, msg.method_id);
+        assert_eq!(env.kind, msg.kind);
+        assert!(!env.aborted);
+        assert_eq!(env.src, msg.src);
+        assert_eq!(env.dst, msg.dst);
+        assert_eq!(env.trace, msg.trace);
+
+        msg.abort(7, "nope");
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        assert!(peek_envelope(&bytes).unwrap().aborted);
+    }
+
+    #[test]
+    fn peek_envelope_stops_before_field_bytes() {
+        let svc = service();
+        let bytes = encode_message_to_vec(&sample_request(&svc)).unwrap();
+        let envelope_len = (0..=bytes.len())
+            .find(|&n| peek_envelope(&bytes[..n]).is_ok())
+            .expect("peek must succeed on the full message");
+        assert!(
+            envelope_len < bytes.len(),
+            "peek must not need the field bytes"
+        );
+        for cut in 0..envelope_len {
+            assert!(peek_envelope(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_fresh_encode() {
+        let svc = service();
+        let msg = sample_request(&svc);
+        let fresh = encode_message_to_vec(&msg).unwrap();
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(b"xx");
+        buf = encode_message_into(buf, &msg).unwrap();
+        assert_eq!(&buf[..2], b"xx");
+        assert_eq!(&buf[2..], fresh.as_slice());
     }
 
     #[test]

@@ -18,8 +18,9 @@ use adn_sim::sweep::{replay_command, scenario_by_name, shrink, sweep, SCENARIO_N
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  simseed list\n  simseed run --scenario NAME --seed N \
-         [--max-events N] [--dump-log]\n  simseed sweep --scenario NAME \
-         --seeds A..B [--artifact PATH]\n  simseed shrink --scenario NAME --seed N\n\
+         [--max-events N] [--batch N] [--dump-log]\n  simseed sweep --scenario NAME \
+         --seeds A..B [--batch N] [--artifact PATH]\n  simseed shrink --scenario NAME \
+         --seed N [--batch N]\n\
          scenarios: {}",
         SCENARIO_NAMES.join(", ")
     );
@@ -31,6 +32,7 @@ struct Args {
     seed: Option<u64>,
     seeds: Option<(u64, u64)>,
     max_events: Option<u64>,
+    batch: Option<usize>,
     dump_log: bool,
     artifact: Option<String>,
 }
@@ -41,6 +43,7 @@ fn parse(args: &[String]) -> Option<Args> {
         seed: None,
         seeds: None,
         max_events: None,
+        batch: None,
         dump_log: false,
         artifact: None,
     };
@@ -63,6 +66,10 @@ fn parse(args: &[String]) -> Option<Args> {
             }
             "--max-events" => {
                 out.max_events = Some(args.get(i + 1)?.parse().ok()?);
+                i += 2;
+            }
+            "--batch" => {
+                out.batch = Some(args.get(i + 1)?.parse().ok()?);
                 i += 2;
             }
             "--dump-log" => {
@@ -113,6 +120,9 @@ fn main() -> ExitCode {
             if let Some(m) = args.max_events {
                 scenario.max_events = m;
             }
+            if let Some(b) = args.batch {
+                scenario.batch = b.max(1);
+            }
             let report = scenario.run(seed);
             if args.dump_log {
                 print!("{}", report.log_text());
@@ -140,10 +150,13 @@ fn main() -> ExitCode {
             let (Some(name), Some((a, b))) = (args.scenario.as_deref(), args.seeds) else {
                 return usage();
             };
-            let Some(scenario) = scenario_by_name(name) else {
+            let Some(mut scenario) = scenario_by_name(name) else {
                 eprintln!("unknown scenario: {name}");
                 return usage();
             };
+            if let Some(b) = args.batch {
+                scenario.batch = b.max(1);
+            }
             let outcome = sweep(&scenario, a..b);
             match outcome.failure {
                 None => {
@@ -172,10 +185,13 @@ fn main() -> ExitCode {
             let (Some(name), Some(seed)) = (args.scenario.as_deref(), args.seed) else {
                 return usage();
             };
-            let Some(scenario) = scenario_by_name(name) else {
+            let Some(mut scenario) = scenario_by_name(name) else {
                 eprintln!("unknown scenario: {name}");
                 return usage();
             };
+            if let Some(b) = args.batch {
+                scenario.batch = b.max(1);
+            }
             match shrink(&scenario, seed) {
                 None => {
                     println!(

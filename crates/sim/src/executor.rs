@@ -56,6 +56,12 @@ pub enum Event {
         /// The frame, exactly as sent (possibly a chaos duplicate).
         frame: Frame,
     },
+    /// A batching processor drains its inbox (scheduled one batch window
+    /// after the first frame lands; never emitted when `batch == 1`).
+    FlushBatch {
+        /// Flat endpoint address of the draining processor.
+        addr: u64,
+    },
     /// Controller sweep: collect heartbeats, fail over dead processors,
     /// evaluate autoscale.
     Sweep,
@@ -87,6 +93,7 @@ impl Event {
             Event::SendAttempt { .. } => "send",
             Event::RetryFire { .. } => "retry_fire",
             Event::Deliver { .. } => "deliver",
+            Event::FlushBatch { .. } => "flush_batch",
             Event::Sweep => "sweep",
             Event::Checkpoint => "checkpoint",
             Event::Kill { .. } => "kill",

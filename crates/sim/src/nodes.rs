@@ -147,6 +147,11 @@ pub struct SimProcessor {
     pub alive: bool,
     /// Virtual time of the last heartbeat the controller saw.
     pub last_beat: Duration,
+    /// Frames waiting for the next batch drain (`Scenario::batch > 1`
+    /// only; the per-frame path never touches it).
+    pub inbox: Vec<Frame>,
+    /// True while a `FlushBatch` event is scheduled for this processor.
+    pub flush_pending: bool,
 }
 
 impl SimProcessor {
@@ -167,6 +172,8 @@ impl SimProcessor {
             resp_cache: DedupWindow::new(DEDUP_CAP),
             alive: true,
             last_beat: Duration::ZERO,
+            inbox: Vec::new(),
+            flush_pending: false,
         }
     }
 }

@@ -46,6 +46,10 @@ pub const SHARD_BASE: u64 = 500;
 const BASE_LATENCY: Duration = Duration::from_millis(1);
 /// Uniform per-frame latency jitter bound (exclusive), in nanoseconds.
 const JITTER_NS: u64 = 200_000;
+/// How long a batching processor waits after the first inboxed frame
+/// before draining — small against `BASE_LATENCY`, wide enough that
+/// concurrent calls land in one batch.
+const BATCH_WINDOW: Duration = Duration::from_micros(100);
 
 /// Autoscale knobs for a scenario.
 #[derive(Debug, Clone)]
@@ -105,6 +109,13 @@ pub struct Scenario {
     /// Whether timed-out calls are tolerated (true under chaos; false
     /// means the zero-loss invariant fails the run on any timeout).
     pub allow_timeouts: bool,
+    /// Frames a processor drains per batch. `1` (the default) is the
+    /// legacy per-frame delivery path — byte-identical to the golden log.
+    /// Larger values route deliveries through a per-processor inbox that
+    /// drains up to `batch` frames one batch window after the first one
+    /// lands, with batch-local duplicate deferral mirroring the real
+    /// serve loop.
+    pub batch: usize,
     /// Hard cap on processed events (replay/shrink uses this).
     pub max_events: u64,
 }
@@ -148,6 +159,7 @@ impl Scenario {
             degraded: DegradedMode::FailClosed,
             trace: true,
             allow_timeouts: false,
+            batch: 1,
             max_events: 500_000,
         }
     }
@@ -566,6 +578,7 @@ impl<'a> Sim<'a> {
             Event::SendAttempt { call_id, attempt } => self.send_attempt(now, call_id, attempt),
             Event::RetryFire { call_id, attempt } => self.retry_fire(now, call_id, attempt),
             Event::Deliver { frame } => self.deliver(now, frame),
+            Event::FlushBatch { addr } => self.flush_batch(now, addr),
             Event::Sweep => self.sweep(now),
             Event::Checkpoint => self.checkpoint(now),
             Event::Kill { addr } => self.kill(now, addr),
@@ -835,18 +848,31 @@ impl<'a> Sim<'a> {
     // ---- processors ----------------------------------------------------
 
     fn proc_recv(&mut self, now: Duration, frame: Frame) {
+        let addr = frame.dst;
         {
-            let p = self
-                .procs
-                .get_mut(&frame.dst)
-                .expect("routed to a processor");
+            let p = self.procs.get_mut(&addr).expect("routed to a processor");
             if !p.alive {
                 self.facts.frames_blackholed += 1;
-                self.exec.log(format!("blackhole addr={}", frame.dst));
+                self.exec.log(format!("blackhole addr={addr}"));
                 return;
             }
             p.last_beat = now;
+            if self.cfg.batch > 1 {
+                p.inbox.push(frame);
+                if !p.flush_pending {
+                    p.flush_pending = true;
+                    self.exec
+                        .schedule_after(BATCH_WINDOW, Event::FlushBatch { addr });
+                }
+                return;
+            }
         }
+        self.proc_one(frame);
+    }
+
+    /// Decodes one frame and runs it through the per-message processor
+    /// path (the `batch == 1` hot path, and phase 4 of a batch drain).
+    fn proc_one(&mut self, frame: Frame) {
         let msg = match decode_message_exact(&frame.payload, &self.service) {
             Ok(m) => m,
             Err(e) => {
@@ -858,6 +884,81 @@ impl<'a> Sim<'a> {
         match msg.kind {
             MessageKind::Request => self.proc_request(frame, msg),
             MessageKind::Response => self.proc_response(frame, msg),
+        }
+    }
+
+    /// Drains up to `batch` frames from a processor's inbox in arrival
+    /// order, mirroring the real serve loop's batch pipeline: duplicates
+    /// of a message already in the batch are deferred until the
+    /// original's verdict is cached, then replayed from the dedup window
+    /// — so a retransmit landing in the same batch as its original can
+    /// never execute twice.
+    fn flush_batch(&mut self, _now: Duration, addr: u64) {
+        let Some(p) = self.procs.get_mut(&addr) else {
+            return;
+        };
+        p.flush_pending = false;
+        if p.inbox.is_empty() {
+            return;
+        }
+        let take = self.cfg.batch.min(p.inbox.len());
+        let frames: Vec<Frame> = p.inbox.drain(..take).collect();
+        let alive = p.alive;
+        if !p.inbox.is_empty() {
+            p.flush_pending = true;
+            self.exec
+                .schedule_after(BATCH_WINDOW, Event::FlushBatch { addr });
+        }
+        if !alive {
+            // Killed while the batch waited in the inbox: it blackholes,
+            // exactly as queued frames die with the real worker thread.
+            self.facts.frames_blackholed += frames.len() as u64;
+            self.exec
+                .log(format!("blackhole_batch addr={addr} n={}", frames.len()));
+            return;
+        }
+        self.exec
+            .log(format!("batch addr={addr} n={}", frames.len()));
+        let mut deferred: Vec<Frame> = Vec::new();
+        let mut seen_req: Vec<(u64, u64)> = Vec::new();
+        let mut seen_resp: Vec<u64> = Vec::new();
+        for frame in frames {
+            let msg = match decode_message_exact(&frame.payload, &self.service) {
+                Ok(m) => m,
+                Err(e) => {
+                    self.exec
+                        .log(format!("proc_decode_error addr={addr} {e:?}"));
+                    continue;
+                }
+            };
+            match msg.kind {
+                MessageKind::Request => {
+                    let key = (frame.src, msg.call_id);
+                    if seen_req.contains(&key) {
+                        self.exec
+                            .log(format!("batch_defer addr={addr} call={}", msg.call_id));
+                        deferred.push(frame);
+                    } else {
+                        seen_req.push(key);
+                        self.proc_request(frame, msg);
+                    }
+                }
+                MessageKind::Response => {
+                    if seen_resp.contains(&msg.call_id) {
+                        self.exec
+                            .log(format!("batch_defer addr={addr} call={}", msg.call_id));
+                        deferred.push(frame);
+                    } else {
+                        seen_resp.push(msg.call_id);
+                        self.proc_response(frame, msg);
+                    }
+                }
+            }
+        }
+        // Phase 4: deferred duplicates replay from the now-populated
+        // caches (each one lands a dedup hit, never a second execution).
+        for frame in deferred {
+            self.proc_one(frame);
         }
     }
 

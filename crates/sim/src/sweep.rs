@@ -106,11 +106,15 @@ pub fn shrink(scenario: &Scenario, seed: u64) -> Option<SeedFailure> {
         // is then itself the minimal prefix.
         _ => (full.events, violation),
     };
+    let mut replay = replay_command(&scenario.name, seed, min_events);
+    if scenario.batch > 1 {
+        replay.push_str(&format!(" --batch {}", scenario.batch));
+    }
     Some(SeedFailure {
         seed,
         events: full.events,
         min_events,
-        replay: replay_command(&scenario.name, seed, min_events),
+        replay,
         violation,
     })
 }

@@ -103,6 +103,45 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_take_give_never_hands_out_a_buffer_twice() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+
+        let pool = BufferPool::new(64, 4);
+        // Pointers of buffers currently checked out. A buffer handed to two
+        // threads at once would insert the same pointer twice.
+        let outstanding: Arc<StdMutex<HashSet<usize>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let pool = pool.clone();
+                let outstanding = outstanding.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500usize {
+                        let mut buf = pool.take();
+                        buf.push((t + i) as u8); // force a real allocation
+                        let ptr = buf.as_ptr() as usize;
+                        assert!(
+                            outstanding.lock().unwrap().insert(ptr),
+                            "buffer {ptr:#x} handed out while still checked out"
+                        );
+                        std::thread::yield_now();
+                        assert!(outstanding.lock().unwrap().remove(&ptr));
+                        pool.give(buf);
+                        assert!(
+                            pool.idle() <= 4,
+                            "idle() exceeded max_pooled under contention"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(pool.idle() <= 4);
+    }
+
+    #[test]
     fn clones_share_the_pool() {
         let pool = BufferPool::new(16, 8);
         let clone = pool.clone();

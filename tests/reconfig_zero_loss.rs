@@ -17,7 +17,7 @@ use adn::harness::{object_store_schemas, object_store_service};
 use adn_backend::native::{compile_element, CompileOpts};
 use adn_controller::deploy::AddrAllocator;
 use adn_controller::reconfig::{migrate_processor, scale_in, scale_out};
-use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig};
+use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
 use adn_rpc::engine::EngineChain;
 use adn_rpc::message::RpcMessage;
 use adn_rpc::runtime::{spawn_server, RpcClient, ServerConfig};
@@ -122,6 +122,7 @@ fn migrate_scale_out_scale_in_loses_nothing() {
             initial_flows: Default::default(),
             telemetry: None,
             clock: None,
+            batch_max: DEFAULT_BATCH_MAX,
         },
         rig.link.clone(),
         frames,

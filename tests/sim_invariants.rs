@@ -36,6 +36,57 @@ fn everything_scenario_sweep_holds_all_invariants() {
     assert_eq!(out.seeds_run, seed_range().end);
 }
 
+/// The acceptance sweep again, with batched delivery: every processor
+/// drains its inbox up to 16 frames at a time, with batch-local
+/// duplicate deferral — all five invariants must hold exactly as they
+/// do per-frame.
+#[test]
+fn everything_scenario_sweep_holds_all_invariants_with_batching() {
+    let mut s = Scenario::everything();
+    s.batch = 16;
+    let out = sweep_seeds(&s, seed_range());
+    assert!(
+        out.passed(),
+        "seed failed — {}",
+        out.failure.map(|f| f.replay).unwrap_or_default()
+    );
+    assert_eq!(out.seeds_run, seed_range().end);
+}
+
+/// Strict zero-loss under batching: the reconfig scenario (migration +
+/// scale-outs, clean link) with batch=16 — a single timed-out or lost
+/// call fails the run, so batching must not drop or double-execute.
+#[test]
+fn reconfig_stays_zero_loss_with_batching() {
+    let mut s = Scenario::reconfig();
+    s.batch = 16;
+    for seed in seed_range() {
+        let r = s.run(seed);
+        assert!(r.passed(), "seed {seed}: {:?}", r.violation);
+        assert_eq!(r.stats.calls_ok, r.stats.calls_issued, "seed {seed}");
+        assert_eq!(r.stats.server_executions, r.stats.calls_ok, "seed {seed}");
+    }
+}
+
+/// Batching must actually happen (multi-frame drains appear in the log)
+/// and stay deterministic (same seed ⇒ identical fingerprint).
+#[test]
+fn batched_runs_form_real_batches_and_stay_deterministic() {
+    let mut s = Scenario::everything();
+    s.batch = 16;
+    let a = s.run(42);
+    assert!(a.passed(), "{:?}", a.violation);
+    let multi = a
+        .log
+        .iter()
+        .filter(|l| l.contains(" batch addr=") && !l.ends_with("n=1"))
+        .count();
+    assert!(multi > 0, "no multi-frame batch ever drained");
+    let b = s.run(42);
+    assert_eq!(a.log_text(), b.log_text());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
 /// Chaos port of `chain_survives_drops_and_processor_kill_exactly_once`:
 /// drops, dups, reorders, delays and fault injection, checked per event.
 #[test]
