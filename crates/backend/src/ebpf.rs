@@ -12,8 +12,9 @@
 //! * state lives in **maps** with a single `u64` key and a single `u64`
 //!   value — a string-keyed ACL does not compile, a u64-keyed one does;
 //! * helper calls (`hash`, `len`, `rand`, `now`) mirror BPF helpers;
-//! * integer arithmetic **wraps** (two's complement), and division by zero
-//!   yields 0, matching BPF ALU semantics — this is a documented semantic
+//! * integer arithmetic **wraps** (two's complement); division by zero
+//!   yields 0 and modulo by zero leaves `dst` unchanged, matching the BPF
+//!   ALU semantics standardized in RFC 9669 — a documented semantic
 //!   difference from the software backend, which aborts on overflow;
 //! * a [`verify`] pass — bounded program size, forward-only jumps,
 //!   registers initialized before use, all paths ending in `Ret` — gates
@@ -31,8 +32,11 @@ use adn_rpc::value::{Value, ValueType};
 
 use crate::udf_impl::UdfRuntime;
 
-/// Number of general-purpose registers.
-pub const NUM_REGS: u8 = 11;
+/// Number of registers the restricted bytecode may use as general-purpose
+/// scalars (`r0..r8`). The real ISA encoding ([`crate::isa`]) reserves `r9`
+/// for the saved context pointer and `r10` for the read-only frame pointer,
+/// so legacy programs confined to `r0..=r8` assemble onto real registers 1:1.
+pub const NUM_REGS: u8 = 9;
 /// Maximum program length, mirroring kernel limits.
 pub const MAX_INSNS: usize = 4096;
 
@@ -363,9 +367,10 @@ pub fn execute(
                     AluOp::Sub => a.wrapping_sub(b),
                     AluOp::Mul => a.wrapping_mul(b),
                     AluOp::DivU => a.checked_div(b).unwrap_or(0),
+                    // RFC 9669: `mod` by zero leaves dst unchanged.
                     AluOp::ModU => {
                         if b == 0 {
-                            0
+                            a
                         } else {
                             a % b
                         }
@@ -381,7 +386,7 @@ pub fn execute(
                     AluOp::ModS => {
                         let (x, y) = (a as i64, b as i64);
                         if y == 0 {
-                            0
+                            a
                         } else {
                             x.wrapping_rem(y) as u64
                         }
@@ -812,6 +817,10 @@ impl<'a> Compiler<'a> {
                     IrBinOp::Ge => CmpOp::Ge,
                     _ => unreachable!(),
                 };
+                // Eq/Ne compare identically under either signedness; emit
+                // the unsigned form so programs stay canonical for
+                // `isa::lift` (JEQ/JNE have no signed encoding).
+                let signed = signed && !matches!(cmp, CmpOp::Eq | CmpOp::Ne);
                 // dst = 1; if cmp(a,b) skip; dst = 0.
                 self.emit(Insn::LdImm { dst: a, imm: 1 });
                 // a was overwritten — recompute into fresh regs instead.

@@ -14,6 +14,11 @@
 //!   with a verifier (forward-only jumps, bounded programs, no floats, map
 //!   state) and an interpreter. Elements that don't fit the model are
 //!   rejected at compile time — exactly the portability gate of paper §2.
+//! * [`isa`] — the genuine eBPF instruction encoding underneath it: 64-bit
+//!   instruction words, an assembler/lifter with a round-trip guarantee
+//!   against the restricted bytecode, a disassembler, and an interpreter
+//!   over the real ABI. `adn-verifier`'s abstract interpreter runs on this
+//!   encoding, so offload verdicts describe what would actually load.
 //! * [`p4`] — a programmable-switch simulator: match-action stages over
 //!   header fields only, with the ~200-byte header window constraint.
 //!
@@ -29,6 +34,7 @@
 pub mod adapters;
 pub mod ebpf;
 pub mod eval;
+pub mod isa;
 pub mod native;
 pub mod p4;
 pub mod plan;

@@ -10,10 +10,18 @@
 //!   payloads; decompress never panics on garbage.
 //! * **eBPF vs. software equivalence**: for elements both backends accept,
 //!   the eBPF interpreter and the native engine agree.
+//! * **ISA round-trips**: every `BpfInsn` survives `decode(encode(_))`,
+//!   and `lift(assemble(_))` is the identity on compiled element programs.
+//! * **Three-way differential**: random arithmetic elements agree across
+//!   the native engine, the legacy B-code interpreter, and the encoded
+//!   eBPF interpreter — verdicts and field values both. Expressions are
+//!   bounded (no subtraction, divisors ≥ 1) so native checked arithmetic
+//!   cannot error where eBPF would wrap; the wrap/trap divergence itself
+//!   is documented and pinned in `tests/conformance.rs`.
 
 use adn_backend::native::{compile_element, CompileOpts};
 use adn_backend::udf_impl::{compress, decompress, xor_stream, UdfRuntime};
-use adn_backend::{ebpf, native};
+use adn_backend::{ebpf, isa, native};
 use adn_dsl::parser::parse_element;
 use adn_dsl::typecheck::check_element;
 use adn_ir::{optimize, ChainIr, ElementIr, PassConfig};
@@ -247,6 +255,122 @@ proptest! {
         let prog = ebpf::EbpfProgram { insns };
         let _ = ebpf::verify(&prog, 2);
     }
+
+    #[test]
+    fn isa_word_encoding_roundtrips(
+        opcode in any::<u8>(),
+        dst in 0u8..16,
+        src in 0u8..16,
+        off in any::<i16>(),
+        imm in any::<i32>(),
+    ) {
+        // The register nibbles are the only fields narrower than their
+        // struct type; everything else occupies its full bit width.
+        let insn = isa::BpfInsn { opcode, dst, src, off, imm };
+        prop_assert_eq!(isa::BpfInsn::decode(insn.encode()), insn);
+    }
+
+    #[test]
+    fn assemble_lift_roundtrips_compiled_elements(pick in 0usize..4) {
+        let element = lower(offloadable_pool()[pick]);
+        let (req, _) = schemas();
+        let types: Vec<ValueType> = req.fields().iter().map(|f| f.ty).collect();
+        let compiled =
+            ebpf::compile_for_schema(&element, &types, &[ValueType::Bool, ValueType::Bytes])
+                .unwrap();
+        for prog in [&compiled.request, &compiled.response] {
+            let assembled = isa::assemble(prog).unwrap();
+            let lifted = isa::lift(&assembled.insns).unwrap();
+            prop_assert_eq!(&lifted.insns, &prog.insns);
+        }
+    }
+
+    #[test]
+    fn encoded_interpreter_agrees_with_native_and_legacy(
+        oid in any::<u64>(),
+        ops in proptest::collection::vec((0usize..4, 1u64..10), 0..4),
+    ) {
+        // Fold a bounded expression over `input.object_id % 997`: only
+        // {+, *, /, %} with small constants, so the value stays far below
+        // u64::MAX and native checked arithmetic never traps where the
+        // eBPF backends would wrap.
+        let mut expr = "(input.object_id % 997)".to_owned();
+        for (op, c) in &ops {
+            let sym = ["+", "*", "/", "%"][*op];
+            expr = format!("({expr} {sym} {c})");
+        }
+        let src = format!(
+            "element D() {{ on request {{ DROP WHERE {expr} % 2 == 0; SET object_id = {expr}; SELECT * FROM input; }} }}"
+        );
+        let element = lower(&src);
+
+        // Native engine.
+        let mut n = compile_element(&element, &CompileOpts::default());
+        let mut msg = make_request(oid, "alice", b"x");
+        let nv = n.process(&mut msg);
+
+        // Legacy B-code interpreter and the encoded real-ISA interpreter,
+        // fed identical field vectors.
+        let (req, _) = schemas();
+        let types: Vec<ValueType> = req.fields().iter().map(|f| f.ty).collect();
+        let compiled =
+            ebpf::compile_for_schema(&element, &types, &[ValueType::Bool, ValueType::Bytes])
+                .unwrap();
+        let start_fields = vec![
+            Value::U64(oid),
+            Value::Str("alice".into()),
+            Value::Bytes(b"x".to_vec()),
+        ];
+
+        let mut legacy_fields = start_fields.clone();
+        let mut maps = ebpf::EbpfMaps::for_element(&compiled);
+        let mut udf = UdfRuntime::new(0);
+        let mut route = ebpf::RouteDecision::default();
+        let lv = ebpf::execute(
+            &compiled.request,
+            &mut legacy_fields,
+            &mut maps,
+            &mut udf,
+            &mut route,
+        );
+
+        let assembled = isa::assemble(&compiled.request).unwrap();
+        let mut encoded_fields = start_fields;
+        let mut maps2 = ebpf::EbpfMaps::for_element(&compiled);
+        let mut udf2 = UdfRuntime::new(0);
+        let mut route2 = ebpf::RouteDecision::default();
+        let ev = isa::execute_encoded(
+            &assembled.insns,
+            &mut encoded_fields,
+            &mut maps2,
+            &mut udf2,
+            &mut route2,
+        )
+        .unwrap();
+
+        prop_assert_eq!(&lv, &ev, "legacy and encoded verdicts diverged");
+        let dropped = nv == Verdict::Drop;
+        prop_assert_eq!(dropped, lv == ebpf::EbpfVerdict::Drop, "native and eBPF verdicts diverged");
+        if !dropped {
+            prop_assert_eq!(
+                msg.get("object_id"),
+                legacy_fields.first(),
+                "native and legacy fields diverged"
+            );
+            prop_assert_eq!(&legacy_fields, &encoded_fields, "legacy and encoded fields diverged");
+        }
+    }
+}
+
+/// Elements every backend offloads: pure field arithmetic, filters, and
+/// the hash helper — no state tables, payload codecs, or randomness.
+fn offloadable_pool() -> Vec<&'static str> {
+    vec![
+        "element F() { on request { DROP WHERE input.object_id % 7 == 0; SELECT * FROM input; } }",
+        "element G() { on request { SET object_id = input.object_id * 3 + 1; SELECT * FROM input; } }",
+        "element H() { on request { SELECT hash(input.username) AS object_id FROM input; } }",
+        "element I() { on request { DROP WHERE hash(input.username) % 2 == 0; SELECT * FROM input; } }",
+    ]
 }
 
 fn arb_insn() -> impl Strategy<Value = ebpf::Insn> {

@@ -16,10 +16,13 @@
 //!   E10    per-element latency breakdown from in-band trace spans
 //!          (sampling 1.0; the residual row is the unattributed
 //!          transport + endpoint time)
+//!   E11    offload matrix: every catalog element audited under a set of
+//!          site policies, with the verifier's proved cost bounds
 //!
 //! Usage: `paper_eval [--lint] [--fig5] [--loc] [--fig2] [--overhead]
 //! [--codegen] [--reconfig] [--ablation] [--chaos]
-//! [--latency-breakdown]` (no flags = run everything). `--smoke` shrinks
+//! [--latency-breakdown] [--offload-matrix]` (no flags = run everything).
+//! `--smoke` shrinks
 //! sample counts for CI. `ADN_BENCH_SECS` scales measurement time
 //! (default 2s per point); `ADN_CHAOS_DROP` / `ADN_CHAOS_SEED`
 //! configure E9.
@@ -83,6 +86,9 @@ fn main() {
     }
     if has("--latency-breakdown") {
         latency_breakdown(smoke);
+    }
+    if has("--offload-matrix") {
+        offload_matrix();
     }
 }
 
@@ -1353,4 +1359,83 @@ fn latency_breakdown(smoke: bool) {
         "stage sum vs e2e    : {sum_us:.2} us vs {:.2} us ({deviation:.2}% deviation, budget 10%)\n",
         us(med_e2e)
     );
+}
+
+// ---------------------------------------------------------------------------
+// E11 — offload matrix: catalog elements × site policies
+// ---------------------------------------------------------------------------
+
+/// Audits every catalog element under a spectrum of site policies with the
+/// abstract-interpretation verifier. Accepted cells show the *proved*
+/// bounds (worst feasible path, exact stack watermark, helper calls) the
+/// placer prices eBPF sites with; rejected cells show the first diagnostic
+/// code, i.e. the reason the element stays on a native processor there.
+fn offload_matrix() {
+    use adn_verifier::ebpf::{audit_element, EbpfPolicy};
+
+    println!("--- E11: offload matrix — catalog elements x site policies ---\n");
+    let (req_schema, resp_schema) = object_store_schemas();
+
+    let policies: Vec<(&str, EbpfPolicy)> = vec![
+        ("default", EbpfPolicy::default()),
+        (
+            "no-helpers",
+            EbpfPolicy {
+                allow_rand: false,
+                allow_now: false,
+                allow_map_helpers: false,
+                allow_route: false,
+                ..EbpfPolicy::default()
+            },
+        ),
+        (
+            "tight-stack (16 B)",
+            EbpfPolicy {
+                max_stack_bytes: 16,
+                ..EbpfPolicy::default()
+            },
+        ),
+        (
+            "tiny-ctx (8 B)",
+            EbpfPolicy {
+                max_ctx_bytes: Some(8),
+                ..EbpfPolicy::default()
+            },
+        ),
+    ];
+
+    let mut header: Vec<&str> = vec!["element"];
+    header.extend(policies.iter().map(|(n, _)| *n));
+    let mut t = Table::new(&header);
+
+    let mut offloadable = 0usize;
+    for name in adn_elements::standard_names() {
+        let ir = match adn_elements::build(name, &[], &req_schema, &resp_schema) {
+            Ok(ir) => ir,
+            Err(_) => continue, // elements needing parameters are skipped
+        };
+        let mut row: Vec<String> = vec![name.to_owned()];
+        for (_, policy) in &policies {
+            row.push(match audit_element(&ir, policy) {
+                Ok(r) => {
+                    offloadable += 1;
+                    format!(
+                        "path<={} stk={} hlp={}",
+                        r.request_path_insns.max(r.response_path_insns),
+                        r.stack_bytes,
+                        r.helper_calls
+                    )
+                }
+                Err(diags) => diags[0].code.to_owned(),
+            });
+        }
+        t.row(&row);
+    }
+    println!("{}", t.render());
+    assert!(
+        offloadable > 0,
+        "verifier rejected every catalog element everywhere"
+    );
+    println!("accepted cells carry proved bounds (worst feasible path, exact");
+    println!("stack watermark, helper calls); rejected cells name the B-code.\n");
 }

@@ -252,6 +252,13 @@ impl ElementConstraints {
     }
 }
 
+/// Execution-cost weight of one verified encoded instruction on an eBPF
+/// site (the kernel runs straight-line bytecode close to native speed).
+const EBPF_INSN_UNIT: f64 = 0.1;
+/// Weight of one verified worst-case helper call on an eBPF site (map
+/// accesses hash, probe, and copy — far heavier than an ALU op).
+const EBPF_HELPER_UNIT: f64 = 1.0;
+
 /// Solves placement for `elements` under `constraints` in `env`, with the
 /// default (permissive) kernel offload policy.
 pub fn place(
@@ -302,14 +309,29 @@ pub fn place_with_policy(
                 reasons.push((site, reason));
                 continue;
             }
-            if site.platform() == Platform::Ebpf {
-                if let Err(diags) = &ebpf_verdict {
-                    let why: Vec<String> = diags.iter().map(|d| d.message.clone()).collect();
-                    reasons.push((site, format!("offload verifier: {}", why.join("; "))));
-                    continue;
+            let exec = if site.platform() == Platform::Ebpf {
+                match &ebpf_verdict {
+                    Err(diags) => {
+                        let why: Vec<String> = diags.iter().map(|d| d.message.clone()).collect();
+                        reasons.push((site, format!("offload verifier: {}", why.join("; "))));
+                        continue;
+                    }
+                    // Rank the kernel site by the *verified* worst-case
+                    // bound from the abstract interpreter, not the IR
+                    // estimate: encoded instructions on the longest
+                    // feasible path of each direction, plus helper-call
+                    // overhead (a map access dominates straight-line
+                    // arithmetic by an order of magnitude).
+                    Ok(report) => {
+                        let insns = report.request_path_insns + report.response_path_insns;
+                        insns as f64 * EBPF_INSN_UNIT
+                            + report.helper_calls as f64 * EBPF_HELPER_UNIT
+                    }
                 }
-            }
-            options.push((si, exec_units * site.speed_factor()));
+            } else {
+                exec_units * site.speed_factor()
+            };
+            options.push((si, exec));
         }
         if options.is_empty() {
             return Err(PlaceError {
@@ -632,6 +654,97 @@ mod tests {
         assert!(
             matches!(p.sites[0], Site::ClientSidecar | Site::ServerSidecar),
             "audited-out element must fall back, got {:?}",
+            p.sites[0]
+        );
+    }
+
+    #[test]
+    fn verified_stack_bound_unlocks_offload_the_heuristic_rejected() {
+        // Pure arithmetic writes several registers, so the old simulated
+        // stack model (8 bytes per written register) busts a 16-byte
+        // budget and forces a sidecar. The abstract interpreter proves
+        // the program never touches the stack, so the same element under
+        // the same budget now offloads into the kernel with a bound.
+        let arith = lower(
+            "element A() { on request { SET object_id = input.object_id * 3 + input.object_id % 7; SELECT * FROM input; } }",
+        );
+        let cons = vec![ElementConstraints::default()];
+        let env = Environment {
+            client_node: node(1, true, false),
+            server_node: node(2, true, false),
+            switch: None,
+            allow_in_app: false,
+        };
+
+        let heuristic = EbpfPolicy {
+            max_stack_bytes: 16,
+            use_absint: false,
+            ..EbpfPolicy::default()
+        };
+        let p = place_with_policy(std::slice::from_ref(&arith), &cons, &env, &heuristic).unwrap();
+        assert!(
+            matches!(p.sites[0], Site::ClientSidecar | Site::ServerSidecar),
+            "heuristic audit should reject the offload, got {:?}",
+            p.sites[0]
+        );
+
+        let proved = EbpfPolicy {
+            max_stack_bytes: 16,
+            ..EbpfPolicy::default()
+        };
+        let report = adn_verifier::ebpf::audit_element(&arith, &proved).unwrap();
+        assert_eq!(report.stack_bytes, 0, "{report:?}");
+        assert!(report.precise);
+        let p = place_with_policy(std::slice::from_ref(&arith), &cons, &env, &proved).unwrap();
+        assert!(
+            matches!(p.sites[0], Site::ClientEbpf | Site::ServerEbpf),
+            "proved zero-stack element should offload, got {:?}",
+            p.sites[0]
+        );
+    }
+
+    #[test]
+    fn ctx_bound_violation_rejects_offload_with_spanned_diagnostic() {
+        // `username` is field 1, so hashing it provably needs 16 context
+        // bytes. A site guaranteeing only 8 must reject the program — and
+        // the diagnostic names the offending instruction slot.
+        let h = lower(
+            "element H() { on request { DROP WHERE hash(input.username) % 2 == 0; SELECT * FROM input; } }",
+        );
+        let cons = vec![ElementConstraints::default()];
+        let env = Environment {
+            client_node: node(1, true, false),
+            server_node: node(2, true, false),
+            switch: None,
+            allow_in_app: false,
+        };
+        let tiny = EbpfPolicy {
+            max_ctx_bytes: Some(8),
+            ..EbpfPolicy::default()
+        };
+        let diags = adn_verifier::ebpf::audit_element(&h, &tiny).unwrap_err();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == adn_verifier::codes::EBPF_OOB && d.span.is_some()),
+            "{diags:?}"
+        );
+        let p = place_with_policy(std::slice::from_ref(&h), &cons, &env, &tiny).unwrap();
+        assert!(
+            matches!(p.sites[0], Site::ClientSidecar | Site::ServerSidecar),
+            "ctx-rejected element must fall back, got {:?}",
+            p.sites[0]
+        );
+
+        // The same element offloads when the site's context is big enough.
+        let roomy = EbpfPolicy {
+            max_ctx_bytes: Some(16),
+            ..EbpfPolicy::default()
+        };
+        let p = place_with_policy(std::slice::from_ref(&h), &cons, &env, &roomy).unwrap();
+        assert!(
+            matches!(p.sites[0], Site::ClientEbpf | Site::ServerEbpf),
+            "got {:?}",
             p.sites[0]
         );
     }

@@ -1,0 +1,237 @@
+//! Basic-block CFG construction over an encoded instruction stream.
+//!
+//! Leaders are slot 0, every branch target, and every slot following a
+//! branch or `exit`. The two-slot `lddw` form is handled throughout: its
+//! second slot is never an instruction boundary, and a branch landing on
+//! one is a structural error. Cycles (backward edges) are rejected here —
+//! the execution model is run-to-completion, so a loop means the program
+//! is unbounded (`B0002`).
+
+use adn_backend::isa::{self, BpfInsn};
+
+/// One basic block: a maximal straight-line slot range.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First slot of the block.
+    pub start: usize,
+    /// Slot just past the last instruction.
+    pub end: usize,
+    /// Slot of the final instruction (`lddw`-aware).
+    pub term: usize,
+    /// Block reached when the terminating branch is taken.
+    pub taken: Option<usize>,
+    /// Block reached on fall-through.
+    pub fall: Option<usize>,
+    /// Number of instructions (an `lddw` pair counts once).
+    pub insn_count: usize,
+    /// Number of helper `call`s in the block.
+    pub helper_calls: usize,
+}
+
+/// The control-flow graph. Blocks are stored in slot order, which for an
+/// accepted (acyclic, forward-branching) program is also a topological
+/// order.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+}
+
+fn is_branch(insn: BpfInsn) -> bool {
+    matches!(insn.class(), isa::BPF_JMP | isa::BPF_JMP32) && insn.op() != isa::BPF_CALL
+}
+
+/// Builds the CFG, or explains the structural defect. Errors here map to
+/// `B0002` (malformed/unbounded flow) at the verdict layer.
+pub fn build(insns: &[BpfInsn]) -> Result<Cfg, String> {
+    if insns.is_empty() {
+        return Err("empty program".into());
+    }
+
+    // Pass 1: instruction boundaries (lddw occupies two slots).
+    let n = insns.len();
+    let mut boundary = vec![false; n];
+    let mut pc = 0;
+    while pc < n {
+        boundary[pc] = true;
+        if insns[pc].is_lddw() {
+            if pc + 1 >= n {
+                return Err(format!("slot {pc}: truncated lddw"));
+            }
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: leaders.
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    let mut pc = 0;
+    while pc < n {
+        let insn = insns[pc];
+        let width = if insn.is_lddw() { 2 } else { 1 };
+        if is_branch(insn) {
+            if insn.op() != isa::BPF_EXIT {
+                let target = pc as i64 + 1 + insn.off as i64;
+                if target < 0 || target as usize >= n {
+                    return Err(format!("slot {pc}: branch target {target} out of range"));
+                }
+                if !boundary[target as usize] {
+                    return Err(format!(
+                        "slot {pc}: branch lands inside an lddw pair at {target}"
+                    ));
+                }
+                leader[target as usize] = true;
+            }
+            if pc + width < n {
+                leader[pc + width] = true;
+            }
+        }
+        pc += width;
+    }
+
+    // Pass 3: carve blocks.
+    let mut blocks = Vec::new();
+    let mut block_of = vec![usize::MAX; n];
+    let mut start = 0;
+    let mut insn_count = 0;
+    let mut helper_calls = 0;
+    let mut term = 0;
+    let mut pc = 0;
+    while pc < n {
+        let insn = insns[pc];
+        let width = if insn.is_lddw() { 2 } else { 1 };
+        insn_count += 1;
+        if insn.class() == isa::BPF_JMP && insn.op() == isa::BPF_CALL {
+            helper_calls += 1;
+        }
+        term = pc;
+        let next = pc + width;
+        let block_ends = next >= n || leader[next] || is_branch(insn);
+        if block_ends {
+            let idx = blocks.len();
+            for slot in block_of.iter_mut().take(next).skip(start) {
+                *slot = idx;
+            }
+            blocks.push(Block {
+                start,
+                end: next,
+                term,
+                taken: None,
+                fall: None,
+                insn_count,
+                helper_calls,
+            });
+            start = next;
+            insn_count = 0;
+            helper_calls = 0;
+        }
+        pc = next;
+    }
+    let _ = term;
+
+    // Pass 4: edges.
+    for block in blocks.iter_mut() {
+        let t = block.term;
+        let insn = insns[t];
+        let end = block.end;
+        if is_branch(insn) {
+            match insn.op() {
+                isa::BPF_EXIT => {}
+                isa::BPF_JA => {
+                    let target = (t as i64 + 1 + insn.off as i64) as usize;
+                    block.taken = Some(block_of[target]);
+                }
+                _ => {
+                    let target = (t as i64 + 1 + insn.off as i64) as usize;
+                    block.taken = Some(block_of[target]);
+                    if end >= n {
+                        return Err(format!("slot {t}: conditional branch falls off the end"));
+                    }
+                    block.fall = Some(block_of[end]);
+                }
+            }
+        } else {
+            if end >= n {
+                return Err(format!("slot {t}: program falls off the end"));
+            }
+            block.fall = Some(block_of[end]);
+        }
+    }
+
+    // Pass 5: reject cycles. Blocks are in slot order; any edge to a
+    // block at or before the current one is a back edge.
+    for (i, b) in blocks.iter().enumerate() {
+        for succ in [b.taken, b.fall].into_iter().flatten() {
+            if succ <= i {
+                return Err(format!(
+                    "block at slot {} branches backward to slot {} — loops are \
+                     not run-to-completion",
+                    b.start, blocks[succ].start
+                ));
+            }
+        }
+    }
+
+    Ok(Cfg { blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_backend::isa::{
+        alu64_imm, exit, ja, jmp_imm, lddw, mov64_imm, mov64_reg, BPF_ADD, BPF_JEQ,
+    };
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let insns = vec![mov64_reg(9, 1), mov64_imm(0, 0), exit()];
+        let cfg = build(&insns).unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].insn_count, 3);
+        assert!(cfg.blocks[0].taken.is_none() && cfg.blocks[0].fall.is_none());
+    }
+
+    #[test]
+    fn diamond_makes_four_blocks() {
+        let insns = vec![
+            mov64_imm(1, 5),           // b0
+            jmp_imm(BPF_JEQ, 1, 5, 2), // b0 → b2 taken, b1 fall
+            alu64_imm(BPF_ADD, 1, 1),  // b1
+            ja(0),                     // b1 → b2  (ja +0 falls to next block)
+            mov64_imm(0, 0),           // b2
+            exit(),
+        ];
+        let cfg = build(&insns).unwrap();
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0].taken, Some(2));
+        assert_eq!(cfg.blocks[0].fall, Some(1));
+        assert_eq!(cfg.blocks[1].taken, Some(2));
+    }
+
+    #[test]
+    fn lddw_counts_as_one_insn_and_cannot_be_split() {
+        let [lo, hi] = lddw(1, u64::MAX);
+        let insns = vec![lo, hi, mov64_imm(0, 0), exit()];
+        let cfg = build(&insns).unwrap();
+        assert_eq!(cfg.blocks[0].insn_count, 3);
+
+        // A branch into the second lddw slot is structural corruption.
+        let bad = vec![jmp_imm(BPF_JEQ, 0, 0, 1), lo, hi, exit()];
+        let err = build(&bad).unwrap_err();
+        assert!(err.contains("lddw"), "{err}");
+    }
+
+    #[test]
+    fn backward_edge_is_rejected() {
+        let insns = vec![mov64_imm(1, 0), ja(-2), exit()];
+        let err = build(&insns).unwrap_err();
+        assert!(err.contains("backward"), "{err}");
+    }
+
+    #[test]
+    fn fallthrough_off_the_end_is_rejected() {
+        let insns = vec![mov64_imm(1, 0)];
+        assert!(build(&insns).is_err());
+    }
+}

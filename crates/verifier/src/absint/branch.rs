@@ -1,0 +1,239 @@
+//! Branch refinement: conditional jumps narrow operand ranges on both
+//! outgoing edges, and edges whose refined ranges are empty are pruned as
+//! infeasible — the mechanism that lets `if r1 < 8` prove a later
+//! context access in bounds, and that keeps dead error paths out of the
+//! worst-case cost.
+
+use adn_backend::isa::{self, BpfInsn};
+
+use super::track::{AbsVal, Range};
+
+/// Refined `(a, b)` operand values on one edge, or `None` when the edge
+/// is infeasible.
+pub type Edge = Option<(AbsVal, AbsVal)>;
+
+/// Splits the abstract operand values of a conditional jump into the
+/// taken-edge and fall-through-edge refinements.
+pub fn refine(insn: BpfInsn, a: AbsVal, b: AbsVal) -> (Edge, Edge) {
+    // The canonical null-check: a `MapValOrNull` compared against 0.
+    if let (AbsVal::MapValOrNull { map }, Some(0)) =
+        (a, b.scalar_range().and_then(|r| r.as_const()))
+    {
+        let null = (AbsVal::Scalar(Range::exact(0)), b);
+        let nonnull = (
+            AbsVal::MapValPtr {
+                map,
+                off: Range::exact(0),
+            },
+            b,
+        );
+        match insn.op() {
+            isa::BPF_JEQ => return (Some(null), Some(nonnull)),
+            isa::BPF_JNE => return (Some(nonnull), Some(null)),
+            _ => {}
+        }
+    }
+
+    let (Some(ra), Some(rb)) = (a.scalar_range(), b.scalar_range()) else {
+        // Pointer comparisons (or uninit operands — reported elsewhere):
+        // no refinement, both edges feasible.
+        return (Some((a, b)), Some((a, b)));
+    };
+    if insn.class() == isa::BPF_JMP32 {
+        // 32-bit compares see only the low halves; refining the 64-bit
+        // range from them is unsound in general, so skip.
+        return (Some((a, b)), Some((a, b)));
+    }
+
+    let (taken, fall) = split(insn.op(), ra, rb);
+    let pack = |e: Option<(Range, Range)>| -> Edge {
+        e.map(|(x, y)| (AbsVal::Scalar(x), AbsVal::Scalar(y)))
+    };
+    (pack(taken), pack(fall))
+}
+
+fn nonempty(a: Range, b: Range) -> Option<(Range, Range)> {
+    (!a.is_empty() && !b.is_empty()).then_some((a, b))
+}
+
+/// Refined `(dst, src)` ranges on one edge, or `None` when the edge is
+/// infeasible.
+type RangePair = Option<(Range, Range)>;
+
+/// Range split for one comparison: `(taken, fall)`.
+fn split(op: u8, a: Range, b: Range) -> (RangePair, RangePair) {
+    match op {
+        isa::BPF_JEQ => {
+            let both = Range::intersect(a, b);
+            let eq = nonempty(both, both);
+            let ne = ne_split(a, b);
+            (eq, ne)
+        }
+        isa::BPF_JNE => {
+            let both = Range::intersect(a, b);
+            let eq = nonempty(both, both);
+            let ne = ne_split(a, b);
+            (ne, eq)
+        }
+        isa::BPF_JGT => (ugt(a, b), ule(a, b)),
+        isa::BPF_JLE => (ule(a, b), ugt(a, b)),
+        isa::BPF_JLT => (ult(a, b), uge(a, b)),
+        isa::BPF_JGE => (uge(a, b), ult(a, b)),
+        isa::BPF_JSGT => (sgt(a, b), sle(a, b)),
+        isa::BPF_JSLE => (sle(a, b), sgt(a, b)),
+        isa::BPF_JSLT => (slt(a, b), sge(a, b)),
+        isa::BPF_JSGE => (sge(a, b), slt(a, b)),
+        isa::BPF_JSET => {
+            // `a & b != 0` taken. Only the constant-vs-constant case is
+            // decidable; otherwise leave both edges unrefined.
+            if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                if x & y != 0 {
+                    (Some((a, b)), None)
+                } else {
+                    (None, Some((a, b)))
+                }
+            } else {
+                (Some((a, b)), Some((a, b)))
+            }
+        }
+        _ => (Some((a, b)), Some((a, b))),
+    }
+}
+
+/// `a != b`: refinable only when one side is a constant at an end of the
+/// other's interval — then the interval shrinks by one.
+fn ne_split(a: Range, b: Range) -> Option<(Range, Range)> {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return (x != y).then_some((a, b));
+    }
+    let mut a = a;
+    if let Some(y) = b.as_const() {
+        if a.umin == y && a.umin < a.umax {
+            a = Range::intersect(a, Range::unsigned(y + 1, u64::MAX));
+        } else if a.umax == y && a.umin < a.umax {
+            a = Range::intersect(a, Range::unsigned(0, y - 1));
+        }
+    }
+    let mut b = b;
+    if let Some(x) = a.as_const() {
+        if b.umin == x && b.umin < b.umax {
+            b = Range::intersect(b, Range::unsigned(x + 1, u64::MAX));
+        } else if b.umax == x && b.umin < b.umax {
+            b = Range::intersect(b, Range::unsigned(0, x - 1));
+        }
+    }
+    nonempty(a, b)
+}
+
+fn ugt(a: Range, b: Range) -> Option<(Range, Range)> {
+    // a > b: a ≥ b.umin+1, b ≤ a.umax-1.
+    if b.umin == u64::MAX || a.umax == 0 {
+        return None;
+    }
+    nonempty(
+        Range::intersect(a, Range::unsigned(b.umin + 1, u64::MAX)),
+        Range::intersect(b, Range::unsigned(0, a.umax - 1)),
+    )
+}
+
+fn uge(a: Range, b: Range) -> Option<(Range, Range)> {
+    nonempty(
+        Range::intersect(a, Range::unsigned(b.umin, u64::MAX)),
+        Range::intersect(b, Range::unsigned(0, a.umax)),
+    )
+}
+
+fn ult(a: Range, b: Range) -> Option<(Range, Range)> {
+    ugt(b, a).map(|(y, x)| (x, y))
+}
+
+fn ule(a: Range, b: Range) -> Option<(Range, Range)> {
+    uge(b, a).map(|(y, x)| (x, y))
+}
+
+fn sgt(a: Range, b: Range) -> Option<(Range, Range)> {
+    if b.smin == i64::MAX || a.smax == i64::MIN {
+        return None;
+    }
+    nonempty(
+        Range::intersect(a, Range::signed(b.smin + 1, i64::MAX)),
+        Range::intersect(b, Range::signed(i64::MIN, a.smax - 1)),
+    )
+}
+
+fn sge(a: Range, b: Range) -> Option<(Range, Range)> {
+    nonempty(
+        Range::intersect(a, Range::signed(b.smin, i64::MAX)),
+        Range::intersect(b, Range::signed(i64::MIN, a.smax)),
+    )
+}
+
+fn slt(a: Range, b: Range) -> Option<(Range, Range)> {
+    sgt(b, a).map(|(y, x)| (x, y))
+}
+
+fn sle(a: Range, b: Range) -> Option<(Range, Range)> {
+    sge(b, a).map(|(y, x)| (x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_backend::isa::{jmp_imm, jmp_reg, BPF_JEQ, BPF_JGE, BPF_JLT, BPF_JNE, BPF_JSGT};
+
+    fn sc(r: Range) -> AbsVal {
+        AbsVal::Scalar(r)
+    }
+
+    #[test]
+    fn jlt_narrows_both_edges() {
+        let insn = jmp_imm(BPF_JLT, 1, 8, 0);
+        let (taken, fall) = refine(insn, sc(Range::unknown()), sc(Range::exact(8)));
+        let (t, _) = taken.unwrap();
+        assert_eq!(t.scalar_range().unwrap().umax, 7);
+        let (f, _) = fall.unwrap();
+        assert_eq!(f.scalar_range().unwrap().umin, 8);
+    }
+
+    #[test]
+    fn constant_compare_prunes_an_edge() {
+        // r1 = 3; if r1 >= 10 — taken edge is infeasible.
+        let insn = jmp_imm(BPF_JGE, 1, 10, 0);
+        let (taken, fall) = refine(insn, sc(Range::exact(3)), sc(Range::exact(10)));
+        assert!(taken.is_none());
+        assert!(fall.is_some());
+    }
+
+    #[test]
+    fn jeq_on_disjoint_ranges_prunes_taken() {
+        let insn = jmp_reg(BPF_JEQ, 1, 2, 0);
+        let (taken, fall) = refine(insn, sc(Range::unsigned(0, 4)), sc(Range::unsigned(10, 20)));
+        assert!(taken.is_none());
+        assert!(fall.is_some());
+    }
+
+    #[test]
+    fn jne_shrinks_interval_endpoint() {
+        let insn = jmp_imm(BPF_JNE, 1, 0, 0);
+        let (taken, _) = refine(insn, sc(Range::unsigned(0, 5)), sc(Range::exact(0)));
+        let (t, _) = taken.unwrap();
+        assert_eq!(t.scalar_range().unwrap().umin, 1);
+    }
+
+    #[test]
+    fn signed_compare_uses_signed_bounds() {
+        let insn = jmp_imm(BPF_JSGT, 1, 0, 0);
+        let neg = Range::signed(-5, 5);
+        let (taken, fall) = refine(insn, sc(neg), sc(Range::exact(0)));
+        assert_eq!(taken.unwrap().0.scalar_range().unwrap().smin, 1);
+        assert_eq!(fall.unwrap().0.scalar_range().unwrap().smax, 0);
+    }
+
+    #[test]
+    fn null_check_splits_maybe_null_pointer() {
+        let insn = jmp_imm(BPF_JEQ, 0, 0, 0);
+        let (taken, fall) = refine(insn, AbsVal::MapValOrNull { map: 0 }, sc(Range::exact(0)));
+        assert_eq!(taken.unwrap().0, AbsVal::Scalar(Range::exact(0)));
+        assert!(matches!(fall.unwrap().0, AbsVal::MapValPtr { map: 0, .. }));
+    }
+}

@@ -1,0 +1,1237 @@
+//! # Abstract interpretation over the real eBPF encoding
+//!
+//! A worklist interpreter over the basic-block CFG of an encoded program
+//! ([`adn_backend::isa`]): every register carries an abstract value
+//! ([`track::AbsVal`]) — a scalar interval or a typed pointer — stack
+//! slots are tracked individually, conditional branches refine operand
+//! ranges on each outgoing edge ([`branch::refine`]) and prune edges
+//! proved infeasible, and join points widen after repeated visits.
+//!
+//! The output is an [`OffloadVerdict`]:
+//!
+//! * **Safe** — every memory access proved in bounds on every feasible
+//!   path, with a [`CostBound`] (worst-case instructions, exact stack
+//!   high-water mark, worst-case helper calls).
+//! * **Conditional** — safe *provided* the runtime context buffer holds at
+//!   least `required_ctx_bytes` (the program's context accesses are
+//!   bounded but the analysis was not told the buffer size).
+//! * **Unsafe** — a spanned diagnostic per defect, naming the offending
+//!   instruction (disassembled) and the abstract state that broke it.
+//!   Spans index instruction *slots*, not source bytes.
+//!
+//! Soundness over precision throughout: anything the transfer functions
+//! cannot bound degrades to an unknown scalar, and every pointer use of
+//! an unknown scalar is rejected.
+
+pub mod blocks;
+pub mod branch;
+pub mod track;
+
+use adn_backend::isa::{self, BpfInsn};
+use adn_dsl::diag::{Diagnostic, Span};
+
+use blocks::Cfg;
+use track::{AbsVal, Range};
+
+use crate::codes;
+
+/// Stack slots tracked (512 bytes / 8 per slot).
+const STACK_SLOTS: usize = (isa::STACK_SIZE as usize) / 8;
+
+/// Joins tolerated at one block entry before widening kicks in. Forward-
+/// only CFGs converge without it; the threshold guards termination if the
+/// flow model ever admits cycles.
+const WIDEN_AFTER: usize = 8;
+
+/// Worst-case resource bounds proved for every feasible path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostBound {
+    /// Instructions on the longest feasible path (an `lddw` counts once).
+    pub max_insns: usize,
+    /// Exact stack high-water mark in bytes (deepest byte written below
+    /// `r10`).
+    pub stack_bytes: usize,
+    /// Helper calls on the heaviest feasible path.
+    pub helper_calls: usize,
+}
+
+/// The verdict the placement layer consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OffloadVerdict {
+    /// Proved safe; `cost` bounds hold on every feasible path.
+    Safe { cost: CostBound },
+    /// Safe iff the runtime context buffer is at least this large.
+    Conditional {
+        required_ctx_bytes: usize,
+        cost: CostBound,
+    },
+    /// Proved unsafe; one spanned diagnostic per defect.
+    Unsafe { diags: Vec<Diagnostic> },
+}
+
+impl OffloadVerdict {
+    pub fn cost(&self) -> Option<CostBound> {
+        match self {
+            OffloadVerdict::Safe { cost } | OffloadVerdict::Conditional { cost, .. } => Some(*cost),
+            OffloadVerdict::Unsafe { .. } => None,
+        }
+    }
+
+    pub fn is_safe(&self) -> bool {
+        !matches!(self, OffloadVerdict::Unsafe { .. })
+    }
+}
+
+/// Rendered abstract state at one block entry (for `--ebpf-disasm`).
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    /// First instruction slot of the block.
+    pub start: usize,
+    /// Entry state, e.g. `r1=5 r9=ctx+0 r10=fp@512`. Empty string for
+    /// blocks proved unreachable.
+    pub entry: String,
+}
+
+/// Everything the analysis learned about one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub verdict: OffloadVerdict,
+    /// Distinct helper IDs called on any reachable path, sorted.
+    pub helpers: Vec<i32>,
+    /// Per-block entry states in slot order.
+    pub block_states: Vec<BlockState>,
+    /// Conditional edges proved infeasible and excluded from the cost.
+    pub pruned_edges: usize,
+}
+
+/// Analysis configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsintOptions {
+    /// Number of maps the program may reference via pseudo `lddw`.
+    pub num_maps: usize,
+    /// Context buffer size in bytes, when known. `None` turns in-bounds
+    /// context accesses into a `Conditional` verdict carrying the
+    /// required size.
+    pub ctx_bytes: Option<usize>,
+}
+
+/// Machine state at one program point.
+#[derive(Clone, PartialEq)]
+struct AbsState {
+    regs: [AbsVal; 11],
+    /// One entry per 8-byte stack slot, index 0 = lowest byte. `None` is
+    /// never-written; a partial or misaligned write degrades the covered
+    /// slots to unknown scalars.
+    stack: [Option<AbsVal>; STACK_SLOTS],
+}
+
+impl AbsState {
+    fn entry() -> Self {
+        let mut regs = [AbsVal::Uninit; 11];
+        regs[1] = AbsVal::CtxPtr {
+            off: Range::exact(0),
+        };
+        regs[isa::FP_REG as usize] = AbsVal::StackPtr {
+            off: Range::exact(isa::STACK_SIZE as u64),
+        };
+        AbsState {
+            regs,
+            stack: [None; STACK_SLOTS],
+        }
+    }
+
+    fn join(a: &AbsState, b: &AbsState) -> AbsState {
+        let mut regs = [AbsVal::Uninit; 11];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = AbsVal::join(a.regs[i], b.regs[i]);
+        }
+        let mut stack = [None; STACK_SLOTS];
+        for (i, slot) in stack.iter_mut().enumerate() {
+            *slot = match (a.stack[i], b.stack[i]) {
+                (Some(x), Some(y)) => Some(AbsVal::join(x, y)),
+                _ => None,
+            };
+        }
+        AbsState { regs, stack }
+    }
+
+    fn widen(prev: &AbsState, next: &AbsState) -> AbsState {
+        let mut out = next.clone();
+        for i in 0..11 {
+            out.regs[i] = AbsVal::widen(prev.regs[i], next.regs[i]);
+        }
+        for i in 0..STACK_SLOTS {
+            out.stack[i] = match (prev.stack[i], next.stack[i]) {
+                (Some(p), Some(n)) => Some(AbsVal::widen(p, n)),
+                (_, n) => n,
+            };
+        }
+        out
+    }
+
+    fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, v) in self.regs.iter().enumerate() {
+            if !matches!(v, AbsVal::Uninit) {
+                parts.push(format!("r{i}={v}"));
+            }
+        }
+        if parts.is_empty() {
+            "(all uninit)".into()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Global facts accumulated across all paths.
+#[derive(Default)]
+struct Effects {
+    stack_watermark: usize,
+    required_ctx_bytes: usize,
+    helpers: std::collections::BTreeSet<i32>,
+}
+
+struct Interp<'a> {
+    insns: &'a [BpfInsn],
+    opts: AbsintOptions,
+    eff: Effects,
+}
+
+/// Width in slots of the instruction at `pc`.
+fn width_at(insns: &[BpfInsn], pc: usize) -> usize {
+    if insns[pc].is_lddw() {
+        2
+    } else {
+        1
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn diag(&self, code: &'static str, pc: usize, detail: String) -> Diagnostic {
+        let width = width_at(self.insns, pc) as u32;
+        let text = isa::disasm_one(self.insns[pc], self.insns.get(pc + 1).copied()).0;
+        Diagnostic::error(code, format!("slot {pc}: `{text}` — {detail}"))
+            .with_span(Span::new(pc as u32, pc as u32 + width))
+            .with_help("spans index instruction slots in the encoded program, not source bytes")
+    }
+
+    fn read_reg(&self, st: &AbsState, r: u8, pc: usize) -> Result<AbsVal, Diagnostic> {
+        if r as usize >= st.regs.len() {
+            return Err(self.diag(codes::EBPF_OOB, pc, format!("invalid register r{r}")));
+        }
+        match st.regs[r as usize] {
+            AbsVal::Uninit => Err(self.diag(
+                codes::EBPF_UNINIT,
+                pc,
+                format!("r{r} is uninitialized here"),
+            )),
+            v => Ok(v),
+        }
+    }
+
+    fn write_reg(&self, st: &mut AbsState, r: u8, v: AbsVal, pc: usize) -> Result<(), Diagnostic> {
+        if r >= isa::FP_REG {
+            return Err(self.diag(
+                codes::EBPF_OOB,
+                pc,
+                format!("write to read-only register r{r}"),
+            ));
+        }
+        st.regs[r as usize] = v;
+        Ok(())
+    }
+
+    /// Shifts a pointer-offset range by a signed scalar range, saturating
+    /// to unknown when a bound escapes `u64` — the bounds check then
+    /// rejects the access.
+    fn shift(off: Range, d: Range) -> Range {
+        let lo = off.umin as i128 + d.smin as i128;
+        let hi = off.umax as i128 + d.smax as i128;
+        if lo < 0 || hi > u64::MAX as i128 || lo > hi {
+            Range::unknown()
+        } else {
+            Range::unsigned(lo as u64, hi as u64)
+        }
+    }
+
+    /// Validates one memory access and applies its effect. `store` is the
+    /// value written (`None` for loads); the return value is the loaded
+    /// abstract value (unknown scalar except for precise stack fills).
+    fn mem_access(
+        &mut self,
+        st: &mut AbsState,
+        pc: usize,
+        base: AbsVal,
+        insn_off: i16,
+        size: u64,
+        store: Option<AbsVal>,
+    ) -> Result<AbsVal, Diagnostic> {
+        let d = Range::exact(insn_off as i64 as u64);
+        match base {
+            AbsVal::CtxPtr { off } => {
+                if size != 8 {
+                    return Err(self.diag(
+                        codes::EBPF_OOB,
+                        pc,
+                        format!("context access must be 8 bytes, got {size}"),
+                    ));
+                }
+                let total = Self::shift(off, d);
+                let Some(end) = total.umax.checked_add(size) else {
+                    return Err(self.diag(
+                        codes::EBPF_OOB,
+                        pc,
+                        format!("context offset overflows (base {base})"),
+                    ));
+                };
+                if let Some(c) = total.as_const() {
+                    if c % 8 != 0 {
+                        return Err(self.diag(
+                            codes::EBPF_OOB,
+                            pc,
+                            format!("misaligned context access at offset {c}"),
+                        ));
+                    }
+                }
+                match self.opts.ctx_bytes {
+                    Some(limit) if end as usize > limit => {
+                        return Err(self.diag(
+                            codes::EBPF_OOB,
+                            pc,
+                            format!(
+                                "context access at ctx+{total} size {size} exceeds the \
+                                 {limit}-byte context"
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.eff.required_ctx_bytes = self.eff.required_ctx_bytes.max(end as usize);
+                    }
+                }
+                Ok(AbsVal::Scalar(Range::unknown()))
+            }
+            AbsVal::StackPtr { off } => {
+                let total = Self::shift(off, d);
+                let end = total.umax.checked_add(size);
+                if end.is_none()
+                    || end.unwrap() > isa::STACK_SIZE as u64
+                    || total == Range::unknown()
+                {
+                    return Err(self.diag(
+                        codes::EBPF_OOB,
+                        pc,
+                        format!(
+                            "stack access at fp@{total} size {size} outside the \
+                             {}-byte frame",
+                            isa::STACK_SIZE
+                        ),
+                    ));
+                }
+                let first = (total.umin / 8) as usize;
+                let last = ((total.umax + size - 1) / 8) as usize;
+                let precise = total.as_const().is_some() && total.umin % 8 == 0 && size == 8;
+                if let Some(val) = store {
+                    let depth = isa::STACK_SIZE as usize - total.umin as usize;
+                    self.eff.stack_watermark = self.eff.stack_watermark.max(depth);
+                    if precise {
+                        st.stack[first] = Some(val);
+                    } else {
+                        for s in &mut st.stack[first..=last] {
+                            *s = Some(AbsVal::Scalar(Range::unknown()));
+                        }
+                    }
+                    Ok(AbsVal::Uninit)
+                } else if precise {
+                    st.stack[first].ok_or_else(|| {
+                        self.diag(
+                            codes::EBPF_UNINIT,
+                            pc,
+                            format!("read of uninitialized stack slot fp@{}", total.umin),
+                        )
+                    })
+                } else {
+                    for (i, s) in st.stack[first..=last].iter().enumerate() {
+                        if s.is_none() {
+                            return Err(self.diag(
+                                codes::EBPF_UNINIT,
+                                pc,
+                                format!(
+                                    "read may touch uninitialized stack slot fp@{}",
+                                    (first + i) * 8
+                                ),
+                            ));
+                        }
+                    }
+                    Ok(AbsVal::Scalar(Range::unknown()))
+                }
+            }
+            AbsVal::MapValPtr { map, off } => {
+                let total = Self::shift(off, d);
+                match total.umax.checked_add(size) {
+                    Some(end) if end <= 8 && total != Range::unknown() => {
+                        Ok(AbsVal::Scalar(Range::unknown()))
+                    }
+                    _ => Err(self.diag(
+                        codes::EBPF_OOB,
+                        pc,
+                        format!(
+                            "access at mapval#{map}+{total} size {size} exceeds the \
+                             8-byte map value"
+                        ),
+                    )),
+                }
+            }
+            AbsVal::MapValOrNull { map } => Err(self.diag(
+                codes::EBPF_NULL_DEREF,
+                pc,
+                format!("mapval#{map}|null dereferenced without a null check"),
+            )),
+            AbsVal::MapPtr { map } => Err(self.diag(
+                codes::EBPF_OOB,
+                pc,
+                format!("map handle map#{map} dereferenced"),
+            )),
+            AbsVal::Scalar(r) => {
+                Err(self.diag(codes::EBPF_OOB, pc, format!("scalar {r} used as a pointer")))
+            }
+            AbsVal::Uninit => Err(self.diag(
+                codes::EBPF_UNINIT,
+                pc,
+                "uninitialized register used as a pointer".into(),
+            )),
+        }
+    }
+
+    /// Checks that `r` points at a fully initialized 8-byte stack window
+    /// (a helper key/value argument).
+    fn check_helper_stack_arg(
+        &mut self,
+        st: &mut AbsState,
+        pc: usize,
+        r: u8,
+        what: &str,
+    ) -> Result<(), Diagnostic> {
+        let v = self.read_reg(st, r, pc)?;
+        match v {
+            AbsVal::StackPtr { .. } => {
+                self.mem_access(st, pc, v, 0, 8, None).map_err(|d| {
+                    Diagnostic::error(
+                        codes::EBPF_HELPER,
+                        format!("{} (while checking helper {what} argument r{r})", d.message),
+                    )
+                    .with_span(
+                        d.span
+                            .unwrap_or_else(|| Span::new(pc as u32, pc as u32 + 1)),
+                    )
+                })?;
+                Ok(())
+            }
+            other => Err(self.diag(
+                codes::EBPF_HELPER,
+                pc,
+                format!("helper {what} argument r{r} must point at the stack, got {other}"),
+            )),
+        }
+    }
+
+    fn transfer_call(
+        &mut self,
+        st: &mut AbsState,
+        pc: usize,
+        helper: i32,
+    ) -> Result<(), Diagnostic> {
+        self.eff.helpers.insert(helper);
+        let r0 = match helper {
+            isa::HELPER_MAP_LOOKUP => {
+                let AbsVal::MapPtr { map } = self.read_reg(st, 1, pc)? else {
+                    return Err(self.diag(
+                        codes::EBPF_HELPER,
+                        pc,
+                        format!("map_lookup r1 must be a map handle, got {}", st.regs[1]),
+                    ));
+                };
+                self.check_helper_stack_arg(st, pc, 2, "key")?;
+                AbsVal::MapValOrNull { map }
+            }
+            isa::HELPER_MAP_UPDATE => {
+                let AbsVal::MapPtr { .. } = self.read_reg(st, 1, pc)? else {
+                    return Err(self.diag(
+                        codes::EBPF_HELPER,
+                        pc,
+                        format!("map_update r1 must be a map handle, got {}", st.regs[1]),
+                    ));
+                };
+                self.check_helper_stack_arg(st, pc, 2, "key")?;
+                self.check_helper_stack_arg(st, pc, 3, "value")?;
+                AbsVal::Scalar(Range::exact(0))
+            }
+            isa::HELPER_MAP_DELETE => {
+                let AbsVal::MapPtr { .. } = self.read_reg(st, 1, pc)? else {
+                    return Err(self.diag(
+                        codes::EBPF_HELPER,
+                        pc,
+                        format!("map_delete r1 must be a map handle, got {}", st.regs[1]),
+                    ));
+                };
+                self.check_helper_stack_arg(st, pc, 2, "key")?;
+                AbsVal::Scalar(Range::exact(0))
+            }
+            isa::HELPER_KTIME_GET_NS | isa::HELPER_GET_PRANDOM => AbsVal::Scalar(Range::unknown()),
+            isa::HELPER_HASH_FIELD | isa::HELPER_LEN_FIELD => {
+                let v = self.read_reg(st, 1, pc)?;
+                let Some(field) = v.scalar_range().and_then(|r| r.as_const()) else {
+                    return Err(self.diag(
+                        codes::EBPF_HELPER,
+                        pc,
+                        format!("field-helper index r1 must be a known constant, got {v}"),
+                    ));
+                };
+                let Some(end) = field
+                    .checked_add(1)
+                    .and_then(|f| f.checked_mul(isa::CTX_SLOT_BYTES as u64))
+                else {
+                    return Err(self.diag(
+                        codes::EBPF_OOB,
+                        pc,
+                        format!("field index {field} overflows the context"),
+                    ));
+                };
+                match self.opts.ctx_bytes {
+                    Some(limit) if end as usize > limit => {
+                        return Err(self.diag(
+                            codes::EBPF_OOB,
+                            pc,
+                            format!("field index {field} exceeds the {limit}-byte context"),
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.eff.required_ctx_bytes = self.eff.required_ctx_bytes.max(end as usize);
+                    }
+                }
+                AbsVal::Scalar(Range::unknown())
+            }
+            isa::HELPER_ROUTE => {
+                let v = self.read_reg(st, 1, pc)?;
+                if v.scalar_range().is_none() {
+                    return Err(self.diag(
+                        codes::EBPF_HELPER,
+                        pc,
+                        format!("route argument r1 must be a scalar, got {v}"),
+                    ));
+                }
+                AbsVal::Scalar(Range::exact(0))
+            }
+            other => {
+                return Err(self.diag(
+                    codes::EBPF_HELPER,
+                    pc,
+                    format!("unknown helper id {other:#x}"),
+                ));
+            }
+        };
+        st.regs[0] = r0;
+        for r in 1..=5 {
+            st.regs[r] = AbsVal::Uninit; // caller-saved, clobbered by the call
+        }
+        Ok(())
+    }
+
+    fn transfer_alu(
+        &mut self,
+        st: &mut AbsState,
+        pc: usize,
+        insn: BpfInsn,
+    ) -> Result<(), Diagnostic> {
+        let is64 = insn.class() == isa::BPF_ALU64;
+        let op = insn.op();
+        let b = if insn.is_reg_src() {
+            self.read_reg(st, insn.src, pc)?
+        } else {
+            AbsVal::Scalar(Range::exact(insn.imm as i64 as u64))
+        };
+
+        if op == isa::BPF_MOV {
+            let v = if is64 {
+                b
+            } else {
+                // ALU32 mov zero-extends and never transports a pointer.
+                AbsVal::Scalar(track::alu_scalar(
+                    insn,
+                    Range::exact(0),
+                    b.scalar_range().unwrap_or_else(Range::unknown),
+                ))
+            };
+            return self.write_reg(st, insn.dst, v, pc);
+        }
+
+        let a = self.read_reg(st, insn.dst, pc)?;
+
+        // Pointer ± scalar keeps the pointer kind with a shifted offset
+        // (64-bit only, matching what the kernel verifier permits).
+        if is64 && matches!(op, isa::BPF_ADD | isa::BPF_SUB) {
+            if let Some(d) = b.scalar_range() {
+                let d = if op == isa::BPF_SUB {
+                    Range::signed(
+                        d.smax.checked_neg().unwrap_or(i64::MIN),
+                        d.smin.checked_neg().unwrap_or(i64::MAX),
+                    )
+                } else {
+                    d
+                };
+                let shifted = |off| Self::shift(off, d);
+                let out = match a {
+                    AbsVal::CtxPtr { off } => Some(AbsVal::CtxPtr { off: shifted(off) }),
+                    AbsVal::StackPtr { off } => Some(AbsVal::StackPtr { off: shifted(off) }),
+                    AbsVal::MapValPtr { map, off } => Some(AbsVal::MapValPtr {
+                        map,
+                        off: shifted(off),
+                    }),
+                    _ => None,
+                };
+                if let Some(v) = out {
+                    return self.write_reg(st, insn.dst, v, pc);
+                }
+            }
+            // ADD is commutative: scalar dst + pointer src is also a
+            // pointer.
+            if op == isa::BPF_ADD {
+                if let Some(d) = a.scalar_range() {
+                    let out = match b {
+                        AbsVal::CtxPtr { off } => Some(AbsVal::CtxPtr {
+                            off: Self::shift(off, d),
+                        }),
+                        AbsVal::StackPtr { off } => Some(AbsVal::StackPtr {
+                            off: Self::shift(off, d),
+                        }),
+                        AbsVal::MapValPtr { map, off } => Some(AbsVal::MapValPtr {
+                            map,
+                            off: Self::shift(off, d),
+                        }),
+                        _ => None,
+                    };
+                    if let Some(v) = out {
+                        return self.write_reg(st, insn.dst, v, pc);
+                    }
+                }
+            }
+        }
+
+        // Everything else is scalar arithmetic; pointer operands degrade
+        // to unknown scalars (sound — a later deref is rejected).
+        let ra = a.scalar_range().unwrap_or_else(Range::unknown);
+        let rb = b.scalar_range().unwrap_or_else(Range::unknown);
+        let out = if op == isa::BPF_NEG {
+            track::alu_scalar(insn, ra, ra)
+        } else {
+            track::alu_scalar(insn, ra, rb)
+        };
+        self.write_reg(st, insn.dst, AbsVal::Scalar(out), pc)
+    }
+
+    /// Applies one non-branch instruction. Returns the slots consumed.
+    fn step(&mut self, st: &mut AbsState, pc: usize) -> Result<usize, Diagnostic> {
+        let insn = self.insns[pc];
+        match insn.class() {
+            isa::BPF_LD if insn.is_lddw() => {
+                let hi = self.insns[pc + 1];
+                let v = if insn.src == isa::BPF_PSEUDO_MAP_FD {
+                    let map = insn.imm as u32;
+                    if map as usize >= self.opts.num_maps {
+                        return Err(self.diag(
+                            codes::EBPF_OOB,
+                            pc,
+                            format!(
+                                "map {map} out of range (program declares {})",
+                                self.opts.num_maps
+                            ),
+                        ));
+                    }
+                    AbsVal::MapPtr { map }
+                } else {
+                    let imm = (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                    AbsVal::Scalar(Range::exact(imm))
+                };
+                self.write_reg(st, insn.dst, v, pc)?;
+                Ok(2)
+            }
+            isa::BPF_ALU | isa::BPF_ALU64 => {
+                self.transfer_alu(st, pc, insn)?;
+                Ok(1)
+            }
+            isa::BPF_LDX => {
+                let base = self.read_reg(st, insn.src, pc)?;
+                let v = self.mem_access(st, pc, base, insn.off, insn.size_bytes() as u64, None)?;
+                self.write_reg(st, insn.dst, v, pc)?;
+                Ok(1)
+            }
+            isa::BPF_STX => {
+                let base = self.read_reg(st, insn.dst, pc)?;
+                let val = self.read_reg(st, insn.src, pc)?;
+                self.mem_access(st, pc, base, insn.off, insn.size_bytes() as u64, Some(val))?;
+                Ok(1)
+            }
+            isa::BPF_ST => {
+                let base = self.read_reg(st, insn.dst, pc)?;
+                let val = AbsVal::Scalar(Range::exact(insn.imm as i64 as u64));
+                self.mem_access(st, pc, base, insn.off, insn.size_bytes() as u64, Some(val))?;
+                Ok(1)
+            }
+            isa::BPF_JMP if insn.op() == isa::BPF_CALL => {
+                self.transfer_call(st, pc, insn.imm)?;
+                Ok(1)
+            }
+            _ => Err(self.diag(
+                codes::EBPF_UNSUPPORTED,
+                pc,
+                format!("unsupported instruction (opcode {:#04x})", insn.opcode),
+            )),
+        }
+    }
+
+    /// Checks the state at `exit`: `r0` must hold a scalar verdict.
+    fn check_exit(&self, st: &AbsState, pc: usize) -> Result<(), Diagnostic> {
+        match st.regs[0] {
+            AbsVal::Scalar(_) => Ok(()),
+            AbsVal::Uninit => {
+                Err(self.diag(codes::EBPF_UNINIT, pc, "r0 is uninitialized at exit".into()))
+            }
+            other => Err(self.diag(
+                codes::EBPF_OOB,
+                pc,
+                format!("r0 holds {other} at exit — pointers cannot leak"),
+            )),
+        }
+    }
+}
+
+/// Runs the abstract interpreter over an encoded program.
+pub fn analyze(insns: &[BpfInsn], opts: &AbsintOptions) -> Analysis {
+    let cfg = match blocks::build(insns) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            return Analysis {
+                verdict: OffloadVerdict::Unsafe {
+                    diags: vec![Diagnostic::error(
+                        codes::EBPF_UNBOUNDED,
+                        format!("control flow rejected: {msg}"),
+                    )],
+                },
+                helpers: Vec::new(),
+                block_states: Vec::new(),
+                pruned_edges: 0,
+            };
+        }
+    };
+
+    let nb = cfg.blocks.len();
+    let mut interp = Interp {
+        insns,
+        opts: *opts,
+        eff: Effects::default(),
+    };
+
+    let mut entry: Vec<Option<AbsState>> = vec![None; nb];
+    let mut joins = vec![0usize; nb];
+    entry[0] = Some(AbsState::entry());
+
+    // Feasible successor edges actually taken, for the cost pass.
+    let mut feasible: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    let mut pruned_edges = 0usize;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    let propagate =
+        |entry: &mut Vec<Option<AbsState>>, joins: &mut Vec<usize>, succ: usize, st: AbsState| {
+            match &entry[succ] {
+                None => entry[succ] = Some(st),
+                Some(prev) => {
+                    let mut joined = AbsState::join(prev, &st);
+                    if joined != *prev {
+                        joins[succ] += 1;
+                        if joins[succ] > WIDEN_AFTER {
+                            joined = AbsState::widen(prev, &joined);
+                        }
+                        entry[succ] = Some(joined);
+                    }
+                }
+            }
+        };
+
+    // Blocks are in topological order (cycles were rejected), so a single
+    // in-order pass is a complete worklist run: every predecessor of block
+    // `i` has index < `i` and is finished before `i` starts.
+    for bi in 0..nb {
+        let Some(start_state) = entry[bi].clone() else {
+            continue; // unreachable (all incoming edges pruned)
+        };
+        let b = &cfg.blocks[bi];
+        let mut st = start_state;
+        let mut pc = b.start;
+        let mut failed = false;
+
+        // Straight-line body up to (not including) the terminator.
+        while pc < b.term {
+            match interp.step(&mut st, pc) {
+                Ok(w) => pc += w,
+                Err(d) => {
+                    diags.push(d);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            continue; // no propagation from a faulting block
+        }
+
+        // Terminator.
+        let t = insns[b.term];
+        let is_branch =
+            matches!(t.class(), isa::BPF_JMP | isa::BPF_JMP32) && t.op() != isa::BPF_CALL;
+        if !is_branch {
+            // A block can end at a leader boundary with an ordinary insn.
+            match interp.step(&mut st, b.term) {
+                Ok(_) => {
+                    if let Some(succ) = b.fall {
+                        feasible[bi].push(succ);
+                        propagate(&mut entry, &mut joins, succ, st);
+                    }
+                }
+                Err(d) => diags.push(d),
+            }
+        } else {
+            match t.op() {
+                isa::BPF_EXIT => {
+                    if let Err(d) = interp.check_exit(&st, b.term) {
+                        diags.push(d);
+                    }
+                }
+                isa::BPF_JA => {
+                    if let Some(succ) = b.taken {
+                        feasible[bi].push(succ);
+                        propagate(&mut entry, &mut joins, succ, st);
+                    }
+                }
+                _ => {
+                    // Conditional: read operands, refine per edge.
+                    let a = match interp.read_reg(&st, t.dst, b.term) {
+                        Ok(v) => v,
+                        Err(d) => {
+                            diags.push(d);
+                            continue;
+                        }
+                    };
+                    let bv = if t.is_reg_src() {
+                        match interp.read_reg(&st, t.src, b.term) {
+                            Ok(v) => v,
+                            Err(d) => {
+                                diags.push(d);
+                                continue;
+                            }
+                        }
+                    } else {
+                        AbsVal::Scalar(Range::exact(t.imm as i64 as u64))
+                    };
+                    let (taken, fall) = branch::refine(t, a, bv);
+                    let apply = |edge: branch::Edge,
+                                 succ: Option<usize>,
+                                 entry: &mut Vec<Option<AbsState>>,
+                                 joins: &mut Vec<usize>,
+                                 feas: &mut Vec<usize>,
+                                 pruned: &mut usize| {
+                        let Some(succ) = succ else { return };
+                        match edge {
+                            None => *pruned += 1,
+                            Some((ra, rb)) => {
+                                let mut next = st.clone();
+                                next.regs[t.dst as usize] = ra;
+                                if t.is_reg_src() {
+                                    next.regs[t.src as usize] = rb;
+                                }
+                                feas.push(succ);
+                                propagate(entry, joins, succ, next);
+                            }
+                        }
+                    };
+                    let mut feas = std::mem::take(&mut feasible[bi]);
+                    apply(
+                        taken,
+                        b.taken,
+                        &mut entry,
+                        &mut joins,
+                        &mut feas,
+                        &mut pruned_edges,
+                    );
+                    apply(
+                        fall,
+                        b.fall,
+                        &mut entry,
+                        &mut joins,
+                        &mut feas,
+                        &mut pruned_edges,
+                    );
+                    feasible[bi] = feas;
+                }
+            }
+        }
+    }
+
+    // Render per-block entry states for the disassembly dump.
+    let block_states: Vec<BlockState> = cfg
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| BlockState {
+            start: b.start,
+            entry: entry[i].as_ref().map(|s| s.render()).unwrap_or_default(),
+        })
+        .collect();
+
+    let helpers: Vec<i32> = interp.eff.helpers.iter().copied().collect();
+
+    if !diags.is_empty() {
+        return Analysis {
+            verdict: OffloadVerdict::Unsafe { diags },
+            helpers,
+            block_states,
+            pruned_edges,
+        };
+    }
+
+    let cost = cost_bounds(&cfg, &feasible, &entry, &interp.eff);
+    let verdict = match (opts.ctx_bytes, interp.eff.required_ctx_bytes) {
+        (None, need) if need > 0 => OffloadVerdict::Conditional {
+            required_ctx_bytes: need,
+            cost,
+        },
+        _ => OffloadVerdict::Safe { cost },
+    };
+
+    Analysis {
+        verdict,
+        helpers,
+        block_states,
+        pruned_edges,
+    }
+}
+
+/// Longest feasible path from block 0 (instructions and helper calls),
+/// plus the exact stack watermark. Blocks are in topological order, so a
+/// single backward pass suffices.
+fn cost_bounds(
+    cfg: &Cfg,
+    feasible: &[Vec<usize>],
+    entry: &[Option<AbsState>],
+    eff: &Effects,
+) -> CostBound {
+    let nb = cfg.blocks.len();
+    let mut insns_to_exit = vec![0usize; nb];
+    let mut helpers_to_exit = vec![0usize; nb];
+    for i in (0..nb).rev() {
+        if entry[i].is_none() {
+            continue; // unreachable
+        }
+        let b = &cfg.blocks[i];
+        let best_i = feasible[i]
+            .iter()
+            .map(|&s| insns_to_exit[s])
+            .max()
+            .unwrap_or(0);
+        let best_h = feasible[i]
+            .iter()
+            .map(|&s| helpers_to_exit[s])
+            .max()
+            .unwrap_or(0);
+        insns_to_exit[i] = b.insn_count + best_i;
+        helpers_to_exit[i] = b.helper_calls + best_h;
+    }
+    CostBound {
+        max_insns: insns_to_exit[0],
+        stack_bytes: eff.stack_watermark,
+        helper_calls: helpers_to_exit[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_backend::isa::{
+        alu64_imm, alu64_reg, call, exit, ja, jmp_imm, lddw_map, ldx, mov64_imm, mov64_reg, stx,
+        BPF_ADD, BPF_DW, BPF_JEQ, BPF_JGE, BPF_JLT, BPF_SUB, CTX_REG, FP_REG, HELPER_MAP_LOOKUP,
+        STACK_SIZE,
+    };
+
+    fn prog(mut body: Vec<BpfInsn>) -> Vec<BpfInsn> {
+        let mut v = vec![mov64_reg(CTX_REG, 1)];
+        v.append(&mut body);
+        v
+    }
+
+    #[test]
+    fn trivial_program_is_safe_with_exact_cost() {
+        let p = prog(vec![mov64_imm(0, 0), exit()]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Safe { cost } = a.verdict else {
+            panic!("expected safe, got {:?}", a.verdict);
+        };
+        assert_eq!(cost.max_insns, 3);
+        assert_eq!(cost.stack_bytes, 0);
+        assert_eq!(cost.helper_calls, 0);
+    }
+
+    #[test]
+    fn ctx_read_without_known_size_is_conditional() {
+        let p = prog(vec![ldx(BPF_DW, 1, CTX_REG, 16), mov64_imm(0, 0), exit()]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Conditional {
+            required_ctx_bytes, ..
+        } = a.verdict
+        else {
+            panic!("expected conditional, got {:?}", a.verdict);
+        };
+        assert_eq!(required_ctx_bytes, 24);
+    }
+
+    #[test]
+    fn ctx_read_beyond_known_size_is_unsafe() {
+        let p = prog(vec![ldx(BPF_DW, 1, CTX_REG, 16), mov64_imm(0, 0), exit()]);
+        let a = analyze(
+            &p,
+            &AbsintOptions {
+                num_maps: 0,
+                ctx_bytes: Some(16),
+            },
+        );
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_OOB);
+        assert!(diags[0].span.is_some());
+    }
+
+    #[test]
+    fn branch_pruning_proves_guarded_access_safe() {
+        // r2 = ctx[0]; if r2 >= 2 goto exit0; r3 = ctx[8*r2 + 8] — the
+        // guard bounds r2 < 2 so the scaled access stays inside 24 bytes.
+        let p = prog(vec![
+            ldx(BPF_DW, 2, CTX_REG, 0),
+            jmp_imm(BPF_JGE, 2, 2, 3),
+            alu64_imm(adn_backend::isa::BPF_LSH, 2, 3),
+            alu64_reg(BPF_ADD, 2, CTX_REG),
+            ldx(BPF_DW, 3, 2, 8),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let a = analyze(
+            &p,
+            &AbsintOptions {
+                num_maps: 0,
+                ctx_bytes: Some(24),
+            },
+        );
+        assert!(
+            a.verdict.is_safe(),
+            "guarded scaled access should verify: {:?}",
+            a.verdict
+        );
+    }
+
+    #[test]
+    fn unguarded_scaled_ctx_access_is_unsafe() {
+        // Same as above but the guard is missing: r2 is unbounded.
+        let p = prog(vec![
+            ldx(BPF_DW, 2, CTX_REG, 0),
+            alu64_imm(adn_backend::isa::BPF_LSH, 2, 3),
+            alu64_reg(BPF_ADD, 2, CTX_REG),
+            ldx(BPF_DW, 3, 2, 8),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let a = analyze(
+            &p,
+            &AbsintOptions {
+                num_maps: 0,
+                ctx_bytes: Some(24),
+            },
+        );
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_OOB);
+    }
+
+    #[test]
+    fn oob_reachable_only_via_unpruned_branch_is_caught_with_span() {
+        // if ctx[0] < 100 goto +1; (feasible) then OOB stack write.
+        let bad_slot = 3usize; // slot of the stx below (after prologue + ldx + jmp)
+        let p = prog(vec![
+            ldx(BPF_DW, 2, CTX_REG, 0),
+            jmp_imm(BPF_JLT, 2, 100, 1),
+            stx(BPF_DW, FP_REG, 2, -(STACK_SIZE as i16) - 8),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_OOB);
+        let span = diags[0].span.unwrap();
+        assert_eq!(span.start as usize, bad_slot);
+    }
+
+    #[test]
+    fn pruned_branch_excludes_dead_oob_and_its_cost() {
+        // r2 = 5; if r2 >= 10 { OOB } else { ret } — the OOB arm is
+        // infeasible, so the program is safe and its cost excludes it.
+        let p = prog(vec![
+            mov64_imm(2, 5),
+            jmp_imm(BPF_JGE, 2, 10, 2),
+            mov64_imm(0, 0),
+            exit(),
+            stx(BPF_DW, FP_REG, 2, 0), // fp@512 write: OOB if reached
+            exit(),
+        ]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Safe { cost } = a.verdict else {
+            panic!("expected safe, got {:?}", a.verdict);
+        };
+        assert_eq!(a.pruned_edges, 1);
+        assert_eq!(cost.max_insns, 5); // prologue, mov, jmp, mov, exit
+    }
+
+    #[test]
+    fn stack_watermark_is_exact() {
+        let p = prog(vec![
+            mov64_imm(2, 7),
+            stx(BPF_DW, FP_REG, 2, -24),
+            ldx(BPF_DW, 3, FP_REG, -24),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Safe { cost } = a.verdict else {
+            panic!("expected safe, got {:?}", a.verdict);
+        };
+        assert_eq!(cost.stack_bytes, 24);
+    }
+
+    #[test]
+    fn uninit_stack_read_is_rejected() {
+        let p = prog(vec![ldx(BPF_DW, 2, FP_REG, -8), mov64_imm(0, 0), exit()]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_UNINIT);
+    }
+
+    #[test]
+    fn map_lookup_requires_null_check() {
+        let mut body = vec![mov64_imm(2, 1), stx(BPF_DW, FP_REG, 2, -8)];
+        body.extend(lddw_map(1, 0));
+        body.extend([
+            mov64_reg(2, FP_REG),
+            alu64_imm(BPF_ADD, 2, -8),
+            call(HELPER_MAP_LOOKUP),
+            ldx(BPF_DW, 3, 0, 0), // deref without null check
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let p = prog(body);
+        let a = analyze(
+            &p,
+            &AbsintOptions {
+                num_maps: 1,
+                ctx_bytes: None,
+            },
+        );
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_NULL_DEREF);
+    }
+
+    #[test]
+    fn null_checked_lookup_verifies_and_counts_helper() {
+        let mut body = vec![mov64_imm(2, 1), stx(BPF_DW, FP_REG, 2, -8)];
+        body.extend(lddw_map(1, 0));
+        body.extend([
+            mov64_reg(2, FP_REG),
+            alu64_imm(BPF_ADD, 2, -8),
+            call(HELPER_MAP_LOOKUP),
+            jmp_imm(BPF_JEQ, 0, 0, 1),
+            ldx(BPF_DW, 3, 0, 0),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let p = prog(body);
+        let a = analyze(
+            &p,
+            &AbsintOptions {
+                num_maps: 1,
+                ctx_bytes: None,
+            },
+        );
+        let OffloadVerdict::Safe { cost } = a.verdict else {
+            panic!("expected safe, got {:?}", a.verdict);
+        };
+        assert_eq!(cost.helper_calls, 1);
+        assert_eq!(a.helpers, vec![HELPER_MAP_LOOKUP]);
+        assert_eq!(cost.stack_bytes, 8);
+    }
+
+    #[test]
+    fn r0_uninitialized_at_exit_is_rejected() {
+        let p = prog(vec![exit()]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_UNINIT);
+    }
+
+    #[test]
+    fn backward_branch_is_unbounded() {
+        let p = vec![mov64_reg(CTX_REG, 1), mov64_imm(0, 0), ja(-2), exit()];
+        let a = analyze(&p, &AbsintOptions::default());
+        let OffloadVerdict::Unsafe { diags } = a.verdict else {
+            panic!("expected unsafe, got {:?}", a.verdict);
+        };
+        assert_eq!(diags[0].code, codes::EBPF_UNBOUNDED);
+    }
+
+    #[test]
+    fn cost_takes_longest_feasible_path() {
+        // Two arms of different lengths; worst case is the longer one.
+        let p = prog(vec![
+            ldx(BPF_DW, 2, CTX_REG, 0),
+            jmp_imm(BPF_JEQ, 2, 0, 3),
+            alu64_imm(BPF_ADD, 2, 1),
+            alu64_imm(BPF_SUB, 2, 1),
+            ja(0),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let a = analyze(&p, &AbsintOptions::default());
+        let cost = a.verdict.cost().expect("should be analyzable");
+        // prologue + ldx + jmp + add + sub + ja + mov + exit = 8
+        assert_eq!(cost.max_insns, 8);
+    }
+
+    #[test]
+    fn block_states_are_rendered_for_reachable_blocks() {
+        let p = prog(vec![
+            mov64_imm(2, 3),
+            jmp_imm(BPF_JEQ, 2, 3, 0),
+            mov64_imm(0, 0),
+            exit(),
+        ]);
+        let a = analyze(&p, &AbsintOptions::default());
+        assert!(a.block_states.len() >= 2);
+        assert!(a.block_states[0].entry.contains("r1=ctx+0"));
+        assert!(a.block_states[1].entry.contains("r2=3"));
+    }
+}

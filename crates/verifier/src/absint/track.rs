@@ -1,0 +1,484 @@
+//! Abstract value domain: per-register value tracking.
+//!
+//! Every register holds an [`AbsVal`]: a scalar with unsigned **and**
+//! signed interval bounds ([`Range`]), or a pointer into one of the
+//! interpreter's memory regions (context, stack, map handle, map value)
+//! with a tracked offset range. This mirrors the kernel verifier's
+//! `bpf_reg_state` (umin/umax/smin/smax without the tnum) and the `track`
+//! layer of yesh0's ebpf-analyzer.
+
+use adn_backend::isa::{self, BpfInsn};
+
+/// Interval bounds on a 64-bit value, tracked in both signednesses.
+/// Invariant: a `Range` produced by this module is never empty
+/// (`umin <= umax && smin <= smax`) except transiently inside branch
+/// refinement, where emptiness means "this edge is infeasible".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    pub umin: u64,
+    pub umax: u64,
+    pub smin: i64,
+    pub smax: i64,
+}
+
+impl Range {
+    pub fn exact(v: u64) -> Self {
+        Range {
+            umin: v,
+            umax: v,
+            smin: v as i64,
+            smax: v as i64,
+        }
+    }
+
+    pub fn unknown() -> Self {
+        Range {
+            umin: 0,
+            umax: u64::MAX,
+            smin: i64::MIN,
+            smax: i64::MAX,
+        }
+    }
+
+    /// Range from unsigned bounds, deriving signed bounds when the
+    /// interval does not straddle the sign bit.
+    pub fn unsigned(umin: u64, umax: u64) -> Self {
+        let (smin, smax) = if umax <= i64::MAX as u64 || umin > i64::MAX as u64 {
+            // Entirely non-negative, or entirely negative as i64: the cast
+            // is monotone over the interval.
+            (umin as i64, umax as i64)
+        } else {
+            (i64::MIN, i64::MAX)
+        };
+        Range {
+            umin,
+            umax,
+            smin,
+            smax,
+        }
+    }
+
+    /// Range from signed bounds, deriving unsigned bounds when the
+    /// interval does not straddle zero.
+    pub fn signed(smin: i64, smax: i64) -> Self {
+        let (umin, umax) = if smin >= 0 || smax < 0 {
+            (smin as u64, smax as u64)
+        } else {
+            (0, u64::MAX)
+        };
+        Range {
+            umin,
+            umax,
+            smin,
+            smax,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<u64> {
+        (self.umin == self.umax).then_some(self.umin)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.umin > self.umax || self.smin > self.smax
+    }
+
+    /// Least upper bound.
+    pub fn join(a: Range, b: Range) -> Range {
+        Range {
+            umin: a.umin.min(b.umin),
+            umax: a.umax.max(b.umax),
+            smin: a.smin.min(b.smin),
+            smax: a.smax.max(b.smax),
+        }
+    }
+
+    /// Widening: any bound that moved since `prev` goes straight to the
+    /// extreme, guaranteeing termination at join points.
+    pub fn widen(prev: Range, next: Range) -> Range {
+        Range {
+            umin: if next.umin < prev.umin { 0 } else { next.umin },
+            umax: if next.umax > prev.umax {
+                u64::MAX
+            } else {
+                next.umax
+            },
+            smin: if next.smin < prev.smin {
+                i64::MIN
+            } else {
+                next.smin
+            },
+            smax: if next.smax > prev.smax {
+                i64::MAX
+            } else {
+                next.smax
+            },
+        }
+    }
+
+    /// Greatest lower bound — may be empty (used by branch refinement).
+    pub fn intersect(a: Range, b: Range) -> Range {
+        Range {
+            umin: a.umin.max(b.umin),
+            umax: a.umax.min(b.umax),
+            smin: a.smin.max(b.smin),
+            smax: a.smax.min(b.smax),
+        }
+    }
+
+    fn add(a: Range, b: Range) -> Range {
+        match (
+            a.umax.checked_add(b.umax),
+            a.smin.checked_add(b.smin),
+            a.smax.checked_add(b.smax),
+        ) {
+            (Some(umax), Some(smin), Some(smax)) => Range {
+                umin: a.umin + b.umin, // cannot overflow if umax + umax didn't
+                umax,
+                smin,
+                smax,
+            },
+            _ => Range::unknown(),
+        }
+    }
+
+    fn sub(a: Range, b: Range) -> Range {
+        match (
+            a.umin.checked_sub(b.umax),
+            a.smin.checked_sub(b.smax),
+            a.smax.checked_sub(b.smin),
+        ) {
+            (Some(umin), Some(smin), Some(smax)) => Range {
+                umin,
+                umax: a.umax - b.umin,
+                smin,
+                smax,
+            },
+            _ => Range::unknown(),
+        }
+    }
+
+    /// Clamp to the low 32 bits (result of every ALU32 operation).
+    fn low32(self) -> Range {
+        if let Some(c) = self.as_const() {
+            return Range::exact(c as u32 as u64);
+        }
+        if self.umax <= u32::MAX as u64 {
+            return Range::unsigned(self.umin, self.umax);
+        }
+        Range::unsigned(0, u32::MAX as u64)
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(c) = self.as_const() {
+            return write!(f, "{c}");
+        }
+        if *self == Range::unknown() {
+            return write!(f, "?");
+        }
+        write!(f, "[{}..{}]", self.umin, self.umax)?;
+        if (self.smin, self.smax) != (self.umin as i64, self.umax as i64) {
+            write!(f, "/s[{}..{}]", self.smin, self.smax)?;
+        }
+        Ok(())
+    }
+}
+
+/// Abstract value of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Never written on some path reaching here.
+    Uninit,
+    /// A plain number with interval bounds.
+    Scalar(Range),
+    /// Pointer into the message context; `off` is the byte offset range.
+    CtxPtr { off: Range },
+    /// Pointer into the 512-byte stack frame; `off` is relative to the
+    /// frame *base* (0 = lowest byte, 512 = `r10`).
+    StackPtr { off: Range },
+    /// A map handle loaded by the pseudo `lddw` — only valid as a helper
+    /// argument, never dereferenced.
+    MapPtr { map: u32 },
+    /// Verified non-null pointer to a map value (8 bytes).
+    MapValPtr { map: u32, off: Range },
+    /// `map_lookup_elem` result before its null check.
+    MapValOrNull { map: u32 },
+}
+
+impl AbsVal {
+    pub fn scalar_range(&self) -> Option<Range> {
+        match self {
+            AbsVal::Scalar(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound. Joining different kinds degrades to an unknown
+    /// scalar — sound, because every later *pointer* use of a scalar is
+    /// rejected by the memory checks.
+    pub fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (a, b) {
+            (Uninit, _) | (_, Uninit) => Uninit,
+            (Scalar(x), Scalar(y)) => Scalar(Range::join(x, y)),
+            (CtxPtr { off: x }, CtxPtr { off: y }) => CtxPtr {
+                off: Range::join(x, y),
+            },
+            (StackPtr { off: x }, StackPtr { off: y }) => StackPtr {
+                off: Range::join(x, y),
+            },
+            (MapPtr { map: m }, MapPtr { map: n }) if m == n => MapPtr { map: m },
+            (MapValPtr { map: m, off: x }, MapValPtr { map: n, off: y }) if m == n => MapValPtr {
+                map: m,
+                off: Range::join(x, y),
+            },
+            (MapValOrNull { map: m }, MapValOrNull { map: n }) if m == n => MapValOrNull { map: m },
+            _ => Scalar(Range::unknown()),
+        }
+    }
+
+    /// Widening counterpart of [`AbsVal::join`].
+    pub fn widen(prev: AbsVal, next: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (prev, next) {
+            (Scalar(p), Scalar(n)) => Scalar(Range::widen(p, n)),
+            (CtxPtr { off: p }, CtxPtr { off: n }) => CtxPtr {
+                off: Range::widen(p, n),
+            },
+            (StackPtr { off: p }, StackPtr { off: n }) => StackPtr {
+                off: Range::widen(p, n),
+            },
+            (MapValPtr { map: m, off: p }, MapValPtr { map: n, off: q }) if m == n => MapValPtr {
+                map: m,
+                off: Range::widen(p, q),
+            },
+            _ => next,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsVal::Uninit => write!(f, "uninit"),
+            AbsVal::Scalar(r) => write!(f, "{r}"),
+            AbsVal::CtxPtr { off } => write!(f, "ctx+{off}"),
+            AbsVal::StackPtr { off } => write!(f, "fp@{off}"),
+            AbsVal::MapPtr { map } => write!(f, "map#{map}"),
+            AbsVal::MapValPtr { map, off } => write!(f, "mapval#{map}+{off}"),
+            AbsVal::MapValOrNull { map } => write!(f, "mapval#{map}|null"),
+        }
+    }
+}
+
+/// Transfer function for a scalar ALU operation (both operands scalars).
+/// `signed_off` selects the cpuv4 `sdiv`/`smod` variants.
+pub fn alu_scalar(insn: BpfInsn, a: Range, b: Range) -> Range {
+    let is64 = insn.class() == isa::BPF_ALU64;
+    let signed = insn.off == isa::OFF_SDIV;
+    let (a, b) = if is64 { (a, b) } else { (a.low32(), b.low32()) };
+    let out = match insn.op() {
+        isa::BPF_MOV => b,
+        isa::BPF_ADD => {
+            if is64 {
+                Range::add(a, b)
+            } else {
+                // 32-bit wrap handled by the final low32 clamp.
+                Range::add(a, b)
+            }
+        }
+        isa::BPF_SUB => Range::sub(a, b),
+        isa::BPF_MUL => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Range::exact(x.wrapping_mul(y)),
+            _ => match a.umax.checked_mul(b.umax) {
+                Some(hi) => Range::unsigned(a.umin.saturating_mul(b.umin), hi),
+                None => Range::unknown(),
+            },
+        },
+        isa::BPF_DIV if signed => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Range::exact(if y == 0 {
+                0
+            } else {
+                (x as i64).wrapping_div(y as i64) as u64
+            }),
+            _ => Range::unknown(),
+        },
+        isa::BPF_DIV => {
+            if let Some(c) = b.as_const() {
+                match (a.umin.checked_div(c), a.umax.checked_div(c)) {
+                    (Some(lo), Some(hi)) => Range::unsigned(lo, hi),
+                    _ => Range::exact(0), // div by zero yields 0
+                }
+            } else {
+                // Divisor ≥ 1 shrinks; divisor 0 yields 0.
+                Range::unsigned(0, a.umax)
+            }
+        }
+        isa::BPF_MOD if signed => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Range::exact(if y == 0 {
+                x
+            } else {
+                (x as i64).wrapping_rem(y as i64) as u64
+            }),
+            _ => Range::unknown(),
+        },
+        isa::BPF_MOD => {
+            if b.umin > 0 {
+                Range::unsigned(0, a.umax.min(b.umax - 1))
+            } else if let (Some(x), Some(0)) = (a.as_const(), b.as_const()) {
+                Range::exact(x) // mod by zero leaves dst unchanged
+            } else {
+                // May be `mod 0` (dst unchanged) or a real mod.
+                Range::join(a, Range::unsigned(0, b.umax.saturating_sub(1)))
+            }
+        }
+        isa::BPF_AND => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Range::exact(x & y),
+            _ => Range::unsigned(0, a.umax.min(b.umax)),
+        },
+        isa::BPF_OR | isa::BPF_XOR => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) => Range::exact(if insn.op() == isa::BPF_OR {
+                x | y
+            } else {
+                x ^ y
+            }),
+            _ => {
+                let hi = a.umax.max(b.umax);
+                let bound = if hi >= 1 << 63 {
+                    u64::MAX
+                } else {
+                    (hi + 1).next_power_of_two() - 1
+                };
+                let lo = if insn.op() == isa::BPF_OR {
+                    a.umin.max(b.umin)
+                } else {
+                    0
+                };
+                Range::unsigned(lo, bound)
+            }
+        },
+        isa::BPF_LSH => {
+            let mask = if is64 { 63 } else { 31 };
+            match b.as_const() {
+                Some(s) => {
+                    let s = s as u32 & mask;
+                    match (a.as_const(), a.umax.checked_shl(s)) {
+                        (Some(x), _) => Range::exact(if is64 {
+                            x.wrapping_shl(s)
+                        } else {
+                            (x as u32).wrapping_shl(s) as u64
+                        }),
+                        (None, Some(hi)) if a.umax <= (u64::MAX >> s) => {
+                            Range::unsigned(a.umin << s, hi)
+                        }
+                        _ => Range::unknown(),
+                    }
+                }
+                None => Range::unknown(),
+            }
+        }
+        isa::BPF_RSH => {
+            let mask = if is64 { 63 } else { 31 };
+            match b.as_const() {
+                Some(s) => {
+                    let s = s as u32 & mask;
+                    Range::unsigned(a.umin >> s, a.umax >> s)
+                }
+                None => Range::unsigned(0, a.umax),
+            }
+        }
+        isa::BPF_ARSH => {
+            let mask = if is64 { 63 } else { 31 };
+            match b.as_const() {
+                Some(s) => {
+                    let s = s as u32 & mask;
+                    Range::signed(a.smin >> s, a.smax >> s)
+                }
+                None => Range::unknown(),
+            }
+        }
+        isa::BPF_NEG => match a.as_const() {
+            Some(x) => Range::exact((x as i64).wrapping_neg() as u64),
+            None => Range::signed(
+                a.smax.checked_neg().unwrap_or(i64::MIN),
+                a.smin.checked_neg().unwrap_or(i64::MAX),
+            ),
+        },
+        _ => Range::unknown(),
+    };
+    if is64 {
+        out
+    } else {
+        out.low32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_backend::isa::{alu64_imm, alu64_reg, BPF_ADD, BPF_AND, BPF_DIV, BPF_RSH};
+
+    #[test]
+    fn unsigned_range_derives_signed_bounds() {
+        let r = Range::unsigned(3, 10);
+        assert_eq!((r.smin, r.smax), (3, 10));
+        let straddle = Range::unsigned(0, u64::MAX);
+        assert_eq!((straddle.smin, straddle.smax), (i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn add_overflow_degrades_to_unknown() {
+        let near = Range::exact(u64::MAX - 1);
+        let out = alu_scalar(alu64_imm(BPF_ADD, 1, 5), near, Range::exact(5));
+        assert_eq!(out, Range::unknown());
+        let ok = alu_scalar(alu64_imm(BPF_ADD, 1, 5), Range::exact(7), Range::exact(5));
+        assert_eq!(ok.as_const(), Some(12));
+    }
+
+    #[test]
+    fn and_bounds_by_smaller_operand() {
+        let out = alu_scalar(
+            alu64_reg(BPF_AND, 1, 2),
+            Range::unknown(),
+            Range::exact(0xff),
+        );
+        assert_eq!((out.umin, out.umax), (0, 0xff));
+    }
+
+    #[test]
+    fn div_by_constant_scales_bounds() {
+        let out = alu_scalar(
+            alu64_imm(BPF_DIV, 1, 4),
+            Range::unsigned(8, 40),
+            Range::exact(4),
+        );
+        assert_eq!((out.umin, out.umax), (2, 10));
+    }
+
+    #[test]
+    fn rsh_bounds_shift_down() {
+        let out = alu_scalar(alu64_imm(BPF_RSH, 1, 8), Range::unknown(), Range::exact(8));
+        assert_eq!((out.umin, out.umax), (0, u64::MAX >> 8));
+    }
+
+    #[test]
+    fn widen_moves_changed_bounds_to_extremes() {
+        let prev = Range::unsigned(0, 10);
+        let next = Range::unsigned(0, 12);
+        let w = Range::widen(prev, next);
+        assert_eq!(w.umax, u64::MAX);
+        assert_eq!(w.umin, 0);
+    }
+
+    #[test]
+    fn join_of_mismatched_kinds_is_scalar() {
+        let j = AbsVal::join(
+            AbsVal::CtxPtr {
+                off: Range::exact(0),
+            },
+            AbsVal::Scalar(Range::exact(3)),
+        );
+        assert_eq!(j, AbsVal::Scalar(Range::unknown()));
+    }
+}

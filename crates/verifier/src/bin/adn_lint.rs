@@ -23,7 +23,7 @@ use adn_dsl::typecheck::check_element;
 use adn_ir::{lower_element, optimize, ChainIr, ElementIr, PassConfig};
 use adn_rpc::schema::RpcSchema;
 use adn_rpc::value::ValueType;
-use adn_verifier::{audit_headers, audit_report, ebpf, verify_chain, ChainVerifyOptions};
+use adn_verifier::{absint, audit_headers, audit_report, ebpf, verify_chain, ChainVerifyOptions};
 
 const USAGE: &str = "usage: adn-lint [options] <file.adn | dir>...
 options:
@@ -31,6 +31,8 @@ options:
   --deny-warnings   exit with status 1 on warnings, not only errors
   --shard-field N   check state partitionability against request field N
   --ebpf            report which elements would not offload to eBPF
+  --ebpf-disasm     dump each element's encoded eBPF programs: disassembly,
+                    per-block abstract states, and the offload verdict
   --catalog         also lint every element in the standard catalog
   -h, --help        show this help";
 
@@ -39,6 +41,7 @@ struct Options {
     deny_warnings: bool,
     shard_field: Option<usize>,
     ebpf: bool,
+    ebpf_disasm: bool,
     catalog: bool,
     paths: Vec<PathBuf>,
 }
@@ -49,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
         deny_warnings: false,
         shard_field: None,
         ebpf: false,
+        ebpf_disasm: false,
         catalog: false,
         paths: Vec::new(),
     };
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--ebpf" => opts.ebpf = true,
+            "--ebpf-disasm" => opts.ebpf_disasm = true,
             "--catalog" => opts.catalog = true,
             "--shard-field" => {
                 let v = args.next().ok_or("--shard-field needs a field index")?;
@@ -218,6 +223,91 @@ fn lint_unit(opts: &Options, origin: &str, source: &str, tally: &mut Tally) {
                     tally.emit(opts, &diag, &label, &element.source);
                 }
             }
+        }
+    }
+
+    if opts.ebpf_disasm {
+        dump_ebpf_disasm(origin, &chain);
+    }
+}
+
+/// Dumps the encoded eBPF programs for every offloadable element in the
+/// chain: the real-ISA disassembly with the abstract interpreter's entry
+/// state printed above each basic block, then the verdict line whose cost
+/// bounds the placement solver consumes.
+fn dump_ebpf_disasm(origin: &str, chain: &ChainIr) {
+    use adn_backend::{ebpf as kernel, isa};
+
+    for element in &chain.elements {
+        let compiled = match kernel::compile(element) {
+            Ok(c) => c,
+            Err(why) => {
+                println!(";; {origin}:{}: not offloadable: {why}", element.name);
+                continue;
+            }
+        };
+        for (dir, prog) in [
+            ("request", &compiled.request),
+            ("response", &compiled.response),
+        ] {
+            let assembled = match isa::assemble(prog) {
+                Ok(a) => a,
+                Err(why) => {
+                    println!(
+                        ";; {origin}:{} {dir}: does not assemble: {why}",
+                        element.name
+                    );
+                    continue;
+                }
+            };
+            let analysis = absint::analyze(
+                &assembled.insns,
+                &absint::AbsintOptions {
+                    num_maps: compiled.map_inits.len(),
+                    ctx_bytes: None,
+                },
+            );
+            println!(
+                ";; {origin}:{} {dir} — {} slot(s), {} block(s), {} pruned edge(s)",
+                element.name,
+                assembled.insns.len(),
+                analysis.block_states.len(),
+                analysis.pruned_edges
+            );
+            let mut pc = 0;
+            while pc < assembled.insns.len() {
+                for (bi, b) in analysis.block_states.iter().enumerate() {
+                    if b.start == pc {
+                        println!(";;   block {bi} @ {pc}: {}", b.entry);
+                    }
+                }
+                let (text, used) =
+                    isa::disasm_one(assembled.insns[pc], assembled.insns.get(pc + 1).copied());
+                println!("{pc:4}: {text}");
+                pc += used;
+            }
+            let verdict = match &analysis.verdict {
+                absint::OffloadVerdict::Safe { cost } => format!(
+                    "safe — worst path {} insn(s), {} stack byte(s), {} helper call(s)",
+                    cost.max_insns, cost.stack_bytes, cost.helper_calls
+                ),
+                absint::OffloadVerdict::Conditional {
+                    required_ctx_bytes,
+                    cost,
+                } => format!(
+                    "conditional on >= {required_ctx_bytes} context byte(s) — worst path {} insn(s), {} stack byte(s), {} helper call(s)",
+                    cost.max_insns, cost.stack_bytes, cost.helper_calls
+                ),
+                absint::OffloadVerdict::Unsafe { diags } => format!(
+                    "unsafe — {}",
+                    diags
+                        .iter()
+                        .map(|d| d.code)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            };
+            println!(";; verdict: {verdict}");
         }
     }
 }

@@ -2,26 +2,45 @@
 //!
 //! [`adn_backend::ebpf::compile`] already runs a kernel-style structural
 //! verifier (register init, forward jumps, mandatory `Ret`). This module
-//! is the *policy* layer on top: it re-walks the emitted instruction
-//! stream and answers "should this program be trusted in the kernel at
-//! this site?" under an operator-configurable [`EbpfPolicy`] — bounded
-//! worst-case path length, helper whitelist, and a simulated stack
-//! budget. The placement solver consults the verdict: an element that
-//! compiles but fails the audit is kept on a native processor.
+//! is the *policy* layer on top: it assembles the element to the real
+//! instruction encoding ([`adn_backend::isa`]), runs the abstract
+//! interpreter ([`crate::absint`]) over the encoded stream, and answers
+//! "should this program be trusted in the kernel at this site?" under an
+//! operator-configurable [`EbpfPolicy`]. The audit report carries the
+//! *proved* bounds — worst-case feasible-path length, the exact stack
+//! high-water mark, worst-case helper calls — so the placement solver can
+//! rank offload sites by verified cost instead of gating on a heuristic.
+//!
+//! When `policy.use_absint` is off, the audit falls back to the original
+//! coarse model: a DAG longest-path over the legacy instruction stream
+//! and a simulated stack of 8 bytes per written register. The fallback is
+//! kept both as a baseline for comparison and as the escape hatch for
+//! programs the abstract domains cannot bound.
 
 use adn_backend::ebpf::{compile, EbpfProgram, Insn};
+use adn_backend::isa;
 use adn_dsl::diag::Diagnostic;
 use adn_ir::element::ElementIr;
 
+use crate::absint::{self, AbsintOptions, OffloadVerdict};
 use crate::codes;
 
 /// What a site's kernel is willing to run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EbpfPolicy {
-    /// Longest permissible execution path, in instructions.
+    /// Longest permissible execution path, in instructions. Under the
+    /// abstract interpreter this counts *encoded* instructions on the
+    /// longest feasible path; under the fallback it counts legacy
+    /// instructions on the longest structural path.
     pub max_path_insns: usize,
-    /// Simulated stack budget: 8 bytes per live register slot.
+    /// Stack budget in bytes. The abstract interpreter checks the exact
+    /// high-water mark; the fallback simulates 8 bytes per written
+    /// register.
     pub max_stack_bytes: usize,
+    /// Context buffer size this site guarantees, when known. `None`
+    /// leaves context accesses unchecked and surfaces the requirement in
+    /// [`EbpfAuditReport::required_ctx_bytes`] instead.
+    pub max_ctx_bytes: Option<usize>,
     /// Allow the `Rand` helper (fault injection).
     pub allow_rand: bool,
     /// Allow the `Now` helper (logical clocks).
@@ -30,6 +49,9 @@ pub struct EbpfPolicy {
     pub allow_map_helpers: bool,
     /// Allow the `Route` helper (in-kernel load balancing).
     pub allow_route: bool,
+    /// Verify with the abstract interpreter over the real encoding
+    /// (default). Off = the original coarse heuristics.
+    pub use_absint: bool,
 }
 
 impl Default for EbpfPolicy {
@@ -37,10 +59,12 @@ impl Default for EbpfPolicy {
         Self {
             max_path_insns: adn_backend::ebpf::MAX_INSNS,
             max_stack_bytes: 512,
+            max_ctx_bytes: None,
             allow_rand: true,
             allow_now: true,
             allow_map_helpers: true,
             allow_route: true,
+            use_absint: true,
         }
     }
 }
@@ -52,9 +76,146 @@ pub struct EbpfAuditReport {
     pub request_path_insns: usize,
     /// Longest response-path length in instructions.
     pub response_path_insns: usize,
-    /// Simulated stack high-water mark across both programs.
+    /// Stack high-water mark across both programs: exact when `precise`,
+    /// simulated (8 bytes per written register) otherwise.
     pub stack_bytes: usize,
+    /// Worst-case helper calls on any feasible path, across both
+    /// programs. Zero under the fallback (not modeled).
+    pub helper_calls: usize,
+    /// Context bytes the programs provably need. Zero when the policy
+    /// pinned `max_ctx_bytes` (the accesses were checked instead) or
+    /// under the fallback.
+    pub required_ctx_bytes: usize,
+    /// True when the bounds come from the abstract interpreter (proved),
+    /// false when they come from the heuristic fallback (simulated).
+    pub precise: bool,
 }
+
+// ---------------------------------------------------------------------------
+// Abstract-interpretation path (default)
+// ---------------------------------------------------------------------------
+
+/// Helper-whitelist check over the distinct helper IDs the analysis saw.
+fn check_helpers(
+    element: &str,
+    dir: &str,
+    helpers: &[i32],
+    policy: &EbpfPolicy,
+) -> Option<Diagnostic> {
+    for &h in helpers {
+        let denied = match h {
+            isa::HELPER_GET_PRANDOM if !policy.allow_rand => Some("rand"),
+            isa::HELPER_KTIME_GET_NS if !policy.allow_now => Some("now"),
+            isa::HELPER_MAP_LOOKUP | isa::HELPER_MAP_UPDATE | isa::HELPER_MAP_DELETE
+                if !policy.allow_map_helpers =>
+            {
+                Some("map access")
+            }
+            isa::HELPER_ROUTE if !policy.allow_route => Some("route"),
+            _ => None,
+        };
+        if let Some(helper) = denied {
+            return Some(
+                Diagnostic::error(
+                    codes::EBPF_HELPER,
+                    format!(
+                        "element `{element}` {dir} program uses the `{helper}` helper, \
+                         which this site's policy does not whitelist"
+                    ),
+                )
+                .with_help("place the element on a native processor instead"),
+            );
+        }
+    }
+    None
+}
+
+/// Audits one direction's program through assemble → absint.
+/// `Ok((path, stack, helpers, required_ctx))` on success.
+fn check_program_absint(
+    element: &str,
+    dir: &str,
+    prog: &EbpfProgram,
+    num_maps: usize,
+    policy: &EbpfPolicy,
+) -> Result<(usize, usize, usize, usize), Vec<Diagnostic>> {
+    let assembled = isa::assemble(prog).map_err(|why| {
+        vec![Diagnostic::error(
+            codes::EBPF_UNSUPPORTED,
+            format!("element `{element}` {dir} program does not assemble: {why}"),
+        )]
+    })?;
+
+    let analysis = absint::analyze(
+        &assembled.insns,
+        &AbsintOptions {
+            num_maps,
+            ctx_bytes: policy.max_ctx_bytes,
+        },
+    );
+
+    let (cost, required_ctx) = match analysis.verdict {
+        OffloadVerdict::Unsafe { diags } => {
+            return Err(diags
+                .into_iter()
+                .map(|d| {
+                    let mut out = Diagnostic::error(
+                        d.code,
+                        format!("element `{element}` {dir} program: {}", d.message),
+                    );
+                    out.span = d.span;
+                    out.help = d.help;
+                    out
+                })
+                .collect());
+        }
+        OffloadVerdict::Safe { cost } => (cost, 0),
+        OffloadVerdict::Conditional {
+            required_ctx_bytes,
+            cost,
+        } => (cost, required_ctx_bytes),
+    };
+
+    let mut diags = Vec::new();
+    if cost.max_insns > policy.max_path_insns {
+        diags.push(Diagnostic::error(
+            codes::EBPF_UNBOUNDED,
+            format!(
+                "element `{element}` {dir} program's longest feasible path is \
+                 {} instructions; the site allows {}",
+                cost.max_insns, policy.max_path_insns
+            ),
+        ));
+    }
+    if cost.stack_bytes > policy.max_stack_bytes {
+        diags.push(Diagnostic::error(
+            codes::EBPF_STACK,
+            format!(
+                "element `{element}` {dir} program's proved stack high-water mark \
+                 is {} bytes; the site allows {}",
+                cost.stack_bytes, policy.max_stack_bytes
+            ),
+        ));
+    }
+    if let Some(d) = check_helpers(element, dir, &analysis.helpers, policy) {
+        diags.push(d);
+    }
+
+    if diags.is_empty() {
+        Ok((
+            cost.max_insns,
+            cost.stack_bytes,
+            cost.helper_calls,
+            required_ctx,
+        ))
+    } else {
+        Err(diags)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic fallback (use_absint = false)
+// ---------------------------------------------------------------------------
 
 /// Longest execution path through a forward-jump-only program, in
 /// instructions. Jumps only go forward, so the flow graph is a DAG and a
@@ -67,13 +228,11 @@ fn longest_path(prog: &EbpfProgram) -> Option<usize> {
     let mut longest = vec![0usize; n + 1];
     for i in (0..n).rev() {
         let mut succ_max = 0usize;
-        let mut succs = 0usize;
         let mut push = |t: usize| -> Option<()> {
             if t > n {
                 return None;
             }
             succ_max = succ_max.max(longest[t]);
-            succs += 1;
             Some(())
         };
         match &prog.insns[i] {
@@ -89,7 +248,6 @@ fn longest_path(prog: &EbpfProgram) -> Option<usize> {
             }
             _ => push(i + 1)?,
         }
-        let _ = succs;
         longest[i] = 1 + succ_max;
     }
     Some(longest.first().copied().unwrap_or(0))
@@ -113,7 +271,8 @@ fn written_reg(insn: &Insn) -> Option<u8> {
     }
 }
 
-fn check_program(
+/// The original coarse audit over the legacy instruction stream.
+fn check_program_heuristic(
     element: &str,
     dir: &str,
     prog: &EbpfProgram,
@@ -171,6 +330,7 @@ fn check_program(
 
     // Stack model: 8 bytes per distinct register the program ever writes
     // (each live register spills to one stack slot in the worst case).
+    // The abstract interpreter replaces this with the real watermark.
     let mut regs = 0u16;
     for insn in &prog.insns {
         if let Some(r) = written_reg(insn) {
@@ -196,9 +356,14 @@ fn check_program(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
 /// Verifies that `element` can be offloaded under `policy`. `Ok` carries
-/// resource usage for cost models; `Err` carries the diagnostics that
-/// explain why the element must stay on a native processor.
+/// the proved (or, under the fallback, simulated) resource bounds for
+/// cost models; `Err` carries the diagnostics that explain why the
+/// element must stay on a native processor.
 pub fn audit_element(
     element: &ElementIr,
     policy: &EbpfPolicy,
@@ -216,21 +381,44 @@ pub fn audit_element(
         }
     };
 
+    let num_maps = compiled.map_inits.len();
     let mut diags = Vec::new();
-    let mut report = EbpfAuditReport::default();
-    match check_program(&element.name, "request", &compiled.request, policy) {
-        Ok((path, stack)) => {
-            report.request_path_insns = path;
-            report.stack_bytes = report.stack_bytes.max(stack);
+    let mut report = EbpfAuditReport {
+        precise: policy.use_absint,
+        ..EbpfAuditReport::default()
+    };
+
+    for (dir, prog, path_slot) in [
+        ("request", &compiled.request, 0usize),
+        ("response", &compiled.response, 1usize),
+    ] {
+        if policy.use_absint {
+            match check_program_absint(&element.name, dir, prog, num_maps, policy) {
+                Ok((path, stack, helpers, required_ctx)) => {
+                    if path_slot == 0 {
+                        report.request_path_insns = path;
+                    } else {
+                        report.response_path_insns = path;
+                    }
+                    report.stack_bytes = report.stack_bytes.max(stack);
+                    report.helper_calls = report.helper_calls.max(helpers);
+                    report.required_ctx_bytes = report.required_ctx_bytes.max(required_ctx);
+                }
+                Err(d) => diags.extend(d),
+            }
+        } else {
+            match check_program_heuristic(&element.name, dir, prog, policy) {
+                Ok((path, stack)) => {
+                    if path_slot == 0 {
+                        report.request_path_insns = path;
+                    } else {
+                        report.response_path_insns = path;
+                    }
+                    report.stack_bytes = report.stack_bytes.max(stack);
+                }
+                Err(d) => diags.extend(d),
+            }
         }
-        Err(d) => diags.extend(d),
-    }
-    match check_program(&element.name, "response", &compiled.response, policy) {
-        Ok((path, stack)) => {
-            report.response_path_insns = path;
-            report.stack_bytes = report.stack_bytes.max(stack);
-        }
-        Err(d) => diags.extend(d),
     }
 
     if diags.is_empty() {
@@ -275,10 +463,30 @@ mod tests {
     #[test]
     fn offloadable_element_passes_default_policy() {
         let report = audit_element(&lower(NUMERIC_ACL), &EbpfPolicy::default()).unwrap();
+        assert!(report.precise);
         assert!(report.request_path_insns > 0);
-        assert!(report.stack_bytes > 0);
-        // Response handler is empty: just the implicit Ret.
-        assert_eq!(report.response_path_insns, 1);
+        // The map lookup writes its key to the stack; the proved watermark
+        // covers at least that slot.
+        assert!(report.stack_bytes >= 8, "{report:?}");
+        assert!(report.helper_calls >= 1, "{report:?}");
+        // The element reads `user_id` (field 0), so it provably needs at
+        // least one context slot.
+        assert!(report.required_ctx_bytes >= 8, "{report:?}");
+        // Response handler is empty: prologue, `r0 = 0`, `exit`.
+        assert_eq!(report.response_path_insns, 3);
+    }
+
+    #[test]
+    fn absint_and_heuristic_agree_on_acceptance() {
+        let heuristic = EbpfPolicy {
+            use_absint: false,
+            ..EbpfPolicy::default()
+        };
+        let precise = audit_element(&lower(NUMERIC_ACL), &EbpfPolicy::default()).unwrap();
+        let coarse = audit_element(&lower(NUMERIC_ACL), &heuristic).unwrap();
+        assert!(precise.precise);
+        assert!(!coarse.precise);
+        assert_eq!(coarse.helper_calls, 0); // not modeled by the fallback
     }
 
     #[test]
@@ -347,11 +555,60 @@ mod tests {
     }
 
     #[test]
+    fn stateless_arithmetic_has_zero_proved_stack() {
+        // The heuristic charges 8 bytes per written register, so a pure
+        // arithmetic element busts a 16-byte budget. The abstract
+        // interpreter proves it never touches the stack at all.
+        let arith = "element A() { on request { SET object_id = input.object_id * 3 + input.user_id % 7; SELECT * FROM input; } }";
+        let element = lower(arith);
+        let tight = EbpfPolicy {
+            max_stack_bytes: 16,
+            ..EbpfPolicy::default()
+        };
+        let report = audit_element(&element, &tight).unwrap();
+        assert_eq!(report.stack_bytes, 0, "{report:?}");
+
+        let coarse = EbpfPolicy {
+            use_absint: false,
+            ..tight
+        };
+        let diags = audit_element(&element, &coarse).unwrap_err();
+        assert!(
+            diags.iter().any(|d| d.code == codes::EBPF_STACK),
+            "heuristic should reject what absint proves safe: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn ctx_budget_rejects_wide_schemas() {
+        // `object_id` is field 1, so the program provably needs 16 context
+        // bytes; a site guaranteeing only 8 must reject it.
+        let e = lower(
+            "element F() { on request { DROP WHERE input.object_id == 13; SELECT * FROM input; } }",
+        );
+        let tiny = EbpfPolicy {
+            max_ctx_bytes: Some(8),
+            ..EbpfPolicy::default()
+        };
+        let diags = audit_element(&e, &tiny).unwrap_err();
+        assert!(diags.iter().any(|d| d.code == codes::EBPF_OOB), "{diags:?}");
+
+        let wide = EbpfPolicy {
+            max_ctx_bytes: Some(512),
+            ..EbpfPolicy::default()
+        };
+        let report = audit_element(&e, &wide).unwrap();
+        assert_eq!(report.required_ctx_bytes, 0); // checked, not deferred
+    }
+
+    #[test]
     fn longest_path_bounds_branching_programs() {
         // Path length accounts for the longer arm of a branch, not the sum.
         let set = "element S() { on request { SET object_id = CASE WHEN input.user_id > 1 THEN 1 ELSE 2 END; SELECT * FROM input; } }";
         let report = audit_element(&lower(set), &EbpfPolicy::default()).unwrap();
         let compiled = compile(&lower(set)).unwrap();
-        assert!(report.request_path_insns <= compiled.request.insns.len());
+        let assembled = isa::assemble(&compiled.request).unwrap();
+        // Slot count over-counts lddw pairs, so it upper-bounds any path.
+        assert!(report.request_path_insns <= assembled.insns.len());
     }
 }

@@ -23,10 +23,12 @@
 //! Front-end codes (`E00xx`) live in [`adn_dsl::diag::codes`]; the
 //! `adn-lint` binary drives all layers over `.adn` sources.
 
+pub mod absint;
 pub mod audit;
 pub mod chain;
 pub mod ebpf;
 
+pub use absint::{analyze as analyze_ebpf, AbsintOptions, Analysis, CostBound, OffloadVerdict};
 pub use adn_dsl::diag::{Diagnostic, Severity, Span};
 pub use audit::{audit_header_layout, audit_headers, audit_report};
 pub use chain::{verify_chain, ChainDiagnostic, ChainVerifyOptions};
@@ -66,4 +68,10 @@ pub mod codes {
     pub const EBPF_HELPER: &str = "B0003";
     /// Program exceeds the simulated stack budget.
     pub const EBPF_STACK: &str = "B0004";
+    /// Memory access proved out of bounds (stack, context, or map value).
+    pub const EBPF_OOB: &str = "B0005";
+    /// `map_lookup_elem` result dereferenced without a null check.
+    pub const EBPF_NULL_DEREF: &str = "B0006";
+    /// Register or stack slot read before any write on some path.
+    pub const EBPF_UNINIT: &str = "B0007";
 }
