@@ -65,6 +65,8 @@ fn bench(c: &mut Criterion) {
                 telemetry: None,
                 clock: None,
                 batch_max: DEFAULT_BATCH_MAX,
+                overload: Default::default(),
+                inbox_capacity: None,
             },
             link.clone(),
             frames,

@@ -546,6 +546,8 @@ fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64
                 telemetry: None,
                 clock: None,
                 batch_max: DEFAULT_BATCH_MAX,
+                overload: Default::default(),
+                inbox_capacity: None,
             },
             link.clone(),
             frames,
@@ -895,6 +897,8 @@ fn reconfig() {
             telemetry: None,
             clock: None,
             batch_max: DEFAULT_BATCH_MAX,
+            overload: Default::default(),
+            inbox_capacity: None,
         },
         link.clone(),
         frames,
@@ -1205,6 +1209,8 @@ fn chaos_goodput() {
         base_backoff: Duration::from_millis(2),
         max_backoff: Duration::from_millis(20),
         deadline: Duration::from_secs(30),
+        propagate_deadline: false,
+        priority: adn_wire::header::Priority::Normal,
     };
 
     let mut t = Table::new(&[

@@ -33,6 +33,12 @@ pub struct LoadReport {
     /// Inbound frames queued at the processor at report time (congestion
     /// signal for load-aware placement).
     pub queue_depth: u64,
+    /// Cumulative requests shed by priority admission control (overload
+    /// signal: the processor is refusing work to protect goodput).
+    pub shed: u64,
+    /// Cumulative requests dropped because their in-band deadline budget
+    /// was already exhausted on arrival.
+    pub expired_drops: u64,
     /// Cumulative per-element metric snapshots hosted on the processor.
     pub elements: Vec<adn_telemetry::ElementSnapshot>,
 }
@@ -321,6 +327,8 @@ mod tests {
             rejected: 3,
             utilization: 0.8,
             queue_depth: 7,
+            shed: 0,
+            expired_drops: 0,
             elements: vec![],
         });
         assert!(matches!(rx.try_recv().unwrap(), ClusterEvent::Load(r) if r.endpoint == 5));

@@ -254,6 +254,8 @@ pub fn deploy(
                 telemetry: telemetry.clone(),
                 clock: clock.clone(),
                 batch_max: DEFAULT_BATCH_MAX,
+                overload: Default::default(),
+                inbox_capacity: None,
             },
             link.clone(),
             frames,

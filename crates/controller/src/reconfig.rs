@@ -94,6 +94,8 @@ pub fn migrate_processor(
             // heartbeat time source across the migration.
             clock: Some(old.clock()),
             batch_max: DEFAULT_BATCH_MAX,
+            overload: Default::default(),
+            inbox_capacity: None,
         },
         link,
         frames,
@@ -345,6 +347,8 @@ pub fn scale_out(
                 telemetry: telemetry.clone(),
                 clock: Some(old.clock()),
                 batch_max: DEFAULT_BATCH_MAX,
+                overload: Default::default(),
+                inbox_capacity: None,
             },
             link.clone(),
             frames,
@@ -459,6 +463,8 @@ pub fn scale_in(
             // heartbeat time source.
             clock: group.instances.first().map(|i| i.clock()),
             batch_max: DEFAULT_BATCH_MAX,
+            overload: Default::default(),
+            inbox_capacity: None,
         },
         link,
         frames,
@@ -606,6 +612,8 @@ mod tests {
                 telemetry: None,
                 clock: None,
                 batch_max: DEFAULT_BATCH_MAX,
+                overload: Default::default(),
+                inbox_capacity: None,
             },
             h.link.clone(),
             frames,

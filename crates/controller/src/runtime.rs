@@ -18,7 +18,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use adn_cluster::{ClusterEvent, ClusterStore};
-use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
+use adn_dataplane::processor::{
+    spawn_processor, NextHop, OverloadPolicy, ProcessorConfig, DEFAULT_BATCH_MAX,
+};
 use adn_rpc::clock::Clock;
 use adn_rpc::engine::EngineChain;
 use adn_rpc::retry::DegradedMode;
@@ -109,6 +111,10 @@ struct ManagedApp {
     last_scaleout: Option<Duration>,
     /// Scale-outs performed by the autoscaler since registration.
     scaleouts: u64,
+    /// Overload/admission policy applied to every processor of the app.
+    /// Persisted here so redeploys (sync, failover, scale-out) re-apply
+    /// it to fresh processors; the default is fully permissive.
+    overload: OverloadPolicy,
 }
 
 /// Controller error.
@@ -344,8 +350,48 @@ impl Controller {
                 scaled: None,
                 last_scaleout: None,
                 scaleouts: 0,
+                overload: OverloadPolicy::default(),
             },
         );
+    }
+
+    /// Sets the app's overload/admission policy and pushes it to every
+    /// live processor. The policy persists on the controller, so later
+    /// redeploys (sync, failover, scale-out) re-apply it to replacement
+    /// processors. Returns how many processors received the update.
+    pub fn set_overload_policy(&self, app: &str, policy: OverloadPolicy) -> usize {
+        let mut apps = self.apps.lock();
+        let Some(managed) = apps.get_mut(app) else {
+            return 0;
+        };
+        managed.overload = policy;
+        let mut pushed = 0;
+        if let Some(deployment) = managed.deployment.as_ref() {
+            for handle in deployment.processors() {
+                handle.set_overload(policy);
+                pushed += 1;
+            }
+        }
+        pushed
+    }
+
+    /// Flips the app's brownout bit — refuse every `Priority::Sheddable`
+    /// request regardless of backlog — keeping the rest of its overload
+    /// policy intact. The fail-open degradation knob: optional work is
+    /// turned away at the entry hop while important traffic keeps its
+    /// full capacity. Returns how many processors received the update.
+    pub fn set_brownout(&self, app: &str, on: bool) -> usize {
+        let current = match self.apps.lock().get(app) {
+            Some(managed) => managed.overload,
+            None => return 0,
+        };
+        self.set_overload_policy(
+            app,
+            OverloadPolicy {
+                brownout: on,
+                ..current
+            },
+        )
     }
 
     /// Sets the app's failure-detection policy and pushes the degraded
@@ -473,6 +519,15 @@ impl Controller {
         });
         managed.compiled = Some(compiled);
         managed.version = version;
+        // Fresh processors spawn with the permissive default; re-apply the
+        // app's persisted overload policy before traffic reaches them.
+        if managed.overload != OverloadPolicy::default() {
+            if let Some(dep) = managed.deployment.as_ref() {
+                for handle in dep.processors() {
+                    handle.set_overload(managed.overload);
+                }
+            }
+        }
         drop(apps);
 
         if let Some(old) = old {
@@ -521,6 +576,8 @@ impl Controller {
                     endpoint: report.endpoint,
                     processed: report.processed,
                     queue_depth: report.queue_depth,
+                    shed: report.shed,
+                    expired_drops: report.expired_drops,
                     elements: report.elements.clone(),
                 });
                 self.maybe_autoscale(report.endpoint)?;
@@ -631,6 +688,12 @@ impl Controller {
             Some(telemetry),
         )
         .map_err(cerr)?;
+        // New shard instances spawn permissive; inherit the app's policy.
+        if managed.overload != OverloadPolicy::default() {
+            for instance in &scaled.instances {
+                instance.set_overload(managed.overload);
+            }
+        }
         managed.scaled = Some(scaled);
         managed.last_scaleout = Some(self.clock.now());
         managed.scaleouts += 1;
@@ -685,6 +748,8 @@ impl Controller {
                     snap.forwarded as f64 / processed as f64
                 },
                 queue_depth: snap.queue_depth,
+                shed: snap.shed,
+                expired_drops: snap.expired_drops,
                 elements: self.registry.snapshot_for(app, endpoint),
             });
             published += 1;
@@ -807,8 +872,10 @@ impl Controller {
             compiled,
             deployment,
             checkpoints,
+            overload,
             ..
         } = managed;
+        let overload = *overload;
         let (Some(compiled), Some(deployment)) = (compiled.as_ref(), deployment.as_mut()) else {
             return Ok(Vec::new());
         };
@@ -849,6 +916,10 @@ impl Controller {
                     telemetry: Some(telemetry.clone()),
                     clock: Some(self.clock.clone()),
                     batch_max: DEFAULT_BATCH_MAX,
+                    // Failover replacements keep the app's overload policy:
+                    // a crash must not silently disable admission control.
+                    overload,
+                    inbox_capacity: None,
                 },
                 self.link.clone(),
                 frames,
@@ -1245,6 +1316,8 @@ mod tests {
             rejected: 0,
             utilization: 0.5,
             queue_depth,
+            shed: 0,
+            expired_drops: 0,
             elements: vec![],
         }
     }
@@ -1295,6 +1368,97 @@ mod tests {
         assert_eq!(w.controller.scaleout_count("shop"), 1, "cooldown expired");
         assert!(call(&w, 2, "alice").is_ok());
         assert!(call(&w, 3, "bob").is_err(), "ACL enforced on shards");
+    }
+
+    /// A sustained shed rate in the heartbeat reports is a capacity
+    /// breach: the autoscaler must react to it even when queue depth and
+    /// p99 look healthy (the whole point of shedding is that they will).
+    #[test]
+    fn shed_rate_breach_triggers_autoscale() {
+        let clock = adn_rpc::clock::VirtualClock::shared();
+        let w = world_with_clock(&[200], clock.clone());
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        assert!(call(&w, 1, "alice").is_ok());
+        let entry = w.controller.processor_stats("shop")[0].0;
+
+        w.controller.enable_autoscale(
+            "shop",
+            AutoscaleConfig {
+                policy: LoadAwarePolicy {
+                    // Queue depth and p99 can never trip here; only the
+                    // shed rate can.
+                    queue_depth_threshold: u64::MAX,
+                    p99_threshold_ns: u64::MAX,
+                    shed_rate_threshold: 5,
+                    cooldown: Duration::from_millis(1),
+                },
+                shard_field: 1, // username
+                shards: 2,
+            },
+        );
+
+        // First report seeds the window; a single observation has no rate.
+        w.store.report_load(adn_cluster::LoadReport {
+            shed: 0,
+            ..load(entry, 10, 0)
+        });
+        w.controller.run_pending(&w.events).unwrap();
+        assert_eq!(w.controller.scaleout_count("shop"), 0, "no rate yet");
+
+        // 40 sheds + 10 expired drops over 2 s = 25/s > 5/s: scale out.
+        clock.advance(Duration::from_secs(2));
+        w.store.report_load(adn_cluster::LoadReport {
+            shed: 40,
+            expired_drops: 10,
+            ..load(entry, 20, 0)
+        });
+        w.controller.run_pending(&w.events).unwrap();
+        assert_eq!(w.controller.scaleout_count("shop"), 1, "shed rate breach");
+        assert!(call(&w, 2, "alice").is_ok(), "service survives scale-out");
+    }
+
+    /// The brownout knob: flipping it refuses Sheddable-stamped requests
+    /// at the entry processor with zero backlog, leaves unstamped
+    /// (Normal) traffic untouched, and flipping it back restores service.
+    #[test]
+    fn brownout_sheds_sheddable_traffic_and_is_reversible() {
+        use adn_wire::header::{OverloadContext, Priority};
+
+        let w = world(&[200]);
+        w.store
+            .apply_config(config(vec![spec("Acl", vec![PlacementConstraint::OffApp])]));
+        w.controller.run_pending(&w.events).unwrap();
+        assert!(call(&w, 1, "alice").is_ok());
+
+        let sheddable_call = |oid: u64| {
+            let m = w.svc.method_by_id(1).unwrap();
+            let mut msg = RpcMessage::request(0, 1, m.request.clone())
+                .with("object_id", oid)
+                .with("username", "alice")
+                .with("payload", vec![1u8; 8]);
+            // A generous budget: only the priority class matters here.
+            msg.deadline = Some(OverloadContext::root(
+                Duration::from_secs(5).as_nanos() as u64,
+                Priority::Sheddable,
+            ));
+            w.client.call(msg, w.server_tags[0])
+        };
+
+        // Off (default): sheddable traffic flows.
+        assert!(sheddable_call(2).is_ok());
+
+        assert_eq!(w.controller.set_brownout("shop", true), 1);
+        match sheddable_call(3) {
+            Err(adn_rpc::RpcError::Shed { .. }) => {}
+            other => panic!("expected fast-fail shed, got {other:?}"),
+        }
+        // Unstamped traffic is Normal priority: admitted through brownout.
+        assert!(call(&w, 4, "alice").is_ok());
+
+        assert_eq!(w.controller.set_brownout("shop", false), 1);
+        assert!(sheddable_call(5).is_ok(), "brownout is reversible");
     }
 
     /// Heartbeat staleness is pure clock arithmetic: with the cluster on a

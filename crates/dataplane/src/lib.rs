@@ -25,8 +25,8 @@ pub mod scaleout;
 pub mod shard;
 
 pub use processor::{
-    spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, ProcessorStats, StatsSnapshot,
-    DEFAULT_BATCH_MAX,
+    spawn_processor, NextHop, OverloadPolicy, ProcessorConfig, ProcessorHandle, ProcessorStats,
+    StatsSnapshot, DEFAULT_BATCH_MAX,
 };
 pub use scaleout::{spawn_sharded, ShardedConfig, ShardedHandle};
 pub use shard::{spawn_processor_sharded, ShardedProcessor};

@@ -10,13 +10,14 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use adn_rpc::clock::Clock;
 use adn_rpc::engine::{EngineChain, Verdict};
-use adn_rpc::message::{MessageKind, RpcMessage};
+use adn_rpc::message::{MessageKind, RpcMessage, RpcStatus};
 use adn_rpc::retry::DedupWindow;
 use adn_rpc::schema::ServiceSchema;
 use adn_rpc::transport::{EndpointAddr, Frame, Link};
 use adn_rpc::wire_format;
 use adn_telemetry::{ElementMetrics, HopTelemetry, Span, TraceContext};
 use adn_wire::buffer::BufferPool;
+use adn_wire::header::Priority;
 
 /// Entries retained in the processor's request/response dedup caches.
 pub(crate) const PROCESSOR_DEDUP_WINDOW: usize = 4096;
@@ -57,6 +58,66 @@ fn ctl_recv_err(e: RecvTimeoutError) -> CtlError {
     }
 }
 
+/// Admission-control tuning for a processor under overload. The default is
+/// fully permissive — no shedding, expired-frame dropping on — which leaves
+/// undeadlined traffic (every message in the pre-extension format)
+/// completely untouched: the batch=1 golden sim log depends on that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// Inbound backlog (frames) above which the processor starts shedding
+    /// requests lowest-priority-first. `0` disables shedding. The ladder:
+    /// above `shed_high_water` only [`Priority::Sheddable`] is refused;
+    /// above `2×` Normal goes too; above `4×` everything below Critical.
+    pub shed_high_water: usize,
+    /// Whether requests whose in-band deadline budget is exhausted are
+    /// dropped before the chain runs (counted in
+    /// [`StatsSnapshot::expired_drops`], never silently).
+    pub drop_expired: bool,
+    /// Brownout: refuse every [`Priority::Sheddable`] request regardless of
+    /// backlog, conserving capacity for the classes above it. The per-app
+    /// fail-open knob the controller flips when a service degrades.
+    pub brownout: bool,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            shed_high_water: 0,
+            drop_expired: true,
+            brownout: false,
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// The lowest priority class still admitted at `backlog` queued frames.
+    /// Everything strictly below the returned class is shed.
+    pub fn admission_floor(&self, backlog: usize) -> Priority {
+        if self.shed_high_water == 0 {
+            return if self.brownout {
+                Priority::Normal
+            } else {
+                Priority::Sheddable
+            };
+        }
+        let hw = self.shed_high_water;
+        let base = if backlog > hw.saturating_mul(4) {
+            Priority::Critical
+        } else if backlog > hw.saturating_mul(2) {
+            Priority::Important
+        } else if backlog > hw {
+            Priority::Normal
+        } else {
+            Priority::Sheddable
+        };
+        if self.brownout && base == Priority::Sheddable {
+            Priority::Normal
+        } else {
+            base
+        }
+    }
+}
+
 /// Where a processor forwards messages after processing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NextHop {
@@ -89,6 +150,8 @@ pub struct ProcessorStats {
     pub stale_responses: AtomicU64,
     pub queue_depth: AtomicU64,
     pub drain_drops: AtomicU64,
+    pub expired_drops: AtomicU64,
+    pub shed: AtomicU64,
 }
 
 /// Point-in-time snapshot of the counters.
@@ -113,6 +176,13 @@ pub struct StatsSnapshot {
     /// rejected them even after a retry. Zero-loss reconfiguration demands
     /// this stays zero; the sim's loss invariant reads it.
     pub drain_drops: u64,
+    /// Requests dropped before the chain because their in-band deadline
+    /// budget was already exhausted — the caller gave up; executing them
+    /// would be pure waste under overload.
+    pub expired_drops: u64,
+    /// Requests refused with a fast-fail [`adn_rpc::message::RpcStatus::Shed`]
+    /// reply, by admission control or by a chain shed verdict.
+    pub shed: u64,
 }
 
 impl ProcessorStats {
@@ -128,6 +198,8 @@ impl ProcessorStats {
             stale_responses: self.stale_responses.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             drain_drops: self.drain_drops.load(Ordering::Relaxed),
+            expired_drops: self.expired_drops.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -148,6 +220,8 @@ impl StatsSnapshot {
             stale_responses: self.stale_responses + other.stale_responses,
             queue_depth: self.queue_depth + other.queue_depth,
             drain_drops: self.drain_drops + other.drain_drops,
+            expired_drops: self.expired_drops + other.expired_drops,
+            shed: self.shed + other.shed,
         }
     }
 }
@@ -176,6 +250,10 @@ enum Ctl {
     /// Re-point where requests are forwarded after processing (controller
     /// re-routing during failover).
     SetRequestNext(NextHop),
+    /// Replace the overload/admission policy (controller brownout and
+    /// shedding knobs). Acknowledged so the caller knows admission
+    /// decisions after the call use the new policy.
+    SetOverload(OverloadPolicy, Sender<()>),
     /// Simulate a hard crash: stop processing frames and heartbeating, but
     /// keep the frame receiver open so traffic silently blackholes (a dead
     /// host, not a closed socket). Only `Stop` ends the crashed thread.
@@ -210,6 +288,14 @@ pub struct ProcessorConfig {
     /// ([`DEFAULT_BATCH_MAX`] unless overridden). `1` restores strict
     /// frame-at-a-time behavior.
     pub batch_max: usize,
+    /// Admission-control tuning (shedding high-water mark, expired-frame
+    /// dropping, brownout). The default touches nothing.
+    pub overload: OverloadPolicy,
+    /// Capacity of each per-shard inbox when this config is sharded via
+    /// [`crate::shard::spawn_processor_sharded`] (`None` = unbounded, the
+    /// historical behavior). A full inbox drops the frame, counted in
+    /// [`crate::shard::ShardedProcessor::inbox_drops`].
+    pub inbox_capacity: Option<usize>,
 }
 
 impl ProcessorConfig {
@@ -231,6 +317,8 @@ impl ProcessorConfig {
             telemetry: None,
             clock: None,
             batch_max: DEFAULT_BATCH_MAX,
+            overload: OverloadPolicy::default(),
+            inbox_capacity: None,
         }
     }
 
@@ -250,6 +338,18 @@ impl ProcessorConfig {
     /// to at least 1.
     pub fn with_batch(mut self, batch_max: usize) -> Self {
         self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Sets the overload/admission policy (builder style).
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Bounds the per-shard inboxes (builder style; sharded spawns only).
+    pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
+        self.inbox_capacity = Some(capacity.max(1));
         self
     }
 }
@@ -387,6 +487,17 @@ impl ProcessorHandle {
     /// re-routing during failover).
     pub fn set_request_next(&self, next: NextHop) {
         let _ = self.ctl.send(Ctl::SetRequestNext(next));
+    }
+
+    /// Replaces the overload/admission policy (controller brownout and
+    /// shedding knobs). Blocks (bounded) until the serve loop applies it:
+    /// frames admitted after this returns saw the new policy, so a
+    /// brownout flip cannot race the next request.
+    pub fn set_overload(&self, overload: OverloadPolicy) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self.ctl.send(Ctl::SetOverload(overload, tx)).is_ok() {
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        }
     }
 
     /// Pauses frame processing (queued frames are retained).
@@ -549,6 +660,8 @@ pub fn spawn_processor(
                 telemetry,
                 clock: _,
                 batch_max,
+                mut overload,
+                inbox_capacity: _,
             } = config;
             let batch_max = batch_max.max(1);
             let mut observer = telemetry.map(|t| HopObserver::new(t, addr, &chain));
@@ -634,6 +747,10 @@ pub fn spawn_processor(
                         Ctl::Stop => return,
                         Ctl::StopWhenIdle => stopping = true,
                         Ctl::SetRequestNext(next) => request_next = next,
+                        Ctl::SetOverload(policy, reply) => {
+                            overload = policy;
+                            let _ = reply.send(());
+                        }
                         Ctl::Crash => crashed = true,
                     }
                 }
@@ -641,6 +758,12 @@ pub fn spawn_processor(
                     continue;
                 }
                 if paused {
+                    // The gauge must keep tracking the backlog while intake
+                    // is frozen — a paused processor with a growing queue is
+                    // exactly what load-aware placement needs to see.
+                    thread_stats
+                        .queue_depth
+                        .store(frames.len() as u64, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_millis(1));
                     continue;
                 }
@@ -673,6 +796,12 @@ pub fn spawn_processor(
                         Err(_) => break,
                     }
                 }
+                // Decay the gauge to the post-pull residue: the frames just
+                // pulled are no longer "waiting", and an idle processor must
+                // read zero rather than hold the last pre-drain depth.
+                thread_stats
+                    .queue_depth
+                    .store(frames.len() as u64, Ordering::Relaxed);
                 // A frame pulled from a non-empty queue was waiting while
                 // the previous batch was processed; one pulled from an
                 // empty queue arrived just now. One reading per batch.
@@ -725,15 +854,68 @@ pub fn spawn_processor(
                                 pool.give(payload);
                                 continue;
                             }
-                            let msg = match wire_format::decode_message_exact(&payload, &service) {
-                                Ok(m) => m,
-                                Err(_) => {
-                                    thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                                    pool.give(payload);
-                                    continue;
+                            // Admission control, straight off the envelope —
+                            // refused frames never pay a full decode or the
+                            // chain. The hop first charges the frame's
+                            // measured queue wait (read on the `Clock`
+                            // trait, so deterministic under the simulator)
+                            // against its in-band budget.
+                            let remaining = env.deadline.map(|d| d.consume(queue_ns));
+                            if overload.drop_expired
+                                && remaining.as_ref().is_some_and(|d| d.expired())
+                            {
+                                // The caller already gave up: executing this
+                                // would be pure waste. Counted, never cached
+                                // — a retry arrives with a fresh budget and
+                                // is judged afresh.
+                                thread_stats.expired_drops.fetch_add(1, Ordering::Relaxed);
+                                pool.give(payload);
+                                continue;
+                            }
+                            // Unstamped traffic rides as Normal: brownout
+                            // (floor Normal) never touches it, deep overload
+                            // (floor above Normal) sheds it like any other
+                            // non-critical class.
+                            let priority =
+                                remaining.as_ref().map_or(Priority::Normal, |d| d.priority);
+                            if priority < overload.admission_floor(backlog) {
+                                // Fast-fail refusal: a Shed reply tells the
+                                // client to back off instead of letting its
+                                // attempt time out into a retry storm. Not
+                                // dedup-cached — the request never ran, so a
+                                // later retry is a fresh admission decision.
+                                thread_stats.shed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(method) = service.method_by_id(env.method_id) {
+                                    let mut r = RpcMessage::request(
+                                        env.call_id,
+                                        env.method_id,
+                                        method.response.clone(),
+                                    );
+                                    r.kind = MessageKind::Response;
+                                    r.status = RpcStatus::Shed;
+                                    r.src = addr;
+                                    r.dst = env.src;
+                                    r.deadline = remaining;
+                                    if let Some(frame) = encode_out(&pool, addr, env.src, &r) {
+                                        replays.push(frame);
+                                    }
                                 }
-                            };
+                                pool.give(payload);
+                                continue;
+                            }
+                            let mut msg =
+                                match wire_format::decode_message_exact(&payload, &service) {
+                                    Ok(m) => m,
+                                    Err(_) => {
+                                        thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                        pool.give(payload);
+                                        continue;
+                                    }
+                                };
                             pool.give(payload);
+                            // The forwarded message carries the decremented
+                            // budget: downstream hops see strictly less.
+                            msg.deadline = remaining;
                             thread_stats.requests.fetch_add(1, Ordering::Relaxed);
                             // Sampling: the in-band context wins (every hop
                             // of a sampled call agrees without
@@ -792,6 +974,9 @@ pub fn spawn_processor(
                             };
                             thread_stats.responses.fetch_add(1, Ordering::Relaxed);
                             msg.dst = orig_src;
+                            // Responses charge their queue wait too, so the
+                            // echoed budget stays monotonic end to end.
+                            msg.deadline = msg.deadline.map(|d| d.consume(queue_ns));
                             let sampled = observer
                                 .as_ref()
                                 .is_some_and(|o| o.sampled(msg.trace.as_ref(), msg.call_id));
@@ -1009,6 +1194,25 @@ fn handle_verdict(
                 }
                 req_cache.insert(key, out);
             }
+            Verdict::Shed => {
+                // A chain element refused the request. Unlike the pre-chain
+                // admission shed, the chain partially ran, so the outcome is
+                // cached like an abort: a retransmission replays the refusal
+                // instead of re-driving stateful elements.
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                let mut out = None;
+                if let Some(method) = service.method_by_id(msg.method_id) {
+                    let mut resp = RpcMessage::response_to(&msg, method.response.clone());
+                    resp.status = RpcStatus::Shed;
+                    resp.src = addr;
+                    resp.dst = orig_src;
+                    out = encode_out(pool, addr, orig_src, &resp);
+                    if let Some(frame) = &out {
+                        outbox.push(frame.clone());
+                    }
+                }
+                req_cache.insert(key, out);
+            }
         },
         Origin::Response { call_id } => match verdict {
             Verdict::Forward => {
@@ -1032,6 +1236,20 @@ fn handle_verdict(
                 msg.abort(code, message);
                 msg.src = addr;
                 let to = msg.dst;
+                let out = encode_out(pool, addr, to, &msg);
+                if let Some(frame) = &out {
+                    outbox.push(frame.clone());
+                }
+                resp_cache.insert(call_id, out);
+            }
+            Verdict::Shed => {
+                // Shedding a response would waste the work already done
+                // upstream; rewrite the status instead so the client learns
+                // the path is overloaded, and forward it home.
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                msg.status = RpcStatus::Shed;
+                msg.src = addr;
+                let to = response_next.resolve(msg.dst);
                 let out = encode_out(pool, addr, to, &msg);
                 if let Some(frame) = &out {
                     outbox.push(frame.clone());
@@ -1169,6 +1387,8 @@ mod tests {
                 telemetry: None,
                 clock: None,
                 batch_max: DEFAULT_BATCH_MAX,
+                overload: OverloadPolicy::default(),
+                inbox_capacity: None,
             },
             link.clone(),
             proc_frames,
@@ -1195,6 +1415,13 @@ mod tests {
         assert_eq!(resp.get("x"), Some(&Value::U64(4)));
         // The response chain ran on the processor (NAT return path).
         assert_eq!(resp.get("who"), Some(&Value::Str("via-processor".into())));
+        // The serve loop bumps its counters after handing frames to the
+        // fabric, so the client can hold the response a beat before the
+        // increments land — poll rather than race them.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while processor.stats().forwarded < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let stats = processor.stats();
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.responses, 1);
@@ -1354,8 +1581,17 @@ mod tests {
         assert!(processor.heartbeat_age() < Duration::from_secs(1));
 
         processor.kill();
-        std::thread::sleep(Duration::from_millis(120));
-        // Heartbeats stopped.
+        // Heartbeats stopped. The serve thread may emit one last beat
+        // after kill() returns (it checks the flag once per iteration, and
+        // a loaded scheduler can hold it mid-iteration past a fixed
+        // sleep), so wait for the age to grow instead of sleeping blind —
+        // it only grows without bound if the loop is truly dead.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while processor.heartbeat_age() < Duration::from_millis(100)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         assert!(processor.heartbeat_age() >= Duration::from_millis(100));
         // Control queries fail explicitly — a crashed processor is
         // distinguishable from an empty answer.
@@ -1677,6 +1913,161 @@ mod tests {
     /// trait, so spans recorded wall time even under a virtual clock. With
     /// the fix, a virtual-clock jump while frames wait shows up in the
     /// span's `queue_ns` exactly — deterministic, not approximate.
+    /// Regression: the gauge used to go stale — it was only written when a
+    /// frame was pulled, so an idle processor kept reporting its last
+    /// pre-drain depth and a paused one never showed the backlog growing.
+    /// Load-aware placement steers on this number; it must track both ways.
+    #[test]
+    fn queue_depth_gauge_tracks_backlog_and_decays_to_zero() {
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            ),
+            link,
+            net.attach(5),
+        );
+        // Freeze intake; queued frames must still move the gauge up.
+        processor.pause();
+        let m = svc.method_by_id(1).unwrap();
+        for i in 0..4u64 {
+            let mut msg = RpcMessage::request(100 + i, 1, m.request.clone())
+                .with("x", i)
+                .with("who", "c");
+            msg.src = 1;
+            msg.dst = 2;
+            let payload = wire_format::encode_message_to_vec(&msg).unwrap();
+            net.send(Frame {
+                src: 1,
+                dst: 5,
+                payload,
+            })
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while processor.stats().queue_depth < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            processor.stats().queue_depth,
+            4,
+            "paused backlog must be visible"
+        );
+        // Unfreeze: the batch drains (no server at 2 answers, but the
+        // forward empties the inbox) and the gauge must decay to zero
+        // rather than hold the pre-drain reading.
+        processor.resume();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (processor.stats().queue_depth > 0 || processor.stats().requests < 4)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = processor.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.queue_depth, 0, "idle gauge must read zero");
+    }
+
+    /// Brownout refuses Sheddable-stamped requests with zero backlog and a
+    /// fast-fail Shed reply, admits unstamped (Normal) traffic untouched,
+    /// and is reversible via `set_overload`.
+    #[test]
+    fn brownout_sheds_sheddable_requests_and_is_reversible() {
+        use adn_wire::header::{OverloadContext, Priority};
+
+        let (client, processor, _server) = setup(EngineChain::new());
+        let sheddable = |client: &RpcClient, x: u64| {
+            let mut msg = req(client, x);
+            msg.deadline = Some(OverloadContext::root(
+                Duration::from_secs(5).as_nanos() as u64,
+                Priority::Sheddable,
+            ));
+            msg
+        };
+        // Permissive default: sheddable traffic flows.
+        assert!(client.call(sheddable(&client, 1), 5).is_ok());
+
+        processor.set_overload(OverloadPolicy {
+            brownout: true,
+            ..OverloadPolicy::default()
+        });
+        match client.call(sheddable(&client, 2), 5) {
+            Err(RpcError::Shed { .. }) => {}
+            other => panic!("expected fast-fail shed, got {other:?}"),
+        }
+        // Unstamped traffic rides as Normal: brownout does not touch it.
+        assert!(client.call(req(&client, 3), 5).is_ok());
+        assert_eq!(processor.stats().shed, 1);
+
+        processor.set_overload(OverloadPolicy::default());
+        assert!(
+            client.call(sheddable(&client, 4), 5).is_ok(),
+            "brownout must be reversible"
+        );
+    }
+
+    /// A request arriving with an exhausted in-band budget is dropped
+    /// before the chain — counted, never executed, never cached (a retry
+    /// re-stamps a live budget and is judged afresh).
+    #[test]
+    fn expired_requests_are_dropped_and_counted_not_cached() {
+        use adn_wire::header::{OverloadContext, Priority};
+
+        let net = InProcNetwork::new();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let svc = service();
+        let processor = spawn_processor(
+            ProcessorConfig::new(
+                5,
+                svc.clone(),
+                EngineChain::new(),
+                NextHop::Fixed(2),
+                NextHop::Dst,
+            ),
+            link,
+            net.attach(5),
+        );
+        let m = svc.method_by_id(1).unwrap();
+        let send = |budget_ns: u64| {
+            let mut msg = RpcMessage::request(9, 1, m.request.clone())
+                .with("x", 1u64)
+                .with("who", "c");
+            msg.src = 1;
+            msg.dst = 2;
+            msg.deadline = Some(OverloadContext::root(budget_ns, Priority::Normal));
+            let payload = wire_format::encode_message_to_vec(&msg).unwrap();
+            net.send(Frame {
+                src: 1,
+                dst: 5,
+                payload,
+            })
+            .unwrap();
+        };
+        send(0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while processor.stats().expired_drops < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = processor.stats();
+        assert_eq!(stats.expired_drops, 1);
+        assert_eq!(stats.requests, 0, "an expired frame never runs the chain");
+        // The drop was not dedup-cached: the same call id with a live
+        // budget is admitted and forwarded.
+        send(Duration::from_secs(5).as_nanos() as u64);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while processor.stats().requests < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(processor.stats().requests, 1, "retry is judged afresh");
+        assert_eq!(processor.stats().dedup_hits, 0);
+    }
+
     #[test]
     fn queue_wait_is_measured_on_the_processor_clock() {
         use adn_telemetry::{Registry, Sampler, SpanRing};

@@ -307,6 +307,8 @@ mod tests {
                     telemetry: None,
                     clock: None,
                     batch_max: DEFAULT_BATCH_MAX,
+                    overload: Default::default(),
+                    inbox_capacity: None,
                 },
                 link.clone(),
                 frames,

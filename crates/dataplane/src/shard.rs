@@ -31,11 +31,11 @@
 //! identical behavior.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 
 use adn_rpc::engine::EngineChain;
 use adn_rpc::message::MessageKind;
@@ -78,6 +78,7 @@ pub struct ShardedProcessor {
     metrics_ids: Vec<u64>,
     stop: Arc<AtomicBool>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
+    inbox_drops: Arc<AtomicU64>,
 }
 
 impl ShardedProcessor {
@@ -109,6 +110,12 @@ impl ShardedProcessor {
         self.shards
             .iter()
             .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s.stats()))
+    }
+
+    /// Frames the dispatcher dropped because a shard's bounded inbox was
+    /// full (zero unless [`ProcessorConfig::inbox_capacity`] is set).
+    pub fn inbox_drops(&self) -> u64 {
+        self.inbox_drops.load(Ordering::Relaxed)
     }
 
     /// Union of the shards' NAT flow tables (call ids are hashed onto
@@ -177,6 +184,7 @@ pub fn spawn_processor_sharded(
 ) -> ShardedProcessor {
     let addr = config.addr;
     let stop = Arc::new(AtomicBool::new(false));
+    let inbox_drops = Arc::new(AtomicU64::new(0));
     if extra_chains.is_empty() {
         return ShardedProcessor {
             addr,
@@ -188,6 +196,7 @@ pub fn spawn_processor_sharded(
             shards: vec![spawn_processor(config, link, frames)],
             stop,
             dispatcher: None,
+            inbox_drops,
         };
     }
 
@@ -204,7 +213,12 @@ pub fn spawn_processor_sharded(
     for (k, chain) in chains.into_iter().enumerate() {
         let metrics_id = shard_metrics_id(addr, k);
         metrics_ids.push(metrics_id);
-        let (tx, rx) = crossbeam::channel::unbounded();
+        // Shard inboxes are the second bounded stage (after the transport's
+        // inbound queue): a wedged shard must not buffer without limit.
+        let (tx, rx) = match config.inbox_capacity {
+            Some(cap) => crossbeam::channel::bounded(cap),
+            None => crossbeam::channel::unbounded(),
+        };
         inboxes.push(tx);
         let shard_config = ProcessorConfig {
             addr,
@@ -224,11 +238,14 @@ pub fn spawn_processor_sharded(
                 .map(|t| t.with_metrics_processor(metrics_id)),
             clock: config.clock.clone(),
             batch_max: config.batch_max,
+            overload: config.overload,
+            inbox_capacity: None,
         };
         shards.push(spawn_processor(shard_config, link.clone(), rx));
     }
 
     let thread_stop = stop.clone();
+    let thread_drops = inbox_drops.clone();
     let dispatcher = std::thread::Builder::new()
         .name(format!("adn-shard-dispatch-{addr}"))
         .spawn(move || {
@@ -253,7 +270,15 @@ pub fn spawn_processor_sharded(
                     // decode error exactly as an unsharded processor would.
                     Err(_) => 0,
                 };
-                let _ = inboxes[shard].send(frame);
+                // A full bounded inbox sheds the frame like a saturated
+                // NIC queue: counted, recovered by the sender's retry.
+                match inboxes[shard].try_send(frame) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        thread_drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
             };
             loop {
                 if thread_stop.load(Ordering::Relaxed) {
@@ -280,6 +305,7 @@ pub fn spawn_processor_sharded(
         metrics_ids,
         stop,
         dispatcher: Some(dispatcher),
+        inbox_drops,
     }
 }
 

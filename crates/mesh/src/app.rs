@@ -36,6 +36,9 @@ impl MeshPendingCall {
                     code: *code,
                     message: message.clone(),
                 }),
+                RpcStatus::Shed => Err(RpcError::Shed {
+                    call_id: resp.call_id,
+                }),
             },
             Err(_) => {
                 self.pending.lock().remove(&self.call_id);

@@ -89,6 +89,11 @@ pub fn encode_response(ctx: &mut HpackContext, msg: &RpcMessage) -> WireResult<V
     let (status, status_message) = match &msg.status {
         RpcStatus::Ok => (0u32, String::new()),
         RpcStatus::Aborted { code, message } => (*code, message.clone()),
+        // gRPC's UNAVAILABLE — the canonical "try again later" overload
+        // code. Decoding maps it back to a generic abort: the baseline
+        // mesh has no first-class shed signal, which is part of what the
+        // ADN path is measured against.
+        RpcStatus::Shed => (14u32, "shed".into()),
     };
     let mut headers: Vec<(String, String)> = vec![
         (":status".into(), "200".into()),
@@ -165,6 +170,7 @@ pub fn decode_message(
         src,
         dst,
         trace: None,
+        deadline: None,
         schema,
         fields,
     })

@@ -26,6 +26,11 @@ pub enum Verdict {
         /// Human-readable reason.
         message: String,
     },
+    /// Refuse the message at an overloaded hop without executing it; the
+    /// runtime reflects a fast-fail [`crate::message::RpcStatus::Shed`]
+    /// response so the caller backs off instead of retrying into the
+    /// collapse. Admission control (and brownout-mode chains) emit this.
+    Shed,
 }
 
 impl Verdict {

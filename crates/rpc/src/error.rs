@@ -19,6 +19,12 @@ pub enum RpcError {
     Disconnected,
     /// A request did not complete within its deadline.
     Timeout { call_id: u64 },
+    /// The per-call deadline budget is exhausted: the call failed fast
+    /// without issuing another doomed attempt.
+    Deadline { call_id: u64 },
+    /// An overloaded hop refused the call before executing it. Definitive:
+    /// retrying immediately feeds the collapse — back off instead.
+    Shed { call_id: u64 },
     /// The per-destination circuit breaker is open: the call failed fast
     /// without touching the network.
     CircuitOpen { endpoint: u64 },
@@ -40,6 +46,12 @@ impl fmt::Display for RpcError {
             RpcError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id:#x}"),
             RpcError::Disconnected => write!(f, "transport disconnected"),
             RpcError::Timeout { call_id } => write!(f, "call {call_id} timed out"),
+            RpcError::Deadline { call_id } => {
+                write!(f, "call {call_id} deadline budget exhausted")
+            }
+            RpcError::Shed { call_id } => {
+                write!(f, "call {call_id} shed by overloaded hop")
+            }
             RpcError::CircuitOpen { endpoint } => {
                 write!(f, "circuit open for endpoint {endpoint:#x}")
             }

@@ -8,7 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use adn_wire::header::TraceContext;
+use adn_wire::header::{OverloadContext, TraceContext};
 
 use crate::schema::RpcSchema;
 use crate::value::Value;
@@ -35,6 +35,10 @@ pub enum RpcStatus {
         /// Human-readable reason.
         message: String,
     },
+    /// Refused by admission control at an overloaded hop. A fast-fail: the
+    /// request was never executed, and the caller should back off rather
+    /// than retry into the collapse.
+    Shed,
 }
 
 impl RpcStatus {
@@ -64,6 +68,12 @@ pub struct RpcMessage {
     /// it (the payload is encoded once), so a trace id survives NAT,
     /// dedup, and retry unchanged.
     pub trace: Option<TraceContext>,
+    /// In-band overload context (remaining deadline budget + priority),
+    /// present when the originating client propagates its deadline. Hops
+    /// decrement the budget as they spend the caller's patience; responses
+    /// echo the request's context. Like `trace`, retransmits reuse the
+    /// stamped payload, so dedup and NAT never fork or refresh a budget.
+    pub deadline: Option<OverloadContext>,
     /// The message schema. Shared, immutable.
     pub schema: Arc<RpcSchema>,
     /// Field values, positionally matching `schema`.
@@ -82,6 +92,7 @@ impl RpcMessage {
             src: 0,
             dst: 0,
             trace: None,
+            deadline: None,
             schema,
             fields,
         }
@@ -99,6 +110,7 @@ impl RpcMessage {
             src: req.dst,
             dst: req.src,
             trace: req.trace,
+            deadline: req.deadline,
             schema: response_schema,
             fields,
         }
@@ -164,8 +176,10 @@ impl fmt::Display for RpcMessage {
             "{kind} call={} method={} {}->{}",
             self.call_id, self.method_id, self.src, self.dst
         )?;
-        if let RpcStatus::Aborted { code, message } = &self.status {
-            write!(f, " ABORTED({code}: {message})")?;
+        match &self.status {
+            RpcStatus::Ok => {}
+            RpcStatus::Aborted { code, message } => write!(f, " ABORTED({code}: {message})")?,
+            RpcStatus::Shed => write!(f, " SHED")?,
         }
         write!(f, " {{")?;
         for (i, (fd, v)) in self.schema.fields().iter().zip(&self.fields).enumerate() {
@@ -228,6 +242,19 @@ mod tests {
         req.trace = Some(TraceContext::root(42));
         let resp = RpcMessage::response_to(&req, schema());
         assert_eq!(resp.trace, Some(TraceContext::root(42)));
+    }
+
+    #[test]
+    fn response_echoes_deadline_context() {
+        use adn_wire::header::{OverloadContext, Priority};
+        let mut req = RpcMessage::request(1, 1, schema());
+        assert_eq!(req.deadline, None);
+        req.deadline = Some(OverloadContext::root(5_000, Priority::Important));
+        let resp = RpcMessage::response_to(&req, schema());
+        assert_eq!(
+            resp.deadline,
+            Some(OverloadContext::root(5_000, Priority::Important))
+        );
     }
 
     #[test]

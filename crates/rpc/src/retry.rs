@@ -13,6 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::time::Duration;
 
+use adn_wire::header::Priority;
 use rand::{rngs::StdRng, Rng};
 
 /// How a resilient client behaves toward a destination whose circuit
@@ -44,6 +45,15 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Overall per-call deadline across all attempts and backoffs.
     pub deadline: Duration,
+    /// Whether to stamp the remaining deadline budget (and `priority`)
+    /// in-band on every attempt, so downstream hops can drop work whose
+    /// caller already gave up and shed lowest-priority-first under
+    /// overload. Off by default: unstamped messages are byte-identical to
+    /// the pre-extension wire format.
+    pub propagate_deadline: bool,
+    /// Priority class stamped alongside the budget when
+    /// `propagate_deadline` is on.
+    pub priority: Priority,
 }
 
 impl Default for RetryPolicy {
@@ -54,6 +64,8 @@ impl Default for RetryPolicy {
             base_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(200),
             deadline: Duration::from_secs(10),
+            propagate_deadline: false,
+            priority: Priority::Normal,
         }
     }
 }

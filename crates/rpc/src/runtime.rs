@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adn_wire::clock::Clock;
-use adn_wire::header::TraceContext;
+use adn_wire::header::{OverloadContext, TraceContext};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
@@ -91,6 +91,9 @@ impl PendingCall {
                 RpcStatus::Aborted { code, message } => Err(RpcError::Aborted {
                     code: *code,
                     message: message.clone(),
+                }),
+                RpcStatus::Shed => Err(RpcError::Shed {
+                    call_id: resp.call_id,
                 }),
             },
             Err(_) => {
@@ -232,6 +235,7 @@ impl RpcClient {
                 Verdict::Forward => {}
                 Verdict::Drop => continue,
                 Verdict::Abort { code, message } => msg.abort(code, message),
+                Verdict::Shed => msg.status = RpcStatus::Shed,
             }
             match self.pending.lock().remove(&msg.call_id) {
                 Some(tx) => {
@@ -322,6 +326,13 @@ impl RpcClient {
                 let _ = tx.send(aborted);
                 return Ok(handle);
             }
+            Verdict::Shed => {
+                let mut shed = msg.clone();
+                shed.kind = MessageKind::Response;
+                shed.status = RpcStatus::Shed;
+                let _ = tx.send(shed);
+                return Ok(handle);
+            }
         }
 
         self.pending.lock().insert(msg.call_id, tx);
@@ -371,6 +382,12 @@ impl RpcClient {
         if msg.trace.is_none() {
             msg.trace = self.maybe_trace(msg.call_id);
         }
+        if policy.propagate_deadline && msg.deadline.is_none() {
+            msg.deadline = Some(OverloadContext::root(
+                policy.deadline.as_nanos().min(u64::MAX as u128) as u64,
+                policy.priority,
+            ));
+        }
 
         match self.chain.lock().process(&mut msg) {
             Verdict::Forward => {}
@@ -381,8 +398,13 @@ impl RpcClient {
                 })
             }
             Verdict::Abort { code, message } => return Err(RpcError::Aborted { code, message }),
+            Verdict::Shed => {
+                return Err(RpcError::Shed {
+                    call_id: msg.call_id,
+                })
+            }
         }
-        let payload = wire_format::encode_message_to_vec(&msg)?;
+        let mut payload = wire_format::encode_message_to_vec(&msg)?;
         let configured_hop = self.via.lock().unwrap_or(msg.dst);
         let call_id = msg.call_id;
         let deadline = self.clock.now() + policy.deadline;
@@ -390,6 +412,20 @@ impl RpcClient {
 
         loop {
             let now = self.clock.now();
+            // Each attempt carries the budget that actually remains, so
+            // backoffs already spent are visible downstream: a retry's
+            // budget is always strictly smaller than the original's, and a
+            // dedup replay of the cached response can never refresh it.
+            if msg.deadline.is_some() {
+                msg.deadline = Some(OverloadContext::root(
+                    deadline
+                        .saturating_sub(now)
+                        .as_nanos()
+                        .min(u64::MAX as u128) as u64,
+                    policy.priority,
+                ));
+                payload = wire_format::encode_message_to_vec(&msg)?;
+            }
             let mut first_hop = configured_hop;
             let allowed = self
                 .breakers
@@ -446,6 +482,10 @@ impl RpcClient {
                             code,
                             message: message.clone(),
                         }),
+                        // An overloaded hop refused the call before running
+                        // it. Definitive, like an abort: retrying into the
+                        // collapse only deepens it — the caller backs off.
+                        RpcStatus::Shed => Err(RpcError::Shed { call_id }),
                     };
                 }
                 Err(maybe_err) => {
@@ -456,14 +496,28 @@ impl RpcClient {
                         }
                     }
                     let backoff = policy.backoff(failures, &mut self.retry_rng.lock());
-                    if failures >= policy.max_attempts || self.clock.now() + backoff >= deadline {
+                    let out_of_attempts = failures >= policy.max_attempts;
+                    let out_of_budget = self.clock.now() + backoff >= deadline;
+                    if out_of_attempts || out_of_budget {
                         return Err(match maybe_err {
                             Some(e) => e,
-                            None => RpcError::Timeout { call_id },
+                            None if out_of_attempts => RpcError::Timeout { call_id },
+                            // The deadline budget, not the attempt count,
+                            // ended the call: report it as such so callers
+                            // can distinguish "slow hop" from "no budget".
+                            None => RpcError::Deadline { call_id },
                         });
                     }
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
                     self.clock.sleep(backoff);
+                    // The pre-sleep guard reasons about the *planned*
+                    // backoff; an oversleeping clock (wall-time scheduling
+                    // hiccups) can still land at or past the deadline, and
+                    // a zero-budget attempt would be doomed — its response
+                    // wait clamps to zero. Fail fast instead of sending it.
+                    if self.clock.now() >= deadline {
+                        return Err(RpcError::Deadline { call_id });
+                    }
                 }
             }
         }
@@ -551,6 +605,8 @@ struct ServerStats {
     handled: AtomicU64,
     malformed_frames: AtomicU64,
     dedup_hits: AtomicU64,
+    expired_drops: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// Point-in-time copy of a server's counters.
@@ -563,6 +619,12 @@ pub struct ServerStatsSnapshot {
     /// Retransmitted requests answered from the dedup window without
     /// re-running the chain or the handler.
     pub dedup_hits: u64,
+    /// Requests dropped before the chain because their propagated deadline
+    /// budget was already exhausted (the caller gave up).
+    pub expired_drops: u64,
+    /// Requests refused with a fast-fail [`RpcStatus::Shed`] response by a
+    /// chain shed verdict.
+    pub shed: u64,
 }
 
 /// Handle for a running server; dropping it (or calling [`ServerHandle::stop`])
@@ -587,6 +649,8 @@ impl ServerHandle {
             handled: self.stats.handled.load(Ordering::Relaxed),
             malformed_frames: self.stats.malformed_frames.load(Ordering::Relaxed),
             dedup_hits: self.stats.dedup_hits.load(Ordering::Relaxed),
+            expired_drops: self.stats.expired_drops.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -692,6 +756,14 @@ pub fn spawn_server(
                     }
                     continue;
                 }
+                // The caller already gave up on this work: executing it
+                // wastes capacity exactly when capacity matters most.
+                // Counted, never silent — and not cached, so a (pointless)
+                // retry of the same id is judged afresh.
+                if req.deadline.as_ref().is_some_and(|d| d.expired()) {
+                    loop_stats.expired_drops.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
 
                 let mut resp = match loop_chain.lock().process(&mut req) {
                     Verdict::Forward => {
@@ -717,6 +789,27 @@ pub fn spawn_server(
                         r.abort(code, message);
                         r
                     }
+                    Verdict::Shed => {
+                        // Fast-fail refusal, pre-execution. Not cached: the
+                        // request never ran, so a later retry is a fresh
+                        // admission decision.
+                        loop_stats.shed.fetch_add(1, Ordering::Relaxed);
+                        let Some(method) = service.method_by_id(req.method_id) else {
+                            continue;
+                        };
+                        let mut r = RpcMessage::response_to(&req, method.response.clone());
+                        r.status = RpcStatus::Shed;
+                        r.src = addr;
+                        r.dst = req.src;
+                        if let Ok(payload) = wire_format::encode_message_to_vec(&r) {
+                            let _ = link.send(Frame {
+                                src: addr,
+                                dst: r.dst,
+                                payload,
+                            });
+                        }
+                        continue;
+                    }
                 };
                 resp.call_id = req.call_id;
                 resp.kind = MessageKind::Response;
@@ -733,6 +826,7 @@ pub fn spawn_server(
                             continue;
                         }
                         Verdict::Abort { code, message } => resp.abort(code, message),
+                        Verdict::Shed => resp.status = RpcStatus::Shed,
                     }
                 }
 
@@ -1027,6 +1121,7 @@ mod tests {
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(10),
             deadline: Duration::from_secs(30),
+            ..Default::default()
         };
         for i in 0..30u64 {
             let resp = client
@@ -1125,6 +1220,7 @@ mod tests {
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(2),
             deadline: Duration::from_secs(1),
+            ..Default::default()
         };
         let err = client
             .call_resilient(request(&service, 1), 2, &policy)
@@ -1147,6 +1243,170 @@ mod tests {
             .unwrap();
         assert_eq!(resp.get("x"), Some(&Value::U64(3)));
         assert!(client.stats().fail_open_bypasses >= 1);
+    }
+
+    #[test]
+    fn propagated_deadline_reaches_server_and_echoes_back() {
+        use adn_wire::header::Priority;
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let seen = Arc::new(Mutex::new(None));
+        let handler_seen = seen.clone();
+        let handler_service = service.clone();
+        let _server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: service.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            Box::new(move |req| {
+                *handler_seen.lock() = req.deadline;
+                let m = handler_service.method_by_id(req.method_id).unwrap();
+                let mut resp = RpcMessage::response_to(req, m.response.clone());
+                resp.set("x", req.get("x").unwrap().clone());
+                resp.set("note", req.get("note").unwrap().clone());
+                resp
+            }),
+        );
+        let client = RpcClient::new(1, link, net.attach(1), service.clone(), EngineChain::new());
+        let policy = RetryPolicy {
+            deadline: Duration::from_secs(3),
+            propagate_deadline: true,
+            priority: Priority::Important,
+            ..Default::default()
+        };
+        let resp = client
+            .call_resilient(request(&service, 1), 2, &policy)
+            .unwrap();
+        let ctx = seen.lock().expect("server saw the overload context");
+        assert_eq!(ctx.priority, Priority::Important);
+        assert!(ctx.budget_ns > 0 && ctx.budget_ns <= 3_000_000_000);
+        assert_eq!(resp.deadline, Some(ctx), "response echoes the context");
+
+        // Default policy: nothing stamped, nothing echoed.
+        let resp = client
+            .call_resilient(request(&service, 2), 2, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(resp.deadline, None);
+    }
+
+    #[test]
+    fn exhausted_budget_after_backoff_fails_fast_without_doomed_attempt() {
+        use adn_wire::clock::VirtualClock;
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let clock = VirtualClock::shared();
+        let client = RpcClient::with_clock(
+            1,
+            link,
+            net.attach(1),
+            service.clone(),
+            EngineChain::new(),
+            clock.clone(),
+        );
+        // Attach the destination so sends succeed, but serve nothing: every
+        // attempt ends in a response timeout (1 ms wall each; the virtual
+        // deadline budget is consumed by the 300–450 ms virtual backoffs).
+        let _sink = net.attach(2);
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            attempt_timeout: Duration::from_millis(1),
+            base_backoff: Duration::from_millis(300),
+            max_backoff: Duration::from_millis(300),
+            deadline: Duration::from_millis(1000),
+            ..Default::default()
+        };
+        let err = client
+            .call_resilient(request(&service, 1), 2, &policy)
+            .unwrap_err();
+        // Backoffs land at 300–450, 600–900, 900–1350 ms of virtual time:
+        // once the next backoff would cross the 1000 ms budget, the loop
+        // must fail fast with Deadline — not Timeout, and never a doomed
+        // zero-wait attempt issued past the deadline.
+        assert!(matches!(err, RpcError::Deadline { .. }), "{err:?}");
+        assert!(client.stats().retries >= 1, "at least one real retry ran");
+        assert!(
+            clock.now() < Duration::from_millis(1000),
+            "no attempt may start at or past the deadline: {:?}",
+            clock.now()
+        );
+    }
+
+    #[test]
+    fn server_drops_expired_requests_before_the_chain() {
+        use adn_wire::header::Priority;
+        use std::sync::atomic::AtomicU64;
+        let net = InProcNetwork::new();
+        let service = echo_service();
+        let link: Arc<dyn Link> = Arc::new(net.clone());
+        let effects = Arc::new(AtomicU64::new(0));
+        let handler_effects = effects.clone();
+        let handler_service = service.clone();
+        let server = spawn_server(
+            ServerConfig {
+                addr: 2,
+                service: service.clone(),
+                chain: EngineChain::new(),
+            },
+            link.clone(),
+            net.attach(2),
+            Box::new(move |req| {
+                handler_effects.fetch_add(1, Ordering::Relaxed);
+                let m = handler_service.method_by_id(req.method_id).unwrap();
+                RpcMessage::response_to(req, m.response.clone())
+            }),
+        );
+        // Hand-build an already-expired request frame.
+        let mut msg = request(&service, 1);
+        msg.call_id = 7;
+        msg.src = 1;
+        msg.dst = 2;
+        msg.deadline = Some(OverloadContext::root(0, Priority::Normal));
+        let payload = wire_format::encode_message_to_vec(&msg).unwrap();
+        net.send(Frame {
+            src: 1,
+            dst: 2,
+            payload,
+        })
+        .unwrap();
+        // A live request afterwards proves the loop processed both.
+        let client = RpcClient::new(1, link, net.attach(1), service.clone(), EngineChain::new());
+        client.call(request(&service, 2), 2).unwrap();
+        assert_eq!(effects.load(Ordering::Relaxed), 1, "expired never ran");
+        assert_eq!(server.stats().expired_drops, 1);
+    }
+
+    struct ShedAll;
+    impl Engine for ShedAll {
+        fn name(&self) -> &str {
+            "shed_all"
+        }
+        fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+            if msg.kind == MessageKind::Request {
+                Verdict::Shed
+            } else {
+                Verdict::Forward
+            }
+        }
+    }
+
+    #[test]
+    fn shed_verdict_fast_fails_without_retries() {
+        let (client, server, service) = setup(
+            EngineChain::new(),
+            EngineChain::from_engines(vec![Box::new(ShedAll)]),
+        );
+        let err = client
+            .call_resilient(request(&service, 1), 2, &RetryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Shed { .. }), "{err:?}");
+        assert_eq!(client.stats().retries, 0, "shed is definitive");
+        assert_eq!(server.stats().shed, 1);
+        assert_eq!(server.stats().handled, 0);
     }
 
     #[test]
@@ -1175,6 +1435,7 @@ mod tests {
             base_backoff: Duration::from_secs(10),
             max_backoff: Duration::from_secs(10),
             deadline: Duration::from_secs(60),
+            ..Default::default()
         };
         let wall = std::time::Instant::now();
         let err = client

@@ -17,11 +17,11 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{RpcError, RpcResult};
@@ -67,9 +67,23 @@ struct InProcState {
 
 /// A process-local frame fabric. Endpoints attach with [`InProcNetwork::attach`]
 /// and receive their frames on the returned channel.
+///
+/// Inbound queues are unbounded by default (the historical behavior, and
+/// what the golden sim log pins). Overload-hardened deployments set a
+/// capacity — per endpoint via [`InProcNetwork::attach_bounded`] or fabric-
+/// wide via [`InProcNetwork::set_default_capacity`] — after which a full
+/// queue drops the frame like a saturated NIC would: counted in
+/// [`InProcNetwork::inbound_drops`], never an error to the sender (the
+/// sender's retry/deadline machinery is the recovery path). Control
+/// channels (processor `Ctl`, controller events) ride their own crossbeam
+/// channels, not this fabric, so they are exempt by construction.
 #[derive(Clone, Default)]
 pub struct InProcNetwork {
     state: Arc<RwLock<InProcState>>,
+    /// Capacity for future `attach` calls; 0 = unbounded.
+    default_capacity: Arc<AtomicUsize>,
+    /// Frames dropped at full inbound queues, fabric-wide.
+    inbound_drops: Arc<AtomicU64>,
 }
 
 impl InProcNetwork {
@@ -78,11 +92,40 @@ impl InProcNetwork {
         Self::default()
     }
 
+    /// Sets the inbound-queue capacity applied by subsequent
+    /// [`InProcNetwork::attach`] calls (`None` = unbounded). Existing
+    /// endpoints keep the capacity they attached with.
+    pub fn set_default_capacity(&self, capacity: Option<usize>) {
+        self.default_capacity
+            .store(capacity.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Frames dropped because an inbound queue was full, fabric-wide.
+    pub fn inbound_drops(&self) -> u64 {
+        self.inbound_drops.load(Ordering::Relaxed)
+    }
+
     /// Attaches an endpoint, returning its frame receiver. Re-attaching an
     /// address replaces the previous endpoint (used by live migration: the
-    /// new instance takes over the flat id).
+    /// new instance takes over the flat id). The inbound queue uses the
+    /// fabric's default capacity (unbounded unless configured).
     pub fn attach(&self, addr: EndpointAddr) -> Receiver<Frame> {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        match self.default_capacity.load(Ordering::Relaxed) {
+            0 => self.attach_with(addr, None),
+            cap => self.attach_with(addr, Some(cap)),
+        }
+    }
+
+    /// Attaches an endpoint with an explicit inbound-queue capacity.
+    pub fn attach_bounded(&self, addr: EndpointAddr, capacity: usize) -> Receiver<Frame> {
+        self.attach_with(addr, Some(capacity.max(1)))
+    }
+
+    fn attach_with(&self, addr: EndpointAddr, capacity: Option<usize>) -> Receiver<Frame> {
+        let (tx, rx) = match capacity {
+            Some(cap) => crossbeam::channel::bounded(cap),
+            None => crossbeam::channel::unbounded(),
+        };
         self.state.write().endpoints.insert(addr, tx);
         rx
     }
@@ -110,7 +153,17 @@ impl Link for InProcNetwork {
             .endpoints
             .get(&frame.dst)
             .ok_or(RpcError::UnknownEndpoint(frame.dst))?;
-        tx.send(frame).map_err(|_| RpcError::Disconnected)
+        match tx.try_send(frame) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                // A saturated queue behaves like a dropped packet, not a
+                // send failure: count it and let the sender's retry and
+                // deadline machinery recover.
+                self.inbound_drops.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Disconnected(_)) => Err(RpcError::Disconnected),
+        }
     }
 
     /// One endpoint-table read lock for the whole batch.
@@ -118,9 +171,16 @@ impl Link for InProcNetwork {
         let state = self.state.read();
         frames
             .into_iter()
-            .filter_map(|frame| {
-                let tx = state.endpoints.get(&frame.dst)?;
-                tx.send(frame).ok()
+            .filter_map(|frame| match state.endpoints.get(&frame.dst) {
+                Some(tx) => match tx.try_send(frame) {
+                    Ok(()) => Some(()),
+                    Err(TrySendError::Full(_)) => {
+                        self.inbound_drops.fetch_add(1, Ordering::Relaxed);
+                        Some(()) // accepted by the fabric, dropped at the queue
+                    }
+                    Err(TrySendError::Disconnected(_)) => None,
+                },
+                None => None,
             })
             .count()
     }
@@ -173,17 +233,30 @@ pub struct TcpLink {
     incoming_rx: Receiver<Frame>,
     accepted: Arc<Mutex<Vec<TcpStream>>>,
     closed: Arc<AtomicBool>,
+    inbound_drops: Arc<AtomicU64>,
 }
 
 impl TcpLink {
     /// Binds a listener on `bind` (use port 0 for an ephemeral port) and
-    /// starts the accept loop.
+    /// starts the accept loop with an unbounded inbound queue.
     pub fn bind(bind: &str) -> RpcResult<Arc<Self>> {
+        Self::bind_with_capacity(bind, None)
+    }
+
+    /// Like [`TcpLink::bind`], but bounds the host's inbound frame queue.
+    /// When the queue is full, reader threads drop the frame (counted in
+    /// [`TcpLink::inbound_drops`]) instead of buffering without limit —
+    /// the overload-control backpressure point for cross-host traffic.
+    pub fn bind_with_capacity(bind: &str, capacity: Option<usize>) -> RpcResult<Arc<Self>> {
         let listener = TcpListener::bind(bind)?;
         let local_addr = listener.local_addr()?;
-        let (incoming_tx, incoming_rx) = crossbeam::channel::unbounded();
+        let (incoming_tx, incoming_rx) = match capacity {
+            Some(cap) => crossbeam::channel::bounded(cap.max(1)),
+            None => crossbeam::channel::unbounded(),
+        };
         let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let closed = Arc::new(AtomicBool::new(false));
+        let inbound_drops = Arc::new(AtomicU64::new(0));
 
         let link = Arc::new(Self {
             local_addr,
@@ -192,6 +265,7 @@ impl TcpLink {
             incoming_rx,
             accepted: accepted.clone(),
             closed: closed.clone(),
+            inbound_drops: inbound_drops.clone(),
         });
 
         std::thread::Builder::new()
@@ -206,13 +280,18 @@ impl TcpLink {
                         accepted.lock().push(clone);
                     }
                     let tx = incoming_tx.clone();
+                    let drops = inbound_drops.clone();
                     std::thread::Builder::new()
                         .name("tcp-link-read".to_owned())
                         .spawn(move || {
                             stream.set_nodelay(true).ok();
                             while let Ok(frame) = read_frame(&mut stream) {
-                                if tx.send(frame).is_err() {
-                                    break;
+                                match tx.try_send(frame) {
+                                    Ok(()) => {}
+                                    Err(TrySendError::Full(_)) => {
+                                        drops.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(TrySendError::Disconnected(_)) => break,
                                 }
                             }
                         })
@@ -222,6 +301,11 @@ impl TcpLink {
             .expect("spawn accept thread");
 
         Ok(link)
+    }
+
+    /// Frames dropped because the inbound queue was full.
+    pub fn inbound_drops(&self) -> u64 {
+        self.inbound_drops.load(Ordering::Relaxed)
     }
 
     /// Shuts the link down: stops accepting, severs every accepted and
@@ -428,6 +512,85 @@ mod tests {
         net.detach(3);
         assert!(!net.is_attached(3));
         assert_eq!(net.endpoint_count(), 0);
+    }
+
+    #[test]
+    fn inproc_bounded_queue_drops_overflow_and_counts() {
+        let net = InProcNetwork::new();
+        let rx = net.attach_bounded(7, 2);
+        for i in 0..5u8 {
+            net.send(Frame {
+                src: 1,
+                dst: 7,
+                payload: vec![i],
+            })
+            .unwrap();
+        }
+        assert_eq!(net.inbound_drops(), 3, "overflow beyond capacity counted");
+        // The first `capacity` frames survive in order; the rest were shed.
+        assert_eq!(rx.try_recv().unwrap().payload, vec![0]);
+        assert_eq!(rx.try_recv().unwrap().payload, vec![1]);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn inproc_default_capacity_applies_to_later_attaches() {
+        let net = InProcNetwork::new();
+        let unbounded = net.attach(1);
+        net.set_default_capacity(Some(1));
+        let bounded = net.attach(2);
+        for _ in 0..3 {
+            net.send(Frame {
+                src: 9,
+                dst: 1,
+                payload: vec![],
+            })
+            .unwrap();
+            net.send(Frame {
+                src: 9,
+                dst: 2,
+                payload: vec![],
+            })
+            .unwrap();
+        }
+        assert_eq!(unbounded.len(), 3, "pre-config endpoint stays unbounded");
+        assert_eq!(bounded.len(), 1);
+        assert_eq!(net.inbound_drops(), 2);
+        // Batch sends count drops the same way.
+        net.set_default_capacity(None);
+        let frames: Vec<Frame> = (0..4)
+            .map(|_| Frame {
+                src: 9,
+                dst: 2,
+                payload: vec![],
+            })
+            .collect();
+        assert_eq!(net.send_batch(frames), 4, "fabric accepted every frame");
+        assert_eq!(net.inbound_drops(), 6);
+    }
+
+    #[test]
+    fn tcp_bounded_queue_drops_overflow_and_counts() {
+        let a = TcpLink::bind("127.0.0.1:0").unwrap();
+        let b = TcpLink::bind_with_capacity("127.0.0.1:0", Some(2)).unwrap();
+        a.add_route(2, b.local_addr());
+        for i in 0..20u8 {
+            a.send(Frame {
+                src: 1,
+                dst: 2,
+                payload: vec![i],
+            })
+            .unwrap();
+        }
+        // Reader-side drops are asynchronous; wait for the queue+counter to
+        // account for every frame.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (b.incoming().len() as u64) + b.inbound_drops() < 20 {
+            assert!(std::time::Instant::now() < deadline, "frames unaccounted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(b.inbound_drops() >= 18, "drops={}", b.inbound_drops());
+        assert_eq!(b.incoming().try_recv().unwrap().payload, vec![0]);
     }
 
     #[test]

@@ -11,18 +11,26 @@
 use std::sync::Arc;
 
 use adn_wire::codec::{Decoder, Encoder, WireError, WireResult};
-use adn_wire::header::TraceContext;
+use adn_wire::header::{OverloadContext, TraceContext};
 
 use crate::message::{MessageKind, RpcMessage, RpcStatus};
 use crate::schema::{RpcSchema, ServiceSchema};
 use crate::value::{Value, ValueType};
 
-/// Frame kind discriminants on the wire.
+/// Frame kind discriminants on the wire (low bit of the kind byte).
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
+/// Kind-byte flag: an [`OverloadContext`] follows the trace slot. Packing
+/// presence into a spare bit of the existing kind byte (instead of a
+/// dedicated presence byte like the trace slot's) keeps messages without a
+/// deadline byte-identical to the pre-extension format — the zero-cost-
+/// when-off guarantee the golden sim log pins.
+const KIND_FLAG_DEADLINE: u8 = 0b10;
+const KIND_BITS: u8 = 0b01;
 /// Status discriminants.
 const STATUS_OK: u8 = 0;
 const STATUS_ABORTED: u8 = 1;
+const STATUS_SHED: u8 = 2;
 /// Trace-context presence discriminants.
 const TRACE_ABSENT: u8 = 0;
 const TRACE_PRESENT: u8 = 1;
@@ -65,10 +73,14 @@ pub fn encode_message(enc: &mut Encoder, msg: &RpcMessage) -> WireResult<usize> 
     let start = enc.len();
     enc.put_varint(msg.call_id);
     enc.put_varint(msg.method_id as u64);
-    enc.put_u8(match msg.kind {
+    let mut kind_byte = match msg.kind {
         MessageKind::Request => KIND_REQUEST,
         MessageKind::Response => KIND_RESPONSE,
-    });
+    };
+    if msg.deadline.is_some() {
+        kind_byte |= KIND_FLAG_DEADLINE;
+    }
+    enc.put_u8(kind_byte);
     match &msg.status {
         RpcStatus::Ok => enc.put_u8(STATUS_OK),
         RpcStatus::Aborted { code, message } => {
@@ -76,6 +88,7 @@ pub fn encode_message(enc: &mut Encoder, msg: &RpcMessage) -> WireResult<usize> 
             enc.put_varint(*code as u64);
             enc.put_str(message);
         }
+        RpcStatus::Shed => enc.put_u8(STATUS_SHED),
     }
     enc.put_varint(msg.src);
     enc.put_varint(msg.dst);
@@ -85,6 +98,9 @@ pub fn encode_message(enc: &mut Encoder, msg: &RpcMessage) -> WireResult<usize> 
             enc.put_u8(TRACE_PRESENT);
             ctx.encode(enc);
         }
+    }
+    if let Some(ctx) = &msg.deadline {
+        ctx.encode(enc);
     }
     for v in &msg.fields {
         encode_value(enc, v);
@@ -126,6 +142,10 @@ pub struct Envelope {
     pub dst: u64,
     /// In-band trace context, if present.
     pub trace: Option<TraceContext>,
+    /// In-band overload context (deadline budget + priority), if present.
+    /// Lives in the envelope so admission control can drop expired frames
+    /// and rank shedding candidates without a full field decode.
+    pub deadline: Option<OverloadContext>,
 }
 
 /// Parses only the envelope (call id through trace slot) of an encoded
@@ -143,15 +163,16 @@ pub fn peek_envelope(buf: &[u8]) -> WireResult<Envelope> {
             context: "method id",
         });
     }
-    let kind = match dec.get_u8()? {
+    let kind_raw = dec.get_u8()?;
+    if kind_raw & !(KIND_BITS | KIND_FLAG_DEADLINE) != 0 {
+        return Err(WireError::InvalidTag {
+            tag: kind_raw as u64,
+            context: "message kind",
+        });
+    }
+    let kind = match kind_raw & KIND_BITS {
         KIND_REQUEST => MessageKind::Request,
-        KIND_RESPONSE => MessageKind::Response,
-        t => {
-            return Err(WireError::InvalidTag {
-                tag: t as u64,
-                context: "message kind",
-            })
-        }
+        _ => MessageKind::Response,
     };
     let aborted = match dec.get_u8()? {
         STATUS_OK => false,
@@ -160,6 +181,7 @@ pub fn peek_envelope(buf: &[u8]) -> WireResult<Envelope> {
             dec.get_str()?;
             true
         }
+        STATUS_SHED => true,
         t => {
             return Err(WireError::InvalidTag {
                 tag: t as u64,
@@ -179,6 +201,11 @@ pub fn peek_envelope(buf: &[u8]) -> WireResult<Envelope> {
             })
         }
     };
+    let deadline = if kind_raw & KIND_FLAG_DEADLINE != 0 {
+        Some(OverloadContext::decode(&mut dec)?)
+    } else {
+        None
+    };
     Ok(Envelope {
         call_id,
         method_id: method_raw as u16,
@@ -187,6 +214,7 @@ pub fn peek_envelope(buf: &[u8]) -> WireResult<Envelope> {
         src,
         dst,
         trace,
+        deadline,
     })
 }
 
@@ -201,15 +229,16 @@ pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireRes
         });
     }
     let method_id = method_raw as u16;
-    let kind = match dec.get_u8()? {
+    let kind_raw = dec.get_u8()?;
+    if kind_raw & !(KIND_BITS | KIND_FLAG_DEADLINE) != 0 {
+        return Err(WireError::InvalidTag {
+            tag: kind_raw as u64,
+            context: "message kind",
+        });
+    }
+    let kind = match kind_raw & KIND_BITS {
         KIND_REQUEST => MessageKind::Request,
-        KIND_RESPONSE => MessageKind::Response,
-        t => {
-            return Err(WireError::InvalidTag {
-                tag: t as u64,
-                context: "message kind",
-            })
-        }
+        _ => MessageKind::Response,
     };
     let status = match dec.get_u8()? {
         STATUS_OK => RpcStatus::Ok,
@@ -226,6 +255,7 @@ pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireRes
                 message: dec.get_str()?.to_owned(),
             }
         }
+        STATUS_SHED => RpcStatus::Shed,
         t => {
             return Err(WireError::InvalidTag {
                 tag: t as u64,
@@ -244,6 +274,11 @@ pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireRes
                 context: "trace presence",
             })
         }
+    };
+    let deadline = if kind_raw & KIND_FLAG_DEADLINE != 0 {
+        Some(OverloadContext::decode(dec)?)
+    } else {
+        None
     };
 
     let method = service
@@ -268,6 +303,7 @@ pub fn decode_message(dec: &mut Decoder<'_>, service: &ServiceSchema) -> WireRes
         src,
         dst,
         trace,
+        deadline,
         schema,
         fields,
     })
@@ -452,6 +488,67 @@ mod tests {
         buf = encode_message_into(buf, &msg).unwrap();
         assert_eq!(&buf[..2], b"xx");
         assert_eq!(&buf[2..], fresh.as_slice());
+    }
+
+    #[test]
+    fn deadline_context_roundtrips_on_the_wire() {
+        use adn_wire::header::Priority;
+        let svc = service();
+        let mut msg = sample_request(&svc);
+        msg.deadline = Some(OverloadContext::root(250_000, Priority::Critical));
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        let back = decode_message_exact(&bytes, &svc).unwrap();
+        assert_eq!(back.deadline, msg.deadline);
+        assert_eq!(back, msg);
+        let env = peek_envelope(&bytes).unwrap();
+        assert_eq!(env.deadline, msg.deadline);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_message_exact(&bytes[..cut], &svc).is_err(),
+                "deadlined truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn no_deadline_is_byte_identical_to_pre_extension_format() {
+        // Presence rides a spare bit of the kind byte, so a message without
+        // an overload context costs zero extra bytes — not even a presence
+        // byte. This is what keeps the golden sim log valid.
+        let svc = service();
+        let msg = sample_request(&svc);
+        let plain = encode_message_to_vec(&msg).unwrap();
+        let mut with = msg.clone();
+        with.deadline = Some(OverloadContext::root(
+            1,
+            adn_wire::header::Priority::Sheddable,
+        ));
+        let stamped = encode_message_to_vec(&with).unwrap();
+        // budget 1 = 1-byte varint, +1 priority byte; same kind-byte count.
+        assert_eq!(stamped.len(), plain.len() + 2);
+        assert_eq!(peek_envelope(&plain).unwrap().deadline, None);
+    }
+
+    #[test]
+    fn shed_status_roundtrips_and_peeks_as_failure() {
+        let svc = service();
+        let mut msg = sample_request(&svc);
+        msg.status = RpcStatus::Shed;
+        let bytes = encode_message_to_vec(&msg).unwrap();
+        let back = decode_message_exact(&bytes, &svc).unwrap();
+        assert_eq!(back.status, RpcStatus::Shed);
+        assert!(peek_envelope(&bytes).unwrap().aborted);
+    }
+
+    #[test]
+    fn unknown_kind_bits_rejected() {
+        let svc = service();
+        let good = encode_message_to_vec(&sample_request(&svc)).unwrap();
+        // The kind byte sits after call_id (1 byte here) + method_id (1).
+        let mut bad = good.clone();
+        bad[2] |= 0b100;
+        assert!(peek_envelope(&bad).is_err());
+        assert!(decode_message_exact(&bad, &svc).is_err());
     }
 
     #[test]

@@ -230,9 +230,70 @@ impl Invariant for FailoverLiveness {
     }
 }
 
+/// The server never executes a request whose in-band deadline budget
+/// was already exhausted on arrival — expired work must die at an
+/// admission check, not burn service time. Armed whenever the upstream
+/// processors promise expired-drop (and vacuous when no deadlines are
+/// stamped at all).
+pub struct NoExpiredExecution;
+
+impl Invariant for NoExpiredExecution {
+    fn name(&self) -> &'static str {
+        "no-expired-execution"
+    }
+    fn check(&mut self, _now: Duration, facts: &Facts) -> Result<(), String> {
+        if facts.expired_executions > 0 {
+            return Err(format!(
+                "{} call(s) executed after their deadline budget was exhausted",
+                facts.expired_executions
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Under overload with the shed ladder armed, goodput degrades
+/// gracefully instead of collapsing: at least `floor` of all issued
+/// calls must still complete `Ok`. The overload presets offer 2×
+/// capacity, so the floor asserts that shedding protects roughly the
+/// admitted (higher-priority) half of the load.
+pub struct GoodputFloor {
+    floor: f64,
+}
+
+impl GoodputFloor {
+    /// Requires `calls_ok / calls_issued >= floor` at the end of a run.
+    pub fn new(floor: f64) -> Self {
+        Self { floor }
+    }
+}
+
+impl Invariant for GoodputFloor {
+    fn name(&self) -> &'static str {
+        "goodput-floor"
+    }
+    fn check(&mut self, _now: Duration, _facts: &Facts) -> Result<(), String> {
+        Ok(())
+    }
+    fn check_end(&mut self, _now: Duration, facts: &Facts) -> Result<(), String> {
+        if facts.calls_issued == 0 {
+            return Ok(());
+        }
+        let frac = facts.calls_ok as f64 / facts.calls_issued as f64;
+        if frac + 1e-9 < self.floor {
+            return Err(format!(
+                "goodput {frac:.3} ({} ok of {} issued) below floor {:.3}",
+                facts.calls_ok, facts.calls_issued, self.floor
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The checker set for a scenario: the three universal invariants plus
-/// cooldown monotonicity when autoscale is on. Failover liveness is
-/// always armed — with no kills it is vacuous.
+/// cooldown monotonicity when autoscale is on and the overload pair
+/// when an overload model is armed. Failover liveness is always armed —
+/// with no kills it is vacuous.
 pub fn invariants_for(s: &Scenario) -> Vec<Box<dyn Invariant>> {
     let mut invs: Vec<Box<dyn Invariant>> = vec![
         Box::new(AtMostOnce),
@@ -242,6 +303,14 @@ pub fn invariants_for(s: &Scenario) -> Vec<Box<dyn Invariant>> {
     ];
     if let Some(a) = &s.autoscale {
         invs.push(Box::new(CooldownMonotonic::new(a.cooldown)));
+    }
+    if s.overload.as_ref().is_none_or(|m| m.policy.drop_expired) {
+        invs.push(Box::new(NoExpiredExecution));
+    }
+    if let Some(m) = &s.overload {
+        if m.goodput_floor > 0.0 {
+            invs.push(Box::new(GoodputFloor::new(m.goodput_floor)));
+        }
     }
     invs
 }

@@ -15,6 +15,7 @@ use adn_rpc::retry::{CircuitBreaker, DedupWindow, DegradedMode, RetryPolicy};
 use adn_rpc::schema::RpcSchema;
 use adn_rpc::transport::Frame;
 use adn_rpc::value::Value;
+use adn_wire::header::Priority;
 
 /// Dedup window capacity used by simulated processors and the server.
 /// Larger than any scenario's in-flight set, so eviction never weakens
@@ -76,6 +77,8 @@ pub struct CallState {
     pub failures: u32,
     /// Absolute virtual deadline for the whole call.
     pub deadline: Duration,
+    /// Priority class stamped into the hop header (overload scenarios).
+    pub priority: Priority,
     /// Terminal outcome, once resolved.
     pub outcome: Option<CallOutcome>,
 }
@@ -89,6 +92,9 @@ pub enum CallOutcome {
     Aborted,
     /// Retry budget or deadline exhausted.
     TimedOut,
+    /// Fast-failed by admission control under overload; definitive (the
+    /// client backs off instead of retrying).
+    Shed,
 }
 
 /// The closed-loop client: issues calls against the chain entry, retries
@@ -152,6 +158,9 @@ pub struct SimProcessor {
     pub inbox: Vec<Frame>,
     /// True while a `FlushBatch` event is scheduled for this processor.
     pub flush_pending: bool,
+    /// Virtual time until which this processor's single worker is busy
+    /// (overload scenarios only; zero service time leaves it at ZERO).
+    pub busy_until: Duration,
 }
 
 impl SimProcessor {
@@ -174,6 +183,7 @@ impl SimProcessor {
             last_beat: Duration::ZERO,
             inbox: Vec::new(),
             flush_pending: false,
+            busy_until: Duration::ZERO,
         }
     }
 }
@@ -249,6 +259,19 @@ pub struct Facts {
     pub calls_aborted: u64,
     /// Calls that exhausted their retry budget or deadline.
     pub calls_timed_out: u64,
+    /// Calls fast-failed with a `Shed` verdict.
+    pub calls_shed: u64,
+    /// Shed verdicts issued by processor admission control (may exceed
+    /// `calls_shed`: retransmits of an unresolved call can shed again).
+    pub sheds: u64,
+    /// Frames dropped at admission because their deadline budget was
+    /// already exhausted — counted, never silent.
+    pub expired_drops: u64,
+    /// Server executions of a call whose budget was exhausted on
+    /// arrival. The no-expired-execution invariant demands zero.
+    pub expired_executions: u64,
+    /// Deepest entry-processor backlog (in queued requests) observed.
+    pub queue_peak: u64,
     /// Retransmissions scheduled by the retry layer.
     pub retries: u64,
     /// Frames handed to the link.
@@ -281,6 +304,6 @@ pub struct Facts {
 impl Facts {
     /// Calls resolved one way or another.
     pub fn calls_resolved(&self) -> u64 {
-        self.calls_ok + self.calls_aborted + self.calls_timed_out
+        self.calls_ok + self.calls_aborted + self.calls_timed_out + self.calls_shed
     }
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use adn::harness::{object_store_schemas, object_store_service};
 use adn_backend::native::{compile_element, CompileOpts};
+use adn_dataplane::processor::OverloadPolicy;
 use adn_rpc::chaos::ChaosPolicy;
 use adn_rpc::engine::{EngineChain, Verdict};
 use adn_rpc::message::{MessageKind, RpcMessage, RpcStatus};
@@ -24,6 +25,7 @@ use adn_rpc::transport::Frame;
 use adn_rpc::value::Value;
 use adn_rpc::wire_format::{decode_message_exact, encode_message_to_vec};
 use adn_telemetry::trace::mix64;
+use adn_wire::header::{OverloadContext, Priority};
 use rand::Rng;
 
 use crate::executor::{Event, SimExecutor};
@@ -50,6 +52,28 @@ const JITTER_NS: u64 = 200_000;
 /// before draining — small against `BASE_LATENCY`, wide enough that
 /// concurrent calls land in one batch.
 const BATCH_WINDOW: Duration = Duration::from_micros(100);
+
+/// Open-loop overload model for a scenario. When set, the workload
+/// arrives at a fixed offered rate regardless of completions (the
+/// defining condition of overload), every call is stamped with an
+/// in-band deadline budget and a priority class, and the chain entry
+/// becomes a single-worker bottleneck running the *real*
+/// [`OverloadPolicy`] admission ladder from the dataplane serve loop.
+#[derive(Debug, Clone)]
+pub struct OverloadModel {
+    /// Virtual service time per admitted request at the entry; capacity
+    /// is `1 / service_time`.
+    pub service_time: Duration,
+    /// Open-loop inter-arrival gap; offered load is `1 / issue_interval`.
+    pub issue_interval: Duration,
+    /// Relative deadline budget stamped into each call's hop header.
+    pub budget: Duration,
+    /// The real dataplane admission policy (shed ladder + expired drop).
+    pub policy: OverloadPolicy,
+    /// Minimum fraction of issued calls that must complete `Ok` for the
+    /// goodput-floor invariant; `0.0` disarms it (naive baselines).
+    pub goodput_floor: f64,
+}
 
 /// Autoscale knobs for a scenario.
 #[derive(Debug, Clone)]
@@ -92,6 +116,9 @@ pub struct Scenario {
     pub migrate: Option<(Duration, usize)>,
     /// Controller autoscale, if enabled.
     pub autoscale: Option<SimAutoscale>,
+    /// Open-loop overload model, if enabled. `None` (the default) keeps
+    /// the closed-loop workload and the legacy byte-identical event log.
+    pub overload: Option<OverloadModel>,
     /// Heartbeat age that declares a processor dead.
     pub heartbeat_timeout: Duration,
     /// Controller sweep interval.
@@ -142,6 +169,7 @@ impl Scenario {
             kill: None,
             migrate: None,
             autoscale: None,
+            overload: None,
             heartbeat_timeout: Duration::from_millis(100),
             sweep_interval: Duration::from_millis(40),
             checkpoint_interval: Duration::from_millis(60),
@@ -151,6 +179,8 @@ impl Scenario {
                 base_backoff: Duration::from_millis(2),
                 max_backoff: Duration::from_millis(20),
                 deadline: Duration::from_secs(30),
+                propagate_deadline: false,
+                priority: Priority::Normal,
             },
             breaker: BreakerPolicy {
                 threshold: 1000,
@@ -238,6 +268,76 @@ impl Scenario {
         s
     }
 
+    /// Open-loop overload at 2× capacity with the shed ladder armed:
+    /// service time 1ms (capacity 1000/s) against a 500µs arrival gap,
+    /// 50ms budgets, and a priority mix spanning every rung. Shedding
+    /// fast-fails the sheddable half so admitted traffic rides a short
+    /// queue; the goodput-floor and no-expired-execution invariants
+    /// check that degradation is graceful, not a collapse.
+    pub fn overload() -> Self {
+        let mut s = Self::new("overload");
+        s.calls = 600;
+        s.retry = RetryPolicy {
+            max_attempts: 16,
+            attempt_timeout: Duration::from_millis(20),
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(8),
+            deadline: Duration::from_millis(50),
+            propagate_deadline: true,
+            priority: Priority::Normal,
+        };
+        s.allow_timeouts = true;
+        s.overload = Some(OverloadModel {
+            service_time: Duration::from_millis(1),
+            issue_interval: Duration::from_micros(500),
+            budget: Duration::from_millis(50),
+            policy: OverloadPolicy {
+                shed_high_water: 8,
+                drop_expired: true,
+                brownout: false,
+            },
+            goodput_floor: 0.30,
+        });
+        s
+    }
+
+    /// The same 2× offered load with admission control disabled — the
+    /// naive FIFO baseline. Every request is accepted and serviced even
+    /// after its budget is gone, so the queue grows without bound and
+    /// goodput collapses; the bench quantifies the gap. The goodput
+    /// floor is disarmed (collapse is the expected result), and so is
+    /// the no-expired-execution invariant (nothing drops expired work).
+    pub fn overload_naive() -> Self {
+        let mut s = Self::overload();
+        s.name = "overload-naive".into();
+        let model = s.overload.as_mut().expect("overload preset sets model");
+        model.policy = OverloadPolicy {
+            shed_high_water: 0,
+            drop_expired: false,
+            brownout: false,
+        };
+        model.goodput_floor = 0.0;
+        s
+    }
+
+    /// Overload plus link chaos: drops, dups, reorders, and delays on
+    /// top of 2× offered load. The shed ladder still has to hold a
+    /// (lower) goodput floor while dedup keeps retransmits from forking
+    /// or resurrecting deadline budgets.
+    pub fn chaos_overload() -> Self {
+        let mut s = Self::overload();
+        s.name = "chaos-overload".into();
+        s.chaos = ChaosPolicy {
+            drop_prob: 0.03,
+            dup_prob: 0.03,
+            reorder_prob: 0.03,
+            delay_prob: 0.03,
+            delay: Duration::from_millis(5),
+        };
+        s.overload.as_mut().expect("model set").goodput_floor = 0.18;
+        s
+    }
+
     /// The failover liveness bound this scenario's controller promises:
     /// detection needs the heartbeat to go stale (one timeout) plus at
     /// most two sweeps to notice, with one sweep of slack.
@@ -310,6 +410,17 @@ pub struct SimStats {
     pub calls_aborted: u64,
     /// Calls that exhausted retries or deadline.
     pub calls_timed_out: u64,
+    /// Calls fast-failed with a `Shed` verdict.
+    pub calls_shed: u64,
+    /// Shed verdicts issued by processors (admission + chain).
+    pub sheds: u64,
+    /// Frames dropped at admission with an exhausted budget.
+    pub expired_drops: u64,
+    /// Server executions of already-expired calls (should be zero when
+    /// expired-drop is armed).
+    pub expired_executions: u64,
+    /// Deepest entry backlog observed, in queued requests.
+    pub queue_peak: u64,
     /// Retransmissions.
     pub retries: u64,
     /// Frames handed to the link.
@@ -341,6 +452,11 @@ impl SimStats {
             calls_ok: f.calls_ok,
             calls_aborted: f.calls_aborted,
             calls_timed_out: f.calls_timed_out,
+            calls_shed: f.calls_shed,
+            sheds: f.sheds,
+            expired_drops: f.expired_drops,
+            expired_executions: f.expired_executions,
+            queue_peak: f.queue_peak,
             retries: f.retries,
             frames_sent: f.frames_sent,
             frames_delivered: f.frames_delivered,
@@ -391,6 +507,17 @@ impl SimReport {
     /// FNV-1a fingerprint of the event log.
     pub fn fingerprint(&self) -> u64 {
         crate::executor::fingerprint(&self.log)
+    }
+}
+
+/// Priority mix for the open-loop workload: half sheddable bulk, a
+/// quarter normal, a quarter critical — enough spread to exercise every
+/// rung of the shed ladder.
+fn priority_for(index: u64) -> Priority {
+    match index % 4 {
+        0 | 2 => Priority::Sheddable,
+        1 => Priority::Normal,
+        _ => Priority::Critical,
     }
 }
 
@@ -517,14 +644,26 @@ impl<'a> Sim<'a> {
         // Seed the event queue: workload warm-up, controller loops, and
         // the scenario's failure schedule.
         let mut client = client;
-        let warmup = client.concurrency.min(client.total);
-        for i in 0..warmup {
-            exec.schedule_at(
-                Duration::from_millis(1) + Duration::from_micros(100 * i),
-                Event::IssueCall { index: i },
-            );
+        if let Some(model) = &cfg.overload {
+            // Open loop: every arrival is scheduled up front at the
+            // offered rate; completions never gate arrivals.
+            for i in 0..client.total {
+                exec.schedule_at(
+                    Duration::from_millis(1) + model.issue_interval * i as u32,
+                    Event::IssueCall { index: i },
+                );
+            }
+            client.scheduled = client.total;
+        } else {
+            let warmup = client.concurrency.min(client.total);
+            for i in 0..warmup {
+                exec.schedule_at(
+                    Duration::from_millis(1) + Duration::from_micros(100 * i),
+                    Event::IssueCall { index: i },
+                );
+            }
+            client.scheduled = warmup;
         }
-        client.scheduled = warmup;
         exec.schedule_at(cfg.sweep_interval, Event::Sweep);
         exec.schedule_at(cfg.checkpoint_interval, Event::Checkpoint);
         if let Some((t, idx)) = cfg.kill {
@@ -599,6 +738,14 @@ impl<'a> Sim<'a> {
     /// Applies partition and chaos policy (rolls in the same order as
     /// `ChaosLink`: drop, delay, reorder, dup) and schedules delivery.
     fn send_frame(&mut self, frame: Frame) {
+        self.send_frame_extra(frame, Duration::ZERO);
+    }
+
+    /// [`Self::send_frame`] with extra latency prepended — the overload
+    /// model charges an admitted request's queueing + service time here,
+    /// so chaos rolls stay in the same order (and the zero-extra path
+    /// stays byte-identical to the golden log).
+    fn send_frame_extra(&mut self, frame: Frame, extra: Duration) {
         self.facts.frames_sent += 1;
         if self.partitioned {
             let (a, b) = (frame.src, frame.dst);
@@ -617,7 +764,7 @@ impl<'a> Sim<'a> {
             return;
         }
         let mut latency =
-            BASE_LATENCY + Duration::from_nanos(self.exec.rng.gen_range(0..JITTER_NS));
+            extra + BASE_LATENCY + Duration::from_nanos(self.exec.rng.gen_range(0..JITTER_NS));
         if p.delay_prob > 0.0 && self.exec.rng.gen_bool(p.delay_prob) {
             latency += p.delay;
             self.exec
@@ -672,6 +819,20 @@ impl<'a> Sim<'a> {
         if self.cfg.trace {
             msg.trace = Some(adn_wire::header::TraceContext::root(mix64(call_id)));
         }
+        let priority = if self.cfg.overload.is_some() {
+            priority_for(index)
+        } else {
+            Priority::Normal
+        };
+        if let Some(model) = &self.cfg.overload {
+            // In-band stamp: relative budget + priority ride the hop
+            // header; retransmits reuse the payload so the stamp is
+            // identical across attempts (no forked budgets).
+            msg.deadline = Some(OverloadContext::root(
+                model.budget.as_nanos() as u64,
+                priority,
+            ));
+        }
         let payload = encode_message_to_vec(&msg).expect("request encodes");
         self.client.calls.insert(
             call_id,
@@ -682,6 +843,7 @@ impl<'a> Sim<'a> {
                 attempt: 1,
                 failures: 0,
                 deadline: now + self.client.policy.deadline,
+                priority,
                 outcome: None,
             },
         );
@@ -821,6 +983,12 @@ impl<'a> Sim<'a> {
                 let line = format!("call_abort call={call_id} code={code}");
                 self.resolve_call(call_id, CallOutcome::Aborted, line);
             }
+            RpcStatus::Shed => {
+                // Definitive fast-fail: the client backs off instead of
+                // retrying into an overloaded chain.
+                let line = format!("call_shed call={call_id}");
+                self.resolve_call(call_id, CallOutcome::Shed, line);
+            }
         }
     }
 
@@ -835,6 +1003,7 @@ impl<'a> Sim<'a> {
             CallOutcome::Ok => self.facts.calls_ok += 1,
             CallOutcome::Aborted => self.facts.calls_aborted += 1,
             CallOutcome::TimedOut => self.facts.calls_timed_out += 1,
+            CallOutcome::Shed => self.facts.calls_shed += 1,
         }
         self.exec.log(line);
         if self.client.scheduled < self.client.total {
@@ -867,12 +1036,12 @@ impl<'a> Sim<'a> {
                 return;
             }
         }
-        self.proc_one(frame);
+        self.proc_one(now, frame);
     }
 
     /// Decodes one frame and runs it through the per-message processor
     /// path (the `batch == 1` hot path, and phase 4 of a batch drain).
-    fn proc_one(&mut self, frame: Frame) {
+    fn proc_one(&mut self, now: Duration, frame: Frame) {
         let msg = match decode_message_exact(&frame.payload, &self.service) {
             Ok(m) => m,
             Err(e) => {
@@ -882,7 +1051,7 @@ impl<'a> Sim<'a> {
             }
         };
         match msg.kind {
-            MessageKind::Request => self.proc_request(frame, msg),
+            MessageKind::Request => self.proc_request(now, frame, msg),
             MessageKind::Response => self.proc_response(frame, msg),
         }
     }
@@ -893,7 +1062,7 @@ impl<'a> Sim<'a> {
     /// original's verdict is cached, then replayed from the dedup window
     /// — so a retransmit landing in the same batch as its original can
     /// never execute twice.
-    fn flush_batch(&mut self, _now: Duration, addr: u64) {
+    fn flush_batch(&mut self, now: Duration, addr: u64) {
         let Some(p) = self.procs.get_mut(&addr) else {
             return;
         };
@@ -940,7 +1109,7 @@ impl<'a> Sim<'a> {
                         deferred.push(frame);
                     } else {
                         seen_req.push(key);
-                        self.proc_request(frame, msg);
+                        self.proc_request(now, frame, msg);
                     }
                 }
                 MessageKind::Response => {
@@ -958,30 +1127,102 @@ impl<'a> Sim<'a> {
         // Phase 4: deferred duplicates replay from the now-populated
         // caches (each one lands a dedup hit, never a second execution).
         for frame in deferred {
-            self.proc_one(frame);
+            self.proc_one(now, frame);
         }
     }
 
-    fn proc_request(&mut self, frame: Frame, mut msg: RpcMessage) {
+    fn proc_request(&mut self, now: Duration, frame: Frame, mut msg: RpcMessage) {
         let addr = frame.dst;
+        let key = (frame.src, msg.call_id);
+        let (cached, backlog_wait) = {
+            let p = self.procs.get_mut(&addr).expect("alive processor");
+            (
+                p.req_cache.get(&key).cloned(),
+                p.busy_until.saturating_sub(now),
+            )
+        };
+        if let Some(cached) = cached {
+            self.facts.dedup_hits += 1;
+            match cached {
+                CachedAction::Sent(f) => {
+                    self.exec
+                        .log(format!("dedup_replay addr={addr} call={}", msg.call_id));
+                    // Under the overload model the cached verdict exists
+                    // the moment the original was *admitted*, but its
+                    // output cannot leave before the worker reaches it —
+                    // replays are charged the current backlog so a
+                    // retransmit never leapfrogs the queue it is in.
+                    let extra = if self.cfg.overload.is_some() && addr == self.entry {
+                        backlog_wait
+                    } else {
+                        Duration::ZERO
+                    };
+                    self.send_frame_extra(f, extra);
+                }
+                CachedAction::Dropped => {
+                    self.exec
+                        .log(format!("dedup_drop addr={addr} call={}", msg.call_id));
+                }
+            }
+            return;
+        }
+        // Overload admission at the bottleneck hop, mirroring the real
+        // serve loop's classify phase: charge the queueing delay against
+        // the in-band budget, drop expired work, shed below the ladder
+        // floor — all before the chain runs. Dedup replays above bypass
+        // admission: their verdict was already paid for.
+        let mut queue_extra = Duration::ZERO;
+        if self.cfg.overload.is_some() && addr == self.entry {
+            let model = self.cfg.overload.as_ref().expect("checked");
+            let (wait, backlog) = {
+                let p = self.procs.get_mut(&addr).expect("alive processor");
+                let wait = p.busy_until.saturating_sub(now);
+                let backlog = (wait.as_nanos() / model.service_time.as_nanos().max(1)) as usize;
+                (wait, backlog)
+            };
+            self.facts.queue_peak = self.facts.queue_peak.max(backlog as u64);
+            let remaining = msg.deadline.map(|d| d.consume(wait.as_nanos() as u64));
+            if model.policy.drop_expired && remaining.as_ref().is_some_and(|d| d.expired()) {
+                // Counted, never cached: a retransmit gets a fresh
+                // admission decision instead of a replayed corpse.
+                self.facts.expired_drops += 1;
+                self.exec
+                    .log(format!("expired_drop addr={addr} call={}", msg.call_id));
+                return;
+            }
+            let priority = remaining.as_ref().map_or(Priority::Normal, |d| d.priority);
+            if priority < model.policy.admission_floor(backlog) {
+                // Fast-fail before any work: tell the client to back
+                // off. Not cached either — admission is pre-execution.
+                self.facts.sheds += 1;
+                self.exec.log(format!(
+                    "shed addr={addr} call={} prio={}",
+                    msg.call_id, priority as u8
+                ));
+                let mut resp = RpcMessage::response_to(&msg, self.resp_schema.clone());
+                resp.status = RpcStatus::Shed;
+                resp.src = addr;
+                resp.dst = frame.src;
+                resp.deadline = remaining;
+                let payload = encode_message_to_vec(&resp).expect("shed encodes");
+                self.send_frame(Frame {
+                    src: addr,
+                    dst: frame.src,
+                    payload,
+                });
+                return;
+            }
+            // Admitted: the forwarded hop carries the decremented budget,
+            // and the single worker is busy for one more service time.
+            msg.deadline = remaining;
+            let p = self.procs.get_mut(&addr).expect("alive processor");
+            p.busy_until = now.max(p.busy_until) + model.service_time;
+            queue_extra = wait + model.service_time;
+        }
         let mut out: Option<Frame> = None;
         {
             let p = self.procs.get_mut(&addr).expect("alive processor");
-            let key = (frame.src, msg.call_id);
-            if let Some(cached) = p.req_cache.get(&key) {
-                self.facts.dedup_hits += 1;
-                match cached {
-                    CachedAction::Sent(f) => {
-                        out = Some(f.clone());
-                        self.exec
-                            .log(format!("dedup_replay addr={addr} call={}", msg.call_id));
-                    }
-                    CachedAction::Dropped => {
-                        self.exec
-                            .log(format!("dedup_drop addr={addr} call={}", msg.call_id));
-                    }
-                }
-            } else {
+            {
                 if let Some(ctx) = msg.trace {
                     if ctx.budget {
                         self.facts.spans.push(SpanFact {
@@ -1043,11 +1284,31 @@ impl<'a> Sim<'a> {
                         ));
                         out = Some(f);
                     }
+                    Verdict::Shed => {
+                        // A chain element shed this request. Unlike an
+                        // admission shed the chain partially ran, so the
+                        // verdict is cached and replayed on retransmit.
+                        let mut resp = RpcMessage::response_to(&msg, self.resp_schema.clone());
+                        resp.status = RpcStatus::Shed;
+                        resp.src = addr;
+                        resp.dst = frame.src;
+                        let payload = encode_message_to_vec(&resp).expect("shed encodes");
+                        let f = Frame {
+                            src: addr,
+                            dst: frame.src,
+                            payload,
+                        };
+                        p.req_cache.insert(key, CachedAction::Sent(f.clone()));
+                        self.facts.sheds += 1;
+                        self.exec
+                            .log(format!("chain_shed addr={addr} call={}", msg.call_id));
+                        out = Some(f);
+                    }
                 }
             }
         }
         if let Some(f) = out {
-            self.send_frame(f);
+            self.send_frame_extra(f, queue_extra);
         }
     }
 
@@ -1080,8 +1341,14 @@ impl<'a> Sim<'a> {
                     self.exec
                         .log(format!("resp_drop addr={addr} call={call_id}"));
                 } else {
-                    if let Verdict::Abort { code, message } = verdict {
-                        msg.status = RpcStatus::Aborted { code, message };
+                    match verdict {
+                        Verdict::Abort { code, message } => {
+                            msg.status = RpcStatus::Aborted { code, message };
+                        }
+                        // A response-path shed rewrites status in place,
+                        // exactly like the real serve loop.
+                        Verdict::Shed => msg.status = RpcStatus::Shed,
+                        _ => {}
                     }
                     match p.flows.remove(&call_id) {
                         Some(orig) => {
@@ -1129,6 +1396,13 @@ impl<'a> Sim<'a> {
             self.exec.log(format!("server_dedup call={}", msg.call_id));
             self.send_frame(f);
             return;
+        }
+        if msg.deadline.as_ref().is_some_and(|d| d.expired()) {
+            // The caller already gave up on this work; executing it is
+            // pure waste. Counted so the no-expired-execution invariant
+            // can demand zero whenever expired-drop is armed upstream.
+            self.facts.expired_executions += 1;
+            self.exec.log(format!("expired_exec call={}", msg.call_id));
         }
         let count = {
             let e = self.facts.executions.entry(msg.call_id).or_insert(0);

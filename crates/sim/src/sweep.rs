@@ -51,12 +51,23 @@ pub fn scenario_by_name(name: &str) -> Option<Scenario> {
         "chaos" => Some(Scenario::chaos()),
         "reconfig" => Some(Scenario::reconfig()),
         "everything" => Some(Scenario::everything()),
+        "overload" => Some(Scenario::overload()),
+        "overload-naive" => Some(Scenario::overload_naive()),
+        "chaos-overload" => Some(Scenario::chaos_overload()),
         _ => None,
     }
 }
 
 /// Names accepted by [`scenario_by_name`].
-pub const SCENARIO_NAMES: &[&str] = &["smoke", "chaos", "reconfig", "everything"];
+pub const SCENARIO_NAMES: &[&str] = &[
+    "smoke",
+    "chaos",
+    "reconfig",
+    "everything",
+    "overload",
+    "overload-naive",
+    "chaos-overload",
+];
 
 /// The command that replays one seed up to a given event prefix.
 pub fn replay_command(scenario: &str, seed: u64, max_events: u64) -> String {

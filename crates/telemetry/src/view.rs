@@ -28,6 +28,10 @@ pub struct ProcessorObservation {
     pub processed: u64,
     /// Instantaneous inbound queue depth at report time.
     pub queue_depth: u64,
+    /// Cumulative requests shed by priority admission control.
+    pub shed: u64,
+    /// Cumulative requests dropped with an exhausted deadline budget.
+    pub expired_drops: u64,
     /// Cumulative per-element metric snapshots hosted on this processor.
     pub elements: Vec<ElementSnapshot>,
 }
@@ -136,6 +140,28 @@ impl ClusterView {
             return 0.0;
         }
         last.processed.saturating_sub(first.processed) as f64 / dt
+    }
+
+    /// Requests/second `endpoint` is refusing — shed by admission control
+    /// or dropped expired — over the retained window, or 0 with fewer
+    /// than two observations. A sustained non-zero shed rate is the
+    /// strongest overload signal the cluster emits: unlike queue depth it
+    /// cannot be masked by fast draining, because every unit counted here
+    /// was work the processor declined outright.
+    pub fn shed_rate(&self, endpoint: u64) -> f64 {
+        let procs = self.procs.lock();
+        let Some(window) = procs.get(&endpoint) else {
+            return 0.0;
+        };
+        let (Some((t0, first)), Some((t1, last))) = (window.front(), window.back()) else {
+            return 0.0;
+        };
+        let dt = t1.saturating_sub(*t0).as_secs_f64();
+        if dt < 1e-3 {
+            return 0.0;
+        }
+        let refused = |o: &ProcessorObservation| o.shed + o.expired_drops;
+        refused(last).saturating_sub(refused(first)) as f64 / dt
     }
 
     /// Latest reported queue depth for `endpoint`.
@@ -269,6 +295,11 @@ pub struct LoadAwarePolicy {
     pub p99_threshold_ns: u64,
     /// Scale out when the processor's queue depth exceeds this.
     pub queue_depth_threshold: u64,
+    /// Scale out when the processor refuses (sheds + expired-drops) more
+    /// than this many requests/second over the window. Shedding protects
+    /// goodput but every shed is a request the cluster failed to serve,
+    /// so a sustained shed rate is a capacity breach, not a steady state.
+    pub shed_rate_threshold: u64,
     /// Minimum time between scale-outs of the same group.
     pub cooldown: Duration,
 }
@@ -278,6 +309,7 @@ impl Default for LoadAwarePolicy {
         Self {
             p99_threshold_ns: 50_000_000, // 50 ms
             queue_depth_threshold: 64,
+            shed_rate_threshold: 10,
             cooldown: Duration::from_secs(5),
         }
     }
@@ -299,9 +331,12 @@ impl LoadAwarePolicy {
             .map(|(_, ep)| ep)
     }
 
-    /// Whether `endpoint` currently breaches either threshold.
+    /// Whether `endpoint` currently breaches any threshold.
     pub fn breached(&self, view: &ClusterView, endpoint: u64) -> bool {
         if view.queue_depth(endpoint) > self.queue_depth_threshold {
+            return true;
+        }
+        if view.shed_rate(endpoint) > self.shed_rate_threshold as f64 {
             return true;
         }
         view.element_p99(endpoint)
@@ -319,6 +354,8 @@ mod tests {
             endpoint,
             processed,
             queue_depth,
+            shed: 0,
+            expired_drops: 0,
             elements: vec![],
         }
     }
@@ -365,7 +402,7 @@ mod tests {
         let policy = LoadAwarePolicy {
             p99_threshold_ns: 1_000,
             queue_depth_threshold: 8,
-            cooldown: Duration::from_secs(1),
+            ..LoadAwarePolicy::default()
         };
         view.observe(obs(5, 10, 9));
         assert!(policy.breached(&view, 5));
@@ -378,6 +415,8 @@ mod tests {
             endpoint: 6,
             processed: 10,
             queue_depth: 0,
+            shed: 0,
+            expired_drops: 0,
             elements: vec![ElementSnapshot {
                 key: MetricKey {
                     app: "shop".into(),
@@ -394,6 +433,48 @@ mod tests {
     }
 
     #[test]
+    fn shed_rate_is_windowed_and_breaches_the_policy() {
+        let clock = adn_wire::clock::VirtualClock::shared();
+        let view = ClusterView::with_clock(Duration::from_secs(10), clock.clone());
+        let policy = LoadAwarePolicy {
+            shed_rate_threshold: 5,
+            ..LoadAwarePolicy::default()
+        };
+        // One observation is not a rate.
+        view.observe(ProcessorObservation {
+            shed: 100,
+            expired_drops: 50,
+            ..obs(5, 10, 0)
+        });
+        assert_eq!(view.shed_rate(5), 0.0);
+        assert!(!policy.breached(&view, 5));
+        // 20 sheds + 20 expired drops over 2 s = 20/s: breach.
+        clock.advance(Duration::from_secs(2));
+        view.observe(ProcessorObservation {
+            shed: 120,
+            expired_drops: 70,
+            ..obs(5, 40, 0)
+        });
+        assert!((view.shed_rate(5) - 20.0).abs() < 0.5);
+        assert!(policy.breached(&view, 5));
+        // A quiet endpoint with the same cumulative totals does not
+        // breach: the signal is the windowed delta, not the lifetime sum.
+        clock.advance(Duration::from_secs(2));
+        view.observe(ProcessorObservation {
+            shed: 120,
+            expired_drops: 70,
+            ..obs(6, 40, 0)
+        });
+        clock.advance(Duration::from_secs(2));
+        view.observe(ProcessorObservation {
+            shed: 121,
+            expired_drops: 70,
+            ..obs(6, 80, 0)
+        });
+        assert!(!policy.breached(&view, 6));
+    }
+
+    #[test]
     fn rows_and_merges_cover_elements() {
         let view = ClusterView::new(Duration::from_secs(10));
         let mut h = HistogramSnapshot::new();
@@ -402,6 +483,8 @@ mod tests {
             endpoint: 5,
             processed: 1,
             queue_depth: 2,
+            shed: 0,
+            expired_drops: 0,
             elements: vec![ElementSnapshot {
                 key: MetricKey {
                     app: "shop".into(),

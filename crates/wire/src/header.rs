@@ -156,6 +156,108 @@ impl TraceContext {
     }
 }
 
+/// Priority class of a call, two bits on the wire. Lower classes shed
+/// first when a processor crosses its admission high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort traffic: first to go under overload (and the only class
+    /// a brownout in `Shed` mode refuses outright).
+    Sheddable = 0,
+    /// Ordinary request traffic.
+    #[default]
+    Normal = 1,
+    /// Latency-sensitive traffic that outlives Normal under shedding.
+    Important = 2,
+    /// Control-plane-adjacent traffic; shed only when everything else is
+    /// already gone.
+    Critical = 3,
+}
+
+impl Priority {
+    /// Decodes the two-bit wire representation.
+    pub fn from_bits(bits: u8) -> Priority {
+        match bits & 0b11 {
+            0 => Priority::Sheddable,
+            1 => Priority::Normal,
+            2 => Priority::Important,
+            _ => Priority::Critical,
+        }
+    }
+
+    /// The two-bit wire representation.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+/// In-band overload context: the caller's remaining deadline budget plus a
+/// priority class, riding alongside a message or hop header.
+///
+/// Like [`TraceContext`], this is an optional extension of the minimal hop
+/// header: layouts for deadline-aware applications set
+/// [`HeaderLayout::carries_deadline`], and each hop then encodes a presence
+/// byte plus (when present) the context. The budget is *relative* — "this
+/// many nanoseconds of caller patience remain" — so hops need no clock
+/// synchronization: each hop subtracts its own locally measured queue +
+/// service time before forwarding. A budget that reaches zero marks work
+/// whose caller has already given up; admission control drops such frames
+/// before chain execution (counted, never silently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OverloadContext {
+    /// Remaining deadline budget in nanoseconds. Saturates at zero;
+    /// zero means expired.
+    pub budget_ns: u64,
+    /// Two-bit priority class used for lowest-first load shedding.
+    pub priority: Priority,
+}
+
+impl OverloadContext {
+    /// A fresh context as the originating client stamps it.
+    pub fn root(budget_ns: u64, priority: Priority) -> Self {
+        Self {
+            budget_ns,
+            priority,
+        }
+    }
+
+    /// The context to forward downstream after this hop spent `elapsed_ns`
+    /// of the caller's patience. Saturates at zero rather than wrapping, so
+    /// an overspent budget reads as expired, never as refreshed.
+    pub fn consume(&self, elapsed_ns: u64) -> Self {
+        Self {
+            budget_ns: self.budget_ns.saturating_sub(elapsed_ns),
+            priority: self.priority,
+        }
+    }
+
+    /// Whether the caller's deadline has already passed.
+    pub fn expired(&self) -> bool {
+        self.budget_ns == 0
+    }
+
+    /// Encodes the context (one varint + one priority byte).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.budget_ns);
+        enc.put_u8(self.priority.bits());
+    }
+
+    /// Decodes a context previously written by [`OverloadContext::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let budget_ns = dec.get_varint()?;
+        let raw = dec.get_u8()?;
+        if raw > 0b11 {
+            return Err(WireError::InvalidTag {
+                tag: raw as u64,
+                context: "overload priority class",
+            });
+        }
+        Ok(Self {
+            budget_ns,
+            priority: Priority::from_bits(raw),
+        })
+    }
+}
+
 /// One field slot in a layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeaderField {
@@ -172,6 +274,7 @@ pub struct HeaderField {
 pub struct HeaderLayout {
     fields: Vec<HeaderField>,
     carries_trace: bool,
+    carries_deadline: bool,
 }
 
 impl HeaderLayout {
@@ -185,6 +288,7 @@ impl HeaderLayout {
         Self {
             fields,
             carries_trace: false,
+            carries_deadline: false,
         }
     }
 
@@ -204,6 +308,25 @@ impl HeaderLayout {
     /// Whether hop frames under this layout reserve a trace-context slot.
     pub fn carries_trace(&self) -> bool {
         self.carries_trace
+    }
+
+    /// Marks the layout as carrying an optional overload-context extension
+    /// (deadline budget + priority). Hop codecs for such layouts write a
+    /// presence byte (plus the context when present); layouts without it
+    /// stay byte-identical to before.
+    pub fn with_deadline(mut self) -> Self {
+        self.carries_deadline = true;
+        self
+    }
+
+    /// Sets the deadline-extension flag in place.
+    pub fn set_carries_deadline(&mut self, on: bool) {
+        self.carries_deadline = on;
+    }
+
+    /// Whether hop frames under this layout reserve an overload-context slot.
+    pub fn carries_deadline(&self) -> bool {
+        self.carries_deadline
     }
 
     /// Appends a field slot.
@@ -422,5 +545,64 @@ mod tests {
     fn layout_trace_flag_defaults_off() {
         assert!(!sample_layout().carries_trace());
         assert!(sample_layout().with_trace().carries_trace());
+    }
+
+    #[test]
+    fn layout_deadline_flag_defaults_off() {
+        assert!(!sample_layout().carries_deadline());
+        assert!(sample_layout().with_deadline().carries_deadline());
+    }
+
+    #[test]
+    fn overload_context_roundtrips() {
+        let ctx = OverloadContext::root(1_500_000, Priority::Important);
+        let mut enc = Encoder::new();
+        ctx.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(OverloadContext::decode(&mut dec).unwrap(), ctx);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn overload_context_bad_priority_byte_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_varint(10);
+        enc.put_u8(4);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            OverloadContext::decode(&mut dec),
+            Err(WireError::InvalidTag { tag: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn overload_budget_consume_saturates() {
+        let ctx = OverloadContext::root(100, Priority::Normal);
+        let spent = ctx.consume(40);
+        assert_eq!(spent.budget_ns, 60);
+        assert_eq!(spent.priority, Priority::Normal);
+        assert!(!spent.expired());
+        let dead = spent.consume(1_000);
+        assert_eq!(dead.budget_ns, 0);
+        assert!(
+            dead.expired(),
+            "overspent budget reads expired, not wrapped"
+        );
+    }
+
+    #[test]
+    fn priority_bits_roundtrip_and_order() {
+        for p in [
+            Priority::Sheddable,
+            Priority::Normal,
+            Priority::Important,
+            Priority::Critical,
+        ] {
+            assert_eq!(Priority::from_bits(p.bits()), p);
+        }
+        assert!(Priority::Sheddable < Priority::Normal);
+        assert!(Priority::Important < Priority::Critical);
     }
 }

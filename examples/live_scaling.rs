@@ -73,6 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             telemetry: None,
             clock: None,
             batch_max: DEFAULT_BATCH_MAX,
+            overload: Default::default(),
+            inbox_capacity: None,
         },
         link.clone(),
         frames,

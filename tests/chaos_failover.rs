@@ -52,6 +52,7 @@ fn generous_retry() -> RetryPolicy {
         base_backoff: Duration::from_millis(2),
         max_backoff: Duration::from_millis(20),
         deadline: Duration::from_secs(30),
+        ..RetryPolicy::default()
     }
 }
 

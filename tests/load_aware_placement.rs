@@ -27,6 +27,8 @@ fn report(endpoint: u64, processed: u64, queue_depth: u64) -> LoadReport {
         rejected: 0,
         utilization: 0.5,
         queue_depth,
+        shed: 0,
+        expired_drops: 0,
         elements: vec![],
     }
 }

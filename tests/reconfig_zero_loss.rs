@@ -123,6 +123,8 @@ fn migrate_scale_out_scale_in_loses_nothing() {
             telemetry: None,
             clock: None,
             batch_max: DEFAULT_BATCH_MAX,
+            overload: Default::default(),
+            inbox_capacity: None,
         },
         rig.link.clone(),
         frames,

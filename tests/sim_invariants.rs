@@ -195,6 +195,94 @@ fn fail_open_bypasses_dead_chain_entry_in_sim() {
     );
 }
 
+/// The overload acceptance sweep: open-loop 2× offered load with the
+/// shed ladder armed, 32 seeds, with the no-expired-execution and
+/// goodput-floor invariants checked alongside the universal ones.
+#[test]
+fn overload_sweep_holds_goodput_floor_and_never_executes_expired() {
+    let out = sweep_seeds(&Scenario::overload(), 0..32);
+    assert!(
+        out.passed(),
+        "seed failed — {}",
+        out.failure.map(|f| f.replay).unwrap_or_default()
+    );
+    assert_eq!(out.seeds_run, 32);
+}
+
+/// Overload plus link chaos (drops, dups, reorders, delays): the ladder
+/// must still hold its (lower) goodput floor, and dedup must keep
+/// retransmits from resurrecting exhausted deadline budgets.
+#[test]
+fn chaos_overload_sweep_holds_invariants() {
+    let out = sweep_seeds(&Scenario::chaos_overload(), 0..32);
+    assert!(
+        out.passed(),
+        "seed failed — {}",
+        out.failure.map(|f| f.replay).unwrap_or_default()
+    );
+    assert_eq!(out.seeds_run, 32);
+}
+
+/// Shedding is load-bearing. At 2× offered load the armed ladder keeps
+/// goodput within 20% of single-load capacity; the naive FIFO baseline
+/// (same load, admission off) collapses below half of it, burns service
+/// time on already-expired work, and grows an unbounded queue.
+#[test]
+fn shedding_preserves_goodput_where_naive_fifo_collapses() {
+    let armed = Scenario::overload();
+    let model = armed.overload.clone().expect("preset sets model");
+    // Work the single bottleneck can complete during the issue window.
+    let capacity = armed.calls as f64 * model.issue_interval.as_nanos() as f64
+        / model.service_time.as_nanos() as f64;
+    let with = armed.run(7);
+    let without = Scenario::overload_naive().run(7);
+    assert!(with.passed(), "{:?}", with.violation);
+    assert!(without.passed(), "{:?}", without.violation);
+    assert!(
+        with.stats.calls_ok as f64 >= 0.8 * capacity,
+        "shedding goodput {} below 80% of capacity {capacity}",
+        with.stats.calls_ok
+    );
+    assert!(
+        (without.stats.calls_ok as f64) < 0.5 * capacity,
+        "naive baseline should collapse, got {} ok",
+        without.stats.calls_ok
+    );
+    assert!(with.stats.calls_shed > 0, "ladder must actually shed");
+    assert_eq!(with.stats.expired_executions, 0);
+    assert!(
+        without.stats.expired_executions > 0,
+        "naive baseline must burn service on expired work"
+    );
+    assert!(
+        with.stats.queue_peak * 4 < without.stats.queue_peak,
+        "shedding must bound the queue: {} vs {}",
+        with.stats.queue_peak,
+        without.stats.queue_peak
+    );
+}
+
+/// Overload runs stay deterministic, the shed ladder never refuses a
+/// critical call, and shed verdicts are visible in the event log.
+#[test]
+fn overload_run_is_deterministic_and_respects_the_ladder() {
+    let a = Scenario::overload().run(3);
+    let b = Scenario::overload().run(3);
+    assert!(a.passed(), "{:?}", a.violation);
+    assert_eq!(a.log_text(), b.log_text());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert!(
+        a.log.iter().any(|l| l.contains("shed addr=")),
+        "shed verdicts must appear in the log"
+    );
+    assert!(
+        !a.log
+            .iter()
+            .any(|l| l.contains("shed addr=") && l.ends_with("prio=3")),
+        "critical calls must never be shed by admission"
+    );
+}
+
 /// A partition that outlives every retry budget must be *caught* by the
 /// strict zero-loss checker — and the failure must shrink to a minimal
 /// event prefix with a copy-pasteable replay command. This exercises the

@@ -110,6 +110,7 @@ fn trace_ids_survive_nat_dedup_and_retries_across_three_hops() {
         base_backoff: Duration::from_millis(1),
         max_backoff: Duration::from_millis(10),
         deadline: Duration::from_secs(20),
+        ..RetryPolicy::default()
     };
     let m = svc.method_by_id(1).unwrap();
     let mut completed = 0u64;
