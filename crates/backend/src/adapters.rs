@@ -258,6 +258,7 @@ mod tests {
             &crate::native::CompileOpts {
                 seed: 0,
                 replicas: vec![100, 200, 300],
+                ..Default::default()
             },
         );
         use adn_rpc::engine::Engine as _;

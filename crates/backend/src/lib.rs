@@ -7,6 +7,11 @@
 //! * [`native`] — the production path of the prototype: IR compiled into an
 //!   in-process engine ([`native::NativeEngine`]) that executes per-RPC with
 //!   no marshalling, standing in for the generated-and-compiled Rust module.
+//! * [`jit`] — the compiled execution tiers on top of `adn-jit`: element
+//!   plans lowered to a linear op IR and run either direct-threaded or as
+//!   x86-64 template-JITed machine code ([`jit::JitEngine`]), with the
+//!   tree-walker retained as the differential oracle and escape hatch.
+//!   [`jit::compile_engine`] is the production entry point.
 //! * [`rust_codegen`] — the literal artifact the paper's prototype shipped:
 //!   Rust source text for an mRPC engine, generated from the IR (used for
 //!   inspection and the lines-of-code comparison, experiment E3).
@@ -35,6 +40,7 @@ pub mod adapters;
 pub mod ebpf;
 pub mod eval;
 pub mod isa;
+pub mod jit;
 pub mod native;
 pub mod p4;
 pub mod plan;

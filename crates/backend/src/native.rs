@@ -29,6 +29,11 @@ pub struct CompileOpts {
     /// Replica set for `ROUTE` statements (flat endpoint ids). Empty means
     /// ROUTE leaves the destination untouched.
     pub replicas: Vec<EndpointAddr>,
+    /// Execution tier for [`crate::jit::compile_engine`]. `Auto` selects
+    /// the best compiled tier for the build target; the `ADN_JIT` env var
+    /// overrides it process-wide. Ignored by `compile_element`, which
+    /// always produces the tree-walking interpreter.
+    pub jit: adn_jit::JitTier,
 }
 
 impl Default for CompileOpts {
@@ -36,6 +41,7 @@ impl Default for CompileOpts {
         Self {
             seed: 0x5eed,
             replicas: Vec::new(),
+            jit: adn_jit::JitTier::Auto,
         }
     }
 }
@@ -75,9 +81,308 @@ pub fn compile_element(element: &ElementIr, opts: &CompileOpts) -> NativeEngine 
 }
 
 /// Outcome of running one statement list.
-enum StepOutcome {
+pub(crate) enum StepOutcome {
     Continue,
     Verdict(Verdict),
+}
+
+/// What a failed `SELECT` (join miss or false condition) produces.
+///
+/// The interpreter always uses `Dynamic`; the JIT lowers constant
+/// `ELSE ABORT` clauses to `Prebuilt` so the hot path never re-evaluates
+/// the code/message expressions.
+pub(crate) enum SelectFail<'a> {
+    /// No `ELSE ABORT`: drop the message.
+    Drop,
+    /// Evaluate the abort code and optional message per failure.
+    Dynamic {
+        code: &'a crate::plan::CExpr,
+        message: Option<&'a crate::plan::CExpr>,
+        name: &'a str,
+    },
+    /// A verdict computed once at compile time.
+    Prebuilt(&'a Verdict),
+}
+
+impl SelectFail<'_> {
+    pub(crate) fn verdict(
+        &self,
+        msg: &RpcMessage,
+        udf: &mut UdfRuntime,
+    ) -> Result<Verdict, ExecError> {
+        match self {
+            SelectFail::Drop => Ok(Verdict::Drop),
+            SelectFail::Dynamic {
+                code,
+                message,
+                name,
+            } => {
+                let code_v = exec(code, &msg.fields, None, udf)?.into_owned();
+                let code = code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
+                let message = match message {
+                    Some(m) => match exec(m, &msg.fields, None, udf)?.into_owned() {
+                        Value::Str(s) => s,
+                        other => other.to_string(),
+                    },
+                    None => format!("rejected by {name}"),
+                };
+                Ok(Verdict::Abort { code, message })
+            }
+            SelectFail::Prebuilt(v) => Ok((*v).clone()),
+        }
+    }
+}
+
+/// Executes one `SELECT` statement: join resolution, condition check,
+/// staged projection assignments. Shared by the interpreter and the JIT's
+/// select thunk.
+pub(crate) fn exec_select(
+    assignments: &[(usize, crate::plan::CExpr)],
+    join: &Option<crate::plan::CJoin>,
+    condition: &Option<crate::plan::CExpr>,
+    fail: SelectFail<'_>,
+    msg: &mut RpcMessage,
+    tables: &mut [StateTable],
+    udf: &mut UdfRuntime,
+) -> Result<StepOutcome, ExecError> {
+    // Resolve the joined row (inner join: no match drops). The row stays
+    // *borrowed* from the state table through condition evaluation — the
+    // hot path (ACL allow) does not allocate.
+    let row: Option<&[Value]> = match join {
+        Some(j) => {
+            let table = &tables[j.table];
+            let found = match &j.strategy {
+                JoinStrategy::KeyLookup { input_fields } => {
+                    let h = table.key_hash_of_iter(input_fields.iter().map(|&i| &msg.fields[i]));
+                    // The hash index is a fast path; confirm with the full
+                    // predicate to be exact.
+                    match table.lookup(h) {
+                        Some(candidate) if exec_pred(&j.on, &msg.fields, Some(candidate), udf)? => {
+                            Some(candidate)
+                        }
+                        _ => None,
+                    }
+                }
+                JoinStrategy::Scan => {
+                    let mut found = None;
+                    for candidate in table.scan() {
+                        if exec_pred(&j.on, &msg.fields, Some(candidate), udf)? {
+                            found = Some(candidate);
+                            break;
+                        }
+                    }
+                    found
+                }
+            };
+            match found {
+                Some(r) => Some(r),
+                None => return Ok(StepOutcome::Verdict(fail.verdict(msg, udf)?)),
+            }
+        }
+        None => None,
+    };
+    if let Some(cond) = condition {
+        if !exec_pred(cond, &msg.fields, row, udf)? {
+            return Ok(StepOutcome::Verdict(fail.verdict(msg, udf)?));
+        }
+    }
+    if !assignments.is_empty() {
+        // Writes may alias the fields the expressions read, so stage the
+        // computed values, then commit.
+        let mut staged = Vec::with_capacity(assignments.len());
+        for (idx, expr) in assignments {
+            let v = exec(expr, &msg.fields, row, udf)?.into_owned();
+            let ty = msg.schema.fields()[*idx].ty;
+            staged.push((*idx, coerce_store(v, ty)?));
+        }
+        for (idx, v) in staged {
+            msg.fields[idx] = v;
+        }
+    }
+    Ok(StepOutcome::Continue)
+}
+
+/// Executes one compiled statement against `msg` and the element state.
+/// This is the interpreter step, shared verbatim by the JIT's statement
+/// escape thunk so the two tiers cannot diverge on escaped statements.
+pub(crate) fn exec_stmt(
+    stmt: &CStmt,
+    msg: &mut RpcMessage,
+    tables: &mut [StateTable],
+    udf: &mut UdfRuntime,
+    replicas: &[EndpointAddr],
+    name: &str,
+) -> Result<StepOutcome, ExecError> {
+    match stmt {
+        CStmt::Select {
+            assignments,
+            join,
+            condition,
+            else_abort,
+        } => {
+            let fail = match else_abort {
+                Some((code, message)) => SelectFail::Dynamic {
+                    code,
+                    message: message.as_ref(),
+                    name,
+                },
+                None => SelectFail::Drop,
+            };
+            exec_select(assignments, join, condition, fail, msg, tables, udf)
+        }
+        CStmt::Insert { table, values } => {
+            let mut row = Vec::with_capacity(values.len());
+            for (i, expr) in values.iter().enumerate() {
+                let v = exec(expr, &msg.fields, None, udf)?.into_owned();
+                let ty = tables[*table].layout().column_types[i];
+                row.push(coerce_store(v, ty)?);
+            }
+            // INSERT is insert-if-absent (SQL ON CONFLICT DO NOTHING),
+            // so INSERT-then-UPDATE counter idioms work.
+            tables[*table].insert_if_absent(row);
+            Ok(StepOutcome::Continue)
+        }
+        CStmt::Update {
+            table,
+            assignments,
+            condition,
+        } => {
+            // Two-phase: evaluate replacements against a snapshot scan,
+            // then apply, so UDF side effects happen exactly once per
+            // matched row and the borrow of the table stays simple.
+            let mut replacements: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+            for row in tables[*table].scan() {
+                let matches = match condition {
+                    Some(c) => exec_pred(c, &msg.fields, Some(row), udf)?,
+                    None => true,
+                };
+                if !matches {
+                    continue;
+                }
+                let mut new_row = row.to_vec();
+                for (col, expr) in assignments {
+                    let v = exec(expr, &msg.fields, Some(row), udf)?.into_owned();
+                    let ty = tables[*table].layout().column_types[*col];
+                    new_row[*col] = coerce_store(v, ty)?;
+                }
+                replacements.push((row.to_vec(), new_row));
+            }
+            for (old, new) in replacements {
+                tables[*table].update_where(|r| r == &old[..], |r| *r = new.clone());
+            }
+            Ok(StepOutcome::Continue)
+        }
+        CStmt::UpdateKeyed {
+            table,
+            key,
+            assignments,
+            condition,
+        } => {
+            let key_value = exec(key, &msg.fields, None, udf)?;
+            let h = tables[*table].key_hash_of_iter(std::iter::once(key_value.as_ref()));
+            let replacement = match tables[*table].lookup(h) {
+                Some(row) if exec_pred(condition, &msg.fields, Some(row), udf)? => {
+                    let mut new_row = row.to_vec();
+                    for (col, expr) in assignments {
+                        let v = exec(expr, &msg.fields, Some(row), udf)?.into_owned();
+                        let ty = tables[*table].layout().column_types[*col];
+                        new_row[*col] = coerce_store(v, ty)?;
+                    }
+                    Some(new_row)
+                }
+                _ => None,
+            };
+            if let Some(new_row) = replacement {
+                // Key column is untouched (checked at compile time), so
+                // this keyed upsert replaces the row in place.
+                tables[*table].upsert(new_row);
+            }
+            Ok(StepOutcome::Continue)
+        }
+        CStmt::Delete { table, condition } => {
+            match condition {
+                Some(c) => {
+                    // Evaluate predicates first (UDFs may be stateful),
+                    // then delete the matched rows.
+                    let mut doomed: Vec<Vec<Value>> = Vec::new();
+                    for row in tables[*table].scan() {
+                        if exec_pred(c, &msg.fields, Some(row), udf)? {
+                            doomed.push(row.to_vec());
+                        }
+                    }
+                    for row in doomed {
+                        tables[*table].delete_where(|r| r == &row[..]);
+                    }
+                }
+                None => {
+                    tables[*table].delete_where(|_| true);
+                }
+            }
+            Ok(StepOutcome::Continue)
+        }
+        CStmt::Drop { condition } => {
+            let fire = match condition {
+                Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                None => true,
+            };
+            if fire {
+                Ok(StepOutcome::Verdict(Verdict::Drop))
+            } else {
+                Ok(StepOutcome::Continue)
+            }
+        }
+        CStmt::Route { key, condition } => {
+            let fire = match condition {
+                Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                None => true,
+            };
+            if fire && !replicas.is_empty() {
+                let k = exec(key, &msg.fields, None, udf)?.into_owned();
+                let idx = (k.stable_hash() % replicas.len() as u64) as usize;
+                msg.dst = replicas[idx];
+            }
+            Ok(StepOutcome::Continue)
+        }
+        CStmt::Abort {
+            code,
+            message,
+            condition,
+        } => {
+            let fire = match condition {
+                Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                None => true,
+            };
+            if !fire {
+                return Ok(StepOutcome::Continue);
+            }
+            let code_v = exec(code, &msg.fields, None, udf)?.into_owned();
+            let code = code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
+            let message = match message {
+                Some(m) => match exec(m, &msg.fields, None, udf)?.into_owned() {
+                    Value::Str(s) => s,
+                    other => other.to_string(),
+                },
+                None => format!("aborted by {name}"),
+            };
+            Ok(StepOutcome::Verdict(Verdict::Abort { code, message }))
+        }
+        CStmt::Set {
+            field,
+            value,
+            condition,
+        } => {
+            let fire = match condition {
+                Some(c) => exec_pred(c, &msg.fields, None, udf)?,
+                None => true,
+            };
+            if fire {
+                let v = exec(value, &msg.fields, None, udf)?.into_owned();
+                let ty = msg.schema.fields()[*field].ty;
+                msg.fields[*field] = coerce_store(v, ty)?;
+            }
+            Ok(StepOutcome::Continue)
+        }
+    }
 }
 
 impl NativeEngine {
@@ -128,258 +433,20 @@ impl NativeEngine {
     }
 
     fn step(&mut self, stmt: &CStmt, msg: &mut RpcMessage) -> Result<StepOutcome, ExecError> {
-        let udf = &mut self.udf;
-        let tables = &mut self.tables;
-        match stmt {
-            CStmt::Select {
-                assignments,
-                join,
-                condition,
-                else_abort,
-            } => {
-                // Failed join/condition: abort when ELSE ABORT is present,
-                // otherwise drop.
-                macro_rules! fail_verdict {
-                    () => {{
-                        match else_abort {
-                            Some((code_expr, message_expr)) => {
-                                let code_v = exec(code_expr, &msg.fields, None, udf)?.into_owned();
-                                let code = code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
-                                let message = match message_expr {
-                                    Some(m) => {
-                                        match exec(m, &msg.fields, None, udf)?.into_owned() {
-                                            Value::Str(s) => s,
-                                            other => other.to_string(),
-                                        }
-                                    }
-                                    None => format!("rejected by {}", self.name),
-                                };
-                                Verdict::Abort { code, message }
-                            }
-                            None => Verdict::Drop,
-                        }
-                    }};
-                }
-                // Resolve the joined row (inner join: no match drops).
-                // The row stays *borrowed* from the state table through
-                // condition evaluation — the hot path (ACL allow) does not
-                // allocate. It is only copied when a projection assignment
-                // must read joined columns while the message mutates.
-                let row: Option<&[Value]> = match join {
-                    Some(j) => {
-                        let table = &tables[j.table];
-                        let found = match &j.strategy {
-                            JoinStrategy::KeyLookup { input_fields } => {
-                                let h = table
-                                    .key_hash_of_iter(input_fields.iter().map(|&i| &msg.fields[i]));
-                                // The hash index is a fast path; confirm with
-                                // the full predicate to be exact.
-                                match table.lookup(h) {
-                                    Some(candidate)
-                                        if exec_pred(&j.on, &msg.fields, Some(candidate), udf)? =>
-                                    {
-                                        Some(candidate)
-                                    }
-                                    _ => None,
-                                }
-                            }
-                            JoinStrategy::Scan => {
-                                let mut found = None;
-                                for candidate in table.scan() {
-                                    if exec_pred(&j.on, &msg.fields, Some(candidate), udf)? {
-                                        found = Some(candidate);
-                                        break;
-                                    }
-                                }
-                                found
-                            }
-                        };
-                        match found {
-                            Some(r) => Some(r),
-                            None => return Ok(StepOutcome::Verdict(fail_verdict!())),
-                        }
-                    }
-                    None => None,
-                };
-                if let Some(cond) = condition {
-                    if !exec_pred(cond, &msg.fields, row, udf)? {
-                        return Ok(StepOutcome::Verdict(fail_verdict!()));
-                    }
-                }
-                if !assignments.is_empty() {
-                    // Writes may alias the fields the expressions read, so
-                    // stage the computed values, then commit.
-                    let mut staged = Vec::with_capacity(assignments.len());
-                    for (idx, expr) in assignments {
-                        let v = exec(expr, &msg.fields, row, udf)?.into_owned();
-                        let ty = msg.schema.fields()[*idx].ty;
-                        staged.push((*idx, coerce_store(v, ty)?));
-                    }
-                    for (idx, v) in staged {
-                        msg.fields[idx] = v;
-                    }
-                }
-                Ok(StepOutcome::Continue)
-            }
-            CStmt::Insert { table, values } => {
-                let mut row = Vec::with_capacity(values.len());
-                for (i, expr) in values.iter().enumerate() {
-                    let v = exec(expr, &msg.fields, None, udf)?.into_owned();
-                    let ty = tables[*table].layout().column_types[i];
-                    row.push(coerce_store(v, ty)?);
-                }
-                // INSERT is insert-if-absent (SQL ON CONFLICT DO NOTHING),
-                // so INSERT-then-UPDATE counter idioms work.
-                tables[*table].insert_if_absent(row);
-                Ok(StepOutcome::Continue)
-            }
-            CStmt::Update {
-                table,
-                assignments,
-                condition,
-            } => {
-                // Two-phase: evaluate replacements against a snapshot scan,
-                // then apply, so UDF side effects happen exactly once per
-                // matched row and the borrow of the table stays simple.
-                let mut replacements: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
-                for row in tables[*table].scan() {
-                    let matches = match condition {
-                        Some(c) => exec_pred(c, &msg.fields, Some(row), udf)?,
-                        None => true,
-                    };
-                    if !matches {
-                        continue;
-                    }
-                    let mut new_row = row.to_vec();
-                    for (col, expr) in assignments {
-                        let v = exec(expr, &msg.fields, Some(row), udf)?.into_owned();
-                        let ty = tables[*table].layout().column_types[*col];
-                        new_row[*col] = coerce_store(v, ty)?;
-                    }
-                    replacements.push((row.to_vec(), new_row));
-                }
-                for (old, new) in replacements {
-                    tables[*table].update_where(|r| r == &old[..], |r| *r = new.clone());
-                }
-                Ok(StepOutcome::Continue)
-            }
-            CStmt::UpdateKeyed {
-                table,
-                key,
-                assignments,
-                condition,
-            } => {
-                let key_value = exec(key, &msg.fields, None, udf)?;
-                let h = tables[*table].key_hash_of_iter(std::iter::once(key_value.as_ref()));
-                let replacement = match tables[*table].lookup(h) {
-                    Some(row) if exec_pred(condition, &msg.fields, Some(row), udf)? => {
-                        let mut new_row = row.to_vec();
-                        for (col, expr) in assignments {
-                            let v = exec(expr, &msg.fields, Some(row), udf)?.into_owned();
-                            let ty = tables[*table].layout().column_types[*col];
-                            new_row[*col] = coerce_store(v, ty)?;
-                        }
-                        Some(new_row)
-                    }
-                    _ => None,
-                };
-                if let Some(new_row) = replacement {
-                    // Key column is untouched (checked at compile time), so
-                    // this keyed upsert replaces the row in place.
-                    tables[*table].upsert(new_row);
-                }
-                Ok(StepOutcome::Continue)
-            }
-            CStmt::Delete { table, condition } => {
-                match condition {
-                    Some(c) => {
-                        // Evaluate predicates first (UDFs may be stateful),
-                        // then delete the matched rows.
-                        let mut doomed: Vec<Vec<Value>> = Vec::new();
-                        for row in tables[*table].scan() {
-                            if exec_pred(c, &msg.fields, Some(row), udf)? {
-                                doomed.push(row.to_vec());
-                            }
-                        }
-                        for row in doomed {
-                            tables[*table].delete_where(|r| r == &row[..]);
-                        }
-                    }
-                    None => {
-                        tables[*table].delete_where(|_| true);
-                    }
-                }
-                Ok(StepOutcome::Continue)
-            }
-            CStmt::Drop { condition } => {
-                let fire = match condition {
-                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
-                    None => true,
-                };
-                if fire {
-                    Ok(StepOutcome::Verdict(Verdict::Drop))
-                } else {
-                    Ok(StepOutcome::Continue)
-                }
-            }
-            CStmt::Route { key, condition } => {
-                let fire = match condition {
-                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
-                    None => true,
-                };
-                if fire && !self.replicas.is_empty() {
-                    let k = exec(key, &msg.fields, None, udf)?.into_owned();
-                    let idx = (k.stable_hash() % self.replicas.len() as u64) as usize;
-                    msg.dst = self.replicas[idx];
-                }
-                Ok(StepOutcome::Continue)
-            }
-            CStmt::Abort {
-                code,
-                message,
-                condition,
-            } => {
-                let fire = match condition {
-                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
-                    None => true,
-                };
-                if !fire {
-                    return Ok(StepOutcome::Continue);
-                }
-                let code_v = exec(code, &msg.fields, None, udf)?.into_owned();
-                let code = code_v.as_u64().unwrap_or(ABORT_INTERNAL as u64) as u32;
-                let message = match message {
-                    Some(m) => match exec(m, &msg.fields, None, udf)?.into_owned() {
-                        Value::Str(s) => s,
-                        other => other.to_string(),
-                    },
-                    None => format!("aborted by {}", self.name),
-                };
-                Ok(StepOutcome::Verdict(Verdict::Abort { code, message }))
-            }
-            CStmt::Set {
-                field,
-                value,
-                condition,
-            } => {
-                let fire = match condition {
-                    Some(c) => exec_pred(c, &msg.fields, None, udf)?,
-                    None => true,
-                };
-                if fire {
-                    let v = exec(value, &msg.fields, None, udf)?.into_owned();
-                    let ty = msg.schema.fields()[*field].ty;
-                    msg.fields[*field] = coerce_store(v, ty)?;
-                }
-                Ok(StepOutcome::Continue)
-            }
-        }
+        exec_stmt(
+            stmt,
+            msg,
+            &mut self.tables,
+            &mut self.udf,
+            &self.replicas,
+            &self.name,
+        )
     }
 }
 
 /// Coerces a computed value onto a schema slot. Widenings always succeed;
 /// a non-negative signed value narrows to unsigned; anything else faults.
-fn coerce_store(v: Value, ty: ValueType) -> Result<Value, ExecError> {
+pub(crate) fn coerce_store(v: Value, ty: ValueType) -> Result<Value, ExecError> {
     if v.value_type() == ty {
         return Ok(v);
     }
@@ -450,7 +517,7 @@ pub fn compile_fused(elements: &[ElementIr], opts: &CompileOpts) -> FusedEngine 
                 e,
                 &CompileOpts {
                     seed: element_seed(opts.seed, i),
-                    replicas: opts.replicas.clone(),
+                    ..opts.clone()
                 },
             )
         })
@@ -623,6 +690,7 @@ mod tests {
             &CompileOpts {
                 seed: 7,
                 replicas: vec![],
+                ..Default::default()
             },
         );
         let mut aborted = 0;
@@ -664,6 +732,7 @@ mod tests {
             &CompileOpts {
                 seed: 0,
                 replicas: vec![100, 200, 300],
+                ..Default::default()
             },
         );
         let mut seen = std::collections::HashSet::new();
@@ -747,6 +816,7 @@ mod tests {
                     &CompileOpts {
                         seed: element_seed(CompileOpts::default().seed, i),
                         replicas: vec![],
+                        ..Default::default()
                     },
                 )
             })

@@ -114,24 +114,33 @@ impl StateTable {
                 self.rows[idx] = Some(row);
                 return;
             }
-            if let Some(cap) = self.layout.capacity {
-                if self.live >= cap {
-                    self.evict_oldest();
-                }
-            }
-            self.index.insert(h, self.rows.len());
-        } else if let Some(cap) = self.layout.capacity {
+            self.push_new(Some(h), row);
+        } else {
+            self.push_new(None, row);
+        }
+    }
+
+    /// Appends a row known to be new (key absent), evicting the oldest row
+    /// first when the layout bounds capacity. Returns the evicted row so
+    /// hot paths can recycle its allocations.
+    fn push_new(&mut self, key_hash: Option<u64>, row: Vec<Value>) -> Option<Vec<Value>> {
+        let mut reclaimed = None;
+        if let Some(cap) = self.layout.capacity {
             if self.live >= cap {
-                self.evict_oldest();
+                reclaimed = self.evict_oldest();
             }
+        }
+        if let Some(h) = key_hash {
+            self.index.insert(h, self.rows.len());
         }
         self.rows.push(Some(row));
         self.live += 1;
         self.maybe_compact();
+        reclaimed
     }
 
-    /// Tombstones the oldest live row (and de-indexes it).
-    fn evict_oldest(&mut self) {
+    /// Tombstones the oldest live row (and de-indexes it), returning it.
+    fn evict_oldest(&mut self) -> Option<Vec<Value>> {
         while self.evict_cursor < self.rows.len() {
             let i = self.evict_cursor;
             if let Some(row) = self.rows[i].take() {
@@ -145,10 +154,11 @@ impl StateTable {
                 }
                 self.live -= 1;
                 self.evict_cursor += 1;
-                return;
+                return Some(row);
             }
             self.evict_cursor += 1;
         }
+        None
     }
 
     /// Compacts the slot vector when tombstones dominate (keeps bounded
@@ -176,6 +186,22 @@ impl StateTable {
         }
         self.upsert(row);
         true
+    }
+
+    /// [`StateTable::insert_if_absent`] that hands back whichever row the
+    /// operation displaced — the FIFO-evicted row at capacity, or `row`
+    /// itself on key conflict — so hot paths (the JIT's specialized INSERT)
+    /// can recycle its allocations instead of freeing them. Observable
+    /// table state evolves exactly as with `insert_if_absent`.
+    pub fn insert_if_absent_reclaim(&mut self, row: Vec<Value>) -> Option<Vec<Value>> {
+        debug_assert_eq!(row.len(), self.layout.column_types.len());
+        let h = self.key_hash(&row);
+        if let Some(h) = h {
+            if self.index.contains_key(&h) {
+                return Some(row);
+            }
+        }
+        self.push_new(h, row)
     }
 
     /// Looks up by key hash (tables with keys only).

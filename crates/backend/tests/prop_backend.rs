@@ -149,7 +149,9 @@ proptest! {
         let chain = ChainIr::new(elements.clone(), req, resp);
         let (optimized, _report) = optimize(chain, &PassConfig::default());
 
-        let opts = CompileOpts { seed: 11, replicas: vec![] };
+        let opts = CompileOpts { seed: 11, replicas: vec![],
+    ..Default::default()
+};
         let mut base: Vec<_> = elements.iter().map(|e| compile_element(e, &opts)).collect();
         let mut opt: Vec<_> = optimized.elements.iter().map(|e| compile_element(e, &opts)).collect();
 
@@ -175,7 +177,9 @@ proptest! {
         let (a, b) = (pool[i].clone(), pool[j].clone());
         prop_assume!(adn_ir::analysis::commute(&a, &b));
 
-        let opts = CompileOpts { seed: 3, replicas: vec![] };
+        let opts = CompileOpts { seed: 3, replicas: vec![],
+    ..Default::default()
+};
         let mut ab = vec![compile_element(&a, &opts), compile_element(&b, &opts)];
         let mut ba = vec![compile_element(&b, &opts), compile_element(&a, &opts)];
 

@@ -24,6 +24,7 @@ fn compile_chain(chain: &ChainIr) -> Vec<NativeEngine> {
                 &CompileOpts {
                     seed: element_seed(3, i),
                     replicas: vec![],
+                    ..Default::default()
                 },
             )
         })

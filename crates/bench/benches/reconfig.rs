@@ -32,6 +32,7 @@ fn bench(c: &mut Criterion) {
                 &CompileOpts {
                     seed: 1,
                     replicas: vec![],
+                    ..Default::default()
                 },
             )));
             chain

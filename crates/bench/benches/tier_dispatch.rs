@@ -1,0 +1,65 @@
+//! Per-message dispatch cost across the three execution tiers, per paper
+//! element and for the fused paper chain. One iteration = one engine
+//! invocation on a pre-built message — this isolates how each tier spends
+//! its nanoseconds on an identical workload (same seed, same verdicts).
+
+use adn::harness::object_store_schemas;
+use adn_backend::jit::{native_available, JitEngine, JitTier};
+use adn_backend::native::{compile_element, compile_fused, CompileOpts};
+use adn_bench::PAPER_PAYLOAD;
+use adn_rpc::engine::Engine;
+use adn_rpc::message::RpcMessage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (req_schema, resp_schema) = object_store_schemas();
+    let mut group = c.benchmark_group("tier_dispatch");
+
+    let proto = RpcMessage::request(1, 1, req_schema.clone())
+        .with("object_id", 42u64)
+        .with("username", "alice")
+        .with("payload", PAPER_PAYLOAD.to_vec());
+
+    let mut tiers: Vec<(&str, JitTier)> =
+        vec![("interp", JitTier::Interp), ("threaded", JitTier::Threaded)];
+    if native_available() {
+        tiers.push(("native", JitTier::Native));
+    }
+
+    let mut bench_engine = |label: String, mut engine: Box<dyn Engine>| {
+        let mut msg = proto.clone();
+        // Prime: binds the schema (the JIT tiers type-specialize against
+        // the first message) so the loop measures steady state.
+        let _ = engine.process(&mut msg.clone());
+        group.bench_function(label, |b| b.iter(|| black_box(engine.process(&mut msg))));
+    };
+
+    for element in ["Logging", "Acl", "Fault"] {
+        let ir = adn_elements::build(element, &[], &req_schema, &resp_schema).expect("build");
+        for &(tname, tier) in &tiers {
+            let engine: Box<dyn Engine> = match tier {
+                JitTier::Interp => Box::new(compile_element(&ir, &CompileOpts::default())),
+                tier => Box::new(JitEngine::single(&ir, &CompileOpts::default(), tier)),
+            };
+            bench_engine(format!("{tname}/{element}"), engine);
+        }
+    }
+
+    let chain: Vec<adn_ir::ElementIr> = ["Logging", "Acl", "Fault"]
+        .iter()
+        .map(|n| adn_elements::build(n, &[], &req_schema, &resp_schema).expect("build"))
+        .collect();
+    for &(tname, tier) in &tiers {
+        let engine: Box<dyn Engine> = match tier {
+            JitTier::Interp => Box::new(compile_fused(&chain, &CompileOpts::default())),
+            tier => Box::new(JitEngine::fused(&chain, &CompileOpts::default(), tier)),
+        };
+        bench_engine(format!("{tname}/fused-chain"), engine);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,393 @@
+//! `jit_bench` — msgs/sec for the paper_eval chain (Logging → Acl →
+//! Fault) across the three execution tiers, one `BENCH_jit.json`.
+//!
+//! ```text
+//! jit_bench [--out PATH] [--seed N] [--iters N] [--chain A,B,..] [--smoke]
+//! ```
+//!
+//! Rows sweep `tier × mode`:
+//!
+//! - **tier**: `interp` (tree-walking `NativeEngine`), `threaded`
+//!   (direct-threaded op IR), `native` (x86-64 template JIT; emitted only
+//!   where the target supports it).
+//! - **mode**: `chain` (one engine per element behind `Box<dyn Engine>`,
+//!   the pre-JIT production shape) and `fused` (the whole chain compiled
+//!   into a single program).
+//!
+//! The headline `summary.jit_speedup` compares what the dataplane actually
+//! runs before and after this subsystem: the interpreter engine chain vs
+//! the best compiled fused engine. All tiers share one RNG seed, so every
+//! row processes an identical message/verdict stream — the work is the
+//! same, only the execution strategy differs.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use adn::harness::object_store_schemas;
+use adn_backend::jit::{native_available, JitEngine, JitTier};
+use adn_backend::native::{compile_element, compile_fused, element_seed, CompileOpts};
+use adn_bench::{PAPER_FAULT_PROB, PAPER_PAYLOAD, PAPER_USERS};
+use adn_rpc::engine::{Engine, EngineChain, Verdict};
+use adn_rpc::message::RpcMessage;
+
+struct Args {
+    out: String,
+    seed: u64,
+    iters: u64,
+    chain: Vec<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_jit.json".to_string(),
+        seed: 0x5eed,
+        iters: 600_000,
+        chain: ["Logging", "Acl", "Fault"].map(String::from).to_vec(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = val("--out")?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--iters" => args.iters = val("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--chain" => args.chain = val("--chain")?.split(',').map(String::from).collect(),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.iters = args.iters.min(20_000);
+    }
+    Ok(args)
+}
+
+struct Row {
+    tier: &'static str,
+    mode: &'static str,
+    iters: u64,
+    elapsed_ms: f64,
+    ns_per_msg: f64,
+    msgs_per_sec: f64,
+    forwarded: u64,
+    dropped: u64,
+    aborted: u64,
+}
+
+/// Warmup drives bounded tables (the 65536-row log) to capacity so every
+/// row measures steady-state behavior, not the one-off growth phase.
+const WARMUP_ITERS: u64 = 70_000;
+/// Each row is measured in passes; the best pass is the steady-state
+/// figure (container/CPU noise hits all rows, but not uniformly in time).
+const PASSES: u64 = 6;
+
+/// A chain row runs through the production `EngineChain`; a fused row is
+/// one engine.
+enum Built {
+    Chain(EngineChain),
+    One(Box<dyn Engine>),
+}
+
+impl Built {
+    #[inline]
+    fn process(&mut self, msg: &mut RpcMessage) -> Verdict {
+        match self {
+            Built::Chain(c) => c.process(msg),
+            Built::One(e) => e.process(msg),
+        }
+    }
+}
+
+/// The per-row message pool: one prototype per paper user, cycled by the
+/// timed loop so no allocation or schema lookup happens per message
+/// (identical harness cost in every row). Pools are refreshed from the
+/// prototypes every 64 rotations, like the pre-JIT harnesses.
+struct MsgPool {
+    protos: Vec<RpcMessage>,
+    msgs: Vec<RpcMessage>,
+}
+
+impl MsgPool {
+    fn new(proto: &RpcMessage) -> MsgPool {
+        let uname = proto
+            .schema
+            .index_of("username")
+            .expect("schema has username");
+        let protos: Vec<RpcMessage> = PAPER_USERS
+            .iter()
+            .map(|u| {
+                let mut m = proto.clone();
+                m.set_idx(uname, adn_rpc::value::Value::Str((*u).to_string()));
+                m
+            })
+            .collect();
+        let msgs = protos.clone();
+        MsgPool { protos, msgs }
+    }
+
+    #[inline]
+    fn next(&mut self, i: u64) -> &mut RpcMessage {
+        // Periodic refresh bounds drift from message-mutating elements
+        // without dominating the loop (none of the paper chain mutates).
+        if i.is_multiple_of(1024) {
+            self.msgs.clone_from(&self.protos);
+        }
+        &mut self.msgs[(i % self.protos.len() as u64) as usize]
+    }
+}
+
+/// One pass of `per_pass` messages through an engine, timed.
+fn run_pass(
+    engine: &mut Built,
+    pool: &mut MsgPool,
+    per_pass: u64,
+    counts: &mut (u64, u64, u64),
+) -> f64 {
+    let start = Instant::now();
+    for i in 0..per_pass {
+        let msg = pool.next(i);
+        match engine.process(msg) {
+            Verdict::Forward => counts.0 += 1,
+            Verdict::Drop => counts.1 += 1,
+            Verdict::Abort { .. } | Verdict::Shed => counts.2 += 1,
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("jit_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (req_schema, resp_schema) = object_store_schemas();
+    let elements: Vec<adn_ir::ElementIr> = args
+        .chain
+        .iter()
+        .map(|name| {
+            let params: &[(String, adn_rpc::value::Value)] = if name == "Fault" {
+                &[(
+                    "abort_prob".to_owned(),
+                    adn_rpc::value::Value::F64(PAPER_FAULT_PROB),
+                )]
+            } else {
+                &[]
+            };
+            adn_elements::build(name, params, &req_schema, &resp_schema)
+                .unwrap_or_else(|e| panic!("element {name} builds: {e:?}"))
+        })
+        .collect();
+    let opts = CompileOpts {
+        seed: args.seed,
+        ..Default::default()
+    };
+    let proto = RpcMessage::request(1, 1, req_schema.clone())
+        .with("object_id", 42u64)
+        .with("username", "alice")
+        .with("payload", PAPER_PAYLOAD.to_vec());
+
+    // Engine constructors per (tier, mode). Each timed run gets a fresh
+    // engine so table contents and RNG position are identical across rows.
+    let tiers: Vec<(&'static str, JitTier)> = {
+        let mut t = vec![("interp", JitTier::Interp), ("threaded", JitTier::Threaded)];
+        if native_available() {
+            t.push(("native", JitTier::Native));
+        }
+        t
+    };
+
+    let make = |tier: JitTier, fused: bool| -> Built {
+        match (tier, fused) {
+            (JitTier::Interp, false) => Built::Chain(EngineChain::from_engines(
+                elements
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| {
+                        // Per-position seeds, matching the fused engine's RNG
+                        // streams so every row sees identical verdicts.
+                        let o = CompileOpts {
+                            seed: element_seed(opts.seed, i),
+                            ..opts.clone()
+                        };
+                        Box::new(compile_element(e, &o)) as Box<dyn Engine>
+                    })
+                    .collect(),
+            )),
+            (JitTier::Interp, true) => Built::One(Box::new(compile_fused(&elements, &opts))),
+            (tier, false) => Built::Chain(EngineChain::from_engines(
+                elements
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| {
+                        let o = CompileOpts {
+                            seed: element_seed(opts.seed, i),
+                            ..opts.clone()
+                        };
+                        Box::new(JitEngine::single(e, &o, tier)) as Box<dyn Engine>
+                    })
+                    .collect(),
+            )),
+            (tier, true) => Built::One(Box::new(JitEngine::fused(&elements, &opts, tier))),
+        }
+    };
+
+    println!(
+        "== jit_bench: chain [{}], {} iters/row, best of {} passes ==\n",
+        args.chain.join(" -> "),
+        args.iters,
+        PASSES
+    );
+
+    // Each row gets a fresh engine (identical table contents and RNG
+    // position), a long warmup to steady state (bounded tables at
+    // capacity), and then its timed passes back-to-back with warm caches.
+    struct RowState {
+        tier: &'static str,
+        mode: &'static str,
+        engine: Built,
+        pool: MsgPool,
+        counts: (u64, u64, u64),
+        total_secs: f64,
+        best_ns: f64,
+    }
+    let mut states: Vec<RowState> = Vec::new();
+    for &(tier_name, tier) in &tiers {
+        for (mode, fused) in [("chain", false), ("fused", true)] {
+            states.push(RowState {
+                tier: tier_name,
+                mode,
+                engine: make(tier, fused),
+                pool: MsgPool::new(&proto),
+                counts: (0, 0, 0),
+                total_secs: 0.0,
+                best_ns: f64::INFINITY,
+            });
+        }
+    }
+    // Two visits per row, with every other row measured in between: a
+    // transient slowdown on the shared machine (scheduler preemption,
+    // neighbor cache pressure) that spans one visit's passes cannot poison
+    // the row, because the best pass is taken across both visits.  Within
+    // a visit the passes stay back-to-back so caches stay warm; the warmup
+    // runs only on the first visit (table state persists).
+    const VISITS: u64 = 2;
+    let per_pass = (args.iters / (PASSES * VISITS)).max(1);
+    for visit in 0..VISITS {
+        for st in states.iter_mut() {
+            if visit == 0 {
+                let mut sink = (0, 0, 0);
+                let _ = run_pass(&mut st.engine, &mut st.pool, WARMUP_ITERS, &mut sink);
+            }
+            for _pass in 0..PASSES {
+                let secs = run_pass(&mut st.engine, &mut st.pool, per_pass, &mut st.counts);
+                st.total_secs += secs;
+                st.best_ns = st.best_ns.min(secs * 1e9 / per_pass as f64);
+            }
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for st in &states {
+        let row = Row {
+            tier: st.tier,
+            mode: st.mode,
+            iters: per_pass * PASSES * VISITS,
+            elapsed_ms: st.total_secs * 1e3,
+            ns_per_msg: st.best_ns,
+            msgs_per_sec: 1e9 / st.best_ns,
+            forwarded: st.counts.0,
+            dropped: st.counts.1,
+            aborted: st.counts.2,
+        };
+        println!(
+            "{:>8} {:<5}  {:>7.1} ns/msg  {:>11.0} msgs/s  (fwd {} drop {} abort {})",
+            row.tier,
+            row.mode,
+            row.ns_per_msg,
+            row.msgs_per_sec,
+            row.forwarded,
+            row.dropped,
+            row.aborted
+        );
+        rows.push(row);
+    }
+
+    // Identical verdict streams across rows = the tiers did the same work.
+    let baseline: Vec<u64> = vec![rows[0].forwarded, rows[0].dropped, rows[0].aborted];
+    let divergent = rows
+        .iter()
+        .any(|r| vec![r.forwarded, r.dropped, r.aborted] != baseline);
+
+    let rate = |tier: &str, mode: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.tier == tier && r.mode == mode)
+            .map(|r| r.msgs_per_sec)
+    };
+    let best_tier = if native_available() {
+        "native"
+    } else {
+        "threaded"
+    };
+    let jit_speedup = match (rate("interp", "chain"), rate(best_tier, "fused")) {
+        (Some(base), Some(top)) if base > 0.0 => top / base,
+        _ => 0.0,
+    };
+    let fused_jit_vs_fused_interp = match (rate("interp", "fused"), rate(best_tier, "fused")) {
+        (Some(base), Some(top)) if base > 0.0 => top / base,
+        _ => 0.0,
+    };
+
+    println!(
+        "\nspeedup ({best_tier} fused vs interp chain): {jit_speedup:.2}x  \
+         (vs interp fused: {fused_jit_vs_fused_interp:.2}x)"
+    );
+
+    let row_values: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "tier": (r.tier),
+                "mode": (r.mode),
+                "iters": (r.iters),
+                "elapsed_ms": (r.elapsed_ms),
+                "ns_per_msg": (r.ns_per_msg),
+                "msgs_per_sec": (r.msgs_per_sec),
+                "forwarded": (r.forwarded),
+                "dropped": (r.dropped),
+                "aborted": (r.aborted)
+            })
+        })
+        .collect();
+    let json = serde_json::json!({
+        "bench": "jit",
+        "schema_version": 1,
+        "seed": (args.seed),
+        "smoke": (args.smoke),
+        "chain": (args.chain),
+        "best_tier": (best_tier),
+        "rows": (row_values),
+        "summary": {
+            "jit_speedup": (jit_speedup),
+            "fused_jit_vs_fused_interp": (fused_jit_vs_fused_interp),
+            "verdicts_identical": (!divergent)
+        }
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serialize");
+    if let Err(e) = std::fs::write(&args.out, format!("{text}\n")) {
+        eprintln!("could not write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", args.out);
+
+    if divergent {
+        eprintln!("FAILED: tiers produced different verdict streams");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

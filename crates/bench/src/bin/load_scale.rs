@@ -28,7 +28,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adn::harness::{object_store_schemas, object_store_service};
-use adn_backend::native::{compile_element, CompileOpts};
+use adn_backend::jit::compile_engine;
+use adn_backend::native::CompileOpts;
 use adn_dataplane::processor::{NextHop, ProcessorConfig};
 use adn_dataplane::shard::spawn_processor_sharded;
 use adn_dsl::{check_element, parser::parse_element};
@@ -105,6 +106,7 @@ fn partitionable_engine(seed: u64) -> Box<dyn Engine> {
         &ChainVerifyOptions {
             // object_id is request field 0 — the workload key.
             shard_field: Some(0),
+            ..Default::default()
         },
     );
     assert!(
@@ -113,13 +115,14 @@ fn partitionable_engine(seed: u64) -> Box<dyn Engine> {
             .any(|d| d.diagnostic.code == codes::NON_PARTITIONABLE),
         "quota element must be shard-safe: {diags:?}"
     );
-    Box::new(compile_element(
+    compile_engine(
         &ir,
         &CompileOpts {
             seed,
             replicas: vec![],
+            ..Default::default()
         },
-    ))
+    )
 }
 
 fn service_chain(seed: u64) -> EngineChain {

@@ -18,10 +18,13 @@
 //!          transport + endpoint time)
 //!   E11    offload matrix: every catalog element audited under a set of
 //!          site policies, with the verifier's proved cost bounds
+//!   E12    JIT tier ablation: the paper chain across interpreter,
+//!          direct-threaded, and native template-JIT execution
 //!
 //! Usage: `paper_eval [--lint] [--fig5] [--loc] [--fig2] [--overhead]
 //! [--codegen] [--reconfig] [--ablation] [--chaos]
-//! [--latency-breakdown] [--offload-matrix]` (no flags = run everything).
+//! [--latency-breakdown] [--offload-matrix] [--jit-ablation]`
+//! (no flags = run everything).
 //! `--smoke` shrinks
 //! sample counts for CI. `ADN_BENCH_SECS` scales measurement time
 //! (default 2s per point); `ADN_CHAOS_DROP` / `ADN_CHAOS_SEED`
@@ -89,6 +92,9 @@ fn main() {
     }
     if has("--offload-matrix") {
         offload_matrix();
+    }
+    if has("--jit-ablation") {
+        jit_ablation(smoke);
     }
 }
 
@@ -484,7 +490,8 @@ fn fig2() {
 /// Builds client → shard-router → N processors (Compress→Acl→Decompress) →
 /// server and measures a closed loop.
 fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64) {
-    use adn_backend::native::{compile_element, element_seed, CompileOpts};
+    use adn_backend::jit::compile_engine;
+    use adn_backend::native::{element_seed, CompileOpts};
     use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
     use adn_dataplane::scaleout::{spawn_sharded, ShardBy, ShardedConfig};
     use adn_rpc::engine::EngineChain;
@@ -526,13 +533,14 @@ fn scale_out_point(shards: usize, payload: &[u8], window: Duration) -> (f64, f64
         let addr = 1000 + s as u64;
         let mut chain = EngineChain::new();
         for (i, e) in elements.iter().enumerate() {
-            chain.push(Box::new(compile_element(
+            chain.push(compile_engine(
                 e,
                 &CompileOpts {
                     seed: element_seed(7 ^ (s as u64) << 32, i),
                     replicas: vec![],
+                    ..Default::default()
                 },
-            )));
+            ));
         }
         let frames = net.attach(addr);
         handles.push(spawn_processor(
@@ -836,7 +844,7 @@ fn codegen_overhead() {
 // ---------------------------------------------------------------------------
 
 fn reconfig() {
-    use adn_backend::native::{compile_element, CompileOpts};
+    use adn_backend::native::CompileOpts;
     use adn_controller::reconfig::{migrate_processor, scale_in, scale_out};
     use adn_controller::AddrAllocator;
     use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
@@ -874,13 +882,14 @@ fn reconfig() {
         let element = element.clone();
         move || {
             let mut c = EngineChain::new();
-            c.push(Box::new(compile_element(
+            c.push(adn_backend::jit::compile_engine(
                 &element,
                 &CompileOpts {
                     seed: 1,
                     replicas: vec![],
+                    ..Default::default()
                 },
-            )));
+            ));
             c
         }
     };
@@ -1056,6 +1065,7 @@ fn ablation() {
                     &CompileOpts {
                         seed: element_seed(3, i),
                         replicas: vec![],
+                        ..Default::default()
                     },
                 )
             })
@@ -1444,4 +1454,137 @@ fn offload_matrix() {
     );
     println!("accepted cells carry proved bounds (worst feasible path, exact");
     println!("stack watermark, helper calls); rejected cells name the B-code.\n");
+}
+
+// ---------------------------------------------------------------------------
+// E12 — JIT tier ablation
+// ---------------------------------------------------------------------------
+
+/// The paper chain (Logging → Acl → Fault) across execution tiers: the
+/// tree-walking interpreter, the direct-threaded program, and (on x86-64)
+/// the native template JIT, in both chain-of-engines and fused form. All
+/// rows share one seed and therefore one verdict stream; only the
+/// execution strategy differs. `jit_bench` produces the rigorous
+/// `BENCH_jit.json` artifact; this table is the paper-style view.
+fn jit_ablation(smoke: bool) {
+    use adn_backend::jit::{native_available, JitEngine, JitTier};
+    use adn_backend::native::{compile_element, compile_fused, element_seed, CompileOpts};
+    use adn_rpc::engine::EngineChain;
+
+    println!("--- E12: JIT tier ablation (Logging -> Acl -> Fault) ---\n");
+
+    let (req_schema, resp_schema) = object_store_schemas();
+    let elements: Vec<adn_ir::ElementIr> = ["Logging", "Acl", "Fault"]
+        .iter()
+        .map(|name| {
+            let params: &[(String, Value)] = if *name == "Fault" {
+                &[("abort_prob".to_owned(), Value::F64(PAPER_FAULT_PROB))]
+            } else {
+                &[]
+            };
+            adn_elements::build(name, params, &req_schema, &resp_schema).expect("build")
+        })
+        .collect();
+    let seed = 0x5eed;
+    let opts = CompileOpts {
+        seed,
+        ..Default::default()
+    };
+
+    let (warmup, iters) = if smoke {
+        (2_000, 10_000)
+    } else {
+        (70_000, 200_000)
+    };
+    let mut t = Table::new(&["tier", "mode", "ns/msg", "msgs/s", "vs interp chain"]);
+    let mut tiers = vec![("interp", JitTier::Interp), ("threaded", JitTier::Threaded)];
+    if native_available() {
+        tiers.push(("native", JitTier::Native));
+    }
+    let mut baseline = None;
+    for (tname, tier) in tiers {
+        for (mode, fused) in [("chain", false), ("fused", true)] {
+            let mut engine: Box<dyn Engine> = match (tier, fused) {
+                (JitTier::Interp, false) => Box::new(EngineChainEngine(EngineChain::from_engines(
+                    elements
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| {
+                            let o = CompileOpts {
+                                seed: element_seed(seed, i),
+                                ..opts.clone()
+                            };
+                            Box::new(compile_element(e, &o)) as Box<dyn Engine>
+                        })
+                        .collect(),
+                ))),
+                (JitTier::Interp, true) => Box::new(compile_fused(&elements, &opts)),
+                (tier, false) => Box::new(EngineChainEngine(EngineChain::from_engines(
+                    elements
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| {
+                            let o = CompileOpts {
+                                seed: element_seed(seed, i),
+                                ..opts.clone()
+                            };
+                            Box::new(JitEngine::single(e, &o, tier)) as Box<dyn Engine>
+                        })
+                        .collect(),
+                ))),
+                (tier, true) => Box::new(JitEngine::fused(&elements, &opts, tier)),
+            };
+            let mut msgs: Vec<RpcMessage> = PAPER_USERS
+                .iter()
+                .map(|u| {
+                    RpcMessage::request(1, 1, req_schema.clone())
+                        .with("object_id", 42u64)
+                        .with("username", *u)
+                        .with("payload", PAPER_PAYLOAD.to_vec())
+                })
+                .collect();
+            let n = msgs.len() as u64;
+            for i in 0..warmup {
+                let _ = engine.process(&mut msgs[(i % n) as usize]);
+            }
+            let start = Instant::now();
+            for i in 0..iters {
+                let _ = engine.process(&mut msgs[(i % n) as usize]);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            if baseline.is_none() {
+                baseline = Some(ns);
+            }
+            let base = baseline.unwrap();
+            t.row(&[
+                tname.into(),
+                mode.into(),
+                format!("{ns:.1}"),
+                format!("{:.0}", 1e9 / ns),
+                format!("{:.2}x", base / ns),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("\nexpected shape: fused compiled tiers beat the interpreter chain;");
+    println!("BENCH_jit.json (from jit_bench) is the committed artifact.\n");
+}
+
+/// Adapter: `EngineChain` has an inherent `process` but is not itself an
+/// [`Engine`]; the ablation treats every row uniformly through the trait.
+struct EngineChainEngine(adn_rpc::engine::EngineChain);
+
+impl Engine for EngineChainEngine {
+    fn name(&self) -> &str {
+        "chain"
+    }
+    fn process(&mut self, msg: &mut RpcMessage) -> adn_rpc::engine::Verdict {
+        self.0.process(msg)
+    }
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn import_state(&mut self, _image: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
 }

@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use adn_backend::adapters::{EbpfEngine, SwitchEngine};
-use adn_backend::native::{compile_element, element_seed, CompileOpts};
+use adn_backend::jit::compile_engine;
+use adn_backend::native::{element_seed, CompileOpts};
 use adn_backend::{ebpf, p4};
 use adn_dataplane::processor::{
     spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, DEFAULT_BATCH_MAX,
@@ -109,15 +110,14 @@ pub fn build_engine(
 ) -> Result<Box<dyn Engine>, DeployError> {
     let seed = element_seed(app.seed, global_index);
     match site.platform() {
-        adn_backend::Platform::Software | adn_backend::Platform::SmartNic => {
-            Ok(Box::new(compile_element(
-                element,
-                &CompileOpts {
-                    seed,
-                    replicas: replicas.to_vec(),
-                },
-            )))
-        }
+        adn_backend::Platform::Software | adn_backend::Platform::SmartNic => Ok(compile_engine(
+            element,
+            &CompileOpts {
+                seed,
+                replicas: replicas.to_vec(),
+                ..Default::default()
+            },
+        )),
         adn_backend::Platform::Ebpf => {
             let req_types: Vec<ValueType> = app
                 .chain

@@ -20,7 +20,8 @@
 
 use std::sync::Arc;
 
-use adn_backend::native::{compile_element, element_seed, CompileOpts};
+use adn_backend::jit::compile_engine;
+use adn_backend::native::{element_seed, CompileOpts};
 use adn_backend::state::StateTable;
 use adn_dataplane::processor::{
     spawn_processor, NextHop, ProcessorConfig, ProcessorHandle, DEFAULT_BATCH_MAX,
@@ -322,14 +323,15 @@ pub fn scale_out(
     for (s, images) in shard_images.into_iter().enumerate() {
         let mut chain = EngineChain::new();
         for (i, element) in elements.iter().enumerate() {
-            chain.push(Box::new(compile_element(
+            chain.push(compile_engine(
                 element,
                 &CompileOpts {
                     // Distinct RNG stream per shard.
                     seed: element_seed(seed ^ ((s as u64 + 1) << 32), i),
                     replicas: replicas.to_vec(),
+                    ..Default::default()
                 },
-            )));
+            ));
         }
         chain
             .import_states(&images)
@@ -433,13 +435,14 @@ pub fn scale_in(
     let mut merged_images = Vec::with_capacity(elements.len());
     for (i, element) in elements.iter().enumerate() {
         merged_images.push(merge_engine_images(element, &per_element_images[i])?);
-        chain.push(Box::new(compile_element(
+        chain.push(compile_engine(
             element,
             &CompileOpts {
                 seed: element_seed(seed, i),
                 replicas: replicas.to_vec(),
+                ..Default::default()
             },
-        )));
+        ));
     }
     chain
         .import_states(&merged_images)
@@ -487,6 +490,7 @@ mod tests {
     use std::time::Duration;
 
     use super::*;
+    use adn_backend::native::compile_element;
     use adn_dsl::parser::parse_element;
     use adn_dsl::typecheck::check_element;
     use adn_rpc::message::RpcMessage;
@@ -594,13 +598,14 @@ mod tests {
     fn spawn_counter_processor(h: &Harness, addr: u64, element: &ElementIr) -> ProcessorHandle {
         let frames = h.net.attach(addr);
         let mut chain = EngineChain::new();
-        chain.push(Box::new(compile_element(
+        chain.push(compile_engine(
             element,
             &CompileOpts {
                 seed: 1,
                 replicas: vec![],
+                ..Default::default()
             },
-        )));
+        ));
         spawn_processor(
             ProcessorConfig {
                 addr,
@@ -645,13 +650,14 @@ mod tests {
             old,
             move || {
                 let mut chain = EngineChain::new();
-                chain.push(Box::new(compile_element(
+                chain.push(compile_engine(
                     &element2,
                     &CompileOpts {
                         seed: 2,
                         replicas: vec![],
+                        ..Default::default()
                     },
-                )));
+                ));
                 chain
             },
             &h.net,
@@ -747,6 +753,7 @@ mod tests {
             &CompileOpts {
                 seed: 0,
                 replicas: vec![],
+                ..Default::default()
             },
         );
         use adn_rpc::engine::Engine as _;
@@ -784,6 +791,7 @@ mod tests {
             &CompileOpts {
                 seed: 0,
                 replicas: vec![],
+                ..Default::default()
             },
         );
         use adn_rpc::engine::Engine as _;

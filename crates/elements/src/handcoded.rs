@@ -435,6 +435,7 @@ mod tests {
             &CompileOpts {
                 seed: 0,
                 replicas: vec![10, 20, 30],
+                ..Default::default()
             },
         );
         let mut hand = HandLoadBalancer::new(&req_schema, "object_id", vec![10, 20, 30]);

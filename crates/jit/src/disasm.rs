@@ -1,0 +1,144 @@
+//! Annotated listings for compiled programs (`adn-lint --jit-dump`).
+//!
+//! The listing interleaves three layers: the plan-IR note attached by the
+//! lowering (`ProgramBuilder::note`), the op IR line, and — when native
+//! code is available — the emitted machine-code bytes for that op.
+
+use crate::program::{Op, Program};
+
+/// Machine-code bytes plus the per-op byte spans within them.
+type NativeCode<'a> = (&'a [u8], &'a [(usize, usize)]);
+
+/// One listing line per op, plus the note lines above it.
+pub struct Listing {
+    pub lines: Vec<String>,
+}
+
+impl Listing {
+    /// Renders `p` alone (threaded/interp tiers: no machine code).
+    pub fn of_program(p: &Program) -> Listing {
+        Self::render(p, None)
+    }
+
+    /// Renders `p` with the machine-code bytes of each op.
+    ///
+    /// `spans[i]` is the byte range op `i` emitted into `code`.
+    pub fn with_code(p: &Program, code: &[u8], spans: &[(usize, usize)]) -> Listing {
+        Self::render(p, Some((code, spans)))
+    }
+
+    fn render(p: &Program, native: Option<NativeCode<'_>>) -> Listing {
+        let mut lines = Vec::with_capacity(p.ops.len() * 2);
+        for (i, op) in p.ops.iter().enumerate() {
+            if let Some(note) = p.note_at(i as u32) {
+                lines.push(format!("        ; {note}"));
+            }
+            let mut line = format!("  {i:>4}: {}", fmt_op(op));
+            if let Some((code, spans)) = native {
+                if let Some(&(start, end)) = spans.get(i) {
+                    let hex: Vec<String> = code[start..end.min(code.len())]
+                        .iter()
+                        .map(|b| format!("{b:02x}"))
+                        .collect();
+                    if !hex.is_empty() {
+                        line = format!("{line:<60} | {:#06x}: {}", start, hex.join(" "));
+                    }
+                }
+            }
+            lines.push(line);
+        }
+        Listing { lines }
+    }
+}
+
+impl std::fmt::Display for Listing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_op(op: &Op) -> String {
+    match *op {
+        Op::ConstBits { dst, bits } => format!("const     r{dst} <- {bits:#x}"),
+        Op::Mov { dst, src } => format!("mov       r{dst} <- r{src}"),
+        Op::Arith {
+            kind,
+            dst,
+            a,
+            b,
+            on_overflow,
+            on_div_zero,
+        } => {
+            let mut s = format!(
+                "{:<9} r{dst} <- r{a}, r{b}",
+                format!("{kind:?}").to_lowercase()
+            );
+            s.push_str(&format!(" [of->{on_overflow}"));
+            if kind.can_div_zero() {
+                s.push_str(&format!(", dz->{on_div_zero}"));
+            }
+            s.push(']');
+            s
+        }
+        Op::Neg {
+            kind,
+            dst,
+            src,
+            on_overflow,
+        } => format!("neg.{kind:?}  r{dst} <- r{src} [of->{on_overflow}]").to_lowercase(),
+        Op::NotBool { dst, src } => format!("not       r{dst} <- r{src}"),
+        Op::Cmp { kind, dst, a, b } => {
+            format!(
+                "{:<9} r{dst} <- r{a}, r{b}",
+                format!("cmp.{kind:?}").to_lowercase()
+            )
+        }
+        Op::TruthyF64 { dst, src } => format!("truthy.f  r{dst} <- r{src}"),
+        Op::CastU64F64 { dst, src } => format!("u64->f64  r{dst} <- r{src}"),
+        Op::CastI64F64 { dst, src } => format!("i64->f64  r{dst} <- r{src}"),
+        Op::CastU64I64 {
+            dst,
+            src,
+            on_overflow,
+        } => format!("u64->i64  r{dst} <- r{src} [of->{on_overflow}]"),
+        Op::Jump { target } => format!("jmp       ->{target}"),
+        Op::JumpIfFalse { cond, target } => format!("jz        r{cond} ->{target}"),
+        Op::JumpIfTrue { cond, target } => format!("jnz       r{cond} ->{target}"),
+        Op::CallExpr {
+            spec,
+            dst,
+            args_at,
+            argc,
+            on_fault,
+        } => {
+            format!("call.expr r{dst} <- spec#{spec} args[{args_at}..+{argc}] [fault->{on_fault}]")
+        }
+        Op::CallStmt { spec } => format!("call.stmt spec#{spec}"),
+        Op::Return { code } => format!("ret       {code:#x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CmpKind, ProgramBuilder};
+
+    #[test]
+    fn listing_includes_notes_and_ops() {
+        let mut b = ProgramBuilder::new();
+        let (x, y, z) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+        b.note("stmt 0: demo compare");
+        b.const_bits(x, 1);
+        b.const_bits(y, 2);
+        b.cmp(CmpKind::LtU, z, x, y);
+        b.ret(0);
+        let p = b.finish();
+        let text = Listing::of_program(&p).to_string();
+        assert!(text.contains("; stmt 0: demo compare"), "{text}");
+        assert!(text.contains("cmp.ltu"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+}

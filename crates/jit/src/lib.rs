@@ -1,0 +1,207 @@
+//! # adn-jit — compiled execution tiers for ADN element plans
+//!
+//! The native backend's tree-walking interpreter (`adn_backend::plan::exec`)
+//! is the semantic oracle but pays enum dispatch, `Cow` plumbing and
+//! recursion per message. This crate provides the two compiled tiers that
+//! replace it on the hot path:
+//!
+//! * [`program`] — a linear, slot-based op IR ([`program::Program`]) that
+//!   the backend lowers each statement list into. Everything the IR cannot
+//!   express natively escapes through two embedder-provided thunks (an
+//!   expression thunk and a statement thunk), so the lowering is total:
+//!   any plan compiles, and unsupported constructs simply run interpreted
+//!   behind a helper call.
+//! * [`threaded`] — a typed direct-threaded executor: ops are pre-decoded
+//!   into flat structs paired with per-opcode handler function pointers.
+//!   This is the portable tier and the default off x86-64.
+//! * [`x86`] — an RBPF-style template JIT for x86-64 Linux: each op emits
+//!   a fixed machine-code template into an mmap'd W^X [`x86::CodeBuf`].
+//!   Same op IR, same thunk ABI, same return protocol as the threaded
+//!   tier, so the two are drop-in interchangeable.
+//! * [`mem`] — [`mem::AlignedMemory`], the canary-guarded region holding
+//!   the register slots and the thunk argument buffer the generated code
+//!   writes through.
+//! * [`disasm`] — annotated listings for both tiers (`adn-lint --jit-dump`).
+//!
+//! The crate is deliberately policy-free: it knows nothing about messages,
+//! state tables or UDFs. The backend owns lowering and the thunk
+//! implementations; this crate owns execution.
+
+pub mod disasm;
+pub mod mem;
+pub mod program;
+pub mod threaded;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub mod x86;
+
+use std::ffi::c_void;
+
+/// Which execution tier `compile_engine` should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JitTier {
+    /// Native JIT where supported (x86-64 Linux), otherwise direct-threaded.
+    #[default]
+    Auto,
+    /// The tree-walking interpreter (the differential oracle).
+    Interp,
+    /// The portable typed direct-threaded executor.
+    Threaded,
+    /// The x86-64 template JIT (errors at compile time if unsupported).
+    Native,
+}
+
+impl JitTier {
+    /// Parses the `ADN_JIT` environment override.
+    pub fn from_env_str(s: &str) -> Option<JitTier> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => JitTier::Auto,
+            "interp" | "off" => JitTier::Interp,
+            "threaded" => JitTier::Threaded,
+            "native" | "jit" => JitTier::Native,
+            _ => return None,
+        })
+    }
+}
+
+/// True when the native template JIT can run on this build target.
+pub const fn native_available() -> bool {
+    cfg!(all(target_arch = "x86_64", target_os = "linux"))
+}
+
+/// Byte offset, inside the embedder env, of the fault flag.
+///
+/// Contract: the first byte of the structure `VmCtx::env` points at is a
+/// fault flag. An expression thunk that fails records its error in the
+/// env and sets this byte nonzero; both executors check it after every
+/// expression call (the x86 tier as `cmp byte [env], 0`). The embedder
+/// clears it before each run.
+pub const ENV_FAULT_OFFSET: usize = 0;
+
+/// The execution context both tiers hand to generated/threaded code.
+///
+/// `repr(C)` with fixed field order: the x86 templates address fields by
+/// constant offset (env +0, expr_thunk +8, stmt_thunk +16, mod_f64 +24).
+#[repr(C)]
+pub struct VmCtx {
+    /// Opaque embedder state passed back to the thunks. Its first byte is
+    /// the fault flag (see [`ENV_FAULT_OFFSET`]).
+    pub env: *mut c_void,
+    /// Expression escape: `(env, spec, args_ptr, argc) -> result bits`.
+    /// On failure the thunk records the error in `env` and sets the env
+    /// fault byte.
+    pub expr_thunk: extern "C" fn(*mut c_void, u64, *const u64, u64) -> u64,
+    /// Statement escape: `(env, spec) -> 0` to continue, or a nonzero
+    /// program return code (verdict/fault) that terminates execution.
+    pub stmt_thunk: extern "C" fn(*mut c_void, u64) -> u64,
+    /// `fmod` for the `ModF` template (kept out of line so the emitter
+    /// never needs a libm relocation).
+    pub mod_f64: extern "C" fn(f64, f64) -> f64,
+}
+
+impl VmCtx {
+    /// A context around an embedder env and its two escape thunks.
+    pub fn new(
+        env: *mut c_void,
+        expr_thunk: extern "C" fn(*mut c_void, u64, *const u64, u64) -> u64,
+        stmt_thunk: extern "C" fn(*mut c_void, u64) -> u64,
+    ) -> VmCtx {
+        VmCtx {
+            env,
+            expr_thunk,
+            stmt_thunk,
+            mod_f64: mod_f64_impl,
+        }
+    }
+
+    /// Reads the env fault flag (first byte of the env structure).
+    ///
+    /// # Safety
+    /// `env` must point to a live embedder env honoring the fault-byte
+    /// contract.
+    #[inline(always)]
+    pub unsafe fn fault_raised(&self) -> bool {
+        !self.env.is_null() && *(self.env as *const u8) != 0
+    }
+}
+
+extern "C" fn mod_f64_impl(a: f64, b: f64) -> f64 {
+    a % b
+}
+
+/// Program return protocol shared by both tiers (and decoded by the
+/// backend's `JitEngine`).
+pub mod ret {
+    /// Fell off the end: forward the message.
+    pub const FORWARD: u64 = 0;
+    /// A verdict was recorded in the embedder env (abort/prebuilt).
+    pub const VERDICT: u64 = 1;
+    /// Drop the message.
+    pub const DROP: u64 = 2;
+    /// Inline arithmetic overflowed (`kind` byte of an encoded fault).
+    pub const FAULT_OVERFLOW: u64 = 101;
+    /// Inline division by zero.
+    pub const FAULT_DIV_ZERO: u64 = 102;
+    /// A thunk recorded a detailed error in the embedder env.
+    pub const FAULT_ENV: u64 = 103;
+
+    /// Encodes a fault with the element index that raised it (fused
+    /// programs run several elements through one return path).
+    pub const fn encode_fault(element: usize, kind: u64) -> u64 {
+        ((element as u64) << 8) | kind
+    }
+
+    /// Splits an encoded fault into `(element, kind)`; `None` for
+    /// non-fault codes.
+    pub fn decode_fault(code: u64) -> Option<(usize, u64)> {
+        let kind = code & 0xff;
+        if matches!(kind, FAULT_OVERFLOW | FAULT_DIV_ZERO | FAULT_ENV) {
+            Some(((code >> 8) as usize, kind))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_env_parse() {
+        assert_eq!(JitTier::from_env_str("auto"), Some(JitTier::Auto));
+        assert_eq!(JitTier::from_env_str("OFF"), Some(JitTier::Interp));
+        assert_eq!(JitTier::from_env_str("threaded"), Some(JitTier::Threaded));
+        assert_eq!(JitTier::from_env_str("native"), Some(JitTier::Native));
+        assert_eq!(JitTier::from_env_str("bogus"), None);
+    }
+
+    #[test]
+    fn fault_codes_roundtrip() {
+        for elem in [0usize, 1, 7, 255] {
+            for kind in [ret::FAULT_OVERFLOW, ret::FAULT_DIV_ZERO, ret::FAULT_ENV] {
+                let enc = ret::encode_fault(elem, kind);
+                assert_eq!(ret::decode_fault(enc), Some((elem, kind)));
+            }
+        }
+        assert_eq!(ret::decode_fault(ret::FORWARD), None);
+        assert_eq!(ret::decode_fault(ret::VERDICT), None);
+        assert_eq!(ret::decode_fault(ret::DROP), None);
+    }
+
+    #[test]
+    fn vmctx_field_offsets_match_templates() {
+        let ctx = VmCtx::new(std::ptr::null_mut(), dummy_expr, dummy_stmt);
+        let base = &ctx as *const VmCtx as usize;
+        assert_eq!(&ctx.env as *const _ as usize - base, 0);
+        assert_eq!(&ctx.expr_thunk as *const _ as usize - base, 8);
+        assert_eq!(&ctx.stmt_thunk as *const _ as usize - base, 16);
+        assert_eq!(&ctx.mod_f64 as *const _ as usize - base, 24);
+    }
+
+    extern "C" fn dummy_expr(_: *mut c_void, _: u64, _: *const u64, _: u64) -> u64 {
+        0
+    }
+    extern "C" fn dummy_stmt(_: *mut c_void, _: u64) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,80 @@
+//! Canary-guarded memory for generated code.
+//!
+//! The register slots and the thunk argument buffer are the only memory
+//! the emitted templates write to directly (everything else goes through
+//! thunks into safe Rust). [`AlignedMemory`] packs both into one 8-byte
+//! aligned allocation bracketed and separated by canary words, so an
+//! out-of-range template store is detected after every run instead of
+//! silently corrupting the host heap.
+
+/// Guard words on each side of every region.
+const GUARD_WORDS: usize = 4;
+/// The canary pattern (arbitrary, odd, unlikely bits).
+const CANARY: u64 = 0xD15C_0DE5_CAFE_B007;
+
+/// `[guard | slots | guard | args | guard]`, all `u64` words.
+pub struct AlignedMemory {
+    buf: Vec<u64>,
+    slots: usize,
+    args: usize,
+}
+
+impl AlignedMemory {
+    /// Allocates a region with `slots` register slots and `args` argument
+    /// words, zero-initialized, guards armed.
+    pub fn new(slots: usize, args: usize) -> AlignedMemory {
+        let mut buf = vec![0u64; slots + args + 3 * GUARD_WORDS];
+        for g in 0..GUARD_WORDS {
+            buf[g] = CANARY;
+            buf[GUARD_WORDS + slots + g] = CANARY;
+            buf[2 * GUARD_WORDS + slots + args + g] = CANARY;
+        }
+        AlignedMemory { buf, slots, args }
+    }
+
+    /// Mutable views of the two live regions, guard words excluded.
+    pub fn regions_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        let (head, rest) = self.buf.split_at_mut(GUARD_WORDS + self.slots);
+        let slots = &mut head[GUARD_WORDS..];
+        let args = &mut rest[GUARD_WORDS..GUARD_WORDS + self.args];
+        (slots, args)
+    }
+
+    /// Verifies every canary word; returns which guard was clobbered.
+    pub fn check(&self) -> Result<(), &'static str> {
+        let (s, a) = (self.slots, self.args);
+        for g in 0..GUARD_WORDS {
+            if self.buf[g] != CANARY {
+                return Err("front guard clobbered");
+            }
+            if self.buf[GUARD_WORDS + s + g] != CANARY {
+                return Err("slots/args guard clobbered");
+            }
+            if self.buf[2 * GUARD_WORDS + s + a + g] != CANARY {
+                return Err("rear guard clobbered");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_detect_overruns() {
+        let mut m = AlignedMemory::new(4, 2);
+        assert!(m.check().is_ok());
+        {
+            let (slots, args) = m.regions_mut();
+            slots.fill(u64::MAX);
+            args.fill(u64::MAX);
+        }
+        // Writes inside the regions never trip the guards.
+        assert!(m.check().is_ok());
+        // A write one past the slots region does.
+        m.buf[GUARD_WORDS + 4] = 0;
+        assert_eq!(m.check(), Err("slots/args guard clobbered"));
+    }
+}

@@ -1,0 +1,491 @@
+//! The linear op IR both compiled tiers execute.
+//!
+//! A [`Program`] is a flat op array over `u64` register slots. Values are
+//! raw bits: unboxed scalars (`u64`/`i64` two's complement, `f64` bit
+//! patterns, booleans as 0/1) or opaque embedder handles — the IR never
+//! inspects handle bits, it only moves them and passes them to thunks.
+//!
+//! Control flow is fully explicit: every fallible op carries the op index
+//! it jumps to on failure (typically a per-element `Return` block emitted
+//! by the lowering), so the executors need no implicit fault state beyond
+//! the thunk fault flag.
+
+/// A register slot index.
+pub type Slot = u16;
+
+/// Binary arithmetic templates. Semantics mirror the reference
+/// evaluator's `eval_arith` for operands of the same static type:
+/// checked integer ops fault `Overflow`, division/modulo by zero faults
+/// `DivZero` (checked before the op, including `±0.0` for floats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithKind {
+    AddU,
+    AddI,
+    AddF,
+    SubI,
+    SubF,
+    MulU,
+    MulI,
+    MulF,
+    DivU,
+    DivI,
+    DivF,
+    ModU,
+    ModI,
+    ModF,
+}
+
+impl ArithKind {
+    /// True for kinds that can raise a divide-by-zero fault.
+    pub fn can_div_zero(self) -> bool {
+        matches!(
+            self,
+            ArithKind::DivU
+                | ArithKind::DivI
+                | ArithKind::DivF
+                | ArithKind::ModU
+                | ArithKind::ModI
+                | ArithKind::ModF
+        )
+    }
+}
+
+/// Comparison templates producing a 0/1 boolean. Equality on same-typed
+/// operands is bit equality for every scalar (for `f64` this matches
+/// `total_cmp == Equal`); ordered float compares use the IEEE total-order
+/// key transform to match `f64::total_cmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    EqBits,
+    NeBits,
+    LtU,
+    LeU,
+    GtU,
+    GeU,
+    LtI,
+    LeI,
+    GtI,
+    GeI,
+    LtF,
+    LeF,
+    GtF,
+    GeF,
+}
+
+/// Unary negation templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegKind {
+    /// `i64` checked negation (faults on `i64::MIN`).
+    I64,
+    /// `f64` sign-bit flip.
+    F64,
+}
+
+/// One op. `target`/`on_*` fields are op indexes after
+/// [`ProgramBuilder::finish`] resolves labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `slots[dst] = bits`.
+    ConstBits { dst: Slot, bits: u64 },
+    /// `slots[dst] = slots[src]`.
+    Mov { dst: Slot, src: Slot },
+    /// `slots[dst] = slots[a] <kind> slots[b]`, jumping to `on_overflow`
+    /// or `on_div_zero` on fault.
+    Arith {
+        kind: ArithKind,
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        on_overflow: u32,
+        on_div_zero: u32,
+    },
+    /// Checked/bitwise negation.
+    Neg {
+        kind: NegKind,
+        dst: Slot,
+        src: Slot,
+        on_overflow: u32,
+    },
+    /// Boolean not: `slots[dst] = slots[src] ^ 1`.
+    NotBool { dst: Slot, src: Slot },
+    /// Comparison producing 0/1.
+    Cmp {
+        kind: CmpKind,
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    /// `f64` truthiness: 1 unless the value is `+0.0`/`-0.0`.
+    TruthyF64 { dst: Slot, src: Slot },
+    /// `u64 -> f64` (Rust `as` rounding).
+    CastU64F64 { dst: Slot, src: Slot },
+    /// `i64 -> f64`.
+    CastI64F64 { dst: Slot, src: Slot },
+    /// `u64 -> i64`, faulting (overflow) above `i64::MAX`.
+    CastU64I64 {
+        dst: Slot,
+        src: Slot,
+        on_overflow: u32,
+    },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Jump when `slots[cond] == 0`.
+    JumpIfFalse { cond: Slot, target: u32 },
+    /// Jump when `slots[cond] != 0`.
+    JumpIfTrue { cond: Slot, target: u32 },
+    /// Copy `argc` arg slots into the arg buffer and call the expression
+    /// thunk; result bits land in `dst`. Jumps to `on_fault` when the
+    /// thunk raised the context fault flag.
+    CallExpr {
+        spec: u32,
+        dst: Slot,
+        args_at: u32,
+        argc: u16,
+        on_fault: u32,
+    },
+    /// Call the statement thunk; a nonzero return terminates the program
+    /// with that code.
+    CallStmt { spec: u32 },
+    /// Terminate with `code`.
+    Return { code: u64 },
+}
+
+/// A finished program: ops with resolved targets plus the flattened
+/// argument-slot lists `CallExpr` ops reference.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub ops: Vec<Op>,
+    /// Flattened `CallExpr` argument slot lists (`args_at`/`argc` index
+    /// into this).
+    pub arg_slots: Vec<Slot>,
+    /// Number of register slots the program uses.
+    pub slot_count: u16,
+    /// Size of the thunk argument buffer (max argc over all calls).
+    pub arg_buf_len: u16,
+    /// Source annotations: `(op index, text)`, sorted by op index. Used
+    /// by the disassembler to tie templates back to plan-IR lines.
+    pub notes: Vec<(u32, String)>,
+}
+
+/// An unresolved jump target handed out by [`ProgramBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(u32);
+
+/// Builds a [`Program`]: allocates slots, emits ops against labels, then
+/// resolves all targets in [`finish`](ProgramBuilder::finish).
+#[derive(Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    arg_slots: Vec<Slot>,
+    next_slot: u16,
+    max_args: u16,
+    labels: Vec<Option<u32>>,
+    notes: Vec<(u32, String)>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates a fresh register slot.
+    pub fn alloc_slot(&mut self) -> Slot {
+        let s = self.next_slot;
+        self.next_slot = self
+            .next_slot
+            .checked_add(1)
+            .expect("program exceeds 65535 slots");
+        s
+    }
+
+    /// Creates an unbound label for forward jumps.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the next emitted op.
+    pub fn bind(&mut self, label: Label) {
+        let at = self.ops.len() as u32;
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(at);
+    }
+
+    /// Attaches a source annotation to the next emitted op.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push((self.ops.len() as u32, text.into()));
+    }
+
+    /// Emits an op whose `target`/`on_*` fields (if any) hold *label ids*
+    /// (use the `emit_*` helpers to make that explicit).
+    fn push(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    pub fn const_bits(&mut self, dst: Slot, bits: u64) {
+        self.push(Op::ConstBits { dst, bits });
+    }
+
+    pub fn mov(&mut self, dst: Slot, src: Slot) {
+        self.push(Op::Mov { dst, src });
+    }
+
+    pub fn arith(
+        &mut self,
+        kind: ArithKind,
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        on_overflow: Label,
+        on_div_zero: Label,
+    ) {
+        self.push(Op::Arith {
+            kind,
+            dst,
+            a,
+            b,
+            on_overflow: on_overflow.0,
+            on_div_zero: on_div_zero.0,
+        });
+    }
+
+    pub fn neg(&mut self, kind: NegKind, dst: Slot, src: Slot, on_overflow: Label) {
+        self.push(Op::Neg {
+            kind,
+            dst,
+            src,
+            on_overflow: on_overflow.0,
+        });
+    }
+
+    pub fn not_bool(&mut self, dst: Slot, src: Slot) {
+        self.push(Op::NotBool { dst, src });
+    }
+
+    pub fn cmp(&mut self, kind: CmpKind, dst: Slot, a: Slot, b: Slot) {
+        self.push(Op::Cmp { kind, dst, a, b });
+    }
+
+    pub fn truthy_f64(&mut self, dst: Slot, src: Slot) {
+        self.push(Op::TruthyF64 { dst, src });
+    }
+
+    pub fn cast_u64_f64(&mut self, dst: Slot, src: Slot) {
+        self.push(Op::CastU64F64 { dst, src });
+    }
+
+    pub fn cast_i64_f64(&mut self, dst: Slot, src: Slot) {
+        self.push(Op::CastI64F64 { dst, src });
+    }
+
+    pub fn cast_u64_i64(&mut self, dst: Slot, src: Slot, on_overflow: Label) {
+        self.push(Op::CastU64I64 {
+            dst,
+            src,
+            on_overflow: on_overflow.0,
+        });
+    }
+
+    pub fn jump(&mut self, target: Label) {
+        self.push(Op::Jump { target: target.0 });
+    }
+
+    pub fn jump_if_false(&mut self, cond: Slot, target: Label) {
+        self.push(Op::JumpIfFalse {
+            cond,
+            target: target.0,
+        });
+    }
+
+    pub fn jump_if_true(&mut self, cond: Slot, target: Label) {
+        self.push(Op::JumpIfTrue {
+            cond,
+            target: target.0,
+        });
+    }
+
+    pub fn call_expr(&mut self, spec: u32, dst: Slot, args: &[Slot], on_fault: Label) {
+        let args_at = self.arg_slots.len() as u32;
+        self.arg_slots.extend_from_slice(args);
+        self.max_args = self.max_args.max(args.len() as u16);
+        self.push(Op::CallExpr {
+            spec,
+            dst,
+            args_at,
+            argc: args.len() as u16,
+            on_fault: on_fault.0,
+        });
+    }
+
+    pub fn call_stmt(&mut self, spec: u32) {
+        self.push(Op::CallStmt { spec });
+    }
+
+    pub fn ret(&mut self, code: u64) {
+        self.push(Op::Return { code });
+    }
+
+    /// Resolves labels to op indexes and validates the program.
+    pub fn finish(mut self) -> Program {
+        let resolve = |labels: &[Option<u32>], id: u32| -> u32 {
+            labels[id as usize].expect("jump to unbound label")
+        };
+        let labels = std::mem::take(&mut self.labels);
+        for op in &mut self.ops {
+            match op {
+                Op::Arith {
+                    on_overflow,
+                    on_div_zero,
+                    ..
+                } => {
+                    *on_overflow = resolve(&labels, *on_overflow);
+                    *on_div_zero = resolve(&labels, *on_div_zero);
+                }
+                Op::Neg { on_overflow, .. } | Op::CastU64I64 { on_overflow, .. } => {
+                    *on_overflow = resolve(&labels, *on_overflow);
+                }
+                Op::Jump { target }
+                | Op::JumpIfFalse { target, .. }
+                | Op::JumpIfTrue { target, .. } => *target = resolve(&labels, *target),
+                Op::CallExpr { on_fault, .. } => *on_fault = resolve(&labels, *on_fault),
+                _ => {}
+            }
+        }
+        let p = Program {
+            ops: self.ops,
+            arg_slots: self.arg_slots,
+            slot_count: self.next_slot.max(1),
+            arg_buf_len: self.max_args.max(1),
+            notes: self.notes,
+        };
+        p.validate();
+        p
+    }
+}
+
+impl Program {
+    /// Panics on malformed programs (out-of-range slots/targets); called
+    /// from `finish` so executors can trust indices.
+    pub fn validate(&self) {
+        let n = self.ops.len() as u32;
+        let slot_ok = |s: Slot| assert!(s < self.slot_count, "slot {s} out of range");
+        let tgt_ok = |t: u32| assert!(t < n, "jump target {t} out of range ({n} ops)");
+        assert!(
+            matches!(
+                self.ops.last(),
+                Some(Op::Return { .. }) | Some(Op::Jump { .. })
+            ),
+            "program must end in Return or Jump"
+        );
+        for op in &self.ops {
+            match op {
+                Op::ConstBits { dst, .. } => slot_ok(*dst),
+                Op::Mov { dst, src } | Op::NotBool { dst, src } | Op::TruthyF64 { dst, src } => {
+                    slot_ok(*dst);
+                    slot_ok(*src);
+                }
+                Op::Arith {
+                    dst,
+                    a,
+                    b,
+                    on_overflow,
+                    on_div_zero,
+                    ..
+                } => {
+                    slot_ok(*dst);
+                    slot_ok(*a);
+                    slot_ok(*b);
+                    tgt_ok(*on_overflow);
+                    tgt_ok(*on_div_zero);
+                }
+                Op::Neg {
+                    dst,
+                    src,
+                    on_overflow,
+                    ..
+                } => {
+                    slot_ok(*dst);
+                    slot_ok(*src);
+                    tgt_ok(*on_overflow);
+                }
+                Op::Cmp { dst, a, b, .. } => {
+                    slot_ok(*dst);
+                    slot_ok(*a);
+                    slot_ok(*b);
+                }
+                Op::CastU64F64 { dst, src } | Op::CastI64F64 { dst, src } => {
+                    slot_ok(*dst);
+                    slot_ok(*src);
+                }
+                Op::CastU64I64 {
+                    dst,
+                    src,
+                    on_overflow,
+                } => {
+                    slot_ok(*dst);
+                    slot_ok(*src);
+                    tgt_ok(*on_overflow);
+                }
+                Op::Jump { target } => tgt_ok(*target),
+                Op::JumpIfFalse { cond, target } | Op::JumpIfTrue { cond, target } => {
+                    slot_ok(*cond);
+                    tgt_ok(*target);
+                }
+                Op::CallExpr {
+                    dst,
+                    args_at,
+                    argc,
+                    on_fault,
+                    ..
+                } => {
+                    slot_ok(*dst);
+                    tgt_ok(*on_fault);
+                    let end = *args_at as usize + *argc as usize;
+                    assert!(end <= self.arg_slots.len(), "arg list out of range");
+                    for &s in &self.arg_slots[*args_at as usize..end] {
+                        slot_ok(s);
+                    }
+                }
+                Op::CallStmt { .. } | Op::Return { .. } => {}
+            }
+        }
+    }
+
+    /// The note attached to `op`, if any.
+    pub fn note_at(&self, op: u32) -> Option<&str> {
+        self.notes
+            .binary_search_by_key(&op, |(i, _)| *i)
+            .ok()
+            .map(|i| self.notes[i].1.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_forward_labels() {
+        let mut b = ProgramBuilder::new();
+        let s = b.alloc_slot();
+        let done = b.new_label();
+        b.const_bits(s, 1);
+        b.jump_if_true(s, done);
+        b.ret(7);
+        b.bind(done);
+        b.ret(0);
+        let p = b.finish();
+        assert_eq!(p.ops[1], Op::JumpIfTrue { cond: s, target: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jump(l);
+        b.finish();
+    }
+}

@@ -1,0 +1,561 @@
+//! The portable typed direct-threaded tier.
+//!
+//! [`ThreadedProgram::compile`] pre-decodes every [`Op`] into a flat
+//! `TOp` record paired with a per-opcode handler function pointer, so the
+//! execution loop is an indirect call per op — no enum match, no operand
+//! re-decoding — while staying entirely safe, portable Rust. This is the
+//! default tier off x86-64 and the reference implementation the template
+//! JIT is differentially tested against.
+
+use crate::program::{ArithKind, CmpKind, NegKind, Op, Program};
+use crate::VmCtx;
+
+/// Pre-decoded op: opcode-specific fields flattened into scalars.
+struct TOp {
+    f: Handler,
+    a: u32,
+    b: u32,
+    c: u32,
+    imm: u64,
+}
+
+enum Ctl {
+    Next,
+    Jump(u32),
+    Ret(u64),
+}
+
+struct Vm<'a> {
+    slots: &'a mut [u64],
+    args: &'a mut [u64],
+    arg_slots: &'a [u16],
+    ctx: &'a mut VmCtx,
+}
+
+type Handler = fn(&mut Vm, &TOp) -> Ctl;
+
+/// A program compiled to the direct-threaded form.
+pub struct ThreadedProgram {
+    ops: Vec<TOp>,
+    slot_count: u16,
+    arg_buf_len: u16,
+    arg_slots: Vec<u16>,
+}
+
+impl ThreadedProgram {
+    /// Number of register slots the program expects.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count as usize
+    }
+
+    /// Size of the thunk argument buffer the program expects.
+    pub fn arg_buf_len(&self) -> usize {
+        self.arg_buf_len as usize
+    }
+
+    /// Pre-decodes `p` (which must be finished/validated).
+    pub fn compile(p: &Program) -> ThreadedProgram {
+        let ops = p.ops.iter().map(decode).collect();
+        ThreadedProgram {
+            ops,
+            slot_count: p.slot_count,
+            arg_buf_len: p.arg_buf_len,
+            arg_slots: p.arg_slots.clone(),
+        }
+    }
+
+    /// Runs to termination, returning the program's return code (see
+    /// [`crate::ret`]). `slots`/`args` must be at least
+    /// [`slot_count`](Self::slot_count)/[`arg_buf_len`](Self::arg_buf_len)
+    /// long.
+    pub fn run(&self, ctx: &mut VmCtx, slots: &mut [u64], args: &mut [u64]) -> u64 {
+        debug_assert!(slots.len() >= self.slot_count as usize);
+        debug_assert!(args.len() >= self.arg_buf_len as usize);
+        let mut vm = Vm {
+            slots,
+            args,
+            arg_slots: &self.arg_slots,
+            ctx,
+        };
+        let mut pc = 0usize;
+        loop {
+            let op = &self.ops[pc];
+            match (op.f)(&mut vm, op) {
+                Ctl::Next => pc += 1,
+                Ctl::Jump(t) => pc = t as usize,
+                Ctl::Ret(v) => return v,
+            }
+        }
+    }
+}
+
+fn decode(op: &Op) -> TOp {
+    let t = |f: Handler, a: u32, b: u32, c: u32, imm: u64| TOp { f, a, b, c, imm };
+    match *op {
+        Op::ConstBits { dst, bits } => t(h_const, dst as u32, 0, 0, bits),
+        Op::Mov { dst, src } => t(h_mov, dst as u32, src as u32, 0, 0),
+        Op::Arith {
+            kind,
+            dst,
+            a,
+            b,
+            on_overflow,
+            on_div_zero,
+        } => {
+            let f: Handler = match kind {
+                ArithKind::AddU => h_add_u,
+                ArithKind::AddI => h_add_i,
+                ArithKind::AddF => h_add_f,
+                ArithKind::SubI => h_sub_i,
+                ArithKind::SubF => h_sub_f,
+                ArithKind::MulU => h_mul_u,
+                ArithKind::MulI => h_mul_i,
+                ArithKind::MulF => h_mul_f,
+                ArithKind::DivU => h_div_u,
+                ArithKind::DivI => h_div_i,
+                ArithKind::DivF => h_div_f,
+                ArithKind::ModU => h_mod_u,
+                ArithKind::ModI => h_mod_i,
+                ArithKind::ModF => h_mod_f,
+            };
+            t(
+                f,
+                dst as u32,
+                a as u32,
+                b as u32,
+                ((on_overflow as u64) << 32) | on_div_zero as u64,
+            )
+        }
+        Op::Neg {
+            kind,
+            dst,
+            src,
+            on_overflow,
+        } => t(
+            match kind {
+                NegKind::I64 => h_neg_i,
+                NegKind::F64 => h_neg_f,
+            },
+            dst as u32,
+            src as u32,
+            0,
+            (on_overflow as u64) << 32,
+        ),
+        Op::NotBool { dst, src } => t(h_not, dst as u32, src as u32, 0, 0),
+        Op::Cmp { kind, dst, a, b } => {
+            let f: Handler = match kind {
+                CmpKind::EqBits => h_eq,
+                CmpKind::NeBits => h_ne,
+                CmpKind::LtU => h_lt_u,
+                CmpKind::LeU => h_le_u,
+                CmpKind::GtU => h_gt_u,
+                CmpKind::GeU => h_ge_u,
+                CmpKind::LtI => h_lt_i,
+                CmpKind::LeI => h_le_i,
+                CmpKind::GtI => h_gt_i,
+                CmpKind::GeI => h_ge_i,
+                CmpKind::LtF => h_lt_f,
+                CmpKind::LeF => h_le_f,
+                CmpKind::GtF => h_gt_f,
+                CmpKind::GeF => h_ge_f,
+            };
+            t(f, dst as u32, a as u32, b as u32, 0)
+        }
+        Op::TruthyF64 { dst, src } => t(h_truthy_f, dst as u32, src as u32, 0, 0),
+        Op::CastU64F64 { dst, src } => t(h_u2f, dst as u32, src as u32, 0, 0),
+        Op::CastI64F64 { dst, src } => t(h_i2f, dst as u32, src as u32, 0, 0),
+        Op::CastU64I64 {
+            dst,
+            src,
+            on_overflow,
+        } => t(h_u2i, dst as u32, src as u32, 0, (on_overflow as u64) << 32),
+        Op::Jump { target } => t(h_jump, 0, 0, 0, target as u64),
+        Op::JumpIfFalse { cond, target } => t(h_jf, cond as u32, 0, 0, target as u64),
+        Op::JumpIfTrue { cond, target } => t(h_jt, cond as u32, 0, 0, target as u64),
+        Op::CallExpr {
+            spec,
+            dst,
+            args_at,
+            argc,
+            on_fault,
+        } => t(
+            h_call_expr,
+            dst as u32,
+            args_at,
+            argc as u32,
+            ((spec as u64) << 32) | on_fault as u64,
+        ),
+        Op::CallStmt { spec } => t(h_call_stmt, 0, 0, 0, spec as u64),
+        Op::Return { code } => t(h_ret, 0, 0, 0, code),
+    }
+}
+
+#[inline(always)]
+fn of(op: &TOp) -> Ctl {
+    Ctl::Jump((op.imm >> 32) as u32)
+}
+
+#[inline(always)]
+fn dz(op: &TOp) -> Ctl {
+    Ctl::Jump(op.imm as u32)
+}
+
+fn h_const(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = op.imm;
+    Ctl::Next
+}
+
+fn h_mov(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = vm.slots[op.b as usize];
+    Ctl::Next
+}
+
+macro_rules! checked_int {
+    ($name:ident, $ty:ty, $method:ident) => {
+        fn $name(vm: &mut Vm, op: &TOp) -> Ctl {
+            let a = vm.slots[op.b as usize] as $ty;
+            let b = vm.slots[op.c as usize] as $ty;
+            match a.$method(b) {
+                Some(v) => {
+                    vm.slots[op.a as usize] = v as u64;
+                    Ctl::Next
+                }
+                None => of(op),
+            }
+        }
+    };
+}
+
+checked_int!(h_add_u, u64, checked_add);
+checked_int!(h_add_i, i64, checked_add);
+checked_int!(h_sub_i, i64, checked_sub);
+checked_int!(h_mul_u, u64, checked_mul);
+checked_int!(h_mul_i, i64, checked_mul);
+
+macro_rules! float_arith {
+    ($name:ident, $op:tt) => {
+        fn $name(vm: &mut Vm, op: &TOp) -> Ctl {
+            let a = f64::from_bits(vm.slots[op.b as usize]);
+            let b = f64::from_bits(vm.slots[op.c as usize]);
+            vm.slots[op.a as usize] = (a $op b).to_bits();
+            Ctl::Next
+        }
+    };
+}
+
+float_arith!(h_add_f, +);
+float_arith!(h_sub_f, -);
+float_arith!(h_mul_f, *);
+
+fn h_div_u(vm: &mut Vm, op: &TOp) -> Ctl {
+    let b = vm.slots[op.c as usize];
+    if b == 0 {
+        return dz(op);
+    }
+    vm.slots[op.a as usize] = vm.slots[op.b as usize] / b;
+    Ctl::Next
+}
+
+fn h_mod_u(vm: &mut Vm, op: &TOp) -> Ctl {
+    let b = vm.slots[op.c as usize];
+    if b == 0 {
+        return dz(op);
+    }
+    vm.slots[op.a as usize] = vm.slots[op.b as usize] % b;
+    Ctl::Next
+}
+
+fn h_div_i(vm: &mut Vm, op: &TOp) -> Ctl {
+    let a = vm.slots[op.b as usize] as i64;
+    let b = vm.slots[op.c as usize] as i64;
+    if b == 0 {
+        return dz(op);
+    }
+    match a.checked_div(b) {
+        Some(v) => {
+            vm.slots[op.a as usize] = v as u64;
+            Ctl::Next
+        }
+        None => of(op),
+    }
+}
+
+fn h_mod_i(vm: &mut Vm, op: &TOp) -> Ctl {
+    let a = vm.slots[op.b as usize] as i64;
+    let b = vm.slots[op.c as usize] as i64;
+    if b == 0 {
+        return dz(op);
+    }
+    match a.checked_rem(b) {
+        Some(v) => {
+            vm.slots[op.a as usize] = v as u64;
+            Ctl::Next
+        }
+        None => of(op),
+    }
+}
+
+fn h_div_f(vm: &mut Vm, op: &TOp) -> Ctl {
+    let a = f64::from_bits(vm.slots[op.b as usize]);
+    let b = f64::from_bits(vm.slots[op.c as usize]);
+    if b == 0.0 {
+        return dz(op);
+    }
+    vm.slots[op.a as usize] = (a / b).to_bits();
+    Ctl::Next
+}
+
+fn h_mod_f(vm: &mut Vm, op: &TOp) -> Ctl {
+    let a = f64::from_bits(vm.slots[op.b as usize]);
+    let b = f64::from_bits(vm.slots[op.c as usize]);
+    if b == 0.0 {
+        return dz(op);
+    }
+    vm.slots[op.a as usize] = (a % b).to_bits();
+    Ctl::Next
+}
+
+fn h_neg_i(vm: &mut Vm, op: &TOp) -> Ctl {
+    match (vm.slots[op.b as usize] as i64).checked_neg() {
+        Some(v) => {
+            vm.slots[op.a as usize] = v as u64;
+            Ctl::Next
+        }
+        None => of(op),
+    }
+}
+
+fn h_neg_f(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = vm.slots[op.b as usize] ^ (1u64 << 63);
+    Ctl::Next
+}
+
+fn h_not(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = vm.slots[op.b as usize] ^ 1;
+    Ctl::Next
+}
+
+/// The IEEE total-order key: signed compare of transformed bits matches
+/// `f64::total_cmp`.
+#[inline(always)]
+fn fkey(bits: u64) -> i64 {
+    let b = bits as i64;
+    b ^ ((((b >> 63) as u64) >> 1) as i64)
+}
+
+macro_rules! cmp {
+    ($name:ident, |$a:ident, $b:ident| $e:expr) => {
+        fn $name(vm: &mut Vm, op: &TOp) -> Ctl {
+            let $a = vm.slots[op.b as usize];
+            let $b = vm.slots[op.c as usize];
+            vm.slots[op.a as usize] = ($e) as u64;
+            Ctl::Next
+        }
+    };
+}
+
+cmp!(h_eq, |a, b| a == b);
+cmp!(h_ne, |a, b| a != b);
+cmp!(h_lt_u, |a, b| a < b);
+cmp!(h_le_u, |a, b| a <= b);
+cmp!(h_gt_u, |a, b| a > b);
+cmp!(h_ge_u, |a, b| a >= b);
+cmp!(h_lt_i, |a, b| (a as i64) < (b as i64));
+cmp!(h_le_i, |a, b| (a as i64) <= (b as i64));
+cmp!(h_gt_i, |a, b| (a as i64) > (b as i64));
+cmp!(h_ge_i, |a, b| (a as i64) >= (b as i64));
+cmp!(h_lt_f, |a, b| fkey(a) < fkey(b));
+cmp!(h_le_f, |a, b| fkey(a) <= fkey(b));
+cmp!(h_gt_f, |a, b| fkey(a) > fkey(b));
+cmp!(h_ge_f, |a, b| fkey(a) >= fkey(b));
+
+fn h_truthy_f(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = ((vm.slots[op.b as usize] << 1) != 0) as u64;
+    Ctl::Next
+}
+
+fn h_u2f(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = (vm.slots[op.b as usize] as f64).to_bits();
+    Ctl::Next
+}
+
+fn h_i2f(vm: &mut Vm, op: &TOp) -> Ctl {
+    vm.slots[op.a as usize] = (vm.slots[op.b as usize] as i64 as f64).to_bits();
+    Ctl::Next
+}
+
+fn h_u2i(vm: &mut Vm, op: &TOp) -> Ctl {
+    let v = vm.slots[op.b as usize];
+    if v > i64::MAX as u64 {
+        return of(op);
+    }
+    vm.slots[op.a as usize] = v;
+    Ctl::Next
+}
+
+fn h_jump(_: &mut Vm, op: &TOp) -> Ctl {
+    Ctl::Jump(op.imm as u32)
+}
+
+fn h_jf(vm: &mut Vm, op: &TOp) -> Ctl {
+    if vm.slots[op.a as usize] == 0 {
+        Ctl::Jump(op.imm as u32)
+    } else {
+        Ctl::Next
+    }
+}
+
+fn h_jt(vm: &mut Vm, op: &TOp) -> Ctl {
+    if vm.slots[op.a as usize] != 0 {
+        Ctl::Jump(op.imm as u32)
+    } else {
+        Ctl::Next
+    }
+}
+
+fn h_call_expr(vm: &mut Vm, op: &TOp) -> Ctl {
+    let args_at = op.b as usize;
+    let argc = op.c as usize;
+    for (k, &slot) in vm.arg_slots[args_at..args_at + argc].iter().enumerate() {
+        vm.args[k] = vm.slots[slot as usize];
+    }
+    let spec = op.imm >> 32;
+    let r = (vm.ctx.expr_thunk)(vm.ctx.env, spec, vm.args.as_ptr(), argc as u64);
+    // SAFETY: the embedder env's first byte is the fault flag (the
+    // `ENV_FAULT_OFFSET` contract); the env outlives the run.
+    if unsafe { vm.ctx.fault_raised() } {
+        return Ctl::Jump(op.imm as u32);
+    }
+    vm.slots[op.a as usize] = r;
+    Ctl::Next
+}
+
+fn h_call_stmt(vm: &mut Vm, op: &TOp) -> Ctl {
+    let r = (vm.ctx.stmt_thunk)(vm.ctx.env, op.imm);
+    if r != 0 {
+        Ctl::Ret(r)
+    } else {
+        Ctl::Next
+    }
+}
+
+fn h_ret(_: &mut Vm, op: &TOp) -> Ctl {
+    Ctl::Ret(op.imm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArithKind, CmpKind, ProgramBuilder};
+    use std::ffi::c_void;
+
+    extern "C" fn no_expr(_: *mut c_void, _: u64, _: *const u64, _: u64) -> u64 {
+        0
+    }
+    extern "C" fn no_stmt(_: *mut c_void, _: u64) -> u64 {
+        0
+    }
+
+    fn run(p: &Program) -> (u64, Vec<u64>) {
+        let tp = ThreadedProgram::compile(p);
+        let mut slots = vec![0u64; tp.slot_count()];
+        let mut args = vec![0u64; tp.arg_buf_len()];
+        let mut ctx = VmCtx::new(std::ptr::null_mut(), no_expr, no_stmt);
+        let r = tp.run(&mut ctx, &mut slots, &mut args);
+        (r, slots)
+    }
+
+    #[test]
+    fn arith_and_return() {
+        let mut b = ProgramBuilder::new();
+        let (x, y, z) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+        let fault = b.new_label();
+        b.const_bits(x, 40);
+        b.const_bits(y, 2);
+        b.arith(ArithKind::AddU, z, x, y, fault, fault);
+        b.ret(0);
+        b.bind(fault);
+        b.ret(101);
+        let (r, slots) = run(&b.finish());
+        assert_eq!(r, 0);
+        assert_eq!(slots[2], 42);
+    }
+
+    #[test]
+    fn overflow_routes_to_fault_block() {
+        let mut b = ProgramBuilder::new();
+        let (x, y, z) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+        let fault = b.new_label();
+        b.const_bits(x, u64::MAX);
+        b.const_bits(y, 1);
+        b.arith(ArithKind::AddU, z, x, y, fault, fault);
+        b.ret(0);
+        b.bind(fault);
+        b.ret(101);
+        assert_eq!(run(&b.finish()).0, 101);
+    }
+
+    #[test]
+    fn i64_min_div_minus_one_overflows() {
+        let mut b = ProgramBuilder::new();
+        let (x, y, z) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+        let of = b.new_label();
+        let dz = b.new_label();
+        b.const_bits(x, i64::MIN as u64);
+        b.const_bits(y, -1i64 as u64);
+        b.arith(ArithKind::DivI, z, x, y, of, dz);
+        b.ret(0);
+        b.bind(of);
+        b.ret(101);
+        b.bind(dz);
+        b.ret(102);
+        assert_eq!(run(&b.finish()).0, 101);
+    }
+
+    #[test]
+    fn float_total_order_compare() {
+        for (a, b, kind, want) in [
+            (1.5f64, 2.5f64, CmpKind::LtF, 1u64),
+            (f64::NAN, 0.0, CmpKind::GtF, 1), // positive NaN sorts above all reals
+            (-0.0, 0.0, CmpKind::LtF, 1),     // total order separates zeros
+            (2.0, 2.0, CmpKind::EqBits, 1),
+        ] {
+            let mut pb = ProgramBuilder::new();
+            let (x, y, z) = (pb.alloc_slot(), pb.alloc_slot(), pb.alloc_slot());
+            pb.const_bits(x, a.to_bits());
+            pb.const_bits(y, b.to_bits());
+            pb.cmp(kind, z, x, y);
+            pb.ret(0);
+            let (_, slots) = run(&pb.finish());
+            assert_eq!(slots[2], want, "{a} {kind:?} {b}");
+            // Spot-check against the library total order.
+            if matches!(kind, CmpKind::LtF) {
+                assert_eq!(slots[2] == 1, a.total_cmp(&b) == std::cmp::Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn thunk_fault_routes_to_handler() {
+        extern "C" fn faulting(env: *mut c_void, _: u64, _: *const u64, _: u64) -> u64 {
+            // The env's first byte is the fault flag.
+            unsafe { *(env as *mut u8) = 1 };
+            0
+        }
+        let mut b = ProgramBuilder::new();
+        let d = b.alloc_slot();
+        let fault = b.new_label();
+        b.call_expr(9, d, &[], fault);
+        b.ret(0);
+        b.bind(fault);
+        b.ret(103);
+        let p = b.finish();
+        let tp = ThreadedProgram::compile(&p);
+        let mut slots = vec![0u64; tp.slot_count()];
+        let mut args = vec![0u64; tp.arg_buf_len()];
+        let mut flag = 0u8;
+        let mut ctx = VmCtx::new(&mut flag as *mut u8 as *mut c_void, faulting, no_stmt);
+        assert_eq!(tp.run(&mut ctx, &mut slots, &mut args), 103);
+        assert_eq!(flag, 1);
+    }
+}

@@ -1,0 +1,761 @@
+//! The x86-64 template JIT tier (Linux only).
+//!
+//! [`NativeProgram::compile`] walks the op IR once and emits a fixed
+//! machine-code template per op into an anonymous mapping, then flips it
+//! W^X ([`CodeBuf`]): pages are never writable and executable at the same
+//! time. Calling convention inside generated code:
+//!
+//! * `rbx` — the [`VmCtx`] pointer (thunk table)
+//! * `r12` — register slot base (`slots[i]` at `[r12 + 8*i]`)
+//! * `r13` — thunk argument buffer base
+//! * `r14` — the embedder env pointer (first byte = fault flag)
+//! * `rax`/`rcx`/`rdx`/`xmm0`/`xmm1` — template scratch
+//!
+//! Entry: `extern "C" fn(ctx: *mut VmCtx, slots: *mut u64, args: *mut u64)
+//! -> u64`, returning the shared program return code. All fallible
+//! templates branch to explicit per-program `Return` blocks (the op IR
+//! carries the targets), so the only implicit state is the env fault byte
+//! checked after each expression call.
+
+use std::ffi::c_void;
+
+use crate::program::{ArithKind, CmpKind, NegKind, Op, Program};
+use crate::VmCtx;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+}
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const PROT_EXEC: i32 = 4;
+const MAP_PRIVATE: i32 = 2;
+const MAP_ANONYMOUS: i32 = 0x20;
+const MAP_FAILED: usize = usize::MAX;
+
+/// An mmap'd W^X code region: written once while `RW`, then sealed `RX`.
+pub struct CodeBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is executable+readable only after sealing; the raw pointer
+// is never written again, so moving it across threads is sound.
+unsafe impl Send for CodeBuf {}
+unsafe impl Sync for CodeBuf {}
+
+impl CodeBuf {
+    /// Maps `code` into fresh executable memory.
+    pub fn new(code: &[u8]) -> Result<CodeBuf, String> {
+        let len = code.len().max(1).div_ceil(4096) * 4096;
+        // SAFETY: anonymous private mapping, checked for failure; the
+        // region is exclusively ours until munmap in Drop.
+        unsafe {
+            let ptr = mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            if ptr as usize == MAP_FAILED || ptr.is_null() {
+                return Err("mmap failed for JIT code buffer".into());
+            }
+            std::ptr::copy_nonoverlapping(code.as_ptr(), ptr as *mut u8, code.len());
+            if mprotect(ptr, len, PROT_READ | PROT_EXEC) != 0 {
+                munmap(ptr, len);
+                return Err("mprotect(RX) failed for JIT code buffer".into());
+            }
+            Ok(CodeBuf {
+                ptr: ptr as *mut u8,
+                len,
+            })
+        }
+    }
+
+    fn entry(&self) -> EntryFn {
+        // SAFETY: the buffer holds a complete function emitted by
+        // `NativeProgram::compile` with the documented ABI.
+        unsafe { std::mem::transmute::<*mut u8, EntryFn>(self.ptr) }
+    }
+}
+
+impl Drop for CodeBuf {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from mmap and are unmapped exactly once.
+        unsafe {
+            munmap(self.ptr as *mut c_void, self.len);
+        }
+    }
+}
+
+type EntryFn = unsafe extern "C" fn(*mut VmCtx, *mut u64, *mut u64) -> u64;
+
+/// Emitted machine code plus `(start, end)` byte spans per op.
+type CodeAndSpans = (Vec<u8>, Vec<(usize, usize)>);
+
+/// A program compiled to native x86-64 code.
+pub struct NativeProgram {
+    buf: CodeBuf,
+    code: Vec<u8>,
+    /// `(code_start, code_end)` per op, for the disassembler.
+    spans: Vec<(usize, usize)>,
+    slot_count: u16,
+    arg_buf_len: u16,
+}
+
+impl NativeProgram {
+    pub fn slot_count(&self) -> usize {
+        self.slot_count as usize
+    }
+
+    pub fn arg_buf_len(&self) -> usize {
+        self.arg_buf_len as usize
+    }
+
+    /// The emitted machine code (a private copy, for listings).
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// Emitted byte range of op `i`.
+    pub fn span_of_op(&self, i: usize) -> (usize, usize) {
+        self.spans[i]
+    }
+
+    /// All per-op byte ranges (for [`crate::disasm::Listing::with_code`]).
+    pub fn spans(&self) -> &[(usize, usize)] {
+        &self.spans
+    }
+
+    /// Runs the generated code to termination.
+    pub fn run(&self, ctx: &mut VmCtx, slots: &mut [u64], args: &mut [u64]) -> u64 {
+        assert!(slots.len() >= self.slot_count as usize);
+        assert!(args.len() >= self.arg_buf_len as usize);
+        // SAFETY: buffer sizes checked above; the generated code only
+        // touches slots/args/ctx and calls the provided thunks.
+        unsafe { (self.buf.entry())(ctx as *mut VmCtx, slots.as_mut_ptr(), args.as_mut_ptr()) }
+    }
+
+    /// Emits templates for every op of `p` (finished/validated).
+    pub fn compile(p: &Program) -> Result<NativeProgram, String> {
+        let mut a = Asm::new(p.ops.len());
+        a.prologue();
+        for (i, op) in p.ops.iter().enumerate() {
+            a.begin_op(i);
+            a.emit_op(op, &p.arg_slots);
+        }
+        a.end_ops();
+        let (code, spans) = a.finish()?;
+        let buf = CodeBuf::new(&code)?;
+        Ok(NativeProgram {
+            buf,
+            code,
+            spans,
+            slot_count: p.slot_count,
+            arg_buf_len: p.arg_buf_len,
+        })
+    }
+}
+
+/// A pending rel32 to patch once all op offsets are known.
+struct Fixup {
+    /// Offset of the 4 displacement bytes.
+    at: usize,
+    /// Target op index, or `u32::MAX` for the epilogue.
+    target: u32,
+}
+
+const EPILOGUE: u32 = u32::MAX;
+
+struct Asm {
+    code: Vec<u8>,
+    op_offsets: Vec<usize>,
+    spans: Vec<(usize, usize)>,
+    fixups: Vec<Fixup>,
+    epilogue_at: usize,
+}
+
+impl Asm {
+    fn new(ops: usize) -> Asm {
+        Asm {
+            code: Vec::with_capacity(ops * 24 + 64),
+            op_offsets: Vec::with_capacity(ops),
+            spans: Vec::with_capacity(ops),
+            fixups: Vec::new(),
+            epilogue_at: 0,
+        }
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.code.extend_from_slice(b);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn begin_op(&mut self, i: usize) {
+        debug_assert_eq!(self.op_offsets.len(), i);
+        self.op_offsets.push(self.code.len());
+        self.spans.push((self.code.len(), self.code.len()));
+    }
+
+    fn end_ops(&mut self) {
+        // Falling off the end is impossible (programs end in Return/Jump),
+        // but close the last span and place the epilogue.
+        if let Some(last) = self.spans.last_mut() {
+            last.1 = self.code.len();
+        }
+        self.epilogue_at = self.code.len();
+        // add rsp,8 ; pop r15 r14 r13 r12 rbx rbp ; ret
+        self.bytes(&[0x48, 0x83, 0xC4, 0x08]);
+        self.bytes(&[
+            0x41, 0x5F, 0x41, 0x5E, 0x41, 0x5D, 0x41, 0x5C, 0x5B, 0x5D, 0xC3,
+        ]);
+    }
+
+    fn prologue(&mut self) {
+        // push rbp rbx r12 r13 r14 r15 ; sub rsp,8 (16-byte call alignment)
+        self.bytes(&[0x55, 0x53, 0x41, 0x54, 0x41, 0x55, 0x41, 0x56, 0x41, 0x57]);
+        self.bytes(&[0x48, 0x83, 0xEC, 0x08]);
+        // mov rbx,rdi ; mov r12,rsi ; mov r13,rdx ; mov r14,[rbx] (env)
+        self.bytes(&[0x48, 0x89, 0xFB]);
+        self.bytes(&[0x49, 0x89, 0xF4]);
+        self.bytes(&[0x49, 0x89, 0xD5]);
+        self.bytes(&[0x4C, 0x8B, 0x33]);
+    }
+
+    /// `mov <reg>, [r12 + 8*slot]` for rax(0)/rcx(1).
+    fn load_slot(&mut self, reg: u8, slot: u16) {
+        self.bytes(&[0x49, 0x8B, 0x84 | (reg << 3), 0x24]);
+        self.u32(slot as u32 * 8);
+    }
+
+    /// `mov [r12 + 8*slot], <reg>` for rax(0)/rcx(1)/rdx(2).
+    fn store_slot(&mut self, slot: u16, reg: u8) {
+        self.bytes(&[0x49, 0x89, 0x84 | (reg << 3), 0x24]);
+        self.u32(slot as u32 * 8);
+    }
+
+    /// Emits `jcc rel32` (or `jmp` with `cc == 0`) to an op target.
+    fn jump_fix(&mut self, cc: Option<u8>, target: u32) {
+        match cc {
+            Some(cc) => self.bytes(&[0x0F, cc]),
+            None => self.u8(0xE9),
+        }
+        self.fixups.push(Fixup {
+            at: self.code.len(),
+            target,
+        });
+        self.u32(0);
+    }
+
+    /// `mov rax, imm` (short form when it fits in 32 bits zero-extended).
+    fn mov_rax_imm(&mut self, imm: u64) {
+        if imm <= u32::MAX as u64 {
+            self.u8(0xB8);
+            self.u32(imm as u32);
+        } else {
+            self.bytes(&[0x48, 0xB8]);
+            self.u64(imm);
+        }
+    }
+
+    /// `movabs rdx, imm64`.
+    fn mov_rdx_imm64(&mut self, imm: u64) {
+        self.bytes(&[0x48, 0xBA]);
+        self.u64(imm);
+    }
+
+    /// The float total-order key transform on rax and rcx (clobbers rdx).
+    fn fkey_rax_rcx(&mut self) {
+        // mov rdx,rax ; sar rdx,63 ; shr rdx,1 ; xor rax,rdx
+        self.bytes(&[
+            0x48, 0x89, 0xC2, 0x48, 0xC1, 0xFA, 0x3F, 0x48, 0xD1, 0xEA, 0x48, 0x31, 0xD0,
+        ]);
+        // mov rdx,rcx ; sar rdx,63 ; shr rdx,1 ; xor rcx,rdx
+        self.bytes(&[
+            0x48, 0x89, 0xCA, 0x48, 0xC1, 0xFA, 0x3F, 0x48, 0xD1, 0xEA, 0x48, 0x31, 0xD1,
+        ]);
+    }
+
+    /// `setcc al ; movzx eax, al`.
+    fn setcc_bool(&mut self, setcc: u8) {
+        self.bytes(&[0x0F, setcc, 0xC0, 0x0F, 0xB6, 0xC0]);
+    }
+
+    /// Loads xmm0/xmm1 from rax/rcx.
+    fn movq_xmm_from_gpr(&mut self) {
+        self.bytes(&[0x66, 0x48, 0x0F, 0x6E, 0xC0]); // movq xmm0, rax
+        self.bytes(&[0x66, 0x48, 0x0F, 0x6E, 0xC9]); // movq xmm1, rcx
+    }
+
+    /// `movq rax, xmm0`.
+    fn movq_rax_from_xmm0(&mut self) {
+        self.bytes(&[0x66, 0x48, 0x0F, 0x7E, 0xC0]);
+    }
+
+    fn emit_op(&mut self, op: &Op, arg_slots: &[u16]) {
+        match *op {
+            Op::ConstBits { dst, bits } => {
+                self.mov_rax_imm(bits);
+                self.store_slot(dst, 0);
+            }
+            Op::Mov { dst, src } => {
+                self.load_slot(0, src);
+                self.store_slot(dst, 0);
+            }
+            Op::Arith {
+                kind,
+                dst,
+                a,
+                b,
+                on_overflow,
+                on_div_zero,
+            } => self.emit_arith(kind, dst, a, b, on_overflow, on_div_zero),
+            Op::Neg {
+                kind,
+                dst,
+                src,
+                on_overflow,
+            } => {
+                self.load_slot(0, src);
+                match kind {
+                    NegKind::I64 => {
+                        self.mov_rdx_imm64(i64::MIN as u64);
+                        self.bytes(&[0x48, 0x39, 0xD0]); // cmp rax, rdx
+                        self.jump_fix(Some(0x84), on_overflow); // je
+                        self.bytes(&[0x48, 0xF7, 0xD8]); // neg rax
+                    }
+                    NegKind::F64 => {
+                        self.mov_rdx_imm64(1u64 << 63);
+                        self.bytes(&[0x48, 0x31, 0xD0]); // xor rax, rdx
+                    }
+                }
+                self.store_slot(dst, 0);
+            }
+            Op::NotBool { dst, src } => {
+                self.load_slot(0, src);
+                self.bytes(&[0x48, 0x83, 0xF0, 0x01]); // xor rax, 1
+                self.store_slot(dst, 0);
+            }
+            Op::Cmp { kind, dst, a, b } => {
+                self.load_slot(0, a);
+                self.load_slot(1, b);
+                let setcc = match kind {
+                    CmpKind::EqBits => 0x94,
+                    CmpKind::NeBits => 0x95,
+                    CmpKind::LtU => 0x92,
+                    CmpKind::LeU => 0x96,
+                    CmpKind::GtU => 0x97,
+                    CmpKind::GeU => 0x93,
+                    CmpKind::LtI | CmpKind::LtF => 0x9C,
+                    CmpKind::LeI | CmpKind::LeF => 0x9E,
+                    CmpKind::GtI | CmpKind::GtF => 0x9F,
+                    CmpKind::GeI | CmpKind::GeF => 0x9D,
+                };
+                if matches!(
+                    kind,
+                    CmpKind::LtF | CmpKind::LeF | CmpKind::GtF | CmpKind::GeF
+                ) {
+                    self.fkey_rax_rcx();
+                }
+                self.bytes(&[0x48, 0x39, 0xC8]); // cmp rax, rcx
+                self.setcc_bool(setcc);
+                self.store_slot(dst, 0);
+            }
+            Op::TruthyF64 { dst, src } => {
+                self.load_slot(0, src);
+                self.bytes(&[0x48, 0xD1, 0xE0]); // shl rax,1 (drops sign bit)
+                self.setcc_bool(0x95); // setne
+                self.store_slot(dst, 0);
+            }
+            Op::CastU64F64 { dst, src } => {
+                self.load_slot(0, src);
+                self.bytes(&[0x48, 0x85, 0xC0]); // test rax, rax
+                self.bytes(&[0x78, 0x07]); // js +7 (to the slow path)
+                self.bytes(&[0xF2, 0x48, 0x0F, 0x2A, 0xC0]); // cvtsi2sd xmm0, rax
+                self.bytes(&[0xEB, 0x15]); // jmp +21 (over the slow path)
+                                           // Slow path (bit 63 set): halve with round-to-odd, double.
+                self.bytes(&[0x48, 0x89, 0xC1]); // mov rcx, rax
+                self.bytes(&[0x48, 0xD1, 0xE8]); // shr rax, 1
+                self.bytes(&[0x83, 0xE1, 0x01]); // and ecx, 1
+                self.bytes(&[0x48, 0x09, 0xC8]); // or rax, rcx
+                self.bytes(&[0xF2, 0x48, 0x0F, 0x2A, 0xC0]); // cvtsi2sd xmm0, rax
+                self.bytes(&[0xF2, 0x0F, 0x58, 0xC0]); // addsd xmm0, xmm0
+                self.movq_rax_from_xmm0();
+                self.store_slot(dst, 0);
+            }
+            Op::CastI64F64 { dst, src } => {
+                self.load_slot(0, src);
+                self.bytes(&[0xF2, 0x48, 0x0F, 0x2A, 0xC0]); // cvtsi2sd xmm0, rax
+                self.movq_rax_from_xmm0();
+                self.store_slot(dst, 0);
+            }
+            Op::CastU64I64 {
+                dst,
+                src,
+                on_overflow,
+            } => {
+                self.load_slot(0, src);
+                self.bytes(&[0x48, 0x85, 0xC0]); // test rax, rax
+                self.jump_fix(Some(0x88), on_overflow); // js (bit 63 => > i64::MAX)
+                self.store_slot(dst, 0);
+            }
+            Op::Jump { target } => self.jump_fix(None, target),
+            Op::JumpIfFalse { cond, target } => {
+                self.load_slot(0, cond);
+                self.bytes(&[0x48, 0x85, 0xC0]); // test rax, rax
+                self.jump_fix(Some(0x84), target); // jz
+            }
+            Op::JumpIfTrue { cond, target } => {
+                self.load_slot(0, cond);
+                self.bytes(&[0x48, 0x85, 0xC0]);
+                self.jump_fix(Some(0x85), target); // jnz
+            }
+            Op::CallExpr {
+                spec,
+                dst,
+                args_at,
+                argc,
+                on_fault,
+            } => {
+                for k in 0..argc as usize {
+                    let slot = arg_slots[args_at as usize + k];
+                    self.load_slot(0, slot);
+                    // mov [r13 + 8k], rax
+                    self.bytes(&[0x49, 0x89, 0x85]);
+                    self.u32(k as u32 * 8);
+                }
+                self.bytes(&[0x4C, 0x89, 0xF7]); // mov rdi, r14 (env)
+                self.u8(0xBE); // mov esi, spec
+                self.u32(spec);
+                self.bytes(&[0x4C, 0x89, 0xEA]); // mov rdx, r13 (args)
+                self.u8(0xB9); // mov ecx, argc
+                self.u32(argc as u32);
+                self.bytes(&[0xFF, 0x53, 0x08]); // call [rbx+8] (expr_thunk)
+                self.bytes(&[0x41, 0x80, 0x3E, 0x00]); // cmp byte [r14], 0
+                self.jump_fix(Some(0x85), on_fault); // jne
+                self.store_slot(dst, 0);
+            }
+            Op::CallStmt { spec } => {
+                self.bytes(&[0x4C, 0x89, 0xF7]); // mov rdi, r14
+                self.u8(0xBE);
+                self.u32(spec);
+                self.bytes(&[0xFF, 0x53, 0x10]); // call [rbx+16] (stmt_thunk)
+                self.bytes(&[0x48, 0x85, 0xC0]); // test rax, rax
+                self.jump_fix(Some(0x85), EPILOGUE); // jnz -> return rax
+            }
+            Op::Return { code } => {
+                self.mov_rax_imm(code);
+                self.jump_fix(None, EPILOGUE);
+            }
+        }
+        if let Some(last) = self.spans.last_mut() {
+            last.1 = self.code.len();
+        }
+        // Close the span of the previous op (spans are begun in begin_op;
+        // the current op's span end is refreshed above on each emission).
+        let n = self.spans.len();
+        if n >= 2 {
+            let start = self.op_offsets[n - 1];
+            self.spans[n - 2].1 = start;
+        }
+    }
+
+    fn emit_arith(&mut self, kind: ArithKind, dst: u16, a: u16, b: u16, of: u32, dz: u32) {
+        self.load_slot(0, a);
+        self.load_slot(1, b);
+        let mut result_reg = 0u8; // rax unless noted
+        match kind {
+            ArithKind::AddU => {
+                self.bytes(&[0x48, 0x01, 0xC8]); // add rax, rcx
+                self.jump_fix(Some(0x82), of); // jc
+            }
+            ArithKind::AddI => {
+                self.bytes(&[0x48, 0x01, 0xC8]);
+                self.jump_fix(Some(0x80), of); // jo
+            }
+            ArithKind::SubI => {
+                self.bytes(&[0x48, 0x29, 0xC8]); // sub rax, rcx
+                self.jump_fix(Some(0x80), of);
+            }
+            ArithKind::MulU => {
+                self.bytes(&[0x48, 0xF7, 0xE1]); // mul rcx (rdx:rax)
+                self.jump_fix(Some(0x82), of); // jc (high half nonzero)
+            }
+            ArithKind::MulI => {
+                self.bytes(&[0x48, 0x0F, 0xAF, 0xC1]); // imul rax, rcx
+                self.jump_fix(Some(0x80), of);
+            }
+            ArithKind::DivU | ArithKind::ModU => {
+                self.bytes(&[0x48, 0x85, 0xC9]); // test rcx, rcx
+                self.jump_fix(Some(0x84), dz); // jz
+                self.bytes(&[0x31, 0xD2]); // xor edx, edx
+                self.bytes(&[0x48, 0xF7, 0xF1]); // div rcx
+                if kind == ArithKind::ModU {
+                    result_reg = 2; // rdx
+                }
+            }
+            ArithKind::DivI | ArithKind::ModI => {
+                self.bytes(&[0x48, 0x85, 0xC9]); // test rcx, rcx
+                self.jump_fix(Some(0x84), dz); // jz
+                                               // i64::MIN / -1 traps in hardware; route it to overflow
+                                               // to match checked_div/checked_rem.
+                self.mov_rdx_imm64(i64::MIN as u64);
+                self.bytes(&[0x48, 0x39, 0xD0]); // cmp rax, rdx
+                self.bytes(&[0x75, 0x0A]); // jne +10 (skip the -1 check)
+                self.bytes(&[0x48, 0x83, 0xF9, 0xFF]); // cmp rcx, -1
+                self.jump_fix(Some(0x84), of); // je (6 bytes)
+                self.bytes(&[0x48, 0x99]); // cqo
+                self.bytes(&[0x48, 0xF7, 0xF9]); // idiv rcx
+                if kind == ArithKind::ModI {
+                    result_reg = 2;
+                }
+            }
+            ArithKind::AddF | ArithKind::SubF | ArithKind::MulF => {
+                self.movq_xmm_from_gpr();
+                let opc = match kind {
+                    ArithKind::AddF => 0x58,
+                    ArithKind::SubF => 0x5C,
+                    _ => 0x59,
+                };
+                self.bytes(&[0xF2, 0x0F, opc, 0xC1]); // op xmm0, xmm1
+                self.movq_rax_from_xmm0();
+            }
+            ArithKind::DivF => {
+                // shl-by-1 zero test treats ±0.0 as zero divisors.
+                self.bytes(&[0x48, 0x89, 0xCA]); // mov rdx, rcx
+                self.bytes(&[0x48, 0xD1, 0xE2]); // shl rdx, 1
+                self.jump_fix(Some(0x84), dz); // jz
+                self.movq_xmm_from_gpr();
+                self.bytes(&[0xF2, 0x0F, 0x5E, 0xC1]); // divsd xmm0, xmm1
+                self.movq_rax_from_xmm0();
+            }
+            ArithKind::ModF => {
+                self.bytes(&[0x48, 0x89, 0xCA]);
+                self.bytes(&[0x48, 0xD1, 0xE2]);
+                self.jump_fix(Some(0x84), dz);
+                self.movq_xmm_from_gpr();
+                self.bytes(&[0xFF, 0x53, 0x18]); // call [rbx+24] (mod_f64)
+                self.movq_rax_from_xmm0();
+            }
+        }
+        self.store_slot(dst, result_reg);
+    }
+
+    fn finish(mut self) -> Result<CodeAndSpans, String> {
+        for f in &self.fixups {
+            let target = if f.target == EPILOGUE {
+                self.epilogue_at
+            } else {
+                *self
+                    .op_offsets
+                    .get(f.target as usize)
+                    .ok_or("fixup to unknown op")?
+            };
+            let rel = target as i64 - (f.at as i64 + 4);
+            let rel: i32 = rel.try_into().map_err(|_| "jump out of rel32 range")?;
+            self.code[f.at..f.at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        Ok((self.code, self.spans))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::threaded::ThreadedProgram;
+
+    extern "C" fn echo_expr(_: *mut c_void, spec: u64, args: *const u64, argc: u64) -> u64 {
+        // Sums spec and all args, for call-template testing.
+        let mut acc = spec;
+        for i in 0..argc as usize {
+            acc = acc.wrapping_add(unsafe { *args.add(i) });
+        }
+        acc
+    }
+    extern "C" fn stop_stmt(_: *mut c_void, spec: u64) -> u64 {
+        if spec == 7 {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn run_native(p: &Program) -> (u64, Vec<u64>) {
+        let np = NativeProgram::compile(p).unwrap();
+        let mut slots = vec![0u64; np.slot_count()];
+        let mut args = vec![0u64; np.arg_buf_len()];
+        let mut flag = 0u8;
+        let mut ctx = VmCtx::new(&mut flag as *mut u8 as *mut c_void, echo_expr, stop_stmt);
+        let r = np.run(&mut ctx, &mut slots, &mut args);
+        (r, slots)
+    }
+
+    fn run_threaded(p: &Program) -> (u64, Vec<u64>) {
+        let tp = ThreadedProgram::compile(p);
+        let mut slots = vec![0u64; tp.slot_count()];
+        let mut args = vec![0u64; tp.arg_buf_len()];
+        let mut flag = 0u8;
+        let mut ctx = VmCtx::new(&mut flag as *mut u8 as *mut c_void, echo_expr, stop_stmt);
+        let r = tp.run(&mut ctx, &mut slots, &mut args);
+        (r, slots)
+    }
+
+    fn agree(p: &Program) -> (u64, Vec<u64>) {
+        let n = run_native(p);
+        let t = run_threaded(p);
+        assert_eq!(n, t, "native and threaded tiers diverge");
+        n
+    }
+
+    #[test]
+    fn arith_matrix_matches_threaded_tier() {
+        use crate::program::ArithKind::*;
+        let cases: &[(ArithKind, u64, u64)] = &[
+            (AddU, 40, 2),
+            (AddU, u64::MAX, 1),
+            (AddI, 5i64 as u64, (-9i64) as u64),
+            (AddI, i64::MAX as u64, 1),
+            (SubI, 3i64 as u64, 10i64 as u64),
+            (SubI, i64::MIN as u64, 1),
+            (MulU, 1 << 40, 1 << 23),
+            (MulU, 1 << 40, 1 << 24),
+            (MulI, (-3i64) as u64, 9i64 as u64),
+            (MulI, i64::MIN as u64, (-1i64) as u64),
+            (DivU, 100, 7),
+            (DivU, 100, 0),
+            (DivI, (-100i64) as u64, 7i64 as u64),
+            (DivI, i64::MIN as u64, (-1i64) as u64),
+            (DivI, 5i64 as u64, 0),
+            (ModU, 100, 7),
+            (ModI, (-100i64) as u64, 7i64 as u64),
+            (ModI, i64::MIN as u64, (-1i64) as u64),
+            (AddF, 1.5f64.to_bits(), 2.25f64.to_bits()),
+            (SubF, 1.5f64.to_bits(), 2.25f64.to_bits()),
+            (MulF, 3.0f64.to_bits(), (-0.5f64).to_bits()),
+            (DivF, 1.0f64.to_bits(), 0.0f64.to_bits()),
+            (DivF, 1.0f64.to_bits(), (-0.0f64).to_bits()),
+            (DivF, 7.5f64.to_bits(), 2.5f64.to_bits()),
+            (ModF, 7.5f64.to_bits(), 2.0f64.to_bits()),
+            (ModF, 7.5f64.to_bits(), 0.0f64.to_bits()),
+            (ModF, (-7.5f64).to_bits(), 2.0f64.to_bits()),
+        ];
+        for &(kind, x, y) in cases {
+            let mut b = ProgramBuilder::new();
+            let (sx, sy, sz) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+            let of = b.new_label();
+            let dz = b.new_label();
+            b.const_bits(sx, x);
+            b.const_bits(sy, y);
+            b.arith(kind, sz, sx, sy, of, dz);
+            b.ret(0);
+            b.bind(of);
+            b.ret(101);
+            b.bind(dz);
+            b.ret(102);
+            agree(&b.finish());
+        }
+    }
+
+    #[test]
+    fn compare_and_cast_matrix_matches_threaded_tier() {
+        use crate::program::CmpKind::*;
+        for kind in [
+            EqBits, NeBits, LtU, LeU, GtU, GeU, LtI, LeI, GtI, GeI, LtF, LeF, GtF, GeF,
+        ] {
+            for (x, y) in [
+                (0u64, 0u64),
+                (1, 2),
+                ((-5i64) as u64, 3),
+                (f64::NAN.to_bits(), 1.0f64.to_bits()),
+                ((-0.0f64).to_bits(), 0.0f64.to_bits()),
+                (u64::MAX, 1),
+            ] {
+                let mut b = ProgramBuilder::new();
+                let (sx, sy, sz) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+                b.const_bits(sx, x);
+                b.const_bits(sy, y);
+                b.cmp(kind, sz, sx, sy);
+                b.ret(0);
+                agree(&b.finish());
+            }
+        }
+        for v in [0u64, 1, 1 << 53, u64::MAX, i64::MAX as u64, (1 << 63) + 3] {
+            let mut b = ProgramBuilder::new();
+            let (s, d) = (b.alloc_slot(), b.alloc_slot());
+            b.const_bits(s, v);
+            b.cast_u64_f64(d, s);
+            b.ret(0);
+            let (_, slots) = agree(&b.finish());
+            assert_eq!(slots[1], (v as f64).to_bits(), "u64->f64 of {v}");
+
+            let mut b = ProgramBuilder::new();
+            let (s, d) = (b.alloc_slot(), b.alloc_slot());
+            let of = b.new_label();
+            b.const_bits(s, v);
+            b.cast_u64_i64(d, s, of);
+            b.ret(0);
+            b.bind(of);
+            b.ret(101);
+            agree(&b.finish());
+        }
+    }
+
+    #[test]
+    fn call_templates_and_control_flow() {
+        let mut b = ProgramBuilder::new();
+        let (x, y, r) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+        let fault = b.new_label();
+        b.const_bits(x, 10);
+        b.const_bits(y, 20);
+        b.call_expr(5, r, &[x, y], fault); // echo: 5 + 10 + 20 = 35
+        b.call_stmt(3); // continues
+        b.call_stmt(7); // returns 1
+        b.ret(99);
+        b.bind(fault);
+        b.ret(103);
+        let (code, slots) = agree(&b.finish());
+        assert_eq!(code, 1);
+        assert_eq!(slots[2], 35);
+    }
+
+    #[test]
+    fn truthy_and_neg_templates() {
+        for v in [0.0f64, -0.0, 1.0, f64::NAN, -5.5] {
+            let mut b = ProgramBuilder::new();
+            let (s, d, n) = (b.alloc_slot(), b.alloc_slot(), b.alloc_slot());
+            let of = b.new_label();
+            b.const_bits(s, v.to_bits());
+            b.truthy_f64(d, s);
+            b.neg(NegKind::F64, n, s, of);
+            b.ret(0);
+            b.bind(of);
+            b.ret(101);
+            let (_, slots) = agree(&b.finish());
+            assert_eq!(slots[1], (v != 0.0) as u64, "truthy {v}");
+            assert_eq!(slots[2], (-v).to_bits(), "neg {v}");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Three-tier differential test: the direct-threaded and native tiers must
+//! be observably identical to the tree-walking interpreter — verdicts,
+//! message mutations, RNG streams, and exported state images — over random
+//! chains and random message sequences.
+//!
+//! The template pool is chosen so the generated chains exercise every
+//! specialized thunk: `InsertRow` (keyed insert with `now()`, literal, and
+//! field columns), `KeyJoinFilter` (keyed join + conjunctive equality
+//! WHERE), inline arithmetic with overflow/divide faults, and the seeded
+//! `random()` stream.
+
+use std::sync::Arc;
+
+use adn_backend::jit::{native_available, JitEngine, JitTier};
+use adn_backend::native::{compile_element, compile_fused, element_seed, CompileOpts};
+use adn_ir::ElementIr;
+use adn_rpc::engine::Engine;
+use adn_rpc::message::RpcMessage;
+use adn_rpc::schema::RpcSchema;
+use adn_rpc::value::ValueType;
+use proptest::prelude::*;
+
+fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+    (
+        Arc::new(
+            RpcSchema::builder()
+                .field("object_id", ValueType::U64)
+                .field("username", ValueType::Str)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        ),
+        Arc::new(
+            RpcSchema::builder()
+                .field("ok", ValueType::Bool)
+                .field("payload", ValueType::Bytes)
+                .build()
+                .unwrap(),
+        ),
+    )
+}
+
+fn lower_src(src: &str) -> ElementIr {
+    let (req, resp) = schemas();
+    let checked = adn_dsl::typecheck::check_element(
+        &adn_dsl::parser::parse_element(src).unwrap(),
+        &req,
+        &resp,
+    )
+    .unwrap();
+    adn_ir::lower_element(&checked, &[], &req, &resp).unwrap()
+}
+
+/// One template per specialized lowering path, plus generic escapes.
+#[derive(Debug, Clone, Copy)]
+enum Template {
+    /// Keyed insert: `InsertRow` fast path (now() + const + field columns).
+    Log { capacity: u32 },
+    /// Keyed join + equality WHERE: `KeyJoinFilter` fast path.
+    Acl { require_w: bool },
+    /// Inline arithmetic with a guard; overflow faults on large ids.
+    Arith { mul: u64, min: u64 },
+    /// Seeded random() stream feeding an ABORT.
+    Fault { p_tenths: u32 },
+    /// Generic escape path: keyed upsert accumulation (no fast path).
+    Quota { limit: u64 },
+}
+
+impl Template {
+    fn source(&self) -> String {
+        match *self {
+            Template::Log { capacity } => format!(
+                r#"element Log() {{
+                    state log_tab(seq: u64 key, direction: string, username: string, object_id: u64) capacity {capacity};
+                    on request {{
+                        INSERT INTO log_tab VALUES (now(), 'req', input.username, input.object_id);
+                        SELECT * FROM input;
+                    }}
+                }}"#
+            ),
+            Template::Acl { require_w } => {
+                let filter = if require_w {
+                    "WHERE ac_tab.permission == 'W'"
+                } else {
+                    ""
+                };
+                format!(
+                    r#"element Acl() {{
+                        state ac_tab(username: string key, permission: string) init {{
+                            ('alice', 'W'), ('bob', 'R'), ('carol', 'W')
+                        }};
+                        on request {{
+                            SELECT * FROM input JOIN ac_tab ON input.username == ac_tab.username {filter};
+                        }}
+                    }}"#
+                )
+            }
+            Template::Arith { mul, min } => format!(
+                r#"element Arith() {{
+                    on request {{
+                        SET object_id = input.object_id * {mul} WHERE input.object_id > {min};
+                        SELECT * FROM input;
+                    }}
+                }}"#
+            ),
+            Template::Fault { p_tenths } => format!(
+                "element Fault(p: f64 = 0.{p_tenths}) {{ on request {{ ABORT(3, 'injected fault') WHERE random() < p; SELECT * FROM input; }} }}"
+            ),
+            Template::Quota { limit } => format!(
+                r#"element Quota() {{
+                    state used(username: string key, count: u64) capacity 1024;
+                    on request {{
+                        INSERT INTO used VALUES (input.username, 0);
+                        UPDATE used SET count = used.count + 1 WHERE used.username == input.username;
+                        SELECT * FROM input JOIN used ON input.username == used.username
+                        WHERE used.count <= {limit};
+                    }}
+                }}"#
+            ),
+        }
+    }
+}
+
+fn template_strategy() -> impl Strategy<Value = Template> {
+    prop_oneof![
+        (4u32..64).prop_map(|capacity| Template::Log { capacity }),
+        any::<bool>().prop_map(|require_w| Template::Acl { require_w }),
+        ((0u64..5), (0u64..100)).prop_map(|(m, min)| Template::Arith {
+            mul: m * 3 + 1,
+            min
+        }),
+        (1u32..9).prop_map(|p_tenths| Template::Fault { p_tenths }),
+        (1u64..6).prop_map(|limit| Template::Quota { limit }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Msg {
+    object_id: u64,
+    user: usize,
+    payload: Vec<u8>,
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (
+        prop_oneof![
+            0u64..200,
+            Just(0u64),
+            Just(u64::MAX),
+            Just(u64::MAX / 3 + 11),
+        ],
+        0usize..6,
+        proptest::collection::vec(any::<u8>(), 0..24),
+    )
+        .prop_map(|(object_id, user, payload)| Msg {
+            object_id,
+            user,
+            payload,
+        })
+}
+
+const USERS: [&str; 6] = ["alice", "bob", "carol", "eve", "dave", ""];
+
+fn request(m: &Msg) -> RpcMessage {
+    let (req, _) = schemas();
+    RpcMessage::request(1, 1, req)
+        .with("object_id", m.object_id)
+        .with("username", USERS[m.user])
+        .with("payload", m.payload.clone())
+}
+
+fn tiers() -> Vec<JitTier> {
+    let mut t = vec![JitTier::Threaded];
+    if native_available() {
+        t.push(JitTier::Native);
+    }
+    t
+}
+
+/// Runs `msgs` through a reference interpreter chain and a JIT chain at
+/// `tier`, comparing the verdict and the mutated message after every step
+/// and the exported state images at the end.
+fn assert_equivalent(elements: &[ElementIr], msgs: &[Msg], seed: u64, tier: JitTier, fused: bool) {
+    let opts_at = |i: usize| CompileOpts {
+        seed: element_seed(seed, i),
+        ..Default::default()
+    };
+    if fused {
+        let opts = CompileOpts {
+            seed,
+            ..Default::default()
+        };
+        let mut interp = compile_fused(elements, &opts);
+        let mut jit = JitEngine::fused(elements, &opts, tier);
+        for (n, m) in msgs.iter().enumerate() {
+            let mut a = request(m);
+            let mut b = a.clone();
+            let va = Engine::process(&mut interp, &mut a);
+            let vb = jit.process(&mut b);
+            assert_eq!(va, vb, "fused verdict diverged at msg {n} on {tier:?}");
+            assert_eq!(
+                a.fields, b.fields,
+                "fused fields diverged at msg {n} on {tier:?}"
+            );
+        }
+        assert_eq!(
+            interp.export_state(),
+            jit.export_state(),
+            "fused state image diverged on {tier:?}"
+        );
+    } else {
+        let mut interp: Vec<_> = elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| compile_element(e, &opts_at(i)))
+            .collect();
+        let mut jit: Vec<_> = elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| JitEngine::single(e, &opts_at(i), tier))
+            .collect();
+        for (n, m) in msgs.iter().enumerate() {
+            let mut a = request(m);
+            let mut b = a.clone();
+            let mut va = adn_rpc::engine::Verdict::Forward;
+            for e in interp.iter_mut() {
+                va = Engine::process(e, &mut a);
+                if !matches!(va, adn_rpc::engine::Verdict::Forward) {
+                    break;
+                }
+            }
+            let mut vb = adn_rpc::engine::Verdict::Forward;
+            for e in jit.iter_mut() {
+                vb = e.process(&mut b);
+                if !matches!(vb, adn_rpc::engine::Verdict::Forward) {
+                    break;
+                }
+            }
+            assert_eq!(va, vb, "chain verdict diverged at msg {n} on {tier:?}");
+            assert_eq!(
+                a.fields, b.fields,
+                "chain fields diverged at msg {n} on {tier:?}"
+            );
+        }
+        for (i, (a, b)) in interp.iter().zip(jit.iter()).enumerate() {
+            assert_eq!(
+                a.export_state(),
+                b.export_state(),
+                "state image diverged for element {i} on {tier:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Random chains x random messages: every tier agrees with the
+    /// interpreter message-by-message and state-byte-by-state-byte.
+    #[test]
+    fn tiers_agree_on_random_chains(
+        templates in proptest::collection::vec(template_strategy(), 1..4),
+        msgs in proptest::collection::vec(msg_strategy(), 1..32),
+        seed in 0u64..1024,
+        fused in any::<bool>(),
+    ) {
+        let elements: Vec<ElementIr> =
+            templates.iter().map(|t| lower_src(&t.source())).collect();
+        for tier in tiers() {
+            assert_equivalent(&elements, &msgs, seed, tier, fused);
+        }
+    }
+
+    /// The InsertRow fast path under table wrap-around: a keyed log table
+    /// with tiny capacity is driven far past capacity so recycled rows and
+    /// FIFO eviction are on the measured path.
+    #[test]
+    fn insert_row_wraparound_agrees(
+        capacity in 4u32..12,
+        msgs in proptest::collection::vec(msg_strategy(), 24..64),
+        seed in 0u64..256,
+    ) {
+        let elements = vec![lower_src(&Template::Log { capacity }.source())];
+        for tier in tiers() {
+            assert_equivalent(&elements, &msgs, seed, tier, true);
+        }
+    }
+}

@@ -14,7 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adn::harness::{object_store_schemas, object_store_service};
-use adn_backend::native::{compile_element, CompileOpts};
+use adn_backend::jit::compile_engine;
+use adn_backend::native::CompileOpts;
 use adn_dataplane::processor::OverloadPolicy;
 use adn_rpc::chaos::ChaosPolicy;
 use adn_rpc::engine::{EngineChain, Verdict};
@@ -545,13 +546,14 @@ fn build_chain(
     for spec in specs {
         let ir = adn_elements::build(&spec.name, &spec.args, req, resp)
             .unwrap_or_else(|e| panic!("element {} must build: {e:?}", spec.name));
-        chain.push(Box::new(compile_element(
+        chain.push(compile_engine(
             &ir,
             &CompileOpts {
                 seed: compile_seed,
                 replicas: vec![],
+                ..Default::default()
             },
-        )));
+        ));
     }
     chain
 }

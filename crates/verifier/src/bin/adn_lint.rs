@@ -33,6 +33,9 @@ options:
   --ebpf            report which elements would not offload to eBPF
   --ebpf-disasm     dump each element's encoded eBPF programs: disassembly,
                     per-block abstract states, and the offload verdict
+  --jit-audit       warn on elements that escape the JIT fast path (V0006)
+  --jit-dump        dump each element's JIT program: plan notes, op IR, and
+                    (on x86-64) the emitted machine code bytes per op
   --catalog         also lint every element in the standard catalog
   -h, --help        show this help";
 
@@ -42,6 +45,8 @@ struct Options {
     shard_field: Option<usize>,
     ebpf: bool,
     ebpf_disasm: bool,
+    jit_audit: bool,
+    jit_dump: bool,
     catalog: bool,
     paths: Vec<PathBuf>,
 }
@@ -53,6 +58,8 @@ fn parse_args() -> Result<Options, String> {
         shard_field: None,
         ebpf: false,
         ebpf_disasm: false,
+        jit_audit: false,
+        jit_dump: false,
         catalog: false,
         paths: Vec::new(),
     };
@@ -63,6 +70,8 @@ fn parse_args() -> Result<Options, String> {
             "--deny-warnings" => opts.deny_warnings = true,
             "--ebpf" => opts.ebpf = true,
             "--ebpf-disasm" => opts.ebpf_disasm = true,
+            "--jit-audit" => opts.jit_audit = true,
+            "--jit-dump" => opts.jit_dump = true,
             "--catalog" => opts.catalog = true,
             "--shard-field" => {
                 let v = args.next().ok_or("--shard-field needs a field index")?;
@@ -189,6 +198,7 @@ fn lint_unit(opts: &Options, origin: &str, source: &str, tally: &mut Tally) {
     // source, so render against that, labelled `origin:Element`.
     let copts = ChainVerifyOptions {
         shard_field: opts.shard_field,
+        jit_audit: opts.jit_audit,
     };
     for finding in verify_chain(&chain, &copts) {
         match finding.element {
@@ -228,6 +238,44 @@ fn lint_unit(opts: &Options, origin: &str, source: &str, tally: &mut Tally) {
 
     if opts.ebpf_disasm {
         dump_ebpf_disasm(origin, &chain);
+    }
+
+    if opts.jit_dump {
+        dump_jit(origin, &chain);
+    }
+}
+
+/// Dumps the compiled JIT program for every element in the chain: the
+/// lowering statistics line, then the annotated listing — plan notes, op
+/// IR, and (when the native tier is available) the machine code bytes
+/// emitted for each op.
+fn dump_jit(origin: &str, chain: &ChainIr) {
+    use adn_backend::jit::{resolve_tier, JitEngine, JitTier};
+    use adn_backend::native::CompileOpts;
+    use adn_rpc::message::MessageKind;
+
+    let tier = resolve_tier(JitTier::Auto);
+    for element in &chain.elements {
+        let mut engine = JitEngine::single(element, &CompileOpts::default(), tier);
+        engine.bind_schema(MessageKind::Request, &chain.request_schema);
+        engine.bind_schema(MessageKind::Response, &chain.response_schema);
+        for kind in [MessageKind::Request, MessageKind::Response] {
+            let dir = match kind {
+                MessageKind::Request => "request",
+                MessageKind::Response => "response",
+            };
+            let st = engine.stats(kind);
+            println!(
+                ";; {origin}:{} {dir} — tier {:?}: {} inline op(s), {} fast-path stmt(s), {} escape(s), {} eliminated",
+                element.name,
+                engine.effective_tier(),
+                st.inline_ops,
+                st.fast_stmts,
+                st.escapes,
+                st.eliminated,
+            );
+            print!("{}", engine.listing(kind));
+        }
     }
 }
 

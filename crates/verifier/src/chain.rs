@@ -18,6 +18,9 @@ pub struct ChainVerifyOptions {
     /// replication is planned. Enables the state-partitionability lint
     /// (`V0005`).
     pub shard_field: Option<usize>,
+    /// Audit JIT-tier eligibility and warn on interpreter escapes
+    /// (`V0006`). Advisory: an escape is exact, just slower.
+    pub jit_audit: bool,
 }
 
 /// A finding tied (when possible) to one element of the chain; the
@@ -384,6 +387,40 @@ pub fn verify_chain(chain: &ChainIr, opts: &ChainVerifyOptions) -> Vec<ChainDiag
         }
     }
 
+    // V0006 — advisory: how much of each element runs on the JIT fast
+    // path. An escape is not wrong (the thunk is observably identical),
+    // but a chain that escapes on every message gains little from the
+    // compiled tiers, and that is worth surfacing at verification time
+    // rather than discovering in a profile.
+    for (i, e) in chain.elements.iter().enumerate().filter(|_| opts.jit_audit) {
+        let (req, resp) = adn_backend::jit::jit_eligibility(
+            e,
+            Some(&chain.request_schema),
+            Some(&chain.response_schema),
+        );
+        let escapes = req.escapes + resp.escapes;
+        if escapes > 0 {
+            let inline = req.inline_ops + resp.inline_ops;
+            let fast = req.fast_stmts + resp.fast_stmts;
+            out.push(ChainDiagnostic {
+                element: Some(i),
+                diagnostic: Diagnostic::warning(
+                    codes::JIT_ESCAPES,
+                    format!(
+                        "element `{}` escapes to the interpreter {escapes} time(s) per \
+                         message worst-case ({inline} inline op(s), {fast} specialized \
+                         fast-path statement(s))",
+                        e.name
+                    ),
+                )
+                .with_help(
+                    "escapes are exact but dispatch through a thunk; keyed INSERTs and \
+                     keyed equality joins compile to specialized fast paths",
+                ),
+            });
+        }
+    }
+
     out
 }
 
@@ -450,6 +487,32 @@ mod tests {
         let chain = chain_of(&[ACL, COMPRESS]);
         let diags = verify_chain(&chain, &ChainVerifyOptions::default());
         assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn jit_audit_flags_escaping_element_only() {
+        // The UPDATE escapes to an interpreter thunk; the keyed join
+        // compiles to the specialized filter fast path and stays quiet.
+        let quota = r#"
+            element Quota() {
+                state used(username: string key, count: u64);
+                on request {
+                    UPDATE used SET count = used.count + 1
+                        WHERE used.username == input.username;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let chain = chain_of(&[ACL, quota]);
+        let opts = ChainVerifyOptions {
+            jit_audit: true,
+            ..Default::default()
+        };
+        let diags = verify_chain(&chain, &opts);
+        assert_eq!(codes_of(&diags), vec![codes::JIT_ESCAPES], "{diags:?}");
+        assert_eq!(diags[0].element, Some(1));
+        // Off by default: the same chain stays clean without the option.
+        assert!(verify_chain(&chain, &ChainVerifyOptions::default()).is_empty());
     }
 
     #[test]
@@ -539,6 +602,7 @@ mod tests {
             &chain,
             &ChainVerifyOptions {
                 shard_field: Some(1),
+                ..Default::default()
             },
         );
         assert!(diags.is_empty(), "{diags:?}");
@@ -563,6 +627,7 @@ mod tests {
             &chain,
             &ChainVerifyOptions {
                 shard_field: Some(0),
+                ..Default::default()
             },
         );
         assert_eq!(codes_of(&diags), vec![codes::NON_PARTITIONABLE]);
@@ -584,6 +649,7 @@ mod tests {
             &chain,
             &ChainVerifyOptions {
                 shard_field: Some(1),
+                ..Default::default()
             },
         );
         assert_eq!(codes_of(&diags), vec![codes::NON_PARTITIONABLE]);
@@ -597,6 +663,7 @@ mod tests {
             &chain,
             &ChainVerifyOptions {
                 shard_field: Some(0),
+                ..Default::default()
             },
         );
         assert!(diags.is_empty(), "{diags:?}");

@@ -46,6 +46,8 @@ pub mod codes {
     pub const UNREACHABLE: &str = "V0004";
     /// Mutable state not partitionable by the deployment's shard key.
     pub const NON_PARTITIONABLE: &str = "V0005";
+    /// Element escapes the JIT fast path back into the interpreter.
+    pub const JIT_ESCAPES: &str = "V0006";
 
     /// Optimizer report disagrees with the chain it claims to describe.
     pub const REPORT_MISMATCH: &str = "A0001";

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adn::harness::{object_store_schemas, object_store_service};
-use adn_backend::native::{compile_element, CompileOpts};
+use adn_backend::jit::compile_engine;
+use adn_backend::native::CompileOpts;
 use adn_controller::deploy::AddrAllocator;
 use adn_controller::reconfig::{migrate_processor, scale_in, scale_out};
 use adn_dataplane::processor::{spawn_processor, NextHop, ProcessorConfig, DEFAULT_BATCH_MAX};
@@ -51,13 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let element = element.clone();
         move || {
             let mut chain = EngineChain::new();
-            chain.push(Box::new(compile_element(
+            chain.push(compile_engine(
                 &element,
                 &CompileOpts {
                     seed: 1,
                     replicas: vec![],
+                    ..Default::default()
                 },
-            )));
+            ));
             chain
         }
     };

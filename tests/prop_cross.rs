@@ -122,6 +122,7 @@ proptest! {
             &CompileOpts {
                 seed: 0,
                 replicas: replicas.clone(),
+                ..Default::default()
             },
         );
         let mut ebpf_engine = EbpfEngine::new(

@@ -87,6 +87,7 @@ fn make_chain(element: &adn_ir::ElementIr) -> EngineChain {
         &CompileOpts {
             seed: 1,
             replicas: vec![],
+            ..Default::default()
         },
     )));
     chain
