@@ -1,0 +1,56 @@
+//! Validates evaluation artifacts against the shared schema module.
+//!
+//! ```text
+//! schema_check MATRIX.json BENCH_overload.json ...
+//! ```
+//!
+//! Each file is parsed, its kind detected from the `tool` / `bench`
+//! header, and its structure checked; any violation prints and exits
+//! nonzero. CI runs this on every artifact it uploads, so the python
+//! policy asserts in the workflow only ever see well-shaped documents.
+
+use std::process::ExitCode;
+
+use adn_bench::schema;
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match schema::validate(&doc) {
+        Ok(kind) => {
+            println!("{path}: OK ({})", kind.name());
+            Ok(())
+        }
+        Err(errors) => Err(format!(
+            "{path}: {} schema violation(s):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("usage: schema_check <artifact.json>...");
+        eprintln!("validates BENCH_*.json / MATRIX.json / simseed --json artifacts");
+        return if paths.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut ok = true;
+    for path in &paths {
+        if let Err(msg) = check(path) {
+            eprintln!("{msg}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+pub mod schema;
+
 /// The paper's workload: 128 concurrent RPCs from a single client thread,
 /// short byte-string request/response payloads.
 pub const PAPER_CONCURRENCY: usize = 128;

@@ -30,5 +30,8 @@ pub mod runtime;
 
 pub use compile::{compile_app, compile_app_verified, CompileError, CompiledApp, VerifyLevel};
 pub use deploy::{deploy, AddrAllocator, Deployment};
-pub use placement::{place, place_with_policy, Environment, PlaceError, Placement, Site};
+pub use placement::{
+    place, place_for_class, place_whole_chain, place_with_policy, ClassPlacement, DpuSpec,
+    ElementConstraints, Environment, PlaceError, Placement, ProcessorClass, Site,
+};
 pub use runtime::Controller;

@@ -407,6 +407,196 @@ pub fn place_with_policy(
     })
 }
 
+/// Relative per-unit execution speed of DPU SoC cores. Wimpier than the
+/// host CPU (FlatProxy's trade: slower cores, but the host spends zero
+/// cycles and the chain stays off the application path entirely).
+const DPU_SPEED: f64 = 1.4;
+
+/// A DPU-class device fronting the callee: an on-path SoC (think
+/// BlueField-style NIC) that can host an *entire* chain as one software
+/// processor, FlatProxy-style. Unlike a SmartNIC site — which competes
+/// per element inside the DP — a DPU either takes the whole chain or
+/// nothing: splitting a chain across the DPU boundary would reintroduce
+/// the PCIe round-trips the device exists to avoid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpuSpec {
+    /// SoC cores available for chain processors.
+    pub cpu_slots: u32,
+    /// Largest total per-RPC execution cost (IR units) the SoC absorbs
+    /// before it would become the bottleneck.
+    pub max_chain_units: f64,
+    /// Program-table limit: how many elements fit at once.
+    pub max_elements: usize,
+}
+
+impl Default for DpuSpec {
+    fn default() -> Self {
+        DpuSpec {
+            cpu_slots: 4,
+            max_chain_units: 1024.0,
+            max_elements: 8,
+        }
+    }
+}
+
+/// Processor hardware class for a deployment, as swept by eval-matrix.
+/// Each class implies a canonical [`Environment`] for the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessorClass {
+    /// Plain hosts: no kernel offload, no NIC, no programmable switch.
+    Host,
+    /// eBPF-capable hosts with SmartNICs and a programmable switch.
+    SmartNic,
+    /// A DPU fronting the server; the host side stays plain.
+    Dpu,
+}
+
+impl ProcessorClass {
+    /// The canonical environment for this class, against standard nodes.
+    pub fn environment(self) -> Environment {
+        use adn_cluster::resources::{NodeId, SmartNicSpec};
+        let node = |id: u32, ebpf: bool, nic: bool| NodeSpec {
+            id: NodeId(id),
+            name: format!("n{id}"),
+            cpu_slots: 8,
+            ebpf_capable: ebpf,
+            smartnic: nic.then_some(SmartNicSpec { cpu_slots: 4 }),
+        };
+        match self {
+            ProcessorClass::Host => Environment {
+                client_node: node(1, false, false),
+                server_node: node(2, false, false),
+                switch: None,
+                allow_in_app: true,
+            },
+            ProcessorClass::SmartNic => Environment {
+                client_node: node(1, true, true),
+                server_node: node(2, true, true),
+                switch: Some(adn_cluster::resources::SwitchSpec {
+                    id: adn_cluster::resources::SwitchId(1),
+                    name: "tor".into(),
+                    programmable: true,
+                    table_capacity: 1024,
+                }),
+                allow_in_app: true,
+            },
+            ProcessorClass::Dpu => Environment {
+                client_node: node(1, false, false),
+                server_node: node(2, false, true),
+                switch: None,
+                allow_in_app: true,
+            },
+        }
+    }
+}
+
+/// How a chain landed when a DPU was on offer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassPlacement {
+    /// The DPU took the whole chain (every element at [`Site::ServerNic`]).
+    WholeChain(Placement),
+    /// Whole-chain offload was refused; the per-element DP placed it.
+    PerElement(Placement),
+}
+
+impl ClassPlacement {
+    pub fn placement(&self) -> &Placement {
+        match self {
+            ClassPlacement::WholeChain(p) | ClassPlacement::PerElement(p) => p,
+        }
+    }
+
+    pub fn whole_chain(&self) -> bool {
+        matches!(self, ClassPlacement::WholeChain(_))
+    }
+}
+
+/// Whole-chain DPU offload: all-or-nothing. Accepts iff every element
+/// compiles to a software engine (the SoC runs ordinary processors), no
+/// element is pinned to the sender side (the DPU fronts the receiver),
+/// the chain fits the program table, and the summed execution cost stays
+/// within the SoC budget. On refusal the error lists every offending
+/// element with its reason, so callers can fall back per element.
+pub fn place_whole_chain(
+    elements: &[ElementIr],
+    constraints: &[ElementConstraints],
+    dpu: &DpuSpec,
+) -> Result<Placement, PlaceError> {
+    assert_eq!(elements.len(), constraints.len());
+    let site = Site::ServerNic;
+    let mut reasons: Vec<(Site, String)> = Vec::new();
+    let mut first_bad: Option<String> = None;
+    let mut total_units = 0.0;
+    for (element, cons) in elements.iter().zip(constraints) {
+        let before = reasons.len();
+        if let Err(reason) = adn_backend::supports(element, Platform::Software) {
+            reasons.push((
+                site,
+                format!(
+                    "{}: does not compile to a software engine: {reason}",
+                    element.name
+                ),
+            ));
+        }
+        if let Err(reason) = cons.allows(site) {
+            reasons.push((
+                site,
+                format!("{}: constraint forbids the DPU: {reason}", element.name),
+            ));
+        }
+        if reasons.len() > before && first_bad.is_none() {
+            first_bad = Some(element.name.clone());
+        }
+        total_units += adn_ir::analysis::analyze(element).total_cost() as f64;
+    }
+    if elements.len() > dpu.max_elements {
+        reasons.push((
+            site,
+            format!(
+                "chain has {} elements; DPU program table holds {}",
+                elements.len(),
+                dpu.max_elements
+            ),
+        ));
+        first_bad.get_or_insert_with(|| "<chain size>".to_owned());
+    }
+    if total_units > dpu.max_chain_units {
+        reasons.push((
+            site,
+            format!(
+                "chain costs {total_units:.1} units; DPU budget is {:.1}",
+                dpu.max_chain_units
+            ),
+        ));
+        first_bad.get_or_insert_with(|| "<chain cost>".to_owned());
+    }
+    if let Some(element) = first_bad {
+        return Err(PlaceError { element, reasons });
+    }
+    Ok(Placement {
+        sites: vec![site; elements.len()],
+        cost: site.entry_cost() + total_units * DPU_SPEED,
+    })
+}
+
+/// Places a chain for a hardware class: DPU-class deployments try the
+/// whole-chain offload first and fall back to the per-element DP in the
+/// class environment; other classes go straight to the DP.
+pub fn place_for_class(
+    elements: &[ElementIr],
+    constraints: &[ElementConstraints],
+    class: ProcessorClass,
+    ebpf_policy: &EbpfPolicy,
+) -> Result<ClassPlacement, PlaceError> {
+    if class == ProcessorClass::Dpu {
+        if let Ok(p) = place_whole_chain(elements, constraints, &DpuSpec::default()) {
+            return Ok(ClassPlacement::WholeChain(p));
+        }
+    }
+    place_with_policy(elements, constraints, &class.environment(), ebpf_policy)
+        .map(ClassPlacement::PerElement)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,5 +944,75 @@ mod tests {
         let p = place(&[], &[], &bare_env()).unwrap();
         assert!(p.sites.is_empty());
         assert_eq!(p.cost, 0.0);
+    }
+
+    #[test]
+    fn dpu_takes_a_whole_software_chain() {
+        let elements = vec![lower(FIREWALL), lower(LB), lower(COMPRESS)];
+        let cons = vec![ElementConstraints::default(); 3];
+        let p = place_whole_chain(&elements, &cons, &DpuSpec::default()).unwrap();
+        assert_eq!(p.sites, vec![Site::ServerNic; 3]);
+        let cp = place_for_class(
+            &elements,
+            &cons,
+            ProcessorClass::Dpu,
+            &EbpfPolicy::default(),
+        )
+        .unwrap();
+        assert!(cp.whole_chain());
+        assert_eq!(cp.placement().sites, vec![Site::ServerNic; 3]);
+    }
+
+    #[test]
+    fn dpu_refuses_sender_pinned_elements_and_falls_back() {
+        let elements = vec![lower(COMPRESS), lower(FIREWALL)];
+        let cons = vec![
+            ElementConstraints {
+                constraints: vec![PlacementConstraint::SenderSide],
+            },
+            ElementConstraints::default(),
+        ];
+        let err = place_whole_chain(&elements, &cons, &DpuSpec::default()).unwrap_err();
+        assert_eq!(err.element, "Compress");
+        assert!(err.reasons.iter().any(|(_, r)| r.contains("sender side")));
+        // place_for_class degrades to the per-element DP, which still
+        // honours the pin.
+        let cp = place_for_class(
+            &elements,
+            &cons,
+            ProcessorClass::Dpu,
+            &EbpfPolicy::default(),
+        )
+        .unwrap();
+        assert!(!cp.whole_chain());
+        assert!(cp.placement().sites[0].client_side());
+    }
+
+    #[test]
+    fn dpu_budget_and_program_table_are_enforced() {
+        let elements: Vec<ElementIr> = (0..3).map(|_| lower(COMPRESS)).collect();
+        let cons = vec![ElementConstraints::default(); 3];
+        let tiny_table = DpuSpec {
+            max_elements: 2,
+            ..DpuSpec::default()
+        };
+        let err = place_whole_chain(&elements, &cons, &tiny_table).unwrap_err();
+        assert!(err.reasons.iter().any(|(_, r)| r.contains("program table")));
+        let tiny_budget = DpuSpec {
+            max_chain_units: 0.5,
+            ..DpuSpec::default()
+        };
+        let err = place_whole_chain(&elements, &cons, &tiny_budget).unwrap_err();
+        assert!(err.reasons.iter().any(|(_, r)| r.contains("budget")));
+    }
+
+    #[test]
+    fn class_environments_reflect_hardware() {
+        let host = ProcessorClass::Host.environment();
+        assert!(!host.available(Site::ClientEbpf) && !host.available(Site::ServerNic));
+        let rich = ProcessorClass::SmartNic.environment();
+        assert!(rich.available(Site::Switch) && rich.available(Site::ClientNic));
+        let dpu = ProcessorClass::Dpu.environment();
+        assert!(dpu.available(Site::ServerNic) && !dpu.available(Site::ClientNic));
     }
 }

@@ -117,7 +117,7 @@ pub struct ChaosConfig {
 }
 
 /// Configuration of an [`AdnWorld`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WorldConfig {
     /// Element chain (sender side first).
     pub chain: Vec<ElementSpec>,
@@ -132,6 +132,25 @@ pub struct WorldConfig {
     /// Record per-object-id server side-effect counts (for verifying
     /// at-most-once execution under retries).
     pub track_effects: bool,
+    /// Time source for the controller (autoscale cooldowns, heartbeat
+    /// ages, the cluster view's window). `None` uses the system clock;
+    /// deterministic tests pass a shared
+    /// [`adn_rpc::clock::VirtualClock`] and advance it explicitly.
+    pub clock: Option<Arc<dyn adn_rpc::clock::Clock>>,
+}
+
+impl std::fmt::Debug for WorldConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldConfig")
+            .field("chain", &self.chain)
+            .field("replicas", &self.replicas)
+            .field("env", &self.env)
+            .field("seed", &self.seed)
+            .field("chaos", &self.chaos)
+            .field("track_effects", &self.track_effects)
+            .field("clock", &self.clock.as_ref().map(|_| "<custom>"))
+            .finish()
+    }
 }
 
 impl WorldConfig {
@@ -152,6 +171,7 @@ impl WorldConfig {
             seed: 0xADB,
             chaos: None,
             track_effects: false,
+            clock: None,
         }
     }
 
@@ -307,8 +327,10 @@ impl AdnWorld {
         );
 
         // The controller spawns its processors on the same (possibly
-        // chaos-wrapped) link the app uses.
-        let controller = Controller::with_link(store.clone(), net.clone(), link, 10_000);
+        // chaos-wrapped) link the app uses, on the configured time source.
+        let clock = config.clock.clone().unwrap_or_else(adn_rpc::clock::system);
+        let controller =
+            Controller::with_link_and_clock(store.clone(), net.clone(), link, 10_000, clock);
 
         // Re-export the world's ad-hoc counters through the telemetry
         // registry: one `Registry::snapshot()` now covers fault injection,

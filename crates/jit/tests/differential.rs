@@ -64,6 +64,10 @@ enum Template {
     Fault { p_tenths: u32 },
     /// Generic escape path: keyed upsert accumulation (no fast path).
     Quota { limit: u64 },
+    /// Unspecialized DELETE: keyed insert then a predicate sweep.
+    Sweep { cutoff: u64 },
+    /// UDF-bearing SET: `compress()` has no inline lowering.
+    Seal,
 }
 
 impl Template {
@@ -117,6 +121,23 @@ impl Template {
                     }}
                 }}"#
             ),
+            Template::Sweep { cutoff } => format!(
+                r#"element Sweep() {{
+                    state sess(username: string key, object_id: u64) capacity 128;
+                    on request {{
+                        INSERT INTO sess VALUES (input.username, input.object_id);
+                        DELETE FROM sess WHERE sess.object_id < {cutoff};
+                        SELECT * FROM input;
+                    }}
+                }}"#
+            ),
+            Template::Seal => r#"element Seal() {
+                    on request {
+                        SET payload = compress(input.payload);
+                        SELECT * FROM input;
+                    }
+                }"#
+            .to_string(),
         }
     }
 }
@@ -131,6 +152,8 @@ fn template_strategy() -> impl Strategy<Value = Template> {
         }),
         (1u32..9).prop_map(|p_tenths| Template::Fault { p_tenths }),
         (1u64..6).prop_map(|limit| Template::Quota { limit }),
+        (10u64..150).prop_map(|cutoff| Template::Sweep { cutoff }),
+        Just(Template::Seal),
     ]
 }
 
@@ -248,6 +271,44 @@ fn assert_equivalent(elements: &[ElementIr], msgs: &[Msg], seed: u64, tier: JitT
                 b.export_state(),
                 "state image diverged for element {i} on {tier:?}"
             );
+        }
+    }
+}
+
+/// The unspecialized statements — UPDATE, DELETE, and UDF-bearing SET —
+/// must *decline* to interpreter thunks (the lowering reports escapes,
+/// never a bogus fast path) and the declined thunks must stay
+/// byte-identical to the interpreter across tiers, state images
+/// included. Pins the gap named in ROADMAP item 1.
+#[test]
+fn unspecialized_update_delete_and_udf_set_decline_to_thunks() {
+    use adn_backend::jit::jit_eligibility;
+
+    let (req, resp) = schemas();
+    let cases = [
+        ("update", Template::Quota { limit: 3 }.source()),
+        ("delete", Template::Sweep { cutoff: 90 }.source()),
+        ("udf-set", Template::Seal.source()),
+    ];
+    // A fixed message sweep: every user, wrapping ids, growing payloads,
+    // enough volume to cycle state through insert/update/delete paths.
+    let msgs: Vec<Msg> = (0..48u64)
+        .map(|i| Msg {
+            object_id: (i * 37) % 211,
+            user: (i % 6) as usize,
+            payload: vec![i as u8; (i % 17) as usize],
+        })
+        .collect();
+    for (label, src) in cases {
+        let element = lower_src(&src);
+        let (req_stats, _) = jit_eligibility(&element, Some(&req), Some(&resp));
+        assert!(
+            req_stats.escapes > 0,
+            "{label}: must decline to interpreter thunks, got {req_stats:?}"
+        );
+        for tier in tiers() {
+            assert_equivalent(std::slice::from_ref(&element), &msgs, 7, tier, false);
+            assert_equivalent(std::slice::from_ref(&element), &msgs, 7, tier, true);
         }
     }
 }

@@ -1,0 +1,204 @@
+//! eval-matrix: the topology × chain × chaos × tier sweep runner.
+//!
+//! ```text
+//! eval-matrix [--grid standard|tiny] [--workers N] [--seed S]
+//!             [--seeds-per-cell K] [--json PATH] [--markdown PATH]
+//!             [--cell NAME] [--seed S --max-events M --dump-log]
+//!             [--list]
+//! ```
+//!
+//! Without `--cell`, runs the whole grid and exits nonzero if any cell
+//! violated an invariant or a matrix-level check. With `--cell`, replays
+//! a single cell (the shrink/replay path) and dumps its event log on
+//! request. Output is deterministic: the same grid and seed produce
+//! byte-identical `MATRIX.json` at any `--workers` value.
+
+use std::process::ExitCode;
+
+use adn_sim::matrix::{run_cell, run_grid, MatrixGrid};
+
+struct Args {
+    grid: String,
+    workers: usize,
+    seed: Option<u64>,
+    seeds_per_cell: Option<u64>,
+    json: Option<String>,
+    markdown: Option<String>,
+    cell: Option<String>,
+    cell_seed: Option<u64>,
+    max_events: Option<u64>,
+    dump_log: bool,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eval-matrix [--grid standard|tiny] [--workers N] [--seed S]\n\
+         \x20                  [--seeds-per-cell K] [--json PATH] [--markdown PATH]\n\
+         \x20                  [--cell NAME [--seed S] [--max-events M] [--dump-log]]\n\
+         \x20                  [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        grid: "standard".into(),
+        workers: 1,
+        seed: None,
+        seeds_per_cell: None,
+        json: None,
+        markdown: None,
+        cell: None,
+        cell_seed: None,
+        max_events: None,
+        dump_log: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--grid" => args.grid = value("--grid"),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--seed" => {
+                let v = value("--seed").parse().unwrap_or_else(|_| usage());
+                args.seed = Some(v);
+                args.cell_seed = Some(v);
+            }
+            "--seeds-per-cell" => {
+                args.seeds_per_cell = Some(
+                    value("--seeds-per-cell")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--json" => args.json = Some(value("--json")),
+            "--markdown" => args.markdown = Some(value("--markdown")),
+            "--cell" => args.cell = Some(value("--cell")),
+            "--max-events" => {
+                args.max_events = Some(value("--max-events").parse().unwrap_or_else(|_| usage()))
+            }
+            "--dump-log" => args.dump_log = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut grid = match MatrixGrid::by_name(&args.grid) {
+        Some(g) => g,
+        None => {
+            eprintln!("unknown grid {:?} (try: standard, tiny)", args.grid);
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(seed) = args.seed {
+        grid.seed = seed;
+    }
+    if let Some(k) = args.seeds_per_cell {
+        grid.seeds_per_cell = k;
+    }
+
+    if args.list {
+        for cell in grid.cells() {
+            println!("{}", cell.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(name) = &args.cell {
+        // Replay path: run one cell, optionally a single seed capped at
+        // a shrunk event prefix.
+        let Some(mut cell) = grid.cells().into_iter().find(|c| c.name == *name) else {
+            eprintln!("no cell named {name:?} in grid {:?}", grid.name);
+            return ExitCode::from(2);
+        };
+        if let Some(max) = args.max_events {
+            cell.scenario.max_events = max;
+        }
+        if let Some(seed) = args.cell_seed {
+            let report = cell.scenario.run(seed);
+            if args.dump_log {
+                print!("{}", report.log_text());
+            }
+            println!(
+                "cell {} seed {seed}: {} events, {}",
+                cell.name,
+                report.events,
+                match &report.violation {
+                    Some(v) => format!("VIOLATION {}: {}", v.invariant, v.detail),
+                    None => "all invariants held".to_string(),
+                }
+            );
+            return if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        let result = run_cell(&cell);
+        println!(
+            "cell {}: {} ({} seeds, {} msgs/sec, shed {})",
+            result.name,
+            if result.pass { "pass" } else { "FAIL" },
+            result.seeds_run,
+            result.msgs_per_sec,
+            result.shed_rate
+        );
+        if let Some(detail) = &result.detail {
+            println!("  {}: {detail}", result.invariant.as_deref().unwrap_or("?"));
+        }
+        if let Some(replay) = &result.replay {
+            println!("  replay: {replay}");
+        }
+        return if result.pass {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let report = run_grid(&grid, args.workers);
+    let json = serde_json::to_string_pretty(&report.to_json()).expect("serialize");
+    if let Some(path) = &args.json {
+        std::fs::write(path, format!("{json}\n")).expect("write MATRIX.json");
+    }
+    if let Some(path) = &args.markdown {
+        std::fs::write(path, report.to_markdown()).expect("write markdown");
+    }
+    println!(
+        "grid {}: {} cells, {} failed",
+        report.grid,
+        report.cells.len(),
+        report.failed()
+    );
+    for cell in report.cells.iter().filter(|c| !c.pass) {
+        println!(
+            "  FAIL {} [{}] {}",
+            cell.name,
+            cell.invariant.as_deref().unwrap_or("?"),
+            cell.detail.as_deref().unwrap_or("")
+        );
+        if let Some(replay) = &cell.replay {
+            println!("    {replay}");
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -3,13 +3,16 @@
 //! ```text
 //! simseed list
 //! simseed run    --scenario NAME --seed N [--max-events N] [--dump-log]
-//! simseed sweep  --scenario NAME --seeds A..B [--artifact PATH]
+//! simseed sweep  --scenario NAME --seeds A..B [--artifact PATH] [--json PATH]
 //! simseed shrink --scenario NAME --seed N
 //! ```
 //!
-//! `sweep` exits nonzero on the first failing seed, after shrinking it
-//! and printing (and optionally writing to `--artifact`) a replay
-//! command that reproduces the violation from the minimal event prefix.
+//! `sweep` runs the whole seed range and exits nonzero if any seed
+//! failed, after shrinking *every* failure and printing (and optionally
+//! writing to `--artifact`) a replay command per failing seed that
+//! reproduces its violation from the minimal event prefix. `--json`
+//! writes the machine-readable outcome CI's replay-artifact step
+//! consumes.
 
 use std::process::ExitCode;
 
@@ -19,7 +22,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  simseed list\n  simseed run --scenario NAME --seed N \
          [--max-events N] [--batch N] [--dump-log]\n  simseed sweep --scenario NAME \
-         --seeds A..B [--batch N] [--artifact PATH]\n  simseed shrink --scenario NAME \
+         --seeds A..B [--batch N] [--artifact PATH] [--json PATH]\n  simseed shrink --scenario NAME \
          --seed N [--batch N]\n\
          scenarios: {}",
         SCENARIO_NAMES.join(", ")
@@ -35,6 +38,7 @@ struct Args {
     batch: Option<usize>,
     dump_log: bool,
     artifact: Option<String>,
+    json: Option<String>,
 }
 
 fn parse(args: &[String]) -> Option<Args> {
@@ -46,6 +50,7 @@ fn parse(args: &[String]) -> Option<Args> {
         batch: None,
         dump_log: false,
         artifact: None,
+        json: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +83,10 @@ fn parse(args: &[String]) -> Option<Args> {
             }
             "--artifact" => {
                 out.artifact = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--json" => {
+                out.json = Some(args.get(i + 1)?.clone());
                 i += 2;
             }
             _ => return None,
@@ -158,27 +167,38 @@ fn main() -> ExitCode {
                 scenario.batch = b.max(1);
             }
             let outcome = sweep(&scenario, a..b);
-            match outcome.failure {
-                None => {
-                    println!(
-                        "scenario={} seeds={}..{} ({} run): all invariants held",
-                        name, a, b, outcome.seeds_run
-                    );
-                    ExitCode::SUCCESS
+            if let Some(path) = &args.json {
+                let body = format!("{}\n", outcome.to_json());
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("could not write json {path}: {e}");
                 }
-                Some(f) => {
-                    let line = format!(
+            }
+            if outcome.passed() {
+                println!(
+                    "scenario={} seeds={}..{} ({} run): all invariants held",
+                    name, a, b, outcome.seeds_run
+                );
+                ExitCode::SUCCESS
+            } else {
+                let mut lines = Vec::new();
+                for f in &outcome.failures {
+                    lines.push(format!(
                         "scenario={name} seed={} FAILED: {}\nminimal prefix: {} of {} events\nreplay: {}",
                         f.seed, f.violation, f.min_events, f.events, f.replay
-                    );
-                    eprintln!("{line}");
-                    if let Some(path) = &args.artifact {
-                        if let Err(e) = std::fs::write(path, format!("{line}\n")) {
-                            eprintln!("could not write artifact {path}: {e}");
-                        }
-                    }
-                    ExitCode::FAILURE
+                    ));
                 }
+                let body = lines.join("\n");
+                eprintln!(
+                    "{body}\n{} of {} seeds failed",
+                    outcome.failures.len(),
+                    outcome.seeds_run
+                );
+                if let Some(path) = &args.artifact {
+                    if let Err(e) = std::fs::write(path, format!("{body}\n")) {
+                        eprintln!("could not write artifact {path}: {e}");
+                    }
+                }
+                ExitCode::FAILURE
             }
         }
         "shrink" => {

@@ -25,6 +25,10 @@
 //!   well-formedness, autoscale cooldown, failover liveness) evaluated
 //!   after every event.
 //! - [`sweep`]: seed-range sweeps, failure shrinking, replay commands.
+//! - [`matrix`]: the eval-matrix — a declarative topology × chain ×
+//!   chaos × engine-tier grid where every cell is an independent
+//!   deterministic scenario with two extra matrix-level checks (tier
+//!   verdict identity, placement-respects-offload-verdict).
 //!
 //! ## Quick start
 //!
@@ -42,13 +46,17 @@
 
 pub mod executor;
 pub mod invariant;
+pub mod matrix;
 pub mod nodes;
 pub mod scenario;
 pub mod sweep;
 
 pub use executor::{fingerprint, Event, SimExecutor};
 pub use invariant::{Invariant, Violation};
-pub use scenario::{Scenario, SimAutoscale, SimReport, SimStats};
+pub use matrix::{
+    run_cell, run_grid, CellResult, ChainSpec, ChaosProfile, MatrixGrid, MatrixReport, TopologySpec,
+};
+pub use scenario::{OverloadModel, Scenario, SimAutoscale, SimReport, SimStats};
 pub use sweep::{scenario_by_name, shrink, sweep as sweep_seeds, SeedFailure, SweepOutcome};
 
 /// The virtual clock shared with the production `Clock` abstraction —

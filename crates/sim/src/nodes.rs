@@ -30,6 +30,10 @@ pub struct ElementSpec {
     pub name: String,
     /// Instantiation arguments.
     pub args: Vec<(String, Value)>,
+    /// DSL source to compile instead of the catalog element, for chains
+    /// that exist only as text (eval-matrix generated chains, `.adn`
+    /// files). `None` builds `name` from the standard catalog.
+    pub source: Option<String>,
 }
 
 impl ElementSpec {
@@ -38,6 +42,18 @@ impl ElementSpec {
         Self {
             name: name.to_string(),
             args: Vec::new(),
+            source: None,
+        }
+    }
+
+    /// An element compiled from DSL source text. Callers are expected to
+    /// have run the source through `adn_verifier::preflight` first; the
+    /// sim panics on sources that do not lower.
+    pub fn from_source(name: &str, source: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            args: Vec::new(),
+            source: Some(source.to_string()),
         }
     }
 }
@@ -299,11 +315,46 @@ pub struct Facts {
     pub failovers: BTreeMap<u64, Duration>,
     /// Live migrations performed.
     pub migrations: u64,
+    /// Chain verdicts observed (request + response direction).
+    pub verdicts: u64,
+    /// Running FNV-1a fingerprint over the verdict stream: for each chain
+    /// invocation, `(direction, processor, call_id, verdict tag, code)`.
+    /// Engine tiers are pinned observably equivalent by the JIT
+    /// differential tests; this fingerprint lets eval-matrix re-check
+    /// that claim end-to-end — cells differing only in tier must agree.
+    pub verdict_stream: u64,
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Facts {
     /// Calls resolved one way or another.
     pub fn calls_resolved(&self) -> u64 {
         self.calls_ok + self.calls_aborted + self.calls_timed_out + self.calls_shed
+    }
+
+    /// Folds one chain verdict into the verdict-stream fingerprint.
+    pub fn note_verdict(
+        &mut self,
+        direction: u8,
+        processor: u64,
+        call_id: u64,
+        tag: u8,
+        code: u64,
+    ) {
+        let mut h = if self.verdicts == 0 {
+            FNV_OFFSET
+        } else {
+            self.verdict_stream
+        };
+        for word in [direction as u64, processor, call_id, tag as u64, code] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        self.verdict_stream = h;
+        self.verdicts += 1;
     }
 }

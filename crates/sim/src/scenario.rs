@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adn::harness::{object_store_schemas, object_store_service};
-use adn_backend::jit::compile_engine;
+use adn_backend::jit::{compile_engine, JitTier};
 use adn_backend::native::CompileOpts;
 use adn_dataplane::processor::OverloadPolicy;
 use adn_rpc::chaos::ChaosPolicy;
@@ -144,6 +144,16 @@ pub struct Scenario {
     /// lands, with batch-local duplicate deferral mirroring the real
     /// serve loop.
     pub batch: usize,
+    /// Element chain to distribute over the processors. `None` (the
+    /// default) runs the paper-eval chain (Logging → ACL → Fault with
+    /// `fault_prob`); eval-matrix cells substitute arbitrary preflighted
+    /// chains here.
+    pub chain_specs: Option<Vec<ElementSpec>>,
+    /// Engine tier the chains compile at. `Auto` (the default) resolves
+    /// exactly like production (`ADN_JIT` honored) and keeps the legacy
+    /// byte-identical event log; eval-matrix pins explicit tiers to
+    /// cross-check verdict-stream identity.
+    pub jit: JitTier,
     /// Hard cap on processed events (replay/shrink uses this).
     pub max_events: u64,
 }
@@ -191,6 +201,8 @@ impl Scenario {
             trace: true,
             allow_timeouts: false,
             batch: 1,
+            chain_specs: None,
+            jit: JitTier::Auto,
             max_events: 500_000,
         }
     }
@@ -393,6 +405,7 @@ impl Scenario {
             seed,
             events,
             truncated,
+            end_ns: end.as_nanos() as u64,
             stats: SimStats::from_facts(&sim.facts),
             violation,
             log: sim.exec.into_log(),
@@ -444,6 +457,10 @@ pub struct SimStats {
     pub scaleouts: u64,
     /// Live migrations performed.
     pub migrations: u64,
+    /// Chain verdicts observed.
+    pub verdicts: u64,
+    /// FNV-1a fingerprint of the verdict stream (tier-identity check).
+    pub verdict_stream: u64,
 }
 
 impl SimStats {
@@ -469,6 +486,8 @@ impl SimStats {
             failovers: f.failovers.len() as u64,
             scaleouts: f.scaleouts.len() as u64,
             migrations: f.migrations,
+            verdicts: f.verdicts,
+            verdict_stream: f.verdict_stream,
         }
     }
 }
@@ -484,6 +503,8 @@ pub struct SimReport {
     pub events: u64,
     /// True when the run hit `max_events` before draining.
     pub truncated: bool,
+    /// Virtual time at which the run ended, in nanoseconds.
+    pub end_ns: u64,
     /// Outcome counters.
     pub stats: SimStats,
     /// First invariant violation, if any.
@@ -530,8 +551,27 @@ fn paper_elements(fault_prob: f64) -> Vec<ElementSpec> {
         ElementSpec {
             name: "Fault".into(),
             args: vec![("abort_prob".into(), Value::F64(fault_prob))],
+            source: None,
         },
     ]
+}
+
+/// Stable discriminant for the verdict-stream fingerprint.
+fn verdict_tag(v: &Verdict) -> u8 {
+    match v {
+        Verdict::Forward => 0,
+        Verdict::Drop => 1,
+        Verdict::Abort { .. } => 2,
+        Verdict::Shed => 3,
+    }
+}
+
+/// Abort code folded into the verdict-stream fingerprint (0 otherwise).
+fn verdict_code(v: &Verdict) -> u64 {
+    match v {
+        Verdict::Abort { code, .. } => *code as u64,
+        _ => 0,
+    }
 }
 
 /// Compiles a chain from element specs with a fixed per-run compile seed
@@ -541,17 +581,28 @@ fn build_chain(
     req: &RpcSchema,
     resp: &RpcSchema,
     compile_seed: u64,
+    jit: JitTier,
 ) -> EngineChain {
     let mut chain = EngineChain::new();
     for spec in specs {
-        let ir = adn_elements::build(&spec.name, &spec.args, req, resp)
-            .unwrap_or_else(|e| panic!("element {} must build: {e:?}", spec.name));
+        let ir = match &spec.source {
+            Some(src) => {
+                let ast = adn_dsl::parser::parse_element(src)
+                    .unwrap_or_else(|e| panic!("element {} must parse: {e:?}", spec.name));
+                let checked = adn_dsl::typecheck::check_element(&ast, req, resp)
+                    .unwrap_or_else(|e| panic!("element {} must typecheck: {e:?}", spec.name));
+                adn_ir::lower_element(&checked, &[], req, resp)
+                    .unwrap_or_else(|e| panic!("element {} must lower: {e:?}", spec.name))
+            }
+            None => adn_elements::build(&spec.name, &spec.args, req, resp)
+                .unwrap_or_else(|e| panic!("element {} must build: {e:?}", spec.name)),
+        };
         chain.push(compile_engine(
             &ir,
             &CompileOpts {
                 seed: compile_seed,
                 replicas: vec![],
-                ..Default::default()
+                jit,
             },
         ));
     }
@@ -591,13 +642,17 @@ impl<'a> Sim<'a> {
         let mut exec = SimExecutor::new(seed);
         let compile_seed = mix64(seed ^ 0x0ADD_5EED);
 
-        // Distribute the paper-eval chain contiguously over N hops;
-        // hops past the element count forward with an empty chain.
+        // Distribute the chain contiguously over N hops; hops past the
+        // element count forward with an empty chain.
         let n = cfg.processors.max(1);
-        let elements = paper_elements(cfg.fault_prob);
+        let elements = cfg
+            .chain_specs
+            .clone()
+            .unwrap_or_else(|| paper_elements(cfg.fault_prob));
+        let len = elements.len().max(1);
         let mut groups: Vec<Vec<ElementSpec>> = vec![Vec::new(); n];
         for (j, spec) in elements.into_iter().enumerate() {
-            let target = (j * n) / 3;
+            let target = (j * n) / len;
             groups[target.min(n - 1)].push(spec);
         }
         let mut procs = BTreeMap::new();
@@ -608,7 +663,7 @@ impl<'a> Sim<'a> {
             } else {
                 NextHop::Fixed(SERVER_ADDR)
             };
-            let chain = build_chain(&group, &req_schema, &resp_schema, compile_seed);
+            let chain = build_chain(&group, &req_schema, &resp_schema, compile_seed, cfg.jit);
             procs.insert(addr, SimProcessor::new(addr, chain, group, next));
         }
 
@@ -1236,7 +1291,15 @@ impl<'a> Sim<'a> {
                     }
                     msg.trace = Some(ctx.child_from(addr));
                 }
-                match p.chain.process(&mut msg) {
+                let verdict = p.chain.process(&mut msg);
+                self.facts.note_verdict(
+                    0,
+                    addr,
+                    msg.call_id,
+                    verdict_tag(&verdict),
+                    verdict_code(&verdict),
+                );
+                match verdict {
                     Verdict::Forward => {
                         p.flows.insert(msg.call_id, frame.src);
                         let oid = match msg.get("object_id") {
@@ -1338,6 +1401,13 @@ impl<'a> Sim<'a> {
                 // match `on request`, so this is Forward for them — but
                 // response-matching elements keep their real semantics).
                 let verdict = p.chain.process(&mut msg);
+                self.facts.note_verdict(
+                    1,
+                    addr,
+                    call_id,
+                    verdict_tag(&verdict),
+                    verdict_code(&verdict),
+                );
                 if let Verdict::Drop = verdict {
                     p.resp_cache.insert(call_id, CachedAction::Dropped);
                     self.exec
@@ -1503,6 +1573,7 @@ impl<'a> Sim<'a> {
             &self.req_schema,
             &self.resp_schema,
             self.compile_seed,
+            self.cfg.jit,
         );
         if !images.is_empty() {
             // Best effort, like the real controller: a stale checkpoint
@@ -1543,6 +1614,7 @@ impl<'a> Sim<'a> {
                 &self.req_schema,
                 &self.resp_schema,
                 self.compile_seed,
+                self.cfg.jit,
             );
             let _ = chain.import_states(&images);
             let shard = SimProcessor::new(
@@ -1560,6 +1632,7 @@ impl<'a> Sim<'a> {
                 &self.req_schema,
                 &self.resp_schema,
                 self.compile_seed,
+                self.cfg.jit,
             );
             let shard = SimProcessor::new(
                 new_addr,
@@ -1606,6 +1679,7 @@ impl<'a> Sim<'a> {
             &self.req_schema,
             &self.resp_schema,
             self.compile_seed,
+            self.cfg.jit,
         );
         let _ = chain.import_states(&images);
         self.procs.get_mut(&addr).expect("present").chain = chain;

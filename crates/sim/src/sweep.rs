@@ -1,12 +1,14 @@
 //! Seed sweeps, failure shrinking, and replay commands.
 //!
-//! A sweep runs one scenario across a seed range. On the first failing
-//! seed it *shrinks* the failure to the minimal event prefix that still
-//! reproduces it and emits a copy-pasteable replay command. Because runs
-//! are deterministic and an invariant is checked immediately after each
-//! event, the minimal prefix is exactly the violation's event index — a
-//! shorter prefix truncates before the violating event and cannot fail
-//! the same way. The shrinker verifies that by re-running the prefix.
+//! A sweep runs one scenario across a seed range, collecting **every**
+//! failing seed (one bad seed must not mask the rest of the range).
+//! Each failure is *shrunk* to the minimal event prefix that still
+//! reproduces it and paired with a copy-pasteable replay command.
+//! Because runs are deterministic and an invariant is checked
+//! immediately after each event, the minimal prefix is exactly the
+//! violation's event index — a shorter prefix truncates before the
+//! violating event and cannot fail the same way. The shrinker verifies
+//! that by re-running the prefix.
 
 use crate::invariant::Violation;
 use crate::scenario::Scenario;
@@ -31,16 +33,50 @@ pub struct SeedFailure {
 pub struct SweepOutcome {
     /// Scenario name.
     pub scenario: String,
-    /// Seeds that ran (the sweep stops at the first failure).
+    /// Seeds that ran (always the whole range).
     pub seeds_run: u64,
-    /// The first failure, shrunk, if any seed failed.
-    pub failure: Option<SeedFailure>,
+    /// Every failing seed in the range, shrunk, in seed order.
+    pub failures: Vec<SeedFailure>,
 }
 
 impl SweepOutcome {
     /// Whether every seed passed.
     pub fn passed(&self) -> bool {
-        self.failure.is_none()
+        self.failures.is_empty()
+    }
+
+    /// The first failure, if any (convenience for single-failure flows).
+    pub fn failure(&self) -> Option<&SeedFailure> {
+        self.failures.first()
+    }
+
+    /// Machine-readable sweep result; the CI replay-artifact step parses
+    /// this to reproduce every failing seed, not just the first.
+    pub fn to_json(&self) -> serde_json::Value {
+        let failures: Vec<serde_json::Value> = self
+            .failures
+            .iter()
+            .map(|f| {
+                serde_json::json!({
+                    "seed": (f.seed),
+                    "events": (f.events),
+                    "min_events": (f.min_events),
+                    "invariant": (f.violation.invariant.clone()),
+                    "at_event": (f.violation.at_event),
+                    "at_ns": (f.violation.at_ns),
+                    "detail": (f.violation.detail.clone()),
+                    "replay": (f.replay.clone())
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "tool": "simseed",
+            "schema_version": 1,
+            "scenario": (self.scenario.clone()),
+            "seeds_run": (self.seeds_run),
+            "pass": (self.passed()),
+            "failures": (failures)
+        })
     }
 }
 
@@ -77,25 +113,23 @@ pub fn replay_command(scenario: &str, seed: u64, max_events: u64) -> String {
     )
 }
 
-/// Runs `scenario` across `seeds`, stopping at (and shrinking) the first
-/// failure.
+/// Runs `scenario` across `seeds`, shrinking every failure. The whole
+/// range always runs: one bad seed reports alongside, not instead of,
+/// the others.
 pub fn sweep(scenario: &Scenario, seeds: impl IntoIterator<Item = u64>) -> SweepOutcome {
     let mut seeds_run = 0;
+    let mut failures = Vec::new();
     for seed in seeds {
         seeds_run += 1;
         let report = scenario.run(seed);
         if report.violation.is_some() {
-            return SweepOutcome {
-                scenario: scenario.name.clone(),
-                seeds_run,
-                failure: shrink(scenario, seed),
-            };
+            failures.extend(shrink(scenario, seed));
         }
     }
     SweepOutcome {
         scenario: scenario.name.clone(),
         seeds_run,
-        failure: None,
+        failures,
     }
 }
 
@@ -158,6 +192,53 @@ mod tests {
         let out = sweep(&Scenario::smoke(), 0..3);
         assert!(out.passed());
         assert_eq!(out.seeds_run, 3);
+    }
+
+    #[test]
+    fn sweep_reports_every_failing_seed_with_invariant_names() {
+        // Inject a guaranteed failure: a partition longer than the retry
+        // deadline under the *strict* zero-loss invariant, so every seed
+        // times out and fails. The sweep must still visit the whole range
+        // and report each failing seed — the old behavior stopped at the
+        // first one.
+        let mut s = Scenario::smoke();
+        s.partition_window = Some((Duration::from_millis(1), Duration::from_secs(120)));
+        s.allow_timeouts = false;
+        let seeds = 0..4u64;
+        let expected: Vec<u64> = seeds
+            .clone()
+            .filter(|&sd| s.run(sd).violation.is_some())
+            .collect();
+        assert!(
+            expected.len() >= 2,
+            "injection should fail several seeds, got {expected:?}"
+        );
+        let out = sweep(&s, seeds);
+        assert_eq!(out.seeds_run, 4);
+        let got: Vec<u64> = out.failures.iter().map(|f| f.seed).collect();
+        assert_eq!(got, expected, "one failure must not mask the rest");
+        for f in &out.failures {
+            assert!(!f.violation.invariant.is_empty());
+            assert!(f.min_events <= f.events);
+            assert!(f.replay.contains(&format!("--seed {}", f.seed)));
+        }
+        // The JSON artifact mirrors the same facts for CI replay.
+        let v = out.to_json();
+        assert_eq!(v.get("pass").and_then(|p| p.as_bool()), Some(false));
+        assert_eq!(v.get("schema_version").and_then(|p| p.as_u64()), Some(1));
+        let rows = v
+            .get("failures")
+            .and_then(|f| f.as_array())
+            .expect("failures array")
+            .clone();
+        assert_eq!(rows.len(), out.failures.len());
+        for (row, f) in rows.iter().zip(&out.failures) {
+            assert_eq!(row.get("seed").and_then(|x| x.as_u64()), Some(f.seed));
+            assert_eq!(
+                row.get("invariant").and_then(|x| x.as_str()),
+                Some(f.violation.invariant.as_str())
+            );
+        }
     }
 
     #[test]

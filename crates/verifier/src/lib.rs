@@ -19,6 +19,10 @@
 //!   stack depth (`B00xx` codes). Its verdicts are consumed by the
 //!   controller's placement solver, so an element that compiles but does
 //!   not verify falls back to a native processor.
+//! * [`preflight`] — the same gate for machines: runtime-assembled chains
+//!   (eval-matrix cells, generated tests) go through parse → typecheck →
+//!   lower → chain lints and get structured findings plus the lowered IR
+//!   back, so nothing synthesized ever bypasses verification.
 //!
 //! Front-end codes (`E00xx`) live in [`adn_dsl::diag::codes`]; the
 //! `adn-lint` binary drives all layers over `.adn` sources.
@@ -27,12 +31,16 @@ pub mod absint;
 pub mod audit;
 pub mod chain;
 pub mod ebpf;
+pub mod preflight;
 
 pub use absint::{analyze as analyze_ebpf, AbsintOptions, Analysis, CostBound, OffloadVerdict};
 pub use adn_dsl::diag::{Diagnostic, Severity, Span};
 pub use audit::{audit_header_layout, audit_headers, audit_report};
 pub use chain::{verify_chain, ChainDiagnostic, ChainVerifyOptions};
 pub use ebpf::{audit_element as audit_ebpf_element, EbpfAuditReport, EbpfPolicy};
+pub use preflight::{
+    preflight_elements, preflight_source, PreflightFinding, PreflightOptions, PreflightReport,
+};
 
 /// Stable diagnostic codes emitted by the verification layers.
 pub mod codes {

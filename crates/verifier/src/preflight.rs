@@ -1,0 +1,268 @@
+//! Programmatic pre-flight lint for chains assembled at runtime.
+//!
+//! `adn-lint` drives the verification layers over `.adn` files for a
+//! human; this module is the same gate for *machines*: the eval-matrix
+//! sweep (and anything else that synthesizes chains — generated tests,
+//! fuzzers, deployment tooling) must not hand the dataplane a chain the
+//! static layers would have rejected. The API therefore returns
+//! structured findings plus the lowered IR on success, so a clean
+//! pre-flight feeds straight into compilation with no re-parse.
+
+use std::sync::Arc;
+
+use adn_dsl::diag::{Diagnostic, Severity};
+use adn_dsl::parser::parse_program;
+use adn_dsl::typecheck::check_element;
+use adn_ir::{lower_element, ChainIr, ElementIr};
+use adn_rpc::schema::RpcSchema;
+
+use crate::chain::{verify_chain, ChainVerifyOptions};
+
+/// Options for the pre-flight gate. A thinned-down [`ChainVerifyOptions`]:
+/// pre-flight always runs the chain dataflow lints; the caller chooses
+/// whether warnings are fatal when calling [`PreflightReport::gate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreflightOptions {
+    /// Request-schema field index the deployment shards by, if any.
+    pub shard_field: Option<usize>,
+    /// Also audit JIT-tier eligibility (advisory `V0006` warnings).
+    pub jit_audit: bool,
+}
+
+/// One finding, labelled with the element it belongs to when known.
+#[derive(Debug, Clone)]
+pub struct PreflightFinding {
+    /// Element name, when the finding is attributable to one element.
+    pub element: Option<String>,
+    pub diagnostic: Diagnostic,
+}
+
+/// Everything pre-flight learned about a candidate chain.
+#[derive(Debug, Clone, Default)]
+pub struct PreflightReport {
+    /// Lowered elements, in chain order. Empty when the front end failed —
+    /// chain-level facts are meaningless for a partial chain.
+    pub elements: Vec<ElementIr>,
+    pub findings: Vec<PreflightFinding>,
+}
+
+impl PreflightReport {
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.diagnostic.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.diagnostic.severity == Severity::Warning)
+            .count()
+    }
+
+    /// One line per finding, suitable for a results table or a panic
+    /// message.
+    pub fn summary(&self) -> String {
+        self.findings
+            .iter()
+            .map(|f| {
+                let label = f.element.as_deref().unwrap_or("chain");
+                format!("{label}: [{}] {}", f.diagnostic.code, f.diagnostic.message)
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Pass/fail decision: errors always fail; warnings fail only when
+    /// `deny_warnings`. On pass, hands back the lowered elements for
+    /// compilation.
+    pub fn gate(&self, deny_warnings: bool) -> Result<&[ElementIr], String> {
+        let fatal = self.errors() > 0 || (deny_warnings && self.warnings() > 0);
+        if fatal {
+            Err(self.summary())
+        } else {
+            Ok(&self.elements)
+        }
+    }
+}
+
+/// Pre-flights a textual `.adn` program (one chain, elements in file
+/// order): parse, typecheck, lower, then the chain dataflow lints.
+pub fn preflight_source(
+    source: &str,
+    req: &Arc<RpcSchema>,
+    resp: &Arc<RpcSchema>,
+    opts: &PreflightOptions,
+) -> PreflightReport {
+    let mut report = PreflightReport::default();
+    let program = match parse_program(source) {
+        Ok(p) => p,
+        Err(e) => {
+            report.findings.push(PreflightFinding {
+                element: None,
+                diagnostic: e.to_diagnostic(),
+            });
+            return report;
+        }
+    };
+    let mut lowered = Vec::new();
+    for element in &program.elements {
+        let checked = match check_element(element, req, resp) {
+            Ok(c) => c,
+            Err(e) => {
+                report.findings.push(PreflightFinding {
+                    element: Some(element.name.clone()),
+                    diagnostic: e.to_diagnostic(),
+                });
+                continue;
+            }
+        };
+        match lower_element(&checked, &[], req, resp) {
+            Ok(ir) => lowered.push(ir),
+            Err(e) => {
+                report.findings.push(PreflightFinding {
+                    element: Some(element.name.clone()),
+                    diagnostic: Diagnostic::error(
+                        adn_dsl::diag::codes::INVALID_CONTEXT,
+                        format!("element `{}` does not lower: {e}", element.name),
+                    ),
+                });
+            }
+        }
+    }
+    if report.errors() > 0 {
+        return report;
+    }
+    let chain_report = preflight_elements(lowered, req, resp, opts);
+    report.elements = chain_report.elements;
+    report.findings.extend(chain_report.findings);
+    report
+}
+
+/// Pre-flights an already-lowered chain (e.g. assembled from the element
+/// catalog): just the chain dataflow lints, no front end.
+pub fn preflight_elements(
+    elements: Vec<ElementIr>,
+    req: &Arc<RpcSchema>,
+    resp: &Arc<RpcSchema>,
+    opts: &PreflightOptions,
+) -> PreflightReport {
+    let chain = ChainIr::new(elements, Arc::clone(req), Arc::clone(resp));
+    let copts = ChainVerifyOptions {
+        shard_field: opts.shard_field,
+        jit_audit: opts.jit_audit,
+    };
+    let findings = verify_chain(&chain, &copts)
+        .into_iter()
+        .map(|f| PreflightFinding {
+            element: f
+                .element
+                .and_then(|i| chain.elements.get(i).map(|e| e.name.clone())),
+            diagnostic: f.diagnostic,
+        })
+        .collect();
+    PreflightReport {
+        elements: chain.elements,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use adn_rpc::value::ValueType;
+
+    use super::*;
+
+    fn schemas() -> (Arc<RpcSchema>, Arc<RpcSchema>) {
+        (
+            Arc::new(
+                RpcSchema::builder()
+                    .field("object_id", ValueType::U64)
+                    .field("username", ValueType::Str)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+            Arc::new(
+                RpcSchema::builder()
+                    .field("ok", ValueType::Bool)
+                    .field("payload", ValueType::Bytes)
+                    .build()
+                    .unwrap(),
+            ),
+        )
+    }
+
+    #[test]
+    fn clean_chain_passes_and_returns_ir() {
+        let (req, resp) = schemas();
+        let src = r#"
+            element Tag() {
+                on request {
+                    SET object_id = input.object_id + 1;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let report = preflight_source(src, &req, &resp, &PreflightOptions::default());
+        let elements = report.gate(true).expect("clean chain must pass");
+        assert_eq!(elements.len(), 1);
+        assert_eq!(elements[0].name, "Tag");
+    }
+
+    #[test]
+    fn parse_error_fails_closed() {
+        let (req, resp) = schemas();
+        let report = preflight_source(
+            "element Broken( {",
+            &req,
+            &resp,
+            &PreflightOptions::default(),
+        );
+        assert!(report.errors() > 0);
+        assert!(report.gate(false).is_err());
+        assert!(report.elements.is_empty());
+    }
+
+    #[test]
+    fn type_error_names_the_element() {
+        let (req, resp) = schemas();
+        let src = r#"
+            element Bad() {
+                on request {
+                    SET nonexistent = 1;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let report = preflight_source(src, &req, &resp, &PreflightOptions::default());
+        assert!(report.gate(false).is_err());
+        assert!(report.summary().contains("Bad"));
+    }
+
+    #[test]
+    fn warning_only_chain_gates_on_deny_warnings() {
+        let (req, resp) = schemas();
+        // Dead write: object_id is overwritten downstream before any read.
+        let src = r#"
+            element First() {
+                on request {
+                    SET object_id = input.object_id + 1;
+                    SELECT * FROM input;
+                }
+            }
+            element Second() {
+                on request {
+                    SET object_id = 7;
+                    SELECT * FROM input;
+                }
+            }
+        "#;
+        let report = preflight_source(src, &req, &resp, &PreflightOptions::default());
+        assert_eq!(report.errors(), 0);
+        assert!(report.warnings() > 0, "expected a V0002 dead-write warning");
+        assert!(report.gate(false).is_ok());
+        assert!(report.gate(true).is_err());
+    }
+}

@@ -3,20 +3,27 @@
 //! A skewed cluster routes new work to the idle processor, and a
 //! queue-depth breach triggers exactly one autoscale shard-out — a second
 //! breach inside the cooldown must not flap.
+//!
+//! The whole world runs on a shared [`VirtualClock`]: cooldown windows
+//! are entered and exited by explicit `advance` calls, never by wall
+//! time, so the tests are deterministic at any machine speed.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use adn::harness::{AdnWorld, WorldConfig};
 use adn_cluster::resources::PlacementConstraint;
 use adn_cluster::LoadReport;
 use adn_controller::runtime::AutoscaleConfig;
+use adn_rpc::clock::VirtualClock;
 use adn_telemetry::LoadAwarePolicy;
 
 /// One ACL element forced off-app: a single sidecar processor group, the
-/// autoscale target.
-fn world() -> AdnWorld {
+/// autoscale target — running entirely on the given virtual clock.
+fn world(clock: &Arc<VirtualClock>) -> AdnWorld {
     let mut cfg = WorldConfig::of_elements(&["Acl"]);
     cfg.chain[0].constraints = vec![PlacementConstraint::OffApp];
+    cfg.clock = Some(clock.clone());
     AdnWorld::start(cfg).unwrap()
 }
 
@@ -35,7 +42,8 @@ fn report(endpoint: u64, processed: u64, queue_depth: u64) -> LoadReport {
 
 #[test]
 fn skewed_load_prefers_the_idle_processor() {
-    let w = world();
+    let clock = VirtualClock::shared();
+    let w = world(&clock);
     // Two processors heartbeat with skewed congestion signals.
     w.store().report_load(report(777, 100, 50));
     w.store().report_load(report(888, 100, 1));
@@ -51,16 +59,18 @@ fn skewed_load_prefers_the_idle_processor() {
 
 #[test]
 fn queue_breach_scales_out_exactly_once() {
-    let w = world();
+    let clock = VirtualClock::shared();
+    let w = world(&clock);
     assert!(w.call(1, "alice", b"x").is_ok());
     let entry = w.controller().processor_stats("app")[0].0;
 
+    let cooldown = Duration::from_secs(60);
     w.controller().enable_autoscale(
         "app",
         AutoscaleConfig {
             policy: LoadAwarePolicy {
                 queue_depth_threshold: 2,
-                cooldown: Duration::from_secs(60),
+                cooldown,
                 ..LoadAwarePolicy::default()
             },
             shard_field: 1, // username
@@ -76,10 +86,25 @@ fn queue_breach_scales_out_exactly_once() {
     w.sync().unwrap();
     assert_eq!(w.controller().scaleout_count("app"), 1, "exactly one");
 
-    // A later breach inside the cooldown window must not flap either.
+    // A later breach inside the cooldown window must not flap. The clock
+    // is virtual: "inside the window" is a fact we set, not a race
+    // against the test's own runtime.
+    clock.advance(cooldown / 2);
     w.store().report_load(report(entry, 30, 100));
     w.sync().unwrap();
     assert_eq!(w.controller().scaleout_count("app"), 1, "no flapping");
+
+    // And once the cooldown genuinely expires, a breach still finds
+    // nothing left to scale: the group was consumed by the shard-out,
+    // so the count stays put for the right reason.
+    clock.advance(cooldown);
+    w.store().report_load(report(entry, 40, 100));
+    w.sync().unwrap();
+    assert_eq!(
+        w.controller().scaleout_count("app"),
+        1,
+        "group already sharded; expiry must not invent work"
+    );
 
     // Traffic still flows through the shard router that took over the
     // old address — and the chain's policy still screens.

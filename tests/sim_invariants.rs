@@ -31,7 +31,7 @@ fn everything_scenario_sweep_holds_all_invariants() {
     assert!(
         out.passed(),
         "seed failed — {}",
-        out.failure.map(|f| f.replay).unwrap_or_default()
+        out.failure().map(|f| f.replay.clone()).unwrap_or_default()
     );
     assert_eq!(out.seeds_run, seed_range().end);
 }
@@ -48,7 +48,7 @@ fn everything_scenario_sweep_holds_all_invariants_with_batching() {
     assert!(
         out.passed(),
         "seed failed — {}",
-        out.failure.map(|f| f.replay).unwrap_or_default()
+        out.failure().map(|f| f.replay.clone()).unwrap_or_default()
     );
     assert_eq!(out.seeds_run, seed_range().end);
 }
@@ -95,7 +95,7 @@ fn chaos_scenario_sweep_holds_all_invariants() {
     assert!(
         out.passed(),
         "seed failed — {}",
-        out.failure.map(|f| f.replay).unwrap_or_default()
+        out.failure().map(|f| f.replay.clone()).unwrap_or_default()
     );
 }
 
@@ -204,7 +204,7 @@ fn overload_sweep_holds_goodput_floor_and_never_executes_expired() {
     assert!(
         out.passed(),
         "seed failed — {}",
-        out.failure.map(|f| f.replay).unwrap_or_default()
+        out.failure().map(|f| f.replay.clone()).unwrap_or_default()
     );
     assert_eq!(out.seeds_run, 32);
 }
@@ -218,7 +218,7 @@ fn chaos_overload_sweep_holds_invariants() {
     assert!(
         out.passed(),
         "seed failed — {}",
-        out.failure.map(|f| f.replay).unwrap_or_default()
+        out.failure().map(|f| f.replay.clone()).unwrap_or_default()
     );
     assert_eq!(out.seeds_run, 32);
 }
@@ -314,4 +314,39 @@ fn partition_violation_is_caught_shrunk_and_replayable() {
     let mut capped = s.clone();
     capped.max_events = f.min_events;
     assert_eq!(capped.run(5).violation, Some(v));
+}
+
+/// The sim port of the old `tcp_distributed.rs` 64-call concurrent
+/// storm: the same ACL chain screening a mixed user population under
+/// real concurrency, but on the deterministic substrate — seed-swept,
+/// strict zero-loss, and byte-identical on replay instead of racing
+/// sockets against a wall-clock timeout.
+#[test]
+fn ported_tcp_storm_is_deterministic() {
+    use adn_sim::nodes::ElementSpec;
+
+    let mut s = Scenario::new("tcp-storm");
+    s.calls = 64;
+    s.concurrency = 8;
+    s.users = vec!["carol".into(), "alice".into(), "bob".into()];
+    s.chain_specs = Some(vec![ElementSpec::plain("Acl")]);
+    s.allow_timeouts = false; // clean link: every call must resolve
+
+    let out = sweep_seeds(&s, seed_range());
+    assert!(
+        out.passed(),
+        "seed failed — {}",
+        out.failure().map(|f| f.replay.clone()).unwrap_or_default()
+    );
+
+    let a = s.run(11);
+    let b = s.run(11);
+    assert_eq!(a.log_text(), b.log_text(), "same seed, same bytes");
+    // The writer majority lands; `bob` is read-only and every one of his
+    // calls is aborted by the ACL with code 7 — none time out or vanish.
+    assert_eq!(
+        a.stats.calls_ok + a.stats.calls_aborted,
+        a.stats.calls_issued
+    );
+    assert!(a.stats.calls_aborted >= 64 / 3, "bob's share is denied");
 }

@@ -2,6 +2,12 @@
 //! `TcpLink`s bound to loopback ports) carry the flat-identifier fabric,
 //! demonstrating that nothing in the stack depends on the in-process
 //! channel transport.
+//!
+//! This is deliberately a *transport smoke*: one bit-exact payload
+//! roundtrip and one local ACL denial. The old 64-call concurrent storm
+//! lives on the deterministic sim substrate now
+//! (`tests/sim_invariants.rs::ported_tcp_storm_is_deterministic`), where
+//! it is seed-swept and free of socket timing.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -122,21 +128,4 @@ fn acl_chain_works_across_real_tcp() {
     // Denied locally, before any bytes hit the socket.
     let err = call(2, "bob", b"x").unwrap_err();
     assert!(matches!(err, adn_rpc::RpcError::Aborted { code: 7, .. }));
-
-    // Many concurrent calls survive the TCP path.
-    let mut handles = Vec::new();
-    for i in 0..64u64 {
-        let msg = RpcMessage::request(0, 1, m.request.clone())
-            .with("object_id", i)
-            .with("username", "carol")
-            .with("payload", vec![i as u8; 64]);
-        handles.push(client.send_call(msg, 200).unwrap());
-    }
-    for (i, h) in handles.into_iter().enumerate() {
-        let resp = h.wait(Duration::from_secs(10)).unwrap();
-        assert_eq!(
-            resp.get("payload").and_then(|v| v.as_bytes()),
-            Some(&vec![i as u8; 64][..])
-        );
-    }
 }
